@@ -1,0 +1,34 @@
+"""Shared benchmark fixtures.
+
+One :class:`ExperimentRunner` is shared by every benchmark so traces are
+built once and simulation results are reused across figures (fig4, fig6,
+and fig7 share most configurations).  Workload scales come from
+``repro.harness.runner.DEFAULT_SCALES`` — large enough for stable shape,
+small enough that the whole benchmark suite regenerates in minutes.
+
+Override scales with ``REPRO_BENCH_SCALE`` (a multiplier) to run closer
+to paper scale, e.g. ``REPRO_BENCH_SCALE=4 pytest benchmarks/``.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.harness import DEFAULT_SCALES, ExperimentRunner, PipelineConfig
+
+
+def _scales():
+    factor = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+    return {name: scale * factor for name, scale in DEFAULT_SCALES.items()}
+
+
+@pytest.fixture(scope="session")
+def runner():
+    return ExperimentRunner(pipeline=PipelineConfig(), scales=_scales())
+
+
+def run_once(benchmark, fn):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

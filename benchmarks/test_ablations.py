@@ -1,0 +1,44 @@
+"""Ablations: run-ahead NL (§5.6) and database-size insensitivity (§4)."""
+
+import pytest
+
+from benchmarks.conftest import _scales, run_once
+from repro.harness import (
+    ExperimentRunner,
+    PipelineConfig,
+    render_experiment,
+    runahead_ablation,
+    scale_sensitivity,
+)
+
+
+def test_runahead_nl_rejected_design(runner, benchmark):
+    """§5.6: run-ahead NL is much worse than plain NL — too many useless
+    prefetches from too far ahead in a call-dense instruction stream."""
+    result = run_once(benchmark, lambda: runahead_ablation(runner))
+    print()
+    print(render_experiment(result, columns=[
+        "ra_slowdown_vs_nl", "ra_useless", "nl_useless",
+    ]))
+    for workload, row in result.rows:
+        assert row["ra_slowdown_vs_nl"] > 1.0, workload
+        assert row["ra_useless"] > row["nl_useless"], workload
+        assert row["OM+CGP_4"] < row["OM+RA-NL_4"], workload
+
+
+def test_scale_insensitivity(runner, benchmark):
+    """§4: CGP improvements are 'quite similar' across database sizes —
+    the paper verified 10MB vs 100MB; we verify two of our scales."""
+    larger = ExperimentRunner(
+        pipeline=PipelineConfig(),
+        scales={**_scales(), "wisc-large-2": _scales()["wisc-large-2"] * 2},
+    )
+    result = run_once(
+        benchmark, lambda: scale_sensitivity(runner, larger, "wisc-large-2")
+    )
+    print()
+    print(render_experiment(result, label_header="size"))
+    small = result.row("small")["speedup:OM+CGP_4_over_OM"]
+    large = result.row("large")["speedup:OM+CGP_4_over_OM"]
+    assert small == pytest.approx(large, rel=0.15)
+    assert small > 1.05 and large > 1.05

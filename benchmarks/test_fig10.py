@@ -1,0 +1,34 @@
+"""Figure 10: CGP on CPU2000 applications.
+
+Paper claims: with a 32KB I-cache the gap to a perfect I-cache is ~17%
+for gcc, ~9% for crafty, ~2% for gap, <1% for gzip/parser/bzip2/twolf;
+for the benchmarks that do miss (gcc, crafty) NL_4 achieves performance
+similar to CGP_4 — CGP is not especially attractive for small-footprint,
+call-sparse codes.
+"""
+
+from benchmarks.conftest import run_once
+from repro.harness import fig10, render_experiment
+from repro.workloads.cpu2000 import perfect_gap_expected
+
+
+def test_fig10(benchmark):
+    result = run_once(benchmark, lambda: fig10(target_instructions=2_000_000))
+    print()
+    print(render_experiment(result, columns=[
+        "miss_ratio", "gap_to_perfect", "nl_vs_cgp",
+    ]))
+    gaps = {label: row["gap_to_perfect"] for label, row in result.rows}
+    # gcc suffers the most, crafty second — exactly the paper's ordering
+    assert gaps["gcc"] == max(gaps.values())
+    assert gaps["crafty"] == max(v for k, v in gaps.items() if k != "gcc")
+    # the small-footprint codes barely miss
+    for name in ("gzip", "parser", "bzip2", "twolf"):
+        assert gaps[name] <= 0.06, name
+    # rough factor match against the paper's reported gaps
+    for label, row in result.rows:
+        expected = perfect_gap_expected(label)
+        assert abs(row["gap_to_perfect"] - expected) <= max(0.06, expected), label
+    # NL_4 ~ CGP_4 everywhere: CGP buys nothing extra here
+    for label, row in result.rows:
+        assert 0.95 <= row["nl_vs_cgp"] <= 1.06, label

@@ -1,0 +1,31 @@
+"""Figure 4: execution cycles for O5, OM, CGP_2, CGP_4 on the four DB
+workloads.
+
+Paper claims: OM ~ +11% over O5; CGP_4 alone ~ +40%; OM+CGP_4 ~ +45%
+over O5 (~ +30% over OM); CGP alone outperforms OM alone on every
+workload.
+"""
+
+from benchmarks.conftest import run_once
+from repro.harness import fig4, render_experiment
+
+
+def test_fig4(runner, benchmark):
+    result = run_once(benchmark, lambda: fig4(runner))
+    print()
+    print(render_experiment(result, columns=[
+        "speedup:O5+OM", "speedup:O5+CGP_2", "speedup:O5+CGP_4",
+        "speedup:O5+OM+CGP_2", "speedup:O5+OM+CGP_4",
+    ]))
+    for workload, row in result.rows:
+        # orderings (paper's qualitative claims) must hold per workload
+        assert row["speedup:O5+OM"] > 1.0, workload
+        assert row["speedup:O5+CGP_4"] > row["speedup:O5+OM"], workload
+        assert row["speedup:O5+OM+CGP_4"] >= row["speedup:O5+CGP_4"], workload
+    # factors (geometric mean across workloads) near the paper's
+    om = result.geomean("speedup:O5+OM")
+    cgp_alone = result.geomean("speedup:O5+CGP_4")
+    om_cgp = result.geomean("speedup:O5+OM+CGP_4")
+    assert 1.03 <= om <= 1.35  # paper: 1.11
+    assert 1.20 <= cgp_alone <= 1.75  # paper: 1.40
+    assert 1.30 <= om_cgp <= 2.10  # paper: 1.45

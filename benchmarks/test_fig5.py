@@ -1,0 +1,28 @@
+"""Figure 5: CGHC design space (1K / 32K / 1K+16K / 2K+32K / infinite).
+
+Paper claims: CGHC-1K is ~12% slower than an infinite CGHC; the other
+finite configurations are close to infinite; 2K+32K (the paper's pick)
+is among the best.
+"""
+
+from benchmarks.conftest import run_once
+from repro.harness import fig5, render_experiment
+
+
+def test_fig5(runner, benchmark):
+    result = run_once(benchmark, lambda: fig5(runner))
+    print()
+    print(render_experiment(result, columns=[
+        "vs_inf:CGHC-1K", "vs_inf:CGHC-32K", "vs_inf:CGHC-1K+16K",
+        "vs_inf:CGHC-2K+32K",
+    ]))
+    for workload, row in result.rows:
+        # no finite CGHC beats infinite by a large margin, and the small
+        # 1K CGHC is the worst finite configuration
+        assert row["vs_inf:CGHC-1K"] >= row["vs_inf:CGHC-2K+32K"] - 0.02, workload
+        assert row["vs_inf:CGHC-2K+32K"] <= 1.10, workload
+        assert row["vs_inf:CGHC-32K"] <= 1.10, workload
+    gap_1k = result.geomean("vs_inf:CGHC-1K")
+    gap_pick = result.geomean("vs_inf:CGHC-2K+32K")
+    assert gap_pick < gap_1k + 0.05  # the pick tracks infinite better
+    assert gap_pick <= 1.05  # paper: within a few percent of infinite

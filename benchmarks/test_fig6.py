@@ -1,0 +1,26 @@
+"""Figure 6: O5, OM, OM+NL_2/4, OM+CGP_2/4, perfect I-cache.
+
+Paper claims: CGP outperforms NL by ~7% and is within ~19% of a perfect
+I-cache.
+"""
+
+from benchmarks.conftest import run_once
+from repro.harness import fig6, render_experiment
+
+
+def test_fig6(runner, benchmark):
+    result = run_once(benchmark, lambda: fig6(runner))
+    print()
+    print(render_experiment(result, columns=[
+        "speedup:CGP4_over_NL4", "gap:CGP4_to_perfect",
+    ]))
+    for workload, row in result.rows:
+        assert row["O5"] > row["O5+OM"], workload
+        assert row["O5+OM"] > row["OM+NL_2"], workload
+        assert row["OM+NL_4"] > row["OM+CGP_4"], workload  # CGP beats NL
+        assert row["OM+CGP_4"] > row["perf-Icache"], workload
+        assert row["speedup:CGP4_over_NL4"] > 1.01, workload
+    cgp_over_nl = result.geomean("speedup:CGP4_over_NL4")
+    assert 1.02 <= cgp_over_nl <= 1.20  # paper: 1.07
+    gaps = [row["gap:CGP4_to_perfect"] for _w, row in result.rows]
+    assert all(0.03 <= gap <= 0.45 for gap in gaps)  # paper: ~0.19

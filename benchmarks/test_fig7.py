@@ -1,0 +1,28 @@
+"""Figure 7: I-cache misses for O5, OM, OM+NL_4, OM+CGP_4.
+
+Paper claims: relative to O5, OM removes ~21% of misses, OM+NL ~77%,
+OM+CGP ~87% (the abstract quotes 83% for CGP's overall miss reduction).
+"""
+
+from benchmarks.conftest import run_once
+from repro.harness import fig7, render_experiment
+
+
+def test_fig7(runner, benchmark):
+    result = run_once(benchmark, lambda: fig7(runner))
+    print()
+    print(render_experiment(result, columns=[
+        "O5", "O5+OM", "OM+NL_4", "OM+CGP_4",
+        "reduction:OM", "reduction:NL", "reduction:CGP",
+    ]))
+    for workload, row in result.rows:
+        assert row["O5"] > row["O5+OM"] > row["OM+NL_4"] > row["OM+CGP_4"], workload
+    om = result.geomean("reduction:OM") if all(
+        row["reduction:OM"] > 0 for _w, row in result.rows
+    ) else sum(row["reduction:OM"] for _w, row in result.rows) / len(result.rows)
+    nl = sum(row["reduction:NL"] for _w, row in result.rows) / len(result.rows)
+    cgp = sum(row["reduction:CGP"] for _w, row in result.rows) / len(result.rows)
+    assert 0.02 <= om <= 0.45  # paper: 0.21
+    assert 0.60 <= nl <= 0.97  # paper: 0.77
+    assert 0.75 <= cgp <= 0.99  # paper: 0.87
+    assert cgp > nl > om

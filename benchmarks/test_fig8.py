@@ -1,0 +1,36 @@
+"""Figure 8: prefetch effectiveness (pref hits / delayed hits / useless)
+for NL_2, NL_4, CGP_2, CGP_4 on OM binaries.
+
+Paper claims: CGP issues ~3% more useful prefetches than NL with a
+comparable number of useless prefetches; CGP_4's delayed hits are fewer
+than NL_4's (CGP prefetches are more timely).
+"""
+
+from benchmarks.conftest import run_once
+from repro.harness import fig8, render_experiment
+
+
+def test_fig8(runner, benchmark):
+    result = run_once(benchmark, lambda: fig8(runner))
+    print()
+    print(render_experiment(result, columns=[
+        "NL_4:pref_hits", "NL_4:delayed_hits", "NL_4:useless",
+        "CGP_4:pref_hits", "CGP_4:delayed_hits", "CGP_4:useless",
+    ]))
+    for workload, row in result.rows:
+        # accounting: issued = classified, for every configuration
+        for config in ("NL_2", "NL_4", "CGP_2", "CGP_4"):
+            accounted = (
+                row[f"{config}:pref_hits"]
+                + row[f"{config}:delayed_hits"]
+                + row[f"{config}:useless"]
+            )
+            assert accounted == row[f"{config}:issued"], (workload, config)
+        nl_useful = row["NL_4:pref_hits"] + row["NL_4:delayed_hits"]
+        cgp_useful = row["CGP_4:pref_hits"] + row["CGP_4:delayed_hits"]
+        # CGP issues at least as many useful prefetches (paper: +3%)
+        assert cgp_useful >= nl_useful * 0.97, workload
+        # CGP is more timely: fewer delayed hits than NL_4
+        assert row["CGP_4:delayed_hits"] <= row["NL_4:delayed_hits"], workload
+        # useless counts are comparable (same order of magnitude)
+        assert row["CGP_4:useless"] <= row["NL_4:useless"] * 2.5, workload

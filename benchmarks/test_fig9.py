@@ -1,0 +1,31 @@
+"""Figure 9: CGP_4 prefetches split into the NL portion and the CGHC
+portion.
+
+Paper claims: only ~40% of the NL-portion prefetches are useful versus
+~77% of the CGHC-portion prefetches; the NL portion under CGP is smaller
+than pure NL_4 (the CGHC issues some of the same prefetches earlier and
+the NL copies are squashed).
+"""
+
+from benchmarks.conftest import run_once
+from repro.harness import fig8, fig9, render_experiment
+
+
+def test_fig9(runner, benchmark):
+    result = run_once(benchmark, lambda: fig9(runner))
+    print()
+    print(render_experiment(result, columns=[
+        "nl:useful_fraction", "cghc:useful_fraction",
+        "cghc:pref_hits", "cghc:useless",
+    ]))
+    nl4 = fig8(runner)
+    for workload, row in result.rows:
+        # the CGHC portion is much more accurate than the NL portion
+        assert row["cghc:useful_fraction"] > row["nl:useful_fraction"], workload
+        assert row["cghc:useful_fraction"] >= 0.60, workload  # paper: 0.77
+        # the NL portion of CGP_4 issues fewer prefetches than pure NL_4
+        nl4_row = nl4.row(workload)
+        cgp_nl_issued = (
+            row["nl:pref_hits"] + row["nl:delayed_hits"] + row["nl:useless"]
+        )
+        assert cgp_nl_issued <= nl4_row["NL_4:issued"], workload

@@ -1,0 +1,26 @@
+"""Context-switch interference (§2): multiprogrammed CPU2000 mixes.
+
+The paper motivates CGP partly by the observation that database servers
+context-switch frequently, inflating I-cache miss rates.  This
+benchmark quantifies the effect with the simulator: two programs
+time-sharing one I-cache miss far more than the sum of their solo runs.
+"""
+
+from benchmarks.conftest import run_once
+from repro.harness.multiprog import multiprogram_mix
+from repro.harness.report import render_experiment
+
+
+def test_context_switch_interference(benchmark):
+    result = run_once(
+        benchmark,
+        lambda: multiprogram_mix("gcc", "crafty",
+                                 target_instructions=1_000_000),
+    )
+    print()
+    print(render_experiment(result, label_header="run"))
+    solo = (
+        result.row("gcc solo")["misses"] + result.row("crafty solo")["misses"]
+    )
+    shared = result.row("time-shared")["misses"]
+    assert shared > 1.5 * solo  # interference dominates

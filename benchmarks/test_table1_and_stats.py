@@ -1,0 +1,30 @@
+"""Table 1 (simulator configuration) and the paper's workload statistics
+(§3.2: callee fanout; §5.4: instructions between calls)."""
+
+from benchmarks.conftest import run_once
+from repro.harness import render_experiment, workload_statistics
+from repro.uarch.config import TABLE_1
+
+
+def test_table1_configuration(benchmark):
+    config = run_once(benchmark, lambda: TABLE_1.validate())
+    assert config.fetch_width == 4
+    assert config.l1i.size_bytes == 32 * 1024 and config.l1i.assoc == 2
+    assert config.l2.size_bytes == 1024 * 1024 and config.l2.assoc == 4
+    assert config.l1i.line_bytes == config.l2.line_bytes == 32
+    assert config.l1_hit_latency == 1
+    assert config.l2_hit_latency == 16
+    assert config.memory_latency == 80
+
+
+def test_workload_statistics(runner, benchmark):
+    result = run_once(benchmark, lambda: workload_statistics(runner))
+    print()
+    print(render_experiment(result))
+    for workload, row in result.rows:
+        # §5.4: ~43 instructions between successive calls
+        assert 25 <= row["instrs_between_calls"] <= 100, workload
+        # §3.2: 80% of functions call fewer than 8 distinct functions
+        assert 0.65 <= row["fanout_below_8"] <= 0.95, workload
+        # the DBMS I-footprint dwarfs the 32KB L1
+        assert row["code_footprint_kb"] > 128, workload

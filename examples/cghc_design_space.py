@@ -1,0 +1,65 @@
+"""Explore the CGHC design space (the paper's Figure 5) plus extras.
+
+Sweeps CGHC geometry (the paper's five configurations and a few more)
+and the CGP prefetch depth N on one workload, printing cycles and
+prefetch accuracy for each point.
+
+Run:  python examples/cghc_design_space.py [workload] [scale]
+"""
+
+import sys
+
+from repro.core import CgpPrefetcher
+from repro.harness import ExperimentRunner, PipelineConfig
+from repro.uarch import simulate
+from repro.uarch.config import CghcConfig, cghc_variant
+
+
+def sweep_geometry(runner, workload):
+    print(f"=== CGHC geometry sweep on {workload} (CGP_4) ===")
+    artifacts = runner.artifacts(workload)
+    names = ["CGHC-1K", "CGHC-32K", "CGHC-1K+16K", "CGHC-2K+32K", "CGHC-Inf"]
+    results = {}
+    for name in names:
+        stats = runner.run(workload, "OM", ("cgp", 4), cghc=name)
+        results[name] = stats
+    infinite = results["CGHC-Inf"].cycles
+    print(f"{'config':14s} {'cycles':>14s} {'vs inf':>8s} "
+          f"{'cghc useful%':>13s} {'cghc misses':>12s}")
+    for name in names:
+        stats = results[name]
+        p = stats.prefetch_origin("cghc")
+        useful = p.useful() / max(1, p.accounted())
+        print(f"{name:14s} {stats.cycles:14,.0f} "
+              f"{stats.cycles / infinite:8.3f} {useful:13.2%} "
+              f"{stats.cghc_misses:12,d}")
+
+
+def sweep_depth(runner, workload):
+    print(f"\n=== prefetch depth sweep on {workload} (CGHC-2K+32K) ===")
+    artifacts = runner.artifacts(workload)
+    layout = artifacts.layout("OM")
+    print(f"{'N':>3s} {'cycles':>14s} {'I-misses':>10s} {'useless':>9s}")
+    for n in (1, 2, 4, 6, 8):
+        prefetcher = CgpPrefetcher(n, cghc_variant("CGHC-2K+32K"), layout)
+        stats = simulate(artifacts.trace, layout, runner.sim_config,
+                         prefetcher=prefetcher)
+        useless = stats.total_useless_prefetches()
+        print(f"{n:3d} {stats.cycles:14,.0f} {stats.demand_misses:10,d} "
+              f"{useless:9,d}")
+    print("(the paper evaluates N=2 and N=4; larger N trades accuracy "
+          "for coverage)")
+
+
+def main():
+    workload = sys.argv[1] if len(sys.argv) > 1 else "wisc-prof"
+    scale = float(sys.argv[2]) if len(sys.argv) > 2 else 0.3
+    runner = ExperimentRunner(
+        pipeline=PipelineConfig(), scales={workload: scale}
+    )
+    sweep_geometry(runner, workload)
+    sweep_depth(runner, workload)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+"""Context-switch interference on a shared I-cache (paper §2).
+
+The paper motivates CGP partly with the observation that database
+servers context-switch constantly, inflating I-cache miss rates.  This
+example shows the effect directly, two ways:
+
+1. two CPU2000 programs time-sharing one core at different quanta, and
+2. the database scheduler's own quantum: the same query mix with
+   coarse vs fine round-robin scheduling.
+
+Run:  python examples/context_switches.py
+"""
+
+from repro.harness.multiprog import multiprogram_mix
+from repro.harness.report import render_experiment
+from repro.instrument import Tracer, build_db_image
+from repro.instrument.expand import ExpansionConfig, expand_trace
+from repro.layout import om_layout, profile_of
+from repro.uarch import TABLE_1, simulate
+from repro.workloads.suites import build_suite
+
+
+def cpu2000_mix():
+    print("=== two programs, one I-cache ===")
+    for quantum in (100_000, 20_000, 4_000):
+        result = multiprogram_mix(
+            "gcc", "crafty", quantum=quantum, target_instructions=800_000
+        )
+        shared = result.row("time-shared")
+        solo = (
+            result.row("gcc solo")["misses"]
+            + result.row("crafty solo")["misses"]
+        )
+        print(
+            f"quantum {quantum:>7,d}: solo misses {solo:6,d}  "
+            f"time-shared {shared['misses']:6,d}  "
+            f"(x{shared['misses'] / max(1, solo):.1f})"
+        )
+    print("smaller quanta -> more interference, exactly the paper's point")
+
+
+def scheduler_quantum():
+    print("\n=== the DB scheduler's quantum ===")
+    image_cache = {}
+    for quantum_rows in (16, 4, 1):
+        image = build_db_image()
+        suite = build_suite("wisc-prof", scale=0.3,
+                            quantum_rows=quantum_rows)
+        tracer = Tracer(image)
+        tracer.run(suite.run)
+        trace = expand_trace(tracer.trace, image, ExpansionConfig())
+        layout = om_layout(image, profile_of(trace))
+        stats = simulate(trace, layout, TABLE_1)
+        print(
+            f"quantum {quantum_rows:2d} rows: "
+            f"{stats.demand_misses:8,d} misses "
+            f"(miss rate {stats.miss_rate:.3f}, IPC {stats.ipc:.3f})"
+        )
+    print("the DB workload thrashes the L1 I-cache at *any* quantum — its "
+          "per-tuple call path\nalready exceeds the cache, which is why the "
+          "paper attacks the problem with prefetching\nrather than "
+          "scheduling")
+
+
+def main():
+    cpu2000_mix()
+    scheduler_quantum()
+
+
+if __name__ == "__main__":
+    main()

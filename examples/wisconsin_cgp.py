@@ -1,0 +1,72 @@
+"""Reproduce the paper's headline comparison on a Wisconsin workload.
+
+Runs the wisc-prof workload (Wisconsin queries 1, 5, 9 executing
+concurrently) through the full pipeline and prints a Figure-4/6 style
+table: O5, O5+OM, OM+NL_4, OM+CGP_4, O5+CGP_4, and the perfect-I-cache
+bound.
+
+Run:  python examples/wisconsin_cgp.py [scale]
+"""
+
+import sys
+from dataclasses import replace
+
+from repro.core import CgpPrefetcher
+from repro.instrument import Tracer, build_db_image
+from repro.instrument.expand import ExpansionConfig, expand_trace
+from repro.layout import o5_layout, om_layout, profile_of
+from repro.uarch import TABLE_1, simulate
+from repro.uarch.config import CghcConfig
+from repro.uarch.prefetch import NextNLinePrefetcher
+from repro.workloads.suites import build_suite
+
+
+def main(scale=0.5):
+    print(f"building + tracing wisc-prof at scale {scale} ...")
+    image = build_db_image()
+    suite = build_suite("wisc-prof", scale=scale, quantum_rows=2)
+    tracer = Tracer(image)
+    tracer.run(suite.run)
+    trace = expand_trace(tracer.trace, image, ExpansionConfig())
+    profile = profile_of(trace)
+    o5 = o5_layout(image)
+    om = om_layout(image, profile)
+    print(f"  {trace.total_instructions():,} instructions, "
+          f"{trace.call_count():,} calls "
+          f"({trace.total_instructions() / trace.call_count():.0f} "
+          f"instructions/call; paper: ~43)")
+
+    configs = [
+        ("O5", o5, None, False),
+        ("O5+OM", om, None, False),
+        ("O5+CGP_4", o5, CgpPrefetcher(4, CghcConfig(), o5), False),
+        ("O5+OM+NL_4", om, NextNLinePrefetcher(4), False),
+        ("O5+OM+CGP_4", om, CgpPrefetcher(4, CghcConfig(), om), False),
+        ("perf-Icache", om, None, True),
+    ]
+    rows = []
+    for name, layout, prefetcher, perfect in configs:
+        config = replace(TABLE_1, perfect_icache=perfect)
+        stats = simulate(trace, layout, config, prefetcher=prefetcher)
+        rows.append((name, stats))
+
+    base = rows[0][1].cycles
+    print(f"\n{'config':14s} {'cycles':>14s} {'speedup':>8s} {'I-misses':>10s}")
+    for name, stats in rows:
+        print(f"{name:14s} {stats.cycles:14,.0f} {base / stats.cycles:8.3f} "
+              f"{stats.demand_misses:10,d}")
+
+    stats = {name: s for name, s in rows}
+    print("\npaper-vs-measured (speedup over O5):")
+    print(f"  O5+OM        paper ~1.11   measured "
+          f"{base / stats['O5+OM'].cycles:.2f}")
+    print(f"  O5+CGP_4     paper ~1.40   measured "
+          f"{base / stats['O5+CGP_4'].cycles:.2f}")
+    print(f"  O5+OM+CGP_4  paper ~1.45   measured "
+          f"{base / stats['O5+OM+CGP_4'].cycles:.2f}")
+    print(f"  CGP_4 over NL_4: paper ~1.07   measured "
+          f"{stats['O5+OM+NL_4'].cycles / stats['O5+OM+CGP_4'].cycles:.2f}")
+
+
+if __name__ == "__main__":
+    main(float(sys.argv[1]) if len(sys.argv) > 1 else 0.5)

@@ -1,0 +1,19 @@
+#!/bin/bash
+# Chunked benchmark runner: same result as
+#   pytest benchmarks/ --benchmark-only | tee bench_output.txt
+# but split so each chunk stays well under a 10-minute watchdog.
+set -u
+cd /root/repo
+: > bench_output.txt
+run() {
+    echo "=== pytest $* ===" >> bench_output.txt
+    python -m pytest "$@" --benchmark-only 2>&1 >> bench_output.txt
+}
+run benchmarks/test_table1_and_stats.py benchmarks/test_fig4.py \
+    benchmarks/test_fig5.py
+run benchmarks/test_fig6.py benchmarks/test_fig7.py benchmarks/test_fig8.py \
+    benchmarks/test_fig9.py benchmarks/test_fig10.py benchmarks/test_multiprog.py
+run benchmarks/test_ablations.py
+run benchmarks/test_extensions.py
+echo "=== chunked run complete ===" >> bench_output.txt
+grep -E "passed|failed" bench_output.txt | tail -8

@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+All metadata lives in pyproject.toml; this file exists so that legacy
+``pip install -e .`` works in offline environments where the ``wheel``
+package (needed by the PEP-660 editable path) is unavailable.
+"""
+
+from setuptools import setup
+
+setup()

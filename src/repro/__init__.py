@@ -1,0 +1,31 @@
+"""repro: a full-system reproduction of "Call Graph Prefetching for
+Database Applications" (HPCA 2001).
+
+Subpackages:
+
+* :mod:`repro.core`        — the paper's contribution: CGHC + CGP prefetcher
+* :mod:`repro.db`          — the layered DBMS substrate (SHORE analog)
+* :mod:`repro.workloads`   — Wisconsin, TPC-H, CPU2000, the 4 paper suites
+* :mod:`repro.instrument`  — Python execution -> instruction traces
+* :mod:`repro.layout`      — O5/OM address layouts (Pettis-Hansen, OM analog)
+* :mod:`repro.uarch`       — the fetch-driven timing simulator (Table 1)
+* :mod:`repro.harness`     — per-figure experiment drivers and reports
+
+Quick tour::
+
+    from repro.db import Database
+    from repro.instrument import Tracer, build_db_image
+    from repro.instrument.expand import ExpansionConfig, expand_trace
+    from repro.layout import om_layout, profile_of
+    from repro.uarch import TABLE_1, simulate
+    from repro.core import CgpPrefetcher
+    from repro.uarch.config import CghcConfig
+
+See README.md and examples/quickstart.py.
+"""
+
+__version__ = "1.0.0"
+
+from repro.errors import ReproError
+
+__all__ = ["ReproError", "__version__"]

@@ -1,0 +1,21 @@
+"""The paper's contribution: Call Graph Prefetching and its history cache."""
+
+from repro.core.cghc import CallGraphHistoryCache, CghcEntry, DirectMappedCghc
+from repro.core.cgp import ORIGIN_CGHC, ORIGIN_NL, CgpPrefetcher
+from repro.core.software_cgp import (
+    ORIGIN_SWCGP,
+    SoftwareCgpPrefetcher,
+    train_call_sequences,
+)
+
+__all__ = [
+    "CallGraphHistoryCache",
+    "CghcEntry",
+    "CgpPrefetcher",
+    "DirectMappedCghc",
+    "ORIGIN_CGHC",
+    "ORIGIN_NL",
+    "ORIGIN_SWCGP",
+    "SoftwareCgpPrefetcher",
+    "train_call_sequences",
+]

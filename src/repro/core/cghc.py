@@ -1,0 +1,214 @@
+"""The Call Graph History Cache (§3.2) — the paper's core structure.
+
+Each entry is keyed by a function's starting address and stores:
+
+* ``index`` — 1-based slot pointer into the callee sequence; initialized
+  to 1 when the entry is created, incremented on each call update (up to
+  one past the slot capacity), and reset to 1 when the function returns;
+* ``seq`` — the sequence of starting addresses of the functions called
+  during the function's most recent invocation (up to 8 slots in the
+  finite configurations; unbounded in the infinite CGHC).
+
+The finite CGHC is direct mapped (the paper found set associativity
+unnecessary).  The two-level variant mirrors the two-level cache
+hierarchy: a hit in the second level *swaps* the entry with the first
+level's resident entry; a miss in both allocates in the first level and
+writes the displaced entry back to the second.
+
+Callee identities are stored as function ids (each function id maps 1:1
+to a start address under a fixed layout); tags are start-line addresses,
+exactly as the hardware would hold them.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigError
+
+
+class CghcEntry:
+    """One CGHC entry (tag + index + callee sequence)."""
+
+    __slots__ = ("tag", "index", "seq")
+
+    def __init__(self, tag):
+        self.tag = tag
+        self.index = 1
+        self.seq = []
+
+    def record_call(self, callee_fid, max_slots):
+        """Call-update access: store the callee at the slot the index
+        points to, then advance the index (§3.2)."""
+        slot = self.index - 1
+        if max_slots is not None and slot >= max_slots:
+            return  # only the first ``max_slots`` callees are kept
+        if slot < len(self.seq):
+            self.seq[slot] = callee_fid
+        else:
+            # index never skips, so slot == len(seq) here
+            self.seq.append(callee_fid)
+        limit = max_slots + 1 if max_slots is not None else self.index + 1
+        self.index = min(self.index + 1, limit)
+
+    def predicted_next(self):
+        """The callee the index points at (return-prefetch access)."""
+        slot = self.index - 1
+        if 0 <= slot < len(self.seq):
+            return self.seq[slot]
+        return None
+
+    def first_callee(self):
+        """Slot 1 (call-prefetch access: a just-called function's index
+        should be 1)."""
+        return self.seq[0] if self.seq else None
+
+    def reset_index(self):
+        self.index = 1
+
+
+class DirectMappedCghc:
+    """One level of finite CGHC.
+
+    Direct mapped by default (the paper found associativity unnecessary,
+    §3.2); ``ways > 1`` builds a set-associative level with LRU within
+    each set — used by the associativity ablation to verify that claim.
+    """
+
+    def __init__(self, n_entries, max_slots=8, ways=1):
+        if n_entries <= 0 or ways <= 0:
+            raise ConfigError("CGHC needs at least one entry and one way")
+        self.n_entries = n_entries
+        self.max_slots = max_slots
+        self.ways = ways
+        self.n_sets = max(1, n_entries // ways)
+        self._sets = [[] for _ in range(self.n_sets)]
+
+    def set_of(self, tag):
+        return tag % self.n_sets
+
+    def probe(self, tag):
+        """Return the entry on a tag hit (LRU refresh), else None."""
+        bucket = self._sets[tag % self.n_sets]
+        for i, entry in enumerate(bucket):
+            if entry.tag == tag:
+                if i != len(bucket) - 1:
+                    del bucket[i]
+                    bucket.append(entry)
+                return entry
+        return None
+
+    def remove(self, tag):
+        """Drop and return the entry with ``tag`` if present."""
+        bucket = self._sets[tag % self.n_sets]
+        for i, entry in enumerate(bucket):
+            if entry.tag == tag:
+                del bucket[i]
+                return entry
+        return None
+
+    def install(self, entry):
+        """Place ``entry`` in its set; returns the displaced entry."""
+        bucket = self._sets[entry.tag % self.n_sets]
+        victim = None
+        for i, existing in enumerate(bucket):
+            if existing.tag == entry.tag:
+                victim = existing
+                del bucket[i]
+                break
+        if victim is None and len(bucket) >= self.ways:
+            victim = bucket.pop(0)
+        bucket.append(entry)
+        return victim
+
+    def entry_count(self):
+        return sum(len(bucket) for bucket in self._sets)
+
+
+class CallGraphHistoryCache:
+    """The full CGHC: one or two levels, or infinite.
+
+    ``lookup`` returns ``(entry_or_None, access_latency)``;
+    ``ensure`` additionally allocates on a miss.
+    """
+
+    def __init__(self, config):
+        self.config = config
+        self.infinite = config.infinite
+        self.max_slots = None if config.infinite else config.slots
+        if config.infinite:
+            self._store = {}
+            self.l1 = None
+            self.l2 = None
+        else:
+            self._store = None
+            ways = getattr(config, "assoc", 1)
+            self.l1 = DirectMappedCghc(config.l1_entries(), config.slots, ways)
+            self.l2 = (
+                DirectMappedCghc(config.l2_entries(), config.slots, ways)
+                if config.l2_bytes
+                else None
+            )
+        self.l1_hits = 0
+        self.l2_hits = 0
+        self.misses = 0
+
+    # ------------------------------------------------------------------
+    # access
+    # ------------------------------------------------------------------
+    def lookup(self, tag):
+        if self.infinite:
+            entry = self._store.get(tag)
+            if entry is None:
+                self.misses += 1
+                return None, self.config.l1_latency
+            self.l1_hits += 1
+            return entry, self.config.l1_latency
+
+        entry = self.l1.probe(tag)
+        if entry is not None:
+            self.l1_hits += 1
+            return entry, self.config.l1_latency
+        if self.l2 is not None:
+            entry = self.l2.probe(tag)
+            if entry is not None:
+                self.l2_hits += 1
+                self._swap_up(entry)
+                return entry, self.config.l2_latency
+        self.misses += 1
+        latency = (
+            self.config.l2_latency if self.l2 is not None else self.config.l1_latency
+        )
+        return None, latency
+
+    def ensure(self, tag):
+        """Lookup, allocating a fresh entry on a miss."""
+        entry, latency = self.lookup(tag)
+        if entry is not None:
+            return entry, latency
+        entry = CghcEntry(tag)
+        if self.infinite:
+            self._store[tag] = entry
+        else:
+            victim = self.l1.install(entry)
+            if victim is not None and self.l2 is not None:
+                self.l2.install(victim)
+        return entry, latency
+
+    def _swap_up(self, entry):
+        """Move an L2-hit entry into L1, displacing the L1 resident into
+        L2 (§5.3's two-level exchange)."""
+        # vacate the entry's old L2 slot first so it is never duplicated
+        self.l2.remove(entry.tag)
+        victim = self.l1.install(entry)
+        if victim is not None:
+            self.l2.install(victim)
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    def entry_count(self):
+        if self.infinite:
+            return len(self._store)
+        total = self.l1.entry_count()
+        if self.l2 is not None:
+            total += self.l2.entry_count()
+        return total

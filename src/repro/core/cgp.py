@@ -1,0 +1,108 @@
+"""Call Graph Prefetching — the paper's contribution (§3).
+
+``CgpPrefetcher`` combines:
+
+* a :class:`~repro.core.cghc.CallGraphHistoryCache` consulted on every
+  predicted call and return (two accesses each: a prefetch access on the
+  predicted target, an update access on the current function), and
+* a next-N-line prefetcher for instructions *within* a function.
+
+On a call F -> G (target predicted by the branch predictor):
+
+1. prefetch access with G's start address: on a hit, prefetch the first
+   N lines of G's first recorded callee (G's own body was prefetched
+   earlier, when F's history predicted G);
+2. update access with F's start address: store G at F's current index
+   slot and advance the index.
+
+On a return G -> F (F's start address from the modified RAS):
+
+1. prefetch access with F: on a hit, prefetch the first N lines of the
+   callee F's index points at — the function F will call next;
+2. update access with G: reset G's index to 1.
+
+Prefetches issue ``N`` (= ``lines_per_prefetch``) lines from the target
+function's entry; the rest of its body is covered by the NL component
+once it begins executing (§3.2: "CGP_N").  CGHC accesses are charged the
+CGHC level's latency before the prefetch can issue.
+
+A mispredicted call/return gives the CGHC nothing useful, so both
+accesses are skipped (the history is neither read nor polluted).
+"""
+
+from __future__ import annotations
+
+from repro.core.cghc import CallGraphHistoryCache
+from repro.errors import ConfigError
+from repro.uarch.prefetch.base import Prefetcher
+from repro.uarch.prefetch.nl import NextNLinePrefetcher
+
+ORIGIN_NL = "nl"
+ORIGIN_CGHC = "cghc"
+
+
+class CgpPrefetcher(Prefetcher):
+    """CGP_N: CGHC across function boundaries + NL within them."""
+
+    def __init__(self, lines_per_prefetch, cghc_config, layout):
+        if lines_per_prefetch <= 0:
+            raise ConfigError("CGP_N needs N >= 1")
+        self.lines_per_prefetch = lines_per_prefetch
+        self.cghc = CallGraphHistoryCache(cghc_config)
+        self._layout = layout
+        self._nl = NextNLinePrefetcher(lines_per_prefetch, origin=ORIGIN_NL)
+        self.name = f"CGP_{lines_per_prefetch}"
+
+    def reset(self):
+        self.cghc = CallGraphHistoryCache(self.cghc.config)
+        self._nl.reset()
+
+    # ------------------------------------------------------------------
+    # within a function: plain NL
+    # ------------------------------------------------------------------
+    def on_line_access(self, line, engine):
+        self._nl.on_line_access(line, engine)
+
+    # ------------------------------------------------------------------
+    # across functions: CGHC
+    # ------------------------------------------------------------------
+    def on_call(self, caller_fid, callee_fid, predicted, engine):
+        if not predicted:
+            return
+        entry_line = self._layout.entry_line
+        # access 1: prefetch access keyed by the predicted target G.  A
+        # miss allocates a fresh (invalid-data) entry — §3.2: "if there
+        # is no hit in the tag array, no prefetches are issued and a new
+        # tag array entry is created".
+        entry, latency = self.cghc.ensure(entry_line(callee_fid))
+        first = entry.first_callee()
+        if first is not None:
+            engine.prefetch_function_head(
+                first, self.lines_per_prefetch, ORIGIN_CGHC,
+                delay=latency + 1,
+            )
+        # access 2: update access keyed by the current function F
+        if caller_fid >= 0:
+            entry, _latency = self.cghc.ensure(entry_line(caller_fid))
+            entry.record_call(callee_fid, self.cghc.max_slots)
+
+    def on_return(self, returning_fid, ras_entry, predicted, engine):
+        if not predicted:
+            return
+        # access 1: prefetch access keyed by the caller's start address,
+        # supplied by the modified return address stack (allocates on
+        # miss, like every CGHC access)
+        if ras_entry is not None:
+            entry, latency = self.cghc.ensure(ras_entry.caller_start_line)
+            nxt = entry.predicted_next()
+            if nxt is not None:
+                engine.prefetch_function_head(
+                    nxt, self.lines_per_prefetch, ORIGIN_CGHC,
+                    delay=latency + 1,
+                )
+        # access 2: update access keyed by the returning function G;
+        # a fresh entry's index is already 1
+        entry, _latency = self.cghc.ensure(
+            self._layout.entry_line(returning_fid)
+        )
+        entry.reset_index()

@@ -1,0 +1,113 @@
+"""Software CGP — the paper's §6 future-work variant.
+
+    "CGP can be implemented entirely in software by having a compiler
+    insert prefetch instructions into the code based on call graph
+    information generated from profile executions."
+
+The compiler is modeled by :func:`train_call_sequences`: it runs over a
+*profile trace* and, for every function, records the modal callee at
+each call-sequence position (slot) — the static equivalent of what the
+CGHC learns dynamically.  :class:`SoftwareCgpPrefetcher` then behaves
+like CGP's CGHC half with that frozen table: entering a function
+prefetches its (statically predicted) first callee; each return
+prefetches the next slot.  There is no hardware table, no capacity
+pressure, and no adaptation — if the evaluated workload's call behavior
+drifts from the profiled one, the static predictions go stale, which is
+precisely the trade-off the paper's hardware scheme avoids.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+
+from repro.errors import ConfigError
+from repro.instrument.trace import CALL, RET
+from repro.uarch.prefetch.base import Prefetcher
+from repro.uarch.prefetch.nl import NextNLinePrefetcher
+
+ORIGIN_SWCGP = "swcgp"
+
+
+def train_call_sequences(trace, max_slots=8):
+    """Build the static call-sequence table from a profile trace.
+
+    Returns ``{fid: [modal callee at slot 0, slot 1, ...]}`` — the
+    compile-time analog of a CGHC entry.
+    """
+    counts = defaultdict(Counter)  # (caller, slot) -> Counter of callees
+    slot_of = {}  # fid -> next slot while its invocation is open
+    stack = []
+    for kind, a, b, _c in zip(trace.kinds, trace.a, trace.b, trace.c):
+        if kind == CALL:
+            caller = b
+            if caller >= 0:
+                slot = slot_of.get(caller, 0)
+                if slot < max_slots:
+                    counts[(caller, slot)][a] += 1
+                slot_of[caller] = slot + 1
+            stack.append(a)
+            slot_of[a] = 0
+        elif kind == RET:
+            if stack:
+                stack.pop()
+            slot_of.pop(a, None)
+    table = defaultdict(list)
+    for (caller, slot), callees in sorted(counts.items()):
+        sequence = table[caller]
+        while len(sequence) <= slot:
+            sequence.append(None)
+        sequence[slot] = callees.most_common(1)[0][0]
+    return dict(table)
+
+
+class SoftwareCgpPrefetcher(Prefetcher):
+    """CGP with a compile-time call-sequence table instead of a CGHC.
+
+    Prefetch instructions always execute (they are code), so unlike the
+    hardware scheme no branch-predictor confirmation is needed; but the
+    table never adapts.  A per-function runtime slot counter stands in
+    for the program counter reaching successive prefetch instructions.
+    """
+
+    def __init__(self, lines_per_prefetch, table, layout):
+        if lines_per_prefetch <= 0:
+            raise ConfigError("software CGP needs N >= 1")
+        self.lines_per_prefetch = lines_per_prefetch
+        self.table = table
+        self._layout = layout
+        self._nl = NextNLinePrefetcher(lines_per_prefetch, origin="nl")
+        self._slot = {}  # fid -> next call position in the open invocation
+        self.name = f"SW-CGP_{lines_per_prefetch}"
+
+    def reset(self):
+        self._nl.reset()
+        self._slot.clear()
+
+    def on_line_access(self, line, engine):
+        self._nl.on_line_access(line, engine)
+
+    def on_call(self, caller_fid, callee_fid, _predicted, engine):
+        # the prefetch instruction at the callee's entry targets the
+        # callee's statically predicted first callee
+        sequence = self.table.get(callee_fid)
+        if sequence and sequence[0] is not None:
+            engine.prefetch_function_head(
+                sequence[0], self.lines_per_prefetch, ORIGIN_SWCGP, delay=1
+            )
+        self._slot[callee_fid] = 0
+        if caller_fid >= 0:
+            self._slot[caller_fid] = self._slot.get(caller_fid, 0) + 1
+
+    def on_return(self, returning_fid, ras_entry, _predicted, engine):
+        self._slot.pop(returning_fid, None)
+        if ras_entry is None:
+            return
+        caller = ras_entry.caller_fid
+        sequence = self.table.get(caller)
+        if not sequence:
+            return
+        slot = self._slot.get(caller, 0)
+        if slot < len(sequence) and sequence[slot] is not None:
+            engine.prefetch_function_head(
+                sequence[slot], self.lines_per_prefetch, ORIGIN_SWCGP, delay=1
+            )

@@ -1,0 +1,9 @@
+"""The DBMS substrate: a miniature layered database system.
+
+Layers (paper Figure 1): SQL parser -> optimizer -> scheduler ->
+relational operators -> storage manager.
+"""
+
+from repro.db.database import Database, QueryResult
+
+__all__ = ["Database", "QueryResult"]

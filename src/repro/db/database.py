@@ -1,0 +1,236 @@
+"""Top-level Database facade: the full layered DBMS of Figure 1.
+
+Query parser -> query optimizer -> query scheduler -> relational
+operators -> storage manager, each as its own module, so that the traced
+dynamic call graph has the layered shape the paper exploits.
+"""
+
+from __future__ import annotations
+
+from repro.db.exec.schema import Schema
+from repro.db.exec.table import Catalog, Table
+from repro.db.optimizer.planner import Planner, Scope
+from repro.db.optimizer.stats import analyze
+from repro.db.parser import ast_nodes as ast
+from repro.db.parser.parser import parse
+from repro.db.scheduler import RoundRobinScheduler
+from repro.db.storage.storage_manager import StorageManager
+from repro.errors import PlanError
+
+
+class QueryResult:
+    """Rows plus column names from one executed query."""
+
+    __slots__ = ("columns", "rows")
+
+    def __init__(self, columns, rows):
+        self.columns = tuple(columns)
+        self.rows = list(rows)
+
+    def __len__(self):
+        return len(self.rows)
+
+    def __iter__(self):
+        return iter(self.rows)
+
+    def __repr__(self):
+        return f"QueryResult({self.columns}, {len(self.rows)} rows)"
+
+
+class Database:
+    """A complete in-process database instance."""
+
+    def __init__(self, pool_pages=512, btree_max_keys=None):
+        kwargs = {"pool_pages": pool_pages}
+        if btree_max_keys is not None:
+            kwargs["btree_max_keys"] = btree_max_keys
+        self.storage = StorageManager(**kwargs)
+        self.catalog = Catalog()
+
+    # ------------------------------------------------------------------
+    # DDL / loading
+    # ------------------------------------------------------------------
+    def create_table(self, name, columns):
+        """Create a table from ``(name, type_spec)`` column pairs."""
+        table = Table(name, Schema(columns), self.storage)
+        self.catalog.register(table)
+        return table
+
+    def load_rows(self, table_name, rows):
+        """Bulk-insert ``rows`` in one transaction."""
+        table = self.catalog.table(table_name)
+        with self.storage.begin() as txn:
+            return table.bulk_load(txn, rows)
+
+    def create_index(self, table_name, column, clustered=False):
+        """Create a B+-tree index and backfill it."""
+        return self.catalog.table(table_name).create_index(column, clustered=clustered)
+
+    def analyze_table(self, table_name):
+        """Collect optimizer statistics for one table."""
+        table = self.catalog.table(table_name)
+        with self.storage.begin() as txn:
+            table.stats = analyze(table, txn)
+        return table.stats
+
+    def analyze_all(self):
+        for name in self.catalog.table_names():
+            self.analyze_table(name)
+
+    # ------------------------------------------------------------------
+    # query execution
+    # ------------------------------------------------------------------
+    def plan(self, sql, txn=None, hints=None):
+        """Parse + optimize a SELECT; returns a PhysicalPlan."""
+        stmt = parse(sql)
+        if not isinstance(stmt, ast.SelectStmt):
+            raise PlanError("plan() takes a SELECT; use execute() for DML")
+        if txn is None:
+            txn = self.storage.begin()
+        planner = Planner(self.catalog, self.storage, txn)
+        return planner.plan(stmt, hints=hints)
+
+    def execute(self, sql, hints=None):
+        """Run one statement to completion; returns a :class:`QueryResult`.
+
+        SELECT returns its rows; INSERT/UPDATE/DELETE return a single
+        ``(rows_affected,)`` row.
+        """
+        stmt = parse(sql)
+        txn = self.storage.begin()
+        try:
+            if isinstance(stmt, ast.SelectStmt):
+                planner = Planner(self.catalog, self.storage, txn)
+                plan = planner.plan(stmt, hints=hints)
+                rows = list(plan.rows())
+                txn.commit()
+                return QueryResult(plan.columns, rows)
+            if isinstance(stmt, ast.InsertStmt):
+                affected = self._execute_insert(txn, stmt)
+            elif isinstance(stmt, ast.UpdateStmt):
+                affected = self._execute_update(txn, stmt)
+            elif isinstance(stmt, ast.DeleteStmt):
+                affected = self._execute_delete(txn, stmt)
+            elif isinstance(stmt, ast.CreateTableStmt):
+                self.create_table(stmt.table, stmt.columns)
+                txn.commit()
+                return QueryResult(("status",), [(f"created table {stmt.table}",)])
+            elif isinstance(stmt, ast.CreateIndexStmt):
+                self.create_index(stmt.table, stmt.column,
+                                  clustered=stmt.clustered)
+                txn.commit()
+                return QueryResult(
+                    ("status",),
+                    [(f"created index on {stmt.table}.{stmt.column}",)],
+                )
+            elif isinstance(stmt, ast.DropTableStmt):
+                self.catalog.table(stmt.table)  # raises if unknown
+                self.catalog.drop(stmt.table)
+                txn.commit()
+                return QueryResult(("status",), [(f"dropped table {stmt.table}",)])
+            else:
+                raise PlanError(f"unsupported statement {type(stmt).__name__}")
+            txn.commit()
+            return QueryResult(("rows_affected",), [(affected,)])
+        except BaseException:
+            if txn.is_active:
+                txn.abort()
+            raise
+
+    # ------------------------------------------------------------------
+    # DML execution
+    # ------------------------------------------------------------------
+    def _execute_insert(self, txn, stmt):
+        table = self.catalog.table(stmt.table)
+        schema = table.schema
+        if stmt.columns:
+            if sorted(stmt.columns) != sorted(schema.names):
+                raise PlanError(
+                    "INSERT must provide every column (no NULL support); "
+                    f"expected {schema.names}"
+                )
+            order = [stmt.columns.index(name) for name in schema.names]
+        else:
+            order = None
+        planner = Planner(self.catalog, self.storage, txn)
+        empty_scope = Scope()
+        count = 0
+        for row_exprs in stmt.rows:
+            if len(row_exprs) != len(schema):
+                raise PlanError(
+                    f"INSERT row has {len(row_exprs)} values, table has "
+                    f"{len(schema)} columns"
+                )
+            values = tuple(
+                planner.bind(expr, empty_scope).eval(()) for expr in row_exprs
+            )
+            if order is not None:
+                values = tuple(values[i] for i in order)
+            table.insert(txn, values)
+            count += 1
+        return count
+
+    def _match_rows(self, txn, table, where, planner):
+        scope = Scope()
+        scope.extend(table.name, table.schema.names)
+        predicate = None if where is None else planner.bind(where, scope)
+        return [
+            (rid, row)
+            for rid, row in table.scan(txn)
+            if predicate is None or predicate.eval(row)
+        ]
+
+    def _execute_update(self, txn, stmt):
+        table = self.catalog.table(stmt.table)
+        planner = Planner(self.catalog, self.storage, txn)
+        scope = Scope()
+        scope.extend(table.name, table.schema.names)
+        assignments = [
+            (table.schema.index_of(column), planner.bind(expr, scope))
+            for column, expr in stmt.assignments
+        ]
+        matches = self._match_rows(txn, table, stmt.where, planner)
+        for rid, row in matches:
+            new_row = list(row)
+            for position, expr in assignments:
+                new_row[position] = expr.eval(row)
+            table.update(txn, rid, tuple(new_row))
+        return len(matches)
+
+    def _execute_delete(self, txn, stmt):
+        table = self.catalog.table(stmt.table)
+        planner = Planner(self.catalog, self.storage, txn)
+        matches = self._match_rows(txn, table, stmt.where, planner)
+        for rid, _row in matches:
+            table.delete(txn, rid)
+        return len(matches)
+
+    def explain(self, sql, hints=None):
+        """Plan the query and return its textual plan tree."""
+        txn = self.storage.begin()
+        try:
+            return self.plan(sql, txn=txn, hints=hints).explain()
+        finally:
+            if txn.is_active:
+                txn.commit()
+
+    def run_concurrent(self, queries, quantum_rows=16, hints=None):
+        """Run many queries concurrently (the paper's workload mode).
+
+        ``queries`` is a list of (name, sql).  Returns dict name -> rows.
+        """
+        hints = hints or {}
+        txn = self.storage.begin()
+        try:
+            plans = [
+                (name, self.plan(sql, txn=txn, hints=hints.get(name)))
+                for name, sql in queries
+            ]
+            scheduler = RoundRobinScheduler(quantum_rows=quantum_rows)
+            results = scheduler.run(plans)
+            txn.commit()
+            return results
+        except BaseException:
+            if txn.is_active:
+                txn.abort()
+            raise

@@ -1,0 +1,6 @@
+"""Relational execution: schemas, expressions, tables, operators."""
+
+from repro.db.exec.schema import Schema, date_to_int, int_to_date
+from repro.db.exec.table import Catalog, Index, Table
+
+__all__ = ["Catalog", "Index", "Schema", "Table", "date_to_int", "int_to_date"]

@@ -1,0 +1,251 @@
+"""Expression trees evaluated over tuples.
+
+Expressions are *bound*: column references hold tuple positions, resolved
+by the planner against an operator's output columns.  Evaluation is a
+plain interpreted tree walk — one function call per node — which is both
+how storage-manager-era engines evaluate predicates and exactly the kind
+of small-function call pattern CGP exploits.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ExecutionError
+
+
+class Expression:
+    """Base class: ``eval(row) -> value``."""
+
+    __slots__ = ()
+
+    def eval(self, row):
+        raise NotImplementedError
+
+
+class Column(Expression):
+    """A bound column reference (tuple position)."""
+
+    __slots__ = ("index", "name")
+
+    def __init__(self, index, name=""):
+        self.index = index
+        self.name = name
+
+    def eval(self, row):
+        return row[self.index]
+
+    def __repr__(self):
+        return f"Column({self.index}, {self.name!r})"
+
+
+class Const(Expression):
+    """A literal value."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value):
+        self.value = value
+
+    def eval(self, row):
+        return self.value
+
+    def __repr__(self):
+        return f"Const({self.value!r})"
+
+
+_ARITH = {
+    "+": lambda a, b: a + b,
+    "-": lambda a, b: a - b,
+    "*": lambda a, b: a * b,
+    "/": lambda a, b: a / b,
+}
+
+_COMPARE = {
+    "=": lambda a, b: a == b,
+    "<>": lambda a, b: a != b,
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+}
+
+
+class Arithmetic(Expression):
+    """Binary arithmetic: ``left op right`` with op in + - * /."""
+
+    __slots__ = ("op", "left", "right", "_fn")
+
+    def __init__(self, op, left, right):
+        try:
+            self._fn = _ARITH[op]
+        except KeyError:
+            raise ExecutionError(f"unknown arithmetic operator {op!r}") from None
+        self.op = op
+        self.left = left
+        self.right = right
+
+    def eval(self, row):
+        return self._fn(self.left.eval(row), self.right.eval(row))
+
+    def __repr__(self):
+        return f"({self.left!r} {self.op} {self.right!r})"
+
+
+class Comparison(Expression):
+    """Binary comparison producing a bool."""
+
+    __slots__ = ("op", "left", "right", "_fn")
+
+    def __init__(self, op, left, right):
+        try:
+            self._fn = _COMPARE[op]
+        except KeyError:
+            raise ExecutionError(f"unknown comparison operator {op!r}") from None
+        self.op = op
+        self.left = left
+        self.right = right
+
+    def eval(self, row):
+        return self._fn(self.left.eval(row), self.right.eval(row))
+
+    def __repr__(self):
+        return f"({self.left!r} {self.op} {self.right!r})"
+
+
+class Between(Expression):
+    """``expr BETWEEN lo AND hi`` (inclusive both ends)."""
+
+    __slots__ = ("expr", "lo", "hi")
+
+    def __init__(self, expr, lo, hi):
+        self.expr = expr
+        self.lo = lo
+        self.hi = hi
+
+    def eval(self, row):
+        value = self.expr.eval(row)
+        return self.lo.eval(row) <= value <= self.hi.eval(row)
+
+    def __repr__(self):
+        return f"({self.expr!r} BETWEEN {self.lo!r} AND {self.hi!r})"
+
+
+class And(Expression):
+    """Conjunction over any number of terms (short-circuiting)."""
+
+    __slots__ = ("terms",)
+
+    def __init__(self, terms):
+        self.terms = tuple(terms)
+
+    def eval(self, row):
+        for term in self.terms:
+            if not term.eval(row):
+                return False
+        return True
+
+    def __repr__(self):
+        return "And(" + ", ".join(repr(t) for t in self.terms) + ")"
+
+
+class Or(Expression):
+    """Disjunction over any number of terms (short-circuiting)."""
+
+    __slots__ = ("terms",)
+
+    def __init__(self, terms):
+        self.terms = tuple(terms)
+
+    def eval(self, row):
+        for term in self.terms:
+            if term.eval(row):
+                return True
+        return False
+
+    def __repr__(self):
+        return "Or(" + ", ".join(repr(t) for t in self.terms) + ")"
+
+
+class Not(Expression):
+    """Logical negation."""
+
+    __slots__ = ("term",)
+
+    def __init__(self, term):
+        self.term = term
+
+    def eval(self, row):
+        return not self.term.eval(row)
+
+    def __repr__(self):
+        return f"Not({self.term!r})"
+
+
+def conjunction(terms):
+    """Combine predicate terms into one expression (None if empty)."""
+    terms = [t for t in terms if t is not None]
+    if not terms:
+        return None
+    if len(terms) == 1:
+        return terms[0]
+    return And(terms)
+
+
+def columns_used(expr):
+    """Set of tuple positions referenced anywhere in ``expr``."""
+    out = set()
+    stack = [expr]
+    while stack:
+        node = stack.pop()
+        if node is None:
+            continue
+        if isinstance(node, Column):
+            out.add(node.index)
+        elif isinstance(node, (Arithmetic, Comparison)):
+            stack.append(node.left)
+            stack.append(node.right)
+        elif isinstance(node, Between):
+            stack.extend((node.expr, node.lo, node.hi))
+        elif isinstance(node, (And, Or)):
+            stack.extend(node.terms)
+        elif isinstance(node, Not):
+            stack.append(node.term)
+    return out
+
+
+def shift_columns(expr, offset):
+    """Return a copy of ``expr`` with every column index shifted.
+
+    Used when an expression bound against a join's right input must be
+    evaluated against the concatenated join row.
+    """
+    if expr is None:
+        return None
+    if getattr(expr, "shift_invariant", False):
+        # e.g. correlated ParamRefs read the *outer* query's row, which is
+        # not the row being reshaped here.
+        return expr
+    if isinstance(expr, Column):
+        return Column(expr.index + offset, expr.name)
+    if isinstance(expr, Const):
+        return expr
+    if isinstance(expr, Arithmetic):
+        return Arithmetic(
+            expr.op, shift_columns(expr.left, offset), shift_columns(expr.right, offset)
+        )
+    if isinstance(expr, Comparison):
+        return Comparison(
+            expr.op, shift_columns(expr.left, offset), shift_columns(expr.right, offset)
+        )
+    if isinstance(expr, Between):
+        return Between(
+            shift_columns(expr.expr, offset),
+            shift_columns(expr.lo, offset),
+            shift_columns(expr.hi, offset),
+        )
+    if isinstance(expr, And):
+        return And([shift_columns(t, offset) for t in expr.terms])
+    if isinstance(expr, Or):
+        return Or([shift_columns(t, offset) for t in expr.terms])
+    if isinstance(expr, Not):
+        return Not(shift_columns(expr.term, offset))
+    raise ExecutionError(f"cannot shift expression {expr!r}")

@@ -1,0 +1,495 @@
+"""Physical operators (Volcano iterator model).
+
+Every operator implements ``open() / next() / close()``; ``next`` returns
+a tuple or ``None`` at end of stream.  The explicit per-tuple call chain —
+scheduler -> operator -> child operator -> storage manager -> buffer pool —
+is the layered call structure whose predictability CGP exploits.
+
+Operators carry a ``columns`` tuple naming their output for the planner.
+"""
+
+from __future__ import annotations
+
+import zlib
+
+from repro.db.exec.expressions import shift_columns
+from repro.errors import ExecutionError
+
+
+def partition_hash(value):
+    """Deterministic partition hash (Python's str hash is randomized)."""
+    if isinstance(value, int):
+        return value & 0x7FFFFFFF
+    return zlib.crc32(str(value).encode("utf-8"))
+
+
+class Operator:
+    """Base class for physical operators."""
+
+    columns = ()
+
+    def open(self):
+        raise NotImplementedError
+
+    def next(self):
+        raise NotImplementedError
+
+    def close(self):
+        raise NotImplementedError
+
+    def rows(self):
+        """Drain the operator (open, iterate, close) yielding tuples."""
+        self.open()
+        try:
+            while True:
+                row = self.next()
+                if row is None:
+                    return
+                yield row
+        finally:
+            self.close()
+
+
+class SeqScan(Operator):
+    """Full scan of a table with an optional residual predicate."""
+
+    def __init__(self, txn, table, predicate=None, columns=None):
+        self._txn = txn
+        self._table = table
+        self._predicate = predicate
+        self._iter = None
+        self.columns = columns or table.schema.names
+
+    def open(self):
+        self._iter = self._table.scan(self._txn)
+
+    def next(self):
+        predicate = self._predicate
+        for _rid, row in self._iter:
+            if predicate is None or predicate.eval(row):
+                return row
+        return None
+
+    def close(self):
+        if self._iter is not None:
+            self._iter.close()
+            self._iter = None
+
+
+class IndexScan(Operator):
+    """B+-tree range scan with rid fetches back into the heap file.
+
+    For a *non-clustered* index this produces the scattered page accesses
+    the Wisconsin non-clustered-select queries are designed to exercise;
+    for a clustered index the rid order matches heap order.
+    """
+
+    def __init__(self, txn, table, column, lo, hi, predicate=None, columns=None):
+        self._txn = txn
+        self._table = table
+        self._index = table.index_on(column)
+        if self._index is None:
+            raise ExecutionError(f"no index on {table.name}.{column}")
+        self._lo = lo
+        self._hi = hi
+        self._predicate = predicate
+        self._iter = None
+        self.columns = columns or table.schema.names
+
+    def open(self):
+        self._iter = self._index.tree.range_scan(self._lo, self._hi)
+
+    def next(self):
+        predicate = self._predicate
+        for _key, rid in self._iter:
+            row = self._table.fetch(self._txn, rid)
+            if predicate is None or predicate.eval(row):
+                return row
+        return None
+
+    def close(self):
+        if self._iter is not None:
+            self._iter.close()
+            self._iter = None
+
+
+class Filter(Operator):
+    """Drop rows failing the predicate."""
+
+    def __init__(self, child, predicate):
+        self._child = child
+        self._predicate = predicate
+        self.columns = child.columns
+
+    def open(self):
+        self._child.open()
+
+    def next(self):
+        while True:
+            row = self._child.next()
+            if row is None:
+                return None
+            if self._predicate.eval(row):
+                return row
+
+    def close(self):
+        self._child.close()
+
+
+class Project(Operator):
+    """Evaluate output expressions over each input row."""
+
+    def __init__(self, child, exprs, columns):
+        self._child = child
+        self._exprs = tuple(exprs)
+        self.columns = tuple(columns)
+
+    def open(self):
+        self._child.open()
+
+    def next(self):
+        row = self._child.next()
+        if row is None:
+            return None
+        return tuple(expr.eval(row) for expr in self._exprs)
+
+    def close(self):
+        self._child.close()
+
+
+class NestedLoopsJoin(Operator):
+    """Tuple-at-a-time nested loops join.
+
+    The inner side is re-opened for every outer row, so the inner must be
+    a factory producing a fresh operator (typically a SeqScan).
+    """
+
+    def __init__(self, outer, inner_factory, predicate=None):
+        self._outer = outer
+        self._inner_factory = inner_factory
+        self._predicate = predicate
+        self._outer_row = None
+        self._inner = None
+        inner_probe = inner_factory()
+        self.columns = tuple(outer.columns) + tuple(inner_probe.columns)
+
+    def open(self):
+        self._outer.open()
+        self._outer_row = None
+        self._inner = None
+
+    def next(self):
+        while True:
+            if self._outer_row is None:
+                self._outer_row = self._outer.next()
+                if self._outer_row is None:
+                    return None
+                self._inner = self._inner_factory()
+                self._inner.open()
+            inner_row = self._inner.next()
+            if inner_row is None:
+                self._inner.close()
+                self._inner = None
+                self._outer_row = None
+                continue
+            joined = self._outer_row + inner_row
+            if self._predicate is None or self._predicate.eval(joined):
+                return joined
+
+    def close(self):
+        if self._inner is not None:
+            self._inner.close()
+            self._inner = None
+        self._outer.close()
+
+
+class IndexNLJoin(Operator):
+    """Index nested loops join: probe the inner table's B+-tree per outer
+    row with the value of ``outer_key`` and fetch matching records."""
+
+    def __init__(self, outer, txn, inner_table, inner_column, outer_key,
+                 predicate=None):
+        self._outer = outer
+        self._txn = txn
+        self._table = inner_table
+        self._index = inner_table.index_on(inner_column)
+        if self._index is None:
+            raise ExecutionError(f"no index on {inner_table.name}.{inner_column}")
+        self._outer_key = outer_key
+        self._predicate = predicate
+        self._outer_row = None
+        self._matches = None
+        self.columns = tuple(outer.columns) + tuple(inner_table.schema.names)
+
+    def open(self):
+        self._outer.open()
+        self._outer_row = None
+        self._matches = None
+
+    def next(self):
+        while True:
+            if self._outer_row is None:
+                self._outer_row = self._outer.next()
+                if self._outer_row is None:
+                    return None
+                key = self._outer_key.eval(self._outer_row)
+                self._matches = iter(self._index.tree.search(key))
+            rid = next(self._matches, None)
+            if rid is None:
+                self._outer_row = None
+                continue
+            inner_row = self._table.fetch(self._txn, rid)
+            joined = self._outer_row + inner_row
+            if self._predicate is None or self._predicate.eval(joined):
+                return joined
+
+    def close(self):
+        self._outer.close()
+
+
+class GraceHashJoin(Operator):
+    """Grace hash join: partition both inputs into temporary heap files,
+    then build + probe a hash table per partition pair.
+
+    The partition phase inserts every input row into a temp file through
+    ``create_rec``, matching the paper's observation that joins call the
+    storage manager's record-creation entry point for their partitions.
+    """
+
+    def __init__(self, left, right, left_key, right_key, storage, txn,
+                 left_codec, right_codec, n_partitions=8, predicate=None):
+        self._left = left
+        self._right = right
+        self._left_key = left_key
+        self._right_key = right_key
+        self._storage = storage
+        self._txn = txn
+        self._left_codec = left_codec
+        self._right_codec = right_codec
+        self._n = n_partitions
+        self._predicate = predicate
+        self._output = None
+        self.columns = tuple(left.columns) + tuple(right.columns)
+
+    def open(self):
+        left_parts = self._partition(self._left, self._left_key, self._left_codec)
+        right_parts = self._partition(self._right, self._right_key, self._right_codec)
+        self._output = self._join_partitions(left_parts, right_parts)
+
+    def _partition(self, child, key_expr, codec):
+        files = [self._storage.create_file(codec.record_size) for _ in range(self._n)]
+        child.open()
+        try:
+            while True:
+                row = child.next()
+                if row is None:
+                    break
+                part = partition_hash(key_expr.eval(row)) % self._n
+                self._storage.create_rec(self._txn, files[part], codec.encode(row))
+        finally:
+            child.close()
+        return files
+
+    def _join_partitions(self, left_parts, right_parts):
+        predicate = self._predicate
+        for left_file, right_file in zip(left_parts, right_parts):
+            table = {}
+            for _rid, raw in self._storage.scan_file(self._txn, left_file):
+                row = self._left_codec.decode(raw)
+                table.setdefault(self._left_key.eval(row), []).append(row)
+            for _rid, raw in self._storage.scan_file(self._txn, right_file):
+                right_row = self._right_codec.decode(raw)
+                for left_row in table.get(self._right_key.eval(right_row), ()):
+                    joined = left_row + right_row
+                    if predicate is None or predicate.eval(joined):
+                        yield joined
+
+    def next(self):
+        return next(self._output, None)
+
+    def close(self):
+        if self._output is not None:
+            self._output.close()
+            self._output = None
+
+
+# aggregate function registry -------------------------------------------------
+
+
+class _SumAcc:
+    __slots__ = ("value",)
+
+    def __init__(self):
+        self.value = 0
+
+    def add(self, v):
+        self.value += v
+
+    def result(self):
+        return self.value
+
+
+class _CountAcc:
+    __slots__ = ("value",)
+
+    def __init__(self):
+        self.value = 0
+
+    def add(self, _v):
+        self.value += 1
+
+    def result(self):
+        return self.value
+
+
+class _AvgAcc:
+    __slots__ = ("total", "count")
+
+    def __init__(self):
+        self.total = 0
+        self.count = 0
+
+    def add(self, v):
+        self.total += v
+        self.count += 1
+
+    def result(self):
+        return self.total / self.count if self.count else None
+
+
+class _MinAcc:
+    __slots__ = ("value",)
+
+    def __init__(self):
+        self.value = None
+
+    def add(self, v):
+        if self.value is None or v < self.value:
+            self.value = v
+
+    def result(self):
+        return self.value
+
+
+class _MaxAcc:
+    __slots__ = ("value",)
+
+    def __init__(self):
+        self.value = None
+
+    def add(self, v):
+        if self.value is None or v > self.value:
+            self.value = v
+
+    def result(self):
+        return self.value
+
+
+AGGREGATES = {
+    "sum": _SumAcc,
+    "count": _CountAcc,
+    "avg": _AvgAcc,
+    "min": _MinAcc,
+    "max": _MaxAcc,
+}
+
+
+class HashAggregate(Operator):
+    """Hash-based grouping with any mix of SUM/COUNT/AVG/MIN/MAX.
+
+    Output rows are ``group columns + aggregate results`` in declaration
+    order; with no group-by a single global row is produced.
+    """
+
+    def __init__(self, child, group_exprs, agg_specs, columns):
+        self._child = child
+        self._groups = tuple(group_exprs)
+        self._specs = tuple(agg_specs)  # (func_name, expr)
+        for func, _expr in self._specs:
+            if func not in AGGREGATES:
+                raise ExecutionError(f"unknown aggregate {func!r}")
+        self._output = None
+        self.columns = tuple(columns)
+
+    def open(self):
+        table = {}
+        self._child.open()
+        try:
+            while True:
+                row = self._child.next()
+                if row is None:
+                    break
+                key = tuple(g.eval(row) for g in self._groups)
+                accs = table.get(key)
+                if accs is None:
+                    accs = [AGGREGATES[func]() for func, _expr in self._specs]
+                    table[key] = accs
+                for acc, (_func, expr) in zip(accs, self._specs):
+                    acc.add(expr.eval(row) if expr is not None else 1)
+        finally:
+            self._child.close()
+        if not table and not self._groups:
+            table[()] = [AGGREGATES[func]() for func, _expr in self._specs]
+        self._output = iter(
+            key + tuple(acc.result() for acc in accs) for key, accs in table.items()
+        )
+
+    def next(self):
+        return next(self._output, None)
+
+    def close(self):
+        self._output = None
+
+
+class Sort(Operator):
+    """Materializing sort on a list of (expr, descending) keys."""
+
+    def __init__(self, child, sort_keys):
+        self._child = child
+        self._keys = tuple(sort_keys)
+        self._output = None
+        self.columns = child.columns
+
+    def open(self):
+        rows = list(self._child.rows())
+        # Stable multi-key sort: apply keys right-to-left.
+        for expr, descending in reversed(self._keys):
+            rows.sort(key=expr.eval, reverse=descending)
+        self._output = iter(rows)
+
+    def next(self):
+        return next(self._output, None)
+
+    def close(self):
+        self._output = None
+
+
+class Limit(Operator):
+    """Pass through at most ``n`` rows."""
+
+    def __init__(self, child, n):
+        self._child = child
+        self._n = n
+        self._emitted = 0
+        self.columns = child.columns
+
+    def open(self):
+        self._child.open()
+        self._emitted = 0
+
+    def next(self):
+        if self._emitted >= self._n:
+            return None
+        row = self._child.next()
+        if row is not None:
+            self._emitted += 1
+        return row
+
+    def close(self):
+        self._child.close()
+
+
+def cross_predicate(left_columns, predicate):
+    """Rebind a predicate written against the right input of a join so its
+    column indexes address the concatenated row."""
+    return shift_columns(predicate, len(left_columns))

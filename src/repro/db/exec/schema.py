@@ -1,0 +1,74 @@
+"""Schemas: ordered, typed column lists.
+
+Types are the codec type specs: ``"int"``, ``"float"``, ``("str", n)``.
+Dates are stored as ``int`` days since 1970-01-01; the SQL front end
+converts ``DATE 'YYYY-MM-DD'`` literals.
+"""
+
+from __future__ import annotations
+
+import datetime
+
+from repro.db.storage.codec import RecordCodec
+from repro.errors import CatalogError
+
+_EPOCH = datetime.date(1970, 1, 1)
+
+
+def date_to_int(text):
+    """Convert ``YYYY-MM-DD`` to days since the epoch."""
+    year, month, day = (int(part) for part in text.split("-"))
+    return (datetime.date(year, month, day) - _EPOCH).days
+
+
+def int_to_date(days):
+    """Convert days since the epoch back to ``YYYY-MM-DD``."""
+    return (_EPOCH + datetime.timedelta(days=days)).isoformat()
+
+
+class Schema:
+    """An ordered list of ``(name, type_spec)`` columns."""
+
+    __slots__ = ("columns", "_index")
+
+    def __init__(self, columns):
+        self.columns = tuple((name.lower(), spec) for name, spec in columns)
+        self._index = {}
+        for i, (name, _spec) in enumerate(self.columns):
+            if name in self._index:
+                raise CatalogError(f"duplicate column {name!r}")
+            self._index[name] = i
+
+    @property
+    def names(self):
+        return tuple(name for name, _spec in self.columns)
+
+    @property
+    def type_specs(self):
+        return tuple(spec for _name, spec in self.columns)
+
+    def index_of(self, name):
+        """Position of ``name`` (case-insensitive)."""
+        try:
+            return self._index[name.lower()]
+        except KeyError:
+            raise CatalogError(f"unknown column {name!r}") from None
+
+    def has_column(self, name):
+        return name.lower() in self._index
+
+    def type_of(self, name):
+        return self.columns[self.index_of(name)][1]
+
+    def make_codec(self):
+        return RecordCodec(self.type_specs)
+
+    def __len__(self):
+        return len(self.columns)
+
+    def __eq__(self, other):
+        return isinstance(other, Schema) and self.columns == other.columns
+
+    def __repr__(self):
+        cols = ", ".join(f"{n}:{s}" for n, s in self.columns)
+        return f"Schema({cols})"

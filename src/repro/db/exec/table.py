@@ -1,0 +1,153 @@
+"""Tables: heap file + schema + secondary B+-tree indexes."""
+
+from __future__ import annotations
+
+from repro.errors import CatalogError, ExecutionError
+
+
+class Index:
+    """A B+-tree index over one integer column of a table."""
+
+    __slots__ = ("name", "column", "tree", "clustered")
+
+    def __init__(self, name, column, tree, clustered=False):
+        self.name = name
+        self.column = column
+        self.tree = tree
+        self.clustered = clustered
+
+
+class Table:
+    """A named relation stored in a heap file.
+
+    Inserting through the table keeps all registered indexes consistent.
+    """
+
+    def __init__(self, name, schema, storage):
+        self.name = name.lower()
+        self.schema = schema
+        self.codec = schema.make_codec()
+        self._storage = storage
+        self.file_id = storage.create_file(self.codec.record_size)
+        self.indexes = {}  # column name -> Index
+        self.row_count = 0
+
+    # ------------------------------------------------------------------
+    # data manipulation
+    # ------------------------------------------------------------------
+    def insert(self, txn, values):
+        """Insert one tuple; returns its rid."""
+        raw = self.codec.encode(values)
+        rid = self._storage.create_rec(txn, self.file_id, raw)
+        for index in self.indexes.values():
+            key = values[self.schema.index_of(index.column)]
+            self._storage.index_insert(txn, index.name, key, rid)
+        self.row_count += 1
+        return rid
+
+    def bulk_load(self, txn, rows):
+        """Insert many tuples; returns the number inserted."""
+        count = 0
+        for values in rows:
+            self.insert(txn, values)
+            count += 1
+        return count
+
+    def delete(self, txn, rid):
+        """Delete the tuple at ``rid``, maintaining indexes."""
+        raw = self._storage.delete_rec(txn, self.file_id, rid)
+        values = self.codec.decode(raw)
+        for index in self.indexes.values():
+            key = values[self.schema.index_of(index.column)]
+            self._storage.index_delete(txn, index.name, key, rid)
+        self.row_count -= 1
+        return values
+
+    def update(self, txn, rid, values):
+        """Overwrite the tuple at ``rid``, maintaining indexes."""
+        raw = self.codec.encode(values)
+        old_raw = self._storage.update_rec(txn, self.file_id, rid, raw)
+        old_values = self.codec.decode(old_raw)
+        for index in self.indexes.values():
+            pos = self.schema.index_of(index.column)
+            if old_values[pos] != values[pos]:
+                self._storage.index_delete(txn, index.name, old_values[pos], rid)
+                self._storage.index_insert(txn, index.name, values[pos], rid)
+        return old_values
+
+    # ------------------------------------------------------------------
+    # data access
+    # ------------------------------------------------------------------
+    def scan(self, txn):
+        """Yield ``(rid, tuple)`` for every row."""
+        for rid, raw in self._storage.scan_file(txn, self.file_id):
+            yield rid, self.codec.decode(raw)
+
+    def fetch(self, txn, rid):
+        """Return the tuple at ``rid``."""
+        return self.codec.decode(self._storage.read_rec(txn, self.file_id, rid))
+
+    # ------------------------------------------------------------------
+    # index management
+    # ------------------------------------------------------------------
+    def create_index(self, column, clustered=False, txn=None):
+        """Build a B+-tree index on an integer ``column``.
+
+        Existing rows are loaded into the new index immediately.
+        """
+        column = column.lower()
+        if column in self.indexes:
+            raise CatalogError(f"index on {self.name}.{column} already exists")
+        spec = self.schema.type_of(column)
+        if spec != "int":
+            raise ExecutionError(f"only int columns can be indexed, not {spec}")
+        tree = self._storage.create_index(f"{self.name}.{column}")
+        index = Index(f"{self.name}.{column}", column, tree, clustered=clustered)
+        pos = self.schema.index_of(column)
+        if txn is None:
+            txn = self._storage.begin()
+            own_txn = True
+        else:
+            own_txn = False
+        try:
+            for rid, values in self.scan(txn):
+                tree.insert(values[pos], rid)
+        finally:
+            if own_txn:
+                txn.commit()
+        self.indexes[column] = index
+        return index
+
+    def index_on(self, column):
+        return self.indexes.get(column.lower())
+
+    @property
+    def page_count(self):
+        return self._storage.file_page_count(self.file_id)
+
+
+class Catalog:
+    """The set of tables known to the database, plus basic statistics."""
+
+    def __init__(self):
+        self._tables = {}
+
+    def register(self, table):
+        if table.name in self._tables:
+            raise CatalogError(f"table {table.name!r} already exists")
+        self._tables[table.name] = table
+
+    def table(self, name):
+        try:
+            return self._tables[name.lower()]
+        except KeyError:
+            raise CatalogError(f"unknown table {name!r}") from None
+
+    def has_table(self, name):
+        return name.lower() in self._tables
+
+    def drop(self, name):
+        self._tables.pop(name.lower(), None)
+
+    def table_names(self):
+        return sorted(self._tables)

@@ -1,0 +1,6 @@
+"""Query optimizer: statistics, cost model, plan construction."""
+
+from repro.db.optimizer.planner import PhysicalPlan, Planner
+from repro.db.optimizer.stats import ColumnStats, TableStats, analyze
+
+__all__ = ["ColumnStats", "PhysicalPlan", "Planner", "TableStats", "analyze"]

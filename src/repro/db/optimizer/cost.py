@@ -1,0 +1,56 @@
+"""Selectivity and cardinality estimation.
+
+Classic System-R style magic numbers, refined with column min/max and
+n_distinct when :func:`repro.db.optimizer.stats.analyze` has run.
+"""
+
+from __future__ import annotations
+
+DEFAULT_EQ_SELECTIVITY = 0.01
+DEFAULT_RANGE_SELECTIVITY = 0.10
+# Index is worth using when the fraction of rows fetched is below these.
+CLUSTERED_INDEX_THRESHOLD = 0.30
+NONCLUSTERED_INDEX_THRESHOLD = 0.15
+
+
+def eq_selectivity(column_stats):
+    """Selectivity of ``col = const``."""
+    if column_stats is not None and column_stats.n_distinct > 0:
+        return 1.0 / column_stats.n_distinct
+    return DEFAULT_EQ_SELECTIVITY
+
+
+def range_selectivity(column_stats, lo, hi):
+    """Selectivity of ``lo <= col <= hi`` (either bound may be None)."""
+    if (
+        column_stats is None
+        or column_stats.min_value is None
+        or column_stats.max_value is None
+        or column_stats.max_value <= column_stats.min_value
+    ):
+        return DEFAULT_RANGE_SELECTIVITY
+    span = column_stats.max_value - column_stats.min_value
+    effective_lo = column_stats.min_value if lo is None else max(lo, column_stats.min_value)
+    effective_hi = column_stats.max_value if hi is None else min(hi, column_stats.max_value)
+    if effective_hi < effective_lo:
+        return 0.0
+    return min(1.0, (effective_hi - effective_lo + 1) / (span + 1))
+
+
+def join_cardinality(left_rows, right_rows, left_stats, right_stats):
+    """Estimated output size of an equijoin."""
+    distincts = []
+    for column_stats in (left_stats, right_stats):
+        if column_stats is not None and column_stats.n_distinct > 0:
+            distincts.append(column_stats.n_distinct)
+    if distincts:
+        return max(1, (left_rows * right_rows) // max(distincts))
+    return max(left_rows, right_rows)
+
+
+def index_scan_is_better(selectivity, clustered):
+    """Decide index scan vs sequential scan for a selection."""
+    threshold = (
+        CLUSTERED_INDEX_THRESHOLD if clustered else NONCLUSTERED_INDEX_THRESHOLD
+    )
+    return selectivity <= threshold

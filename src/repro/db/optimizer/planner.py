@@ -1,0 +1,955 @@
+"""The query optimizer: binds a parsed SELECT and emits a physical plan.
+
+Planning pipeline (System-R flavored, greedy join enumeration):
+
+1. resolve FROM aliases against the catalog,
+2. split WHERE into conjuncts; classify as single-table, equijoin, or
+   residual (incl. subquery predicates),
+3. choose an access path per table (index range scan when a usable
+   B+-tree exists and the cost model favors it),
+4. greedily order joins starting from the smallest filtered input,
+   choosing index nested loops when the inner join column is indexed,
+   grace hash join for other equijoins, plain nested loops otherwise,
+5. lower aggregates / GROUP BY to a hash aggregate, then projection,
+   DISTINCT, ORDER BY, LIMIT.
+
+Scalar and IN subqueries are planned recursively; correlated references
+resolve to parameters re-bound on every evaluation of the subquery, i.e.
+naive nested iteration, which is how the paper-era engines executed the
+"simple nested query" (TPC-H Q2).
+"""
+
+from __future__ import annotations
+
+import struct as _struct
+
+from repro.db.exec import expressions as ex
+from repro.db.exec import operators as op
+from repro.db.parser import ast_nodes as ast
+from repro.errors import PlanError
+from repro.db.optimizer import cost
+
+
+class Scope:
+    """Maps (qualifier, column) to tuple positions."""
+
+    def __init__(self, entries=()):
+        self._entries = list(entries)  # list of (alias, column)
+
+    def extend(self, alias, columns):
+        for column in columns:
+            self._entries.append((alias, column))
+
+    def concat(self, other):
+        scope = Scope(self._entries)
+        scope._entries.extend(other._entries)
+        return scope
+
+    def resolve(self, qualifier, name):
+        """Position of the column, or None if unresolvable here."""
+        if qualifier:
+            for i, (alias, column) in enumerate(self._entries):
+                if alias == qualifier and column == name:
+                    return i
+            return None
+        matches = [
+            i for i, (_alias, column) in enumerate(self._entries) if column == name
+        ]
+        if len(matches) > 1:
+            raise PlanError(f"ambiguous column {name!r}")
+        return matches[0] if matches else None
+
+    def qualified_names(self):
+        return tuple(f"{alias}.{column}" for alias, column in self._entries)
+
+    def __len__(self):
+        return len(self._entries)
+
+
+class _ParamHolder:
+    """Mutable cell carrying the current outer row into a subquery."""
+
+    __slots__ = ("row",)
+
+    def __init__(self):
+        self.row = ()
+
+
+class ParamRef(ex.Expression):
+    """Correlated reference: reads a column of the *outer* row."""
+
+    shift_invariant = True
+
+    __slots__ = ("holder", "index", "name")
+
+    def __init__(self, holder, index, name=""):
+        self.holder = holder
+        self.index = index
+        self.name = name
+
+    def eval(self, _row):
+        return self.holder.row[self.index]
+
+    def __repr__(self):
+        return f"ParamRef({self.index}, {self.name!r})"
+
+
+class ScalarSubqueryExpr(ex.Expression):
+    """Evaluates a subplan to a single scalar (first column of first row).
+
+    Uncorrelated subqueries are evaluated once and cached.
+    """
+
+    __slots__ = ("plan", "holder", "correlated", "_cache", "_has_cache")
+
+    def __init__(self, plan, holder, correlated):
+        self.plan = plan
+        self.holder = holder
+        self.correlated = correlated
+        self._cache = None
+        self._has_cache = False
+
+    def eval(self, row):
+        if not self.correlated and self._has_cache:
+            return self._cache
+        self.holder.row = row
+        result = None
+        operator = self.plan.root
+        operator.open()
+        try:
+            first = operator.next()
+            if first is not None:
+                result = first[0]
+        finally:
+            operator.close()
+        if not self.correlated:
+            self._cache = result
+            self._has_cache = True
+        return result
+
+    def __repr__(self):
+        kind = "correlated" if self.correlated else "uncorrelated"
+        return f"ScalarSubquery({kind})"
+
+
+class InSubqueryExpr(ex.Expression):
+    """``expr IN (subquery)`` — membership in the subplan's first column."""
+
+    __slots__ = ("expr", "plan", "holder", "correlated", "_cache")
+
+    def __init__(self, expr, plan, holder, correlated):
+        self.expr = expr
+        self.plan = plan
+        self.holder = holder
+        self.correlated = correlated
+        self._cache = None
+
+    def eval(self, row):
+        if self.correlated or self._cache is None:
+            self.holder.row = row
+            values = set()
+            operator = self.plan.root
+            operator.open()
+            try:
+                while True:
+                    sub_row = operator.next()
+                    if sub_row is None:
+                        break
+                    values.add(sub_row[0])
+            finally:
+                operator.close()
+            if self.correlated:
+                return self.expr.eval(row) in values
+            self._cache = values
+        return self.expr.eval(row) in self._cache
+
+
+class PhysicalPlan:
+    """A runnable plan: root operator + output column names + description."""
+
+    def __init__(self, root, columns, description):
+        self.root = root
+        self.columns = tuple(columns)
+        self.description = description
+
+    def rows(self):
+        """Execute the plan, yielding result tuples."""
+        return self.root.rows()
+
+    def explain(self, indent=0):
+        """Human-readable plan tree."""
+        lines = []
+        _explain_node(self.description, indent, lines)
+        return "\n".join(lines)
+
+
+def _explain_node(node, indent, lines):
+    label, children = node
+    lines.append("  " * indent + label)
+    for child in children:
+        _explain_node(child, indent + 1, lines)
+
+
+class Planner:
+    """Plans one SELECT statement into a :class:`PhysicalPlan`."""
+
+    def __init__(self, catalog, storage, txn, outer_scope=None, outer_holder=None):
+        self._catalog = catalog
+        self._storage = storage
+        self._txn = txn
+        self._outer_scope = outer_scope
+        self._outer_holder = outer_holder
+        self._correlated = False  # set if any ParamRef was bound
+
+    # ------------------------------------------------------------------
+    # entry point
+    # ------------------------------------------------------------------
+    def plan(self, stmt, hints=None):
+        hints = hints or {}
+        tables = {}
+        for ref in stmt.tables:
+            if ref.alias in tables:
+                raise PlanError(f"duplicate table alias {ref.alias!r}")
+            tables[ref.alias] = self._catalog.table(ref.name)
+        conjuncts = _split_conjuncts(stmt.where)
+        single, equijoins, residual = self._classify(conjuncts, tables)
+
+        plan_state = self._build_joins(tables, single, equijoins, residual, hints)
+        operator, scope, description = plan_state
+
+        operator, scope, description, order_handled = self._apply_aggregation(
+            stmt, operator, scope, description
+        )
+        if stmt.distinct:
+            operator = op.HashAggregate(operator, _identity_exprs(scope), (), scope.qualified_names())
+            description = ("Distinct", [description])
+        operator, description = self._apply_order_limit(
+            stmt, operator, scope, description, order_handled
+        )
+        return PhysicalPlan(operator, _output_names(scope), description)
+
+    # ------------------------------------------------------------------
+    # predicate classification
+    # ------------------------------------------------------------------
+    def _classify(self, conjuncts, tables):
+        single = {alias: [] for alias in tables}
+        equijoins = []
+        residual = []
+        for conjunct in conjuncts:
+            aliases = self._aliases_of(conjunct, tables)
+            join_cols = _equijoin_columns(conjunct)
+            if join_cols is not None:
+                (q1, c1), (q2, c2) = join_cols
+                a1 = self._alias_for(q1, c1, tables)
+                a2 = self._alias_for(q2, c2, tables)
+                if a1 is not None and a2 is not None and a1 != a2:
+                    equijoins.append((a1, c1, a2, c2, conjunct))
+                    continue
+            if len(aliases) == 1 and not _contains_subquery(conjunct):
+                single[next(iter(aliases))].append(conjunct)
+            else:
+                residual.append((aliases, conjunct))
+        return single, equijoins, residual
+
+    def _aliases_of(self, node, tables):
+        """Aliases of *this* query's tables referenced in ``node``
+        (descends into subqueries to find correlated references)."""
+        out = set()
+        for ref in _column_refs(node):
+            alias = self._alias_for(ref.qualifier, ref.name, tables)
+            if alias is not None:
+                out.add(alias)
+        return out
+
+    def _alias_for(self, qualifier, name, tables):
+        if qualifier:
+            return qualifier if qualifier in tables else None
+        owners = [
+            alias for alias, table in tables.items() if table.schema.has_column(name)
+        ]
+        if len(owners) > 1:
+            raise PlanError(f"ambiguous column {name!r}")
+        return owners[0] if owners else None
+
+    # ------------------------------------------------------------------
+    # base access paths
+    # ------------------------------------------------------------------
+    def _base_access(self, alias, table, conjuncts, scope, hints):
+        """Choose SeqScan or IndexScan for one table; returns
+        (operator, est_rows, description)."""
+        stats = getattr(table, "stats", None)
+        row_count = max(1, table.row_count)
+        bounds = _index_bounds(conjuncts, table)
+        force = hints.get(("access", alias))
+        chosen = None
+        selectivity = 1.0
+        for column, lo, hi, used in bounds:
+            index = table.index_on(column)
+            column_stats = stats.columns.get(column) if stats else None
+            if lo is not None and hi is not None and lo == hi:
+                fraction = cost.eq_selectivity(column_stats)
+            else:
+                fraction = cost.range_selectivity(column_stats, lo, hi)
+            use = (
+                force == "index"
+                if force
+                else cost.index_scan_is_better(fraction, index.clustered)
+            )
+            if use and (chosen is None or fraction < chosen[3]):
+                chosen = (column, lo, hi, fraction, used)
+        if force == "scan":
+            chosen = None
+        if chosen is not None:
+            column, lo, hi, fraction, used = chosen
+            remaining = [c for c in conjuncts if c not in used]
+            predicate = self._bind_conjunction(remaining, scope)
+            operator = op.IndexScan(
+                self._txn, table, column, lo, hi, predicate=predicate,
+                columns=scope.qualified_names(),
+            )
+            est = max(1, int(row_count * fraction * _extra_selectivity(remaining)))
+            label = f"IndexScan({table.name} as {alias}, {column} in [{lo}, {hi}])"
+            return operator, est, (label, [])
+        predicate = self._bind_conjunction(conjuncts, scope)
+        operator = op.SeqScan(
+            self._txn, table, predicate=predicate, columns=scope.qualified_names()
+        )
+        est = max(1, int(row_count * _extra_selectivity(conjuncts)))
+        label = f"SeqScan({table.name} as {alias})"
+        return operator, est, (label, [])
+
+    def _bind_conjunction(self, conjuncts, scope):
+        bound = [self.bind(c, scope) for c in conjuncts]
+        return ex.conjunction(bound)
+
+    # ------------------------------------------------------------------
+    # join ordering
+    # ------------------------------------------------------------------
+    def _build_joins(self, tables, single, equijoins, residual, hints):
+        # per-alias base scans
+        base = {}
+        for alias, table in tables.items():
+            scope = Scope()
+            scope.extend(alias, table.schema.names)
+            base[alias] = (table, scope, single[alias])
+        remaining = set(tables)
+        pending_residual = list(residual)
+        pending_equijoins = list(equijoins)
+
+        # start from the smallest estimated filtered input
+        order_hint = hints.get("join_order")
+        estimates = {}
+        built = {}
+        for alias in tables:
+            table, scope, conjuncts = base[alias]
+            built[alias] = self._base_access(alias, table, conjuncts, scope, hints)
+            estimates[alias] = built[alias][1]
+        if order_hint:
+            start = order_hint[0]
+        else:
+            start = min(remaining, key=lambda a: (estimates[a], a))
+        operator, est, description = built[start]
+        scope = Scope()
+        scope.extend(start, tables[start].schema.names)
+        bound = {start}
+        remaining.discard(start)
+        operator, description = self._apply_residuals(
+            pending_residual, bound, operator, scope, description
+        )
+
+        hint_pos = 1
+        while remaining:
+            choice = self._pick_next_join(
+                bound, remaining, pending_equijoins, estimates, tables,
+                order_hint, hint_pos,
+            )
+            hint_pos += 1
+            if choice is None:
+                # no equijoin connects: cross product with smallest remaining
+                alias = min(remaining, key=lambda a: (estimates[a], a))
+                inner_op, inner_est, inner_desc = built[alias]
+                inner_factory = self._refactory(alias, tables[alias], base, hints)
+                operator = op.NestedLoopsJoin(operator, inner_factory)
+                description = ("NestedLoopsJoin", [description, inner_desc])
+                est = est * inner_est
+            else:
+                alias, outer_col_ref, inner_col, conjunct = choice
+                pending_equijoins = [
+                    e for e in pending_equijoins if e[4] is not conjunct
+                ]
+                operator, description, est = self._join_with(
+                    operator, scope, est, alias, tables[alias], built[alias],
+                    outer_col_ref, inner_col, base, hints, description,
+                )
+            scope.extend(alias, tables[alias].schema.names)
+            bound.add(alias)
+            remaining.discard(alias)
+            # equijoin predicates not consumed as a join condition but now
+            # fully bound must be applied as filters (e.g. a second join
+            # edge reaching the same table).
+            leftover = [
+                e for e in pending_equijoins if e[0] in bound and e[2] in bound
+            ]
+            for edge in leftover:
+                pending_equijoins.remove(edge)
+                predicate = self.bind(edge[4], scope)
+                operator = op.Filter(operator, predicate)
+                description = ("Filter(join edge)", [description])
+            operator, description = self._apply_residuals(
+                pending_residual, bound, operator, scope, description
+            )
+        if pending_residual:
+            raise PlanError("unplaceable residual predicates remain")
+        return operator, scope, description
+
+    def _pick_next_join(self, bound, remaining, equijoins, estimates, tables,
+                        order_hint, hint_pos):
+        """Next (alias, outer column ref, inner column, conjunct) to join."""
+        candidates = []
+        for a1, c1, a2, c2, conjunct in equijoins:
+            if a1 in bound and a2 in remaining:
+                candidates.append((a2, (a1, c1), c2, conjunct))
+            elif a2 in bound and a1 in remaining:
+                candidates.append((a1, (a2, c2), c1, conjunct))
+        if not candidates:
+            return None
+        if order_hint and hint_pos < len(order_hint):
+            wanted = order_hint[hint_pos]
+            for candidate in candidates:
+                if candidate[0] == wanted:
+                    return candidate
+        return min(candidates, key=lambda c: (estimates[c[0]], c[0]))
+
+    def _join_with(self, outer_op, outer_scope, outer_est, alias, table,
+                   built_inner, outer_col_ref, inner_col, base, hints,
+                   outer_desc):
+        inner_op, inner_est, inner_desc = built_inner
+        outer_alias, outer_col = outer_col_ref
+        outer_pos = outer_scope.resolve(outer_alias, outer_col)
+        outer_key = ex.Column(outer_pos, f"{outer_alias}.{outer_col}")
+        index = table.index_on(inner_col)
+        method = hints.get(("join", alias))
+        stats = getattr(table, "stats", None)
+        inner_stats = stats.columns.get(inner_col) if stats else None
+        use_index_nl = index is not None and method != "grace" and (
+            method == "index_nl" or outer_est <= max(1, table.row_count)
+        )
+        single_preds = base[alias][2]
+        if use_index_nl:
+            # single-table predicates on the inner become residuals over
+            # the joined row (bound against the inner scope, shifted).
+            inner_scope = Scope()
+            inner_scope.extend(alias, table.schema.names)
+            inner_pred = self._bind_conjunction(single_preds, inner_scope)
+            if inner_pred is not None:
+                inner_pred = ex.shift_columns(inner_pred, len(outer_scope))
+            operator = op.IndexNLJoin(
+                outer_op, self._txn, table, inner_col, outer_key,
+                predicate=inner_pred,
+            )
+            description = (
+                f"IndexNLJoin(inner={table.name} as {alias} on {inner_col})",
+                [outer_desc, (f"IndexProbe({table.name}.{inner_col})", [])],
+            )
+        else:
+            inner_scope = Scope()
+            inner_scope.extend(alias, table.schema.names)
+            inner_key = ex.Column(inner_scope.resolve(alias, inner_col), inner_col)
+            operator = op.GraceHashJoin(
+                outer_op, inner_op, outer_key, inner_key,
+                self._storage, self._txn,
+                _tuple_codec(len(outer_scope)), _tuple_codec(len(inner_scope)),
+            )
+            description = (
+                f"GraceHashJoin(on {outer_alias}.{outer_col} = {alias}.{inner_col})",
+                [outer_desc, inner_desc],
+            )
+        est = cost.join_cardinality(outer_est, inner_est, None, inner_stats)
+        return operator, description, est
+
+    def _refactory(self, alias, table, base, hints):
+        """Factory producing fresh inner scans for NestedLoopsJoin."""
+        conjuncts = base[alias][2]
+
+        def make():
+            scope = Scope()
+            scope.extend(alias, table.schema.names)
+            predicate = self._bind_conjunction(conjuncts, scope)
+            return op.SeqScan(
+                self._txn, table, predicate=predicate,
+                columns=scope.qualified_names(),
+            )
+
+        return make
+
+    def _apply_residuals(self, pending, bound, operator, scope, description):
+        placed = []
+        for item in pending:
+            aliases, conjunct = item
+            if aliases <= bound:
+                predicate = self.bind(conjunct, scope)
+                operator = op.Filter(operator, predicate)
+                description = ("Filter", [description])
+                placed.append(item)
+        for item in placed:
+            pending.remove(item)
+        return operator, description
+
+    # ------------------------------------------------------------------
+    # aggregation / projection
+    # ------------------------------------------------------------------
+    def _apply_aggregation(self, stmt, operator, scope, description):
+        has_aggs = any(_contains_aggregate(item.expr) for item in stmt.items)
+        if not stmt.items:  # SELECT *
+            if stmt.group_by:
+                raise PlanError("SELECT * with GROUP BY is not supported")
+            if stmt.having is not None:
+                raise PlanError("HAVING requires GROUP BY or aggregates")
+            return operator, scope, description, False
+        if not has_aggs and not stmt.group_by:
+            if stmt.having is not None:
+                raise PlanError("HAVING requires GROUP BY or aggregates")
+            exprs = [self.bind(item.expr, scope) for item in stmt.items]
+            names = [_item_name(item, i) for i, item in enumerate(stmt.items)]
+            out_scope = Scope()
+            out_scope.extend("", names)
+            order_handled = False
+            if stmt.order_by and not self._binds_all(stmt.order_by, out_scope):
+                # ORDER BY references non-projected columns (standard
+                # SQL): sort on the full input row before projecting.
+                keys = [
+                    (self.bind(item.expr, scope), item.descending)
+                    for item in stmt.order_by
+                ]
+                operator = op.Sort(operator, keys)
+                description = ("Sort", [description])
+                order_handled = True
+            operator = op.Project(operator, exprs, names)
+            return operator, out_scope, ("Project", [description]), order_handled
+
+        group_asts = list(stmt.group_by)
+        group_exprs = [self.bind(g, scope) for g in group_asts]
+        agg_specs = []
+        agg_asts = []
+        outputs = []  # (kind, position) kind: 'group'|'agg'
+        for item in stmt.items:
+            if isinstance(item.expr, ast.Aggregate):
+                arg = (
+                    None
+                    if item.expr.arg is None
+                    else self.bind(item.expr.arg, scope)
+                )
+                agg_specs.append((item.expr.func, arg))
+                agg_asts.append(item.expr)
+                outputs.append(("agg", len(agg_specs) - 1))
+            else:
+                position = _group_position(item.expr, group_asts)
+                if position is None:
+                    raise PlanError(
+                        f"non-aggregate select item must appear in GROUP BY: "
+                        f"{item.expr!r}"
+                    )
+                outputs.append(("group", position))
+        having_expr = None
+        if stmt.having is not None:
+            having_expr = self._lower_having(
+                stmt.having, group_asts, agg_asts, agg_specs, scope
+            )
+        inner_names = [f"g{i}" for i in range(len(group_exprs))] + [
+            f"a{i}" for i in range(len(agg_specs))
+        ]
+        operator = op.HashAggregate(operator, group_exprs, agg_specs, inner_names)
+        description = ("HashAggregate", [description])
+        if having_expr is not None:
+            operator = op.Filter(operator, having_expr)
+            description = ("Having", [description])
+        # project aggregate output into select-item order
+        exprs = []
+        names = []
+        for i, (item, (kind, position)) in enumerate(zip(stmt.items, outputs)):
+            if kind == "group":
+                exprs.append(ex.Column(position))
+            else:
+                exprs.append(ex.Column(len(group_exprs) + position))
+            names.append(_item_name(item, i))
+        operator = op.Project(operator, exprs, names)
+        out_scope = Scope()
+        out_scope.extend("", names)
+        return operator, out_scope, ("Project", [description]), False
+
+    def _binds_all(self, order_items, scope):
+        """True if every ORDER BY expression resolves in ``scope``."""
+        for item in order_items:
+            try:
+                self.bind(item.expr, scope)
+            except PlanError:
+                return False
+        return True
+
+    def _lower_having(self, node, group_asts, agg_asts, agg_specs, scope):
+        """Lower a HAVING expression to run over the aggregate's internal
+        output row (group columns first, then aggregate results).
+
+        Aggregates in HAVING that do not appear in the select list are
+        appended to ``agg_specs`` so the hash aggregate computes them.
+        """
+        if isinstance(node, ast.Aggregate):
+            for i, existing in enumerate(agg_asts):
+                if node == existing:
+                    return ex.Column(len(group_asts) + i)
+            arg = None if node.arg is None else self.bind(node.arg, scope)
+            agg_specs.append((node.func, arg))
+            agg_asts.append(node)
+            return ex.Column(len(group_asts) + len(agg_specs) - 1)
+        if isinstance(node, ast.Literal):
+            return ex.Const(node.value)
+        if isinstance(node, ast.ColumnRef):
+            position = _group_position(node, group_asts)
+            if position is None:
+                raise PlanError(
+                    f"HAVING column {node.name!r} is not in GROUP BY"
+                )
+            return ex.Column(position, node.name)
+        lower = lambda child: self._lower_having(
+            child, group_asts, agg_asts, agg_specs, scope
+        )
+        if isinstance(node, ast.BinaryOp):
+            left = lower(node.left)
+            right = lower(node.right)
+            if node.op in ("+", "-", "*", "/"):
+                return ex.Arithmetic(node.op, left, right)
+            return ex.Comparison(node.op, left, right)
+        if isinstance(node, ast.BetweenOp):
+            return ex.Between(lower(node.expr), lower(node.lo), lower(node.hi))
+        if isinstance(node, ast.BoolOp):
+            terms = [lower(t) for t in node.terms]
+            return ex.And(terms) if node.op == "AND" else ex.Or(terms)
+        if isinstance(node, ast.NotOp):
+            return ex.Not(lower(node.term))
+        raise PlanError(f"cannot use {node!r} in HAVING")
+
+    def _apply_order_limit(self, stmt, operator, scope, description,
+                           order_handled=False):
+        if stmt.order_by and not order_handled:
+            keys = []
+            for item in stmt.order_by:
+                keys.append((self.bind(item.expr, scope), item.descending))
+            operator = op.Sort(operator, keys)
+            description = ("Sort", [description])
+        if stmt.limit is not None:
+            operator = op.Limit(operator, stmt.limit)
+            description = (f"Limit({stmt.limit})", [description])
+        return operator, description
+
+    # ------------------------------------------------------------------
+    # expression binding
+    # ------------------------------------------------------------------
+    def bind(self, node, scope):
+        """Lower an AST expression to a bound executable expression."""
+        if isinstance(node, ast.Literal):
+            return ex.Const(node.value)
+        if isinstance(node, ast.ColumnRef):
+            position = scope.resolve(node.qualifier, node.name)
+            if position is not None:
+                return ex.Column(position, node.name)
+            if self._outer_scope is not None:
+                outer_position = self._outer_scope.resolve(
+                    node.qualifier, node.name
+                )
+                if outer_position is not None:
+                    self._correlated = True
+                    return ParamRef(self._outer_holder, outer_position, node.name)
+            raise PlanError(f"cannot resolve column {node!r}")
+        if isinstance(node, ast.BinaryOp):
+            left = self.bind(node.left, scope)
+            right = self.bind(node.right, scope)
+            if node.op in ("+", "-", "*", "/"):
+                return ex.Arithmetic(node.op, left, right)
+            return ex.Comparison(node.op, left, right)
+        if isinstance(node, ast.BetweenOp):
+            return ex.Between(
+                self.bind(node.expr, scope),
+                self.bind(node.lo, scope),
+                self.bind(node.hi, scope),
+            )
+        if isinstance(node, ast.BoolOp):
+            terms = [self.bind(t, scope) for t in node.terms]
+            return ex.And(terms) if node.op == "AND" else ex.Or(terms)
+        if isinstance(node, ast.NotOp):
+            return ex.Not(self.bind(node.term, scope))
+        if isinstance(node, ast.Subquery):
+            return self._bind_subquery(node, scope)
+        if isinstance(node, ast.InOp):
+            expr = self.bind(node.expr, scope)
+            sub = self._bind_subquery(node.subquery, scope)
+            return InSubqueryExpr(expr, sub.plan, sub.holder, sub.correlated)
+        if isinstance(node, ast.Aggregate):
+            raise PlanError("aggregate used outside of SELECT items")
+        raise PlanError(f"cannot bind {node!r}")
+
+    def _bind_subquery(self, node, scope):
+        holder = _ParamHolder()
+        sub_planner = Planner(
+            self._catalog, self._storage, self._txn,
+            outer_scope=scope, outer_holder=holder,
+        )
+        sub_plan = sub_planner.plan(node.select)
+        return ScalarSubqueryExpr(sub_plan, holder, sub_planner._correlated)
+
+
+# ----------------------------------------------------------------------
+# helpers
+# ----------------------------------------------------------------------
+
+
+def _split_conjuncts(node):
+    if node is None:
+        return []
+    if isinstance(node, ast.BoolOp) and node.op == "AND":
+        out = []
+        for term in node.terms:
+            out.extend(_split_conjuncts(term))
+        return out
+    return [node]
+
+
+def _column_refs(node):
+    """All ColumnRefs in an AST expression, including inside subqueries
+    (subquery-local names are filtered out by the caller's alias check)."""
+    out = []
+    stack = [node]
+    while stack:
+        item = stack.pop()
+        if isinstance(item, ast.ColumnRef):
+            out.append(item)
+        elif isinstance(item, ast.Literal):
+            pass
+        elif isinstance(item, ast.BinaryOp):
+            stack.extend((item.left, item.right))
+        elif isinstance(item, ast.BetweenOp):
+            stack.extend((item.expr, item.lo, item.hi))
+        elif isinstance(item, ast.BoolOp):
+            stack.extend(item.terms)
+        elif isinstance(item, ast.NotOp):
+            stack.append(item.term)
+        elif isinstance(item, ast.Aggregate):
+            if item.arg is not None:
+                stack.append(item.arg)
+        elif isinstance(item, ast.Subquery):
+            sub = item.select
+            for sel in sub.items:
+                stack.append(sel.expr)
+            if sub.where is not None:
+                stack.append(sub.where)
+        elif isinstance(item, ast.InOp):
+            stack.extend((item.expr, item.subquery))
+    return out
+
+
+def _contains_subquery(node):
+    stack = [node]
+    while stack:
+        item = stack.pop()
+        if isinstance(item, (ast.Subquery, ast.InOp)):
+            return True
+        if isinstance(item, ast.BinaryOp):
+            stack.extend((item.left, item.right))
+        elif isinstance(item, ast.BetweenOp):
+            stack.extend((item.expr, item.lo, item.hi))
+        elif isinstance(item, ast.BoolOp):
+            stack.extend(item.terms)
+        elif isinstance(item, ast.NotOp):
+            stack.append(item.term)
+    return False
+
+
+def _contains_aggregate(node):
+    stack = [node]
+    while stack:
+        item = stack.pop()
+        if isinstance(item, ast.Aggregate):
+            return True
+        if isinstance(item, ast.BinaryOp):
+            stack.extend((item.left, item.right))
+        elif isinstance(item, ast.BoolOp):
+            stack.extend(item.terms)
+        elif isinstance(item, ast.NotOp):
+            stack.append(item.term)
+        elif isinstance(item, ast.BetweenOp):
+            stack.extend((item.expr, item.lo, item.hi))
+    return False
+
+
+def _equijoin_columns(node):
+    """If ``node`` is ``col = col``, return ((q1, c1), (q2, c2))."""
+    if (
+        isinstance(node, ast.BinaryOp)
+        and node.op == "="
+        and isinstance(node.left, ast.ColumnRef)
+        and isinstance(node.right, ast.ColumnRef)
+    ):
+        return (
+            (node.left.qualifier, node.left.name),
+            (node.right.qualifier, node.right.name),
+        )
+    return None
+
+
+def _index_bounds(conjuncts, table):
+    """Find (column, lo, hi, used_conjuncts) candidates for an index scan.
+
+    Multiple range conjuncts on the same indexed column are merged into a
+    single [lo, hi] window.
+    """
+    per_column = {}
+    for conjunct in conjuncts:
+        bounds = _bounds_of(conjunct)
+        if bounds is None:
+            continue
+        column, lo, hi = bounds
+        if table.index_on(column) is None:
+            continue
+        current = per_column.get(column)
+        if current is None:
+            per_column[column] = [lo, hi, [conjunct]]
+        else:
+            if lo is not None:
+                current[0] = lo if current[0] is None else max(current[0], lo)
+            if hi is not None:
+                current[1] = hi if current[1] is None else min(current[1], hi)
+            current[2].append(conjunct)
+    return [
+        (column, lo, hi, used) for column, (lo, hi, used) in per_column.items()
+    ]
+
+
+def _bounds_of(conjunct):
+    """Extract (column, lo, hi) from a simple comparison/BETWEEN."""
+    if isinstance(conjunct, ast.BetweenOp):
+        if (
+            isinstance(conjunct.expr, ast.ColumnRef)
+            and isinstance(conjunct.lo, ast.Literal)
+            and isinstance(conjunct.hi, ast.Literal)
+        ):
+            return conjunct.expr.name, conjunct.lo.value, conjunct.hi.value
+        return None
+    if not isinstance(conjunct, ast.BinaryOp):
+        return None
+    left, op_name, right = conjunct.left, conjunct.op, conjunct.right
+    if isinstance(left, ast.Literal) and isinstance(right, ast.ColumnRef):
+        flipped = {"<": ">", "<=": ">=", ">": "<", ">=": "<=", "=": "="}
+        if op_name not in flipped:
+            return None
+        left, right, op_name = right, left, flipped[op_name]
+    if not (isinstance(left, ast.ColumnRef) and isinstance(right, ast.Literal)):
+        return None
+    value = right.value
+    if not isinstance(value, int):
+        return None
+    if op_name == "=":
+        return left.name, value, value
+    if op_name == "<":
+        return left.name, None, value - 1
+    if op_name == "<=":
+        return left.name, None, value
+    if op_name == ">":
+        return left.name, value + 1, None
+    if op_name == ">=":
+        return left.name, value, None
+    return None
+
+
+def _extra_selectivity(conjuncts):
+    """Crude residual selectivity: 0.5 per extra conjunct, floored."""
+    factor = 1.0
+    for _ in conjuncts:
+        factor *= 0.5
+    return max(factor, 0.001)
+
+
+def _group_position(expr, group_asts):
+    for i, group in enumerate(group_asts):
+        if _ast_equal(expr, group):
+            return i
+    return None
+
+
+def _ast_equal(a, b):
+    if isinstance(a, ast.ColumnRef) and isinstance(b, ast.ColumnRef):
+        # unqualified vs qualified references to the same column match
+        return a.name == b.name and (
+            not a.qualifier or not b.qualifier or a.qualifier == b.qualifier
+        )
+    return a == b
+
+
+def _item_name(item, position):
+    if item.alias:
+        return item.alias
+    if isinstance(item.expr, ast.ColumnRef):
+        return item.expr.name
+    if isinstance(item.expr, ast.Aggregate):
+        return f"{item.expr.func}_{position}"
+    return f"expr_{position}"
+
+
+def _identity_exprs(scope):
+    return [ex.Column(i) for i in range(len(scope))]
+
+
+def _output_names(scope):
+    return tuple(column for _alias, column in scope._entries)
+
+
+def _tuple_codec(n_columns):
+    """Codec for spilling arbitrary joined rows: pickles via repr is
+    unsafe; instead grace-join inputs are always base-table rows or
+    already-joined tuples of ints/floats/strings.  We serialize with a
+    generic length-prefixed encoding."""
+    return _GenericRowCodec(n_columns)
+
+
+class _GenericRowCodec:
+    """Variable-typed, fixed-slot row codec for join spill files.
+
+    Encodes each value with a 1-byte tag (i/f/s) and for strings a fixed
+    64-byte field.  Record size is fixed per column count, which the
+    slotted page requires.
+    """
+
+    _STR_WIDTH = 64
+
+    def __init__(self, n_columns):
+        self._n = n_columns
+        self.record_size = n_columns * (1 + self._STR_WIDTH)
+
+    def encode(self, values):
+        if len(values) != self._n:
+            raise PlanError(f"expected {self._n} values, got {len(values)}")
+        parts = []
+        for value in values:
+            if isinstance(value, bool):
+                value = int(value)
+            if isinstance(value, int):
+                parts.append(b"i" + _struct.pack("<q", value).ljust(self._STR_WIDTH, b"\x00"))
+            elif isinstance(value, float):
+                parts.append(b"f" + _struct.pack("<d", value).ljust(self._STR_WIDTH, b"\x00"))
+            else:
+                raw = str(value).encode("utf-8")[: self._STR_WIDTH]
+                parts.append(b"s" + raw.ljust(self._STR_WIDTH, b"\x00"))
+        return b"".join(parts)
+
+    def decode(self, raw):
+        out = []
+        width = 1 + self._STR_WIDTH
+        for i in range(self._n):
+            chunk = raw[i * width : (i + 1) * width]
+            tag = chunk[0:1]
+            body = chunk[1:]
+            if tag == b"i":
+                out.append(_struct.unpack("<q", body[:8])[0])
+            elif tag == b"f":
+                out.append(_struct.unpack("<d", body[:8])[0])
+            else:
+                out.append(body.rstrip(b"\x00").decode("utf-8"))
+        return tuple(out)

@@ -1,0 +1,50 @@
+"""Table and column statistics for the cost model.
+
+``analyze`` scans a table once and records per-column min/max/ndistinct
+(ints and floats only).  Statistics are optional: the planner falls back
+to magic-number selectivities when they are missing, like any engine
+running without ANALYZE.
+"""
+
+from __future__ import annotations
+
+from typing import NamedTuple
+
+
+class ColumnStats(NamedTuple):
+    min_value: object
+    max_value: object
+    n_distinct: int
+
+
+class TableStats(NamedTuple):
+    row_count: int
+    page_count: int
+    columns: dict  # column name -> ColumnStats
+
+
+def analyze(table, txn):
+    """Compute :class:`TableStats` for ``table`` with one scan."""
+    seen = {
+        name: set()
+        for name, spec in table.schema.columns
+        if spec in ("int", "float")
+    }
+    minimums = {}
+    maximums = {}
+    rows = 0
+    positions = {name: table.schema.index_of(name) for name in seen}
+    for _rid, values in table.scan(txn):
+        rows += 1
+        for name, pos in positions.items():
+            value = values[pos]
+            seen[name].add(value)
+            if name not in minimums or value < minimums[name]:
+                minimums[name] = value
+            if name not in maximums or value > maximums[name]:
+                maximums[name] = value
+    columns = {
+        name: ColumnStats(minimums.get(name), maximums.get(name), len(values))
+        for name, values in seen.items()
+    }
+    return TableStats(rows, table.page_count, columns)

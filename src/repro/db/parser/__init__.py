@@ -1,0 +1,6 @@
+"""SQL front end: tokenizer, AST, recursive-descent parser."""
+
+from repro.db.parser.parser import parse
+from repro.db.parser.tokenizer import tokenize
+
+__all__ = ["parse", "tokenize"]

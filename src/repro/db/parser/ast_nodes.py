@@ -1,0 +1,123 @@
+"""Unbound SQL AST.
+
+The parser produces these nodes; the planner binds names to tuple
+positions and lowers them to :mod:`repro.db.exec.expressions`.
+"""
+
+from __future__ import annotations
+
+from typing import NamedTuple
+
+
+class ColumnRef(NamedTuple):
+    """``name`` or ``qualifier.name``."""
+
+    qualifier: str  # "" when unqualified
+    name: str
+
+
+class Literal(NamedTuple):
+    value: object  # int, float, or str (dates already converted to int)
+
+
+class BinaryOp(NamedTuple):
+    """Arithmetic (+ - * /) or comparison (= <> < <= > >=)."""
+
+    op: str
+    left: object
+    right: object
+
+
+class BetweenOp(NamedTuple):
+    expr: object
+    lo: object
+    hi: object
+
+
+class BoolOp(NamedTuple):
+    """AND / OR over two or more terms."""
+
+    op: str  # "AND" | "OR"
+    terms: tuple
+
+
+class NotOp(NamedTuple):
+    term: object
+
+
+class Aggregate(NamedTuple):
+    """SUM/COUNT/AVG/MIN/MAX.  ``arg`` is None for COUNT(*)."""
+
+    func: str
+    arg: object
+
+
+class Subquery(NamedTuple):
+    """A parenthesized SELECT used as a scalar value or IN source."""
+
+    select: object  # SelectStmt
+
+
+class InOp(NamedTuple):
+    """``expr IN (subquery)``."""
+
+    expr: object
+    subquery: object
+
+
+class SelectItem(NamedTuple):
+    expr: object
+    alias: str  # "" if none
+
+
+class TableRef(NamedTuple):
+    name: str
+    alias: str  # defaults to name
+
+
+class OrderItem(NamedTuple):
+    expr: object
+    descending: bool
+
+
+class SelectStmt(NamedTuple):
+    items: tuple  # of SelectItem; empty means SELECT *
+    tables: tuple  # of TableRef
+    where: object  # expression or None
+    group_by: tuple  # of ColumnRef/expressions
+    having: object  # expression or None (may contain Aggregates)
+    order_by: tuple  # of OrderItem
+    limit: object  # int or None
+    distinct: bool
+
+
+class InsertStmt(NamedTuple):
+    table: str
+    columns: tuple  # of column names ("" tuple means schema order)
+    rows: tuple  # of tuples of expressions
+
+
+class UpdateStmt(NamedTuple):
+    table: str
+    assignments: tuple  # of (column name, expression)
+    where: object  # expression or None
+
+
+class DeleteStmt(NamedTuple):
+    table: str
+    where: object  # expression or None
+
+
+class CreateTableStmt(NamedTuple):
+    table: str
+    columns: tuple  # of (name, type_spec) pairs
+
+
+class CreateIndexStmt(NamedTuple):
+    table: str
+    column: str
+    clustered: bool
+
+
+class DropTableStmt(NamedTuple):
+    table: str

@@ -1,0 +1,457 @@
+"""Recursive-descent SQL parser.
+
+Grammar (subset sufficient for the Wisconsin and TPC-H workloads, plus
+DML)::
+
+    statement := select | insert | update | delete | create | drop
+    create    := CREATE TABLE ident '(' col type (',' ...)* ')'
+               | CREATE [CLUSTERED] INDEX ON ident '(' ident ')'
+    drop      := DROP TABLE ident
+    insert    := INSERT INTO ident ['(' idents ')'] VALUES row (',' row)*
+    update    := UPDATE ident SET ident '=' expr (',' ...)* [WHERE or_expr]
+    delete    := DELETE FROM ident [WHERE or_expr]
+    select    := SELECT [DISTINCT] items FROM tables [WHERE or_expr]
+                 [GROUP BY exprs] [HAVING or_expr]
+                 [ORDER BY order_items] [LIMIT n]
+    items     := '*' | item (',' item)*
+    item      := expr [AS ident | ident]
+    tables    := table (',' table)*
+    table     := ident [ident]
+    or_expr   := and_expr (OR and_expr)*
+    and_expr  := not_expr (AND not_expr)*
+    not_expr  := NOT not_expr | predicate
+    predicate := addsub (cmp_op (addsub | subquery))?
+               | addsub BETWEEN addsub AND addsub
+               | addsub IN '(' select ')'
+               | '(' or_expr ')'
+    addsub    := muldiv (('+'|'-') muldiv)*
+    muldiv    := primary (('*'|'/') primary)*
+    primary   := NUMBER | STRING | DATE STRING | column | agg | '(' ... ')'
+    agg       := (SUM|COUNT|AVG|MIN|MAX) '(' ('*' | expr) ')'
+    column    := ident ['.' ident]
+"""
+
+from __future__ import annotations
+
+from repro.db.exec.schema import date_to_int
+from repro.db.parser import ast_nodes as ast
+from repro.db.parser.tokenizer import (
+    END,
+    IDENT,
+    KW,
+    NUMBER,
+    OP,
+    PUNCT,
+    STRING,
+    tokenize,
+)
+from repro.errors import SqlSyntaxError
+
+_CMP_OPS = frozenset({"=", "<>", "<", "<=", ">", ">="})
+_AGG_FUNCS = frozenset({"SUM", "COUNT", "AVG", "MIN", "MAX"})
+
+
+def parse(sql):
+    """Parse one SQL statement (SELECT, INSERT, UPDATE, or DELETE)."""
+    parser = _Parser(tokenize(sql))
+    token = parser.peek()
+    if token.is_kw("INSERT"):
+        stmt = parser.insert_stmt()
+    elif token.is_kw("UPDATE"):
+        stmt = parser.update_stmt()
+    elif token.is_kw("DELETE"):
+        stmt = parser.delete_stmt()
+    elif token.is_kw("CREATE"):
+        stmt = parser.create_stmt()
+    elif token.is_kw("DROP"):
+        stmt = parser.drop_stmt()
+    else:
+        stmt = parser.select_stmt()
+    parser.skip_punct(";")
+    parser.expect_end()
+    return stmt
+
+
+class _Parser:
+    def __init__(self, tokens):
+        self._tokens = tokens
+        self._pos = 0
+
+    # ------------------------------------------------------------------
+    # token helpers
+    # ------------------------------------------------------------------
+    def peek(self):
+        return self._tokens[self._pos]
+
+    def advance(self):
+        token = self._tokens[self._pos]
+        if token.kind != END:
+            self._pos += 1
+        return token
+
+    def accept_kw(self, word):
+        if self.peek().is_kw(word):
+            return self.advance()
+        return None
+
+    def expect_kw(self, word):
+        token = self.advance()
+        if not (token.kind == KW and token.value == word):
+            raise SqlSyntaxError(f"expected {word}, got {token.value!r} at {token.pos}")
+        return token
+
+    def accept_punct(self, ch):
+        token = self.peek()
+        if token.kind == PUNCT and token.value == ch:
+            return self.advance()
+        return None
+
+    def skip_punct(self, ch):
+        while self.accept_punct(ch):
+            pass
+
+    def expect_punct(self, ch):
+        token = self.advance()
+        if not (token.kind == PUNCT and token.value == ch):
+            raise SqlSyntaxError(f"expected {ch!r}, got {token.value!r} at {token.pos}")
+
+    def expect_ident(self):
+        token = self.advance()
+        if token.kind != IDENT:
+            raise SqlSyntaxError(
+                f"expected identifier, got {token.value!r} at {token.pos}"
+            )
+        return token.value
+
+    def expect_end(self):
+        token = self.peek()
+        if token.kind != END:
+            raise SqlSyntaxError(f"trailing input at {token.pos}: {token.value!r}")
+
+    # ------------------------------------------------------------------
+    # grammar
+    # ------------------------------------------------------------------
+    def select_stmt(self):
+        self.expect_kw("SELECT")
+        distinct = bool(self.accept_kw("DISTINCT"))
+        items = self.select_items()
+        self.expect_kw("FROM")
+        tables = self.table_refs()
+        where = None
+        if self.accept_kw("WHERE"):
+            where = self.or_expr()
+        group_by = ()
+        if self.accept_kw("GROUP"):
+            self.expect_kw("BY")
+            group_by = self.expr_list()
+        having = None
+        if self.accept_kw("HAVING"):
+            having = self.or_expr()
+        order_by = ()
+        if self.accept_kw("ORDER"):
+            self.expect_kw("BY")
+            order_by = self.order_items()
+        limit = None
+        if self.accept_kw("LIMIT"):
+            token = self.advance()
+            if token.kind != NUMBER or not isinstance(token.value, int):
+                raise SqlSyntaxError(f"LIMIT needs an integer at {token.pos}")
+            limit = token.value
+        return ast.SelectStmt(
+            items=tuple(items),
+            tables=tuple(tables),
+            where=where,
+            group_by=tuple(group_by),
+            having=having,
+            order_by=tuple(order_by),
+            limit=limit,
+            distinct=distinct,
+        )
+
+    def insert_stmt(self):
+        self.expect_kw("INSERT")
+        self.expect_kw("INTO")
+        table = self.expect_ident()
+        columns = ()
+        if self.accept_punct("("):
+            names = [self.expect_ident()]
+            while self.accept_punct(","):
+                names.append(self.expect_ident())
+            self.expect_punct(")")
+            columns = tuple(names)
+        self.expect_kw("VALUES")
+        rows = [self.value_row()]
+        while self.accept_punct(","):
+            rows.append(self.value_row())
+        return ast.InsertStmt(table, columns, tuple(rows))
+
+    def value_row(self):
+        self.expect_punct("(")
+        values = [self.add_expr()]
+        while self.accept_punct(","):
+            values.append(self.add_expr())
+        self.expect_punct(")")
+        return tuple(values)
+
+    def update_stmt(self):
+        self.expect_kw("UPDATE")
+        table = self.expect_ident()
+        self.expect_kw("SET")
+        assignments = [self.assignment()]
+        while self.accept_punct(","):
+            assignments.append(self.assignment())
+        where = None
+        if self.accept_kw("WHERE"):
+            where = self.or_expr()
+        return ast.UpdateStmt(table, tuple(assignments), where)
+
+    def assignment(self):
+        column = self.expect_ident()
+        token = self.advance()
+        if not (token.kind == OP and token.value == "="):
+            raise SqlSyntaxError(f"expected = in SET at {token.pos}")
+        return column, self.add_expr()
+
+    def delete_stmt(self):
+        self.expect_kw("DELETE")
+        self.expect_kw("FROM")
+        table = self.expect_ident()
+        where = None
+        if self.accept_kw("WHERE"):
+            where = self.or_expr()
+        return ast.DeleteStmt(table, where)
+
+    def create_stmt(self):
+        self.expect_kw("CREATE")
+        clustered = bool(self.accept_kw("CLUSTERED"))
+        if self.accept_kw("INDEX"):
+            self.expect_kw("ON")
+            table = self.expect_ident()
+            self.expect_punct("(")
+            column = self.expect_ident()
+            self.expect_punct(")")
+            return ast.CreateIndexStmt(table, column, clustered)
+        if clustered:
+            raise SqlSyntaxError("CLUSTERED only applies to CREATE INDEX")
+        self.expect_kw("TABLE")
+        table = self.expect_ident()
+        self.expect_punct("(")
+        columns = [self.column_definition()]
+        while self.accept_punct(","):
+            columns.append(self.column_definition())
+        self.expect_punct(")")
+        return ast.CreateTableStmt(table, tuple(columns))
+
+    def column_definition(self):
+        name = self.expect_ident()
+        type_name = self.expect_ident()
+        if type_name in ("int", "integer", "bigint"):
+            return name, "int"
+        if type_name in ("float", "real", "double"):
+            return name, "float"
+        if type_name in ("str", "string", "varchar", "char", "text"):
+            width = 16
+            if self.accept_punct("("):
+                token = self.advance()
+                if token.kind != NUMBER or not isinstance(token.value, int):
+                    raise SqlSyntaxError(
+                        f"string width must be an integer at {token.pos}"
+                    )
+                width = token.value
+                self.expect_punct(")")
+            return name, ("str", width)
+        raise SqlSyntaxError(
+            f"unknown column type {type_name!r}; use int, float, or varchar(n)"
+        )
+
+    def drop_stmt(self):
+        self.expect_kw("DROP")
+        self.expect_kw("TABLE")
+        return ast.DropTableStmt(self.expect_ident())
+
+    def select_items(self):
+        token = self.peek()
+        if token.kind == OP and token.value == "*":
+            self.advance()
+            return []
+        items = [self.select_item()]
+        while self.accept_punct(","):
+            items.append(self.select_item())
+        return items
+
+    def select_item(self):
+        expr = self.add_expr()
+        alias = ""
+        if self.accept_kw("AS"):
+            alias = self.expect_ident()
+        elif self.peek().kind == IDENT:
+            alias = self.advance().value
+        return ast.SelectItem(expr, alias)
+
+    def table_refs(self):
+        tables = [self.table_ref()]
+        while self.accept_punct(","):
+            tables.append(self.table_ref())
+        return tables
+
+    def table_ref(self):
+        name = self.expect_ident()
+        alias = name
+        if self.peek().kind == IDENT:
+            alias = self.advance().value
+        return ast.TableRef(name, alias)
+
+    def expr_list(self):
+        exprs = [self.add_expr()]
+        while self.accept_punct(","):
+            exprs.append(self.add_expr())
+        return exprs
+
+    def order_items(self):
+        items = [self.order_item()]
+        while self.accept_punct(","):
+            items.append(self.order_item())
+        return items
+
+    def order_item(self):
+        expr = self.add_expr()
+        descending = False
+        if self.accept_kw("DESC"):
+            descending = True
+        else:
+            self.accept_kw("ASC")
+        return ast.OrderItem(expr, descending)
+
+    # ------------------------------------------------------------------
+    # boolean expressions
+    # ------------------------------------------------------------------
+    def or_expr(self):
+        terms = [self.and_expr()]
+        while self.accept_kw("OR"):
+            terms.append(self.and_expr())
+        if len(terms) == 1:
+            return terms[0]
+        return ast.BoolOp("OR", tuple(terms))
+
+    def and_expr(self):
+        terms = [self.not_expr()]
+        while self.accept_kw("AND"):
+            terms.append(self.not_expr())
+        if len(terms) == 1:
+            return terms[0]
+        return ast.BoolOp("AND", tuple(terms))
+
+    def not_expr(self):
+        if self.accept_kw("NOT"):
+            return ast.NotOp(self.not_expr())
+        return self.predicate()
+
+    def predicate(self):
+        left = self.add_expr()
+        token = self.peek()
+        if token.kind == OP and token.value in _CMP_OPS:
+            op = self.advance().value
+            right = self.comparand()
+            return ast.BinaryOp(op, left, right)
+        if token.is_kw("BETWEEN"):
+            self.advance()
+            lo = self.add_expr()
+            self.expect_kw("AND")
+            hi = self.add_expr()
+            return ast.BetweenOp(left, lo, hi)
+        if token.is_kw("IN"):
+            self.advance()
+            self.expect_punct("(")
+            sub = self.select_stmt()
+            self.expect_punct(")")
+            return ast.InOp(left, ast.Subquery(sub))
+        return left
+
+    def comparand(self):
+        """Right side of a comparison: expression or scalar subquery."""
+        if self.peek().kind == PUNCT and self.peek().value == "(":
+            # lookahead: '(' SELECT ... is a subquery
+            nxt = self._tokens[self._pos + 1]
+            if nxt.is_kw("SELECT"):
+                self.advance()
+                sub = self.select_stmt()
+                self.expect_punct(")")
+                return ast.Subquery(sub)
+        return self.add_expr()
+
+    # ------------------------------------------------------------------
+    # arithmetic expressions
+    # ------------------------------------------------------------------
+    def add_expr(self):
+        left = self.mul_expr()
+        while True:
+            token = self.peek()
+            if token.kind == OP and token.value in ("+", "-"):
+                op = self.advance().value
+                left = ast.BinaryOp(op, left, self.mul_expr())
+            else:
+                return left
+
+    def mul_expr(self):
+        left = self.primary()
+        while True:
+            token = self.peek()
+            if token.kind == OP and token.value in ("*", "/"):
+                op = self.advance().value
+                left = ast.BinaryOp(op, left, self.primary())
+            else:
+                return left
+
+    def primary(self):
+        token = self.peek()
+        if token.kind == NUMBER:
+            self.advance()
+            return ast.Literal(token.value)
+        if token.kind == STRING:
+            self.advance()
+            return ast.Literal(token.value)
+        if token.is_kw("DATE"):
+            self.advance()
+            lit = self.advance()
+            if lit.kind != STRING:
+                raise SqlSyntaxError(f"DATE needs a string literal at {lit.pos}")
+            return ast.Literal(date_to_int(lit.value))
+        if token.kind == KW and token.value in _AGG_FUNCS:
+            return self.aggregate()
+        if token.kind == OP and token.value == "-":
+            self.advance()
+            inner = self.primary()
+            if isinstance(inner, ast.Literal):
+                return ast.Literal(-inner.value)
+            return ast.BinaryOp("-", ast.Literal(0), inner)
+        if token.kind == PUNCT and token.value == "(":
+            self.advance()
+            if self.peek().is_kw("SELECT"):
+                sub = self.select_stmt()
+                self.expect_punct(")")
+                return ast.Subquery(sub)
+            expr = self.or_expr()
+            self.expect_punct(")")
+            return expr
+        if token.kind == IDENT:
+            return self.column_ref()
+        raise SqlSyntaxError(f"unexpected token {token.value!r} at {token.pos}")
+
+    def aggregate(self):
+        func = self.advance().value.lower()
+        self.expect_punct("(")
+        token = self.peek()
+        if token.kind == OP and token.value == "*":
+            self.advance()
+            arg = None
+        else:
+            arg = self.add_expr()
+        self.expect_punct(")")
+        return ast.Aggregate(func, arg)
+
+    def column_ref(self):
+        first = self.expect_ident()
+        if self.accept_punct("."):
+            second = self.expect_ident()
+            return ast.ColumnRef(first, second)
+        return ast.ColumnRef("", first)

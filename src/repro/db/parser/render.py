@@ -1,0 +1,158 @@
+"""SQL unparser: render an AST back to SQL text.
+
+``parse(render(stmt))`` returns an equal AST for every statement the
+parser accepts (the round-trip property is enforced by tests over both
+random ASTs and the full workload query corpus).  Useful for logging
+plans, normalizing queries, and golden tests.
+"""
+
+from __future__ import annotations
+
+from repro.db.parser import ast_nodes as ast
+from repro.errors import SqlError
+
+
+def render(stmt):
+    """Render any supported statement AST to SQL text."""
+    if isinstance(stmt, ast.SelectStmt):
+        return render_select(stmt)
+    if isinstance(stmt, ast.InsertStmt):
+        return _render_insert(stmt)
+    if isinstance(stmt, ast.UpdateStmt):
+        return _render_update(stmt)
+    if isinstance(stmt, ast.DeleteStmt):
+        return _render_delete(stmt)
+    if isinstance(stmt, ast.CreateTableStmt):
+        return _render_create_table(stmt)
+    if isinstance(stmt, ast.CreateIndexStmt):
+        clustered = "CLUSTERED " if stmt.clustered else ""
+        return f"CREATE {clustered}INDEX ON {stmt.table} ({stmt.column})"
+    if isinstance(stmt, ast.DropTableStmt):
+        return f"DROP TABLE {stmt.table}"
+    raise SqlError(f"cannot render {type(stmt).__name__}")
+
+
+def render_select(stmt):
+    parts = ["SELECT"]
+    if stmt.distinct:
+        parts.append("DISTINCT")
+    if stmt.items:
+        parts.append(", ".join(_render_item(item) for item in stmt.items))
+    else:
+        parts.append("*")
+    parts.append("FROM")
+    parts.append(", ".join(_render_table(table) for table in stmt.tables))
+    if stmt.where is not None:
+        parts.append("WHERE")
+        parts.append(render_expr(stmt.where))
+    if stmt.group_by:
+        parts.append("GROUP BY")
+        parts.append(", ".join(render_expr(g) for g in stmt.group_by))
+    if stmt.having is not None:
+        parts.append("HAVING")
+        parts.append(render_expr(stmt.having))
+    if stmt.order_by:
+        parts.append("ORDER BY")
+        parts.append(", ".join(
+            render_expr(item.expr) + (" DESC" if item.descending else "")
+            for item in stmt.order_by
+        ))
+    if stmt.limit is not None:
+        parts.append(f"LIMIT {stmt.limit}")
+    return " ".join(parts)
+
+
+def _render_item(item):
+    text = render_expr(item.expr)
+    if item.alias:
+        text += f" AS {item.alias}"
+    return text
+
+
+def _render_table(table):
+    if table.alias != table.name:
+        return f"{table.name} {table.alias}"
+    return table.name
+
+
+def _render_insert(stmt):
+    columns = f" ({', '.join(stmt.columns)})" if stmt.columns else ""
+    rows = ", ".join(
+        "(" + ", ".join(render_expr(v) for v in row) + ")" for row in stmt.rows
+    )
+    return f"INSERT INTO {stmt.table}{columns} VALUES {rows}"
+
+
+def _render_update(stmt):
+    sets = ", ".join(
+        f"{column} = {render_expr(expr)}" for column, expr in stmt.assignments
+    )
+    where = f" WHERE {render_expr(stmt.where)}" if stmt.where is not None else ""
+    return f"UPDATE {stmt.table} SET {sets}{where}"
+
+
+def _render_create_table(stmt):
+    columns = ", ".join(
+        f"{name} {_render_type(spec)}" for name, spec in stmt.columns
+    )
+    return f"CREATE TABLE {stmt.table} ({columns})"
+
+
+def _render_type(spec):
+    if spec == "int":
+        return "int"
+    if spec == "float":
+        return "float"
+    return f"varchar({spec[1]})"
+
+
+def _render_delete(stmt):
+    where = f" WHERE {render_expr(stmt.where)}" if stmt.where is not None else ""
+    return f"DELETE FROM {stmt.table}{where}"
+
+
+def render_expr(node):
+    """Render an expression AST; parenthesizes conservatively so the
+    round trip preserves structure."""
+    if isinstance(node, ast.Literal):
+        return _render_literal(node.value)
+    if isinstance(node, ast.ColumnRef):
+        if node.qualifier:
+            return f"{node.qualifier}.{node.name}"
+        return node.name
+    if isinstance(node, ast.BinaryOp):
+        return (
+            f"({render_expr(node.left)} {node.op} {render_expr(node.right)})"
+        )
+    if isinstance(node, ast.BetweenOp):
+        return (
+            f"{render_expr(node.expr)} BETWEEN {render_expr(node.lo)} "
+            f"AND {render_expr(node.hi)}"
+        )
+    if isinstance(node, ast.BoolOp):
+        joiner = f" {node.op} "
+        return "(" + joiner.join(render_expr(t) for t in node.terms) + ")"
+    if isinstance(node, ast.NotOp):
+        return f"NOT {render_expr(node.term)}"
+    if isinstance(node, ast.Aggregate):
+        arg = "*" if node.arg is None else render_expr(node.arg)
+        return f"{node.func.upper()}({arg})"
+    if isinstance(node, ast.Subquery):
+        return f"({render_select(node.select)})"
+    if isinstance(node, ast.InOp):
+        return (
+            f"{render_expr(node.expr)} IN "
+            f"({render_select(node.subquery.select)})"
+        )
+    raise SqlError(f"cannot render expression {node!r}")
+
+
+def _render_literal(value):
+    if isinstance(value, str):
+        escaped = value.replace("'", "''")
+        return f"'{escaped}'"
+    if isinstance(value, float):
+        return repr(value)
+    if isinstance(value, int) and value < 0:
+        return f"({value})"
+    return str(value)

@@ -1,0 +1,130 @@
+"""SQL tokenizer.
+
+Produces a list of :class:`Token`; keywords are case-insensitive and
+uppercased, identifiers are lowercased.  String literals use single
+quotes with ``''`` as the escape.
+"""
+
+from __future__ import annotations
+
+from typing import NamedTuple
+
+from repro.errors import SqlSyntaxError
+
+KEYWORDS = frozenset(
+    """
+    SELECT FROM WHERE GROUP BY ORDER ASC DESC LIMIT AS AND OR NOT
+    BETWEEN IN SUM COUNT AVG MIN MAX DATE INTERVAL DISTINCT HAVING
+    INSERT INTO VALUES UPDATE SET DELETE
+    CREATE TABLE INDEX ON DROP CLUSTERED
+    """.split()
+)
+
+# token kinds
+KW = "KW"
+IDENT = "IDENT"
+NUMBER = "NUMBER"
+STRING = "STRING"
+OP = "OP"
+PUNCT = "PUNCT"
+END = "END"
+
+_OPERATORS = ("<=", ">=", "<>", "!=", "=", "<", ">", "+", "-", "*", "/")
+_PUNCT = "(),.;"
+
+
+class Token(NamedTuple):
+    kind: str
+    value: object
+    pos: int
+
+    def is_kw(self, word):
+        return self.kind == KW and self.value == word
+
+
+def tokenize(text):
+    """Tokenize ``text``; raises :class:`SqlSyntaxError` on bad input."""
+    tokens = []
+    i = 0
+    n = len(text)
+    while i < n:
+        ch = text[i]
+        if ch.isspace():
+            i += 1
+            continue
+        if ch == "-" and text.startswith("--", i):
+            end = text.find("\n", i)
+            i = n if end < 0 else end + 1
+            continue
+        if ch.isdigit() or (ch == "." and i + 1 < n and text[i + 1].isdigit()):
+            i = _lex_number(text, i, tokens)
+            continue
+        if ch.isalpha() or ch == "_":
+            i = _lex_word(text, i, tokens)
+            continue
+        if ch == "'":
+            i = _lex_string(text, i, tokens)
+            continue
+        for op in _OPERATORS:
+            if text.startswith(op, i):
+                value = "<>" if op == "!=" else op
+                tokens.append(Token(OP, value, i))
+                i += len(op)
+                break
+        else:
+            if ch in _PUNCT:
+                tokens.append(Token(PUNCT, ch, i))
+                i += 1
+            else:
+                raise SqlSyntaxError(f"unexpected character {ch!r} at {i}")
+    tokens.append(Token(END, None, n))
+    return tokens
+
+
+def _lex_number(text, i, tokens):
+    start = i
+    n = len(text)
+    seen_dot = False
+    while i < n and (text[i].isdigit() or (text[i] == "." and not seen_dot)):
+        if text[i] == ".":
+            # a trailing dot followed by non-digit is punctuation, stop
+            if i + 1 >= n or not text[i + 1].isdigit():
+                break
+            seen_dot = True
+        i += 1
+    raw = text[start:i]
+    value = float(raw) if "." in raw else int(raw)
+    tokens.append(Token(NUMBER, value, start))
+    return i
+
+
+def _lex_word(text, i, tokens):
+    start = i
+    n = len(text)
+    while i < n and (text[i].isalnum() or text[i] == "_"):
+        i += 1
+    word = text[start:i]
+    upper = word.upper()
+    if upper in KEYWORDS:
+        tokens.append(Token(KW, upper, start))
+    else:
+        tokens.append(Token(IDENT, word.lower(), start))
+    return i
+
+
+def _lex_string(text, i, tokens):
+    start = i
+    i += 1
+    parts = []
+    n = len(text)
+    while i < n:
+        if text[i] == "'":
+            if i + 1 < n and text[i + 1] == "'":
+                parts.append("'")
+                i += 2
+                continue
+            tokens.append(Token(STRING, "".join(parts), start))
+            return i + 1
+        parts.append(text[i])
+        i += 1
+    raise SqlSyntaxError(f"unterminated string starting at {start}")

@@ -1,0 +1,178 @@
+"""An interactive SQL shell over the embedded database.
+
+Run:  python -m repro.db.shell
+
+Meta-commands (anything not starting with ``.`` is SQL):
+
+* ``.help``                         — this list
+* ``.tables``                       — list tables with row counts
+* ``.schema <table>``               — columns, types, indexes
+* ``.create <table> <col:type>...`` — create a table (types: int, float, strN)
+* ``.index <table> <column>``       — create a B+-tree index
+* ``.analyze``                      — collect optimizer statistics
+* ``.explain <sql>``                — show the physical plan
+* ``.demo``                         — load a small demo dataset
+* ``.quit``                         — exit
+
+The module separates command processing (:class:`ShellSession`, fully
+testable) from the REPL loop.
+"""
+
+from __future__ import annotations
+
+from repro.db import Database
+from repro.errors import ReproError
+
+_HELP = __doc__.split("Meta-commands", 1)[1]
+
+
+def format_result(result, max_rows=50):
+    """Render a QueryResult as an aligned text table."""
+    rows = [
+        tuple(
+            f"{value:.4f}".rstrip("0").rstrip(".")
+            if isinstance(value, float) else str(value)
+            for value in row
+        )
+        for row in result.rows[:max_rows]
+    ]
+    headers = [str(c) for c in result.columns]
+    widths = [
+        max(len(headers[i]), *(len(r[i]) for r in rows)) if rows else len(headers[i])
+        for i in range(len(headers))
+    ]
+    lines = [
+        " | ".join(h.ljust(w) for h, w in zip(headers, widths)),
+        "-+-".join("-" * w for w in widths),
+    ]
+    for row in rows:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    if len(result.rows) > max_rows:
+        lines.append(f"... ({len(result.rows) - max_rows} more rows)")
+    lines.append(f"({len(result.rows)} row{'s' if len(result.rows) != 1 else ''})")
+    return "\n".join(lines)
+
+
+def parse_column_spec(spec):
+    """Parse ``name:type`` where type is int, float, or strN."""
+    name, _, kind = spec.partition(":")
+    if not name or not kind:
+        raise ReproError(f"bad column spec {spec!r}; use name:type")
+    kind = kind.lower()
+    if kind == "int":
+        return name, "int"
+    if kind == "float":
+        return name, "float"
+    if kind.startswith("str"):
+        width = int(kind[3:]) if kind[3:] else 16
+        return name, ("str", width)
+    raise ReproError(f"unknown type {kind!r}; use int, float, or strN")
+
+
+class ShellSession:
+    """Processes one line at a time; returns output text."""
+
+    def __init__(self, db=None):
+        self.db = db if db is not None else Database(pool_pages=2048)
+        self.done = False
+
+    def process(self, line):
+        line = line.strip()
+        if not line:
+            return ""
+        try:
+            if line.startswith("."):
+                return self._meta(line)
+            return format_result(self.db.execute(line))
+        except ReproError as exc:
+            return f"error: {exc}"
+
+    def _meta(self, line):
+        command, _, rest = line.partition(" ")
+        rest = rest.strip()
+        if command in (".quit", ".exit"):
+            self.done = True
+            return "bye"
+        if command == ".help":
+            return "Meta-commands" + _HELP
+        if command == ".tables":
+            names = self.db.catalog.table_names()
+            if not names:
+                return "(no tables)"
+            return "\n".join(
+                f"{name}  ({self.db.catalog.table(name).row_count} rows)"
+                for name in names
+            )
+        if command == ".schema":
+            table = self.db.catalog.table(rest)
+            lines = [
+                f"{name}: {spec if isinstance(spec, str) else f'str({spec[1]})'}"
+                for name, spec in table.schema.columns
+            ]
+            for index in table.indexes.values():
+                kind = "clustered" if index.clustered else "secondary"
+                lines.append(f"index {index.name} ({kind})")
+            return "\n".join(lines)
+        if command == ".create":
+            parts = rest.split()
+            if len(parts) < 2:
+                return "usage: .create <table> <col:type> ..."
+            columns = [parse_column_spec(spec) for spec in parts[1:]]
+            self.db.create_table(parts[0], columns)
+            return f"created table {parts[0]}"
+        if command == ".index":
+            parts = rest.split()
+            if len(parts) != 2:
+                return "usage: .index <table> <column>"
+            self.db.create_index(parts[0], parts[1])
+            return f"created index on {parts[0]}.{parts[1]}"
+        if command == ".analyze":
+            self.db.analyze_all()
+            return "statistics collected"
+        if command == ".explain":
+            return self.db.explain(rest)
+        if command == ".demo":
+            return self._load_demo()
+        return f"unknown command {command}; try .help"
+
+    def _load_demo(self):
+        if self.db.catalog.has_table("emp"):
+            return "demo already loaded"
+        self.db.create_table(
+            "dept", [("dno", "int"), ("dname", ("str", 16))]
+        )
+        self.db.create_table(
+            "emp",
+            [("eno", "int"), ("name", ("str", 16)), ("dno", "int"),
+             ("salary", "float")],
+        )
+        self.db.load_rows("dept", [(1, "storage"), (2, "optimizer"),
+                                   (3, "parser")])
+        self.db.load_rows(
+            "emp",
+            [(i, f"emp{i:03d}", 1 + i % 3, 50_000.0 + 997.0 * (i % 13))
+             for i in range(120)],
+        )
+        self.db.create_index("emp", "eno", clustered=True)
+        self.db.analyze_all()
+        return ("loaded demo tables dept(3) and emp(120); try:\n"
+                "  SELECT dname, count(*), avg(salary) FROM emp, dept "
+                "WHERE emp.dno = dept.dno GROUP BY dname")
+
+
+def main():
+    session = ShellSession()
+    print("repro SQL shell — .help for commands, .demo for sample data")
+    while not session.done:
+        try:
+            line = input("sql> ")
+        except (EOFError, KeyboardInterrupt):
+            print()
+            break
+        output = session.process(line)
+        if output:
+            print(output)
+
+
+if __name__ == "__main__":
+    main()

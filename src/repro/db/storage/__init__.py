@@ -1,0 +1,44 @@
+"""Storage layer: the SHORE-like bottom of the DBMS.
+
+Public surface:
+
+* :class:`StorageManager` — facade combining disk, buffer pool, locks,
+  WAL, transactions, heap files, and B+-tree indexes.
+* :class:`BufferPool`, :class:`DiskManager`, :class:`Page`, :class:`PageId`
+* :class:`BTree`
+* :class:`LockManager`, :class:`WriteAheadLog`, :class:`TransactionManager`
+* :func:`recover` — ARIES-lite crash recovery
+* :class:`RecordCodec` — fixed-width tuple serialization
+"""
+
+from repro.db.storage.btree import BTree, BTreeNode
+from repro.db.storage.buffer_pool import BufferPool
+from repro.db.storage.codec import RecordCodec
+from repro.db.storage.disk import DiskManager
+from repro.db.storage.lock_manager import EXCLUSIVE, SHARED, LockManager
+from repro.db.storage.page import PAGE_SIZE, Page, PageId
+from repro.db.storage.recovery import RecoveryStats, recover
+from repro.db.storage.storage_manager import StorageManager
+from repro.db.storage.transaction import Transaction, TransactionManager
+from repro.db.storage.wal import LogRecord, WriteAheadLog
+
+__all__ = [
+    "BTree",
+    "BTreeNode",
+    "BufferPool",
+    "DiskManager",
+    "EXCLUSIVE",
+    "LockManager",
+    "LogRecord",
+    "PAGE_SIZE",
+    "Page",
+    "PageId",
+    "RecordCodec",
+    "RecoveryStats",
+    "SHARED",
+    "StorageManager",
+    "Transaction",
+    "TransactionManager",
+    "WriteAheadLog",
+    "recover",
+]

@@ -1,0 +1,459 @@
+"""Page-based B+-tree index.
+
+Keys are signed 64-bit integers; values are record ids ``(page_no, slot)``.
+Duplicate keys are supported by ordering entries on the *composite* key
+``(key, page_no, slot)``, which is unique, so descent always reaches the
+exact leaf holding an entry and deletion needs no leaf-chain special cases.
+
+Nodes are pages managed by the buffer pool and serialized to the simulated
+disk like data pages, so index traversal exercises the same
+``find_page_in_buffer_pool`` / ``getpage_from_disk`` call paths the paper's
+storage manager does.
+
+The fanout defaults to what fits in a 4KB page but can be lowered to force
+deep trees and frequent splits in tests.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.db.storage.disk import register_page_kind
+from repro.db.storage.page import PAGE_SIZE, PageId
+from repro.errors import StorageError
+
+_NODE_HEADER = struct.Struct("<biii")  # is_leaf, count, next_leaf, max_keys
+_LEAF_ENTRY = struct.Struct("<qii")  # key, rid page_no, rid slot
+_INNER_ENTRY = struct.Struct("<qiii")  # sep key, sep page_no, sep slot, child
+_NO_PAGE = -1
+_RID_MIN = (-(2**31), -(2**31))
+_RID_MAX = (2**31 - 1, 2**31 - 1)
+
+DEFAULT_MAX_KEYS = (PAGE_SIZE - _NODE_HEADER.size) // _INNER_ENTRY.size - 2
+
+
+class BTreeNode:
+    """One B+-tree node, stored as a page.
+
+    ``keys`` holds composite ``(key, page_no, slot)`` tuples.  Leaf nodes
+    pair them with a ``next_leaf`` sibling pointer; internal nodes hold
+    ``len(keys) + 1`` children where child ``i`` covers composites
+    ``<= keys[i]`` and the last child covers the rest.
+    """
+
+    KIND = "B"
+
+    __slots__ = (
+        "page_id",
+        "is_leaf",
+        "keys",
+        "children",
+        "next_leaf",
+        "max_keys",
+        "pin_count",
+        "dirty",
+        "page_lsn",
+    )
+
+    def __init__(self, page_id, is_leaf, max_keys):
+        self.page_id = page_id
+        self.is_leaf = is_leaf
+        self.keys = []  # composite (key, page_no, slot)
+        self.children = []  # internal only: page numbers
+        self.next_leaf = _NO_PAGE
+        self.max_keys = max_keys
+        self.pin_count = 0
+        self.dirty = False
+        self.page_lsn = 0
+
+    @property
+    def is_full(self):
+        return len(self.keys) > self.max_keys
+
+    def min_keys(self):
+        return self.max_keys // 2
+
+    # ------------------------------------------------------------------
+    # serialization
+    # ------------------------------------------------------------------
+    def to_bytes(self):
+        parts = [
+            _NODE_HEADER.pack(
+                1 if self.is_leaf else 0, len(self.keys), self.next_leaf, self.max_keys
+            )
+        ]
+        if self.is_leaf:
+            for key, page_no, slot in self.keys:
+                parts.append(_LEAF_ENTRY.pack(key, page_no, slot))
+        else:
+            for i, (key, page_no, slot) in enumerate(self.keys):
+                parts.append(_INNER_ENTRY.pack(key, page_no, slot, self.children[i]))
+            parts.append(_INNER_ENTRY.pack(0, 0, 0, self.children[-1]))
+        return b"".join(parts)
+
+    @classmethod
+    def from_bytes(cls, page_id, image):
+        is_leaf, count, next_leaf, max_keys = _NODE_HEADER.unpack_from(image, 0)
+        node = cls(page_id, bool(is_leaf), max_keys)
+        node.next_leaf = next_leaf
+        offset = _NODE_HEADER.size
+        if node.is_leaf:
+            for _ in range(count):
+                node.keys.append(_LEAF_ENTRY.unpack_from(image, offset))
+                offset += _LEAF_ENTRY.size
+        else:
+            for _ in range(count):
+                key, page_no, slot, child = _INNER_ENTRY.unpack_from(image, offset)
+                node.keys.append((key, page_no, slot))
+                node.children.append(child)
+                offset += _INNER_ENTRY.size
+            _k, _p, _s, child = _INNER_ENTRY.unpack_from(image, offset)
+            node.children.append(child)
+        return node
+
+
+register_page_kind(BTreeNode.KIND, BTreeNode.from_bytes)
+
+
+def _position(keys, composite):
+    """Leftmost insertion point for ``composite`` in a sorted list."""
+    lo, hi = 0, len(keys)
+    while lo < hi:
+        mid = (lo + hi) // 2
+        if keys[mid] < composite:
+            lo = mid + 1
+        else:
+            hi = mid
+    return lo
+
+
+class BTree:
+    """B+-tree over a buffer pool.
+
+    The tree owns a file id in the storage manager's page namespace; node
+    page numbers come from the caller-provided allocator so that the tree
+    shares the volume with heap files.
+    """
+
+    def __init__(self, pool, file_id, allocate_page_no, max_keys=DEFAULT_MAX_KEYS):
+        if max_keys < 3:
+            raise StorageError("B+-tree needs max_keys >= 3")
+        self._pool = pool
+        self._file_id = file_id
+        self._allocate = allocate_page_no
+        self._max_keys = max_keys
+        root = self._new_node(is_leaf=True)
+        self._root_no = root.page_id.page_no
+        self._pool.unpin_page(root.page_id, dirty=True)
+        self.height = 1
+        self.entry_count = 0
+
+    # ------------------------------------------------------------------
+    # node helpers (buffer-pool mediated)
+    # ------------------------------------------------------------------
+    def _new_node(self, is_leaf):
+        page_no = self._allocate()
+        node = BTreeNode(PageId(self._file_id, page_no), is_leaf, self._max_keys)
+        self._pool.add_page(node)
+        return node
+
+    def _fetch(self, page_no):
+        return self._pool.fetch_page(PageId(self._file_id, page_no))
+
+    def _release(self, node, dirty=False):
+        self._pool.unpin_page(node.page_id, dirty=dirty)
+
+    @property
+    def root_page_no(self):
+        return self._root_no
+
+    # ------------------------------------------------------------------
+    # descent
+    # ------------------------------------------------------------------
+    def _descend(self, composite):
+        """Return (leaf, path); path entries are (node, child_idx), pinned."""
+        path = []
+        node = self._fetch(self._root_no)
+        while not node.is_leaf:
+            idx = _position(node.keys, composite)
+            path.append((node, idx))
+            node = self._fetch(node.children[idx])
+        return node, path
+
+    def _release_path(self, path):
+        for node, _idx in path:
+            self._release(node)
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def search(self, key):
+        """Return the list of rids stored under ``key`` (empty if none)."""
+        return [rid for _key, rid in self.range_scan(key, key)]
+
+    def range_scan(self, lo=None, hi=None, include_hi=True):
+        """Yield ``(key, rid)`` for keys in [lo, hi] (or half-open bounds).
+
+        The current leaf stays pinned between yields and is released even
+        if the consumer abandons the generator early.
+        """
+        if lo is None:
+            leaf = self._leftmost_leaf()
+            pos = 0
+        else:
+            leaf, path = self._descend((lo,) + _RID_MIN)
+            self._release_path(path)
+            pos = _position(leaf.keys, (lo,) + _RID_MIN)
+        try:
+            while True:
+                while pos < len(leaf.keys):
+                    key, page_no, slot = leaf.keys[pos]
+                    if hi is not None and (key > hi or (key == hi and not include_hi)):
+                        return
+                    yield key, (page_no, slot)
+                    pos += 1
+                if leaf.next_leaf == _NO_PAGE:
+                    return
+                nxt = self._fetch(leaf.next_leaf)
+                self._release(leaf)
+                leaf = nxt
+                pos = 0
+        finally:
+            self._release(leaf)
+
+    def _leftmost_leaf(self):
+        node = self._fetch(self._root_no)
+        while not node.is_leaf:
+            child = self._fetch(node.children[0])
+            self._release(node)
+            node = child
+        return node
+
+    # ------------------------------------------------------------------
+    # insertion
+    # ------------------------------------------------------------------
+    def insert(self, key, rid):
+        """Insert ``key -> rid``."""
+        composite = (key, rid[0], rid[1])
+        leaf, path = self._descend(composite)
+        pos = _position(leaf.keys, composite)
+        leaf.keys.insert(pos, composite)
+        self.entry_count += 1
+        self._split_upward(leaf, path)
+
+    def _split_upward(self, node, path):
+        """Split overflowing nodes up the (pinned) path, then release it."""
+        while node.is_full:
+            sibling, sep = self._split(node)
+            if path:
+                parent, idx = path.pop()
+                parent.keys.insert(idx, sep)
+                parent.children.insert(idx + 1, sibling.page_id.page_no)
+                self._release(node, dirty=True)
+                self._release(sibling, dirty=True)
+                node = parent
+            else:
+                new_root = self._new_node(is_leaf=False)
+                new_root.keys = [sep]
+                new_root.children = [node.page_id.page_no, sibling.page_id.page_no]
+                self._root_no = new_root.page_id.page_no
+                self.height += 1
+                self._release(node, dirty=True)
+                self._release(sibling, dirty=True)
+                self._release(new_root, dirty=True)
+                return
+        self._release(node, dirty=True)
+        self._release_path(path)
+
+    def _split(self, node):
+        """Split ``node`` in half; return (new right sibling, separator)."""
+        mid = len(node.keys) // 2
+        sibling = self._new_node(node.is_leaf)
+        if node.is_leaf:
+            sep = node.keys[mid - 1]  # max composite staying left
+            sibling.keys = node.keys[mid:]
+            node.keys = node.keys[:mid]
+            sibling.next_leaf = node.next_leaf
+            node.next_leaf = sibling.page_id.page_no
+        else:
+            sep = node.keys[mid]
+            sibling.keys = node.keys[mid + 1 :]
+            sibling.children = node.children[mid + 1 :]
+            node.keys = node.keys[:mid]
+            node.children = node.children[: mid + 1]
+        return sibling, sep
+
+    # ------------------------------------------------------------------
+    # deletion
+    # ------------------------------------------------------------------
+    def delete(self, key, rid=None):
+        """Delete one entry with ``key`` (matching ``rid`` if given).
+
+        Returns True if an entry was removed.  Underflowing nodes borrow
+        from or merge with a sibling, shrinking the tree when the root
+        empties.
+        """
+        if rid is None:
+            rids = self.search(key)
+            if not rids:
+                return False
+            rid = rids[0]
+        composite = (key, rid[0], rid[1])
+        leaf, path = self._descend(composite)
+        pos = _position(leaf.keys, composite)
+        if pos >= len(leaf.keys) or leaf.keys[pos] != composite:
+            self._release(leaf)
+            self._release_path(path)
+            return False
+        del leaf.keys[pos]
+        self.entry_count -= 1
+        self._rebalance_upward(leaf, path)
+        return True
+
+    def _rebalance_upward(self, node, path):
+        while path and len(node.keys) < node.min_keys():
+            parent, idx = path.pop()
+            self._fix_underflow(parent, idx, node)
+            node = parent
+        if not path and not node.is_leaf and len(node.keys) == 0:
+            # shrink: root has a single child
+            old_root = node
+            self._root_no = node.children[0]
+            self.height -= 1
+            self._release(old_root, dirty=True)
+            self._pool.discard_page(old_root.page_id)
+            return
+        self._release(node, dirty=True)
+        self._release_path(path)
+
+    def _fix_underflow(self, parent, idx, node):
+        """Borrow from or merge with a sibling of ``node`` (child ``idx``
+        of ``parent``).  ``node`` is released here; parent stays pinned."""
+        left = right = None
+        node_consumed = False
+        if idx > 0:
+            left = self._fetch(parent.children[idx - 1])
+        if idx < len(parent.children) - 1:
+            right = self._fetch(parent.children[idx + 1])
+        try:
+            if left is not None and len(left.keys) > left.min_keys():
+                self._borrow_from_left(parent, idx, left, node)
+                return
+            if right is not None and len(right.keys) > right.min_keys():
+                self._borrow_from_right(parent, idx, node, right)
+                return
+            if left is not None:
+                # node is folded into left and discarded inside _merge
+                self._merge(parent, idx - 1, left, node)
+                node_consumed = True
+            elif right is not None:
+                self._merge(parent, idx, node, right)
+                right = None
+        finally:
+            if left is not None:
+                self._release(left, dirty=True)
+            if right is not None:
+                self._release(right)
+            if not node_consumed:
+                self._release(node, dirty=True)
+
+    def _borrow_from_left(self, parent, idx, left, node):
+        if node.is_leaf:
+            node.keys.insert(0, left.keys.pop())
+            parent.keys[idx - 1] = left.keys[-1]
+        else:
+            node.keys.insert(0, parent.keys[idx - 1])
+            parent.keys[idx - 1] = left.keys.pop()
+            node.children.insert(0, left.children.pop())
+        left.dirty = True
+        parent.dirty = True
+
+    def _borrow_from_right(self, parent, idx, node, right):
+        if node.is_leaf:
+            moved = right.keys.pop(0)
+            node.keys.append(moved)
+            parent.keys[idx] = moved
+        else:
+            node.keys.append(parent.keys[idx])
+            parent.keys[idx] = right.keys.pop(0)
+            node.children.append(right.children.pop(0))
+        right.dirty = True
+        parent.dirty = True
+
+    def _merge(self, parent, left_idx, left, right):
+        """Fold ``right`` into ``left``; both are pinned by the caller."""
+        if left.is_leaf:
+            left.keys.extend(right.keys)
+            left.next_leaf = right.next_leaf
+        else:
+            left.keys.append(parent.keys[left_idx])
+            left.keys.extend(right.keys)
+            left.children.extend(right.children)
+        del parent.keys[left_idx]
+        del parent.children[left_idx + 1]
+        left.dirty = True
+        parent.dirty = True
+        right.keys = []
+        right.children = []
+        self._release(right, dirty=True)
+        self._pool.discard_page(right.page_id)
+
+    # ------------------------------------------------------------------
+    # validation (used by tests)
+    # ------------------------------------------------------------------
+    def check_invariants(self):
+        """Verify ordering, fanout, and leaf-chain invariants; raise on
+        violation.  Returns the number of entries seen."""
+        leaves = []
+        count = self._check_node(self._root_no, None, None, leaves, depth=0)
+        composites = []
+        for leaf_no in leaves:
+            node = self._fetch(leaf_no)
+            composites.extend(node.keys)
+            self._release(node)
+        if composites != sorted(composites):
+            raise StorageError("leaf chain keys not sorted")
+        if len(set(composites)) != len(composites):
+            raise StorageError("duplicate composite keys in leaves")
+        if count != self.entry_count:
+            raise StorageError(f"entry_count {self.entry_count} != actual {count}")
+        # leaf chain must reach exactly the leaves found by traversal
+        chain = []
+        node = self._leftmost_leaf()
+        while True:
+            chain.append(node.page_id.page_no)
+            nxt_no = node.next_leaf
+            self._release(node)
+            if nxt_no == _NO_PAGE:
+                break
+            node = self._fetch(nxt_no)
+        if chain != leaves:
+            raise StorageError("leaf chain does not match tree traversal")
+        return count
+
+    def _check_node(self, page_no, lo, hi, leaves, depth):
+        node = self._fetch(page_no)
+        try:
+            for composite in node.keys:
+                if lo is not None and composite <= lo:
+                    raise StorageError(f"composite {composite} at/below bound {lo}")
+                if hi is not None and composite > hi:
+                    raise StorageError(f"composite {composite} above bound {hi}")
+            if sorted(node.keys) != node.keys:
+                raise StorageError("node keys not sorted")
+            if depth > 0 and len(node.keys) < node.min_keys():
+                raise StorageError("non-root node underflow")
+            if node.is_leaf:
+                leaves.append(page_no)
+                return len(node.keys)
+            if len(node.children) != len(node.keys) + 1:
+                raise StorageError("internal node child count mismatch")
+            total = 0
+            bounds = [lo] + node.keys + [hi]
+            for i, child in enumerate(node.children):
+                total += self._check_node(
+                    child, bounds[i], bounds[i + 1], leaves, depth + 1
+                )
+            return total
+        finally:
+            self._release(node)

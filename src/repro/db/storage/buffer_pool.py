@@ -1,0 +1,150 @@
+"""Buffer pool with pinning and LRU replacement.
+
+This is the component the paper's motivating example (§3.1) walks through:
+``Create_rec`` calls ``Find_page_in_buffer_pool``; only on a pool miss is
+``Getpage_from_disk`` invoked.  Those entry points are reproduced here by
+name so the traced call graph matches the paper's Figure 2.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from repro.errors import BufferPoolFullError, StorageError
+
+DEFAULT_POOL_PAGES = 512
+
+
+class BufferPool:
+    """Fixed-capacity page cache over a :class:`DiskManager`.
+
+    Pages are pinned while in use (``pin_count > 0``); only unpinned pages
+    are eligible for LRU eviction.  Dirty pages are written back on
+    eviction and on :meth:`flush_all`.
+    """
+
+    def __init__(self, disk, capacity=DEFAULT_POOL_PAGES, wal_hook=None):
+        if capacity <= 0:
+            raise StorageError("buffer pool capacity must be positive")
+        self._disk = disk
+        self._capacity = capacity
+        self._frames = OrderedDict()  # page_id -> Page, in LRU order
+        #: called with the page before any dirty write-back; the storage
+        #: manager points this at the log so the write-ahead rule holds
+        #: (log records up to page_lsn must be durable before the page is)
+        self.wal_hook = wal_hook
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    # ------------------------------------------------------------------
+    # the paper's entry points
+    # ------------------------------------------------------------------
+    def find_page_in_buffer_pool(self, page_id):
+        """Return the resident page for ``page_id`` or ``None`` on a miss."""
+        page = self._frames.get(page_id)
+        if page is None:
+            return None
+        self._frames.move_to_end(page_id)
+        self.hits += 1
+        return page
+
+    def getpage_from_disk(self, page_id):
+        """Bring ``page_id`` in from disk, evicting if necessary."""
+        self.misses += 1
+        self._make_room()
+        page = self._disk.read_page(page_id)
+        self._frames[page_id] = page
+        return page
+
+    # ------------------------------------------------------------------
+    # public pin/unpin API
+    # ------------------------------------------------------------------
+    def fetch_page(self, page_id):
+        """Pin and return the page, faulting it in if absent."""
+        page = self.find_page_in_buffer_pool(page_id)
+        if page is None:
+            page = self.getpage_from_disk(page_id)
+        page.pin_count += 1
+        return page
+
+    def add_page(self, page):
+        """Install a freshly created page (not yet on disk) and pin it."""
+        if page.page_id in self._frames:
+            raise StorageError(f"page {page.page_id} already buffered")
+        self._make_room()
+        page.pin_count += 1
+        page.dirty = True
+        self._frames[page.page_id] = page
+
+    def unpin_page(self, page_id, dirty=False):
+        """Release one pin; mark the page dirty if it was modified."""
+        page = self._frames.get(page_id)
+        if page is None:
+            raise StorageError(f"unpin of non-resident page {page_id}")
+        if page.pin_count <= 0:
+            raise StorageError(f"unpin of unpinned page {page_id}")
+        page.pin_count -= 1
+        if dirty:
+            page.dirty = True
+
+    def discard_page(self, page_id):
+        """Drop a page from the pool without write-back (for deallocation)."""
+        page = self._frames.pop(page_id, None)
+        if page is not None and page.pin_count > 0:
+            raise StorageError(f"discard of pinned page {page_id}")
+
+    # ------------------------------------------------------------------
+    # maintenance
+    # ------------------------------------------------------------------
+    def flush_page(self, page_id):
+        """Write one dirty page back to disk (keeps it resident)."""
+        page = self._frames.get(page_id)
+        if page is None:
+            return
+        if page.dirty:
+            self._write_back(page)
+
+    def flush_all(self):
+        """Write back every dirty page."""
+        for page_id in list(self._frames):
+            self.flush_page(page_id)
+
+    def _make_room(self):
+        if len(self._frames) < self._capacity:
+            return
+        for page_id, page in self._frames.items():
+            if page.pin_count == 0:
+                victim_id, victim = page_id, page
+                break
+        else:
+            raise BufferPoolFullError("all buffer frames are pinned")
+        if victim.dirty:
+            self._write_back(victim)
+        del self._frames[victim_id]
+        self.evictions += 1
+
+    def _write_back(self, page):
+        """Write a dirty page to disk, honoring the write-ahead rule."""
+        if self.wal_hook is not None:
+            self.wal_hook(page)
+        self._disk.write_page(page)
+        page.dirty = False
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    @property
+    def capacity(self):
+        return self._capacity
+
+    @property
+    def resident_pages(self):
+        return len(self._frames)
+
+    def is_resident(self, page_id):
+        return page_id in self._frames
+
+    def pin_count(self, page_id):
+        page = self._frames.get(page_id)
+        return 0 if page is None else page.pin_count

@@ -1,0 +1,87 @@
+"""Fixed-width record serialization.
+
+Records are stored in pages as fixed-width byte strings so that a slotted
+page can address slots by offset arithmetic, exactly like a fixed-length
+record file in a classic storage manager.  The codec is derived from a
+:class:`repro.db.exec.schema.Schema`-like description: a sequence of
+``(name, type_spec)`` pairs where ``type_spec`` is one of
+
+* ``"int"``    -- signed 64-bit integer
+* ``"float"``  -- IEEE-754 double
+* ``("str", n)`` -- UTF-8 string padded/truncated to ``n`` bytes
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.errors import StorageError
+
+_INT = "q"
+_FLOAT = "d"
+
+
+class RecordCodec:
+    """Encode/decode tuples of Python values to fixed-width bytes."""
+
+    def __init__(self, type_specs):
+        fmt = ["<"]
+        self._str_sizes = []
+        for spec in type_specs:
+            if spec == "int":
+                fmt.append(_INT)
+                self._str_sizes.append(None)
+            elif spec == "float":
+                fmt.append(_FLOAT)
+                self._str_sizes.append(None)
+            elif isinstance(spec, tuple) and spec[0] == "str":
+                width = int(spec[1])
+                if width <= 0:
+                    raise StorageError(f"string width must be positive: {spec}")
+                fmt.append(f"{width}s")
+                self._str_sizes.append(width)
+            else:
+                raise StorageError(f"unknown type spec: {spec!r}")
+        self._struct = struct.Struct("".join(fmt))
+        self._specs = tuple(type_specs)
+
+    @property
+    def record_size(self):
+        """Size in bytes of one encoded record."""
+        return self._struct.size
+
+    @property
+    def type_specs(self):
+        return self._specs
+
+    def encode(self, values):
+        """Encode a tuple of Python values into fixed-width bytes."""
+        if len(values) != len(self._str_sizes):
+            raise StorageError(
+                f"expected {len(self._str_sizes)} values, got {len(values)}"
+            )
+        prepared = []
+        for value, width in zip(values, self._str_sizes):
+            if width is None:
+                prepared.append(value)
+            else:
+                raw = value.encode("utf-8")[:width]
+                prepared.append(raw)
+        try:
+            return self._struct.pack(*prepared)
+        except struct.error as exc:
+            raise StorageError(f"cannot encode record {values!r}: {exc}") from exc
+
+    def decode(self, raw):
+        """Decode fixed-width bytes back into a tuple of Python values."""
+        try:
+            fields = self._struct.unpack(raw)
+        except struct.error as exc:
+            raise StorageError(f"cannot decode record: {exc}") from exc
+        out = []
+        for value, width in zip(fields, self._str_sizes):
+            if width is None:
+                out.append(value)
+            else:
+                out.append(value.rstrip(b"\x00").decode("utf-8"))
+        return tuple(out)

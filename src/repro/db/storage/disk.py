@@ -1,0 +1,62 @@
+"""Simulated disk volume.
+
+The paper's workloads are main-memory resident after warm-up; what matters
+is the *call path* taken on a buffer-pool miss (``Getpage_from_disk``), not
+real I/O latency.  ``DiskManager`` therefore stores page images in a plain
+dict keyed by :class:`~repro.db.storage.page.PageId`, but goes through full
+page serialization on write and deserialization on read so that a miss
+executes realistic code.
+
+Different page kinds (slotted data pages, B+-tree nodes) register a
+deserializer under a one-character kind tag via :func:`register_page_kind`.
+"""
+
+from __future__ import annotations
+
+from repro.errors import StorageError
+
+_PAGE_KINDS = {}
+
+
+def register_page_kind(kind, loader):
+    """Register ``loader(page_id, image) -> page`` for pages tagged ``kind``."""
+    if kind in _PAGE_KINDS and _PAGE_KINDS[kind] is not loader:
+        raise StorageError(f"page kind {kind!r} already registered")
+    _PAGE_KINDS[kind] = loader
+
+
+class DiskManager:
+    """An in-memory volume of serialized page images."""
+
+    def __init__(self):
+        self._images = {}
+        self.reads = 0
+        self.writes = 0
+
+    def write_page(self, page):
+        """Serialize ``page`` and store its image under its kind tag."""
+        self._images[page.page_id] = (page.KIND, page.to_bytes())
+        self.writes += 1
+
+    def read_page(self, page_id):
+        """Fetch and deserialize the image for ``page_id``."""
+        try:
+            kind, image = self._images[page_id]
+        except KeyError:
+            raise StorageError(f"page {page_id} does not exist on disk") from None
+        loader = _PAGE_KINDS.get(kind)
+        if loader is None:
+            raise StorageError(f"no loader registered for page kind {kind!r}")
+        self.reads += 1
+        return loader(page_id, image)
+
+    def contains(self, page_id):
+        return page_id in self._images
+
+    def deallocate(self, page_id):
+        """Drop the image for ``page_id`` if present."""
+        self._images.pop(page_id, None)
+
+    @property
+    def page_count(self):
+        return len(self._images)

@@ -1,0 +1,142 @@
+"""Two-phase locking.
+
+Shared/exclusive locks on arbitrary hashable resources (page ids, record
+ids, file ids).  The engine schedules queries cooperatively in one OS
+thread, so lock *waits* are surfaced to the caller: ``try_lock`` returns
+``False`` on conflict and the scheduler re-runs the query's quantum later.
+A wait-for graph is maintained so genuine deadlocks raise
+:class:`~repro.errors.DeadlockError` instead of livelocking.
+"""
+
+from __future__ import annotations
+
+from repro.errors import DeadlockError, LockConflictError, StorageError
+
+SHARED = "S"
+EXCLUSIVE = "X"
+
+_COMPATIBLE = {
+    (SHARED, SHARED): True,
+    (SHARED, EXCLUSIVE): False,
+    (EXCLUSIVE, SHARED): False,
+    (EXCLUSIVE, EXCLUSIVE): False,
+}
+
+
+class _LockEntry:
+    __slots__ = ("holders",)
+
+    def __init__(self):
+        self.holders = {}  # txn_id -> mode
+
+
+class LockManager:
+    """Lock table with S/X modes, upgrades, and deadlock detection."""
+
+    def __init__(self):
+        self._table = {}  # resource -> _LockEntry
+        self._held = {}  # txn_id -> set of resources
+        self._waits_for = {}  # txn_id -> set of txn_ids
+        self.grants = 0
+        self.conflicts = 0
+
+    # ------------------------------------------------------------------
+    # acquisition
+    # ------------------------------------------------------------------
+    def try_lock(self, txn_id, resource, mode):
+        """Attempt to acquire; returns True on grant, False on conflict.
+
+        On conflict the requester is recorded in the wait-for graph; if that
+        would close a cycle, :class:`DeadlockError` is raised instead.
+        """
+        if mode not in (SHARED, EXCLUSIVE):
+            raise StorageError(f"unknown lock mode {mode!r}")
+        entry = self._table.get(resource)
+        if entry is None:
+            entry = _LockEntry()
+            self._table[resource] = entry
+        current = entry.holders.get(txn_id)
+        if current == EXCLUSIVE or current == mode:
+            return True  # already held at sufficient strength
+        blockers = [
+            holder
+            for holder, held_mode in entry.holders.items()
+            if holder != txn_id and not _COMPATIBLE[(held_mode, mode)]
+        ]
+        if blockers:
+            self.conflicts += 1
+            self._record_wait(txn_id, blockers)
+            return False
+        self._waits_for.pop(txn_id, None)
+        entry.holders[txn_id] = mode
+        self._held.setdefault(txn_id, set()).add(resource)
+        self.grants += 1
+        return True
+
+    def lock(self, txn_id, resource, mode):
+        """Acquire or raise :class:`LockConflictError` (no waiting)."""
+        if not self.try_lock(txn_id, resource, mode):
+            raise LockConflictError(
+                f"txn {txn_id} blocked on {resource!r} ({mode})"
+            )
+
+    def _record_wait(self, txn_id, blockers):
+        waits = self._waits_for.setdefault(txn_id, set())
+        waits.update(blockers)
+        if self._reaches(txn_id, txn_id):
+            self._waits_for.pop(txn_id, None)
+            raise DeadlockError(f"txn {txn_id} would deadlock")
+
+    def _reaches(self, start, target):
+        stack = list(self._waits_for.get(start, ()))
+        seen = set()
+        while stack:
+            node = stack.pop()
+            if node == target:
+                return True
+            if node in seen:
+                continue
+            seen.add(node)
+            stack.extend(self._waits_for.get(node, ()))
+        return False
+
+    # ------------------------------------------------------------------
+    # release
+    # ------------------------------------------------------------------
+    def unlock(self, txn_id, resource):
+        """Release one resource held by ``txn_id``."""
+        entry = self._table.get(resource)
+        if entry is None or txn_id not in entry.holders:
+            raise StorageError(f"txn {txn_id} does not hold {resource!r}")
+        del entry.holders[txn_id]
+        if not entry.holders:
+            del self._table[resource]
+        held = self._held.get(txn_id)
+        if held is not None:
+            held.discard(resource)
+
+    def release_all(self, txn_id):
+        """Release every lock held by ``txn_id`` (end of two-phase)."""
+        for resource in list(self._held.get(txn_id, ())):
+            self.unlock(txn_id, resource)
+        self._held.pop(txn_id, None)
+        self._waits_for.pop(txn_id, None)
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    def holds(self, txn_id, resource, mode=None):
+        entry = self._table.get(resource)
+        if entry is None:
+            return False
+        held = entry.holders.get(txn_id)
+        if held is None:
+            return False
+        return mode is None or held == mode or held == EXCLUSIVE
+
+    def held_resources(self, txn_id):
+        return frozenset(self._held.get(txn_id, ()))
+
+    @property
+    def locked_resource_count(self):
+        return len(self._table)

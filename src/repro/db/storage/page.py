@@ -1,0 +1,177 @@
+"""Slotted pages for fixed-width records.
+
+A page is the unit of buffering, locking, and disk I/O.  This module keeps
+the in-memory representation (a bytearray plus a slot-occupancy bitmap) and
+the serialization to the on-"disk" byte image used by
+:class:`repro.db.storage.disk.DiskManager`.
+
+Page byte layout::
+
+    [0:4)   number of slots (capacity actually used so far)
+    [4:8)   record size in bytes
+    [8:8+ceil(capacity/8))  slot occupancy bitmap
+    [...]   fixed-width record slots
+
+Pages are identified by a :class:`PageId` = ``(file_id, page_no)``.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import NamedTuple
+
+from repro.db.storage.disk import register_page_kind
+from repro.errors import PageFullError, RecordNotFoundError, StorageError
+
+PAGE_SIZE = 4096
+_HEADER = struct.Struct("<iiq")
+
+
+class PageId(NamedTuple):
+    """Identity of a page: which file it belongs to and its index there."""
+
+    file_id: int
+    page_no: int
+
+
+class Page:
+    """A slotted page of fixed-width records.
+
+    The page tracks a pin count and a dirty flag for the buffer pool, and a
+    ``page_lsn`` for write-ahead logging.
+    """
+
+    KIND = "D"  # disk-image tag: slotted data page
+
+    __slots__ = (
+        "page_id",
+        "record_size",
+        "capacity",
+        "_slots",
+        "_live",
+        "pin_count",
+        "dirty",
+        "page_lsn",
+    )
+
+    def __init__(self, page_id, record_size, page_size=PAGE_SIZE):
+        if record_size <= 0:
+            raise StorageError("record size must be positive")
+        self.page_id = page_id
+        self.record_size = record_size
+        usable = page_size - _HEADER.size
+        # Each record costs record_size bytes plus 1 bit of bitmap.
+        self.capacity = max(1, (usable * 8) // (record_size * 8 + 1))
+        if self.capacity * record_size > usable:
+            self.capacity = usable // record_size
+        self._slots = [None] * self.capacity
+        self._live = 0
+        self.pin_count = 0
+        self.dirty = False
+        self.page_lsn = 0
+
+    # ------------------------------------------------------------------
+    # record operations
+    # ------------------------------------------------------------------
+    def insert(self, raw):
+        """Insert an encoded record, returning its slot number."""
+        if len(raw) != self.record_size:
+            raise StorageError(
+                f"record is {len(raw)} bytes, page stores {self.record_size}"
+            )
+        if self._live >= self.capacity:
+            raise PageFullError(f"page {self.page_id} is full")
+        for slot, existing in enumerate(self._slots):
+            if existing is None:
+                self._slots[slot] = bytes(raw)
+                self._live += 1
+                return slot
+        raise PageFullError(f"page {self.page_id} is full")
+
+    def read(self, slot):
+        """Return the encoded record at ``slot``."""
+        raw = self._slot_or_raise(slot)
+        return raw
+
+    def update(self, slot, raw):
+        """Overwrite the record at ``slot``, returning the old bytes."""
+        old = self._slot_or_raise(slot)
+        if len(raw) != self.record_size:
+            raise StorageError("update record size mismatch")
+        self._slots[slot] = bytes(raw)
+        return old
+
+    def delete(self, slot):
+        """Remove the record at ``slot``, returning the old bytes."""
+        old = self._slot_or_raise(slot)
+        self._slots[slot] = None
+        self._live -= 1
+        return old
+
+    def slots(self):
+        """Yield ``(slot, raw)`` for every live record in slot order."""
+        for slot, raw in enumerate(self._slots):
+            if raw is not None:
+                yield slot, raw
+
+    def _slot_or_raise(self, slot):
+        if not 0 <= slot < self.capacity or self._slots[slot] is None:
+            raise RecordNotFoundError(f"no record in slot {slot} of {self.page_id}")
+        return self._slots[slot]
+
+    # ------------------------------------------------------------------
+    # capacity bookkeeping
+    # ------------------------------------------------------------------
+    @property
+    def live_records(self):
+        return self._live
+
+    @property
+    def is_full(self):
+        return self._live >= self.capacity
+
+    @property
+    def is_empty(self):
+        return self._live == 0
+
+    # ------------------------------------------------------------------
+    # serialization
+    # ------------------------------------------------------------------
+    def to_bytes(self):
+        """Serialize this page to its on-disk byte image."""
+        bitmap_len = (self.capacity + 7) // 8
+        bitmap = bytearray(bitmap_len)
+        body = bytearray()
+        for slot, raw in enumerate(self._slots):
+            if raw is None:
+                body.extend(b"\x00" * self.record_size)
+            else:
+                bitmap[slot // 8] |= 1 << (slot % 8)
+                body.extend(raw)
+        header = _HEADER.pack(self.capacity, self.record_size, self.page_lsn)
+        return header + bytes(bitmap) + bytes(body)
+
+    @classmethod
+    def from_bytes(cls, page_id, image, page_size=PAGE_SIZE):
+        """Deserialize a page image produced by :meth:`to_bytes`."""
+        capacity, record_size, page_lsn = _HEADER.unpack_from(image, 0)
+        page = cls(page_id, record_size, page_size=page_size)
+        page.page_lsn = page_lsn
+        if page.capacity < capacity:
+            raise StorageError("page image capacity exceeds geometry")
+        page.capacity = capacity
+        page._slots = [None] * capacity
+        bitmap_len = (capacity + 7) // 8
+        bitmap = image[_HEADER.size : _HEADER.size + bitmap_len]
+        base = _HEADER.size + bitmap_len
+        live = 0
+        for slot in range(capacity):
+            if bitmap[slot // 8] & (1 << (slot % 8)):
+                start = base + slot * record_size
+                page._slots[slot] = bytes(image[start : start + record_size])
+                live += 1
+        page._live = live
+        return page
+
+
+register_page_kind(Page.KIND, Page.from_bytes)

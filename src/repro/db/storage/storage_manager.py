@@ -1,0 +1,316 @@
+"""The storage manager facade — the bottom layer of the DBMS.
+
+This is the layer the paper's Figure 2 example walks through.  The method
+names mirror the SHORE entry points the paper names: ``create_rec``,
+``find_page_in_buffer_pool`` / ``getpage_from_disk`` (delegated to the
+buffer pool), and ``lock_page`` / ``update_page`` / ``unlock_page``.
+
+The storage manager owns:
+
+* a :class:`DiskManager` volume,
+* a :class:`BufferPool` with pinning + LRU,
+* a :class:`LockManager` (strict 2PL),
+* a :class:`WriteAheadLog` + :class:`TransactionManager`,
+* heap files of fixed-width records, and
+* B+-tree indexes sharing the same volume.
+"""
+
+from __future__ import annotations
+
+from repro.db.storage import wal
+from repro.db.storage.btree import BTree, DEFAULT_MAX_KEYS
+from repro.db.storage.buffer_pool import DEFAULT_POOL_PAGES, BufferPool
+from repro.db.storage.disk import DiskManager
+from repro.db.storage.lock_manager import EXCLUSIVE, SHARED, LockManager
+from repro.db.storage.page import Page, PageId
+from repro.db.storage.transaction import TransactionManager
+from repro.db.storage.wal import WriteAheadLog
+from repro.errors import StorageError
+
+
+class _FileInfo:
+    """Catalog entry for one heap file."""
+
+    __slots__ = ("file_id", "record_size", "page_nos", "free_hint")
+
+    def __init__(self, file_id, record_size):
+        self.file_id = file_id
+        self.record_size = record_size
+        self.page_nos = []  # page numbers in allocation order
+        self.free_hint = 0  # index into page_nos where space was last found
+
+
+class StorageManager:
+    """Facade over the complete storage layer."""
+
+    def __init__(self, pool_pages=DEFAULT_POOL_PAGES, btree_max_keys=DEFAULT_MAX_KEYS):
+        self.disk = DiskManager()
+        self.pool = BufferPool(self.disk, capacity=pool_pages)
+        self.locks = LockManager()
+        self.log = WriteAheadLog()
+        # the write-ahead rule: a dirty page may reach disk only after
+        # the log records that produced it are durable
+        self.pool.wal_hook = lambda page: self.log.flush(page.page_lsn)
+        self.transactions = TransactionManager(self.log, self.locks)
+        self.transactions.attach_storage(self)
+        self._files = {}
+        self._indexes = {}
+        self._next_file_id = 1
+        self._next_page_no = 0
+        self._btree_max_keys = btree_max_keys
+
+    # ------------------------------------------------------------------
+    # transactions
+    # ------------------------------------------------------------------
+    def begin(self):
+        return self.transactions.begin()
+
+    # ------------------------------------------------------------------
+    # file management
+    # ------------------------------------------------------------------
+    def create_file(self, record_size):
+        """Create an empty heap file; returns its file id."""
+        file_id = self._next_file_id
+        self._next_file_id += 1
+        self._files[file_id] = _FileInfo(file_id, record_size)
+        return file_id
+
+    def create_index(self, name):
+        """Create an empty B+-tree index registered under ``name``."""
+        if name in self._indexes:
+            raise StorageError(f"index {name!r} already exists")
+        file_id = self._next_file_id
+        self._next_file_id += 1
+        tree = BTree(
+            self.pool, file_id, self._allocate_page_no, max_keys=self._btree_max_keys
+        )
+        self._indexes[name] = tree
+        return tree
+
+    def index(self, name):
+        try:
+            return self._indexes[name]
+        except KeyError:
+            raise StorageError(f"unknown index {name!r}") from None
+
+    def _allocate_page_no(self):
+        page_no = self._next_page_no
+        self._next_page_no += 1
+        return page_no
+
+    def _file(self, file_id):
+        try:
+            return self._files[file_id]
+        except KeyError:
+            raise StorageError(f"unknown file {file_id}") from None
+
+    # ------------------------------------------------------------------
+    # the paper's Figure 2 path
+    # ------------------------------------------------------------------
+    def lock_page(self, txn, page_id, exclusive=True):
+        """Acquire a page lock for ``txn`` (2PL; released at txn end)."""
+        mode = EXCLUSIVE if exclusive else SHARED
+        self.locks.lock(txn.txn_id, page_id, mode)
+
+    def unlock_page(self, txn, page_id):
+        """Drop the pin taken for the page operation.
+
+        Under strict 2PL the lock itself is retained until commit/abort;
+        what this releases is the buffer-pool pin, matching SHORE's unfix.
+        """
+        self.pool.unpin_page(page_id, dirty=False)
+
+    def update_page(self, txn, page, slot, raw):
+        """Write ``raw`` into ``slot`` of the (pinned, locked) ``page``."""
+        old = page.update(slot, raw)
+        lsn = self.log.append(
+            txn.txn_id, wal.UPDATE, page_id=page.page_id, slot=slot,
+            before=old, after=bytes(raw),
+        )
+        page.page_lsn = lsn
+        page.dirty = True
+        return old
+
+    def create_rec(self, txn, file_id, raw):
+        """Insert a record, returning its rid ``(page_no, slot)``.
+
+        This follows the paper's call sequence: find the target page in the
+        buffer pool (faulting it in from disk if needed), lock it, update
+        it, and unlock it.
+        """
+        info = self._file(file_id)
+        if len(raw) != info.record_size:
+            raise StorageError("record size does not match file")
+        page = self._find_space(info)
+        page_id = page.page_id
+        self.lock_page(txn, page_id, exclusive=True)
+        slot = page.insert(raw)
+        lsn = self.log.append(
+            txn.txn_id, wal.INSERT, page_id=page_id, slot=slot, after=bytes(raw)
+        )
+        page.page_lsn = lsn
+        self.pool.unpin_page(page_id, dirty=True)
+        return (page_id.page_no, slot)
+
+    def _find_space(self, info):
+        """Return a pinned page with room, extending the file if needed."""
+        for idx in range(info.free_hint, len(info.page_nos)):
+            page_id = PageId(info.file_id, info.page_nos[idx])
+            page = self.pool.find_page_in_buffer_pool(page_id)
+            if page is None:
+                page = self.pool.getpage_from_disk(page_id)
+            page.pin_count += 1
+            if not page.is_full:
+                info.free_hint = idx
+                return page
+            self.pool.unpin_page(page_id, dirty=False)
+        page_no = self._allocate_page_no()
+        info.page_nos.append(page_no)
+        info.free_hint = len(info.page_nos) - 1
+        page = Page(PageId(info.file_id, page_no), info.record_size)
+        self.pool.add_page(page)
+        return page
+
+    # ------------------------------------------------------------------
+    # record access
+    # ------------------------------------------------------------------
+    def read_rec(self, txn, file_id, rid):
+        """Read the record bytes at ``rid`` under a shared lock."""
+        page_id = PageId(file_id, rid[0])
+        self.lock_page(txn, page_id, exclusive=False)
+        page = self.pool.fetch_page(page_id)
+        try:
+            return page.read(rid[1])
+        finally:
+            self.pool.unpin_page(page_id, dirty=False)
+
+    def update_rec(self, txn, file_id, rid, raw):
+        """Overwrite the record at ``rid``; returns the old bytes."""
+        info = self._file(file_id)
+        if len(raw) != info.record_size:
+            raise StorageError("record size does not match file")
+        page_id = PageId(file_id, rid[0])
+        self.lock_page(txn, page_id, exclusive=True)
+        page = self.pool.fetch_page(page_id)
+        try:
+            return self.update_page(txn, page, rid[1], raw)
+        finally:
+            self.pool.unpin_page(page_id, dirty=True)
+
+    def delete_rec(self, txn, file_id, rid):
+        """Delete the record at ``rid``; returns the old bytes."""
+        info = self._file(file_id)
+        page_id = PageId(file_id, rid[0])
+        self.lock_page(txn, page_id, exclusive=True)
+        page = self.pool.fetch_page(page_id)
+        try:
+            old = page.delete(rid[1])
+            lsn = self.log.append(
+                txn.txn_id, wal.DELETE, page_id=page_id, slot=rid[1], before=old
+            )
+            page.page_lsn = lsn
+            idx = info.page_nos.index(rid[0]) if rid[0] in info.page_nos else None
+            if idx is not None and idx < info.free_hint:
+                info.free_hint = idx
+            return old
+        finally:
+            self.pool.unpin_page(page_id, dirty=True)
+
+    def scan_file(self, txn, file_id):
+        """Yield ``(rid, raw)`` for every record in the file, page by page.
+
+        Pages are share-locked and pinned only while being scanned.
+        """
+        info = self._file(file_id)
+        for page_no in info.page_nos:
+            page_id = PageId(file_id, page_no)
+            self.lock_page(txn, page_id, exclusive=False)
+            page = self.pool.fetch_page(page_id)
+            try:
+                for slot, raw in page.slots():
+                    yield (page_no, slot), raw
+            finally:
+                self.pool.unpin_page(page_id, dirty=False)
+
+    def file_page_count(self, file_id):
+        return len(self._file(file_id).page_nos)
+
+    def file_record_count(self, file_id):
+        """Count live records (scans the file without a transaction)."""
+        info = self._file(file_id)
+        total = 0
+        for page_no in info.page_nos:
+            page = self.pool.fetch_page(PageId(file_id, page_no))
+            total += page.live_records
+            self.pool.unpin_page(page.page_id)
+        return total
+
+    # ------------------------------------------------------------------
+    # logged index maintenance (logical undo on abort)
+    # ------------------------------------------------------------------
+    def index_insert(self, txn, index_name, key, rid):
+        """Insert into a named index under transactional protection."""
+        self.index(index_name).insert(key, rid)
+        self.log.append(
+            txn.txn_id, wal.IDX_INSERT, page_id=index_name,
+            after=_encode_index_entry(key, rid),
+        )
+
+    def index_delete(self, txn, index_name, key, rid):
+        """Delete from a named index under transactional protection."""
+        self.index(index_name).delete(key, rid)
+        self.log.append(
+            txn.txn_id, wal.IDX_DELETE, page_id=index_name,
+            before=_encode_index_entry(key, rid),
+        )
+
+    # ------------------------------------------------------------------
+    # undo support (called by TransactionManager during rollback)
+    # ------------------------------------------------------------------
+    def apply_undo(self, record):
+        """Reverse the effect of one log record (physical page ops and
+        logical index ops)."""
+        if record.kind == wal.IDX_INSERT:
+            key, rid = _decode_index_entry(record.after)
+            self.index(record.page_id).delete(key, rid)
+            return
+        if record.kind == wal.IDX_DELETE:
+            key, rid = _decode_index_entry(record.before)
+            self.index(record.page_id).insert(key, rid)
+            return
+        page = self.pool.fetch_page(record.page_id)
+        try:
+            if record.kind == wal.INSERT:
+                page.delete(record.slot)
+            elif record.kind == wal.DELETE:
+                # restore into the same slot
+                page._slots[record.slot] = record.before
+                page._live += 1
+            elif record.kind == wal.UPDATE:
+                page.update(record.slot, record.before)
+            else:
+                raise StorageError(f"cannot undo {record.kind}")
+        finally:
+            self.pool.unpin_page(record.page_id, dirty=True)
+
+    # ------------------------------------------------------------------
+    # durability helpers
+    # ------------------------------------------------------------------
+    def checkpoint(self):
+        """Flush all dirty pages and the log; write a checkpoint record."""
+        self.log.flush()
+        self.pool.flush_all()
+        self.log.append(0, wal.CHECKPOINT)
+        self.log.flush()
+
+
+_INDEX_ENTRY = __import__("struct").Struct("<qii")
+
+
+def _encode_index_entry(key, rid):
+    return _INDEX_ENTRY.pack(key, rid[0], rid[1])
+
+
+def _decode_index_entry(raw):
+    key, page_no, slot = _INDEX_ENTRY.unpack(raw)
+    return key, (page_no, slot)

@@ -1,0 +1,91 @@
+"""Write-ahead logging.
+
+A simplified ARIES-style log: physical undo/redo images per record
+operation plus transaction begin/commit/abort markers.  The log lives in
+memory (a list of :class:`LogRecord`), mirroring how SHORE's log would be
+buffered; :class:`repro.db.storage.recovery` replays it after a simulated
+crash.
+"""
+
+from __future__ import annotations
+
+from typing import NamedTuple
+
+from repro.errors import RecoveryError
+
+# log record types
+BEGIN = "BEGIN"
+COMMIT = "COMMIT"
+ABORT = "ABORT"
+UPDATE = "UPDATE"  # slot overwritten: before/after images
+INSERT = "INSERT"  # slot filled: after image only
+DELETE = "DELETE"  # slot emptied: before image only
+CLR = "CLR"  # compensation record written during undo
+CHECKPOINT = "CHECKPOINT"
+IDX_INSERT = "IDX_INSERT"  # logical index entry insert (undone on abort)
+IDX_DELETE = "IDX_DELETE"  # logical index entry delete (undone on abort)
+
+_TYPES = frozenset({
+    BEGIN, COMMIT, ABORT, UPDATE, INSERT, DELETE, CLR, CHECKPOINT,
+    IDX_INSERT, IDX_DELETE,
+})
+
+
+class LogRecord(NamedTuple):
+    """One entry in the write-ahead log."""
+
+    lsn: int
+    txn_id: int
+    kind: str
+    page_id: object  # PageId or None
+    slot: int
+    before: bytes  # undo image (b"" when not applicable)
+    after: bytes  # redo image (b"" when not applicable)
+    prev_lsn: int  # previous LSN of the same transaction (-1 if none)
+
+
+class WriteAheadLog:
+    """Append-only log with per-transaction backchains."""
+
+    def __init__(self):
+        self._records = []
+        self._last_lsn_of = {}  # txn_id -> lsn
+        self.flushed_lsn = -1
+
+    def append(self, txn_id, kind, page_id=None, slot=-1, before=b"", after=b""):
+        """Append a record and return its LSN."""
+        if kind not in _TYPES:
+            raise RecoveryError(f"unknown log record kind {kind!r}")
+        lsn = len(self._records)
+        prev = self._last_lsn_of.get(txn_id, -1)
+        record = LogRecord(lsn, txn_id, kind, page_id, slot, before, after, prev)
+        self._records.append(record)
+        self._last_lsn_of[txn_id] = lsn
+        return lsn
+
+    def flush(self, up_to_lsn=None):
+        """Force the log to stable storage up to ``up_to_lsn`` (inclusive)."""
+        if up_to_lsn is None:
+            up_to_lsn = len(self._records) - 1
+        self.flushed_lsn = max(self.flushed_lsn, up_to_lsn)
+
+    # ------------------------------------------------------------------
+    # read side (used by recovery)
+    # ------------------------------------------------------------------
+    def records(self, durable_only=False):
+        """All records, optionally truncated at the flushed LSN (a crash
+        loses unflushed log tail)."""
+        if durable_only:
+            return list(self._records[: self.flushed_lsn + 1])
+        return list(self._records)
+
+    def record(self, lsn):
+        if not 0 <= lsn < len(self._records):
+            raise RecoveryError(f"no log record with lsn {lsn}")
+        return self._records[lsn]
+
+    def last_lsn(self, txn_id):
+        return self._last_lsn_of.get(txn_id, -1)
+
+    def __len__(self):
+        return len(self._records)

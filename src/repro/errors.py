@@ -1,0 +1,77 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by the library derives from :class:`ReproError` so
+applications can catch library failures with a single except clause.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class StorageError(ReproError):
+    """Base class for storage-manager failures."""
+
+
+class PageFullError(StorageError):
+    """Raised when a record does not fit into the target page."""
+
+
+class RecordNotFoundError(StorageError):
+    """Raised when a record id does not resolve to a live record."""
+
+
+class BufferPoolFullError(StorageError):
+    """Raised when every frame in the buffer pool is pinned."""
+
+
+class LockConflictError(StorageError):
+    """Raised when a lock request conflicts and waiting is not allowed."""
+
+
+class DeadlockError(StorageError):
+    """Raised when granting a lock would create a wait-for cycle."""
+
+
+class TransactionError(StorageError):
+    """Raised on illegal transaction state transitions."""
+
+
+class RecoveryError(StorageError):
+    """Raised when log replay encounters an inconsistent log."""
+
+
+class CatalogError(ReproError):
+    """Raised for unknown tables, columns, or indexes."""
+
+
+class SqlError(ReproError):
+    """Base class for SQL front-end failures."""
+
+
+class SqlSyntaxError(SqlError):
+    """Raised by the tokenizer/parser on malformed SQL."""
+
+
+class PlanError(ReproError):
+    """Raised when the optimizer cannot build a plan for a query."""
+
+
+class ExecutionError(ReproError):
+    """Raised when a physical operator fails at runtime."""
+
+
+class TraceError(ReproError):
+    """Raised for malformed traces or instrumentation misuse."""
+
+
+class LayoutError(ReproError):
+    """Raised when an address layout cannot be constructed."""
+
+
+class SimulationError(ReproError):
+    """Raised by the microarchitecture simulator on invalid input."""
+
+
+class ConfigError(ReproError):
+    """Raised for invalid simulator or harness configuration values."""

@@ -1,0 +1,53 @@
+"""Experiment harness: runners, per-figure drivers, report rendering."""
+
+from repro.harness.experiments import (
+    DB_WORKLOADS,
+    ExperimentResult,
+    fig4,
+    fig5,
+    fig6,
+    fig7,
+    fig8,
+    fig9,
+    fig10,
+    runahead_ablation,
+    scale_sensitivity,
+    workload_statistics,
+)
+from repro.harness.multiprog import multiprogram_mix
+from repro.harness.report import (
+    render_bars,
+    render_experiment,
+    render_grouped_bars,
+    render_table,
+)
+from repro.harness.runner import (
+    DEFAULT_SCALES,
+    ExperimentRunner,
+    PipelineConfig,
+    WorkloadArtifacts,
+)
+
+__all__ = [
+    "DB_WORKLOADS",
+    "DEFAULT_SCALES",
+    "ExperimentResult",
+    "ExperimentRunner",
+    "PipelineConfig",
+    "WorkloadArtifacts",
+    "fig4",
+    "fig5",
+    "fig6",
+    "fig7",
+    "fig8",
+    "fig9",
+    "fig10",
+    "multiprogram_mix",
+    "render_bars",
+    "render_experiment",
+    "render_grouped_bars",
+    "render_table",
+    "runahead_ablation",
+    "scale_sensitivity",
+    "workload_statistics",
+]

@@ -1,0 +1,393 @@
+"""One driver per paper artifact (figures 4-10, §3.2/§5.4 statistics).
+
+Every driver returns an :class:`ExperimentResult` whose rows carry the
+same series the paper's figure plots, plus the paper's headline claim so
+reports can show paper-vs-measured side by side.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.layout import om_layout, profile_of
+from repro.uarch import TABLE_1, simulate
+from repro.core import CgpPrefetcher
+from repro.uarch.config import cghc_variant
+from repro.uarch.prefetch import NextNLinePrefetcher
+from repro.workloads import cpu2000
+from repro.workloads.suites import SUITE_NAMES
+
+DB_WORKLOADS = SUITE_NAMES
+
+
+@dataclass
+class ExperimentResult:
+    exp_id: str
+    title: str
+    paper_claim: str
+    columns: list
+    rows: list = field(default_factory=list)  # (label, {column: value})
+    notes: str = ""
+
+    def add_row(self, label, values):
+        self.rows.append((label, values))
+
+    def row(self, label):
+        for row_label, values in self.rows:
+            if row_label == label:
+                return values
+        raise KeyError(label)
+
+    def geomean(self, column):
+        """Geometric mean of one column across rows (speedup summaries)."""
+        values = [v[column] for _l, v in self.rows if v.get(column)]
+        if not values:
+            return 0.0
+        product = 1.0
+        for value in values:
+            product *= value
+        return product ** (1.0 / len(values))
+
+
+# ----------------------------------------------------------------------
+# Figure 4: O5 / OM / CGP_2 / CGP_4 execution cycles
+# ----------------------------------------------------------------------
+
+FIG4_CONFIGS = [
+    ("O5", "O5", None),
+    ("O5+OM", "OM", None),
+    ("O5+CGP_2", "O5", ("cgp", 2)),
+    ("O5+CGP_4", "O5", ("cgp", 4)),
+    ("O5+OM+CGP_2", "OM", ("cgp", 2)),
+    ("O5+OM+CGP_4", "OM", ("cgp", 4)),
+]
+
+
+def fig4(runner, workloads=DB_WORKLOADS):
+    result = ExperimentResult(
+        "fig4",
+        "Performance comparison of O5, OM and CGP (execution cycles)",
+        "OM gives ~11% speedup over O5; CGP_4 alone ~40%; OM+CGP_4 ~45% "
+        "over O5 and ~30% over OM; CGP alone outperforms OM alone.",
+        [name for name, _l, _p in FIG4_CONFIGS]
+        + [f"speedup:{name}" for name, _l, _p in FIG4_CONFIGS[1:]],
+    )
+    for workload in workloads:
+        values = {}
+        for name, layout_name, spec in FIG4_CONFIGS:
+            stats = runner.run(workload, layout_name, spec)
+            values[name] = stats.cycles
+        base = values["O5"]
+        for name, _layout, _spec in FIG4_CONFIGS[1:]:
+            values[f"speedup:{name}"] = base / values[name]
+        result.add_row(workload, values)
+    return result
+
+
+# ----------------------------------------------------------------------
+# Figure 5: CGHC design space
+# ----------------------------------------------------------------------
+
+FIG5_VARIANTS = ["CGHC-1K", "CGHC-32K", "CGHC-1K+16K", "CGHC-2K+32K", "CGHC-Inf"]
+
+
+def fig5(runner, workloads=DB_WORKLOADS):
+    result = ExperimentResult(
+        "fig5",
+        "Performance of five CGHC configurations (OM + CGP_4)",
+        "CGHC-1K is ~12% slower than infinite; 2K+32K and 32K are close "
+        "to infinite; on wisc+tpch the infinite CGHC is slightly worse "
+        "than most finite ones (more useless prefetches).",
+        FIG5_VARIANTS + [f"vs_inf:{v}" for v in FIG5_VARIANTS[:-1]],
+    )
+    for workload in workloads:
+        values = {}
+        for variant in FIG5_VARIANTS:
+            stats = runner.run(workload, "OM", ("cgp", 4), cghc=variant)
+            values[variant] = stats.cycles
+        infinite = values["CGHC-Inf"]
+        for variant in FIG5_VARIANTS[:-1]:
+            values[f"vs_inf:{variant}"] = values[variant] / infinite
+        result.add_row(workload, values)
+    return result
+
+
+# ----------------------------------------------------------------------
+# Figure 6: NL vs CGP (and the perfect I-cache bound)
+# ----------------------------------------------------------------------
+
+FIG6_CONFIGS = [
+    ("O5", "O5", None, False),
+    ("O5+OM", "OM", None, False),
+    ("OM+NL_2", "OM", ("nl", 2), False),
+    ("OM+NL_4", "OM", ("nl", 4), False),
+    ("OM+CGP_2", "OM", ("cgp", 2), False),
+    ("OM+CGP_4", "OM", ("cgp", 4), False),
+    ("perf-Icache", "OM", None, True),
+]
+
+
+def fig6(runner, workloads=DB_WORKLOADS):
+    result = ExperimentResult(
+        "fig6",
+        "Performance comparison of O5, OM, NL and CGP",
+        "CGP outperforms NL by ~7% and comes within ~19% of a perfect "
+        "I-cache.",
+        [name for name, *_rest in FIG6_CONFIGS]
+        + ["speedup:CGP4_over_NL4", "gap:CGP4_to_perfect"],
+    )
+    for workload in workloads:
+        values = {}
+        for name, layout_name, spec, perfect in FIG6_CONFIGS:
+            stats = runner.run(workload, layout_name, spec, perfect=perfect)
+            values[name] = stats.cycles
+        values["speedup:CGP4_over_NL4"] = values["OM+NL_4"] / values["OM+CGP_4"]
+        values["gap:CGP4_to_perfect"] = (
+            values["OM+CGP_4"] / values["perf-Icache"] - 1.0
+        )
+        result.add_row(workload, values)
+    return result
+
+
+# ----------------------------------------------------------------------
+# Figure 7: I-cache misses
+# ----------------------------------------------------------------------
+
+FIG7_CONFIGS = [
+    ("O5", "O5", None),
+    ("O5+OM", "OM", None),
+    ("OM+NL_4", "OM", ("nl", 4)),
+    ("OM+CGP_4", "OM", ("cgp", 4)),
+]
+
+
+def fig7(runner, workloads=DB_WORKLOADS):
+    result = ExperimentResult(
+        "fig7",
+        "I-cache miss comparison of O5, OM, NL and CGP",
+        "Relative to O5, OM removes ~21% of I-cache misses, OM+NL ~77%, "
+        "OM+CGP ~87%.",
+        [name for name, *_rest in FIG7_CONFIGS]
+        + ["reduction:OM", "reduction:NL", "reduction:CGP"],
+    )
+    for workload in workloads:
+        values = {}
+        for name, layout_name, spec in FIG7_CONFIGS:
+            stats = runner.run(workload, layout_name, spec)
+            values[name] = stats.demand_misses
+        base = values["O5"] or 1
+        values["reduction:OM"] = 1.0 - values["O5+OM"] / base
+        values["reduction:NL"] = 1.0 - values["OM+NL_4"] / base
+        values["reduction:CGP"] = 1.0 - values["OM+CGP_4"] / base
+        result.add_row(workload, values)
+    return result
+
+
+# ----------------------------------------------------------------------
+# Figure 8: prefetch effectiveness (pref hits / delayed hits / useless)
+# ----------------------------------------------------------------------
+
+FIG8_CONFIGS = [
+    ("NL_2", ("nl", 2)),
+    ("NL_4", ("nl", 4)),
+    ("CGP_2", ("cgp", 2)),
+    ("CGP_4", ("cgp", 4)),
+]
+
+
+def fig8(runner, workloads=DB_WORKLOADS):
+    result = ExperimentResult(
+        "fig8",
+        "Prefetch effectiveness and bus traffic (OM binaries)",
+        "CGP issues ~3% more useful prefetches than NL with comparable "
+        "useless prefetches; CGP_4 has fewer delayed hits than NL_4 "
+        "(more timely).",
+        [f"{name}:{kind}" for name, _s in FIG8_CONFIGS
+         for kind in ("pref_hits", "delayed_hits", "useless", "issued")],
+    )
+    for workload in workloads:
+        values = {}
+        for name, spec in FIG8_CONFIGS:
+            stats = runner.run(workload, "OM", spec)
+            hits = delayed = useless = issued = 0
+            for p in stats.prefetch.values():
+                hits += p.pref_hits
+                delayed += p.delayed_hits
+                useless += p.useless
+                issued += p.issued
+            values[f"{name}:pref_hits"] = hits
+            values[f"{name}:delayed_hits"] = delayed
+            values[f"{name}:useless"] = useless
+            values[f"{name}:issued"] = issued
+        result.add_row(workload, values)
+    return result
+
+
+# ----------------------------------------------------------------------
+# Figure 9: CGP_4 prefetches split by origin (NL part vs CGHC part)
+# ----------------------------------------------------------------------
+
+
+def fig9(runner, workloads=DB_WORKLOADS):
+    result = ExperimentResult(
+        "fig9",
+        "CGP_4 prefetches due to NL vs CGHC",
+        "~40% of the NL-portion prefetches are useful versus ~77% of the "
+        "CGHC-portion prefetches.",
+        ["nl:useful_fraction", "cghc:useful_fraction",
+         "nl:pref_hits", "nl:delayed_hits", "nl:useless",
+         "cghc:pref_hits", "cghc:delayed_hits", "cghc:useless"],
+    )
+    for workload in workloads:
+        stats = runner.run(workload, "OM", ("cgp", 4))
+        values = {}
+        for origin in ("nl", "cghc"):
+            p = stats.prefetch_origin(origin)
+            values[f"{origin}:pref_hits"] = p.pref_hits
+            values[f"{origin}:delayed_hits"] = p.delayed_hits
+            values[f"{origin}:useless"] = p.useless
+            accounted = p.accounted() or 1
+            values[f"{origin}:useful_fraction"] = p.useful() / accounted
+        result.add_row(workload, values)
+    return result
+
+
+# ----------------------------------------------------------------------
+# Figure 10: CPU2000
+# ----------------------------------------------------------------------
+
+FIG10_CONFIGS = [
+    ("O5+OM", None, False),
+    ("OM+NL_4", ("nl", 4), False),
+    ("OM+CGP_4", ("cgp", 4), False),
+    ("perf-Icache", None, True),
+]
+
+
+def fig10(benchmarks=cpu2000.BENCHMARK_NAMES, target_instructions=2_000_000,
+          sim_config=TABLE_1):
+    result = ExperimentResult(
+        "fig10",
+        "Effectiveness of CGP on CPU2000 applications",
+        "With a 32KB I-cache the gap to a perfect I-cache is ~17% for "
+        "gcc, ~9% for crafty, ~2% for gap and <1% elsewhere; where misses "
+        "exist NL_4 performs about as well as CGP_4.",
+        [name for name, _s, _p in FIG10_CONFIGS]
+        + ["miss_ratio", "gap_to_perfect", "nl_vs_cgp"],
+    )
+    for benchmark in benchmarks:
+        image, trace = cpu2000.build_benchmark(
+            benchmark, target_instructions=target_instructions
+        )
+        profile = profile_of(trace)
+        layout = om_layout(image, profile, instr_scale=1.0)
+        values = {}
+        for name, spec, perfect in FIG10_CONFIGS:
+            config = (
+                replace(sim_config, perfect_icache=True) if perfect else sim_config
+            )
+            prefetcher = None
+            if spec is not None and spec[0] == "nl":
+                prefetcher = NextNLinePrefetcher(spec[1])
+            elif spec is not None and spec[0] == "cgp":
+                prefetcher = CgpPrefetcher(
+                    spec[1], cghc_variant("CGHC-2K+32K"), layout
+                )
+            stats = simulate(trace, layout, config, prefetcher=prefetcher)
+            values[name] = stats.cycles
+            if name == "O5+OM":
+                values["miss_ratio"] = stats.miss_rate
+        values["gap_to_perfect"] = values["O5+OM"] / values["perf-Icache"] - 1.0
+        values["nl_vs_cgp"] = values["OM+NL_4"] / values["OM+CGP_4"]
+        result.add_row(benchmark, values)
+    return result
+
+
+# ----------------------------------------------------------------------
+# §5.6: run-ahead NL ablation
+# ----------------------------------------------------------------------
+
+
+def runahead_ablation(runner, workloads=DB_WORKLOADS, run_ahead=4):
+    result = ExperimentResult(
+        "runahead",
+        "Run-ahead NL prefetching (rejected design, §5.6)",
+        "Run-ahead NL is much worse than plain NL: with ~43 instructions "
+        "between calls it prefetches too many useless lines from too far "
+        "ahead.",
+        ["OM+NL_4", "OM+RA-NL_4", "OM+CGP_4", "ra_slowdown_vs_nl",
+         "ra_useless", "nl_useless"],
+    )
+    for workload in workloads:
+        nl = runner.run(workload, "OM", ("nl", 4))
+        ra = runner.run(workload, "OM", ("ra-nl", 4, run_ahead))
+        cgp = runner.run(workload, "OM", ("cgp", 4))
+        values = {
+            "OM+NL_4": nl.cycles,
+            "OM+RA-NL_4": ra.cycles,
+            "OM+CGP_4": cgp.cycles,
+            "ra_slowdown_vs_nl": ra.cycles / nl.cycles,
+            "ra_useless": sum(p.useless for p in ra.prefetch.values()),
+            "nl_useless": sum(p.useless for p in nl.prefetch.values()),
+        }
+        result.add_row(workload, values)
+    return result
+
+
+# ----------------------------------------------------------------------
+# §3.2 / §5.4 statistics
+# ----------------------------------------------------------------------
+
+
+def workload_statistics(runner, workloads=DB_WORKLOADS):
+    result = ExperimentResult(
+        "stats",
+        "Workload statistics (§3.2 fanout, §5.4 call spacing)",
+        "80% of functions call fewer than 8 distinct functions; on "
+        "average ~43 instructions execute between successive calls.",
+        ["instructions", "calls", "instrs_between_calls",
+         "fanout_below_8", "code_footprint_kb", "max_call_depth"],
+    )
+    from repro.instrument.trace import validate_trace
+
+    for workload in workloads:
+        artifacts = runner.artifacts(workload)
+        trace = artifacts.trace
+        instructions = trace.total_instructions()
+        calls = trace.call_count()
+        values = {
+            "instructions": instructions,
+            "calls": calls,
+            "instrs_between_calls": instructions / max(1, calls),
+            "fanout_below_8": artifacts.profile.fraction_with_fanout_below(8),
+            "code_footprint_kb": artifacts.layouts["OM"].footprint_bytes() // 1024,
+            "max_call_depth": validate_trace(trace, artifacts.image),
+        }
+        result.add_row(workload, values)
+    return result
+
+
+# ----------------------------------------------------------------------
+# §4: database-size insensitivity
+# ----------------------------------------------------------------------
+
+
+def scale_sensitivity(runner_small, runner_large, workload="wisc-large-2"):
+    result = ExperimentResult(
+        "scale",
+        "CGP benefit vs database size (§4)",
+        "CGP improvements at a larger database size are quite similar to "
+        "those at the small size.",
+        ["scale", "speedup:OM+CGP_4_over_OM"],
+    )
+    for label, runner in (("small", runner_small), ("large", runner_large)):
+        om = runner.run(workload, "OM", None)
+        cgp = runner.run(workload, "OM", ("cgp", 4))
+        result.add_row(
+            label,
+            {
+                "scale": runner.scales[workload],
+                "speedup:OM+CGP_4_over_OM": om.cycles / cgp.cycles,
+            },
+        )
+    return result

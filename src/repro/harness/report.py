@@ -1,0 +1,121 @@
+"""Report rendering: text tables and the EXPERIMENTS.md generator."""
+
+from __future__ import annotations
+
+import io
+
+
+def _format_value(value):
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, int):
+        return f"{value:,}"
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        return f"{value:.3f}"
+    return str(value)
+
+
+def render_table(result, columns=None, label_header="workload"):
+    """Render one ExperimentResult as a text table."""
+    columns = list(columns or result.columns)
+    headers = [label_header] + columns
+    rows = [
+        [label] + [_format_value(values.get(column, "")) for column in columns]
+        for label, values in result.rows
+    ]
+    widths = [
+        max(len(headers[i]), *(len(r[i]) for r in rows)) if rows else len(headers[i])
+        for i in range(len(headers))
+    ]
+    out = io.StringIO()
+    out.write("  ".join(h.ljust(w) for h, w in zip(headers, widths)).rstrip())
+    out.write("\n")
+    out.write("  ".join("-" * w for w in widths))
+    out.write("\n")
+    for row in rows:
+        out.write("  ".join(c.ljust(w) for c, w in zip(row, widths)).rstrip())
+        out.write("\n")
+    return out.getvalue()
+
+
+def render_markdown_table(result, columns=None, label_header="workload"):
+    columns = list(columns or result.columns)
+    lines = ["| " + " | ".join([label_header] + columns) + " |"]
+    lines.append("|" + "---|" * (len(columns) + 1))
+    for label, values in result.rows:
+        cells = [label] + [
+            _format_value(values.get(column, "")) for column in columns
+        ]
+        lines.append("| " + " | ".join(cells) + " |")
+    return "\n".join(lines) + "\n"
+
+
+def render_experiment(result, markdown=False, columns=None,
+                      label_header="workload"):
+    """Full block: title, paper claim, table, notes."""
+    out = io.StringIO()
+    if markdown:
+        out.write(f"### {result.exp_id}: {result.title}\n\n")
+        out.write(f"**Paper claim.** {result.paper_claim}\n\n")
+        out.write(
+            render_markdown_table(result, columns=columns,
+                                  label_header=label_header)
+        )
+        if result.notes:
+            out.write(f"\n{result.notes}\n")
+    else:
+        out.write(f"== {result.exp_id}: {result.title} ==\n")
+        out.write(f"Paper: {result.paper_claim}\n\n")
+        out.write(
+            render_table(result, columns=columns, label_header=label_header)
+        )
+        if result.notes:
+            out.write(f"\n{result.notes}\n")
+    return out.getvalue()
+
+
+def render_bars(result, column, width=50, label_header="workload",
+                fmt="{:,.0f}"):
+    """ASCII bar chart of one column — the textual analog of the paper's
+    figure bars.  Bars are scaled to the column maximum."""
+    values = [(label, values.get(column, 0)) for label, values in result.rows]
+    if not values:
+        return "(no data)\n"
+    peak = max(value for _label, value in values) or 1
+    label_width = max(len(label_header), *(len(l) for l, _v in values))
+    out = io.StringIO()
+    out.write(f"{column} by {label_header}:\n")
+    for label, value in values:
+        bar = "#" * max(1, round(width * value / peak)) if value else ""
+        out.write(
+            f"  {label.ljust(label_width)}  {bar.ljust(width)}  "
+            f"{fmt.format(value)}\n"
+        )
+    return out.getvalue()
+
+
+def render_grouped_bars(result, columns, width=40, label_header="workload",
+                        fmt="{:,.0f}"):
+    """Grouped ASCII bars: several columns per row label (e.g. the O5 /
+    OM / NL / CGP bars of Figure 6)."""
+    out = io.StringIO()
+    peak = max(
+        (values.get(column, 0) for _l, values in result.rows
+         for column in columns),
+        default=1,
+    ) or 1
+    column_width = max(len(c) for c in columns)
+    for label, values in result.rows:
+        out.write(f"{label}:\n")
+        for column in columns:
+            value = values.get(column, 0)
+            bar = "#" * max(1, round(width * value / peak)) if value else ""
+            out.write(
+                f"  {column.ljust(column_width)}  {bar.ljust(width)}  "
+                f"{fmt.format(value)}\n"
+            )
+    return out.getvalue()

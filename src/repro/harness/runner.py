@@ -1,0 +1,201 @@
+"""Experiment pipeline: workload -> trace -> layouts -> simulations.
+
+The pipeline is two-stage and cached at both stages:
+
+1. **Artifacts** (per workload): build the database, run the queries
+   under the tracer, apply the runtime-library expansion, compute the
+   call-graph profile and both address layouts.  Keyed by the workload
+   parameters; optionally persisted to disk.
+2. **Simulations** (per configuration): replay the cached trace through
+   the fetch engine for one (layout, prefetcher, config) combination.
+   Keyed by the configuration name so different figures reuse runs.
+
+The OM profile is built the way the paper built it (§5.1): from the
+wisc-prof and wisc+tpch profile runs, merged — not from the workload
+being measured (except that wisc-prof and wisc+tpch are themselves in
+the profile set, as in the paper).
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from dataclasses import dataclass, field, replace
+
+from repro.core import CgpPrefetcher
+from repro.errors import ConfigError
+from repro.instrument import Tracer, build_db_image
+from repro.instrument.codeimage import freeze_image
+from repro.instrument.expand import ExpansionConfig, expand_trace
+from repro.layout import o5_layout, om_layout, profile_of
+from repro.uarch import TABLE_1, simulate
+from repro.uarch.config import cghc_variant
+from repro.uarch.prefetch import (
+    NextNLinePrefetcher,
+    RunAheadNLPrefetcher,
+    TaggedNLPrefetcher,
+)
+from repro.workloads.suites import SUITE_NAMES, build_suite
+
+#: Default workload scales for experiments: chosen so a full figure
+#: regenerates in minutes of pure-Python simulation (see DESIGN.md §7).
+DEFAULT_SCALES = {
+    "wisc-prof": 0.50,
+    "wisc-large-1": 0.05,
+    "wisc-large-2": 0.05,
+    "wisc+tpch": 0.025,
+}
+
+
+@dataclass(frozen=True)
+class PipelineConfig:
+    """Everything that determines a workload trace."""
+
+    scale: float = 1.0
+    quantum_rows: int = 2
+    instrs_per_pyop: int = 3
+    expansion: ExpansionConfig = field(default_factory=ExpansionConfig)
+    seed: int = 1234
+
+    def key(self, suite_name):
+        e = self.expansion
+        return (
+            f"{suite_name}-s{self.scale}-q{self.quantum_rows}"
+            f"-i{self.instrs_per_pyop}-e{e.call_every_instrs}.{e.pool_size}"
+            f".{e.helpers_per_function}-r{self.seed}"
+        )
+
+
+class WorkloadArtifacts:
+    """Frozen image + expanded trace + profile + O5/OM layouts."""
+
+    def __init__(self, name, image, trace, profile, layouts, query_rows):
+        self.name = name
+        self.image = image
+        self.trace = trace
+        self.profile = profile
+        self.layouts = layouts  # {"O5": AddressMap, "OM": AddressMap}
+        self.query_rows = query_rows  # query name -> row count
+
+    def layout(self, name):
+        try:
+            return self.layouts[name]
+        except KeyError:
+            raise ConfigError(f"unknown layout {name!r}") from None
+
+
+class ExperimentRunner:
+    """Builds and caches artifacts and simulation results."""
+
+    def __init__(self, pipeline=PipelineConfig(), sim_config=TABLE_1,
+                 cache_dir=None, scales=None):
+        self.pipeline = pipeline
+        self.sim_config = sim_config
+        self.scales = dict(DEFAULT_SCALES)
+        if scales:
+            self.scales.update(scales)
+        self._artifacts = {}
+        self._results = {}
+        self._cache_dir = cache_dir
+        if cache_dir:
+            os.makedirs(cache_dir, exist_ok=True)
+
+    # ------------------------------------------------------------------
+    # stage 1: artifacts
+    # ------------------------------------------------------------------
+    def artifacts(self, suite_name):
+        """Artifacts for one of the paper's workloads (cached)."""
+        if suite_name not in SUITE_NAMES:
+            raise ConfigError(f"unknown workload {suite_name!r}")
+        cached = self._artifacts.get(suite_name)
+        if cached is not None:
+            return cached
+        pipeline = replace(
+            self.pipeline, scale=self.scales.get(suite_name, self.pipeline.scale)
+        )
+        built = self._load_or_build(suite_name, pipeline)
+        self._artifacts[suite_name] = built
+        return built
+
+    def _load_or_build(self, suite_name, pipeline):
+        key = pipeline.key(suite_name)
+        path = (
+            os.path.join(self._cache_dir, f"{key}.pickle")
+            if self._cache_dir
+            else None
+        )
+        if path and os.path.exists(path):
+            with open(path, "rb") as fh:
+                image, trace, query_rows = pickle.load(fh)
+        else:
+            image, trace, query_rows = _build_trace(suite_name, pipeline)
+            if path:
+                with open(path, "wb") as fh:
+                    pickle.dump((image, trace, query_rows), fh,
+                                protocol=pickle.HIGHEST_PROTOCOL)
+        profile = profile_of(trace)
+        layouts = {
+            "O5": o5_layout(image),
+            "OM": om_layout(image, profile),
+        }
+        return WorkloadArtifacts(
+            suite_name, image, trace, profile, layouts, query_rows
+        )
+
+    # ------------------------------------------------------------------
+    # stage 2: simulation
+    # ------------------------------------------------------------------
+    def run(self, suite_name, layout_name, prefetcher_spec=None,
+            perfect=False, cghc="CGHC-2K+32K", sim_config=None):
+        """Simulate one configuration (cached); returns SimStats.
+
+        ``prefetcher_spec``: None, ("nl", N), ("t-nl", N),
+        ("ra-nl", N, M), or ("cgp", N).
+        """
+        config = sim_config if sim_config is not None else self.sim_config
+        key = (suite_name, layout_name, prefetcher_spec, perfect, cghc,
+               id(sim_config) if sim_config is not None else None)
+        cached = self._results.get(key)
+        if cached is not None:
+            return cached
+        artifacts = self.artifacts(suite_name)
+        layout = artifacts.layout(layout_name)
+        if perfect:
+            config = replace(config, perfect_icache=True)
+        prefetcher = _make_prefetcher(prefetcher_spec, layout, cghc)
+        stats = simulate(artifacts.trace, layout, config, prefetcher=prefetcher)
+        self._results[key] = stats
+        return stats
+
+    def clear_results(self):
+        self._results.clear()
+
+
+def _build_trace(suite_name, pipeline):
+    image = build_db_image(instrs_per_pyop=pipeline.instrs_per_pyop)
+    suite = build_suite(
+        suite_name,
+        scale=pipeline.scale,
+        quantum_rows=pipeline.quantum_rows,
+        seed=pipeline.seed,
+    )
+    tracer = Tracer(image)
+    results = tracer.run(suite.run)
+    trace = expand_trace(tracer.trace, image, pipeline.expansion)
+    query_rows = {name: len(rows) for name, rows in results.items()}
+    return freeze_image(image), trace, query_rows
+
+
+def _make_prefetcher(spec, layout, cghc_name):
+    if spec is None:
+        return None
+    kind = spec[0]
+    if kind == "nl":
+        return NextNLinePrefetcher(spec[1])
+    if kind == "t-nl":
+        return TaggedNLPrefetcher(spec[1])
+    if kind == "ra-nl":
+        return RunAheadNLPrefetcher(spec[1], spec[2])
+    if kind == "cgp":
+        return CgpPrefetcher(spec[1], cghc_variant(cghc_name), layout)
+    raise ConfigError(f"unknown prefetcher spec {spec!r}")

@@ -1,0 +1,47 @@
+"""Instrumentation: Python execution -> virtual instruction traces."""
+
+from repro.instrument.analysis import (
+    call_depth_histogram,
+    characterize,
+    function_heat,
+    instructions_between_calls,
+    line_reuse_distances,
+    touched_lines,
+    working_set_curve,
+)
+from repro.instrument.codeimage import (
+    CodeImage,
+    FrozenImage,
+    FunctionInfo,
+    build_db_image,
+    build_image,
+    freeze_image,
+)
+from repro.instrument.interleave import interleave
+from repro.instrument.trace import CALL, EXEC, RET, SWITCH, Trace, validate_trace
+from repro.instrument.tracer import Tracer, trace_workload
+
+__all__ = [
+    "CALL",
+    "CodeImage",
+    "EXEC",
+    "FrozenImage",
+    "FunctionInfo",
+    "RET",
+    "SWITCH",
+    "Trace",
+    "Tracer",
+    "build_db_image",
+    "build_image",
+    "call_depth_histogram",
+    "characterize",
+    "freeze_image",
+    "function_heat",
+    "instructions_between_calls",
+    "interleave",
+    "line_reuse_distances",
+    "touched_lines",
+    "trace_workload",
+    "validate_trace",
+    "working_set_curve",
+]

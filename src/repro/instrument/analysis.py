@@ -1,0 +1,175 @@
+"""Trace analysis: the measurements behind the paper's workload claims.
+
+Pure functions over a trace (plus an image/layout where addresses are
+needed) computing the characterization numbers §2–§5.4 of the paper cite:
+call spacing, call-depth distribution, function heat, I-line working
+sets, and reuse distances (the quantity that decides whether a 32KB L1
+can hold the hot code).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro.instrument.trace import CALL, EXEC, RET
+
+
+def call_depth_histogram(trace):
+    """Histogram {depth: instructions executed at that depth}."""
+    histogram = Counter()
+    depth = 0
+    for kind, _a, b, c in trace.events():
+        if kind == CALL:
+            depth += 1
+        elif kind == RET:
+            depth = max(0, depth - 1)
+        elif kind == EXEC:
+            histogram[depth] += abs(c - b) + 1
+    return dict(histogram)
+
+
+def instructions_between_calls(trace):
+    """Mean straight-line instructions executed per call (§5.4)."""
+    calls = trace.call_count()
+    if calls == 0:
+        return float(trace.total_instructions())
+    return trace.total_instructions() / calls
+
+
+def function_heat(trace, image, top=20):
+    """The hottest functions by executed instructions:
+    [(name, instructions, fraction of total)]."""
+    heat = Counter()
+    for kind, a, b, c in trace.events():
+        if kind == EXEC:
+            heat[a] += abs(c - b) + 1
+    total = sum(heat.values()) or 1
+    return [
+        (image.name_of(fid), count, count / total)
+        for fid, count in heat.most_common(top)
+    ]
+
+
+def touched_lines(trace, layout):
+    """Set of distinct I-cache lines the trace touches under a layout."""
+    lines = set()
+    base = layout.base_line
+    perm = layout.perm
+    num = layout.num
+    den = layout.den
+    for kind, a, b, c in trace.events():
+        if kind != EXEC:
+            continue
+        lo, hi = (b, c) if b <= c else (c, b)
+        fbase = base[a]
+        fperm = perm[a]
+        for block in range((lo * num) // den, (hi * num) // den + 1):
+            lines.add(fbase + fperm[block])
+    return lines
+
+
+def working_set_curve(trace, layout, window_instructions=100_000):
+    """Distinct lines touched per fixed-size instruction window.
+
+    Returns a list of per-window counts — the instantaneous code working
+    set, the number that decides L1 pressure.
+    """
+    counts = []
+    current = set()
+    budget = window_instructions
+    base = layout.base_line
+    perm = layout.perm
+    num = layout.num
+    den = layout.den
+    for kind, a, b, c in trace.events():
+        if kind != EXEC:
+            continue
+        lo, hi = (b, c) if b <= c else (c, b)
+        fbase = base[a]
+        fperm = perm[a]
+        for block in range((lo * num) // den, (hi * num) // den + 1):
+            current.add(fbase + fperm[block])
+        budget -= hi - lo + 1
+        if budget <= 0:
+            counts.append(len(current))
+            current = set()
+            budget = window_instructions
+    if current:
+        counts.append(len(current))
+    return counts
+
+
+def line_reuse_distances(trace, layout, cap=100_000):
+    """Histogram of I-line reuse distances (distinct lines between two
+    touches of the same line), bucketed by powers of two.
+
+    A reuse distance above the L1 capacity (1024 lines for the paper's
+    32KB/32B cache) means the second touch misses under LRU.  ``cap``
+    bounds the per-line tracking cost.
+    """
+    last_touch = {}  # line -> index in the distinct-access sequence
+    stack = []  # approximate LRU stack of lines (most recent last)
+    positions = {}  # line -> position in stack
+    buckets = Counter()
+
+    def bucket_of(distance):
+        label = 1
+        while label < distance:
+            label <<= 1
+        return label
+
+    base = layout.base_line
+    perm = layout.perm
+    num = layout.num
+    den = layout.den
+    for kind, a, b, c in trace.events():
+        if kind != EXEC:
+            continue
+        lo, hi = (b, c) if b <= c else (c, b)
+        fbase = base[a]
+        fperm = perm[a]
+        for block in range((lo * num) // den, (hi * num) // den + 1):
+            line = fbase + fperm[block]
+            position = positions.get(line)
+            if position is None:
+                buckets["cold"] += 1
+            else:
+                distance = len(stack) - 1 - position
+                # entries behind `position` marked stale count high; an
+                # exact LRU stack would be O(n) per access, so distances
+                # are upper bounds within one bucket
+                buckets[bucket_of(max(1, distance))] += 1
+                stack[position] = None  # tombstone
+            positions[line] = len(stack)
+            stack.append(line)
+            if len(stack) > cap:
+                stack = [entry for entry in stack if entry is not None]
+                positions = {line: i for i, line in enumerate(stack)}
+    return dict(buckets)
+
+
+def characterize(trace, image, layout, l1_lines=1024):
+    """One-call workload characterization summary (dict)."""
+    depths = call_depth_histogram(trace)
+    weighted_depth = (
+        sum(d * n for d, n in depths.items()) / max(1, sum(depths.values()))
+    )
+    lines = touched_lines(trace, layout)
+    windows = working_set_curve(trace, layout)
+    reuse = line_reuse_distances(trace, layout)
+    far = sum(n for key, n in reuse.items()
+              if key == "cold" or (isinstance(key, int) and key > l1_lines))
+    total_reuse = sum(reuse.values()) or 1
+    return {
+        "instructions": trace.total_instructions(),
+        "calls": trace.call_count(),
+        "instrs_between_calls": instructions_between_calls(trace),
+        "mean_call_depth": weighted_depth,
+        "touched_lines": len(lines),
+        "touched_kb": len(lines) * 32 // 1024,
+        "mean_window_working_set": (
+            sum(windows) / len(windows) if windows else 0
+        ),
+        "reuse_beyond_l1_fraction": far / total_reuse,
+        "hottest": function_heat(trace, image, top=5),
+    }

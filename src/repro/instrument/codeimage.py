@@ -1,0 +1,277 @@
+"""Virtual code image: mapping Python functions to code addresses.
+
+The paper traces Alpha binaries; we trace Python.  To get an instruction
+stream, every Python function of the traced system is assigned a *virtual
+code segment* whose length derives from its real bytecode size (one
+Python bytecode op expands to :data:`INSTRS_PER_PYOP` RISC-ish
+instructions — SHORE-era C++ member functions compile to a few
+instructions per source operation, and the exact constant only scales
+footprints uniformly).
+
+During tracing, intra-function progress is read from ``frame.f_lasti``
+(the current bytecode offset), so the generated fetch stream has genuine
+intra-function structure: call-site positions, loops, early returns.
+
+The image is *layout independent*: it knows function sizes, not
+addresses.  :mod:`repro.layout` assigns addresses.
+"""
+
+from __future__ import annotations
+
+import types
+
+from repro.errors import TraceError
+
+INSTRS_PER_PYOP = 3
+MIN_FUNC_INSTRS = 8
+BYTES_PER_INSTR = 4
+
+
+class FunctionInfo:
+    """One traced function in the code image."""
+
+    __slots__ = ("fid", "name", "code", "size_instrs")
+
+    def __init__(self, fid, name, code, size_instrs):
+        self.fid = fid
+        self.name = name
+        self.code = code
+        self.size_instrs = size_instrs
+
+    def __repr__(self):
+        return f"FunctionInfo({self.fid}, {self.name!r}, {self.size_instrs})"
+
+
+class CodeImage:
+    """Symbol table of traced functions.
+
+    Build one with :func:`build_image` (or ``register_*`` directly), then
+    hand it to :class:`repro.instrument.tracer.Tracer`.
+    """
+
+    def __init__(self, instrs_per_pyop=INSTRS_PER_PYOP):
+        self._by_code = {}  # code object -> FunctionInfo
+        self._functions = []  # fid -> FunctionInfo
+        self._instrs_per_pyop = instrs_per_pyop
+
+    # ------------------------------------------------------------------
+    # registration
+    # ------------------------------------------------------------------
+    def register_code(self, code, name=None):
+        """Register one code object (and nested code objects within it)."""
+        info = self._by_code.get(code)
+        if info is not None:
+            return info
+        pyops = max(1, len(code.co_code) // 2)
+        size = max(MIN_FUNC_INSTRS, pyops * self._instrs_per_pyop)
+        info = FunctionInfo(
+            len(self._functions), name or code.co_qualname, code, size
+        )
+        self._by_code[code] = info
+        self._functions.append(info)
+        for const in code.co_consts:
+            if isinstance(const, types.CodeType):
+                self.register_code(const)
+        return info
+
+    def register_synthetic(self, name, size_instrs):
+        """Register a synthetic function (no code object), e.g. a runtime
+        helper materialized by :mod:`repro.instrument.expand`.  Idempotent
+        per name."""
+        for info in self._functions:
+            if info.name == name and info.code is None:
+                return info
+        info = FunctionInfo(
+            len(self._functions), name, None, max(MIN_FUNC_INSTRS, size_instrs)
+        )
+        self._functions.append(info)
+        return info
+
+    def register_module(self, module):
+        """Register every function/method defined in ``module``."""
+        seen = 0
+        for value in vars(module).values():
+            seen += self._register_value(value, module.__name__)
+        return seen
+
+    def _register_value(self, value, module_name):
+        if isinstance(value, types.FunctionType):
+            if value.__module__ == module_name:
+                self.register_code(value.__code__)
+                return 1
+            return 0
+        if isinstance(value, (staticmethod, classmethod)):
+            return self._register_value(value.__func__, module_name)
+        if isinstance(value, property):
+            count = 0
+            for accessor in (value.fget, value.fset, value.fdel):
+                if accessor is not None:
+                    count += self._register_value(accessor, module_name)
+            return count
+        if isinstance(value, type):
+            if getattr(value, "__module__", None) != module_name:
+                return 0
+            count = 0
+            for attr in vars(value).values():
+                count += self._register_value(attr, module_name)
+            return count
+        if isinstance(value, dict):
+            count = 0
+            for item in value.values():
+                if isinstance(item, types.FunctionType):
+                    count += self._register_value(item, module_name)
+            return count
+        return 0
+
+    # ------------------------------------------------------------------
+    # lookup
+    # ------------------------------------------------------------------
+    def fid_of(self, code):
+        """Function id for a code object, or None if untracked."""
+        info = self._by_code.get(code)
+        return None if info is None else info.fid
+
+    def info(self, fid):
+        try:
+            return self._functions[fid]
+        except IndexError:
+            raise TraceError(f"unknown function id {fid}") from None
+
+    def offset_instr(self, fid, lasti):
+        """Convert a bytecode offset to a virtual instruction offset,
+        clamped inside the function's segment."""
+        info = self._functions[fid]
+        offset = (max(lasti, 0) // 2) * self._instrs_per_pyop
+        if offset >= info.size_instrs:
+            return info.size_instrs - 1
+        return offset
+
+    def functions(self):
+        return list(self._functions)
+
+    @property
+    def function_count(self):
+        return len(self._functions)
+
+    def total_instrs(self):
+        """Total static code size, in virtual instructions."""
+        return sum(info.size_instrs for info in self._functions)
+
+    def name_of(self, fid):
+        return self._functions[fid].name
+
+    def fid_by_name(self, name):
+        """Find a function id by (qual)name suffix; raises if ambiguous."""
+        matches = [
+            info.fid
+            for info in self._functions
+            if info.name == name or info.name.endswith("." + name)
+        ]
+        if not matches:
+            raise TraceError(f"no traced function named {name!r}")
+        if len(matches) > 1:
+            names = [self._functions[m].name for m in matches]
+            raise TraceError(f"ambiguous function name {name!r}: {names}")
+        return matches[0]
+
+
+class FrozenImage:
+    """A picklable snapshot of a CodeImage (names and sizes only).
+
+    Simulation, layout, and profiling never need live code objects, so
+    traces are cached on disk together with a FrozenImage.
+    """
+
+    def __init__(self, names, sizes):
+        self._functions = [
+            FunctionInfo(fid, name, None, size)
+            for fid, (name, size) in enumerate(zip(names, sizes))
+        ]
+
+    def info(self, fid):
+        try:
+            return self._functions[fid]
+        except IndexError:
+            raise TraceError(f"unknown function id {fid}") from None
+
+    def functions(self):
+        return list(self._functions)
+
+    @property
+    def function_count(self):
+        return len(self._functions)
+
+    def total_instrs(self):
+        return sum(info.size_instrs for info in self._functions)
+
+    def name_of(self, fid):
+        return self._functions[fid].name
+
+    def register_synthetic(self, name, size_instrs):
+        for info in self._functions:
+            if info.name == name:
+                return info
+        info = FunctionInfo(
+            len(self._functions), name, None, max(MIN_FUNC_INSTRS, size_instrs)
+        )
+        self._functions.append(info)
+        return info
+
+    def __getstate__(self):
+        return {
+            "names": [f.name for f in self._functions],
+            "sizes": [f.size_instrs for f in self._functions],
+        }
+
+    def __setstate__(self, state):
+        self.__init__(state["names"], state["sizes"])
+
+
+def freeze_image(image):
+    """Snapshot any image into a :class:`FrozenImage`."""
+    functions = image.functions()
+    return FrozenImage(
+        [f.name for f in functions], [f.size_instrs for f in functions]
+    )
+
+
+def build_image(modules, instrs_per_pyop=INSTRS_PER_PYOP):
+    """Build a :class:`CodeImage` covering ``modules``."""
+    image = CodeImage(instrs_per_pyop=instrs_per_pyop)
+    for module in modules:
+        image.register_module(module)
+    return image
+
+
+def db_modules():
+    """The DBMS modules traced in the paper's experiments (all layers)."""
+    from repro.db import database, scheduler
+    from repro.db.exec import expressions, operators, schema, table
+    from repro.db.optimizer import cost, planner, stats
+    from repro.db.parser import ast_nodes, parser, tokenizer
+    from repro.db.storage import (
+        btree,
+        buffer_pool,
+        codec,
+        disk,
+        lock_manager,
+        page,
+        recovery,
+        storage_manager,
+        transaction,
+        wal,
+    )
+
+    return [
+        database, scheduler,
+        expressions, operators, schema, table,
+        cost, planner, stats,
+        ast_nodes, parser, tokenizer,
+        btree, buffer_pool, codec, disk, lock_manager, page,
+        recovery, storage_manager, transaction, wal,
+    ]
+
+
+def build_db_image(instrs_per_pyop=INSTRS_PER_PYOP):
+    """Code image covering the whole DBMS."""
+    return build_image(db_modules(), instrs_per_pyop=instrs_per_pyop)

@@ -1,0 +1,176 @@
+"""Runtime-library expansion: materializing the hidden call layer.
+
+**Why this exists.**  The paper traces compiled C++ where the storage
+manager averages one function call every ~43 instructions (§5.4), and a
+single tuple's processing touches far more code than a 32KB L1 I-cache
+holds.  Python hides exactly that layer: each bytecode op (attribute
+lookup, struct pack, list append, dict probe ...) is a call into the
+CPython runtime that ``sys.setprofile`` cannot see, so the raw traces
+have unrealistically long straight-line segments and a hot code
+footprint far below a real DBMS's.
+
+This pass restores that layer *deterministically*: every ``S``
+instructions of straight-line execution inside a traced function F, a
+call to a **runtime helper** is inserted.  Helper identity is a pure
+function of (F, call-site block), so the same call site always calls the
+same helper — stable call sequences, which is precisely the property
+CGP exploits and the property real call sites have.  Helpers are drawn
+from a shared pool (collisions model shared utilities like the paper's
+``lock_record``, called from many places); a fixed fraction of helpers
+call a second-level sub-helper, giving the call graph depth.
+
+The expansion is applied identically before every layout/prefetcher
+configuration, so it shifts the *workload model*, never the comparison.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import TraceError
+from repro.instrument.trace import CALL, EXEC, RET, Trace
+
+_MIX_1 = 2654435761
+_MIX_2 = 0x9E3779B97F4A7C15
+_MASK = (1 << 64) - 1
+
+
+def _mix(a, b):
+    value = (a * _MIX_1 + b * 1013904223 + 0x5BD1E995) & _MASK
+    value ^= value >> 29
+    value = (value * _MIX_2) & _MASK
+    value ^= value >> 32
+    return value
+
+
+@dataclass(frozen=True)
+class ExpansionConfig:
+    """Geometry of the synthetic runtime library."""
+
+    call_every_instrs: int = 32  # S: helper call spacing in caller code
+    helpers_per_function: int = 6  # distinct helper slots per caller
+    pool_size: int = 320  # shared helper pool
+    helper_min_instrs: int = 8
+    helper_max_instrs: int = 64
+    two_level_every: int = 4  # 1 in k helpers calls a sub-helper
+    seed: int = 97
+
+
+class RuntimeLibrary:
+    """The synthetic helper pool, registered into a code image."""
+
+    def __init__(self, image, config=ExpansionConfig()):
+        if config.call_every_instrs <= 0 or config.pool_size <= 0:
+            raise TraceError("bad expansion configuration")
+        self.config = config
+        self.image = image
+        self.helper_fids = []
+        self.helper_sizes = []
+        spread = config.helper_max_instrs - config.helper_min_instrs + 1
+        for index in range(config.pool_size):
+            size = config.helper_min_instrs + _mix(config.seed, index) % spread
+            info = image.register_synthetic(f"rt::helper_{index:03d}", size)
+            self.helper_fids.append(info.fid)
+            self.helper_sizes.append(info.size_instrs)
+
+    def helper_for(self, caller_fid, callsite_offset):
+        """Deterministic helper for one call site of one caller."""
+        slot = (
+            callsite_offset // self.config.call_every_instrs
+        ) % self.config.helpers_per_function
+        index = _mix(caller_fid, slot) % self.config.pool_size
+        return index
+
+    def sub_helper_of(self, helper_index):
+        """Second-level helper, or None (a fixed fraction have one)."""
+        if _mix(helper_index, 7919) % self.config.two_level_every != 0:
+            return None
+        return _mix(helper_index, 104729) % self.config.pool_size
+
+
+def expand_trace(trace, image, config=ExpansionConfig()):
+    """Insert runtime-helper calls into ``trace``.
+
+    Registers the helper pool into ``image`` (idempotent growth) and
+    returns a new :class:`Trace`.
+    """
+    library = RuntimeLibrary(image, config)
+    spacing = config.call_every_instrs
+    out = Trace()
+    kinds_out, a_out, b_out, c_out = out.kinds, out.a, out.b, out.c
+    helper_fids = library.helper_fids
+    helper_sizes = library.helper_sizes
+    helpers_per_function = config.helpers_per_function
+    pool_size = config.pool_size
+    two_level_every = config.two_level_every
+
+    for kind, a, b, c in trace.events():
+        if kind != EXEC:
+            kinds_out.append(kind)
+            a_out.append(a)
+            b_out.append(b)
+            c_out.append(c)
+            continue
+        fid, start, end = a, b, c
+        step = spacing if end >= start else -spacing
+        cursor = start
+        while True:
+            remaining = end - cursor
+            if abs(remaining) <= spacing:
+                kinds_out.append(EXEC)
+                a_out.append(fid)
+                b_out.append(cursor)
+                c_out.append(end)
+                break
+            nxt = cursor + step
+            kinds_out.append(EXEC)
+            a_out.append(fid)
+            b_out.append(cursor)
+            c_out.append(nxt)
+            # helper call at this site (identity fixed per site)
+            slot = (abs(nxt) // spacing) % helpers_per_function
+            index = _mix(fid, slot) % pool_size
+            helper = helper_fids[index]
+            size = helper_sizes[index]
+            kinds_out.append(CALL)
+            a_out.append(helper)
+            b_out.append(fid)
+            c_out.append(abs(nxt))
+            sub = None
+            if _mix(index, 7919) % two_level_every == 0:
+                sub = _mix(index, 104729) % pool_size
+            if sub is None or sub == index:
+                kinds_out.append(EXEC)
+                a_out.append(helper)
+                b_out.append(0)
+                c_out.append(size - 1)
+            else:
+                mid = size // 2
+                sub_fid = helper_fids[sub]
+                sub_size = helper_sizes[sub]
+                kinds_out.append(EXEC)
+                a_out.append(helper)
+                b_out.append(0)
+                c_out.append(mid)
+                kinds_out.append(CALL)
+                a_out.append(sub_fid)
+                b_out.append(helper)
+                c_out.append(mid)
+                kinds_out.append(EXEC)
+                a_out.append(sub_fid)
+                b_out.append(0)
+                c_out.append(sub_size - 1)
+                kinds_out.append(RET)
+                a_out.append(sub_fid)
+                b_out.append(helper)
+                c_out.append(sub_size - 1)
+                kinds_out.append(EXEC)
+                a_out.append(helper)
+                b_out.append(mid)
+                c_out.append(size - 1)
+            kinds_out.append(RET)
+            a_out.append(helper)
+            b_out.append(fid)
+            c_out.append(size - 1)
+            cursor = nxt
+    return out

@@ -1,0 +1,65 @@
+"""Trace interleaving: compose independent traces into one multiprogrammed
+stream with context switches every ``quantum`` instructions.
+
+The DB workloads are already interleaved at query granularity by the
+cooperative scheduler inside one trace; this module serves mixes of
+*separate* programs (e.g. CPU2000 pairings) where each program has its
+own call stack.  A ``SWITCH tid`` event precedes each burst so the fetch
+engine can keep per-thread architectural stacks while hardware structures
+(caches, RAS, CGHC) stay shared — exactly the interference a real context
+switch causes.
+"""
+
+from __future__ import annotations
+
+from repro.errors import TraceError
+from repro.instrument.trace import EXEC, SWITCH, Trace
+
+
+def interleave(traces, quantum=20000, call_overhead=2):
+    """Round-robin merge of ``traces`` at ``quantum`` instructions.
+
+    Each input trace must not itself contain SWITCH events.  Switching
+    happens only at event boundaries, so a quantum may overshoot by one
+    event.  Returns a new :class:`Trace`.
+    """
+    if not traces:
+        raise TraceError("nothing to interleave")
+    if quantum <= 0:
+        raise TraceError("quantum must be positive")
+    cursors = [0] * len(traces)
+    merged = Trace()
+    active = [tid for tid, t in enumerate(traces) if len(t) > 0]
+    while active:
+        still = []
+        for tid in active:
+            trace = traces[tid]
+            merged.add_switch(tid)
+            cursors[tid] = _copy_burst(
+                merged, trace, cursors[tid], quantum, call_overhead
+            )
+            if cursors[tid] < len(trace):
+                still.append(tid)
+        active = still
+    return merged
+
+
+def _copy_burst(merged, trace, start, quantum, call_overhead):
+    budget = quantum
+    index = start
+    kinds, a, b, c = trace.kinds, trace.a, trace.b, trace.c
+    n = len(kinds)
+    while index < n and budget > 0:
+        kind = kinds[index]
+        if kind == SWITCH:
+            raise TraceError("input traces must not contain SWITCH events")
+        merged.kinds.append(kind)
+        merged.a.append(a[index])
+        merged.b.append(b[index])
+        merged.c.append(c[index])
+        if kind == EXEC:
+            budget -= abs(c[index] - b[index]) + 1
+        else:
+            budget -= call_overhead
+        index += 1
+    return index

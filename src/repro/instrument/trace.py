@@ -1,0 +1,162 @@
+"""Instruction trace containers.
+
+A trace is a sequence of events in parallel integer lists (fast to build
+and to replay in pure Python):
+
+* ``EXEC  (fid, from_offset, to_offset)`` — straight-line progress inside
+  a function, in virtual instruction offsets (either direction; a
+  backwards delta is a loop back-edge),
+* ``CALL  (callee_fid, caller_fid, callsite_offset)`` — a call,
+* ``RET   (fid, caller_fid, return_offset)`` — a return from ``fid``,
+* ``SWITCH (tid, 0, 0)`` — context switch marker (multiprogrammed mixes).
+
+Traces are layout independent: they carry function ids and offsets, never
+addresses.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+from repro.errors import TraceError
+
+EXEC = 0
+CALL = 1
+RET = 2
+SWITCH = 3
+
+_KIND_NAMES = {EXEC: "EXEC", CALL: "CALL", RET: "RET", SWITCH: "SWITCH"}
+
+
+class Trace:
+    """Append-only event trace (parallel lists)."""
+
+    __slots__ = ("kinds", "a", "b", "c")
+
+    def __init__(self):
+        self.kinds = []
+        self.a = []
+        self.b = []
+        self.c = []
+
+    # ------------------------------------------------------------------
+    # building
+    # ------------------------------------------------------------------
+    def add_exec(self, fid, from_offset, to_offset):
+        self.kinds.append(EXEC)
+        self.a.append(fid)
+        self.b.append(from_offset)
+        self.c.append(to_offset)
+
+    def add_call(self, callee_fid, caller_fid=-1, callsite_offset=0):
+        self.kinds.append(CALL)
+        self.a.append(callee_fid)
+        self.b.append(caller_fid)
+        self.c.append(callsite_offset)
+
+    def add_return(self, fid, caller_fid=-1, return_offset=0):
+        self.kinds.append(RET)
+        self.a.append(fid)
+        self.b.append(caller_fid)
+        self.c.append(return_offset)
+
+    def add_switch(self, tid):
+        self.kinds.append(SWITCH)
+        self.a.append(tid)
+        self.b.append(0)
+        self.c.append(0)
+
+    def extend(self, other):
+        self.kinds.extend(other.kinds)
+        self.a.extend(other.a)
+        self.b.extend(other.b)
+        self.c.extend(other.c)
+
+    # ------------------------------------------------------------------
+    # inspection
+    # ------------------------------------------------------------------
+    def __len__(self):
+        return len(self.kinds)
+
+    def events(self):
+        """Yield (kind, a, b, c) tuples."""
+        return zip(self.kinds, self.a, self.b, self.c)
+
+    def counts(self):
+        """Event counts by kind name."""
+        out = {name: 0 for name in _KIND_NAMES.values()}
+        for kind in self.kinds:
+            out[_KIND_NAMES[kind]] += 1
+        return out
+
+    def total_instructions(self, call_overhead=2):
+        """Dynamic instruction count implied by the trace.
+
+        EXEC contributes |to - from| + 1; each CALL and RET contributes
+        ``call_overhead`` (the call/return instructions themselves).
+        """
+        total = 0
+        for kind, _a, b, c in zip(self.kinds, self.a, self.b, self.c):
+            if kind == EXEC:
+                total += abs(c - b) + 1
+            elif kind != SWITCH:
+                total += call_overhead
+        return total
+
+    def call_count(self):
+        return sum(1 for kind in self.kinds if kind == CALL)
+
+    # ------------------------------------------------------------------
+    # persistence
+    # ------------------------------------------------------------------
+    def save(self, path):
+        with open(path, "wb") as fh:
+            pickle.dump(
+                {"kinds": self.kinds, "a": self.a, "b": self.b, "c": self.c},
+                fh,
+                protocol=pickle.HIGHEST_PROTOCOL,
+            )
+
+    @classmethod
+    def load(cls, path):
+        with open(path, "rb") as fh:
+            payload = pickle.load(fh)
+        trace = cls()
+        try:
+            trace.kinds = payload["kinds"]
+            trace.a = payload["a"]
+            trace.b = payload["b"]
+            trace.c = payload["c"]
+        except (KeyError, TypeError) as exc:
+            raise TraceError(f"malformed trace file {path}: {exc}") from exc
+        if not (
+            len(trace.kinds) == len(trace.a) == len(trace.b) == len(trace.c)
+        ):
+            raise TraceError(f"inconsistent trace arrays in {path}")
+        return trace
+
+
+def validate_trace(trace, image):
+    """Check stack balance and offset sanity; raises TraceError.
+
+    Returns the maximum call depth observed.
+    """
+    depth = 0
+    max_depth = 0
+    for kind, a, b, c in trace.events():
+        if kind == CALL:
+            depth += 1
+            max_depth = max(max_depth, depth)
+            image.info(a)
+        elif kind == RET:
+            depth -= 1
+            if depth < 0:
+                raise TraceError("RET without matching CALL")
+        elif kind == EXEC:
+            info = image.info(a)
+            if not (0 <= b < info.size_instrs and 0 <= c < info.size_instrs):
+                raise TraceError(
+                    f"EXEC offsets ({b}, {c}) outside {info.name} "
+                    f"(size {info.size_instrs})"
+                )
+    return max_depth

@@ -1,0 +1,22 @@
+"""Code layout: profiles, Pettis-Hansen ordering, O5/OM address maps."""
+
+from repro.layout.layouts import (
+    INSTRS_PER_LINE,
+    AddressMap,
+    link_order,
+    o5_layout,
+    om_layout,
+)
+from repro.layout.pettis_hansen import pettis_hansen_order
+from repro.layout.profile import CallGraphProfile, profile_of
+
+__all__ = [
+    "AddressMap",
+    "CallGraphProfile",
+    "INSTRS_PER_LINE",
+    "link_order",
+    "o5_layout",
+    "om_layout",
+    "pettis_hansen_order",
+    "profile_of",
+]

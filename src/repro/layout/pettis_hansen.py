@@ -1,0 +1,68 @@
+"""Pettis–Hansen "closest is best" function ordering.
+
+The second level of OM's code layout (§5.1): functions that call each
+other frequently are placed adjacently.  Classic greedy chain merging:
+process call edges by descending weight; when both endpoints are at the
+ends of different chains, splice the chains so the endpoints touch.
+Finally, chains are emitted by descending total edge weight, and
+never-called functions follow in a deterministic order.
+"""
+
+from __future__ import annotations
+
+
+def pettis_hansen_order(all_fids, edge_counts):
+    """Return a list of fids: the closest-is-best placement order."""
+    chain_of = {}  # fid -> chain id
+    chains = {}  # chain id -> list of fids
+    chain_weight = {}
+    next_chain = 0
+
+    def chain_for(fid):
+        nonlocal next_chain
+        if fid not in chain_of:
+            chain_of[fid] = next_chain
+            chains[next_chain] = [fid]
+            chain_weight[next_chain] = 0
+            next_chain += 1
+        return chain_of[fid]
+
+    # deterministic order: weight desc, then edge for tie-break
+    edges = sorted(edge_counts.items(), key=lambda kv: (-kv[1], kv[0]))
+    for (caller, callee), weight in edges:
+        ca = chain_for(caller)
+        cb = chain_for(callee)
+        if ca == cb:
+            chain_weight[ca] += weight
+            continue
+        a = chains[ca]
+        b = chains[cb]
+        # orient so that caller sits at the tail of its chain and callee
+        # at the head of its chain, when possible
+        if a[0] == caller:
+            a.reverse()
+        if b[-1] == callee:
+            b.reverse()
+        if a[-1] != caller or b[0] != callee:
+            # endpoints buried inside chains: cannot splice adjacently
+            chain_weight[ca] += weight
+            continue
+        a.extend(b)
+        for fid in b:
+            chain_of[fid] = ca
+        chain_weight[ca] += chain_weight.pop(cb) + weight
+        del chains[cb]
+
+    ordered_chains = sorted(
+        chains.items(), key=lambda kv: (-chain_weight[kv[0]], kv[1][0])
+    )
+    placed = []
+    seen = set()
+    for _cid, chain in ordered_chains:
+        for fid in chain:
+            placed.append(fid)
+            seen.add(fid)
+    for fid in all_fids:
+        if fid not in seen:
+            placed.append(fid)
+    return placed

@@ -1,0 +1,67 @@
+"""Execution profiles: call-edge weights and function heat from traces.
+
+This is the feedback information OM consumes (the paper generated it by
+running wisc-prof and wisc+tpch and merging the two profiles, §5.1).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro.instrument.trace import CALL, EXEC
+
+
+class CallGraphProfile:
+    """Aggregated profile over one or more traces."""
+
+    def __init__(self):
+        self.edge_counts = Counter()  # (caller_fid, callee_fid) -> calls
+        self.call_counts = Counter()  # callee_fid -> calls
+        self.instr_counts = Counter()  # fid -> dynamic instructions
+
+    def add_trace(self, trace):
+        edges = self.edge_counts
+        calls = self.call_counts
+        instrs = self.instr_counts
+        for kind, a, b, c in trace.events():
+            if kind == CALL:
+                calls[a] += 1
+                if b >= 0:
+                    edges[(b, a)] += 1
+            elif kind == EXEC:
+                instrs[a] += abs(c - b) + 1
+        return self
+
+    def merge(self, other):
+        """Fold another profile in (the paper merges two profile runs)."""
+        self.edge_counts.update(other.edge_counts)
+        self.call_counts.update(other.call_counts)
+        self.instr_counts.update(other.instr_counts)
+        return self
+
+    def hottest_functions(self, n=10):
+        return self.instr_counts.most_common(n)
+
+    def callee_fanout(self):
+        """Distinct-callee count per caller (paper §3.2: 80% call < 8)."""
+        fanout = Counter()
+        for (caller, _callee), _count in self.edge_counts.items():
+            fanout[caller] += 1
+        return dict(fanout)
+
+    def fraction_with_fanout_below(self, limit=8):
+        """Fraction of calling functions with fewer than ``limit`` distinct
+        callees (the paper's ATOM statistic)."""
+        fanout = self.callee_fanout()
+        if not fanout:
+            return 1.0
+        small = sum(1 for count in fanout.values() if count < limit)
+        return small / len(fanout)
+
+
+def profile_of(*traces):
+    """Build a profile from traces."""
+    profile = CallGraphProfile()
+    for trace in traces:
+        profile.add_trace(trace)
+    return profile

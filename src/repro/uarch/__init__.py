@@ -1,0 +1,24 @@
+"""Microarchitecture simulator: caches, memory, RAS, fetch engine."""
+
+from repro.uarch.cache import SetAssocCache
+from repro.uarch.config import TABLE_1, CacheConfig, CghcConfig, SimConfig, cghc_variant
+from repro.uarch.fetch_engine import FetchEngine, simulate
+from repro.uarch.memsys import MemorySystem
+from repro.uarch.ras import ModifiedReturnAddressStack, RasEntry
+from repro.uarch.stats import PrefetchStats, SimStats
+
+__all__ = [
+    "CacheConfig",
+    "CghcConfig",
+    "FetchEngine",
+    "MemorySystem",
+    "ModifiedReturnAddressStack",
+    "PrefetchStats",
+    "RasEntry",
+    "SetAssocCache",
+    "SimConfig",
+    "SimStats",
+    "TABLE_1",
+    "cghc_variant",
+    "simulate",
+]

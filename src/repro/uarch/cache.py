@@ -1,0 +1,79 @@
+"""Set-associative cache model (LRU), line-address granular.
+
+Addresses handled by the simulator are already cache-line numbers, so
+this model never sees byte addresses.  Each set is a small list with the
+MRU entry at the end; with 2-4 way associativity, list operations beat
+any clever structure in CPython.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SimulationError
+
+
+class SetAssocCache:
+    """An LRU set-associative cache of line addresses."""
+
+    __slots__ = ("n_sets", "assoc", "_sets", "hits", "misses")
+
+    def __init__(self, n_sets, assoc):
+        if n_sets <= 0 or assoc <= 0:
+            raise SimulationError("cache geometry must be positive")
+        self.n_sets = n_sets
+        self.assoc = assoc
+        self._sets = [[] for _ in range(n_sets)]
+        self.hits = 0
+        self.misses = 0
+
+    @classmethod
+    def from_config(cls, config):
+        return cls(config.n_sets, config.assoc)
+
+    def lookup(self, line):
+        """True (and LRU update) if ``line`` is present."""
+        bucket = self._sets[line % self.n_sets]
+        try:
+            bucket.remove(line)
+        except ValueError:
+            self.misses += 1
+            return False
+        bucket.append(line)
+        self.hits += 1
+        return True
+
+    def contains(self, line):
+        """Presence test without LRU update or stats."""
+        return line in self._sets[line % self.n_sets]
+
+    def insert(self, line):
+        """Install ``line``; returns the evicted line or None."""
+        bucket = self._sets[line % self.n_sets]
+        if line in bucket:
+            bucket.remove(line)
+            bucket.append(line)
+            return None
+        victim = None
+        if len(bucket) >= self.assoc:
+            victim = bucket.pop(0)
+        bucket.append(line)
+        return victim
+
+    def invalidate(self, line):
+        """Drop ``line`` if present; returns True if it was."""
+        bucket = self._sets[line % self.n_sets]
+        try:
+            bucket.remove(line)
+        except ValueError:
+            return False
+        return True
+
+    def resident_lines(self):
+        """All lines currently cached (tests/debugging)."""
+        out = []
+        for bucket in self._sets:
+            out.extend(bucket)
+        return out
+
+    def flush(self):
+        for bucket in self._sets:
+            bucket.clear()

@@ -1,0 +1,122 @@
+"""Simulator configuration (the paper's Table 1, plus model parameters).
+
+Table 1 values::
+
+    Fetch, Decode & Issue Width   4
+    Inst Fetch & L/S Queue Size   16
+    Reservation stations          64
+    Functional Units              4 add / 2 mult
+    Memory system ports to CPU    4
+    L1 I and D cache (each)       32KB, 2-way, 32-byte lines
+    Unified L2 cache              1MB, 4-way, 32-byte lines
+    L1 hit latency                1 cycle
+    L2 hit latency                16 cycles
+    Memory latency                80 cycles
+    Branch predictor              2-level, 2K entries
+
+Our fetch-driven timing model uses the cache/latency/width rows directly.
+The out-of-order backend rows (queues, reservation stations, FUs) are
+summarized by ``base_cpi``: the average non-fetch CPI contribution per
+instruction, calibrated once against the paper's O5 baseline (§5 of
+DESIGN.md) and held constant across all configurations so that relative
+speedups are driven entirely by the fetch side.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    size_bytes: int
+    assoc: int
+    line_bytes: int = 32
+
+    @property
+    def n_sets(self):
+        sets = self.size_bytes // (self.assoc * self.line_bytes)
+        if sets <= 0:
+            raise ConfigError("cache too small for its associativity")
+        return sets
+
+
+@dataclass(frozen=True)
+class CghcConfig:
+    """Call Graph History Cache geometry.
+
+    ``l1_bytes`` / ``l2_bytes`` give the two levels (l2_bytes=0 means one
+    level); ``infinite`` replaces both with an unbounded structure whose
+    entries hold full call sequences.  Entry size follows §3.2: a 32-byte
+    data line (8 callee slots) plus an 8-byte tag and index.
+    """
+
+    l1_bytes: int = 2048
+    l2_bytes: int = 32768
+    slots: int = 8
+    assoc: int = 1  # ways per set; 1 = direct mapped (the paper's choice)
+    entry_bytes: int = 40
+    infinite: bool = False
+    l1_latency: int = 1
+    l2_latency: int = 16
+
+    def l1_entries(self):
+        return max(1, self.l1_bytes // self.entry_bytes)
+
+    def l2_entries(self):
+        return self.l2_bytes // self.entry_bytes
+
+
+@dataclass(frozen=True)
+class SimConfig:
+    """Everything the fetch engine needs."""
+
+    fetch_width: int = 4
+    l1i: CacheConfig = field(default_factory=lambda: CacheConfig(32 * 1024, 2))
+    l2: CacheConfig = field(default_factory=lambda: CacheConfig(1024 * 1024, 4))
+    l1_hit_latency: int = 1
+    l2_hit_latency: int = 16
+    memory_latency: int = 80
+    l2_port_occupancy: int = 2  # FIFO L2 interface, no demand priority (§3.3)
+    l2_demand_priority: bool = False  # ablation: let demand misses jump the queue
+    base_cpi: float = 0.55  # OoO backend summary (see module docstring)
+    call_overhead_instrs: int = 2
+    branch_predictor_accuracy: float = 0.96
+    mispredict_penalty: int = 7
+    ras_depth: int = 32
+    cghc: CghcConfig = field(default_factory=CghcConfig)
+    perfect_icache: bool = False
+
+    def validate(self):
+        if self.fetch_width <= 0:
+            raise ConfigError("fetch width must be positive")
+        if not 0.0 <= self.branch_predictor_accuracy <= 1.0:
+            raise ConfigError("branch predictor accuracy must be in [0, 1]")
+        if self.l1i.line_bytes != self.l2.line_bytes:
+            raise ConfigError("L1/L2 line sizes must match")
+        self.l1i.n_sets
+        self.l2.n_sets
+        return self
+
+
+#: The paper's Table 1 configuration.
+TABLE_1 = SimConfig().validate()
+
+
+def cghc_variant(name):
+    """Named CGHC configurations from Figure 5."""
+    variants = {
+        "CGHC-1K": CghcConfig(l1_bytes=1024, l2_bytes=0),
+        "CGHC-32K": CghcConfig(l1_bytes=32768, l2_bytes=0),
+        "CGHC-1K+16K": CghcConfig(l1_bytes=1024, l2_bytes=16384),
+        "CGHC-2K+32K": CghcConfig(l1_bytes=2048, l2_bytes=32768),
+        "CGHC-Inf": CghcConfig(infinite=True),
+    }
+    try:
+        return variants[name]
+    except KeyError:
+        raise ConfigError(
+            f"unknown CGHC variant {name!r}; pick from {sorted(variants)}"
+        ) from None

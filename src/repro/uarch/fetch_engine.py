@@ -1,0 +1,272 @@
+"""The fetch-driven timing simulator.
+
+Replays a trace under an address layout with a chosen prefetcher and the
+paper's Table 1 memory hierarchy.  Timing model:
+
+* every instruction costs ``1/fetch_width + base_cpi`` cycles (fetch
+  bandwidth plus the calibrated out-of-order backend contribution),
+* an L1-I miss stalls the front end for the full L2/memory round trip —
+  instruction misses serialize fetch, which is exactly the paper's
+  argument for attacking them (§1),
+* a reference to a line still in flight (prefetched but not yet arrived)
+  stalls for the residual latency — a *delayed hit*,
+* all L2 traffic (demand + prefetch) shares one FIFO port (§3.3),
+* call/return target prediction: call targets are predicted with a fixed
+  accuracy (2-level predictor summary), return targets by the modified
+  RAS (a return predicts correctly iff the popped entry matches the
+  actual caller — overflows and thread interference surface naturally).
+
+Prefetched lines are tracked from issue to first use or eviction and
+classified per Figure 8 (pref hit / delayed hit / useless), by origin
+(Figure 9 splits CGP into its NL and CGHC parts).
+"""
+
+from __future__ import annotations
+
+from heapq import heappop, heappush
+
+from repro.errors import SimulationError
+from repro.instrument.trace import CALL, EXEC, RET, SWITCH
+from repro.uarch.cache import SetAssocCache
+from repro.uarch.memsys import MemorySystem
+from repro.uarch.prefetch.base import NO_PREFETCH
+from repro.uarch.ras import ModifiedReturnAddressStack
+from repro.uarch.stats import SimStats
+
+_LCG_MULT = 6364136223846793005
+_LCG_ADD = 1442695040888963407
+_LCG_MASK = (1 << 64) - 1
+
+
+class FetchEngine:
+    """One simulation run = one FetchEngine instance."""
+
+    def __init__(self, config, layout, prefetcher=None, seed=12345):
+        config.validate()
+        self.config = config
+        self.layout = layout
+        self.prefetcher = prefetcher if prefetcher is not None else NO_PREFETCH
+        self.stats = SimStats()
+        self.l1i = SetAssocCache.from_config(config.l1i)
+        self.memsys = MemorySystem(config)
+        self.ras = ModifiedReturnAddressStack(config.ras_depth)
+        self.cycle = 0.0
+        self._in_flight = {}  # line -> (arrival_cycle, origin)
+        self._arrivals = []  # heap of (arrival_cycle, line)
+        self._untouched = {}  # prefetched line in L1, not yet referenced
+        self._rng_state = (seed * 2 + 1) & _LCG_MASK
+        self._cpi = 1.0 / config.fetch_width + config.base_cpi
+        #: set before each prefetcher.on_line_access call: whether the
+        #: access demand-missed, and whether it was the first touch of a
+        #: prefetched line (the "tag bit" tagged prefetchers key off)
+        self.last_access_missed = False
+        self.last_access_first_touch = False
+
+    # ------------------------------------------------------------------
+    # pseudo-random branch prediction (deterministic per seed)
+    # ------------------------------------------------------------------
+    def _predict_ok(self):
+        self._rng_state = (
+            self._rng_state * _LCG_MULT + _LCG_ADD
+        ) & _LCG_MASK
+        fraction = ((self._rng_state >> 32) & 0xFFFFFFFF) / 4294967296.0
+        return fraction < self.config.branch_predictor_accuracy
+
+    # ------------------------------------------------------------------
+    # prefetch interface (called by prefetchers)
+    # ------------------------------------------------------------------
+    def issue_prefetch(self, line, origin, delay=0):
+        """Issue a prefetch for ``line`` unless present/in flight."""
+        stats = self.stats.prefetch_origin(origin)
+        if line < 0 or line >= self.layout.total_lines:
+            return False
+        if line in self._in_flight or self.l1i.contains(line):
+            stats.squashed += 1
+            return False
+        completion, _from_mem = self.memsys.request(
+            line, self.cycle + delay, is_prefetch=True
+        )
+        self._in_flight[line] = (completion, origin)
+        heappush(self._arrivals, (completion, line))
+        stats.issued += 1
+        return True
+
+    def prefetch_function_head(self, fid, n_lines, origin, delay=0):
+        """Prefetch the first ``n_lines`` of function ``fid``."""
+        start = self.layout.base_line[fid]
+        span = self.layout.size_lines[fid]
+        count = n_lines if n_lines < span else span
+        for offset in range(count):
+            self.issue_prefetch(start + offset, origin, delay)
+
+    # ------------------------------------------------------------------
+    # cache plumbing
+    # ------------------------------------------------------------------
+    def _deliver_arrivals(self):
+        arrivals = self._arrivals
+        in_flight = self._in_flight
+        now = self.cycle
+        while arrivals and arrivals[0][0] <= now:
+            _arrival, line = heappop(arrivals)
+            record = in_flight.pop(line, None)
+            if record is None:
+                continue  # superseded (already delivered via delayed hit)
+            self._install(line, record[1])
+
+    def _install(self, line, origin=None):
+        evicted = self.l1i.insert(line)
+        if origin is not None:
+            self._untouched[line] = origin
+        if evicted is not None:
+            victim_origin = self._untouched.pop(evicted, None)
+            if victim_origin is not None:
+                self.stats.prefetch_origin(victim_origin).useless += 1
+
+    def _access(self, line):
+        """One demand reference to an I-cache line."""
+        stats = self.stats
+        stats.line_accesses += 1
+        missed = False
+        first_touch = False
+        if self._arrivals:
+            self._deliver_arrivals()
+        if self.l1i.lookup(line):
+            origin = self._untouched.pop(line, None)
+            if origin is not None:
+                stats.prefetch_origin(origin).pref_hits += 1
+                first_touch = True
+        else:
+            record = self._in_flight.pop(line, None)
+            if record is not None:
+                arrival, origin = record
+                stall = arrival - self.cycle
+                if stall > 0:
+                    self.cycle += stall
+                    stats.stall_cycles += stall
+                stats.prefetch_origin(origin).delayed_hits += 1
+                first_touch = True
+                self._install(line)  # referenced: not "untouched"
+            else:
+                missed = True
+                completion, from_mem = self.memsys.request(
+                    line, self.cycle, is_prefetch=False
+                )
+                stats.demand_misses += 1
+                if from_mem:
+                    stats.memory_fetches += 1
+                else:
+                    stats.l2_hits += 1
+                stall = completion - self.cycle
+                self.cycle += stall
+                stats.stall_cycles += stall
+                self._install(line)
+        self.last_access_missed = missed
+        self.last_access_first_touch = first_touch
+        self.prefetcher.on_line_access(line, self)
+
+    # ------------------------------------------------------------------
+    # main loop
+    # ------------------------------------------------------------------
+    def run(self, trace):
+        """Simulate ``trace``; returns the :class:`SimStats`."""
+        config = self.config
+        layout = self.layout
+        stats = self.stats
+        prefetcher = self.prefetcher
+        base = layout.base_line
+        perm = layout.perm
+        num = layout.num
+        den = layout.den
+        instr_scale = layout.instr_scale
+        cpi = self._cpi
+        overhead = config.call_overhead_instrs
+        overhead_cycles = overhead * instr_scale * cpi
+        penalty = config.mispredict_penalty
+        perfect = config.perfect_icache
+        access = self._access
+
+        kinds = trace.kinds
+        ea, eb, ec = trace.a, trace.b, trace.c
+        for i in range(len(kinds)):
+            kind = kinds[i]
+            if kind == EXEC:
+                fid = ea[i]
+                o1 = eb[i]
+                o2 = ec[i]
+                if o2 < o1:
+                    o1, o2 = o2, o1
+                n = (o2 - o1 + 1) * instr_scale
+                stats.instructions += n
+                self.cycle += n * cpi
+                stats.fetch_cycles += n * cpi
+                if not perfect:
+                    first = (o1 * num) // den
+                    last = (o2 * num) // den
+                    fbase = base[fid]
+                    fperm = perm[fid]
+                    for block in range(first, last + 1):
+                        access(fbase + fperm[block])
+            elif kind == CALL:
+                stats.calls += 1
+                stats.instructions += overhead * instr_scale
+                self.cycle += overhead_cycles
+                stats.fetch_cycles += overhead_cycles
+                callee = ea[i]
+                caller = eb[i]
+                predicted = self._predict_ok()
+                if not predicted:
+                    stats.mispredicted_calls += 1
+                    self.cycle += penalty
+                    stats.mispredict_cycles += penalty
+                if caller >= 0:
+                    callsite = base[caller] + perm[caller][(ec[i] * num) // den]
+                    self.ras.push(callsite, base[caller], caller)
+                if not perfect:
+                    prefetcher.on_call(caller, callee, predicted, self)
+            elif kind == RET:
+                stats.returns += 1
+                stats.instructions += overhead * instr_scale
+                self.cycle += overhead_cycles
+                stats.fetch_cycles += overhead_cycles
+                returning = ea[i]
+                actual_caller = eb[i]
+                entry = self.ras.pop()
+                predicted = entry is not None and (
+                    actual_caller < 0 or entry.caller_fid == actual_caller
+                )
+                if not predicted:
+                    self.cycle += penalty
+                    stats.mispredict_cycles += penalty
+                if not perfect:
+                    prefetcher.on_return(returning, entry, predicted, self)
+            elif kind == SWITCH:
+                pass  # hardware state (caches, RAS, CGHC) is shared
+            else:
+                raise SimulationError(f"unknown trace event kind {kind}")
+
+        self._finalize()
+        return stats
+
+    def _finalize(self):
+        stats = self.stats
+        # lines never referenced after prefetch are useless
+        for origin in self._untouched.values():
+            stats.prefetch_origin(origin).useless += 1
+        self._untouched.clear()
+        for _arrival, origin in self._in_flight.values():
+            stats.prefetch_origin(origin).useless += 1
+        self._in_flight.clear()
+        stats.cycles = self.cycle
+        stats.base_cycles = stats.fetch_cycles
+        stats.bus_transactions = self.memsys.transactions
+        cghc = getattr(self.prefetcher, "cghc", None)
+        if cghc is not None:
+            stats.cghc_l1_hits = cghc.l1_hits
+            stats.cghc_l2_hits = cghc.l2_hits
+            stats.cghc_misses = cghc.misses
+
+
+def simulate(trace, layout, config, prefetcher=None, seed=12345):
+    """Convenience wrapper: run one simulation, return stats."""
+    engine = FetchEngine(config, layout, prefetcher=prefetcher, seed=seed)
+    return engine.run(trace)

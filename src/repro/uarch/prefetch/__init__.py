@@ -1,0 +1,16 @@
+"""Prefetchers: none, next-N-line, run-ahead NL (CGP lives in repro.core)."""
+
+from repro.uarch.prefetch.base import NO_PREFETCH, Prefetcher
+from repro.uarch.prefetch.nl import (
+    NextNLinePrefetcher,
+    RunAheadNLPrefetcher,
+    TaggedNLPrefetcher,
+)
+
+__all__ = [
+    "NO_PREFETCH",
+    "NextNLinePrefetcher",
+    "Prefetcher",
+    "RunAheadNLPrefetcher",
+    "TaggedNLPrefetcher",
+]

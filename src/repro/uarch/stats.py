@@ -1,0 +1,120 @@
+"""Run statistics collected by the fetch engine.
+
+Prefetch bookkeeping follows the paper's Figure 8 taxonomy:
+
+* **pref hit** — the first demand reference to a prefetched line finds it
+  already in the L1 I-cache,
+* **delayed hit** — the first demand reference finds it still in flight
+  (stalls for the residual latency),
+* **useless** — the line is evicted (or the run ends) before any demand
+  reference touches it.
+
+Prefetches for lines already present or in flight are *squashed* (never
+issued, no bus traffic).  CGP prefetches carry an origin tag (``nl`` or
+``cghc``) so Figure 9's split can be reported.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class PrefetchStats:
+    issued: int = 0
+    pref_hits: int = 0
+    delayed_hits: int = 0
+    useless: int = 0
+    squashed: int = 0
+
+    def useful(self):
+        return self.pref_hits + self.delayed_hits
+
+    def accounted(self):
+        return self.pref_hits + self.delayed_hits + self.useless
+
+    def as_dict(self):
+        return {
+            "issued": self.issued,
+            "pref_hits": self.pref_hits,
+            "delayed_hits": self.delayed_hits,
+            "useless": self.useless,
+            "squashed": self.squashed,
+        }
+
+
+@dataclass
+class SimStats:
+    """Everything measured in one simulation run."""
+
+    instructions: int = 0
+    cycles: float = 0.0
+    fetch_cycles: float = 0.0
+    base_cycles: float = 0.0
+    stall_cycles: float = 0.0
+    mispredict_cycles: float = 0.0
+
+    line_accesses: int = 0
+    l1_hits: int = 0
+    demand_misses: int = 0
+    l2_hits: int = 0
+    memory_fetches: int = 0
+
+    calls: int = 0
+    returns: int = 0
+    mispredicted_calls: int = 0
+
+    bus_transactions: int = 0  # L2 port transactions incl. prefetches
+    cghc_l1_hits: int = 0
+    cghc_l2_hits: int = 0
+    cghc_misses: int = 0
+
+    prefetch: dict = field(default_factory=dict)  # origin -> PrefetchStats
+
+    def prefetch_origin(self, origin):
+        stats = self.prefetch.get(origin)
+        if stats is None:
+            stats = PrefetchStats()
+            self.prefetch[origin] = stats
+        return stats
+
+    # ------------------------------------------------------------------
+    # derived metrics
+    # ------------------------------------------------------------------
+    @property
+    def ipc(self):
+        return self.instructions / self.cycles if self.cycles else 0.0
+
+    @property
+    def miss_rate(self):
+        if self.line_accesses == 0:
+            return 0.0
+        return self.demand_misses / self.line_accesses
+
+    @property
+    def mpki(self):
+        if self.instructions == 0:
+            return 0.0
+        return 1000.0 * self.demand_misses / self.instructions
+
+    def total_prefetches(self):
+        return sum(p.issued for p in self.prefetch.values())
+
+    def total_useful_prefetches(self):
+        return sum(p.useful() for p in self.prefetch.values())
+
+    def total_useless_prefetches(self):
+        return sum(p.useless for p in self.prefetch.values())
+
+    def summary(self):
+        return {
+            "instructions": self.instructions,
+            "cycles": round(self.cycles, 1),
+            "ipc": round(self.ipc, 4),
+            "demand_misses": self.demand_misses,
+            "miss_rate": round(self.miss_rate, 6),
+            "mpki": round(self.mpki, 4),
+            "stall_cycles": round(self.stall_cycles, 1),
+            "bus_transactions": self.bus_transactions,
+            "prefetch": {k: v.as_dict() for k, v in sorted(self.prefetch.items())},
+        }

@@ -1,0 +1,13 @@
+"""Workloads: Wisconsin, TPC-H, synthetic CPU2000, and the paper's suites."""
+
+from repro.workloads import cpu2000, tpch, wisconsin
+from repro.workloads.suites import SUITE_NAMES, WorkloadSuite, build_suite
+
+__all__ = [
+    "SUITE_NAMES",
+    "WorkloadSuite",
+    "build_suite",
+    "cpu2000",
+    "tpch",
+    "wisconsin",
+]

@@ -1,0 +1,82 @@
+"""The paper's four database workloads (§4.1).
+
+1. **wisc-prof**    — Wisconsin q1, q5, q9 on a small database (the paper:
+   2,100 tuples); also the profile workload for OM.
+2. **wisc-large-1** — the same three queries on the full-size database
+   (paper: 21,000 tuples, 10MB).
+3. **wisc-large-2** — all eight Wisconsin queries on the full database.
+4. **wisc+tpch**    — all eight Wisconsin queries plus TPC-H 1, 2, 3, 5, 6
+   running concurrently (paper: 40MB total).
+
+All queries in a workload run concurrently under the round-robin
+scheduler, one "thread" per query, mirroring the paper's threaded server.
+
+Scale: the paper's tuple counts make pure-Python cycle simulation
+infeasible, so each suite takes a ``scale`` multiplier applied to the
+paper's counts (default 0.1).  §4 of the paper argues (and experiment
+E-scale verifies here) that CGP behaviour is insensitive to this.
+"""
+
+from __future__ import annotations
+
+from repro.db import Database
+from repro.errors import ConfigError
+from repro.workloads import tpch, wisconsin
+
+PAPER_WISC_PROF_TUPLES = 2100 // 3  # 2,100 total over three relations
+PAPER_WISC_LARGE_TUPLES = 10000  # tenk1/tenk2 at full size
+
+SUITE_NAMES = ("wisc-prof", "wisc-large-1", "wisc-large-2", "wisc+tpch")
+
+
+class WorkloadSuite:
+    """A configured workload: a database plus concurrent queries."""
+
+    def __init__(self, name, database, queries, quantum_rows=16):
+        self.name = name
+        self.database = database
+        self.queries = list(queries)  # (name, sql, hints)
+        self.quantum_rows = quantum_rows
+
+    def run(self):
+        """Execute all queries concurrently; returns name -> rows."""
+        hints = {name: h for name, _sql, h in self.queries if h}
+        pairs = [(name, sql) for name, sql, _h in self.queries]
+        return self.database.run_concurrent(
+            pairs, quantum_rows=self.quantum_rows, hints=hints
+        )
+
+    def query_names(self):
+        return [name for name, _sql, _h in self.queries]
+
+
+def _wisconsin_db(n_tuples, pool_pages, seed):
+    db = Database(pool_pages=pool_pages)
+    wisconsin.setup(db, n_tuples=n_tuples, seed=seed)
+    return db
+
+
+def build_suite(name, scale=0.1, pool_pages=4096, seed=1234, quantum_rows=16):
+    """Construct one of the paper's four workloads, scaled."""
+    if name == "wisc-prof":
+        n = max(60, int(PAPER_WISC_PROF_TUPLES * 3 * scale) // 3)
+        db = _wisconsin_db(n, pool_pages, seed)
+        queries = wisconsin.query_subset(("wisc_q1", "wisc_q5", "wisc_q9"), n)
+        return WorkloadSuite(name, db, queries, quantum_rows)
+    if name == "wisc-large-1":
+        n = max(100, int(PAPER_WISC_LARGE_TUPLES * scale))
+        db = _wisconsin_db(n, pool_pages, seed)
+        queries = wisconsin.query_subset(("wisc_q1", "wisc_q5", "wisc_q9"), n)
+        return WorkloadSuite(name, db, queries, quantum_rows)
+    if name == "wisc-large-2":
+        n = max(100, int(PAPER_WISC_LARGE_TUPLES * scale))
+        db = _wisconsin_db(n, pool_pages, seed)
+        return WorkloadSuite(name, db, wisconsin.queries(n), quantum_rows)
+    if name == "wisc+tpch":
+        n = max(100, int(PAPER_WISC_LARGE_TUPLES * scale))
+        db = Database(pool_pages=pool_pages)
+        wisconsin.setup(db, n_tuples=n, seed=seed)
+        tpch.setup(db, scale_factor=max(scale * 3.0, 0.05), seed=seed + 99)
+        queries = wisconsin.queries(n) + tpch.queries()
+        return WorkloadSuite(name, db, queries, quantum_rows)
+    raise ConfigError(f"unknown workload suite {name!r}; pick from {SUITE_NAMES}")

@@ -1,0 +1,320 @@
+"""TPC-H schema, data generator, and queries 1, 2, 3, 5, 6.
+
+The paper (§4.1) uses these five queries: "queries with aggregations and
+many joins, and also ... a simple nested query (query 2)".  The generator
+follows the TPC-H population rules in miniature (value distributions and
+key relationships preserved; cardinalities scaled by ``scale_factor``
+relative to a small base so pure-Python simulation stays tractable).
+
+Dates are stored as integer days since 1970-01-01 (see
+:mod:`repro.db.exec.schema`).
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.db.exec.schema import date_to_int
+
+REGION_NAMES = ("AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST")
+NATION_ROWS = [
+    # name, regionkey
+    ("ALGERIA", 0), ("ARGENTINA", 1), ("BRAZIL", 1), ("CANADA", 1),
+    ("EGYPT", 4), ("ETHIOPIA", 0), ("FRANCE", 3), ("GERMANY", 3),
+    ("INDIA", 2), ("INDONESIA", 2), ("IRAN", 4), ("IRAQ", 4),
+    ("JAPAN", 2), ("JORDAN", 4), ("KENYA", 0), ("MOROCCO", 0),
+    ("MOZAMBIQUE", 0), ("PERU", 1), ("CHINA", 2), ("ROMANIA", 3),
+    ("SAUDI ARABIA", 4), ("VIETNAM", 2), ("RUSSIA", 3),
+    ("UNITED KINGDOM", 3), ("UNITED STATES", 1),
+]
+MARKET_SEGMENTS = ("AUTOMOBILE", "BUILDING", "FURNITURE", "HOUSEHOLD", "MACHINERY")
+RETURN_FLAGS = ("R", "A", "N")
+LINE_STATUSES = ("O", "F")
+PART_TYPES = ("TIN", "NICKEL", "BRASS", "STEEL", "COPPER")
+
+SCHEMAS = {
+    "region": [("r_regionkey", "int"), ("r_name", ("str", 12))],
+    "nation": [
+        ("n_nationkey", "int"),
+        ("n_name", ("str", 16)),
+        ("n_regionkey", "int"),
+    ],
+    "supplier": [
+        ("s_suppkey", "int"),
+        ("s_name", ("str", 16)),
+        ("s_nationkey", "int"),
+        ("s_acctbal", "float"),
+    ],
+    "customer": [
+        ("c_custkey", "int"),
+        ("c_name", ("str", 16)),
+        ("c_nationkey", "int"),
+        ("c_mktsegment", ("str", 12)),
+        ("c_acctbal", "float"),
+    ],
+    "part": [
+        ("p_partkey", "int"),
+        ("p_name", ("str", 16)),
+        ("p_size", "int"),
+        ("p_type", ("str", 8)),
+    ],
+    "partsupp": [
+        ("ps_partkey", "int"),
+        ("ps_suppkey", "int"),
+        ("ps_availqty", "int"),
+        ("ps_supplycost", "float"),
+    ],
+    "orders": [
+        ("o_orderkey", "int"),
+        ("o_custkey", "int"),
+        ("o_totalprice", "float"),
+        ("o_orderdate", "int"),
+        ("o_shippriority", "int"),
+    ],
+    "lineitem": [
+        ("l_orderkey", "int"),
+        ("l_partkey", "int"),
+        ("l_suppkey", "int"),
+        ("l_linenumber", "int"),
+        ("l_quantity", "float"),
+        ("l_extendedprice", "float"),
+        ("l_discount", "float"),
+        ("l_tax", "float"),
+        ("l_returnflag", ("str", 1)),
+        ("l_linestatus", ("str", 1)),
+        ("l_shipdate", "int"),
+    ],
+}
+
+# indexes created at load time: (table, column, clustered)
+INDEXES = [
+    ("region", "r_regionkey", True),
+    ("nation", "n_nationkey", True),
+    ("nation", "n_regionkey", False),
+    ("supplier", "s_suppkey", True),
+    ("supplier", "s_nationkey", False),
+    ("customer", "c_custkey", True),
+    ("customer", "c_nationkey", False),
+    ("part", "p_partkey", True),
+    ("partsupp", "ps_partkey", False),
+    ("partsupp", "ps_suppkey", False),
+    ("orders", "o_orderkey", True),
+    ("orders", "o_custkey", False),
+    # lineitem intentionally unindexed: joins to it go through the grace
+    # hash join, matching the operator mix the paper implemented.
+]
+
+_START_DATE = date_to_int("1992-01-01")
+_END_DATE = date_to_int("1998-08-02")
+
+
+def table_sizes(scale_factor=1.0):
+    """Cardinalities at ``scale_factor`` (1.0 = the mini base schema)."""
+    base = {
+        "supplier": 20,
+        "customer": 150,
+        "part": 200,
+        "orders_per_customer": 10,
+        "lineitems_per_order": 4,
+        "partsupp_per_part": 4,
+    }
+    return {
+        "region": len(REGION_NAMES),
+        "nation": len(NATION_ROWS),
+        "supplier": max(5, int(base["supplier"] * scale_factor)),
+        "customer": max(10, int(base["customer"] * scale_factor)),
+        "part": max(10, int(base["part"] * scale_factor)),
+        "orders_per_customer": base["orders_per_customer"],
+        "lineitems_per_order": base["lineitems_per_order"],
+        "partsupp_per_part": base["partsupp_per_part"],
+    }
+
+
+def setup(db, scale_factor=1.0, seed=4321):
+    """Create, load, index, and analyze all eight TPC-H tables."""
+    sizes = table_sizes(scale_factor)
+    rng = random.Random(seed)
+    for name, columns in SCHEMAS.items():
+        db.create_table(name, columns)
+
+    db.load_rows("region", [(i, name) for i, name in enumerate(REGION_NAMES)])
+    db.load_rows(
+        "nation", [(i, name, region) for i, (name, region) in enumerate(NATION_ROWS)]
+    )
+    db.load_rows(
+        "supplier",
+        [
+            (
+                i,
+                f"Supplier#{i:09d}",
+                rng.randrange(len(NATION_ROWS)),
+                round(rng.uniform(-999.99, 9999.99), 2),
+            )
+            for i in range(sizes["supplier"])
+        ],
+    )
+    db.load_rows(
+        "customer",
+        [
+            (
+                i,
+                f"Customer#{i:09d}",
+                rng.randrange(len(NATION_ROWS)),
+                MARKET_SEGMENTS[rng.randrange(len(MARKET_SEGMENTS))],
+                round(rng.uniform(-999.99, 9999.99), 2),
+            )
+            for i in range(sizes["customer"])
+        ],
+    )
+    db.load_rows(
+        "part",
+        [
+            (
+                i,
+                f"Part#{i:011d}",
+                rng.randrange(1, 51),
+                PART_TYPES[rng.randrange(len(PART_TYPES))],
+            )
+            for i in range(sizes["part"])
+        ],
+    )
+    partsupp_rows = []
+    for part in range(sizes["part"]):
+        for k in range(sizes["partsupp_per_part"]):
+            supplier = (part + k * (sizes["supplier"] // 4 + 1)) % sizes["supplier"]
+            partsupp_rows.append(
+                (part, supplier, rng.randrange(1, 10000),
+                 round(rng.uniform(1.0, 1000.0), 2))
+            )
+    db.load_rows("partsupp", partsupp_rows)
+
+    orders_rows = []
+    lineitem_rows = []
+    order_key = 0
+    for customer in range(sizes["customer"]):
+        for _ in range(rng.randrange(1, 2 * sizes["orders_per_customer"])):
+            order_date = rng.randrange(_START_DATE, _END_DATE - 200)
+            n_lines = rng.randrange(1, 2 * sizes["lineitems_per_order"])
+            total = 0.0
+            lines = []
+            for line_no in range(1, n_lines + 1):
+                part = rng.randrange(sizes["part"])
+                supplier = rng.randrange(sizes["supplier"])
+                quantity = float(rng.randrange(1, 51))
+                price = round(quantity * rng.uniform(900.0, 1100.0), 2)
+                discount = round(rng.randrange(0, 11) / 100.0, 2)
+                tax = round(rng.randrange(0, 9) / 100.0, 2)
+                ship_date = order_date + rng.randrange(1, 122)
+                returnflag = RETURN_FLAGS[rng.randrange(3)]
+                linestatus = LINE_STATUSES[rng.randrange(2)]
+                total += price
+                lines.append(
+                    (order_key, part, supplier, line_no, quantity, price,
+                     discount, tax, returnflag, linestatus, ship_date)
+                )
+            orders_rows.append(
+                (order_key, customer, round(total, 2), order_date,
+                 rng.randrange(0, 2))
+            )
+            lineitem_rows.extend(lines)
+            order_key += 1
+    db.load_rows("orders", orders_rows)
+    db.load_rows("lineitem", lineitem_rows)
+
+    for table, column, clustered in INDEXES:
+        db.create_index(table, column, clustered=clustered)
+    for table in SCHEMAS:
+        db.analyze_table(table)
+    return {
+        "orders": len(orders_rows),
+        "lineitem": len(lineitem_rows),
+        **{t: sizes[t] for t in ("supplier", "customer", "part")},
+    }
+
+
+QUERY_1 = """
+SELECT l_returnflag, l_linestatus,
+       sum(l_quantity) AS sum_qty,
+       sum(l_extendedprice) AS sum_base_price,
+       sum(l_extendedprice * (1 - l_discount)) AS sum_disc_price,
+       sum(l_extendedprice * (1 - l_discount) * (1 + l_tax)) AS sum_charge,
+       avg(l_quantity) AS avg_qty,
+       avg(l_extendedprice) AS avg_price,
+       avg(l_discount) AS avg_disc,
+       count(*) AS count_order
+FROM lineitem
+WHERE l_shipdate <= DATE '1998-09-02'
+GROUP BY l_returnflag, l_linestatus
+ORDER BY l_returnflag, l_linestatus
+"""
+
+QUERY_2 = """
+SELECT s_acctbal, s_name, n_name, p_partkey
+FROM part, supplier, partsupp, nation, region
+WHERE p_partkey = ps_partkey
+  AND s_suppkey = ps_suppkey
+  AND p_size = 15
+  AND s_nationkey = n_nationkey
+  AND n_regionkey = r_regionkey
+  AND r_name = 'EUROPE'
+  AND ps_supplycost = (
+      SELECT min(ps2.ps_supplycost)
+      FROM partsupp ps2, supplier s2, nation n2, region r2
+      WHERE p_partkey = ps2.ps_partkey
+        AND s2.s_suppkey = ps2.ps_suppkey
+        AND s2.s_nationkey = n2.n_nationkey
+        AND n2.n_regionkey = r2.r_regionkey
+        AND r2.r_name = 'EUROPE')
+ORDER BY s_acctbal DESC, n_name, s_name, p_partkey
+"""
+
+QUERY_3 = """
+SELECT l_orderkey,
+       sum(l_extendedprice * (1 - l_discount)) AS revenue,
+       o_orderdate, o_shippriority
+FROM customer, orders, lineitem
+WHERE c_mktsegment = 'BUILDING'
+  AND c_custkey = o_custkey
+  AND l_orderkey = o_orderkey
+  AND o_orderdate < DATE '1995-03-15'
+  AND l_shipdate > DATE '1995-03-15'
+GROUP BY l_orderkey, o_orderdate, o_shippriority
+ORDER BY revenue DESC, o_orderdate
+LIMIT 10
+"""
+
+QUERY_5 = """
+SELECT n_name, sum(l_extendedprice * (1 - l_discount)) AS revenue
+FROM customer, orders, lineitem, supplier, nation, region
+WHERE c_custkey = o_custkey
+  AND l_orderkey = o_orderkey
+  AND l_suppkey = s_suppkey
+  AND c_nationkey = s_nationkey
+  AND s_nationkey = n_nationkey
+  AND n_regionkey = r_regionkey
+  AND r_name = 'ASIA'
+  AND o_orderdate >= DATE '1994-01-01'
+  AND o_orderdate < DATE '1995-01-01'
+GROUP BY n_name
+ORDER BY revenue DESC
+"""
+
+QUERY_6 = """
+SELECT sum(l_extendedprice * l_discount) AS revenue
+FROM lineitem
+WHERE l_shipdate >= DATE '1994-01-01'
+  AND l_shipdate < DATE '1995-01-01'
+  AND l_discount BETWEEN 0.05 AND 0.07
+  AND l_quantity < 24
+"""
+
+
+def queries():
+    """The paper's TPC-H queries as (name, sql, hints) triples."""
+    return [
+        ("tpch_q1", QUERY_1, None),
+        ("tpch_q2", QUERY_2, None),
+        ("tpch_q3", QUERY_3, None),
+        ("tpch_q5", QUERY_5, None),
+        ("tpch_q6", QUERY_6, None),
+    ]

@@ -1,0 +1,174 @@
+"""The Wisconsin benchmark (Bitton, DeWitt, Turbyfill 1983).
+
+Schema, data generator, and the selection/join queries the paper uses
+(queries 1-7 and 9, §4.1):
+
+* q1/q2 — 1% / 10% range selection, **no index** (sequential scan)
+* q3/q4 — 1% / 10% range selection via the **clustered** index (unique2)
+* q5/q6 — 1% / 10% range selection via the **non-clustered** index (unique1)
+* q7    — single-tuple select via the clustered index
+* q9    — two-way join (JoinAselB): tenk1 x tenk2 on unique2 with a
+  selection keeping the first 10% of unique2
+
+The classic relations ``tenk1``/``tenk2`` (10,000 tuples at full scale)
+and ``onek`` (1,000) hold 13 integer attributes and 3 string attributes
+derived from ``unique1``/``unique2``.  Rows are loaded in ``unique2``
+order, making the unique2 index clustered.
+"""
+
+from __future__ import annotations
+
+import random
+
+WISCONSIN_COLUMNS = [
+    ("unique1", "int"),
+    ("unique2", "int"),
+    ("two", "int"),
+    ("four", "int"),
+    ("ten", "int"),
+    ("twenty", "int"),
+    ("onepercent", "int"),
+    ("tenpercent", "int"),
+    ("twentypercent", "int"),
+    ("fiftypercent", "int"),
+    ("unique3", "int"),
+    ("evenonepercent", "int"),
+    ("oddonepercent", "int"),
+    ("stringu1", ("str", 12)),
+    ("stringu2", ("str", 12)),
+    ("string4", ("str", 4)),
+]
+
+_STRING4 = ("AAAA", "HHHH", "OOOO", "VVVV")
+
+
+def _unique_string(value):
+    """Compact analog of the benchmark's 52-char cyclic strings."""
+    letters = []
+    v = value
+    for _ in range(7):
+        letters.append(chr(ord("A") + v % 26))
+        v //= 26
+    return "".join(reversed(letters))
+
+
+def generate_rows(n_tuples, seed):
+    """Yield Wisconsin rows in ``unique2`` (clustered) order."""
+    rng = random.Random(seed)
+    unique1 = list(range(n_tuples))
+    rng.shuffle(unique1)
+    for unique2, u1 in enumerate(unique1):
+        yield (
+            u1,
+            unique2,
+            u1 % 2,
+            u1 % 4,
+            u1 % 10,
+            u1 % 20,
+            u1 % 100,
+            u1 % 10,
+            u1 % 5,
+            u1 % 2,
+            u1,
+            (u1 % 100) * 2,
+            (u1 % 100) * 2 + 1,
+            _unique_string(u1),
+            _unique_string(unique2),
+            _STRING4[unique2 % 4],
+        )
+
+
+def setup(db, n_tuples=10000, onek_tuples=None, seed=1234):
+    """Create and load tenk1, tenk2, onek with clustered (unique2) and
+    non-clustered (unique1) indexes, then analyze."""
+    if onek_tuples is None:
+        onek_tuples = max(10, n_tuples // 10)
+    sizes = {"tenk1": n_tuples, "tenk2": n_tuples, "onek": onek_tuples}
+    for i, (name, size) in enumerate(sizes.items()):
+        db.create_table(name, WISCONSIN_COLUMNS)
+        db.load_rows(name, generate_rows(size, seed + i))
+        db.create_index(name, "unique2", clustered=True)
+        db.create_index(name, "unique1", clustered=False)
+        db.analyze_table(name)
+    return sizes
+
+
+def queries(n_tuples=10000):
+    """The paper's Wisconsin queries as (name, sql, hints) triples.
+
+    Range widths scale with the table size so q1/q3/q5 always select 1%
+    and q2/q4/q6 select 10%.
+    """
+    one_pct = max(1, n_tuples // 100)
+    ten_pct = max(1, n_tuples // 10)
+    no_index = {("access", "tenk1"): "scan"}
+    use_index = {("access", "tenk1"): "index"}
+    return [
+        (
+            "wisc_q1",
+            f"SELECT * FROM tenk1 WHERE unique2 BETWEEN 0 AND {one_pct - 1}",
+            no_index,
+        ),
+        (
+            "wisc_q2",
+            f"SELECT * FROM tenk1 WHERE unique2 BETWEEN 0 AND {ten_pct - 1}",
+            no_index,
+        ),
+        (
+            "wisc_q3",
+            f"SELECT * FROM tenk1 WHERE unique2 BETWEEN {one_pct} AND {2 * one_pct - 1}",
+            use_index,
+        ),
+        (
+            "wisc_q4",
+            f"SELECT * FROM tenk1 WHERE unique2 BETWEEN {ten_pct} AND {2 * ten_pct - 1}",
+            use_index,
+        ),
+        (
+            "wisc_q5",
+            f"SELECT * FROM tenk1 WHERE unique1 BETWEEN {one_pct} AND {2 * one_pct - 1}",
+            use_index,
+        ),
+        (
+            "wisc_q6",
+            f"SELECT * FROM tenk1 WHERE unique1 BETWEEN {ten_pct} AND {2 * ten_pct - 1}",
+            use_index,
+        ),
+        (
+            "wisc_q7",
+            f"SELECT * FROM tenk1 WHERE unique2 = {n_tuples // 2}",
+            use_index,
+        ),
+        (
+            "wisc_q9",
+            "SELECT t1.unique1, t2.unique1 FROM tenk1 t1, tenk2 t2 "
+            f"WHERE t1.unique2 = t2.unique2 AND t1.unique2 < {ten_pct}",
+            None,
+        ),
+    ]
+
+
+def query_subset(names, n_tuples=10000):
+    """Pick queries by name (e.g. the wisc-prof trio q1, q5, q9)."""
+    wanted = set(names)
+    out = [q for q in queries(n_tuples) if q[0] in wanted]
+    missing = wanted - {q[0] for q in out}
+    if missing:
+        raise ValueError(f"unknown Wisconsin queries: {sorted(missing)}")
+    return out
+
+
+def expected_selection_count(name, n_tuples):
+    """Ground-truth result sizes for the selection queries (tests)."""
+    one_pct = max(1, n_tuples // 100)
+    ten_pct = max(1, n_tuples // 10)
+    return {
+        "wisc_q1": one_pct,
+        "wisc_q2": ten_pct,
+        "wisc_q3": one_pct,
+        "wisc_q4": ten_pct,
+        "wisc_q5": one_pct,
+        "wisc_q6": ten_pct,
+        "wisc_q7": 1,
+        "wisc_q9": ten_pct,
+    }[name]

@@ -1,0 +1,50 @@
+"""Shared fixtures.
+
+Expensive artifacts (database instances, traces) are session-scoped so
+the suite stays fast; tests that mutate state build their own objects.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.db import Database
+from repro.db.storage import StorageManager
+from repro.harness import ExperimentRunner, PipelineConfig
+
+
+@pytest.fixture
+def storage():
+    """A fresh storage manager with a small pool (eviction reachable)."""
+    return StorageManager(pool_pages=64)
+
+
+@pytest.fixture
+def tiny_db():
+    """A small database with one indexed table of 200 rows."""
+    db = Database(pool_pages=128)
+    db.create_table("t", [("a", "int"), ("b", "int"), ("s", ("str", 8))])
+    db.load_rows("t", [(i, i % 10, f"v{i % 7}") for i in range(200)])
+    db.create_index("t", "a", clustered=True)
+    db.analyze_all()
+    return db
+
+
+@pytest.fixture(scope="session")
+def small_runner():
+    """An ExperimentRunner at test scale (fast traces, shared)."""
+    return ExperimentRunner(
+        pipeline=PipelineConfig(quantum_rows=2),
+        scales={
+            "wisc-prof": 0.15,
+            "wisc-large-1": 0.012,
+            "wisc-large-2": 0.012,
+            "wisc+tpch": 0.008,
+        },
+    )
+
+
+@pytest.fixture(scope="session")
+def prof_artifacts(small_runner):
+    """Traced wisc-prof workload artifacts (image, trace, layouts)."""
+    return small_runner.artifacts("wisc-prof")

@@ -1,0 +1,209 @@
+"""Call Graph History Cache mechanics — the paper's §3.2 rules."""
+
+import pytest
+
+from repro.core.cghc import CallGraphHistoryCache, CghcEntry, DirectMappedCghc
+from repro.errors import ConfigError
+from repro.uarch.config import CghcConfig
+
+
+def one_level(entries=8, slots=8):
+    return CallGraphHistoryCache(
+        CghcConfig(l1_bytes=entries * 40, l2_bytes=0, slots=slots)
+    )
+
+
+def two_level(l1_entries=2, l2_entries=8):
+    return CallGraphHistoryCache(
+        CghcConfig(l1_bytes=l1_entries * 40, l2_bytes=l2_entries * 40)
+    )
+
+
+def infinite():
+    return CallGraphHistoryCache(CghcConfig(infinite=True))
+
+
+# ----------------------------------------------------------------------
+# entry semantics
+# ----------------------------------------------------------------------
+
+
+def test_new_entry_has_index_one():
+    entry = CghcEntry(tag=100)
+    assert entry.index == 1
+    assert entry.first_callee() is None
+    assert entry.predicted_next() is None
+
+
+def test_record_call_fills_slots_in_order():
+    entry = CghcEntry(100)
+    for callee in (7, 8, 9):
+        entry.record_call(callee, max_slots=8)
+    assert entry.seq == [7, 8, 9]
+    assert entry.index == 4
+
+
+def test_index_caps_and_extra_callees_dropped():
+    """§3.2: only the first 8 functions invoked are stored."""
+    entry = CghcEntry(100)
+    for callee in range(12):
+        entry.record_call(callee, max_slots=8)
+    assert entry.seq == list(range(8))
+    assert entry.index == 9  # parked past the last slot
+
+
+def test_reset_index_enables_overwrite_of_history():
+    """A new invocation overwrites the old sequence slot by slot while
+    the tail of the previous invocation stays predictable."""
+    entry = CghcEntry(100)
+    for callee in (1, 2, 3):
+        entry.record_call(callee, max_slots=8)
+    entry.reset_index()  # the function returned
+    assert entry.index == 1
+    entry.record_call(9, max_slots=8)
+    assert entry.seq == [9, 2, 3]  # slot 1 replaced, old tail intact
+    assert entry.predicted_next() == 2  # next return-prefetch target
+
+
+def test_predicted_next_follows_index():
+    entry = CghcEntry(100)
+    for callee in (1, 2, 3):
+        entry.record_call(callee, max_slots=8)
+    entry.reset_index()
+    assert entry.predicted_next() == 1
+    entry.record_call(1, max_slots=8)
+    assert entry.predicted_next() == 2
+
+
+def test_first_callee_is_slot_one():
+    entry = CghcEntry(100)
+    entry.record_call(42, max_slots=8)
+    entry.record_call(43, max_slots=8)
+    assert entry.first_callee() == 42
+
+
+def test_unbounded_slots_for_infinite_cghc():
+    entry = CghcEntry(100)
+    for callee in range(20):
+        entry.record_call(callee, max_slots=None)
+    assert entry.seq == list(range(20))
+
+
+# ----------------------------------------------------------------------
+# direct-mapped level
+# ----------------------------------------------------------------------
+
+
+def test_direct_mapped_probe_and_install():
+    level = DirectMappedCghc(4)
+    entry = CghcEntry(8)  # set 0
+    assert level.install(entry) is None
+    assert level.probe(8) is entry
+    assert level.probe(12) is None  # same set, different tag
+    conflicting = CghcEntry(12)
+    victim = level.install(conflicting)
+    assert victim is entry
+    assert level.probe(8) is None
+
+
+def test_zero_entries_rejected():
+    with pytest.raises(ConfigError):
+        DirectMappedCghc(0)
+
+
+# ----------------------------------------------------------------------
+# one-level cache
+# ----------------------------------------------------------------------
+
+
+def test_lookup_miss_then_ensure_creates():
+    cghc = one_level()
+    entry, latency = cghc.lookup(10)
+    assert entry is None
+    assert cghc.misses == 1
+    entry, _latency = cghc.ensure(10)
+    assert entry.tag == 10
+    found, _latency = cghc.lookup(10)
+    assert found is entry
+    assert cghc.l1_hits == 1
+
+
+def test_conflict_eviction_direct_mapped():
+    cghc = one_level(entries=4)
+    cghc.ensure(0)
+    cghc.ensure(4)  # same set (4 % 4 == 0)
+    entry, _lat = cghc.lookup(0)
+    assert entry is None  # evicted by the conflicting tag
+
+
+def test_one_level_latency():
+    config = CghcConfig(l1_bytes=4 * 40, l2_bytes=0, l1_latency=1)
+    cghc = CallGraphHistoryCache(config)
+    cghc.ensure(3)
+    _entry, latency = cghc.lookup(3)
+    assert latency == 1
+
+
+# ----------------------------------------------------------------------
+# two-level cache
+# ----------------------------------------------------------------------
+
+
+def test_l1_victim_spills_to_l2():
+    cghc = two_level(l1_entries=1, l2_entries=8)
+    first, _ = cghc.ensure(0)
+    cghc.ensure(1)  # evicts tag 0 from the 1-entry L1 into L2
+    entry, latency = cghc.lookup(0)
+    assert entry is first
+    assert latency == cghc.config.l2_latency
+    assert cghc.l2_hits == 1
+
+
+def test_l2_hit_swaps_into_l1():
+    cghc = two_level(l1_entries=1, l2_entries=8)
+    cghc.ensure(0)
+    cghc.ensure(1)
+    cghc.lookup(0)  # L2 hit: swap 0 up, 1 down
+    _entry, latency = cghc.lookup(0)
+    assert latency == cghc.config.l1_latency  # now in L1
+    entry1, latency1 = cghc.lookup(1)
+    assert entry1 is not None
+    assert latency1 == cghc.config.l2_latency  # went down to L2
+
+
+def test_swap_does_not_duplicate_entries():
+    cghc = two_level(l1_entries=1, l2_entries=4)
+    a, _ = cghc.ensure(0)
+    cghc.ensure(1)
+    cghc.lookup(0)  # swap up
+    assert cghc.entry_count() == 2
+
+
+def test_miss_in_both_levels_counts_once():
+    cghc = two_level()
+    cghc.lookup(5)
+    assert cghc.misses == 1
+    assert cghc.l1_hits == 0
+    assert cghc.l2_hits == 0
+
+
+# ----------------------------------------------------------------------
+# infinite cache
+# ----------------------------------------------------------------------
+
+
+def test_infinite_never_evicts():
+    cghc = infinite()
+    for tag in range(1000):
+        cghc.ensure(tag)
+    assert cghc.entry_count() == 1000
+    entry, _lat = cghc.lookup(999)
+    assert entry is not None
+    assert cghc.max_slots is None
+
+
+def test_entry_count_by_variant():
+    cghc = one_level(entries=8)
+    cghc.ensure(0)
+    cghc.ensure(1)
+    assert cghc.entry_count() == 2

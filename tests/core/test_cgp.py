@@ -1,0 +1,201 @@
+"""CGP prefetcher mechanics against the paper's Create_rec walkthrough."""
+
+import pytest
+
+from repro.core.cgp import ORIGIN_CGHC, CgpPrefetcher
+from repro.errors import ConfigError
+from repro.instrument.codeimage import CodeImage
+from repro.layout.layouts import AddressMap
+from repro.uarch.config import CghcConfig
+from repro.uarch.ras import RasEntry
+
+
+class FakeEngine:
+    """Records prefetch_function_head calls."""
+
+    def __init__(self):
+        self.head_prefetches = []  # (fid, n, origin, delay)
+        self.line_prefetches = []
+
+    def prefetch_function_head(self, fid, n_lines, origin, delay=0):
+        self.head_prefetches.append((fid, n_lines, origin, delay))
+
+    def issue_prefetch(self, line, origin, delay=0):
+        self.line_prefetches.append((line, origin, delay))
+        return True
+
+
+def build_world(n_functions=8, size=160):
+    image = CodeImage()
+    for i in range(n_functions):
+        image.register_synthetic(f"fn{i}", size)
+    layout = AddressMap(
+        image, range(n_functions), 1.0, 1.0, 1.0, "test"
+    )
+    cgp = CgpPrefetcher(4, CghcConfig(l1_bytes=64 * 40, l2_bytes=0), layout)
+    return layout, cgp
+
+
+# function ids for the paper's example
+CREATE_REC = 0
+FIND_PAGE = 1
+GETPAGE = 2
+LOCK_PAGE = 3
+UPDATE_PAGE = 4
+UNLOCK_PAGE = 5
+INSERT_OP = 6  # some operator that calls Create_rec
+
+
+def play_invocation(cgp, engine, layout, include_getpage):
+    """One full Create_rec invocation as call/return events."""
+    ras = []
+
+    def call(caller, callee):
+        ras.append(RasEntry(0, layout.entry_line(caller), caller))
+        cgp.on_call(caller, callee, True, engine)
+
+    def ret(returning):
+        entry = ras.pop()
+        cgp.on_return(returning, entry, True, engine)
+
+    call(INSERT_OP, CREATE_REC)
+    callees = [FIND_PAGE] + ([GETPAGE] if include_getpage else []) + [
+        LOCK_PAGE, UPDATE_PAGE, UNLOCK_PAGE
+    ]
+    for callee in callees:
+        call(CREATE_REC, callee)
+        ret(callee)
+    ret(CREATE_REC)
+
+
+def test_first_invocation_trains_no_prefetches_for_create_rec():
+    layout, cgp = build_world()
+    engine = FakeEngine()
+    play_invocation(cgp, engine, layout, include_getpage=False)
+    cghc_prefetches = [
+        p for p in engine.head_prefetches if p[2] == ORIGIN_CGHC
+    ]
+    # nothing known about Create_rec's callees on the first run
+    assert cghc_prefetches == []
+
+
+def test_second_invocation_prefetches_recorded_sequence():
+    """§3.1: after training, entering Create_rec prefetches Find_page;
+    each return prefetches the next recorded callee."""
+    layout, cgp = build_world()
+    train = FakeEngine()
+    play_invocation(cgp, train, layout, include_getpage=False)
+    engine = FakeEngine()
+    play_invocation(cgp, engine, layout, include_getpage=False)
+    targets = [p[0] for p in engine.head_prefetches if p[2] == ORIGIN_CGHC]
+    # call prefetch on entering Create_rec: its first recorded callee;
+    # return prefetches walk the rest of the sequence
+    assert targets[0] == FIND_PAGE
+    assert LOCK_PAGE in targets
+    assert UPDATE_PAGE in targets
+    assert UNLOCK_PAGE in targets
+    # the sequence arrives in execution order
+    assert targets.index(LOCK_PAGE) < targets.index(UPDATE_PAGE)
+    assert targets.index(UPDATE_PAGE) < targets.index(UNLOCK_PAGE)
+
+
+def test_history_is_last_invocation():
+    """Training with Getpage_from_disk then re-running without it: the
+    second replay predicts the *most recent* sequence."""
+    layout, cgp = build_world()
+    play_invocation(cgp, FakeEngine(), layout, include_getpage=True)
+    play_invocation(cgp, FakeEngine(), layout, include_getpage=False)
+    engine = FakeEngine()
+    play_invocation(cgp, engine, layout, include_getpage=False)
+    targets = [p[0] for p in engine.head_prefetches if p[2] == ORIGIN_CGHC]
+    assert GETPAGE not in targets
+
+
+def test_mispredicted_call_is_ignored():
+    layout, cgp = build_world()
+    engine = FakeEngine()
+    cgp.on_call(INSERT_OP, CREATE_REC, False, engine)
+    assert engine.head_prefetches == []
+    # and the CGHC was not polluted either
+    entry, _lat = cgp.cghc.lookup(layout.entry_line(INSERT_OP))
+    assert entry is None
+
+
+def test_return_without_ras_entry_skips_prefetch_but_resets_index():
+    layout, cgp = build_world()
+    engine = FakeEngine()
+    cgp.on_call(INSERT_OP, CREATE_REC, True, engine)
+    entry, _lat = cgp.cghc.lookup(layout.entry_line(INSERT_OP))
+    assert entry.index == 2
+    cgp.on_return(INSERT_OP, None, True, engine)
+    assert entry.index == 1
+    cghc_prefetches = [p for p in engine.head_prefetches if p[2] == ORIGIN_CGHC]
+    assert cghc_prefetches == []
+
+
+def test_call_update_records_in_caller_entry():
+    layout, cgp = build_world()
+    engine = FakeEngine()
+    cgp.on_call(CREATE_REC, FIND_PAGE, True, engine)
+    entry, _lat = cgp.cghc.lookup(layout.entry_line(CREATE_REC))
+    assert entry is not None
+    assert entry.seq == [FIND_PAGE]
+    assert entry.index == 2
+
+
+def test_call_prefetch_uses_callee_first_slot():
+    layout, cgp = build_world()
+    engine = FakeEngine()
+    # teach: Find_page calls some helper (fid 7)
+    cgp.on_call(FIND_PAGE, 7, True, engine)
+    # now Create_rec calls Find_page: CGP should prefetch fid 7
+    engine2 = FakeEngine()
+    cgp.on_call(CREATE_REC, FIND_PAGE, True, engine2)
+    cghc = [p for p in engine2.head_prefetches if p[2] == ORIGIN_CGHC]
+    assert cghc and cghc[0][0] == 7
+
+
+def test_untracked_caller_skips_update():
+    layout, cgp = build_world()
+    engine = FakeEngine()
+    cgp.on_call(-1, CREATE_REC, True, engine)
+    # the prefetch access allocates an (invalid-data) entry for the
+    # callee per §3.2, but no caller update happens and nothing is
+    # prefetched
+    assert cgp.cghc.entry_count() == 1
+    entry, _lat = cgp.cghc.lookup(layout.entry_line(CREATE_REC))
+    assert entry.seq == []
+    assert engine.head_prefetches == []
+
+
+def test_prefetch_delay_includes_cghc_latency():
+    layout, cgp = build_world()
+    play_invocation(cgp, FakeEngine(), layout, include_getpage=False)
+    engine = FakeEngine()
+    play_invocation(cgp, engine, layout, include_getpage=False)
+    delays = [p[3] for p in engine.head_prefetches if p[2] == ORIGIN_CGHC]
+    assert all(delay >= cgp.cghc.config.l1_latency + 1 for delay in delays)
+
+
+def test_reset_clears_history():
+    layout, cgp = build_world()
+    play_invocation(cgp, FakeEngine(), layout, include_getpage=False)
+    cgp.reset()
+    engine = FakeEngine()
+    play_invocation(cgp, engine, layout, include_getpage=False)
+    assert [p for p in engine.head_prefetches if p[2] == ORIGIN_CGHC] == []
+
+
+def test_n_must_be_positive():
+    layout, _cgp = build_world()
+    with pytest.raises(ConfigError):
+        CgpPrefetcher(0, CghcConfig(), layout)
+
+
+def test_nl_component_forwards_line_accesses():
+    layout, cgp = build_world()
+    engine = FakeEngine()
+    cgp.on_line_access(100, engine)
+    lines = [line for line, origin, _d in engine.line_prefetches]
+    assert lines == [101, 102, 103, 104]
+    assert all(origin == "nl" for _l, origin, _d in engine.line_prefetches)

@@ -1,0 +1,141 @@
+"""Software CGP (the paper's §6 future-work variant)."""
+
+import pytest
+
+from repro.core.software_cgp import (
+    ORIGIN_SWCGP,
+    SoftwareCgpPrefetcher,
+    train_call_sequences,
+)
+from repro.errors import ConfigError
+from repro.instrument.codeimage import CodeImage
+from repro.instrument.trace import Trace
+from repro.layout.layouts import AddressMap
+from repro.uarch.ras import RasEntry
+
+
+class FakeEngine:
+    def __init__(self):
+        self.heads = []
+
+    def prefetch_function_head(self, fid, n, origin, delay=0):
+        self.heads.append((fid, origin))
+
+    def issue_prefetch(self, line, origin, delay=0):
+        return True
+
+
+def build_layout(n=8):
+    image = CodeImage()
+    for i in range(n):
+        image.register_synthetic(f"f{i}", 100)
+    return AddressMap(image, range(n), 1.0, 1.0, 1.0, "t")
+
+
+def invocation_trace(callee_sequences):
+    """Trace where function 0 is invoked once per sequence, calling the
+    given callees in order."""
+    trace = Trace()
+    for sequence in callee_sequences:
+        trace.add_call(0, -1, 0)
+        offset = 1
+        for callee in sequence:
+            trace.add_call(callee, 0, offset)
+            trace.add_exec(callee, 0, 50)
+            trace.add_return(callee, 0, 50)
+            offset += 10
+        trace.add_return(0, -1, 99)
+    return trace
+
+
+def test_training_takes_modal_sequence():
+    trace = invocation_trace([[1, 2, 3], [1, 2, 3], [1, 4, 3]])
+    table = train_call_sequences(trace)
+    assert table[0] == [1, 2, 3]
+
+
+def test_training_handles_variable_lengths():
+    trace = invocation_trace([[1, 2], [1, 2, 3]])
+    table = train_call_sequences(trace)
+    assert table[0][:2] == [1, 2]
+    assert table[0][2] == 3
+
+
+def test_training_caps_slots():
+    trace = invocation_trace([list(range(1, 7)) * 3])  # 18 calls
+    table = train_call_sequences(trace, max_slots=4)
+    assert len(table[0]) == 4
+
+
+def test_prefetches_follow_static_table():
+    layout = build_layout()
+    table = {0: [1, 2, 3], 1: [5]}
+    sw = SoftwareCgpPrefetcher(4, table, layout)
+    engine = FakeEngine()
+    # enter function 0: prefetch its first static callee (1)
+    sw.on_call(-1, 0, True, engine)
+    assert (1, ORIGIN_SWCGP) in engine.heads
+    # call 1 from 0: prefetch 1's first callee (5)
+    sw.on_call(0, 1, True, engine)
+    assert (5, ORIGIN_SWCGP) in engine.heads
+    # return from 1 into 0: prefetch 0's next slot (2)
+    engine.heads.clear()
+    sw.on_return(1, RasEntry(0, layout.entry_line(0), 0), True, engine)
+    assert engine.heads == [(2, ORIGIN_SWCGP)]
+
+
+def test_static_table_never_adapts():
+    layout = build_layout()
+    table = {0: [1]}
+    sw = SoftwareCgpPrefetcher(4, table, layout)
+    engine = FakeEngine()
+    # actual behaviour calls 7, but the table still predicts 1
+    for _ in range(5):
+        sw.on_call(-1, 0, True, engine)
+        sw.on_call(0, 7, True, engine)
+        sw.on_return(7, RasEntry(0, layout.entry_line(0), 0), True, engine)
+        sw.on_return(0, None, True, engine)
+    predicted = {fid for fid, origin in engine.heads if origin == ORIGIN_SWCGP}
+    assert predicted == {1}
+
+
+def test_prefetch_ignores_branch_prediction():
+    """Software prefetch instructions always execute."""
+    layout = build_layout()
+    sw = SoftwareCgpPrefetcher(4, {0: [1]}, layout)
+    engine = FakeEngine()
+    sw.on_call(-1, 0, False, engine)  # predictor missed: irrelevant
+    assert engine.heads
+
+
+def test_unknown_function_silent():
+    layout = build_layout()
+    sw = SoftwareCgpPrefetcher(4, {}, layout)
+    engine = FakeEngine()
+    sw.on_call(-1, 3, True, engine)
+    sw.on_return(3, RasEntry(0, 0, 0), True, engine)
+    assert engine.heads == []
+
+
+def test_end_to_end_software_vs_hardware(prof_artifacts, small_runner):
+    """Software CGP trained on the same workload should land in the same
+    ballpark as hardware CGP; both must beat plain NL's miss count."""
+    from repro.uarch import simulate
+
+    layout = prof_artifacts.layout("OM")
+    table = train_call_sequences(prof_artifacts.trace)
+    sw = SoftwareCgpPrefetcher(4, table, layout)
+    sw_stats = simulate(
+        prof_artifacts.trace, layout, small_runner.sim_config, prefetcher=sw
+    )
+    hw_stats = small_runner.run("wisc-prof", "OM", ("cgp", 4))
+    nl_stats = small_runner.run("wisc-prof", "OM", ("nl", 4))
+    assert sw_stats.demand_misses < nl_stats.demand_misses
+    assert sw_stats.cycles < nl_stats.cycles
+    assert sw_stats.cycles == pytest.approx(hw_stats.cycles, rel=0.10)
+
+
+def test_bad_n_rejected():
+    layout = build_layout()
+    with pytest.raises(ConfigError):
+        SoftwareCgpPrefetcher(0, {}, layout)

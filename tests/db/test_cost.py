@@ -1,0 +1,55 @@
+"""Optimizer cost model."""
+
+from repro.db.optimizer import cost
+from repro.db.optimizer.stats import ColumnStats
+
+
+def test_eq_selectivity_with_stats():
+    assert cost.eq_selectivity(ColumnStats(0, 99, 100)) == 0.01
+
+
+def test_eq_selectivity_fallback():
+    assert cost.eq_selectivity(None) == cost.DEFAULT_EQ_SELECTIVITY
+    assert cost.eq_selectivity(ColumnStats(0, 0, 0)) == cost.DEFAULT_EQ_SELECTIVITY
+
+
+def test_range_selectivity_proportional():
+    stats = ColumnStats(0, 99, 100)
+    sel = cost.range_selectivity(stats, 0, 9)
+    assert abs(sel - 0.1) < 0.01
+
+
+def test_range_selectivity_open_bounds():
+    stats = ColumnStats(0, 99, 100)
+    assert cost.range_selectivity(stats, None, None) == 1.0
+    assert abs(cost.range_selectivity(stats, 50, None) - 0.5) < 0.01
+
+
+def test_range_selectivity_clamps_out_of_range():
+    stats = ColumnStats(0, 99, 100)
+    assert cost.range_selectivity(stats, -100, 1000) == 1.0
+    assert cost.range_selectivity(stats, 200, 300) == 0.0
+
+
+def test_range_selectivity_fallback():
+    assert cost.range_selectivity(None, 0, 10) == cost.DEFAULT_RANGE_SELECTIVITY
+    degenerate = ColumnStats(5, 5, 1)
+    assert cost.range_selectivity(degenerate, 0, 10) == (
+        cost.DEFAULT_RANGE_SELECTIVITY
+    )
+
+
+def test_join_cardinality_with_stats():
+    left_stats = ColumnStats(0, 999, 1000)
+    assert cost.join_cardinality(1000, 5000, left_stats, None) == 5000
+
+
+def test_join_cardinality_fallback():
+    assert cost.join_cardinality(10, 20, None, None) == 20
+
+
+def test_index_scan_thresholds():
+    assert cost.index_scan_is_better(0.05, clustered=False)
+    assert not cost.index_scan_is_better(0.25, clustered=False)
+    assert cost.index_scan_is_better(0.25, clustered=True)
+    assert not cost.index_scan_is_better(0.50, clustered=True)

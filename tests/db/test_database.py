@@ -1,0 +1,99 @@
+"""Database facade and table-level index maintenance."""
+
+import pytest
+
+from repro.db import Database
+from repro.errors import CatalogError, ExecutionError
+
+
+def test_create_and_query(tiny_db):
+    result = tiny_db.execute("SELECT a, b FROM t WHERE a < 3")
+    assert result.rows == [(0, 0), (1, 1), (2, 2)]
+    assert result.columns == ("a", "b")
+
+
+def test_duplicate_table_rejected(tiny_db):
+    with pytest.raises(CatalogError):
+        tiny_db.create_table("t", [("x", "int")])
+
+
+def test_analyze_produces_stats(tiny_db):
+    stats = tiny_db.catalog.table("t").stats
+    assert stats.row_count == 200
+    assert stats.columns["a"].min_value == 0
+    assert stats.columns["a"].max_value == 199
+    assert stats.columns["a"].n_distinct == 200
+    assert stats.columns["b"].n_distinct == 10
+
+
+def test_index_on_string_column_rejected(tiny_db):
+    with pytest.raises(ExecutionError):
+        tiny_db.create_index("t", "s")
+
+
+def test_duplicate_index_rejected(tiny_db):
+    with pytest.raises(CatalogError):
+        tiny_db.create_index("t", "a")
+
+
+def test_index_backfills_existing_rows(tiny_db):
+    tiny_db.create_index("t", "b")
+    index = tiny_db.catalog.table("t").index_on("b")
+    assert len(index.tree.search(3)) == 20
+
+
+def test_table_insert_maintains_indexes():
+    db = Database()
+    table = db.create_table("t", [("a", "int")])
+    db.create_index("t", "a")
+    with db.storage.begin() as txn:
+        rid = table.insert(txn, (42,))
+    assert table.index_on("a").tree.search(42) == [rid]
+
+
+def test_table_delete_maintains_indexes():
+    db = Database()
+    table = db.create_table("t", [("a", "int")])
+    db.create_index("t", "a")
+    with db.storage.begin() as txn:
+        rid = table.insert(txn, (42,))
+        table.delete(txn, rid)
+    assert table.index_on("a").tree.search(42) == []
+    assert table.row_count == 0
+
+
+def test_table_update_maintains_indexes():
+    db = Database()
+    table = db.create_table("t", [("a", "int"), ("b", "int")])
+    db.create_index("t", "a")
+    with db.storage.begin() as txn:
+        rid = table.insert(txn, (1, 10))
+        table.update(txn, rid, (2, 10))
+    tree = table.index_on("a").tree
+    assert tree.search(1) == []
+    assert tree.search(2) == [rid]
+
+
+def test_table_update_same_key_no_index_churn():
+    db = Database()
+    table = db.create_table("t", [("a", "int"), ("b", "int")])
+    db.create_index("t", "a")
+    with db.storage.begin() as txn:
+        rid = table.insert(txn, (1, 10))
+        table.update(txn, rid, (1, 20))
+    assert table.index_on("a").tree.search(1) == [rid]
+    with db.storage.begin() as txn:
+        assert table.fetch(txn, rid) == (1, 20)
+
+
+def test_query_result_iterable(tiny_db):
+    result = tiny_db.execute("SELECT a FROM t WHERE a < 2")
+    assert [row for row in result] == [(0,), (1,)]
+    assert len(result) == 2
+
+
+def test_failed_query_aborts_transaction(tiny_db):
+    active_before = tiny_db.storage.transactions.active_count
+    with pytest.raises(Exception):
+        tiny_db.execute("SELECT missing_column FROM t")
+    assert tiny_db.storage.transactions.active_count == active_before

@@ -1,0 +1,107 @@
+"""SQL DDL: CREATE TABLE / CREATE INDEX / DROP TABLE."""
+
+import pytest
+
+from repro.db import Database
+from repro.errors import CatalogError, SqlSyntaxError
+
+
+@pytest.fixture
+def db():
+    return Database()
+
+
+def test_create_table_and_use(db):
+    result = db.execute("CREATE TABLE t (a int, b float, s varchar(4))")
+    assert result.columns == ("status",)
+    db.execute("INSERT INTO t VALUES (1, 2.5, 'abcd')")
+    assert db.execute("SELECT * FROM t").rows == [(1, 2.5, "abcd")]
+
+
+def test_type_synonyms(db):
+    db.execute(
+        "CREATE TABLE t (a integer, b real, c double, s1 char(3), "
+        "s2 string, s3 text)"
+    )
+    schema = db.catalog.table("t").schema
+    assert schema.type_of("a") == "int"
+    assert schema.type_of("b") == "float"
+    assert schema.type_of("c") == "float"
+    assert schema.type_of("s1") == ("str", 3)
+    assert schema.type_of("s2") == ("str", 16)  # default width
+    assert schema.type_of("s3") == ("str", 16)
+
+
+def test_create_index_plain_and_clustered(db):
+    db.execute("CREATE TABLE t (a int, b int)")
+    db.execute("INSERT INTO t VALUES (1, 10), (2, 20)")
+    db.execute("CREATE INDEX ON t (a)")
+    db.execute("CREATE CLUSTERED INDEX ON t (b)")
+    table = db.catalog.table("t")
+    assert not table.index_on("a").clustered
+    assert table.index_on("b").clustered
+    # index is backfilled and usable
+    rows = db.execute("SELECT b FROM t WHERE a = 2",
+                      hints={("access", "t"): "index"}).rows
+    assert rows == [(20,)]
+
+
+def test_drop_table(db):
+    db.execute("CREATE TABLE t (a int)")
+    db.execute("DROP TABLE t")
+    with pytest.raises(CatalogError):
+        db.execute("SELECT * FROM t")
+    # the name becomes available again
+    db.execute("CREATE TABLE t (x int)")
+    assert db.catalog.table("t").schema.names == ("x",)
+
+
+def test_drop_unknown_table_raises(db):
+    with pytest.raises(CatalogError):
+        db.execute("DROP TABLE nope")
+
+
+def test_duplicate_table_raises(db):
+    db.execute("CREATE TABLE t (a int)")
+    with pytest.raises(CatalogError):
+        db.execute("CREATE TABLE t (a int)")
+
+
+def test_unknown_type_rejected(db):
+    with pytest.raises(SqlSyntaxError):
+        db.execute("CREATE TABLE t (a decimal)")
+
+
+def test_bad_width_rejected(db):
+    with pytest.raises(SqlSyntaxError):
+        db.execute("CREATE TABLE t (s varchar(x))")
+
+
+def test_clustered_without_index_rejected(db):
+    with pytest.raises(SqlSyntaxError):
+        db.execute("CREATE CLUSTERED TABLE t (a int)")
+
+
+def test_index_on_string_column_rejected_at_execution(db):
+    from repro.errors import ExecutionError
+
+    db.execute("CREATE TABLE t (s varchar(8))")
+    with pytest.raises(ExecutionError):
+        db.execute("CREATE INDEX ON t (s)")
+
+
+def test_full_lifecycle_through_sql_only(db):
+    """A downstream user can drive everything through SQL."""
+    db.execute("CREATE TABLE sales (day int, amount float)")
+    db.execute("CREATE INDEX ON sales (day)")
+    db.execute(
+        "INSERT INTO sales VALUES "
+        + ", ".join(f"({d}, {d * 1.5})" for d in range(30))
+    )
+    db.execute("DELETE FROM sales WHERE day < 5")
+    db.execute("UPDATE sales SET amount = amount * 2 WHERE day >= 25")
+    total = db.execute("SELECT sum(amount) FROM sales").rows[0][0]
+    expected = sum(
+        d * 1.5 * (2 if d >= 25 else 1) for d in range(5, 30)
+    )
+    assert total == pytest.approx(expected)

@@ -1,0 +1,203 @@
+"""SQL DML (INSERT/UPDATE/DELETE) and HAVING."""
+
+import pytest
+
+from repro.db import Database
+from repro.errors import PlanError, SqlSyntaxError
+
+
+@pytest.fixture
+def db():
+    database = Database()
+    database.create_table("t", [("a", "int"), ("b", "int"), ("s", ("str", 8))])
+    database.execute(
+        "INSERT INTO t VALUES (1, 10, 'one'), (2, 20, 'two'), (3, 30, 'three')"
+    )
+    return database
+
+
+# ----------------------------------------------------------------------
+# INSERT
+# ----------------------------------------------------------------------
+
+
+def test_insert_reports_count(db):
+    result = db.execute("INSERT INTO t VALUES (4, 40, 'four')")
+    assert result.columns == ("rows_affected",)
+    assert result.rows == [(1,)]
+    assert db.execute("SELECT count(*) FROM t").rows == [(4,)]
+
+
+def test_insert_multiple_rows(db):
+    db.execute("INSERT INTO t VALUES (4, 40, 'x'), (5, 50, 'y')")
+    assert db.execute("SELECT count(*) FROM t").rows == [(5,)]
+
+
+def test_insert_with_column_order(db):
+    db.execute("INSERT INTO t (s, b, a) VALUES ('nine', 90, 9)")
+    assert db.execute("SELECT a, b, s FROM t WHERE a = 9").rows == [(9, 90, "nine")]
+
+
+def test_insert_with_expressions(db):
+    db.execute("INSERT INTO t VALUES (2 + 5, 7 * 10, 'calc')")
+    assert db.execute("SELECT b FROM t WHERE a = 7").rows == [(70,)]
+
+
+def test_insert_partial_columns_rejected(db):
+    with pytest.raises(PlanError):
+        db.execute("INSERT INTO t (a) VALUES (1)")
+
+
+def test_insert_wrong_arity_rejected(db):
+    with pytest.raises(PlanError):
+        db.execute("INSERT INTO t VALUES (1, 2)")
+
+
+def test_insert_maintains_indexes(db):
+    db.create_index("t", "a")
+    db.execute("INSERT INTO t VALUES (100, 0, 'idx')")
+    rows = db.execute("SELECT s FROM t WHERE a = 100",
+                      hints={("access", "t"): "index"}).rows
+    assert rows == [("idx",)]
+
+
+# ----------------------------------------------------------------------
+# UPDATE
+# ----------------------------------------------------------------------
+
+
+def test_update_with_where(db):
+    result = db.execute("UPDATE t SET b = b + 1 WHERE a >= 2")
+    assert result.rows == [(2,)]
+    assert db.execute("SELECT b FROM t ORDER BY a").rows == [(10,), (21,), (31,)]
+
+
+def test_update_all_rows(db):
+    result = db.execute("UPDATE t SET b = 0")
+    assert result.rows == [(3,)]
+    assert db.execute("SELECT sum(b) FROM t").rows == [(0,)]
+
+
+def test_update_multiple_assignments(db):
+    db.execute("UPDATE t SET b = a * 100, s = 'z' WHERE a = 1")
+    assert db.execute("SELECT b, s FROM t WHERE a = 1").rows == [(100, "z")]
+
+
+def test_update_uses_old_row_values(db):
+    # swap-ish semantics: both assignments read the pre-update row
+    db.create_table("u", [("x", "int"), ("y", "int")])
+    db.execute("INSERT INTO u VALUES (1, 2)")
+    db.execute("UPDATE u SET x = y, y = x")
+    assert db.execute("SELECT x, y FROM u").rows == [(2, 1)]
+
+
+def test_update_maintains_indexes(db):
+    db.create_index("t", "a")
+    db.execute("UPDATE t SET a = 42 WHERE a = 2")
+    assert db.execute("SELECT s FROM t WHERE a = 42",
+                      hints={("access", "t"): "index"}).rows == [("two",)]
+    assert db.execute("SELECT count(*) FROM t WHERE a = 2",
+                      hints={("access", "t"): "index"}).rows == [(0,)]
+
+
+# ----------------------------------------------------------------------
+# DELETE
+# ----------------------------------------------------------------------
+
+
+def test_delete_with_where(db):
+    result = db.execute("DELETE FROM t WHERE b > 15")
+    assert result.rows == [(2,)]
+    assert db.execute("SELECT a FROM t").rows == [(1,)]
+
+
+def test_delete_all(db):
+    assert db.execute("DELETE FROM t").rows == [(3,)]
+    assert db.execute("SELECT count(*) FROM t").rows == [(0,)]
+
+
+def test_delete_none_matching(db):
+    assert db.execute("DELETE FROM t WHERE a > 100").rows == [(0,)]
+
+
+def test_dml_abort_on_error_leaves_table_unchanged(db):
+    with pytest.raises(Exception):
+        db.execute("UPDATE t SET nonexistent = 1")
+    assert db.execute("SELECT count(*) FROM t").rows == [(3,)]
+
+
+def test_plan_rejects_dml(db):
+    with pytest.raises(PlanError):
+        db.plan("DELETE FROM t")
+
+
+# ----------------------------------------------------------------------
+# HAVING
+# ----------------------------------------------------------------------
+
+
+@pytest.fixture
+def grouped_db():
+    database = Database()
+    database.create_table("g", [("k", "int"), ("v", "int")])
+    database.execute(
+        "INSERT INTO g VALUES (1,1),(1,2),(2,3),(2,4),(2,5),(3,6)"
+    )
+    return database
+
+
+def test_having_on_selected_aggregate(grouped_db):
+    rows = grouped_db.execute(
+        "SELECT k, count(*) c FROM g GROUP BY k HAVING count(*) > 1 ORDER BY k"
+    ).rows
+    assert rows == [(1, 2), (2, 3)]
+
+
+def test_having_on_unselected_aggregate(grouped_db):
+    rows = grouped_db.execute(
+        "SELECT k FROM g GROUP BY k HAVING sum(v) >= 6 ORDER BY k"
+    ).rows
+    assert rows == [(2,), (3,)]
+
+
+def test_having_group_column_reference(grouped_db):
+    rows = grouped_db.execute(
+        "SELECT k, sum(v) FROM g GROUP BY k HAVING k < 3 AND sum(v) > 2 "
+        "ORDER BY k"
+    ).rows
+    assert rows == [(1, 3), (2, 12)]
+
+
+def test_having_arithmetic(grouped_db):
+    rows = grouped_db.execute(
+        "SELECT k FROM g GROUP BY k HAVING sum(v) / count(*) >= 4 ORDER BY k"
+    ).rows
+    assert rows == [(2,), (3,)]  # avg 4 and 6
+
+
+def test_having_without_group_by_global(grouped_db):
+    rows = grouped_db.execute(
+        "SELECT count(*) FROM g HAVING count(*) > 100"
+    ).rows
+    assert rows == []
+
+
+def test_having_nongrouped_column_rejected(grouped_db):
+    with pytest.raises(PlanError):
+        grouped_db.execute("SELECT k FROM g GROUP BY k HAVING v > 1")
+
+
+def test_having_without_aggregation_rejected(grouped_db):
+    with pytest.raises(PlanError):
+        grouped_db.execute("SELECT k FROM g HAVING k > 1")
+
+
+def test_dml_parser_errors():
+    db = Database()
+    db.create_table("t", [("a", "int")])
+    with pytest.raises(SqlSyntaxError):
+        db.execute("INSERT INTO t VALUES 1, 2")
+    with pytest.raises(SqlSyntaxError):
+        db.execute("UPDATE t a = 1")
+    with pytest.raises(SqlSyntaxError):
+        db.execute("DELETE t WHERE a = 1")

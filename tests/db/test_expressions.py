@@ -1,0 +1,106 @@
+"""Bound expression evaluation."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.db.exec import expressions as ex
+from repro.errors import ExecutionError
+
+ROW = (10, 2.5, "abc", -3)
+
+
+def col(i):
+    return ex.Column(i)
+
+
+def test_column_and_const():
+    assert col(0).eval(ROW) == 10
+    assert ex.Const(7).eval(ROW) == 7
+
+
+def test_arithmetic_operators():
+    assert ex.Arithmetic("+", col(0), ex.Const(5)).eval(ROW) == 15
+    assert ex.Arithmetic("-", col(0), col(3)).eval(ROW) == 13
+    assert ex.Arithmetic("*", col(1), ex.Const(2)).eval(ROW) == 5.0
+    assert ex.Arithmetic("/", col(0), ex.Const(4)).eval(ROW) == 2.5
+
+
+def test_unknown_arith_op_rejected():
+    with pytest.raises(ExecutionError):
+        ex.Arithmetic("%", col(0), col(1))
+
+
+def test_comparisons():
+    assert ex.Comparison("=", col(0), ex.Const(10)).eval(ROW)
+    assert ex.Comparison("<>", col(0), ex.Const(9)).eval(ROW)
+    assert ex.Comparison("<", col(3), ex.Const(0)).eval(ROW)
+    assert ex.Comparison("<=", col(0), ex.Const(10)).eval(ROW)
+    assert ex.Comparison(">", col(0), col(3)).eval(ROW)
+    assert not ex.Comparison(">=", col(3), ex.Const(0)).eval(ROW)
+
+
+def test_string_comparison():
+    assert ex.Comparison("=", col(2), ex.Const("abc")).eval(ROW)
+    assert ex.Comparison("<", col(2), ex.Const("abd")).eval(ROW)
+
+
+def test_between_inclusive():
+    between = ex.Between(col(0), ex.Const(10), ex.Const(20))
+    assert between.eval(ROW)
+    assert not ex.Between(col(0), ex.Const(11), ex.Const(20)).eval(ROW)
+
+
+def test_and_or_not():
+    true = ex.Comparison("=", col(0), ex.Const(10))
+    false = ex.Comparison("=", col(0), ex.Const(11))
+    assert ex.And([true, true]).eval(ROW)
+    assert not ex.And([true, false]).eval(ROW)
+    assert ex.Or([false, true]).eval(ROW)
+    assert not ex.Or([false, false]).eval(ROW)
+    assert ex.Not(false).eval(ROW)
+
+
+def test_short_circuit_and():
+    exploding = ex.Arithmetic("/", col(0), ex.Const(0))
+    false = ex.Comparison("=", col(0), ex.Const(11))
+    # the exploding term is never evaluated
+    assert not ex.And([false, ex.Comparison("=", exploding, ex.Const(1))]).eval(ROW)
+
+
+def test_conjunction_helper():
+    assert ex.conjunction([]) is None
+    single = ex.Const(True)
+    assert ex.conjunction([single]) is single
+    combined = ex.conjunction([ex.Const(True), ex.Const(True), None])
+    assert isinstance(combined, ex.And)
+    assert len(combined.terms) == 2
+
+
+def test_columns_used():
+    expr = ex.And([
+        ex.Comparison("=", col(0), col(2)),
+        ex.Between(col(1), ex.Const(0), col(3)),
+        ex.Not(ex.Comparison("<", col(4), ex.Const(1))),
+    ])
+    assert ex.columns_used(expr) == {0, 1, 2, 3, 4}
+
+
+def test_shift_columns():
+    expr = ex.Comparison("=", col(1), ex.Arithmetic("+", col(0), ex.Const(1)))
+    shifted = ex.shift_columns(expr, 10)
+    assert ex.columns_used(shifted) == {10, 11}
+    row = tuple(range(20))
+    assert shifted.eval(row) == (row[11] == row[10] + 1)
+
+
+def test_shift_preserves_consts_and_none():
+    assert ex.shift_columns(None, 3) is None
+    const = ex.Const(5)
+    assert ex.shift_columns(const, 3) is const
+
+
+@given(st.integers(-100, 100), st.integers(-100, 100))
+def test_comparison_matches_python(a, b):
+    row = (a, b)
+    for op, fn in (("=", a == b), ("<", a < b), (">=", a >= b), ("<>", a != b)):
+        assert ex.Comparison(op, col(0), col(1)).eval(row) == fn

@@ -1,0 +1,70 @@
+"""Logical index undo: aborted transactions leave indexes consistent."""
+
+import pytest
+
+from repro.db import Database
+
+
+@pytest.fixture
+def db():
+    database = Database()
+    database.create_table("t", [("a", "int"), ("b", "int")])
+    database.load_rows("t", [(i, i) for i in range(20)])
+    database.create_index("t", "a")
+    return database
+
+
+def test_abort_removes_inserted_index_entry(db):
+    table = db.catalog.table("t")
+    txn = db.storage.begin()
+    table.insert(txn, (999, 0))
+    assert table.index_on("a").tree.search(999)
+    txn.abort()
+    assert table.index_on("a").tree.search(999) == []
+    # and an index scan does not chase a dangling rid
+    result = db.execute("SELECT a FROM t WHERE a = 999",
+                        hints={("access", "t"): "index"})
+    assert result.rows == []
+
+
+def test_abort_restores_deleted_index_entry(db):
+    table = db.catalog.table("t")
+    with db.storage.begin() as setup:
+        rid = table.insert(setup, (500, 1))
+    txn = db.storage.begin()
+    table.delete(txn, rid)
+    assert table.index_on("a").tree.search(500) == []
+    txn.abort()
+    assert table.index_on("a").tree.search(500) == [rid]
+    result = db.execute("SELECT a, b FROM t WHERE a = 500",
+                        hints={("access", "t"): "index"})
+    assert result.rows == [(500, 1)]
+
+
+def test_abort_restores_updated_index_entry(db):
+    table = db.catalog.table("t")
+    with db.storage.begin() as setup:
+        rid = table.insert(setup, (600, 1))
+    txn = db.storage.begin()
+    table.update(txn, rid, (601, 1))
+    txn.abort()
+    tree = table.index_on("a").tree
+    assert tree.search(601) == []
+    assert tree.search(600) == [rid]
+
+
+def test_committed_index_changes_survive(db):
+    table = db.catalog.table("t")
+    with db.storage.begin() as txn:
+        rid = table.insert(txn, (700, 2))
+    assert table.index_on("a").tree.search(700) == [rid]
+
+
+def test_index_undo_with_multiple_indexes(db):
+    db.create_index("t", "b")
+    table = db.catalog.table("t")
+    txn = db.storage.begin()
+    table.insert(txn, (800, 900))
+    txn.abort()
+    assert table.index_on("a").tree.search(800) == []
+    assert table.index_on("b").tree.search(900) == []

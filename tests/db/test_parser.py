@@ -1,0 +1,155 @@
+"""SQL parser -> AST."""
+
+import pytest
+
+from repro.db.exec.schema import date_to_int
+from repro.db.parser import ast_nodes as ast
+from repro.db.parser.parser import parse
+from repro.errors import SqlSyntaxError
+
+
+def test_select_star():
+    stmt = parse("SELECT * FROM t")
+    assert stmt.items == ()
+    assert stmt.tables == (ast.TableRef("t", "t"),)
+    assert stmt.where is None
+
+
+def test_select_columns_with_aliases():
+    stmt = parse("SELECT a, b AS bee, t.c cee FROM t")
+    assert stmt.items[0] == ast.SelectItem(ast.ColumnRef("", "a"), "")
+    assert stmt.items[1] == ast.SelectItem(ast.ColumnRef("", "b"), "bee")
+    assert stmt.items[2] == ast.SelectItem(ast.ColumnRef("t", "c"), "cee")
+
+
+def test_table_alias():
+    stmt = parse("SELECT * FROM tenk1 t1, tenk2 t2")
+    assert stmt.tables == (
+        ast.TableRef("tenk1", "t1"),
+        ast.TableRef("tenk2", "t2"),
+    )
+
+
+def test_where_comparison():
+    stmt = parse("SELECT * FROM t WHERE a < 5")
+    assert stmt.where == ast.BinaryOp("<", ast.ColumnRef("", "a"), ast.Literal(5))
+
+
+def test_where_and_or_precedence():
+    stmt = parse("SELECT * FROM t WHERE a = 1 OR b = 2 AND c = 3")
+    assert isinstance(stmt.where, ast.BoolOp)
+    assert stmt.where.op == "OR"
+    right = stmt.where.terms[1]
+    assert isinstance(right, ast.BoolOp) and right.op == "AND"
+
+
+def test_parenthesized_boolean():
+    stmt = parse("SELECT * FROM t WHERE (a = 1 OR b = 2) AND c = 3")
+    assert stmt.where.op == "AND"
+    assert stmt.where.terms[0].op == "OR"
+
+
+def test_not():
+    stmt = parse("SELECT * FROM t WHERE NOT a = 1")
+    assert isinstance(stmt.where, ast.NotOp)
+
+
+def test_between():
+    stmt = parse("SELECT * FROM t WHERE a BETWEEN 1 AND 10")
+    assert stmt.where == ast.BetweenOp(
+        ast.ColumnRef("", "a"), ast.Literal(1), ast.Literal(10)
+    )
+
+
+def test_between_binds_tighter_than_and():
+    stmt = parse("SELECT * FROM t WHERE a BETWEEN 1 AND 10 AND b = 2")
+    assert isinstance(stmt.where, ast.BoolOp)
+    assert stmt.where.op == "AND"
+    assert isinstance(stmt.where.terms[0], ast.BetweenOp)
+
+
+def test_arithmetic_precedence():
+    stmt = parse("SELECT a + b * c FROM t")
+    expr = stmt.items[0].expr
+    assert expr.op == "+"
+    assert expr.right.op == "*"
+
+
+def test_unary_minus():
+    stmt = parse("SELECT -5, -a FROM t")
+    assert stmt.items[0].expr == ast.Literal(-5)
+    neg = stmt.items[1].expr
+    assert neg == ast.BinaryOp("-", ast.Literal(0), ast.ColumnRef("", "a"))
+
+
+def test_aggregates():
+    stmt = parse("SELECT count(*), sum(a), avg(b + 1) FROM t")
+    assert stmt.items[0].expr == ast.Aggregate("count", None)
+    assert stmt.items[1].expr == ast.Aggregate("sum", ast.ColumnRef("", "a"))
+    assert stmt.items[2].expr.func == "avg"
+
+
+def test_group_by_order_by_limit():
+    stmt = parse(
+        "SELECT b, count(*) FROM t GROUP BY b ORDER BY b DESC, count(*) ASC LIMIT 5"
+    )
+    assert stmt.group_by == (ast.ColumnRef("", "b"),)
+    assert stmt.order_by[0].descending
+    assert not stmt.order_by[1].descending
+    assert stmt.limit == 5
+
+
+def test_distinct():
+    assert parse("SELECT DISTINCT a FROM t").distinct
+    assert not parse("SELECT a FROM t").distinct
+
+
+def test_date_literal_converted():
+    stmt = parse("SELECT * FROM t WHERE d < DATE '1995-03-15'")
+    assert stmt.where.right == ast.Literal(date_to_int("1995-03-15"))
+
+
+def test_scalar_subquery():
+    stmt = parse("SELECT * FROM t WHERE a = (SELECT min(a) FROM u)")
+    assert isinstance(stmt.where.right, ast.Subquery)
+    inner = stmt.where.right.select
+    assert inner.tables == (ast.TableRef("u", "u"),)
+
+
+def test_in_subquery():
+    stmt = parse("SELECT * FROM t WHERE a IN (SELECT b FROM u WHERE c = 1)")
+    assert isinstance(stmt.where, ast.InOp)
+
+
+def test_trailing_semicolon_ok():
+    parse("SELECT * FROM t;")
+
+
+def test_trailing_garbage_rejected():
+    with pytest.raises(SqlSyntaxError):
+        parse("SELECT * FROM t garbage extra tokens ,")
+
+
+def test_missing_from_rejected():
+    with pytest.raises(SqlSyntaxError):
+        parse("SELECT a WHERE b = 1")
+
+
+def test_bad_limit_rejected():
+    with pytest.raises(SqlSyntaxError):
+        parse("SELECT * FROM t LIMIT x")
+
+
+def test_date_requires_string():
+    with pytest.raises(SqlSyntaxError):
+        parse("SELECT * FROM t WHERE d < DATE 42")
+
+
+def test_string_literal_in_predicate():
+    stmt = parse("SELECT * FROM t WHERE name = 'BUILDING'")
+    assert stmt.where.right == ast.Literal("BUILDING")
+
+
+def test_qualified_star_not_supported_gracefully():
+    with pytest.raises(SqlSyntaxError):
+        parse("SELECT t. FROM t")

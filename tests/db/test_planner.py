@@ -1,0 +1,164 @@
+"""Planner: access paths, join methods, aggregation, hints."""
+
+import pytest
+
+from repro.db import Database
+from repro.errors import CatalogError, PlanError
+
+
+@pytest.fixture
+def db():
+    database = Database(pool_pages=512)
+    database.create_table("r", [("a", "int"), ("b", "int"), ("s", ("str", 8))])
+    database.create_table("u", [("a", "int"), ("c", "int")])
+    database.load_rows("r", [(i, i % 10, f"v{i % 3}") for i in range(1000)])
+    database.load_rows("u", [(i, i * 3) for i in range(0, 1000, 5)])
+    database.create_index("r", "a", clustered=True)
+    database.create_index("u", "a")
+    database.analyze_all()
+    return database
+
+
+def test_selective_range_uses_index(db):
+    plan = db.explain("SELECT a FROM r WHERE a BETWEEN 5 AND 14")
+    assert "IndexScan" in plan
+
+
+def test_wide_range_uses_seqscan(db):
+    plan = db.explain("SELECT a FROM r WHERE a < 900")
+    assert "SeqScan" in plan
+    assert "IndexScan" not in plan
+
+
+def test_no_predicate_uses_seqscan(db):
+    assert "SeqScan" in db.explain("SELECT * FROM r")
+
+
+def test_equality_uses_index(db):
+    plan = db.explain("SELECT a FROM r WHERE a = 7")
+    assert "IndexScan" in plan
+
+
+def test_unindexed_column_uses_seqscan(db):
+    plan = db.explain("SELECT a FROM r WHERE b = 3")
+    assert "SeqScan" in plan
+
+
+def test_access_hints_override_cost_model(db):
+    forced_scan = db.explain(
+        "SELECT a FROM r WHERE a = 7", hints={("access", "r"): "scan"}
+    )
+    assert "IndexScan" not in forced_scan
+    forced_index = db.explain(
+        "SELECT a FROM r WHERE a < 900", hints={("access", "r"): "index"}
+    )
+    assert "IndexScan" in forced_index
+
+
+def test_equijoin_with_inner_index_uses_index_nl(db):
+    plan = db.explain(
+        "SELECT r.a FROM r, u WHERE r.a = u.a AND r.a < 20"
+    )
+    assert "IndexNLJoin" in plan
+
+
+def test_join_hint_forces_grace(db):
+    plan = db.explain(
+        "SELECT r.a FROM r, u WHERE r.a = u.a AND r.a < 20",
+        hints={("join", "u"): "grace"},
+    )
+    assert "GraceHashJoin" in plan
+
+
+def test_join_results_match_reference(db):
+    sql = "SELECT r.a, u.c FROM r, u WHERE r.a = u.a AND r.a BETWEEN 0 AND 99"
+    got_nl = sorted(db.execute(sql).rows)
+    got_grace = sorted(db.execute(sql, hints={("join", "u"): "grace"}).rows)
+    reference = sorted((i, i * 3) for i in range(0, 100, 5))
+    assert got_nl == reference
+    assert got_grace == reference
+
+
+def test_cross_join_uses_nested_loops(db):
+    plan = db.explain("SELECT r.a FROM r, u WHERE r.a < 2")
+    assert "NestedLoopsJoin" in plan
+
+
+def test_cross_join_cardinality(db):
+    rows = db.execute("SELECT r.a, u.a FROM r, u WHERE r.a < 2").rows
+    assert len(rows) == 2 * 200
+
+
+def test_second_join_edge_becomes_filter(db):
+    # r.a = u.a AND r.b = u.c: one edge joins, the other must filter
+    sql = "SELECT r.a FROM r, u WHERE r.a = u.a AND r.b = u.c"
+    got = db.execute(sql).rows
+    reference = [
+        (i,)
+        for i in range(0, 1000, 5)
+        if i % 10 == (i // 5) * 3
+    ]
+    assert sorted(got) == sorted(reference)
+
+
+def test_aggregation_with_group_by(db):
+    result = db.execute("SELECT b, count(*) c, sum(a) s FROM r GROUP BY b")
+    as_dict = {row[0]: row[1:] for row in result.rows}
+    for group in range(10):
+        members = [i for i in range(1000) if i % 10 == group]
+        assert as_dict[group] == (len(members), sum(members))
+
+
+def test_group_expr_must_be_in_group_by(db):
+    with pytest.raises(PlanError):
+        db.execute("SELECT b, a, count(*) FROM r GROUP BY b")
+
+
+def test_order_by_output_alias(db):
+    result = db.execute(
+        "SELECT b, sum(a) total FROM r GROUP BY b ORDER BY total DESC LIMIT 3"
+    )
+    totals = [row[1] for row in result.rows]
+    assert totals == sorted(totals, reverse=True)
+    assert len(result.rows) == 3
+
+
+def test_distinct(db):
+    result = db.execute("SELECT DISTINCT b FROM r")
+    assert sorted(row[0] for row in result.rows) == list(range(10))
+
+
+def test_select_star_column_names(db):
+    result = db.execute("SELECT * FROM u WHERE a = 0")
+    assert result.columns == ("a", "c")
+
+
+def test_projection_names(db):
+    result = db.execute("SELECT a x, b FROM r WHERE a = 1")
+    assert result.columns == ("x", "b")
+
+
+def test_unknown_table_raises(db):
+    with pytest.raises(CatalogError):
+        db.execute("SELECT * FROM missing")
+
+
+def test_unknown_column_raises(db):
+    with pytest.raises(PlanError):
+        db.execute("SELECT zz FROM r")
+
+
+def test_ambiguous_column_raises(db):
+    with pytest.raises(PlanError):
+        db.execute("SELECT a FROM r, u WHERE r.a = u.a")
+
+
+def test_duplicate_alias_raises(db):
+    with pytest.raises(PlanError):
+        db.execute("SELECT t.a FROM r t, u t")
+
+
+def test_explain_shows_tree(db):
+    text = db.explain("SELECT b, count(*) FROM r WHERE a < 5 GROUP BY b")
+    assert "HashAggregate" in text
+    assert "Project" in text

@@ -1,0 +1,152 @@
+"""Planner internals: scopes, conjunct splitting, index-bound extraction."""
+
+import pytest
+
+from repro.db import Database
+from repro.db.parser import ast_nodes as ast
+from repro.db.parser.parser import parse
+from repro.db.optimizer.planner import (
+    Scope,
+    _bounds_of,
+    _index_bounds,
+    _split_conjuncts,
+)
+from repro.errors import PlanError
+
+
+def where_of(sql):
+    return parse(f"SELECT * FROM t WHERE {sql}").where
+
+
+# ----------------------------------------------------------------------
+# Scope
+# ----------------------------------------------------------------------
+
+
+def test_scope_qualified_resolution():
+    scope = Scope()
+    scope.extend("t1", ("a", "b"))
+    scope.extend("t2", ("a", "c"))
+    assert scope.resolve("t1", "a") == 0
+    assert scope.resolve("t2", "a") == 2
+    assert scope.resolve("t2", "c") == 3
+    assert scope.resolve("t1", "c") is None
+
+
+def test_scope_unqualified_unique():
+    scope = Scope()
+    scope.extend("t1", ("a", "b"))
+    scope.extend("t2", ("c",))
+    assert scope.resolve("", "b") == 1
+    assert scope.resolve("", "c") == 2
+    assert scope.resolve("", "zz") is None
+
+
+def test_scope_unqualified_ambiguous_raises():
+    scope = Scope()
+    scope.extend("t1", ("a",))
+    scope.extend("t2", ("a",))
+    with pytest.raises(PlanError):
+        scope.resolve("", "a")
+
+
+def test_scope_qualified_names_and_len():
+    scope = Scope()
+    scope.extend("t", ("a", "b"))
+    assert scope.qualified_names() == ("t.a", "t.b")
+    assert len(scope) == 2
+
+
+# ----------------------------------------------------------------------
+# conjunct splitting
+# ----------------------------------------------------------------------
+
+
+def test_split_flattens_nested_ands():
+    conjuncts = _split_conjuncts(where_of("a = 1 AND (b = 2 AND c = 3)"))
+    assert len(conjuncts) == 3
+
+
+def test_split_keeps_or_whole():
+    conjuncts = _split_conjuncts(where_of("a = 1 OR b = 2"))
+    assert len(conjuncts) == 1
+
+
+def test_split_none():
+    assert _split_conjuncts(None) == []
+
+
+# ----------------------------------------------------------------------
+# index bound extraction
+# ----------------------------------------------------------------------
+
+
+def test_bounds_of_comparisons():
+    assert _bounds_of(where_of("a = 5")) == ("a", 5, 5)
+    assert _bounds_of(where_of("a < 5")) == ("a", None, 4)
+    assert _bounds_of(where_of("a <= 5")) == ("a", None, 5)
+    assert _bounds_of(where_of("a > 5")) == ("a", 6, None)
+    assert _bounds_of(where_of("a >= 5")) == ("a", 5, None)
+
+
+def test_bounds_of_flipped_comparisons():
+    assert _bounds_of(where_of("5 > a")) == ("a", None, 4)
+    assert _bounds_of(where_of("5 = a")) == ("a", 5, 5)
+    assert _bounds_of(where_of("5 <= a")) == ("a", 5, None)
+
+
+def test_bounds_of_between():
+    assert _bounds_of(where_of("a BETWEEN 3 AND 9")) == ("a", 3, 9)
+
+
+def test_bounds_of_rejects_non_index_shapes():
+    assert _bounds_of(where_of("a <> 5")) is None
+    assert _bounds_of(where_of("a = b")) is None
+    assert _bounds_of(where_of("a + 1 = 5")) is None
+    assert _bounds_of(where_of("a = 1.5")) is None  # float keys unsupported
+    assert _bounds_of(where_of("a = 'x'")) is None
+
+
+def test_index_bounds_merges_same_column():
+    db = Database()
+    db.create_table("t", [("a", "int")])
+    db.create_index("t", "a")
+    table = db.catalog.table("t")
+    conjuncts = _split_conjuncts(where_of("a >= 10 AND a < 20 AND a > 12"))
+    merged = _index_bounds(conjuncts, table)
+    assert len(merged) == 1
+    column, lo, hi, used = merged[0]
+    assert (column, lo, hi) == ("a", 13, 19)
+    assert len(used) == 3
+
+
+def test_index_bounds_skips_unindexed_columns():
+    db = Database()
+    db.create_table("t", [("a", "int"), ("b", "int")])
+    db.create_index("t", "a")
+    table = db.catalog.table("t")
+    conjuncts = _split_conjuncts(where_of("b < 5 AND a = 1"))
+    merged = _index_bounds(conjuncts, table)
+    assert [m[0] for m in merged] == ["a"]
+
+
+# ----------------------------------------------------------------------
+# join-order hint
+# ----------------------------------------------------------------------
+
+
+def test_join_order_hint_respected():
+    db = Database()
+    db.create_table("big", [("k", "int")])
+    db.create_table("small", [("k", "int")])
+    db.load_rows("big", [(i,) for i in range(200)])
+    db.load_rows("small", [(i,) for i in range(5)])
+    db.analyze_all()
+    default_plan = db.explain("SELECT big.k FROM big, small WHERE big.k = small.k")
+    hinted_plan = db.explain(
+        "SELECT big.k FROM big, small WHERE big.k = small.k",
+        hints={"join_order": ["big", "small"]},
+    )
+    # default starts from the smaller input; the hint forces 'big' first
+    assert default_plan != hinted_plan
+    assert "big" in hinted_plan.splitlines()[-2] or "big" in hinted_plan

@@ -1,0 +1,158 @@
+"""SQL unparser: parse(render(ast)) == ast."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.db.parser import ast_nodes as ast
+from repro.db.parser.parser import parse
+from repro.db.parser.render import render, render_expr
+from repro.workloads import tpch, wisconsin
+
+# ----------------------------------------------------------------------
+# corpus round trips: every workload query
+# ----------------------------------------------------------------------
+
+CORPUS = (
+    [sql for _n, sql, _h in wisconsin.queries(1000)]
+    + [sql for _n, sql, _h in tpch.queries()]
+    + [
+        "SELECT DISTINCT a, b + 1 AS c FROM t u WHERE NOT a = 1 OR b < 2",
+        "SELECT k, sum(v) FROM g GROUP BY k HAVING count(*) > 1 "
+        "ORDER BY k DESC LIMIT 3",
+        "INSERT INTO t (a, b) VALUES (1, 'x''y'), (2, 'z')",
+        "UPDATE t SET a = a + 1, b = 'q' WHERE a BETWEEN 1 AND 5",
+        "DELETE FROM t WHERE a IN (SELECT b FROM u WHERE c = 1)",
+    ]
+)
+
+
+@pytest.mark.parametrize("sql", CORPUS, ids=range(len(CORPUS)))
+def test_corpus_round_trip(sql):
+    first = parse(sql)
+    rendered = render(first)
+    second = parse(rendered)
+    assert first == second
+    # rendering is idempotent through a second cycle
+    assert render(second) == rendered
+
+
+# ----------------------------------------------------------------------
+# generated expression ASTs
+# ----------------------------------------------------------------------
+
+IDENT = st.from_regex(r"[a-z][a-z0-9_]{0,6}", fullmatch=True).filter(
+    lambda s: s.upper() not in {
+        "SELECT", "FROM", "WHERE", "GROUP", "BY", "ORDER", "ASC", "DESC",
+        "LIMIT", "AS", "AND", "OR", "NOT", "BETWEEN", "IN", "SUM", "COUNT",
+        "AVG", "MIN", "MAX", "DATE", "INTERVAL", "DISTINCT", "HAVING",
+        "INSERT", "INTO", "VALUES", "UPDATE", "SET", "DELETE",
+    }
+)
+
+LITERAL = st.one_of(
+    st.integers(-10**6, 10**6),
+    st.floats(min_value=-1000, max_value=1000, allow_nan=False).map(
+        lambda f: round(f, 3)
+    ).filter(lambda f: "e" not in repr(f) and f == abs(f) or True),
+    st.text(
+        alphabet=st.characters(codec="ascii",
+                               exclude_characters="\x00\\"),
+        max_size=8,
+    ),
+).map(ast.Literal)
+
+COLUMN = st.one_of(
+    IDENT.map(lambda n: ast.ColumnRef("", n)),
+    st.tuples(IDENT, IDENT).map(lambda t: ast.ColumnRef(t[0], t[1])),
+)
+
+
+def value_exprs(children):
+    return st.one_of(
+        st.tuples(st.sampled_from("+-*/"), children, children).map(
+            lambda t: ast.BinaryOp(t[0], t[1], t[2])
+        ),
+    )
+
+
+VALUE_EXPR = st.recursive(
+    st.one_of(LITERAL, COLUMN),
+    value_exprs,
+    max_leaves=8,
+)
+
+
+def bool_exprs(children):
+    return st.one_of(
+        st.tuples(st.sampled_from(["=", "<>", "<", "<=", ">", ">="]),
+                  VALUE_EXPR, VALUE_EXPR).map(
+            lambda t: ast.BinaryOp(t[0], t[1], t[2])
+        ),
+        st.tuples(VALUE_EXPR, VALUE_EXPR, VALUE_EXPR).map(
+            lambda t: ast.BetweenOp(t[0], t[1], t[2])
+        ),
+        st.tuples(st.sampled_from(["AND", "OR"]),
+                  st.lists(children, min_size=2, max_size=3)).map(
+            lambda t: ast.BoolOp(t[0], tuple(t[1]))
+        ),
+        children.map(ast.NotOp),
+    )
+
+
+BOOL_EXPR = st.recursive(
+    st.tuples(st.sampled_from(["=", "<"]), VALUE_EXPR, VALUE_EXPR).map(
+        lambda t: ast.BinaryOp(t[0], t[1], t[2])
+    ),
+    bool_exprs,
+    max_leaves=6,
+)
+
+
+@given(where=BOOL_EXPR, table=IDENT)
+def test_generated_where_round_trips(where, table):
+    stmt = ast.SelectStmt(
+        items=(), tables=(ast.TableRef(table, table),), where=where,
+        group_by=(), having=None, order_by=(), limit=None, distinct=False,
+    )
+    assert parse(render(stmt)) == stmt
+
+
+@given(expr=VALUE_EXPR, table=IDENT, alias=IDENT)
+def test_generated_projection_round_trips(expr, table, alias):
+    stmt = ast.SelectStmt(
+        items=(ast.SelectItem(expr, alias),),
+        tables=(ast.TableRef(table, table),),
+        where=None, group_by=(), having=None, order_by=(), limit=None,
+        distinct=False,
+    )
+    assert parse(render(stmt)) == stmt
+
+
+@given(rows=st.lists(st.lists(LITERAL, min_size=1, max_size=4), min_size=1,
+                     max_size=3),
+       table=IDENT)
+def test_generated_insert_round_trips(rows, table):
+    width = len(rows[0])
+    rows = [tuple(row[:width]) for row in rows if len(row) >= width]
+    stmt = ast.InsertStmt(table, (), tuple(tuple(r) for r in rows))
+    assert parse(render(stmt)) == stmt
+
+
+def test_render_expr_literals():
+    assert render_expr(ast.Literal("it's")) == "'it''s'"
+    assert render_expr(ast.Literal(5)) == "5"
+    assert parse(f"SELECT * FROM t WHERE a = {render_expr(ast.Literal(-7))}")
+
+
+DDL_CORPUS = [
+    "CREATE TABLE t (a int, b float, s varchar(8))",
+    "CREATE INDEX ON t (a)",
+    "CREATE CLUSTERED INDEX ON t (a)",
+    "DROP TABLE t",
+]
+
+
+@pytest.mark.parametrize("sql", DDL_CORPUS)
+def test_ddl_round_trip(sql):
+    first = parse(sql)
+    assert parse(render(first)) == first

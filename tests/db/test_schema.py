@@ -1,0 +1,53 @@
+"""Schemas and date conversion."""
+
+import pytest
+
+from repro.db.exec.schema import Schema, date_to_int, int_to_date
+from repro.errors import CatalogError
+
+
+def test_column_lookup_case_insensitive():
+    schema = Schema([("A", "int"), ("b", "float")])
+    assert schema.index_of("a") == 0
+    assert schema.index_of("B") == 1
+    assert schema.names == ("a", "b")
+
+
+def test_unknown_column_raises():
+    schema = Schema([("a", "int")])
+    with pytest.raises(CatalogError):
+        schema.index_of("zz")
+
+
+def test_duplicate_column_rejected():
+    with pytest.raises(CatalogError):
+        Schema([("a", "int"), ("A", "int")])
+
+
+def test_type_of_and_codec():
+    schema = Schema([("a", "int"), ("s", ("str", 6))])
+    assert schema.type_of("s") == ("str", 6)
+    codec = schema.make_codec()
+    assert codec.decode(codec.encode((3, "abc"))) == (3, "abc")
+
+
+def test_has_column():
+    schema = Schema([("a", "int")])
+    assert schema.has_column("a")
+    assert not schema.has_column("b")
+
+
+def test_equality():
+    assert Schema([("a", "int")]) == Schema([("A", "int")])
+    assert Schema([("a", "int")]) != Schema([("a", "float")])
+
+
+def test_date_roundtrip():
+    assert int_to_date(date_to_int("1994-01-01")) == "1994-01-01"
+    assert date_to_int("1970-01-01") == 0
+    assert date_to_int("1970-01-02") == 1
+
+
+def test_date_ordering():
+    assert date_to_int("1995-03-15") < date_to_int("1995-03-16")
+    assert date_to_int("1992-12-31") < date_to_int("1993-01-01")

@@ -1,0 +1,111 @@
+"""The SQL shell session (REPL logic, minus the terminal loop)."""
+
+import pytest
+
+from repro.db.shell import ShellSession, format_result, parse_column_spec
+from repro.db.database import QueryResult
+from repro.errors import ReproError
+
+
+@pytest.fixture
+def session():
+    return ShellSession()
+
+
+def test_create_insert_select(session):
+    assert "created" in session.process(".create t a:int b:str8")
+    session.process("INSERT INTO t VALUES (1, 'x'), (2, 'y')")
+    output = session.process("SELECT * FROM t ORDER BY a")
+    assert "1" in output and "x" in output
+    assert "(2 rows)" in output
+
+
+def test_tables_lists_row_counts(session):
+    session.process(".create t a:int")
+    session.process("INSERT INTO t VALUES (1), (2), (3)")
+    assert "t  (3 rows)" in session.process(".tables")
+
+
+def test_tables_empty(session):
+    assert session.process(".tables") == "(no tables)"
+
+
+def test_schema_shows_columns_and_indexes(session):
+    session.process(".create t a:int s:str4")
+    session.process(".index t a")
+    output = session.process(".schema t")
+    assert "a: int" in output
+    assert "s: str(4)" in output
+    assert "index t.a" in output
+
+
+def test_explain(session):
+    session.process(".create t a:int")
+    output = session.process(".explain SELECT * FROM t")
+    assert "SeqScan" in output
+
+
+def test_demo_loads_once(session):
+    first = session.process(".demo")
+    assert "loaded demo" in first
+    assert session.process(".demo") == "demo already loaded"
+    output = session.process(
+        "SELECT dname, count(*) FROM emp, dept "
+        "WHERE emp.dno = dept.dno GROUP BY dname"
+    )
+    assert "(3 rows)" in output
+
+
+def test_errors_are_reported_not_raised(session):
+    assert session.process("SELECT * FROM missing").startswith("error:")
+    assert session.process("SELEKT 1").startswith("error:")
+
+
+def test_quit_sets_done(session):
+    assert session.process(".quit") == "bye"
+    assert session.done
+
+
+def test_help_and_unknown(session):
+    assert ".tables" in session.process(".help")
+    assert "unknown command" in session.process(".bogus")
+
+
+def test_empty_line_is_silent(session):
+    assert session.process("   ") == ""
+
+
+def test_analyze(session):
+    session.process(".create t a:int")
+    session.process("INSERT INTO t VALUES (1)")
+    assert "statistics" in session.process(".analyze")
+    assert session.db.catalog.table("t").stats.row_count == 1
+
+
+def test_parse_column_spec():
+    assert parse_column_spec("a:int") == ("a", "int")
+    assert parse_column_spec("x:float") == ("x", "float")
+    assert parse_column_spec("s:str12") == ("s", ("str", 12))
+    assert parse_column_spec("s:str") == ("s", ("str", 16))
+    with pytest.raises(ReproError):
+        parse_column_spec("oops")
+    with pytest.raises(ReproError):
+        parse_column_spec("a:decimal")
+
+
+def test_format_result_alignment_and_truncation():
+    result = QueryResult(("id", "value"), [(i, i * 1.5) for i in range(60)])
+    output = format_result(result, max_rows=10)
+    assert "id" in output and "value" in output
+    assert "... (50 more rows)" in output
+    assert "(60 rows)" in output
+
+
+def test_format_result_single_row():
+    result = QueryResult(("n",), [(1,)])
+    assert "(1 row)" in format_result(result)
+
+
+def test_format_float_trimming():
+    result = QueryResult(("x",), [(2.5000,)])
+    assert "2.5" in format_result(result)

@@ -1,0 +1,101 @@
+"""SQL tokenizer."""
+
+import pytest
+
+from repro.db.parser.tokenizer import (
+    END,
+    IDENT,
+    KW,
+    NUMBER,
+    OP,
+    PUNCT,
+    STRING,
+    tokenize,
+)
+from repro.errors import SqlSyntaxError
+
+
+def kinds(sql):
+    return [t.kind for t in tokenize(sql)][:-1]
+
+
+def values(sql):
+    return [t.value for t in tokenize(sql)][:-1]
+
+
+def test_keywords_uppercased():
+    assert values("select from where") == ["SELECT", "FROM", "WHERE"]
+    assert kinds("select") == [KW]
+
+
+def test_identifiers_lowercased():
+    assert values("TenK1 Unique2") == ["tenk1", "unique2"]
+    assert kinds("tenk1") == [IDENT]
+
+
+def test_integer_and_float_literals():
+    tokens = tokenize("42 3.25 .5")
+    assert [t.value for t in tokens[:-1]] == [42, 3.25, 0.5]
+    assert tokens[0].kind == NUMBER
+    assert isinstance(tokens[0].value, int)
+    assert isinstance(tokens[1].value, float)
+
+
+def test_string_literal_with_escape():
+    tokens = tokenize("'it''s'")
+    assert tokens[0].kind == STRING
+    assert tokens[0].value == "it's"
+
+
+def test_unterminated_string_raises():
+    with pytest.raises(SqlSyntaxError):
+        tokenize("'oops")
+
+
+def test_operators_including_two_char():
+    assert values("a <= b >= c <> d != e") == [
+        "a", "<=", "b", ">=", "c", "<>", "d", "<>", "e"
+    ]
+
+
+def test_punctuation():
+    assert kinds("(a, b.c);") == [PUNCT, IDENT, PUNCT, IDENT, PUNCT, IDENT,
+                                  PUNCT, PUNCT]
+
+
+def test_comments_skipped():
+    assert values("select -- comment here\n 1") == ["SELECT", 1]
+
+
+def test_end_token_present():
+    tokens = tokenize("select")
+    assert tokens[-1].kind == END
+
+
+def test_unexpected_character_raises():
+    with pytest.raises(SqlSyntaxError):
+        tokenize("select @")
+
+
+def test_number_followed_by_dot_punct():
+    # "1." followed by a non-digit should not swallow the dot
+    tokens = tokenize("a.b")
+    assert [t.value for t in tokens[:-1]] == ["a", ".", "b"]
+
+
+def test_keyword_prefix_is_identifier():
+    assert kinds("selection") == [IDENT]
+    assert values("selection") == ["selection"]
+
+
+def test_positions_recorded():
+    tokens = tokenize("ab cd")
+    assert tokens[0].pos == 0
+    assert tokens[1].pos == 3
+
+
+def test_ddl_keywords_recognized():
+    assert values("create table index on drop clustered") == [
+        "CREATE", "TABLE", "INDEX", "ON", "DROP", "CLUSTERED"
+    ]
+    assert all(k == KW for k in kinds("create table"))

@@ -1,0 +1,57 @@
+"""Multiprogrammed mix machinery."""
+
+from repro.harness.multiprog import combine_images, multiprogram_mix, shift_fids
+from repro.instrument.codeimage import CodeImage
+from repro.instrument.trace import CALL, EXEC, RET, Trace
+from repro.workloads import cpu2000
+
+
+def small_image(n=3, size=64):
+    image = CodeImage()
+    for i in range(n):
+        image.register_synthetic(f"f{i}", size)
+    return image
+
+
+def test_combine_images_concatenates():
+    a = small_image(3)
+    b = small_image(2)
+    combined, offset = combine_images(a, b)
+    assert offset == 3
+    assert combined.function_count == 5
+    assert combined.name_of(3).startswith("p1::")
+    assert combined.info(4).size_instrs == b.info(1).size_instrs
+
+
+def test_shift_fids_moves_only_function_ids():
+    trace = Trace()
+    trace.add_exec(1, 5, 20)
+    trace.add_call(2, 1, 20)
+    trace.add_return(2, 1, 10)
+    trace.add_call(0, -1, 0)  # unknown caller stays -1
+    shifted = shift_fids(trace, 100)
+    events = list(shifted.events())
+    assert events[0] == (EXEC, 101, 5, 20)  # offsets untouched
+    assert events[1] == (CALL, 102, 101, 20)
+    assert events[2] == (RET, 102, 101, 10)
+    assert events[3] == (CALL, 100, -1, 0)
+
+
+def test_mix_increases_miss_rate():
+    result = multiprogram_mix("gcc", "crafty", target_instructions=300_000)
+    solo_a = result.row("gcc solo")["misses"]
+    solo_b = result.row("crafty solo")["misses"]
+    shared = result.row("time-shared")["misses"]
+    assert shared > solo_a + solo_b  # interference, not just addition
+    assert result.row("time-shared")["miss_rate"] > result.row("gcc solo")["miss_rate"]
+
+
+def test_mix_with_small_quantum_is_worse():
+    coarse = multiprogram_mix("gcc", "crafty", quantum=50000,
+                              target_instructions=300_000)
+    fine = multiprogram_mix("gcc", "crafty", quantum=5000,
+                            target_instructions=300_000)
+    assert (
+        fine.row("time-shared")["misses"]
+        >= coarse.row("time-shared")["misses"]
+    )

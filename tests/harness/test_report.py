@@ -1,0 +1,110 @@
+"""Report rendering."""
+
+from repro.harness.experiments import ExperimentResult
+from repro.harness.report import (
+    render_bars,
+    render_experiment,
+    render_grouped_bars,
+    render_markdown_table,
+    render_table,
+)
+
+
+def sample_result():
+    result = ExperimentResult(
+        "demo", "Demo experiment", "the paper says X",
+        ["cycles", "speedup"],
+    )
+    result.add_row("w1", {"cycles": 1234567, "speedup": 1.2345})
+    result.add_row("w2", {"cycles": 999, "speedup": 0.5})
+    return result
+
+
+def test_text_table_contains_rows_and_headers():
+    text = render_table(sample_result())
+    assert "workload" in text
+    assert "1,234,567" in text  # thousands separators on ints
+    assert "1.234" in text  # floats to 3 places
+    assert "w2" in text
+
+
+def test_custom_label_header():
+    text = render_table(sample_result(), label_header="benchmark")
+    assert text.splitlines()[0].startswith("benchmark")
+
+
+def test_column_subset():
+    text = render_table(sample_result(), columns=["speedup"])
+    assert "cycles" not in text
+    assert "speedup" in text
+
+
+def test_markdown_table_shape():
+    md = render_markdown_table(sample_result())
+    lines = md.strip().splitlines()
+    assert lines[0].startswith("| workload |")
+    assert set(lines[1].replace("|", "")) <= {"-"}
+    assert len(lines) == 4
+
+
+def test_render_experiment_text():
+    block = render_experiment(sample_result())
+    assert block.startswith("== demo:")
+    assert "the paper says X" in block
+
+
+def test_render_experiment_markdown():
+    block = render_experiment(sample_result(), markdown=True)
+    assert block.startswith("### demo:")
+    assert "**Paper claim.**" in block
+
+
+def test_missing_value_renders_empty():
+    result = ExperimentResult("x", "t", "c", ["a", "b"])
+    result.add_row("row", {"a": 1})
+    text = render_table(result)
+    assert "row" in text
+
+
+def test_notes_included():
+    result = sample_result()
+    result.notes = "a caveat"
+    assert "a caveat" in render_experiment(result)
+
+
+def test_geomean_and_row_access():
+    result = sample_result()
+    assert result.row("w1")["cycles"] == 1234567
+    geomean = result.geomean("speedup")
+    assert abs(geomean - (1.2345 * 0.5) ** 0.5) < 1e-9
+
+
+def test_row_missing_raises():
+    import pytest
+
+    with pytest.raises(KeyError):
+        sample_result().row("nope")
+
+
+def test_render_bars_scaled_to_max():
+    result = sample_result()
+    chart = render_bars(result, "cycles", width=20)
+    lines = chart.strip().splitlines()
+    assert len(lines) == 3
+    w1_bar = lines[1].count("#")
+    w2_bar = lines[2].count("#")
+    assert w1_bar == 20  # the max gets the full width
+    assert w2_bar == 1  # tiny values still get a visible bar
+
+
+def test_render_grouped_bars_covers_all_columns():
+    result = sample_result()
+    chart = render_grouped_bars(result, ["cycles", "speedup"])
+    assert "w1:" in chart and "w2:" in chart
+    assert chart.count("cycles") == 2
+    assert chart.count("speedup") == 2
+
+
+def test_render_bars_empty():
+    empty = ExperimentResult("e", "t", "c", ["x"])
+    assert "(no data)" in render_bars(empty, "x")

@@ -1,0 +1,123 @@
+"""Trace analysis functions."""
+
+import pytest
+
+from repro.instrument.analysis import (
+    call_depth_histogram,
+    characterize,
+    function_heat,
+    instructions_between_calls,
+    line_reuse_distances,
+    touched_lines,
+    working_set_curve,
+)
+from repro.instrument.codeimage import CodeImage
+from repro.instrument.trace import Trace
+from repro.layout.layouts import AddressMap
+
+
+def world(sizes=(160, 160, 160)):
+    image = CodeImage()
+    for i, size in enumerate(sizes):
+        image.register_synthetic(f"f{i}", size)
+    layout = AddressMap(image, range(len(sizes)), 1.0, 1.0, 1.0, "t")
+    return image, layout
+
+
+def nested_trace():
+    trace = Trace()
+    trace.add_exec(0, 0, 9)  # depth 0: 10 instrs
+    trace.add_call(1, 0, 9)
+    trace.add_exec(1, 0, 19)  # depth 1: 20 instrs
+    trace.add_call(2, 1, 19)
+    trace.add_exec(2, 0, 4)  # depth 2: 5 instrs
+    trace.add_return(2, 1, 4)
+    trace.add_return(1, 0, 19)
+    trace.add_exec(0, 9, 9)  # depth 0: 1 instr
+    return trace
+
+
+def test_call_depth_histogram():
+    histogram = call_depth_histogram(nested_trace())
+    assert histogram == {0: 11, 1: 20, 2: 5}
+
+
+def test_instructions_between_calls():
+    trace = nested_trace()
+    expected = trace.total_instructions() / 2
+    assert instructions_between_calls(trace) == expected
+
+
+def test_instructions_between_calls_no_calls():
+    trace = Trace()
+    trace.add_exec(0, 0, 99)
+    assert instructions_between_calls(trace) == 100.0
+
+
+def test_function_heat_ordering():
+    image, _layout = world()
+    heat = function_heat(nested_trace(), image)
+    assert heat[0][0] == "f1"  # 20 instructions: hottest
+    fractions = [fraction for _n, _c, fraction in heat]
+    assert sum(fractions) == pytest.approx(1.0)
+
+
+def test_touched_lines_counts_distinct():
+    image, layout = world()
+    trace = Trace()
+    trace.add_exec(0, 0, 159)  # all 20 lines of f0
+    trace.add_exec(0, 0, 159)  # again: no new lines
+    lines = touched_lines(trace, layout)
+    assert len(lines) == (159 * 64) // (64 * 8) + 1
+
+
+def test_working_set_curve_windows():
+    image, layout = world()
+    trace = Trace()
+    for _ in range(10):
+        trace.add_exec(0, 0, 159)  # 160 instrs per event
+    curve = working_set_curve(trace, layout, window_instructions=320)
+    assert len(curve) == 5  # 1600 instructions / 320
+    assert all(count == 20 for count in curve)
+
+
+def test_reuse_distances_cold_and_hot():
+    image, layout = world()
+    trace = Trace()
+    trace.add_exec(0, 0, 159)
+    trace.add_exec(0, 0, 159)  # immediate reuse: tiny distances
+    reuse = line_reuse_distances(trace, layout)
+    assert reuse["cold"] == 20
+    hot = sum(n for key, n in reuse.items() if isinstance(key, int))
+    assert hot == 20
+
+
+def test_reuse_distance_grows_with_interleaving():
+    image, layout = world(sizes=(800, 800))
+    near = Trace()
+    near.add_exec(0, 0, 799)
+    near.add_exec(0, 0, 799)
+    far = Trace()
+    far.add_exec(0, 0, 799)
+    far.add_exec(1, 0, 799)  # 100 other lines in between
+    far.add_exec(0, 0, 799)
+
+    def max_bucket(reuse):
+        return max((k for k in reuse if isinstance(k, int)), default=0)
+
+    assert max_bucket(line_reuse_distances(far, layout)) > max_bucket(
+        line_reuse_distances(near, layout)
+    )
+
+
+def test_characterize_summary(prof_artifacts):
+    summary = characterize(
+        prof_artifacts.trace, prof_artifacts.image,
+        prof_artifacts.layouts["OM"],
+    )
+    assert summary["instructions"] > 100_000
+    assert 20 <= summary["instrs_between_calls"] <= 120
+    assert summary["mean_call_depth"] >= 3
+    assert summary["touched_kb"] * 1024 > 32 * 1024  # exceeds the L1
+    assert 0.0 < summary["reuse_beyond_l1_fraction"] <= 1.0
+    assert len(summary["hottest"]) == 5

@@ -1,0 +1,129 @@
+"""Code image: registration, sizes, offsets, freezing."""
+
+import pytest
+
+from repro.errors import TraceError
+from repro.instrument.codeimage import (
+    CodeImage,
+    build_db_image,
+    freeze_image,
+)
+
+
+def sample_function(x):
+    total = 0
+    for i in range(x):
+        total += i
+    return total
+
+
+class SampleClass:
+    def method(self):
+        return 1
+
+    @staticmethod
+    def static_method():
+        return 2
+
+    @property
+    def prop(self):
+        return 3
+
+
+def test_register_code_assigns_ids_and_sizes():
+    image = CodeImage()
+    info = image.register_code(sample_function.__code__)
+    assert info.fid == 0
+    assert info.size_instrs >= 8
+    assert image.fid_of(sample_function.__code__) == 0
+
+
+def test_register_code_idempotent():
+    image = CodeImage()
+    a = image.register_code(sample_function.__code__)
+    b = image.register_code(sample_function.__code__)
+    assert a is b
+    assert image.function_count == 1
+
+
+def test_register_module_covers_methods():
+    import tests.instrument.test_codeimage as this_module
+
+    image = CodeImage()
+    image.register_module(this_module)
+    assert image.fid_of(sample_function.__code__) is not None
+    assert image.fid_of(SampleClass.method.__code__) is not None
+    assert image.fid_of(SampleClass.static_method.__code__) is not None
+    assert image.fid_of(SampleClass.prop.fget.__code__) is not None
+
+
+def test_untracked_code_returns_none():
+    image = CodeImage()
+    assert image.fid_of(sample_function.__code__) is None
+
+
+def test_offset_conversion_clamped():
+    image = CodeImage(instrs_per_pyop=3)
+    info = image.register_code(sample_function.__code__)
+    assert image.offset_instr(info.fid, 0) == 0
+    assert image.offset_instr(info.fid, -2) == 0
+    huge = image.offset_instr(info.fid, 10_000)
+    assert huge == info.size_instrs - 1
+
+
+def test_instrs_per_pyop_scales_sizes():
+    small = CodeImage(instrs_per_pyop=1)
+    large = CodeImage(instrs_per_pyop=8)
+    a = small.register_code(sample_function.__code__)
+    b = large.register_code(sample_function.__code__)
+    assert b.size_instrs > a.size_instrs
+
+
+def test_db_image_covers_all_layers():
+    image = build_db_image()
+    assert image.function_count > 300
+    names = {image.name_of(fid) for fid in range(image.function_count)}
+    # the paper's Figure 2 entry points must be present by name
+    assert any("create_rec" in n for n in names)
+    assert any("find_page_in_buffer_pool" in n for n in names)
+    assert any("getpage_from_disk" in n for n in names)
+    assert any("lock_page" in n for n in names)
+    assert any("update_page" in n for n in names)
+    assert any("unlock_page" in n for n in names)
+
+
+def test_fid_by_name():
+    image = build_db_image()
+    fid = image.fid_by_name("BufferPool.getpage_from_disk")
+    assert "getpage_from_disk" in image.name_of(fid)
+    with pytest.raises(TraceError):
+        image.fid_by_name("no_such_function_anywhere")
+
+
+def test_register_synthetic():
+    image = CodeImage()
+    info = image.register_synthetic("rt::helper", 40)
+    again = image.register_synthetic("rt::helper", 40)
+    assert info is again
+    assert info.size_instrs == 40
+    assert info.code is None
+
+
+def test_unknown_fid_raises():
+    image = CodeImage()
+    with pytest.raises(TraceError):
+        image.info(3)
+
+
+def test_freeze_image_roundtrips_through_pickle():
+    import pickle
+
+    image = CodeImage()
+    image.register_code(sample_function.__code__)
+    image.register_synthetic("rt::x", 24)
+    frozen = freeze_image(image)
+    clone = pickle.loads(pickle.dumps(frozen))
+    assert clone.function_count == image.function_count
+    for fid in range(image.function_count):
+        assert clone.name_of(fid) == image.name_of(fid)
+        assert clone.info(fid).size_instrs == image.info(fid).size_instrs

@@ -1,0 +1,94 @@
+"""Trace interleaving (context switches for multiprogrammed mixes)."""
+
+import pytest
+
+from repro.errors import TraceError
+from repro.instrument.trace import EXEC, SWITCH, Trace
+from repro.instrument.interleave import interleave
+
+
+def linear_trace(fid, n_events, span=99):
+    trace = Trace()
+    for _ in range(n_events):
+        trace.add_exec(fid, 0, span)
+    return trace
+
+
+def test_all_events_preserved():
+    a = linear_trace(0, 10)
+    b = linear_trace(1, 7)
+    merged = interleave([a, b], quantum=250)
+    non_switch = [e for e in merged.events() if e[0] != SWITCH]
+    assert len(non_switch) == 17
+
+
+def test_per_thread_order_preserved():
+    a = Trace()
+    for i in range(5):
+        a.add_exec(0, i, i)
+    b = Trace()
+    for i in range(5):
+        b.add_exec(1, 10 + i, 10 + i)
+    merged = interleave([a, b], quantum=2)
+    a_offsets = [bb for k, aa, bb, _c in merged.events() if k == EXEC and aa == 0]
+    b_offsets = [bb for k, aa, bb, _c in merged.events() if k == EXEC and aa == 1]
+    assert a_offsets == list(range(5))
+    assert b_offsets == [10 + i for i in range(5)]
+
+
+def test_switch_markers_alternate():
+    a = linear_trace(0, 4)
+    b = linear_trace(1, 4)
+    merged = interleave([a, b], quantum=100)
+    tids = [aa for k, aa, _b, _c in merged.events() if k == SWITCH]
+    assert tids[:2] == [0, 1]
+    assert set(tids) == {0, 1}
+
+
+def test_quantum_bounds_burst_size():
+    a = linear_trace(0, 100, span=9)  # 10 instructions per event
+    b = linear_trace(1, 100, span=9)
+    merged = interleave([a, b], quantum=30)
+    events = list(merged.events())
+    burst = 0
+    max_burst = 0
+    for event in events:
+        if event[0] == SWITCH:
+            burst = 0
+        else:
+            burst += 1
+            max_burst = max(max_burst, burst)
+    assert max_burst <= 3  # 30 instr / 10 per event
+
+
+def test_finished_thread_drops_out():
+    a = linear_trace(0, 1)
+    b = linear_trace(1, 50)
+    merged = interleave([a, b], quantum=150)
+    tids = [aa for k, aa, _b, _c in merged.events() if k == SWITCH]
+    assert tids.count(0) == 1
+    assert tids.count(1) > 1
+
+
+def test_empty_input_rejected():
+    with pytest.raises(TraceError):
+        interleave([])
+
+
+def test_bad_quantum_rejected():
+    with pytest.raises(TraceError):
+        interleave([linear_trace(0, 1)], quantum=0)
+
+
+def test_nested_switch_rejected():
+    bad = Trace()
+    bad.add_switch(0)
+    with pytest.raises(TraceError):
+        interleave([bad], quantum=10)
+
+
+def test_single_trace_passthrough():
+    a = linear_trace(0, 5)
+    merged = interleave([a], quantum=100)
+    non_switch = [e for e in merged.events() if e[0] != SWITCH]
+    assert non_switch == list(a.events())

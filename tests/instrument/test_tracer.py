@@ -1,0 +1,154 @@
+"""Tracer: call/return capture, offsets, untracked frames, generators."""
+
+import sys
+
+from repro.instrument.codeimage import CodeImage
+from repro.instrument.trace import CALL, EXEC, RET, validate_trace
+from repro.instrument.tracer import Tracer, trace_workload
+
+
+def leaf(x):
+    return x + 1
+
+
+def caller(x):
+    a = leaf(x)
+    b = leaf(a)
+    return a + b
+
+
+def with_stdlib(x):
+    text = str(x)  # C-level call: untracked
+    return leaf(len(text))
+
+
+def generator_fn(n):
+    for i in range(n):
+        yield leaf(i)
+
+
+def raises_error():
+    leaf(1)
+    raise ValueError("expected")
+
+
+def catches(x):
+    try:
+        raises_error()
+    except ValueError:
+        return leaf(x)
+
+
+def make_image(*functions):
+    image = CodeImage()
+    for fn in functions:
+        image.register_code(fn.__code__)
+    return image
+
+
+def test_call_return_pairing():
+    image = make_image(leaf, caller)
+    trace, result = trace_workload(image, caller, 1)
+    assert result == 5
+    counts = trace.counts()
+    assert counts["CALL"] == counts["RET"] == 3  # caller + 2 leaf calls
+    validate_trace(trace, image)
+
+
+def test_call_sites_have_distinct_offsets():
+    image = make_image(leaf, caller)
+    trace, _result = trace_workload(image, caller, 1)
+    leaf_fid = image.fid_of(leaf.__code__)
+    callsites = [
+        c for kind, a, _b, c in trace.events() if kind == CALL and a == leaf_fid
+    ]
+    assert len(callsites) == 2
+    assert callsites[0] != callsites[1]  # two different call sites in caller
+
+
+def test_caller_exec_progress_recorded():
+    image = make_image(leaf, caller)
+    trace, _result = trace_workload(image, caller, 1)
+    caller_fid = image.fid_of(caller.__code__)
+    execs = [
+        (b, c) for kind, a, b, c in trace.events()
+        if kind == EXEC and a == caller_fid
+    ]
+    # at least: entry->call1, call1->call2, call2->return
+    assert len(execs) >= 3
+    # progress is monotonically non-decreasing through the function
+    offsets = [execs[0][0]] + [c for _b, c in execs]
+    assert offsets == sorted(offsets)
+
+
+def test_untracked_frames_do_not_appear():
+    image = make_image(leaf, with_stdlib)
+    trace, result = trace_workload(image, with_stdlib, 123)
+    assert result == 4
+    fids = {a for kind, a, _b, _c in trace.events() if kind == CALL}
+    assert fids <= {image.fid_of(leaf.__code__), image.fid_of(with_stdlib.__code__)}
+    validate_trace(trace, image)
+
+
+def test_untracked_callers_give_call_with_unknown_caller():
+    image = make_image(leaf)  # caller not registered
+
+    def unregistered():
+        return leaf(5)
+
+    trace, _result = trace_workload(image, unregistered)
+    calls = [e for e in trace.events() if e[0] == CALL]
+    assert len(calls) == 1
+    assert calls[0][2] == -1  # caller fid unknown
+
+
+def test_generator_resume_balances():
+    image = make_image(leaf, generator_fn)
+    tracer = Tracer(image)
+    result = tracer.run(lambda: list(generator_fn(3)))
+    assert result == [1, 2, 3]
+    validate_trace(tracer.trace, image)
+
+
+def test_exception_unwind_balances():
+    image = make_image(leaf, raises_error, catches)
+    trace, result = trace_workload(image, catches, 9)
+    assert result == 10
+    validate_trace(trace, image)
+    counts = trace.counts()
+    assert counts["CALL"] == counts["RET"]
+
+
+def test_tracer_stops_cleanly():
+    image = make_image(leaf)
+    tracer = Tracer(image)
+    tracer.start()
+    leaf(1)
+    tracer.stop()
+    assert sys.getprofile() is None
+    before = len(tracer.trace)
+    leaf(2)  # not traced anymore
+    assert len(tracer.trace) == before
+
+
+def test_double_start_raises():
+    import pytest
+
+    from repro.errors import TraceError
+
+    image = make_image(leaf)
+    tracer = Tracer(image)
+    tracer.start()
+    try:
+        with pytest.raises(TraceError):
+            tracer.start()
+    finally:
+        tracer.stop()
+
+
+def test_trace_is_deterministic():
+    image = make_image(leaf, caller)
+    a, _r1 = trace_workload(image, caller, 5)
+    image2 = make_image(leaf, caller)
+    b, _r2 = trace_workload(image2, caller, 5)
+    assert list(a.events()) == list(b.events())

@@ -1,0 +1,131 @@
+"""End-to-end: DBMS -> tracer -> expansion -> layouts -> simulator.
+
+One tiny workload flows through every subsystem; assertions check the
+paper's qualitative results all the way through.
+"""
+
+import pytest
+
+from repro.core import CgpPrefetcher
+from repro.instrument import Tracer, build_db_image, validate_trace
+from repro.instrument.expand import ExpansionConfig, expand_trace
+from repro.layout import o5_layout, om_layout, profile_of
+from repro.uarch import TABLE_1, simulate
+from repro.uarch.config import CghcConfig
+from repro.uarch.prefetch import NextNLinePrefetcher
+from repro.workloads.suites import build_suite
+
+
+@pytest.fixture(scope="module")
+def pipeline():
+    image = build_db_image()
+    suite = build_suite("wisc-prof", scale=0.2, quantum_rows=2)
+    tracer = Tracer(image)
+    results = tracer.run(suite.run)
+    trace = expand_trace(tracer.trace, image, ExpansionConfig())
+    profile = profile_of(trace)
+    return {
+        "image": image,
+        "trace": trace,
+        "results": results,
+        "profile": profile,
+        "o5": o5_layout(image),
+        "om": om_layout(image, profile),
+    }
+
+
+def test_queries_returned_correct_rows(pipeline):
+    results = pipeline["results"]
+    assert set(results) == {"wisc_q1", "wisc_q5", "wisc_q9"}
+    assert all(rows for rows in results.values())
+
+
+def test_trace_well_formed(pipeline):
+    depth = validate_trace(pipeline["trace"], pipeline["image"])
+    assert depth >= 8  # layered DBMS + runtime helpers
+
+
+def test_figure2_call_path_present():
+    """The paper's Create_rec example (Figure 2): tracing record creation
+    must show create_rec calling into the buffer-pool lookup path."""
+    from repro.db import Database
+
+    image = build_db_image()
+    db = Database(pool_pages=8)  # tiny pool: force Getpage_from_disk too
+    db.create_table("t", [("a", "int"), ("pad", ("str", 64))])
+
+    def insert_rows():
+        db.load_rows("t", [(i, "x" * 60) for i in range(600)])
+        with db.storage.begin() as txn:
+            return sum(1 for _ in db.catalog.table("t").scan(txn))
+
+    tracer = Tracer(image)
+    count = tracer.run(insert_rows)
+    assert count == 600
+    profile = profile_of(tracer.trace)
+    create_rec = image.fid_by_name("StorageManager.create_rec")
+    find_page = image.fid_by_name("BufferPool.find_page_in_buffer_pool")
+    getpage = image.fid_by_name("BufferPool.getpage_from_disk")
+    lock_page = image.fid_by_name("StorageManager.lock_page")
+    called_by_create_rec = {
+        callee for (caller, callee) in profile.edge_counts if caller == create_rec
+    }
+    names = {image.name_of(f) for f in called_by_create_rec}
+    assert any("_find_space" in n for n in names)
+    assert any("lock_page" in n for n in names)
+    assert profile.call_counts[find_page] > 0
+    assert profile.call_counts[getpage] > 0  # pool misses under pressure
+    assert profile.call_counts[lock_page] > 0
+    # the sequence is highly repetitive: create_rec's fanout is small,
+    # exactly the predictability CGP exploits (§3.1)
+    assert len(called_by_create_rec) <= 8
+
+
+def test_fanout_statistic_matches_paper(pipeline):
+    fraction = pipeline["profile"].fraction_with_fanout_below(8)
+    assert 0.6 <= fraction <= 0.95  # paper: 0.80
+
+
+def test_layouts_cover_same_functions(pipeline):
+    o5 = pipeline["o5"]
+    om = pipeline["om"]
+    assert len(o5.base_line) == len(om.base_line)
+    assert om.footprint_bytes() < o5.footprint_bytes()  # OM compacts
+
+
+def test_full_stack_orderings(pipeline):
+    trace = pipeline["trace"]
+    o5 = pipeline["o5"]
+    om = pipeline["om"]
+    s_o5 = simulate(trace, o5, TABLE_1)
+    s_om = simulate(trace, om, TABLE_1)
+    s_nl = simulate(trace, om, TABLE_1, prefetcher=NextNLinePrefetcher(4))
+    s_cgp = simulate(
+        trace, om, TABLE_1, prefetcher=CgpPrefetcher(4, CghcConfig(), om)
+    )
+    assert s_o5.cycles > s_om.cycles > s_nl.cycles > s_cgp.cycles
+    assert s_o5.demand_misses > s_om.demand_misses
+    assert s_nl.demand_misses > s_cgp.demand_misses
+    # CGP's CGHC portion must be more accurate than its NL portion
+    nl_part = s_cgp.prefetch_origin("nl")
+    cghc_part = s_cgp.prefetch_origin("cghc")
+    assert (
+        cghc_part.useful() / max(1, cghc_part.accounted())
+        > nl_part.useful() / max(1, nl_part.accounted())
+    )
+
+
+def test_determinism_end_to_end():
+    def build():
+        image = build_db_image()
+        suite = build_suite("wisc-prof", scale=0.1, quantum_rows=2)
+        tracer = Tracer(image)
+        tracer.run(suite.run)
+        return expand_trace(tracer.trace, image, ExpansionConfig()), image
+
+    trace_a, image_a = build()
+    trace_b, _image_b = build()
+    assert trace_a.kinds == trace_b.kinds
+    assert trace_a.a == trace_b.a
+    assert trace_a.b == trace_b.b
+    assert trace_a.c == trace_b.c

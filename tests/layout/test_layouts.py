@@ -1,0 +1,137 @@
+"""Address maps: placement, inflation, block permutation, OM vs O5."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import LayoutError
+from repro.instrument.codeimage import CodeImage
+from repro.instrument.trace import Trace
+from repro.layout.layouts import AddressMap, link_order, o5_layout, om_layout
+from repro.layout.profile import profile_of
+
+
+def image_with(sizes):
+    image = CodeImage()
+    for i, size in enumerate(sizes):
+        image.register_synthetic(f"f{i}", size)
+    return image
+
+
+def identity_map(image, **kwargs):
+    defaults = dict(inflation=1.0, sequentiality=1.0, instr_scale=1.0,
+                    name="test")
+    defaults.update(kwargs)
+    return AddressMap(image, range(image.function_count), **defaults)
+
+
+def test_functions_placed_contiguously_without_overlap():
+    image = image_with([80, 80, 80])
+    layout = identity_map(image)
+    extents = [layout.extent(fid) for fid in range(3)]
+    extents.sort()
+    for (base_a, span_a), (base_b, _span_b) in zip(extents, extents[1:]):
+        assert base_a + span_a <= base_b
+    assert layout.total_lines == sum(span for _b, span in extents)
+
+
+def test_line_of_monotonic_when_fully_sequential():
+    image = image_with([160])
+    layout = identity_map(image)
+    lines = [layout.line_of(0, off) for off in range(0, 160, 8)]
+    assert lines == sorted(lines)
+    assert lines[0] == layout.entry_line(0)
+
+
+def test_entry_block_pinned_even_when_shuffled():
+    image = image_with([400, 400])
+    layout = identity_map(image, sequentiality=0.0, name="shuffled")
+    for fid in range(2):
+        assert layout.line_of(fid, 0) == layout.entry_line(fid)
+
+
+def test_permutation_is_within_function():
+    image = image_with([400, 400])
+    layout = identity_map(image, sequentiality=0.3)
+    for fid in range(2):
+        base, span = layout.extent(fid)
+        for off in range(0, 400, 4):
+            line = layout.line_of(fid, off)
+            assert base <= line < base + span
+
+
+def test_inflation_spreads_offsets():
+    image = image_with([800])
+    dense = identity_map(image)
+    inflated = identity_map(image, inflation=1.5, name="inflated")
+    assert inflated.size_lines[0] > dense.size_lines[0]
+    span_dense = dense.line_of(0, 799) - dense.line_of(0, 0)
+    span_inflated = inflated.line_of(0, 799) - inflated.line_of(0, 0)
+    assert span_inflated > span_dense
+
+
+def test_bad_order_rejected():
+    image = image_with([10, 10])
+    with pytest.raises(LayoutError):
+        AddressMap(image, [0, 0], 1.0, 1.0, 1.0, "bad")
+
+
+def test_bad_inflation_rejected():
+    image = image_with([10])
+    with pytest.raises(LayoutError):
+        AddressMap(image, [0], 0.5, 1.0, 1.0, "bad")
+
+
+def test_link_order_deterministic_permutation():
+    image = image_with([10] * 20)
+    order = link_order(image)
+    assert sorted(order) == list(range(20))
+    assert order == link_order(image)
+
+
+def test_o5_layout_defaults():
+    image = image_with([100] * 5)
+    layout = o5_layout(image)
+    assert layout.name == "O5"
+    assert layout.instr_scale == 1.0
+    assert layout.sequentiality < 1.0
+
+
+def test_om_layout_uses_profile_order():
+    image = image_with([100] * 6)
+    trace = Trace()
+    # heavy edge 4 -> 5 must make them adjacent in OM
+    for _ in range(100):
+        trace.add_call(5, 4, 10)
+    layout = om_layout(image, profile_of(trace))
+    assert abs(layout.order.index(4) - layout.order.index(5)) == 1
+    assert layout.instr_scale == pytest.approx(0.88)
+    assert layout.name == "O5+OM"
+
+
+def test_om_is_denser_than_o5():
+    image = image_with([200] * 10)
+    trace = Trace()
+    trace.add_call(1, 0, 0)
+    om = om_layout(image, profile_of(trace))
+    o5 = o5_layout(image)
+    assert om.footprint_bytes() <= o5.footprint_bytes()
+
+
+@given(
+    sizes=st.lists(st.integers(8, 500), min_size=1, max_size=20),
+    seq=st.floats(0.0, 1.0),
+)
+def test_line_of_always_inside_extent(sizes, seq):
+    image = image_with(sizes)
+    layout = identity_map(image, sequentiality=seq)
+    for fid, size in enumerate(sizes):
+        base, span = layout.extent(fid)
+        for off in (0, size // 2, size - 1):
+            assert base <= layout.line_of(fid, off) < base + span
+
+
+@given(sizes=st.lists(st.integers(8, 300), min_size=2, max_size=15))
+def test_total_lines_is_sum_of_spans(sizes):
+    image = image_with(sizes)
+    layout = identity_map(image)
+    assert layout.total_lines == sum(layout.size_lines)

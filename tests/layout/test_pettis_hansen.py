@@ -1,0 +1,61 @@
+"""Pettis-Hansen closest-is-best ordering."""
+
+from hypothesis import given, strategies as st
+
+from repro.layout.pettis_hansen import pettis_hansen_order
+
+
+def test_heaviest_edge_endpoints_adjacent():
+    order = pettis_hansen_order(range(4), {(0, 1): 100, (2, 3): 5})
+    i0, i1 = order.index(0), order.index(1)
+    assert abs(i0 - i1) == 1
+    i2, i3 = order.index(2), order.index(3)
+    assert abs(i2 - i3) == 1
+
+
+def test_chain_of_edges_stays_contiguous():
+    edges = {(0, 1): 100, (1, 2): 90, (2, 3): 80}
+    order = pettis_hansen_order(range(6), edges)
+    positions = [order.index(fid) for fid in (0, 1, 2, 3)]
+    assert sorted(positions) == list(range(min(positions), min(positions) + 4))
+
+
+def test_heavier_chains_placed_first():
+    edges = {(0, 1): 1000, (2, 3): 1}
+    order = pettis_hansen_order(range(4), edges)
+    assert order.index(0) < order.index(2)
+
+
+def test_uncalled_functions_appended():
+    order = pettis_hansen_order(range(5), {(0, 1): 10})
+    assert set(order) == set(range(5))
+    assert order.index(4) > order.index(0)
+
+
+def test_no_edges_identity_complete():
+    order = pettis_hansen_order(range(7), {})
+    assert sorted(order) == list(range(7))
+
+
+def test_self_edge_harmless():
+    order = pettis_hansen_order(range(3), {(0, 0): 50, (0, 1): 10})
+    assert sorted(order) == [0, 1, 2]
+
+
+def test_deterministic():
+    edges = {(0, 1): 5, (1, 2): 5, (3, 4): 5, (2, 3): 5}
+    a = pettis_hansen_order(range(6), dict(edges))
+    b = pettis_hansen_order(range(6), dict(edges))
+    assert a == b
+
+
+@given(
+    st.dictionaries(
+        st.tuples(st.integers(0, 19), st.integers(0, 19)),
+        st.integers(1, 1000),
+        max_size=40,
+    )
+)
+def test_always_a_permutation(edges):
+    order = pettis_hansen_order(range(20), edges)
+    assert sorted(order) == list(range(20))

@@ -1,0 +1,71 @@
+"""Call-graph profiles."""
+
+from repro.instrument.trace import Trace
+from repro.layout.profile import CallGraphProfile, profile_of
+
+
+def sample_trace():
+    trace = Trace()
+    trace.add_call(1, 0, 4)
+    trace.add_exec(1, 0, 9)
+    trace.add_return(1, 0, 9)
+    trace.add_call(1, 0, 8)
+    trace.add_exec(1, 0, 9)
+    trace.add_return(1, 0, 9)
+    trace.add_call(2, 0, 12)
+    trace.add_exec(2, 0, 4)
+    trace.add_return(2, 0, 4)
+    return trace
+
+
+def test_edge_counts():
+    profile = profile_of(sample_trace())
+    assert profile.edge_counts[(0, 1)] == 2
+    assert profile.edge_counts[(0, 2)] == 1
+
+
+def test_instr_counts():
+    profile = profile_of(sample_trace())
+    assert profile.instr_counts[1] == 20
+    assert profile.instr_counts[2] == 5
+
+
+def test_unknown_caller_not_counted_as_edge():
+    trace = Trace()
+    trace.add_call(3, -1, 0)  # caller untracked
+    profile = profile_of(trace)
+    assert not profile.edge_counts
+    assert profile.call_counts[3] == 1
+
+
+def test_merge_adds_counts():
+    a = profile_of(sample_trace())
+    b = profile_of(sample_trace())
+    a.merge(b)
+    assert a.edge_counts[(0, 1)] == 4
+
+
+def test_callee_fanout():
+    profile = profile_of(sample_trace())
+    assert profile.callee_fanout() == {0: 2}
+
+
+def test_fraction_with_fanout_below():
+    profile = CallGraphProfile()
+    trace = Trace()
+    for callee in range(1, 11):
+        trace.add_call(callee, 0, 0)  # caller 0 has 10 distinct callees
+    trace.add_call(2, 1, 0)  # caller 1 has one callee
+    profile.add_trace(trace)
+    assert profile.fraction_with_fanout_below(8) == 0.5
+    assert profile.fraction_with_fanout_below(100) == 1.0
+
+
+def test_fanout_of_empty_profile():
+    assert CallGraphProfile().fraction_with_fanout_below(8) == 1.0
+
+
+def test_hottest_functions():
+    profile = profile_of(sample_trace())
+    hottest = profile.hottest_functions(1)
+    assert hottest[0][0] == 1

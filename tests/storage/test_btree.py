@@ -1,0 +1,174 @@
+"""B+-tree: search/insert/delete/range, splits, merges, invariants."""
+
+import random
+
+import pytest
+
+from repro.db.storage import StorageManager
+from repro.errors import StorageError
+
+
+def make_tree(max_keys=4, pool_pages=256):
+    sm = StorageManager(pool_pages=pool_pages, btree_max_keys=max_keys)
+    return sm.create_index("t")
+
+
+def test_empty_tree_search():
+    tree = make_tree()
+    assert tree.search(5) == []
+    assert list(tree.range_scan(0, 100)) == []
+    assert tree.entry_count == 0
+
+
+def test_single_insert_and_search():
+    tree = make_tree()
+    tree.insert(5, (1, 2))
+    assert tree.search(5) == [(1, 2)]
+    assert tree.search(4) == []
+
+
+def test_sequential_inserts_split_root():
+    tree = make_tree(max_keys=4)
+    for i in range(50):
+        tree.insert(i, (i, 0))
+    assert tree.height > 1
+    tree.check_invariants()
+    for i in range(50):
+        assert tree.search(i) == [(i, 0)]
+
+
+def test_reverse_inserts():
+    tree = make_tree(max_keys=4)
+    for i in reversed(range(50)):
+        tree.insert(i, (i, 0))
+    tree.check_invariants()
+    assert [k for k, _ in tree.range_scan()] == list(range(50))
+
+
+def test_duplicate_keys_all_returned():
+    tree = make_tree(max_keys=4)
+    for slot in range(10):
+        tree.insert(7, (7, slot))
+    assert sorted(tree.search(7)) == [(7, s) for s in range(10)]
+    tree.check_invariants()
+
+
+def test_range_scan_bounds_inclusive():
+    tree = make_tree()
+    for i in range(20):
+        tree.insert(i, (i, 0))
+    keys = [k for k, _ in tree.range_scan(5, 10)]
+    assert keys == [5, 6, 7, 8, 9, 10]
+
+
+def test_range_scan_exclusive_hi():
+    tree = make_tree()
+    for i in range(20):
+        tree.insert(i, (i, 0))
+    keys = [k for k, _ in tree.range_scan(5, 10, include_hi=False)]
+    assert keys == [5, 6, 7, 8, 9]
+
+
+def test_range_scan_open_bounds():
+    tree = make_tree()
+    for i in range(10):
+        tree.insert(i, (i, 0))
+    assert len(list(tree.range_scan())) == 10
+    assert [k for k, _ in tree.range_scan(lo=7)] == [7, 8, 9]
+    assert [k for k, _ in tree.range_scan(hi=2)] == [0, 1, 2]
+
+
+def test_abandoned_range_scan_releases_pins(storage):
+    tree = storage.create_index("x")
+    for i in range(100):
+        tree.insert(i, (i, 0))
+    scan = tree.range_scan(0, 99)
+    next(scan)
+    scan.close()  # abandon early: the pinned leaf must be released
+    # a full scan still works and all pages can be evicted
+    assert len(list(tree.range_scan())) == 100
+
+
+def test_delete_specific_rid():
+    tree = make_tree()
+    tree.insert(5, (1, 1))
+    tree.insert(5, (2, 2))
+    assert tree.delete(5, (1, 1))
+    assert tree.search(5) == [(2, 2)]
+
+
+def test_delete_without_rid_removes_one():
+    tree = make_tree()
+    tree.insert(5, (1, 1))
+    tree.insert(5, (2, 2))
+    assert tree.delete(5)
+    assert len(tree.search(5)) == 1
+
+
+def test_delete_missing_returns_false():
+    tree = make_tree()
+    tree.insert(1, (0, 0))
+    assert not tree.delete(2)
+    assert not tree.delete(1, (9, 9))
+
+
+def test_delete_all_shrinks_tree():
+    tree = make_tree(max_keys=4)
+    for i in range(100):
+        tree.insert(i, (i, 0))
+    assert tree.height > 1
+    for i in range(100):
+        assert tree.delete(i)
+    tree.check_invariants()
+    assert tree.entry_count == 0
+    assert tree.height == 1
+
+
+def test_interleaved_insert_delete():
+    tree = make_tree(max_keys=5)
+    rng = random.Random(11)
+    live = set()
+    for step in range(3000):
+        key = rng.randrange(300)
+        if key in live and rng.random() < 0.5:
+            assert tree.delete(key, (key, 0))
+            live.remove(key)
+        elif key not in live:
+            tree.insert(key, (key, 0))
+            live.add(key)
+    tree.check_invariants()
+    assert tree.entry_count == len(live)
+    assert sorted(k for k, _ in tree.range_scan()) == sorted(live)
+
+
+def test_min_max_keys_validation():
+    with pytest.raises(StorageError):
+        make_tree(max_keys=2)
+
+
+def test_entry_count_tracks_operations():
+    tree = make_tree()
+    for i in range(10):
+        tree.insert(i, (i, 0))
+    tree.delete(3)
+    tree.delete(4)
+    assert tree.entry_count == 8
+
+
+def test_negative_keys():
+    tree = make_tree()
+    for i in range(-20, 20):
+        tree.insert(i, (abs(i), 0))
+    assert [k for k, _ in tree.range_scan(-5, 5)] == list(range(-5, 6))
+
+
+def test_survives_buffer_pool_eviction():
+    """The tree must work when its nodes round-trip through 'disk'."""
+    sm = StorageManager(pool_pages=8, btree_max_keys=4)
+    tree = sm.create_index("t")
+    for i in range(500):
+        tree.insert(i, (i, 0))
+    assert sm.disk.page_count > 0  # evictions happened
+    for i in range(0, 500, 37):
+        assert tree.search(i) == [(i, 0)]
+    tree.check_invariants()

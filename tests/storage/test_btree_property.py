@@ -1,0 +1,117 @@
+"""Property-based B+-tree tests: the tree must behave exactly like a
+sorted multiset of (key, rid) pairs under any operation sequence."""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
+
+from repro.db.storage import StorageManager
+
+KEYS = st.integers(min_value=-50, max_value=50)
+
+
+def fresh_tree(max_keys):
+    sm = StorageManager(pool_pages=512, btree_max_keys=max_keys)
+    return sm.create_index("p")
+
+
+@settings(max_examples=60, suppress_health_check=[HealthCheck.too_slow], deadline=None)
+@given(
+    keys=st.lists(KEYS, min_size=0, max_size=200),
+    max_keys=st.integers(min_value=3, max_value=9),
+)
+def test_insert_matches_sorted_reference(keys, max_keys):
+    tree = fresh_tree(max_keys)
+    reference = []
+    for slot, key in enumerate(keys):
+        tree.insert(key, (key, slot))
+        reference.append((key, (key, slot)))
+    tree.check_invariants()
+    scanned = list(tree.range_scan())
+    assert scanned == sorted(reference, key=lambda kr: (kr[0], kr[1]))
+    for key in set(keys):
+        expected = sorted(rid for k, rid in reference if k == key)
+        assert sorted(tree.search(key)) == expected
+
+
+@settings(max_examples=40, suppress_health_check=[HealthCheck.too_slow], deadline=None)
+@given(
+    operations=st.lists(
+        st.tuples(st.booleans(), KEYS), min_size=0, max_size=300
+    ),
+    max_keys=st.integers(min_value=3, max_value=7),
+)
+def test_mixed_operations_match_reference(operations, max_keys):
+    tree = fresh_tree(max_keys)
+    reference = {}
+    slot = 0
+    for is_insert, key in operations:
+        if is_insert:
+            tree.insert(key, (key, slot))
+            reference.setdefault(key, []).append((key, slot))
+            slot += 1
+        else:
+            rids = reference.get(key)
+            expected = bool(rids)
+            assert tree.delete(key, rids[0] if rids else None) == expected
+            if rids:
+                rids.pop(0)
+                if not rids:
+                    del reference[key]
+    tree.check_invariants()
+    expected_entries = sorted(
+        (key, rid) for key, rids in reference.items() for rid in rids
+    )
+    assert sorted(tree.range_scan()) == expected_entries
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    keys=st.lists(KEYS, min_size=1, max_size=120, unique=True),
+    bounds=st.tuples(KEYS, KEYS),
+)
+def test_range_scan_matches_slice(keys, bounds):
+    lo, hi = min(bounds), max(bounds)
+    tree = fresh_tree(4)
+    for key in keys:
+        tree.insert(key, (key, 0))
+    got = [k for k, _ in tree.range_scan(lo, hi)]
+    assert got == sorted(k for k in keys if lo <= k <= hi)
+
+
+class BTreeMachine(RuleBasedStateMachine):
+    """Stateful fuzz of insert/delete against a dict-of-lists model."""
+
+    def __init__(self):
+        super().__init__()
+        self.tree = fresh_tree(4)
+        self.model = {}
+        self.next_slot = 0
+
+    @rule(key=KEYS)
+    def insert(self, key):
+        self.tree.insert(key, (key, self.next_slot))
+        self.model.setdefault(key, []).append((key, self.next_slot))
+        self.next_slot += 1
+
+    @rule(key=KEYS)
+    def delete_any(self, key):
+        rids = self.model.get(key)
+        got = self.tree.delete(key)
+        assert got == bool(rids)
+        if rids:
+            removed = sorted(rids)[0]
+            rids.remove(removed)
+            if not rids:
+                del self.model[key]
+
+    @invariant()
+    def counts_match(self):
+        expected = sum(len(v) for v in self.model.values())
+        assert self.tree.entry_count == expected
+
+
+TestBTreeMachine = BTreeMachine.TestCase
+TestBTreeMachine.settings = settings(
+    max_examples=25, stateful_step_count=40, deadline=None
+)

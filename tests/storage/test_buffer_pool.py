@@ -1,0 +1,169 @@
+"""Buffer pool: pinning, LRU eviction, write-back, paper entry points."""
+
+import pytest
+
+from repro.db.storage.buffer_pool import BufferPool
+from repro.db.storage.disk import DiskManager
+from repro.db.storage.page import Page, PageId
+from repro.errors import BufferPoolFullError, StorageError
+
+
+def fresh(capacity=4):
+    disk = DiskManager()
+    pool = BufferPool(disk, capacity=capacity)
+    return disk, pool
+
+
+def new_page(pool, page_no, record_size=8):
+    page = Page(PageId(1, page_no), record_size)
+    pool.add_page(page)
+    return page
+
+
+def test_find_page_miss_returns_none():
+    _disk, pool = fresh()
+    assert pool.find_page_in_buffer_pool(PageId(1, 0)) is None
+
+
+def test_add_page_pins_and_dirties():
+    _disk, pool = fresh()
+    page = new_page(pool, 0)
+    assert page.pin_count == 1
+    assert page.dirty
+    assert pool.is_resident(page.page_id)
+
+
+def test_fetch_hit_counts_and_pins():
+    _disk, pool = fresh()
+    page = new_page(pool, 0)
+    pool.unpin_page(page.page_id)
+    again = pool.fetch_page(page.page_id)
+    assert again is page
+    assert pool.hits == 1
+    assert again.pin_count == 1
+
+
+def test_eviction_writes_back_dirty_page():
+    disk, pool = fresh(capacity=2)
+    p0 = new_page(pool, 0)
+    p0.insert(b"D" * 8)
+    pool.unpin_page(p0.page_id, dirty=True)
+    p1 = new_page(pool, 1)
+    pool.unpin_page(p1.page_id)
+    new_page(pool, 2)  # evicts p0 (LRU)
+    assert not pool.is_resident(p0.page_id)
+    assert disk.contains(p0.page_id)
+    # getpage_from_disk restores the record
+    restored = pool.getpage_from_disk(p0.page_id)
+    assert restored.read(0) == b"D" * 8
+
+
+def test_pinned_pages_are_not_evicted():
+    _disk, pool = fresh(capacity=2)
+    p0 = new_page(pool, 0)  # stays pinned
+    p1 = new_page(pool, 1)
+    pool.unpin_page(p1.page_id)
+    new_page(pool, 2)  # must evict p1, not p0
+    assert pool.is_resident(p0.page_id)
+    assert not pool.is_resident(p1.page_id)
+
+
+def test_all_pinned_raises():
+    _disk, pool = fresh(capacity=2)
+    new_page(pool, 0)
+    new_page(pool, 1)
+    with pytest.raises(BufferPoolFullError):
+        new_page(pool, 2)
+
+
+def test_lru_order_follows_access():
+    _disk, pool = fresh(capacity=2)
+    p0 = new_page(pool, 0)
+    pool.unpin_page(p0.page_id)
+    p1 = new_page(pool, 1)
+    pool.unpin_page(p1.page_id)
+    # touch p0 so p1 becomes LRU
+    pool.fetch_page(p0.page_id)
+    pool.unpin_page(p0.page_id)
+    new_page(pool, 2)
+    assert pool.is_resident(p0.page_id)
+    assert not pool.is_resident(p1.page_id)
+
+
+def test_unpin_of_unpinned_raises():
+    _disk, pool = fresh()
+    page = new_page(pool, 0)
+    pool.unpin_page(page.page_id)
+    with pytest.raises(StorageError):
+        pool.unpin_page(page.page_id)
+
+
+def test_unpin_nonresident_raises():
+    _disk, pool = fresh()
+    with pytest.raises(StorageError):
+        pool.unpin_page(PageId(9, 9))
+
+
+def test_discard_pinned_raises():
+    _disk, pool = fresh()
+    page = new_page(pool, 0)
+    with pytest.raises(StorageError):
+        pool.discard_page(page.page_id)
+
+
+def test_flush_all_clears_dirty():
+    disk, pool = fresh()
+    page = new_page(pool, 0)
+    pool.unpin_page(page.page_id, dirty=True)
+    pool.flush_all()
+    assert not page.dirty
+    assert disk.contains(page.page_id)
+
+
+def test_miss_statistics_track_getpage_calls():
+    disk, pool = fresh(capacity=1)
+    p0 = new_page(pool, 0)
+    pool.unpin_page(p0.page_id, dirty=True)
+    pool.flush_page(p0.page_id)
+    pool.discard_page(p0.page_id)
+    pool.fetch_page(p0.page_id)
+    assert pool.misses == 1
+    assert disk.reads == 1
+
+
+def test_capacity_must_be_positive():
+    with pytest.raises(StorageError):
+        BufferPool(DiskManager(), capacity=0)
+
+
+def test_double_add_raises():
+    _disk, pool = fresh()
+    page = new_page(pool, 0)
+    with pytest.raises(StorageError):
+        pool.add_page(page)
+
+
+def test_wal_hook_called_before_write_back():
+    """The write-ahead rule: the hook (log force) runs before the page
+    image reaches disk."""
+    disk, pool = fresh(capacity=1)
+    events = []
+    pool.wal_hook = lambda page: events.append(("hook", page.page_id))
+    original = disk.write_page
+    disk.write_page = lambda page: (events.append(("disk", page.page_id)),
+                                    original(page))[1]
+    page = new_page(pool, 0)
+    pool.unpin_page(page.page_id, dirty=True)
+    new_page(pool, 1)  # evicts page 0 (dirty)
+    assert events == [("hook", page.page_id), ("disk", page.page_id)]
+
+
+def test_wal_hook_skipped_for_clean_pages():
+    disk, pool = fresh(capacity=1)
+    calls = []
+    page = new_page(pool, 0)
+    pool.unpin_page(page.page_id, dirty=True)
+    pool.flush_page(page.page_id)
+    pool.wal_hook = lambda p: calls.append(p)
+    pool.flush_page(page.page_id)  # already clean
+    assert calls == []

@@ -1,0 +1,77 @@
+"""RecordCodec: fixed-width tuple serialization."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.db.storage.codec import RecordCodec
+from repro.errors import StorageError
+
+
+def test_roundtrip_mixed_types():
+    codec = RecordCodec(["int", "float", ("str", 10)])
+    values = (42, 3.5, "hello")
+    assert codec.decode(codec.encode(values)) == values
+
+
+def test_record_size_is_fixed():
+    codec = RecordCodec(["int", ("str", 10)])
+    assert codec.record_size == 8 + 10
+    assert len(codec.encode((1, "a"))) == codec.record_size
+    assert len(codec.encode((10**12, "abcdefghij"))) == codec.record_size
+
+
+def test_string_truncated_to_width():
+    codec = RecordCodec([("str", 4)])
+    raw = codec.encode(("abcdefgh",))
+    assert codec.decode(raw) == ("abcd",)
+
+
+def test_string_padded_and_stripped():
+    codec = RecordCodec([("str", 8)])
+    assert codec.decode(codec.encode(("ab",))) == ("ab",)
+
+
+def test_negative_and_large_ints():
+    codec = RecordCodec(["int", "int"])
+    values = (-(2**62), 2**62)
+    assert codec.decode(codec.encode(values)) == values
+
+
+def test_unknown_type_spec_rejected():
+    with pytest.raises(StorageError):
+        RecordCodec(["bigint"])
+
+
+def test_bad_string_width_rejected():
+    with pytest.raises(StorageError):
+        RecordCodec([("str", 0)])
+
+
+def test_wrong_arity_rejected():
+    codec = RecordCodec(["int", "int"])
+    with pytest.raises(StorageError):
+        codec.encode((1,))
+
+
+def test_wrong_value_type_rejected():
+    codec = RecordCodec(["int"])
+    with pytest.raises(StorageError):
+        codec.encode(("not an int",))
+
+
+@given(
+    st.tuples(
+        st.integers(min_value=-(2**63), max_value=2**63 - 1),
+        st.floats(allow_nan=False, allow_infinity=False),
+        st.text(
+            alphabet=st.characters(codec="ascii", exclude_characters="\x00"),
+            max_size=12,
+        ),
+    )
+)
+def test_roundtrip_property(values):
+    codec = RecordCodec(["int", "float", ("str", 12)])
+    decoded = codec.decode(codec.encode(values))
+    assert decoded[0] == values[0]
+    assert decoded[1] == values[1]
+    assert decoded[2] == values[2].rstrip("\x00")

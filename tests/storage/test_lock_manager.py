@@ -1,0 +1,122 @@
+"""Lock manager: S/X compatibility, upgrades, deadlock detection."""
+
+import pytest
+
+from repro.db.storage.lock_manager import EXCLUSIVE, SHARED, LockManager
+from repro.errors import DeadlockError, LockConflictError, StorageError
+
+
+def test_shared_locks_are_compatible():
+    lm = LockManager()
+    assert lm.try_lock(1, "r", SHARED)
+    assert lm.try_lock(2, "r", SHARED)
+    assert lm.holds(1, "r", SHARED)
+    assert lm.holds(2, "r", SHARED)
+
+
+def test_exclusive_conflicts_with_shared():
+    lm = LockManager()
+    assert lm.try_lock(1, "r", SHARED)
+    assert not lm.try_lock(2, "r", EXCLUSIVE)
+
+
+def test_exclusive_conflicts_with_exclusive():
+    lm = LockManager()
+    assert lm.try_lock(1, "r", EXCLUSIVE)
+    assert not lm.try_lock(2, "r", EXCLUSIVE)
+
+
+def test_reentrant_acquisition():
+    lm = LockManager()
+    assert lm.try_lock(1, "r", SHARED)
+    assert lm.try_lock(1, "r", SHARED)
+    assert lm.try_lock(1, "r", EXCLUSIVE)  # upgrade, no other holders
+    assert lm.holds(1, "r", EXCLUSIVE)
+
+
+def test_exclusive_implies_shared():
+    lm = LockManager()
+    lm.lock(1, "r", EXCLUSIVE)
+    assert lm.holds(1, "r", SHARED)
+    assert lm.try_lock(1, "r", SHARED)  # held at sufficient strength
+    assert lm.holds(1, "r", EXCLUSIVE)
+
+
+def test_upgrade_blocked_by_other_shared_holder():
+    lm = LockManager()
+    lm.lock(1, "r", SHARED)
+    lm.lock(2, "r", SHARED)
+    assert not lm.try_lock(1, "r", EXCLUSIVE)
+
+
+def test_lock_raises_on_conflict():
+    lm = LockManager()
+    lm.lock(1, "r", EXCLUSIVE)
+    with pytest.raises(LockConflictError):
+        lm.lock(2, "r", EXCLUSIVE)
+
+
+def test_unlock_releases():
+    lm = LockManager()
+    lm.lock(1, "r", EXCLUSIVE)
+    lm.unlock(1, "r")
+    assert lm.try_lock(2, "r", EXCLUSIVE)
+
+
+def test_unlock_unheld_raises():
+    lm = LockManager()
+    with pytest.raises(StorageError):
+        lm.unlock(1, "r")
+
+
+def test_release_all_clears_everything():
+    lm = LockManager()
+    lm.lock(1, "a", SHARED)
+    lm.lock(1, "b", EXCLUSIVE)
+    lm.release_all(1)
+    assert lm.held_resources(1) == frozenset()
+    assert lm.try_lock(2, "b", EXCLUSIVE)
+    assert lm.locked_resource_count == 1
+
+
+def test_deadlock_detected_on_cycle():
+    lm = LockManager()
+    lm.lock(1, "a", EXCLUSIVE)
+    lm.lock(2, "b", EXCLUSIVE)
+    assert not lm.try_lock(1, "b", EXCLUSIVE)  # 1 waits for 2
+    with pytest.raises(DeadlockError):
+        lm.try_lock(2, "a", EXCLUSIVE)  # 2 waits for 1: cycle
+
+
+def test_three_way_deadlock_detected():
+    lm = LockManager()
+    for txn, res in ((1, "a"), (2, "b"), (3, "c")):
+        lm.lock(txn, res, EXCLUSIVE)
+    assert not lm.try_lock(1, "b", EXCLUSIVE)
+    assert not lm.try_lock(2, "c", EXCLUSIVE)
+    with pytest.raises(DeadlockError):
+        lm.try_lock(3, "a", EXCLUSIVE)
+
+
+def test_wait_state_cleared_after_grant():
+    lm = LockManager()
+    lm.lock(1, "r", EXCLUSIVE)
+    assert not lm.try_lock(2, "r", SHARED)
+    lm.release_all(1)
+    assert lm.try_lock(2, "r", SHARED)
+    # after the grant, 2 no longer waits on anyone: no phantom deadlock
+    assert lm.try_lock(1, "other", EXCLUSIVE)
+
+
+def test_unknown_mode_rejected():
+    lm = LockManager()
+    with pytest.raises(StorageError):
+        lm.try_lock(1, "r", "U")
+
+
+def test_statistics_count_grants_and_conflicts():
+    lm = LockManager()
+    lm.try_lock(1, "r", EXCLUSIVE)
+    lm.try_lock(2, "r", EXCLUSIVE)
+    assert lm.grants == 1
+    assert lm.conflicts == 1

@@ -1,0 +1,104 @@
+"""Slotted page behaviour: insert/read/update/delete, serialization."""
+
+import pytest
+
+from repro.db.storage.page import PAGE_SIZE, Page, PageId
+from repro.errors import PageFullError, RecordNotFoundError, StorageError
+
+
+def make_page(record_size=16):
+    return Page(PageId(1, 0), record_size)
+
+
+def test_capacity_fits_page():
+    page = make_page(16)
+    assert page.capacity * 16 <= PAGE_SIZE
+    assert page.capacity > 200
+
+
+def test_insert_and_read():
+    page = make_page(8)
+    slot = page.insert(b"A" * 8)
+    assert page.read(slot) == b"A" * 8
+    assert page.live_records == 1
+
+
+def test_insert_fills_free_slots_in_order():
+    page = make_page(8)
+    s0 = page.insert(b"0" * 8)
+    s1 = page.insert(b"1" * 8)
+    page.delete(s0)
+    s2 = page.insert(b"2" * 8)
+    assert s2 == s0  # reuses the freed slot
+    assert {s for s, _ in page.slots()} == {s1, s2}
+
+
+def test_update_returns_old_bytes():
+    page = make_page(8)
+    slot = page.insert(b"x" * 8)
+    old = page.update(slot, b"y" * 8)
+    assert old == b"x" * 8
+    assert page.read(slot) == b"y" * 8
+
+
+def test_delete_then_read_raises():
+    page = make_page(8)
+    slot = page.insert(b"x" * 8)
+    page.delete(slot)
+    with pytest.raises(RecordNotFoundError):
+        page.read(slot)
+
+
+def test_page_full_raises():
+    page = make_page(512)
+    for _ in range(page.capacity):
+        page.insert(b"z" * 512)
+    assert page.is_full
+    with pytest.raises(PageFullError):
+        page.insert(b"z" * 512)
+
+
+def test_wrong_record_size_rejected():
+    page = make_page(8)
+    with pytest.raises(StorageError):
+        page.insert(b"short")
+
+
+def test_slots_iterates_live_records_in_order():
+    page = make_page(8)
+    for i in range(5):
+        page.insert(bytes([i]) * 8)
+    page.delete(2)
+    live = list(page.slots())
+    assert [s for s, _ in live] == [0, 1, 3, 4]
+
+
+def test_serialization_roundtrip():
+    page = make_page(8)
+    for i in range(10):
+        page.insert(bytes([i + 1]) * 8)
+    page.delete(3)
+    page.delete(7)
+    image = page.to_bytes()
+    clone = Page.from_bytes(page.page_id, image)
+    assert clone.live_records == page.live_records
+    assert list(clone.slots()) == list(page.slots())
+    assert clone.record_size == 8
+
+
+def test_serialization_of_empty_page():
+    page = make_page(8)
+    clone = Page.from_bytes(page.page_id, page.to_bytes())
+    assert clone.is_empty
+
+
+def test_pin_and_dirty_flags_default():
+    page = make_page(8)
+    assert page.pin_count == 0
+    assert not page.dirty
+    assert page.page_lsn == 0
+
+
+def test_zero_record_size_rejected():
+    with pytest.raises(StorageError):
+        Page(PageId(1, 0), 0)

@@ -1,0 +1,90 @@
+"""Stateful property tests: buffer pool against a reference model."""
+
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, precondition, rule
+
+from repro.db.storage.buffer_pool import BufferPool
+from repro.db.storage.disk import DiskManager
+from repro.db.storage.page import Page, PageId
+
+CAPACITY = 4
+PAGE_IDS = st.integers(0, 9)
+
+
+class BufferPoolMachine(RuleBasedStateMachine):
+    """Drives pin/unpin/flush/evict sequences; checks that no pinned page
+    is ever evicted, capacity holds, and data survives round trips."""
+
+    def __init__(self):
+        super().__init__()
+        self.disk = DiskManager()
+        self.pool = BufferPool(self.disk, capacity=CAPACITY)
+        self.created = set()
+        self.pins = {}  # page_no -> pin count we hold
+        self.payload = {}  # page_no -> byte value we wrote
+
+    def _page_id(self, page_no):
+        return PageId(1, page_no)
+
+    @rule(page_no=PAGE_IDS)
+    def create(self, page_no):
+        value = (page_no % 250) + 1
+        if page_no in self.created:
+            return
+        pinned = sum(1 for count in self.pins.values() if count > 0)
+        if pinned >= CAPACITY:
+            return  # would raise BufferPoolFull; not the property under test
+        page = Page(self._page_id(page_no), 8)
+        page.insert(bytes([value]) * 8)
+        self.pool.add_page(page)
+        self.created.add(page_no)
+        self.pins[page_no] = self.pins.get(page_no, 0) + 1
+        self.payload[page_no] = value
+
+    @rule(page_no=PAGE_IDS)
+    def fetch(self, page_no):
+        if page_no not in self.created:
+            return
+        pinned = sum(1 for c in self.pins.values() if c > 0)
+        if (
+            not self.pool.is_resident(self._page_id(page_no))
+            and pinned >= CAPACITY
+        ):
+            return
+        page = self.pool.fetch_page(self._page_id(page_no))
+        assert page.read(0) == bytes([self.payload[page_no]]) * 8
+        self.pins[page_no] = self.pins.get(page_no, 0) + 1
+
+    @rule(page_no=PAGE_IDS)
+    def unpin(self, page_no):
+        if self.pins.get(page_no, 0) > 0:
+            self.pool.unpin_page(self._page_id(page_no), dirty=True)
+            self.pins[page_no] -= 1
+
+    @rule()
+    def flush(self):
+        self.pool.flush_all()
+
+    @invariant()
+    def capacity_respected(self):
+        assert self.pool.resident_pages <= CAPACITY
+
+    @invariant()
+    def pinned_pages_stay_resident(self):
+        for page_no, count in self.pins.items():
+            if count > 0:
+                assert self.pool.is_resident(self._page_id(page_no))
+                assert self.pool.pin_count(self._page_id(page_no)) == count
+
+    @invariant()
+    def created_pages_never_lost(self):
+        for page_no in self.created:
+            page_id = self._page_id(page_no)
+            assert self.pool.is_resident(page_id) or self.disk.contains(page_id)
+
+
+TestBufferPoolMachine = BufferPoolMachine.TestCase
+TestBufferPoolMachine.settings = settings(
+    max_examples=40, stateful_step_count=50, deadline=None
+)

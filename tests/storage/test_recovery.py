@@ -1,0 +1,123 @@
+"""Crash recovery: redo of committed work, undo of losers."""
+
+from repro.db.storage import RecordCodec, StorageManager, recover
+
+CODEC = RecordCodec(["int", "int"])
+
+
+def crash_and_recover(sm):
+    """Simulate a crash: only the flushed log tail and the disk survive."""
+    durable = sm.log.records(durable_only=True)
+    return recover(sm.disk, durable)
+
+
+def read_all(sm, fid):
+    """Read records straight off the disk images after recovery."""
+    rows = []
+    for page_id, (kind, _image) in sorted(sm.disk._images.items()):
+        if page_id.file_id != fid or kind != "D":
+            continue
+        page = sm.disk.read_page(page_id)
+        for _slot, raw in page.slots():
+            rows.append(CODEC.decode(raw))
+    return rows
+
+
+def test_committed_insert_survives_crash_without_page_flush():
+    sm = StorageManager()
+    fid = sm.create_file(CODEC.record_size)
+    with sm.begin() as txn:
+        sm.create_rec(txn, fid, CODEC.encode((1, 10)))
+    # commit forced the log but the page was never written to disk
+    stats = crash_and_recover(sm)
+    assert stats.redone >= 1
+    assert read_all(sm, fid) == [(1, 10)]
+
+
+def test_uncommitted_insert_rolled_back():
+    sm = StorageManager()
+    fid = sm.create_file(CODEC.record_size)
+    with sm.begin() as setup:
+        sm.create_rec(setup, fid, CODEC.encode((1, 10)))
+    loser = sm.begin()
+    sm.create_rec(loser, fid, CODEC.encode((2, 20)))
+    sm.log.flush()  # log reached disk, but no COMMIT for the loser
+    sm.pool.flush_all()  # stolen dirty page reached disk too
+    stats = crash_and_recover(sm)
+    assert loser.txn_id in stats.losers
+    assert read_all(sm, fid) == [(1, 10)]
+
+
+def test_uncommitted_update_restores_before_image():
+    sm = StorageManager()
+    fid = sm.create_file(CODEC.record_size)
+    with sm.begin() as setup:
+        rid = sm.create_rec(setup, fid, CODEC.encode((1, 10)))
+    sm.pool.flush_all()
+    loser = sm.begin()
+    sm.update_rec(loser, fid, rid, CODEC.encode((9, 99)))
+    sm.log.flush()
+    sm.pool.flush_all()
+    crash_and_recover(sm)
+    assert read_all(sm, fid) == [(1, 10)]
+
+
+def test_unflushed_log_tail_is_lost():
+    sm = StorageManager()
+    fid = sm.create_file(CODEC.record_size)
+    with sm.begin() as txn:
+        sm.create_rec(txn, fid, CODEC.encode((1, 10)))
+    # a second transaction whose records never reach the durable log
+    late = sm.begin()
+    sm.create_rec(late, fid, CODEC.encode((2, 20)))
+    stats = crash_and_recover(sm)  # durable log ends at first COMMIT
+    assert read_all(sm, fid) == [(1, 10)]
+    assert late.txn_id not in stats.winners
+
+
+def test_committed_delete_replayed():
+    sm = StorageManager()
+    fid = sm.create_file(CODEC.record_size)
+    with sm.begin() as setup:
+        rid_keep = sm.create_rec(setup, fid, CODEC.encode((1, 10)))
+        rid_gone = sm.create_rec(setup, fid, CODEC.encode((2, 20)))
+    with sm.begin() as txn:
+        sm.delete_rec(txn, fid, rid_gone)
+    crash_and_recover(sm)
+    assert read_all(sm, fid) == [(1, 10)]
+
+
+def test_redo_is_idempotent_via_page_lsn():
+    sm = StorageManager()
+    fid = sm.create_file(CODEC.record_size)
+    with sm.begin() as txn:
+        sm.create_rec(txn, fid, CODEC.encode((1, 10)))
+    sm.pool.flush_all()  # page on disk already reflects the insert
+    stats = crash_and_recover(sm)
+    assert stats.redone == 0  # page_lsn >= record lsn: nothing to redo
+    assert read_all(sm, fid) == [(1, 10)]
+
+
+def test_winners_and_losers_classified():
+    sm = StorageManager()
+    fid = sm.create_file(CODEC.record_size)
+    with sm.begin() as winner:
+        sm.create_rec(winner, fid, CODEC.encode((1, 1)))
+    loser = sm.begin()
+    sm.create_rec(loser, fid, CODEC.encode((2, 2)))
+    sm.log.flush()
+    stats = crash_and_recover(sm)
+    assert winner.txn_id in stats.winners
+    assert loser.txn_id in stats.losers
+
+
+def test_aborted_transaction_stays_undone_after_recovery():
+    sm = StorageManager()
+    fid = sm.create_file(CODEC.record_size)
+    txn = sm.begin()
+    sm.create_rec(txn, fid, CODEC.encode((5, 5)))
+    txn.abort()  # rollback wrote CLRs
+    sm.log.flush()
+    sm.pool.flush_all()
+    crash_and_recover(sm)
+    assert read_all(sm, fid) == []

@@ -1,0 +1,161 @@
+"""Transactions: commit/abort semantics, rollback, 2PL release."""
+
+import pytest
+
+from repro.db.storage import RecordCodec, StorageManager
+from repro.db.storage.page import PageId
+from repro.errors import RecordNotFoundError, TransactionError
+
+CODEC = RecordCodec(["int", "int"])
+
+
+def insert(sm, txn, fid, a, b):
+    return sm.create_rec(txn, fid, CODEC.encode((a, b)))
+
+
+def test_commit_releases_locks():
+    sm = StorageManager()
+    fid = sm.create_file(CODEC.record_size)
+    txn = sm.begin()
+    rid = insert(sm, txn, fid, 1, 2)
+    assert sm.locks.held_resources(txn.txn_id)
+    txn.commit()
+    assert not sm.locks.held_resources(txn.txn_id)
+    assert txn.state == "COMMITTED"
+
+
+def test_abort_undoes_insert():
+    sm = StorageManager()
+    fid = sm.create_file(CODEC.record_size)
+    with sm.begin() as setup:
+        insert(sm, setup, fid, 0, 0)
+    txn = sm.begin()
+    rid = insert(sm, txn, fid, 1, 2)
+    txn.abort()
+    with sm.begin() as reader:
+        rows = [CODEC.decode(raw) for _rid, raw in sm.scan_file(reader, fid)]
+    assert rows == [(0, 0)]
+
+
+def test_abort_undoes_update():
+    sm = StorageManager()
+    fid = sm.create_file(CODEC.record_size)
+    with sm.begin() as setup:
+        rid = insert(sm, setup, fid, 1, 1)
+    txn = sm.begin()
+    sm.update_rec(txn, fid, rid, CODEC.encode((9, 9)))
+    txn.abort()
+    with sm.begin() as reader:
+        assert CODEC.decode(sm.read_rec(reader, fid, rid)) == (1, 1)
+
+
+def test_abort_undoes_delete():
+    sm = StorageManager()
+    fid = sm.create_file(CODEC.record_size)
+    with sm.begin() as setup:
+        rid = insert(sm, setup, fid, 1, 1)
+    txn = sm.begin()
+    sm.delete_rec(txn, fid, rid)
+    txn.abort()
+    with sm.begin() as reader:
+        assert CODEC.decode(sm.read_rec(reader, fid, rid)) == (1, 1)
+
+
+def test_abort_undoes_in_reverse_order():
+    sm = StorageManager()
+    fid = sm.create_file(CODEC.record_size)
+    with sm.begin() as setup:
+        rid = insert(sm, setup, fid, 1, 1)
+    txn = sm.begin()
+    sm.update_rec(txn, fid, rid, CODEC.encode((2, 2)))
+    sm.update_rec(txn, fid, rid, CODEC.encode((3, 3)))
+    txn.abort()
+    with sm.begin() as reader:
+        assert CODEC.decode(sm.read_rec(reader, fid, rid)) == (1, 1)
+
+
+def test_abort_writes_clrs():
+    sm = StorageManager()
+    fid = sm.create_file(CODEC.record_size)
+    txn = sm.begin()
+    insert(sm, txn, fid, 1, 1)
+    txn.abort()
+    kinds = [r.kind for r in sm.log.records()]
+    assert "CLR" in kinds
+    assert kinds[-1] == "ABORT"
+
+
+def test_double_commit_raises():
+    sm = StorageManager()
+    txn = sm.begin()
+    txn.commit()
+    with pytest.raises(TransactionError):
+        txn.commit()
+
+
+def test_commit_after_abort_raises():
+    sm = StorageManager()
+    txn = sm.begin()
+    txn.abort()
+    with pytest.raises(TransactionError):
+        txn.commit()
+
+
+def test_context_manager_commits_on_success():
+    sm = StorageManager()
+    with sm.begin() as txn:
+        pass
+    assert txn.state == "COMMITTED"
+
+
+def test_context_manager_aborts_on_exception():
+    sm = StorageManager()
+    fid = sm.create_file(CODEC.record_size)
+    with pytest.raises(ValueError):
+        with sm.begin() as txn:
+            insert(sm, txn, fid, 1, 1)
+            raise ValueError("boom")
+    assert txn.state == "ABORTED"
+    with sm.begin() as reader:
+        assert list(sm.scan_file(reader, fid)) == []
+
+
+def test_commit_forces_log():
+    sm = StorageManager()
+    fid = sm.create_file(CODEC.record_size)
+    with sm.begin() as txn:
+        insert(sm, txn, fid, 1, 1)
+    assert sm.log.flushed_lsn == sm.log.last_lsn(txn.txn_id)
+
+
+def test_active_count_tracked():
+    sm = StorageManager()
+    t1 = sm.begin()
+    t2 = sm.begin()
+    assert sm.transactions.active_count == 2
+    t1.commit()
+    t2.abort()
+    assert sm.transactions.active_count == 0
+
+
+def test_transaction_ids_unique_and_increasing():
+    sm = StorageManager()
+    ids = [sm.begin().txn_id for _ in range(5)]
+    assert ids == sorted(set(ids))
+
+
+def test_write_ahead_rule_on_eviction():
+    """Evicting a dirty page forces the log first, so an unflushed-log +
+    flushed-page crash window cannot exist."""
+    sm = StorageManager(pool_pages=4)
+    fid = sm.create_file(CODEC.record_size)
+    txn = sm.begin()
+    for i in range(1500):  # force evictions mid-transaction
+        insert(sm, txn, fid, i, i)
+    # every on-disk page's page_lsn must be covered by the durable log
+    for page_id, (kind, _image) in sm.disk._images.items():
+        if kind != "D":
+            continue
+        page = sm.disk.read_page(page_id)
+        assert page.page_lsn <= sm.log.flushed_lsn
+    txn.commit()

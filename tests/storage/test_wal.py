@@ -1,0 +1,69 @@
+"""Write-ahead log: append, backchains, durability horizon."""
+
+import pytest
+
+from repro.db.storage import wal
+from repro.db.storage.page import PageId
+from repro.errors import RecoveryError
+
+
+def test_lsns_are_sequential():
+    log = wal.WriteAheadLog()
+    lsns = [log.append(1, wal.BEGIN), log.append(1, wal.COMMIT)]
+    assert lsns == [0, 1]
+
+
+def test_backchain_links_same_transaction():
+    log = wal.WriteAheadLog()
+    log.append(1, wal.BEGIN)
+    log.append(2, wal.BEGIN)
+    lsn = log.append(1, wal.INSERT, page_id=PageId(1, 0), slot=0, after=b"x")
+    record = log.record(lsn)
+    assert record.prev_lsn == 0  # txn 1's BEGIN, skipping txn 2's
+    assert log.last_lsn(1) == lsn
+    assert log.last_lsn(2) == 1
+
+
+def test_flush_advances_durability_horizon():
+    log = wal.WriteAheadLog()
+    log.append(1, wal.BEGIN)
+    log.append(1, wal.INSERT, page_id=PageId(1, 0), slot=0, after=b"x")
+    assert log.flushed_lsn == -1
+    log.flush(0)
+    assert log.flushed_lsn == 0
+    assert len(log.records(durable_only=True)) == 1
+    log.flush()
+    assert len(log.records(durable_only=True)) == 2
+
+
+def test_flush_never_regresses():
+    log = wal.WriteAheadLog()
+    log.append(1, wal.BEGIN)
+    log.append(1, wal.COMMIT)
+    log.flush()
+    log.flush(0)
+    assert log.flushed_lsn == 1
+
+
+def test_unknown_kind_rejected():
+    log = wal.WriteAheadLog()
+    with pytest.raises(RecoveryError):
+        log.append(1, "SNAPSHOT")
+
+
+def test_record_out_of_range_raises():
+    log = wal.WriteAheadLog()
+    with pytest.raises(RecoveryError):
+        log.record(0)
+
+
+def test_images_are_stored():
+    log = wal.WriteAheadLog()
+    lsn = log.append(
+        1, wal.UPDATE, page_id=PageId(1, 2), slot=3, before=b"old", after=b"new"
+    )
+    record = log.record(lsn)
+    assert record.before == b"old"
+    assert record.after == b"new"
+    assert record.page_id == PageId(1, 2)
+    assert record.slot == 3

@@ -1,0 +1,50 @@
+"""Exception hierarchy: every library error is a ReproError."""
+
+import pytest
+
+from repro import errors
+
+
+ALL_ERRORS = [
+    errors.StorageError,
+    errors.PageFullError,
+    errors.RecordNotFoundError,
+    errors.BufferPoolFullError,
+    errors.LockConflictError,
+    errors.DeadlockError,
+    errors.TransactionError,
+    errors.RecoveryError,
+    errors.CatalogError,
+    errors.SqlError,
+    errors.SqlSyntaxError,
+    errors.PlanError,
+    errors.ExecutionError,
+    errors.TraceError,
+    errors.LayoutError,
+    errors.SimulationError,
+    errors.ConfigError,
+]
+
+
+@pytest.mark.parametrize("error_class", ALL_ERRORS)
+def test_all_derive_from_repro_error(error_class):
+    assert issubclass(error_class, errors.ReproError)
+
+
+def test_storage_sub_hierarchy():
+    for cls in (
+        errors.PageFullError,
+        errors.BufferPoolFullError,
+        errors.DeadlockError,
+        errors.RecoveryError,
+    ):
+        assert issubclass(cls, errors.StorageError)
+
+
+def test_sql_sub_hierarchy():
+    assert issubclass(errors.SqlSyntaxError, errors.SqlError)
+
+
+def test_one_catch_all():
+    with pytest.raises(errors.ReproError):
+        raise errors.DeadlockError("cycle")

@@ -1,0 +1,124 @@
+"""Set-associative cache vs a reference model."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import SimulationError
+from repro.uarch.cache import SetAssocCache
+from repro.uarch.config import CacheConfig
+
+
+def test_geometry_from_config():
+    cache = SetAssocCache.from_config(CacheConfig(32 * 1024, 2, 32))
+    assert cache.n_sets == 512
+    assert cache.assoc == 2
+
+
+def test_miss_then_hit():
+    cache = SetAssocCache(4, 2)
+    assert not cache.lookup(0)
+    cache.insert(0)
+    assert cache.lookup(0)
+    assert cache.hits == 1
+    assert cache.misses == 1
+
+
+def test_lru_eviction_within_set():
+    cache = SetAssocCache(1, 2)  # one set, two ways
+    cache.insert(0)
+    cache.insert(1)
+    evicted = cache.insert(2)  # evicts 0 (LRU)
+    assert evicted == 0
+    assert cache.contains(1)
+    assert cache.contains(2)
+    assert not cache.contains(0)
+
+
+def test_lookup_updates_lru():
+    cache = SetAssocCache(1, 2)
+    cache.insert(0)
+    cache.insert(1)
+    cache.lookup(0)  # 0 becomes MRU
+    evicted = cache.insert(2)
+    assert evicted == 1
+
+
+def test_insert_existing_refreshes_no_eviction():
+    cache = SetAssocCache(1, 2)
+    cache.insert(0)
+    cache.insert(1)
+    assert cache.insert(0) is None
+    assert cache.insert(2) == 1  # 1 was LRU after refreshing 0
+
+
+def test_sets_are_independent():
+    cache = SetAssocCache(2, 1)
+    cache.insert(0)  # set 0
+    cache.insert(1)  # set 1
+    assert cache.contains(0)
+    assert cache.contains(1)
+    assert cache.insert(2) == 0  # set 0 again
+
+
+def test_contains_does_not_touch_lru():
+    cache = SetAssocCache(1, 2)
+    cache.insert(0)
+    cache.insert(1)
+    cache.contains(0)  # must NOT refresh
+    assert cache.insert(2) == 0
+
+
+def test_invalidate():
+    cache = SetAssocCache(2, 2)
+    cache.insert(4)
+    assert cache.invalidate(4)
+    assert not cache.invalidate(4)
+    assert not cache.contains(4)
+
+
+def test_flush():
+    cache = SetAssocCache(4, 2)
+    for line in range(8):
+        cache.insert(line)
+    cache.flush()
+    assert cache.resident_lines() == []
+
+
+def test_bad_geometry_rejected():
+    with pytest.raises(SimulationError):
+        SetAssocCache(0, 2)
+
+
+class _ReferenceCache:
+    """Dict-of-lists LRU reference."""
+
+    def __init__(self, n_sets, assoc):
+        self.n_sets = n_sets
+        self.assoc = assoc
+        self.sets = {}
+
+    def access(self, line):
+        bucket = self.sets.setdefault(line % self.n_sets, [])
+        hit = line in bucket
+        if hit:
+            bucket.remove(line)
+        elif len(bucket) >= self.assoc:
+            bucket.pop(0)
+        bucket.append(line)
+        return hit
+
+
+@given(
+    lines=st.lists(st.integers(0, 63), min_size=1, max_size=400),
+    n_sets=st.sampled_from([1, 2, 4, 8]),
+    assoc=st.integers(1, 4),
+)
+def test_matches_reference_model(lines, n_sets, assoc):
+    cache = SetAssocCache(n_sets, assoc)
+    reference = _ReferenceCache(n_sets, assoc)
+    for line in lines:
+        expected_hit = reference.access(line)
+        got_hit = cache.lookup(line)
+        if not got_hit:
+            cache.insert(line)
+        assert got_hit == expected_hit

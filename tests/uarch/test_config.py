@@ -1,0 +1,77 @@
+"""Configuration: Table 1 values and validation."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.uarch.config import (
+    TABLE_1,
+    CacheConfig,
+    CghcConfig,
+    SimConfig,
+    cghc_variant,
+)
+
+
+def test_table_1_parameters_match_paper():
+    assert TABLE_1.fetch_width == 4
+    assert TABLE_1.l1i.size_bytes == 32 * 1024
+    assert TABLE_1.l1i.assoc == 2
+    assert TABLE_1.l1i.line_bytes == 32
+    assert TABLE_1.l2.size_bytes == 1024 * 1024
+    assert TABLE_1.l2.assoc == 4
+    assert TABLE_1.l2.line_bytes == 32
+    assert TABLE_1.l1_hit_latency == 1
+    assert TABLE_1.l2_hit_latency == 16
+    assert TABLE_1.memory_latency == 80
+
+
+def test_cache_sets_computed():
+    assert CacheConfig(32 * 1024, 2, 32).n_sets == 512
+    assert CacheConfig(1024 * 1024, 4, 32).n_sets == 8192
+
+
+def test_bad_cache_geometry_rejected():
+    with pytest.raises(ConfigError):
+        CacheConfig(16, 2, 32).n_sets
+
+
+def test_validate_rejects_bad_width():
+    with pytest.raises(ConfigError):
+        SimConfig(fetch_width=0).validate()
+
+
+def test_validate_rejects_bad_accuracy():
+    with pytest.raises(ConfigError):
+        SimConfig(branch_predictor_accuracy=1.5).validate()
+
+
+def test_validate_rejects_mismatched_lines():
+    with pytest.raises(ConfigError):
+        SimConfig(l1i=CacheConfig(32 * 1024, 2, 64)).validate()
+
+
+def test_cghc_entry_counts():
+    config = CghcConfig(l1_bytes=2048, l2_bytes=32768)
+    assert config.l1_entries() == 2048 // 40
+    assert config.l2_entries() == 32768 // 40
+
+
+def test_cghc_variants_match_figure_5():
+    assert cghc_variant("CGHC-1K").l1_bytes == 1024
+    assert cghc_variant("CGHC-1K").l2_bytes == 0
+    assert cghc_variant("CGHC-32K").l1_bytes == 32768
+    two = cghc_variant("CGHC-2K+32K")
+    assert (two.l1_bytes, two.l2_bytes) == (2048, 32768)
+    assert cghc_variant("CGHC-1K+16K").l2_bytes == 16384
+    assert cghc_variant("CGHC-Inf").infinite
+
+
+def test_unknown_variant_rejected():
+    with pytest.raises(ConfigError):
+        cghc_variant("CGHC-64K")
+
+
+def test_default_cghc_is_papers_choice():
+    assert TABLE_1.cghc.l1_bytes == 2048
+    assert TABLE_1.cghc.l2_bytes == 32768
+    assert TABLE_1.cghc.slots == 8

@@ -1,0 +1,51 @@
+"""L2 port demand-priority ablation (§3.3 discusses the trade-off)."""
+
+from repro.uarch.config import SimConfig
+from repro.uarch.memsys import MemorySystem
+
+
+def test_fifo_demand_waits_behind_prefetches():
+    mem = MemorySystem(SimConfig())
+    for line in range(4):
+        mem.request(line, now=0, is_prefetch=True)
+    completion, _ = mem.request(99, now=0, is_prefetch=False)
+    assert completion == 8 + 96  # queued behind four prefetches
+
+
+def test_priority_demand_bypasses_prefetches():
+    mem = MemorySystem(SimConfig(l2_demand_priority=True))
+    for line in range(4):
+        mem.request(line, now=0, is_prefetch=True)
+    completion, _ = mem.request(99, now=0, is_prefetch=False)
+    assert completion == 96  # no queueing behind prefetch traffic
+
+
+def test_priority_demands_still_serialize_among_themselves():
+    mem = MemorySystem(SimConfig(l2_demand_priority=True))
+    mem.request(1, now=0, is_prefetch=False)
+    completion, _ = mem.request(2, now=0, is_prefetch=False)
+    assert completion == 2 + 96
+
+
+def test_priority_prefetches_wait_behind_demand():
+    mem = MemorySystem(SimConfig(l2_demand_priority=True))
+    mem.request(1, now=0, is_prefetch=False)
+    completion, _ = mem.request(2, now=0, is_prefetch=True)
+    assert completion == 2 + 96
+
+
+def test_priority_never_slower_end_to_end(prof_artifacts):
+    """With demand priority, an NL-heavy run cannot get slower."""
+    from dataclasses import replace
+
+    from repro.uarch import TABLE_1, simulate
+    from repro.uarch.prefetch import NextNLinePrefetcher
+
+    layout = prof_artifacts.layout("OM")
+    trace = prof_artifacts.trace
+    fifo = simulate(trace, layout, TABLE_1, prefetcher=NextNLinePrefetcher(4))
+    prio = simulate(
+        trace, layout, replace(TABLE_1, l2_demand_priority=True),
+        prefetcher=NextNLinePrefetcher(4),
+    )
+    assert prio.cycles <= fifo.cycles * 1.001

@@ -1,0 +1,143 @@
+"""Property tests: accounting identities of the fetch engine.
+
+For *any* well-formed trace and any prefetcher, the simulator must
+satisfy its bookkeeping invariants — every issued prefetch is classified
+exactly once, time only moves forward, and cycles decompose into the
+fetch + stall + mispredict components.
+"""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import CgpPrefetcher
+from repro.instrument.codeimage import CodeImage
+from repro.instrument.trace import Trace
+from repro.layout.layouts import AddressMap
+from repro.uarch.config import CacheConfig, CghcConfig, SimConfig
+from repro.uarch.fetch_engine import simulate
+from repro.uarch.prefetch.nl import NextNLinePrefetcher
+
+N_FUNCTIONS = 6
+FUNC_SIZE = 120
+
+
+def build_layout(sequentiality=1.0):
+    image = CodeImage()
+    for i in range(N_FUNCTIONS):
+        image.register_synthetic(f"f{i}", FUNC_SIZE)
+    return AddressMap(
+        image, range(N_FUNCTIONS), 1.0, sequentiality, 1.0, "prop"
+    )
+
+
+@st.composite
+def traces(draw):
+    """Well-formed traces: balanced calls, offsets in range."""
+    trace = Trace()
+    stack = []
+    for _ in range(draw(st.integers(1, 60))):
+        action = draw(st.sampled_from(["exec", "call", "ret"]))
+        if action == "exec":
+            fid = stack[-1] if stack else draw(st.integers(0, N_FUNCTIONS - 1))
+            a = draw(st.integers(0, FUNC_SIZE - 1))
+            b = draw(st.integers(0, FUNC_SIZE - 1))
+            trace.add_exec(fid, a, b)
+        elif action == "call" and len(stack) < 10:
+            callee = draw(st.integers(0, N_FUNCTIONS - 1))
+            caller = stack[-1] if stack else -1
+            trace.add_call(callee, caller,
+                           draw(st.integers(0, FUNC_SIZE - 1)))
+            stack.append(callee)
+        elif action == "ret" and stack:
+            fid = stack.pop()
+            caller = stack[-1] if stack else -1
+            trace.add_return(fid, caller, draw(st.integers(0, FUNC_SIZE - 1)))
+    while stack:
+        fid = stack.pop()
+        caller = stack[-1] if stack else -1
+        trace.add_return(fid, caller, 0)
+    return trace
+
+
+SMALL_CONFIG = SimConfig(
+    l1i=CacheConfig(512, 2),  # tiny L1: evictions guaranteed
+    l2=CacheConfig(4096, 4),
+    base_cpi=0.3,
+)
+
+
+def prefetcher_for(name, layout):
+    if name == "none":
+        return None
+    if name == "nl":
+        return NextNLinePrefetcher(3)
+    return CgpPrefetcher(2, CghcConfig(l1_bytes=4 * 40, l2_bytes=16 * 40),
+                         layout)
+
+
+@settings(max_examples=60, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(trace=traces(), pf=st.sampled_from(["none", "nl", "cgp"]),
+       seq=st.sampled_from([1.0, 0.6]))
+def test_accounting_identities(trace, pf, seq):
+    layout = build_layout(seq)
+    stats = simulate(trace, layout, SMALL_CONFIG,
+                     prefetcher=prefetcher_for(pf, layout))
+    # every issued prefetch ends up classified exactly once
+    for origin, p in stats.prefetch.items():
+        assert p.issued == p.pref_hits + p.delayed_hits + p.useless, origin
+        assert min(p.issued, p.pref_hits, p.delayed_hits, p.useless,
+                   p.squashed) >= 0
+    # cycle decomposition
+    assert stats.cycles >= 0
+    expected = stats.fetch_cycles + stats.stall_cycles + stats.mispredict_cycles
+    assert abs(stats.cycles - expected) < 1e-6
+    # misses cannot exceed accesses; L2/memory split covers all misses
+    assert stats.demand_misses <= stats.line_accesses
+    assert stats.l2_hits + stats.memory_fetches == stats.demand_misses
+    # instruction time is a lower bound on cycles
+    assert stats.cycles >= stats.instructions * 0.25 - 1e-6
+
+
+@settings(max_examples=30, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(trace=traces())
+def test_prefetch_miss_bound_nl(trace):
+    """NL can add misses only through pollution, and each issued
+    prefetch displaces at most one resident line — so the miss count is
+    bounded by the baseline plus the issued prefetches.  (In practice NL
+    reduces misses; this is the sound invariant.)"""
+    layout = build_layout()
+    plain = simulate(trace, layout, SMALL_CONFIG)
+    nl = simulate(trace, layout, SMALL_CONFIG,
+                  prefetcher=NextNLinePrefetcher(3))
+    issued = sum(p.issued for p in nl.prefetch.values())
+    assert nl.demand_misses <= plain.demand_misses + issued
+
+
+@settings(max_examples=30, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(trace=traces())
+def test_perfect_icache_is_a_lower_bound(trace):
+    from dataclasses import replace
+
+    layout = build_layout()
+    real = simulate(trace, layout, SMALL_CONFIG)
+    perfect = simulate(
+        trace, layout, replace(SMALL_CONFIG, perfect_icache=True)
+    )
+    assert perfect.cycles <= real.cycles + 1e-6
+
+
+@settings(max_examples=30, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(trace=traces(), seed=st.integers(0, 2**32 - 1))
+def test_determinism_any_seed(trace, seed):
+    layout = build_layout()
+    a = simulate(trace, layout, SMALL_CONFIG,
+                 prefetcher=prefetcher_for("cgp", layout), seed=seed)
+    b = simulate(trace, layout, SMALL_CONFIG,
+                 prefetcher=prefetcher_for("cgp", layout), seed=seed)
+    assert a.cycles == b.cycles
+    assert a.demand_misses == b.demand_misses
+    assert a.summary() == b.summary()

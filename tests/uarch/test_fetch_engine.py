@@ -1,0 +1,236 @@
+"""Fetch engine: timing, miss stalls, prefetch classification."""
+
+import pytest
+from dataclasses import replace
+
+from repro.errors import SimulationError
+from repro.instrument.codeimage import CodeImage
+from repro.instrument.trace import Trace
+from repro.layout.layouts import AddressMap
+from repro.uarch.config import SimConfig
+from repro.uarch.fetch_engine import FetchEngine, simulate
+from repro.uarch.prefetch.nl import NextNLinePrefetcher
+
+
+def world(sizes=(256, 256, 256), l1_bytes=None, **config_kwargs):
+    image = CodeImage()
+    for i, size in enumerate(sizes):
+        image.register_synthetic(f"f{i}", size)
+    layout = AddressMap(image, range(len(sizes)), 1.0, 1.0, 1.0, "test")
+    kwargs = dict(config_kwargs)
+    if l1_bytes is not None:
+        from repro.uarch.config import CacheConfig
+
+        kwargs["l1i"] = CacheConfig(l1_bytes, 2)
+    config = SimConfig(**kwargs)
+    return layout, config
+
+
+def exec_trace(spans):
+    trace = Trace()
+    for fid, lo, hi in spans:
+        trace.add_exec(fid, lo, hi)
+    return trace
+
+
+def test_perfect_icache_pure_instruction_time():
+    layout, config = world(perfect_icache=True, base_cpi=0.75)
+    trace = exec_trace([(0, 0, 99)])  # 100 instructions
+    stats = simulate(trace, layout, config)
+    assert stats.instructions == 100
+    assert stats.cycles == pytest.approx(100 * (0.25 + 0.75))
+    assert stats.demand_misses == 0
+    assert stats.line_accesses == 0
+
+
+def test_cold_misses_counted_and_stalled():
+    layout, config = world(base_cpi=0.0)
+    trace = exec_trace([(0, 0, 63)])  # 8 lines, all cold
+    stats = simulate(trace, layout, config)
+    assert stats.demand_misses == 8
+    assert stats.memory_fetches == 8  # cold L2 too
+    assert stats.stall_cycles >= 8 * 96  # full latency each
+    assert stats.cycles == pytest.approx(
+        stats.stall_cycles + stats.fetch_cycles
+    )
+
+
+def test_warm_rerun_hits():
+    layout, config = world()
+    trace = exec_trace([(0, 0, 63), (0, 0, 63)])
+    stats = simulate(trace, layout, config)
+    assert stats.demand_misses == 8  # second pass all hits
+    assert stats.l1_hits == 0 or stats.line_accesses == 16
+
+
+def test_second_visit_hits_l2_not_memory():
+    # L1 of 2 sets cannot hold 8 lines; L2 can
+    layout, config = world(l1_bytes=128)
+    trace = exec_trace([(0, 0, 255), (0, 0, 255)])
+    stats = simulate(trace, layout, config)
+    assert stats.memory_fetches == 32  # cold pass only
+    assert stats.l2_hits > 0  # second pass: L1 misses that hit L2
+
+
+def test_calls_add_overhead_and_push_ras():
+    layout, config = world(perfect_icache=True)
+    trace = Trace()
+    trace.add_exec(0, 0, 9)
+    trace.add_call(1, 0, 9)
+    trace.add_exec(1, 0, 9)
+    trace.add_return(1, 0, 9)
+    stats = simulate(trace, layout, config)
+    assert stats.calls == 1
+    assert stats.returns == 1
+    assert stats.instructions == 20 + 2 * config.call_overhead_instrs
+
+
+def test_return_misprediction_when_ras_empty():
+    layout, config = world(perfect_icache=True, mispredict_penalty=50)
+    trace = Trace()
+    trace.add_return(0, 1, 0)  # no call before it: RAS underflows
+    stats = simulate(trace, layout, config)
+    assert stats.mispredict_cycles == 50
+
+
+def test_matched_call_return_predicts_correctly():
+    layout, config = world(perfect_icache=True, mispredict_penalty=50,
+                           branch_predictor_accuracy=1.0)
+    trace = Trace()
+    trace.add_call(1, 0, 5)
+    trace.add_return(1, 0, 9)
+    stats = simulate(trace, layout, config)
+    assert stats.mispredict_cycles == 0
+
+
+def test_instr_scale_reduces_instruction_count():
+    image = CodeImage()
+    image.register_synthetic("f", 256)
+    om_like = AddressMap(image, [0], 1.0, 1.0, 0.88, "om")
+    trace = exec_trace([(0, 0, 99)])
+    stats = simulate(trace, om_like, SimConfig(perfect_icache=True))
+    assert stats.instructions == pytest.approx(100 * 0.88)
+
+
+def test_prefetch_hit_classification():
+    layout, config = world(base_cpi=0.0)
+    engine = FetchEngine(config, layout)
+    # prefetch two lines far ahead of use
+    engine.issue_prefetch(4, "test")
+    engine.cycle = 1000.0  # long after arrival
+    engine._deliver_arrivals()
+    engine._access(4)
+    p = engine.stats.prefetch_origin("test")
+    assert p.pref_hits == 1
+    assert p.delayed_hits == 0
+
+
+def test_delayed_hit_classification_and_stall():
+    layout, config = world(base_cpi=0.0)
+    engine = FetchEngine(config, layout)
+    engine.issue_prefetch(4, "test")
+    engine._access(4)  # immediately: still in flight
+    p = engine.stats.prefetch_origin("test")
+    assert p.delayed_hits == 1
+    assert engine.stats.stall_cycles > 0
+    assert engine.stats.stall_cycles < 97  # less than a full miss
+
+
+def test_useless_prefetch_on_eviction():
+    layout, config = world(l1_bytes=128)  # 4 lines only (2 sets x 2 ways)
+    engine = FetchEngine(config, layout)
+    engine.issue_prefetch(0, "test")
+    engine.cycle = 1000.0
+    engine._deliver_arrivals()
+    # flood the cache so line 0 is evicted untouched
+    for line in (2, 4, 6, 8, 10, 12):
+        engine._access(line)
+    p = engine.stats.prefetch_origin("test")
+    assert p.useless == 1
+    assert p.pref_hits == 0
+
+
+def test_unconsumed_prefetches_useless_at_end():
+    layout, config = world()
+    trace = exec_trace([(0, 0, 7)])
+    stats = simulate(trace, layout, config,
+                     prefetcher=NextNLinePrefetcher(4))
+    p = stats.prefetch_origin("nl")
+    assert p.issued == p.pref_hits + p.delayed_hits + p.useless
+
+
+def test_squash_when_line_present():
+    layout, config = world()
+    engine = FetchEngine(config, layout)
+    engine._access(5)  # now resident
+    assert engine.issue_prefetch(5, "test") is False
+    assert engine.stats.prefetch_origin("test").squashed == 1
+
+
+def test_squash_when_in_flight():
+    layout, config = world()
+    engine = FetchEngine(config, layout)
+    assert engine.issue_prefetch(7, "test")
+    assert engine.issue_prefetch(7, "test") is False
+
+
+def test_out_of_image_prefetch_dropped():
+    layout, config = world()
+    engine = FetchEngine(config, layout)
+    assert engine.issue_prefetch(-1, "test") is False
+    assert engine.issue_prefetch(10**9, "test") is False
+    assert engine.stats.prefetch_origin("test").issued == 0
+
+
+def test_prefetch_function_head_limits_to_span():
+    layout, config = world(sizes=(16, 256))  # fid 0 spans 2 lines + 1
+    engine = FetchEngine(config, layout)
+    engine.prefetch_function_head(0, 10, "test")
+    issued = engine.stats.prefetch_origin("test").issued
+    assert issued == layout.size_lines[0]
+
+
+def test_nl_prefetching_reduces_cycles():
+    layout, config = world(sizes=(4096,), base_cpi=0.4)
+    trace = exec_trace([(0, 0, 4095)])
+    plain = simulate(trace, layout, config)
+    nl = simulate(trace, layout, config, prefetcher=NextNLinePrefetcher(4))
+    assert nl.cycles < plain.cycles
+    assert nl.demand_misses < plain.demand_misses
+
+
+def test_prefetch_traffic_counted_on_bus():
+    layout, config = world(sizes=(4096,))
+    trace = exec_trace([(0, 0, 4095)])
+    plain = simulate(trace, layout, config)
+    nl = simulate(trace, layout, config, prefetcher=NextNLinePrefetcher(4))
+    assert nl.bus_transactions > plain.bus_transactions - 1
+
+
+def test_unknown_event_kind_raises():
+    layout, config = world()
+    trace = Trace()
+    trace.kinds.append(9)
+    trace.a.append(0)
+    trace.b.append(0)
+    trace.c.append(0)
+    with pytest.raises(SimulationError):
+        simulate(trace, layout, config)
+
+
+def test_switch_event_is_noop():
+    layout, config = world(perfect_icache=True)
+    trace = Trace()
+    trace.add_switch(1)
+    trace.add_exec(0, 0, 9)
+    stats = simulate(trace, layout, config)
+    assert stats.instructions == 10
+
+
+def test_deterministic_across_runs():
+    layout, config = world(sizes=(2048, 2048))
+    trace = exec_trace([(0, 0, 2000), (1, 0, 2000), (0, 0, 2000)])
+    a = simulate(trace, layout, config, prefetcher=NextNLinePrefetcher(2))
+    b = simulate(trace, layout, config, prefetcher=NextNLinePrefetcher(2))
+    assert a.cycles == b.cycles
+    assert a.demand_misses == b.demand_misses

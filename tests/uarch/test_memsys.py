@@ -1,0 +1,60 @@
+"""Memory system: FIFO port, L2 hit/miss latency."""
+
+from repro.uarch.config import SimConfig
+from repro.uarch.memsys import MemorySystem
+
+
+def make(config=None):
+    return MemorySystem(config or SimConfig())
+
+
+def test_l2_miss_then_hit_latency():
+    mem = make()
+    first, from_mem = mem.request(5, now=0)
+    assert from_mem
+    assert first == 16 + 80  # L2 hit latency + memory
+    second, from_mem2 = mem.request(5, now=200)
+    assert not from_mem2
+    assert second == 200 + 16
+
+
+def test_fifo_port_serializes_requests():
+    mem = make()
+    mem.request(0, now=0)
+    # second request at the same instant waits for the port (occupancy 2)
+    completion, _ = mem.request(1, now=0)
+    assert completion == 2 + 16 + 80
+
+
+def test_port_frees_over_time():
+    mem = make()
+    mem.request(0, now=0)
+    completion, _ = mem.request(1, now=100)
+    assert completion == 100 + 96  # no queueing by then
+
+
+def test_prefetches_share_the_port_with_demand():
+    """§3.3: no priority for demand misses."""
+    mem = make()
+    for line in range(4):
+        mem.request(line, now=0, is_prefetch=True)
+    completion, _ = mem.request(99, now=0, is_prefetch=False)
+    # four prefetches occupy the port for 8 cycles before the demand miss
+    assert completion == 8 + 96
+
+
+def test_transactions_counted():
+    mem = make()
+    mem.request(0, now=0)
+    mem.request(1, now=0, is_prefetch=True)
+    assert mem.transactions == 2
+    assert mem.l2_misses == 2
+
+
+def test_l2_caches_lines_across_requests():
+    mem = make()
+    mem.request(7, now=0)
+    assert mem.l2.contains(7)
+    _completion, from_mem = mem.request(7, now=500)
+    assert not from_mem
+    assert mem.l2_hits == 1

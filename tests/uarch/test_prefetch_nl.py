@@ -1,0 +1,164 @@
+"""Next-N-line and run-ahead NL prefetchers."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.uarch.prefetch.base import NO_PREFETCH
+from repro.uarch.prefetch.nl import NextNLinePrefetcher, RunAheadNLPrefetcher
+
+
+class FakeEngine:
+    def __init__(self):
+        self.issued = []
+
+    def issue_prefetch(self, line, origin, delay=0):
+        self.issued.append(line)
+        return True
+
+
+def test_fan_out_on_jump():
+    nl = NextNLinePrefetcher(4)
+    engine = FakeEngine()
+    nl.on_line_access(100, engine)
+    assert engine.issued == [101, 102, 103, 104]
+
+
+def test_sequential_step_issues_only_leading_edge():
+    nl = NextNLinePrefetcher(4)
+    engine = FakeEngine()
+    nl.on_line_access(100, engine)
+    engine.issued.clear()
+    nl.on_line_access(101, engine)
+    assert engine.issued == [105]
+
+
+def test_repeated_same_line_is_silent():
+    nl = NextNLinePrefetcher(2)
+    engine = FakeEngine()
+    nl.on_line_access(100, engine)
+    engine.issued.clear()
+    nl.on_line_access(100, engine)
+    assert engine.issued == []
+
+
+def test_sequential_equivalence_with_naive_fan():
+    """Fast-path must issue exactly what a full fan per access would,
+    modulo duplicates (which would be squashed anyway)."""
+    nl = NextNLinePrefetcher(3)
+    engine = FakeEngine()
+    for line in range(50, 60):
+        nl.on_line_access(line, engine)
+    naive = set()
+    for line in range(50, 60):
+        naive.update(range(line + 1, line + 4))
+    assert set(engine.issued) == naive - set()
+
+
+def test_reset_forgets_last_line():
+    nl = NextNLinePrefetcher(2)
+    engine = FakeEngine()
+    nl.on_line_access(10, engine)
+    nl.reset()
+    engine.issued.clear()
+    nl.on_line_access(11, engine)
+    assert engine.issued == [12, 13]  # full fan again
+
+
+def test_run_ahead_offsets_by_m():
+    ra = RunAheadNLPrefetcher(2, 4)
+    engine = FakeEngine()
+    ra.on_line_access(100, engine)
+    assert engine.issued == [105, 106]
+
+
+def test_run_ahead_sequential_leading_edge():
+    ra = RunAheadNLPrefetcher(2, 4)
+    engine = FakeEngine()
+    ra.on_line_access(100, engine)
+    engine.issued.clear()
+    ra.on_line_access(101, engine)
+    assert engine.issued == [107]
+
+
+def test_bad_degrees_rejected():
+    with pytest.raises(ConfigError):
+        NextNLinePrefetcher(0)
+    with pytest.raises(ConfigError):
+        RunAheadNLPrefetcher(2, -1)
+
+
+def test_no_prefetch_is_inert():
+    engine = FakeEngine()
+    NO_PREFETCH.on_line_access(5, engine)
+    NO_PREFETCH.on_call(0, 1, True, engine)
+    NO_PREFETCH.on_return(1, None, True, engine)
+    NO_PREFETCH.reset()
+    assert engine.issued == []
+
+
+def test_names():
+    assert NextNLinePrefetcher(4).name == "NL_4"
+    assert RunAheadNLPrefetcher(4, 8).name == "RA-NL_4+8"
+
+
+class FlaggedEngine(FakeEngine):
+    def __init__(self, missed=False, first_touch=False):
+        super().__init__()
+        self.last_access_missed = missed
+        self.last_access_first_touch = first_touch
+
+
+def test_tagged_nl_silent_on_plain_hits():
+    from repro.uarch.prefetch.nl import TaggedNLPrefetcher
+
+    tagged = TaggedNLPrefetcher(3)
+    engine = FlaggedEngine(missed=False, first_touch=False)
+    tagged.on_line_access(100, engine)
+    assert engine.issued == []
+
+
+def test_tagged_nl_fires_on_miss():
+    from repro.uarch.prefetch.nl import TaggedNLPrefetcher
+
+    tagged = TaggedNLPrefetcher(3)
+    engine = FlaggedEngine(missed=True)
+    tagged.on_line_access(100, engine)
+    assert engine.issued == [101, 102, 103]
+
+
+def test_tagged_nl_fires_on_first_touch_of_prefetched_line():
+    from repro.uarch.prefetch.nl import TaggedNLPrefetcher
+
+    tagged = TaggedNLPrefetcher(2)
+    engine = FlaggedEngine(first_touch=True)
+    tagged.on_line_access(50, engine)
+    assert engine.issued == [51, 52]
+
+
+def test_tagged_nl_reduces_traffic_end_to_end():
+    """On a looping stream, tagged NL issues far fewer prefetches than
+    plain NL while keeping misses comparable."""
+    from repro.instrument.codeimage import CodeImage
+    from repro.instrument.trace import Trace
+    from repro.layout.layouts import AddressMap
+    from repro.uarch.config import SimConfig
+    from repro.uarch.fetch_engine import simulate
+    from repro.uarch.prefetch.nl import TaggedNLPrefetcher
+
+    image = CodeImage()
+    image.register_synthetic("f", 4096)
+    layout = AddressMap(image, [0], 1.0, 1.0, 1.0, "t")
+    trace = Trace()
+    for _ in range(5):
+        trace.add_exec(0, 0, 4095)
+    config = SimConfig()
+    plain = simulate(trace, layout, config,
+                     prefetcher=NextNLinePrefetcher(4))
+    tagged = simulate(trace, layout, config,
+                      prefetcher=TaggedNLPrefetcher(4))
+    plain_attempts = (plain.prefetch_origin("nl").issued
+                      + plain.prefetch_origin("nl").squashed)
+    tagged_attempts = (tagged.prefetch_origin("nl").issued
+                       + tagged.prefetch_origin("nl").squashed)
+    assert tagged_attempts < plain_attempts
+    assert tagged.demand_misses <= plain.demand_misses * 1.5

@@ -1,0 +1,72 @@
+"""Modified return address stack."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.uarch.ras import ModifiedReturnAddressStack, RasEntry
+
+
+def test_push_pop_lifo():
+    ras = ModifiedReturnAddressStack(8)
+    ras.push(10, 100, 1)
+    ras.push(20, 200, 2)
+    assert ras.pop() == RasEntry(20, 200, 2)
+    assert ras.pop() == RasEntry(10, 100, 1)
+
+
+def test_entry_carries_caller_start():
+    """§3.2: the modification — caller start address rides along."""
+    ras = ModifiedReturnAddressStack(4)
+    ras.push(return_line=55, caller_start_line=40, caller_fid=7)
+    entry = ras.pop()
+    assert entry.caller_start_line == 40
+    assert entry.caller_fid == 7
+
+
+def test_underflow_returns_none_and_counts():
+    ras = ModifiedReturnAddressStack(4)
+    assert ras.pop() is None
+    assert ras.underflows == 1
+
+
+def test_overflow_drops_oldest():
+    ras = ModifiedReturnAddressStack(2)
+    ras.push(1, 1, 1)
+    ras.push(2, 2, 2)
+    ras.push(3, 3, 3)  # overwrites entry 1
+    assert ras.overflows == 1
+    assert ras.pop().caller_fid == 3
+    assert ras.pop().caller_fid == 2
+    assert ras.pop() is None
+
+
+def test_peek_does_not_pop():
+    ras = ModifiedReturnAddressStack(4)
+    ras.push(1, 1, 1)
+    assert ras.peek().caller_fid == 1
+    assert len(ras) == 1
+    assert ras.pop().caller_fid == 1
+
+
+def test_len_and_clear():
+    ras = ModifiedReturnAddressStack(4)
+    for i in range(3):
+        ras.push(i, i, i)
+    assert len(ras) == 3
+    ras.clear()
+    assert len(ras) == 0
+    assert ras.pop() is None
+
+
+def test_depth_must_be_positive():
+    with pytest.raises(SimulationError):
+        ModifiedReturnAddressStack(0)
+
+
+def test_wraparound_behaviour():
+    ras = ModifiedReturnAddressStack(3)
+    for i in range(10):
+        ras.push(i, i, i)
+    # only the 3 most recent survive, in LIFO order
+    assert [ras.pop().caller_fid for _ in range(3)] == [9, 8, 7]
+    assert ras.pop() is None

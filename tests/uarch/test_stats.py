@@ -1,0 +1,55 @@
+"""SimStats / PrefetchStats bookkeeping."""
+
+from repro.uarch.stats import PrefetchStats, SimStats
+
+
+def test_prefetch_stats_derived_counts():
+    p = PrefetchStats(issued=10, pref_hits=4, delayed_hits=3, useless=3,
+                      squashed=7)
+    assert p.useful() == 7
+    assert p.accounted() == 10
+    assert p.as_dict()["squashed"] == 7
+
+
+def test_prefetch_origin_creates_lazily():
+    stats = SimStats()
+    first = stats.prefetch_origin("nl")
+    second = stats.prefetch_origin("nl")
+    assert first is second
+    assert set(stats.prefetch) == {"nl"}
+
+
+def test_ipc_and_miss_rate():
+    stats = SimStats(instructions=1000, cycles=2000.0, line_accesses=100,
+                     demand_misses=10)
+    assert stats.ipc == 0.5
+    assert stats.miss_rate == 0.1
+    assert stats.mpki == 10.0
+
+
+def test_zero_division_guards():
+    stats = SimStats()
+    assert stats.ipc == 0.0
+    assert stats.miss_rate == 0.0
+    assert stats.mpki == 0.0
+
+
+def test_totals_across_origins():
+    stats = SimStats()
+    stats.prefetch_origin("nl").issued = 5
+    stats.prefetch_origin("nl").pref_hits = 3
+    stats.prefetch_origin("nl").useless = 2
+    stats.prefetch_origin("cghc").issued = 4
+    stats.prefetch_origin("cghc").delayed_hits = 4
+    assert stats.total_prefetches() == 9
+    assert stats.total_useful_prefetches() == 7
+    assert stats.total_useless_prefetches() == 2
+
+
+def test_summary_shape():
+    stats = SimStats(instructions=100, cycles=150.0)
+    stats.prefetch_origin("nl").issued = 1
+    summary = stats.summary()
+    assert summary["instructions"] == 100
+    assert "nl" in summary["prefetch"]
+    assert summary["ipc"] == round(100 / 150.0, 4)

@@ -1,0 +1,41 @@
+"""Synthetic CPU2000 workloads."""
+
+import pytest
+
+from repro.instrument.trace import validate_trace
+from repro.workloads import cpu2000
+
+
+@pytest.mark.parametrize("name", cpu2000.BENCHMARK_NAMES)
+def test_traces_are_well_formed(name):
+    image, trace = cpu2000.build_benchmark(name, target_instructions=100_000)
+    depth = validate_trace(trace, image)
+    assert depth >= 1
+    assert trace.total_instructions() >= 100_000
+
+
+def test_deterministic_per_name():
+    a_image, a_trace = cpu2000.build_benchmark("gzip", target_instructions=50_000)
+    b_image, b_trace = cpu2000.build_benchmark("gzip", target_instructions=50_000)
+    assert a_trace.kinds == b_trace.kinds
+    assert a_trace.a == b_trace.a
+    assert a_image.function_count == b_image.function_count
+
+
+def test_benchmarks_differ():
+    _ia, gzip_trace = cpu2000.build_benchmark("gzip", target_instructions=50_000)
+    _ib, gcc_trace = cpu2000.build_benchmark("gcc", target_instructions=50_000)
+    assert gzip_trace.kinds != gcc_trace.kinds or gzip_trace.a != gcc_trace.a
+
+
+def test_gcc_has_largest_footprint():
+    sizes = {}
+    for name in cpu2000.BENCHMARK_NAMES:
+        image, _trace = cpu2000.build_benchmark(name, target_instructions=10_000)
+        sizes[name] = image.total_instrs()
+    assert max(sizes, key=sizes.get) == "gcc"
+
+
+def test_expected_gap_table_covers_all():
+    for name in cpu2000.BENCHMARK_NAMES:
+        assert 0.0 <= cpu2000.perfect_gap_expected(name) <= 0.2

@@ -1,0 +1,42 @@
+"""Workload suites (the paper's four DB workloads)."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.workloads.suites import SUITE_NAMES, build_suite
+
+
+def test_unknown_suite_rejected():
+    with pytest.raises(ConfigError):
+        build_suite("oltp-bank")
+
+
+def test_wisc_prof_has_three_queries():
+    suite = build_suite("wisc-prof", scale=0.15)
+    assert suite.query_names() == ["wisc_q1", "wisc_q5", "wisc_q9"]
+
+
+def test_wisc_large_2_has_eight_queries():
+    suite = build_suite("wisc-large-2", scale=0.012)
+    assert len(suite.queries) == 8
+
+
+def test_wisc_tpch_has_thirteen_queries():
+    suite = build_suite("wisc+tpch", scale=0.008)
+    assert len(suite.queries) == 13
+    names = suite.query_names()
+    assert "tpch_q2" in names and "wisc_q9" in names
+
+
+def test_suite_runs_and_produces_rows():
+    suite = build_suite("wisc-prof", scale=0.15)
+    results = suite.run()
+    assert set(results) == {"wisc_q1", "wisc_q5", "wisc_q9"}
+    assert all(len(rows) > 0 for rows in results.values())
+
+
+def test_all_suites_buildable():
+    for name in SUITE_NAMES:
+        suite = build_suite(name, scale=0.01 if "large" in name or "+" in name else 0.1)
+        assert suite.name == name
+        assert suite.queries

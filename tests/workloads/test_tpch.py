@@ -1,0 +1,193 @@
+"""TPC-H: generator integrity and query results vs naive references."""
+
+import pytest
+
+from repro.db import Database
+from repro.db.exec.schema import date_to_int
+from repro.workloads import tpch
+
+
+@pytest.fixture(scope="module")
+def db():
+    database = Database(pool_pages=2048)
+    tpch.setup(database, scale_factor=0.5, seed=42)
+    return database
+
+
+def rows_of(db, table):
+    with db.storage.begin() as txn:
+        return [row for _rid, row in db.catalog.table(table).scan(txn)]
+
+
+def test_reference_tables_fixed(db):
+    assert len(rows_of(db, "region")) == 5
+    assert len(rows_of(db, "nation")) == 25
+
+
+def test_foreign_keys_valid(db):
+    nations = {n[0] for n in rows_of(db, "nation")}
+    regions = {r[0] for r in rows_of(db, "region")}
+    suppliers = {s[0] for s in rows_of(db, "supplier")}
+    parts = {p[0] for p in rows_of(db, "part")}
+    orders = {o[0] for o in rows_of(db, "orders")}
+    customers = {c[0] for c in rows_of(db, "customer")}
+    assert all(n[2] in regions for n in rows_of(db, "nation"))
+    assert all(s[2] in nations for s in rows_of(db, "supplier"))
+    assert all(c[2] in nations for c in rows_of(db, "customer"))
+    assert all(ps[0] in parts and ps[1] in suppliers for ps in rows_of(db, "partsupp"))
+    assert all(o[1] in customers for o in rows_of(db, "orders"))
+    for line in rows_of(db, "lineitem"):
+        assert line[0] in orders
+        assert line[1] in parts
+        assert line[2] in suppliers
+
+
+def test_dates_in_tpch_window(db):
+    lo = date_to_int("1992-01-01")
+    hi = date_to_int("1998-12-31")
+    assert all(lo <= o[3] <= hi for o in rows_of(db, "orders"))
+    assert all(lo <= l[10] <= hi for l in rows_of(db, "lineitem"))
+
+
+def test_shipdate_after_orderdate(db):
+    orders = {o[0]: o[3] for o in rows_of(db, "orders")}
+    assert all(l[10] > orders[l[0]] for l in rows_of(db, "lineitem"))
+
+
+def test_q1_matches_reference(db):
+    lineitem = rows_of(db, "lineitem")
+    cutoff = date_to_int("1998-09-02")
+    expected = {}
+    for l in lineitem:
+        if l[10] > cutoff:
+            continue
+        key = (l[8], l[9])
+        acc = expected.setdefault(key, [0.0, 0.0, 0.0, 0.0, 0])
+        acc[0] += l[4]
+        acc[1] += l[5]
+        acc[2] += l[5] * (1 - l[6])
+        acc[3] += l[5] * (1 - l[6]) * (1 + l[7])
+        acc[4] += 1
+    result = db.execute(tpch.QUERY_1)
+    assert len(result) == len(expected)
+    for row in result.rows:
+        key = (row[0], row[1])
+        acc = expected[key]
+        assert row[2] == pytest.approx(acc[0])
+        assert row[3] == pytest.approx(acc[1])
+        assert row[4] == pytest.approx(acc[2])
+        assert row[5] == pytest.approx(acc[3])
+        assert row[9] == acc[4]
+        assert row[6] == pytest.approx(acc[0] / acc[4])
+    # ordered by returnflag, linestatus
+    keys = [(r[0], r[1]) for r in result.rows]
+    assert keys == sorted(keys)
+
+
+def test_q6_matches_reference(db):
+    lineitem = rows_of(db, "lineitem")
+    lo = date_to_int("1994-01-01")
+    hi = date_to_int("1995-01-01")
+    expected = sum(
+        l[5] * l[6]
+        for l in lineitem
+        if lo <= l[10] < hi and 0.05 <= l[6] <= 0.07 and l[4] < 24
+    )
+    result = db.execute(tpch.QUERY_6)
+    assert result.rows[0][0] == pytest.approx(expected)
+
+
+def test_q3_matches_reference(db):
+    customers = {c[0] for c in rows_of(db, "customer") if c[3] == "BUILDING"}
+    cut = date_to_int("1995-03-15")
+    orders = {
+        o[0]: o for o in rows_of(db, "orders") if o[1] in customers and o[3] < cut
+    }
+    agg = {}
+    for l in rows_of(db, "lineitem"):
+        order = orders.get(l[0])
+        if order is None or l[10] <= cut:
+            continue
+        key = (l[0], order[3], order[4])
+        agg[key] = agg.get(key, 0.0) + l[5] * (1 - l[6])
+    expected = sorted(
+        ((k[0], v, k[1], k[2]) for k, v in agg.items()),
+        key=lambda r: (-r[1], r[2]),
+    )[:10]
+    got = db.execute(tpch.QUERY_3).rows
+    assert len(got) == len(expected)
+    for g, e in zip(got, expected):
+        assert g[0] == e[0]
+        assert g[1] == pytest.approx(e[1])
+
+
+def test_q5_matches_reference(db):
+    asia = {r[0] for r in rows_of(db, "region") if r[1] == "ASIA"}
+    nation_name = {n[0]: n[1] for n in rows_of(db, "nation") if n[2] in asia}
+    lo = date_to_int("1994-01-01")
+    hi = date_to_int("1995-01-01")
+    orders = {o[0]: o for o in rows_of(db, "orders") if lo <= o[3] < hi}
+    suppliers = {s[0]: s for s in rows_of(db, "supplier")}
+    customers = {c[0]: c for c in rows_of(db, "customer")}
+    revenue = {}
+    for l in rows_of(db, "lineitem"):
+        order = orders.get(l[0])
+        supplier = suppliers.get(l[2])
+        if order is None or supplier is None:
+            continue
+        if supplier[2] not in nation_name:
+            continue
+        if customers[order[1]][2] != supplier[2]:
+            continue
+        name = nation_name[supplier[2]]
+        revenue[name] = revenue.get(name, 0.0) + l[5] * (1 - l[6])
+    expected = sorted(revenue.items(), key=lambda kv: -kv[1])
+    got = db.execute(tpch.QUERY_5).rows
+    assert [g[0] for g in got] == [e[0] for e in expected]
+    for g, e in zip(got, expected):
+        assert g[1] == pytest.approx(e[1])
+
+
+def test_q2_matches_reference(db):
+    europe = {r[0] for r in rows_of(db, "region") if r[1] == "EUROPE"}
+    eu_nations = {n[0]: n[1] for n in rows_of(db, "nation") if n[2] in europe}
+    eu_suppliers = {
+        s[0]: s for s in rows_of(db, "supplier") if s[2] in eu_nations
+    }
+    partsupp = rows_of(db, "partsupp")
+    min_cost = {}
+    for ps in partsupp:
+        if ps[1] in eu_suppliers:
+            if ps[0] not in min_cost or ps[3] < min_cost[ps[0]]:
+                min_cost[ps[0]] = ps[3]
+    parts = {p[0]: p for p in rows_of(db, "part")}
+    expected = []
+    for ps in partsupp:
+        if ps[1] not in eu_suppliers or min_cost.get(ps[0]) != ps[3]:
+            continue
+        if parts[ps[0]][2] != 15:
+            continue
+        supplier = eu_suppliers[ps[1]]
+        expected.append(
+            (supplier[3], supplier[1], eu_nations[supplier[2]], ps[0])
+        )
+    expected.sort(key=lambda r: (-r[0], r[2], r[1], r[3]))
+    got = db.execute(tpch.QUERY_2).rows
+    assert got == [
+        (pytest.approx(e[0]), e[1], e[2], e[3]) for e in expected
+    ]
+
+
+def test_all_queries_run_under_scheduler(db):
+    results = db.run_concurrent(
+        [(name, sql) for name, sql, _h in tpch.queries()], quantum_rows=2
+    )
+    assert set(results) == {q[0] for q in tpch.queries()}
+
+
+def test_scale_factor_scales_cardinalities():
+    small = tpch.table_sizes(0.5)
+    large = tpch.table_sizes(2.0)
+    assert large["customer"] > small["customer"]
+    assert large["part"] > small["part"]
+    assert small["region"] == large["region"] == 5

@@ -1,0 +1,89 @@
+"""Wisconsin benchmark: generator invariants, query result sizes."""
+
+import pytest
+
+from repro.db import Database
+from repro.workloads import wisconsin
+
+N = 500
+
+
+@pytest.fixture(scope="module")
+def db():
+    database = Database(pool_pages=1024)
+    wisconsin.setup(database, n_tuples=N, seed=7)
+    return database
+
+
+def test_generator_unique_columns():
+    rows = list(wisconsin.generate_rows(200, seed=1))
+    unique1 = [r[0] for r in rows]
+    unique2 = [r[1] for r in rows]
+    assert sorted(unique1) == list(range(200))
+    assert unique2 == list(range(200))  # clustered order
+
+
+def test_generator_derived_columns():
+    for row in wisconsin.generate_rows(100, seed=2):
+        u1 = row[0]
+        assert row[2] == u1 % 2
+        assert row[3] == u1 % 4
+        assert row[4] == u1 % 10
+        assert row[6] == u1 % 100
+        assert row[10] == u1
+        assert row[11] == (u1 % 100) * 2
+        assert row[12] == (u1 % 100) * 2 + 1
+        assert row[15] in ("AAAA", "HHHH", "OOOO", "VVVV")
+
+
+def test_generator_deterministic_per_seed():
+    a = list(wisconsin.generate_rows(50, seed=3))
+    b = list(wisconsin.generate_rows(50, seed=3))
+    c = list(wisconsin.generate_rows(50, seed=4))
+    assert a == b
+    assert a != c
+
+
+def test_setup_creates_three_relations(db):
+    for name in ("tenk1", "tenk2", "onek"):
+        assert db.catalog.has_table(name)
+    assert db.catalog.table("tenk1").row_count == N
+    assert db.catalog.table("onek").row_count == N // 10
+
+
+def test_setup_creates_indexes(db):
+    table = db.catalog.table("tenk1")
+    assert table.index_on("unique2").clustered
+    assert not table.index_on("unique1").clustered
+
+
+@pytest.mark.parametrize("name", [q[0] for q in wisconsin.queries(N)])
+def test_query_result_counts(db, name):
+    queries = {q[0]: q for q in wisconsin.queries(N)}
+    _name, sql, hints = queries[name]
+    result = db.execute(sql, hints=hints)
+    assert len(result) == wisconsin.expected_selection_count(name, N)
+
+
+def test_q1_no_index_q3_index(db):
+    queries = {q[0]: q for q in wisconsin.queries(N)}
+    _n, sql1, hints1 = queries["wisc_q1"]
+    _n, sql3, hints3 = queries["wisc_q3"]
+    assert "IndexScan" not in db.explain(sql1, hints=hints1)
+    assert "IndexScan" in db.explain(sql3, hints=hints3)
+
+
+def test_q9_join_plan_uses_index(db):
+    queries = {q[0]: q for q in wisconsin.queries(N)}
+    _n, sql, hints = queries["wisc_q9"]
+    assert "Join" in db.explain(sql, hints=hints)
+
+
+def test_query_subset_selects_by_name():
+    subset = wisconsin.query_subset(("wisc_q1", "wisc_q9"), N)
+    assert [q[0] for q in subset] == ["wisc_q1", "wisc_q9"]
+
+
+def test_query_subset_unknown_raises():
+    with pytest.raises(ValueError):
+        wisconsin.query_subset(("wisc_q99",), N)
