@@ -8,6 +8,15 @@ small enough that the whole benchmark suite regenerates in minutes.
 
 Override scales with ``REPRO_BENCH_SCALE`` (a multiplier) to run closer
 to paper scale, e.g. ``REPRO_BENCH_SCALE=4 pytest benchmarks/``.
+
+Engine knobs (all optional):
+
+* ``REPRO_BENCH_WORKERS=N`` — fan simulation grids out over N worker
+  processes (default 1 = serial).
+* ``REPRO_BENCH_CACHE=dir`` — durable artifact + result cache, so
+  re-running a figure after an interrupted suite is nearly free.
+* ``REPRO_JOURNAL=path`` — append a JSONL run journal (telemetry).
+* ``REPRO_PROGRESS=1`` — live per-cell progress lines on stderr.
 """
 
 from __future__ import annotations
@@ -16,7 +25,12 @@ import os
 
 import pytest
 
-from repro.harness import DEFAULT_SCALES, ExperimentRunner, PipelineConfig
+from repro.harness import (
+    DEFAULT_SCALES,
+    ParallelRunner,
+    PipelineConfig,
+    progress_printer,
+)
 
 
 def _scales():
@@ -26,7 +40,16 @@ def _scales():
 
 @pytest.fixture(scope="session")
 def runner():
-    return ExperimentRunner(pipeline=PipelineConfig(), scales=_scales())
+    workers = int(os.environ.get("REPRO_BENCH_WORKERS", "1"))
+    return ParallelRunner(
+        pipeline=PipelineConfig(),
+        scales=_scales(),
+        max_workers=workers,
+        cache_dir=os.environ.get("REPRO_BENCH_CACHE"),
+        journal=os.environ.get("REPRO_JOURNAL"),
+        progress=progress_printer() if os.environ.get("REPRO_PROGRESS")
+        else None,
+    )
 
 
 def run_once(benchmark, fn):

@@ -1,0 +1,164 @@
+#!/usr/bin/env python
+"""Benchmark the parallel experiment engine on a full fig4 regeneration.
+
+Regenerates Figure 4 (6 configurations x all four DB workloads = 24
+simulation cells) three ways, with a warm stage-1 **artifact** cache and
+a cold **result** cache for the timed comparisons:
+
+1. serial          — ParallelRunner(max_workers=1)
+2. parallel        — ParallelRunner(max_workers=N), fresh result cache
+3. warm rerun      — same engine again, every cell a durable-cache hit
+
+and verifies the serial and parallel rows are byte-identical.  Timings
+and the per-cell journal land next to the output path so they can be
+committed with a PR::
+
+    PYTHONPATH=src python scripts/bench_parallel.py \
+        --workers 4 --out benchmarks/journals
+
+``--scales test`` (default) uses the small CI-friendly scales;
+``--scales paper`` uses the figure-regeneration scales from
+``DEFAULT_SCALES`` (minutes of simulation).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import shutil
+import sys
+import tempfile
+import time
+
+from repro.harness import (
+    DEFAULT_SCALES,
+    ParallelRunner,
+    PipelineConfig,
+    RunJournal,
+    fig4,
+    journal_grid_summary,
+    progress_printer,
+)
+
+TEST_SCALES = {
+    "wisc-prof": 0.15,
+    "wisc-large-1": 0.012,
+    "wisc-large-2": 0.012,
+    "wisc+tpch": 0.008,
+}
+
+
+def build_engine(workers, art_dir, results_dir, journal_path, scales,
+                 quiet=False):
+    return ParallelRunner(
+        pipeline=PipelineConfig(),
+        scales=scales,
+        cache_dir=art_dir,
+        results_dir=results_dir,
+        max_workers=workers,
+        journal=journal_path,
+        progress=None if quiet else progress_printer(),
+    )
+
+
+def timed_fig4(engine):
+    started = time.perf_counter()
+    result = fig4(engine)
+    return result, time.perf_counter() - started
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--workers", type=int, default=4)
+    parser.add_argument("--scales", choices=("test", "paper"),
+                        default="test")
+    parser.add_argument("--out", default="benchmarks/journals",
+                        help="directory for journal + timing artifacts")
+    parser.add_argument("--keep-cache", action="store_true",
+                        help="keep the scratch cache directory")
+    args = parser.parse_args(argv)
+
+    scales = dict(TEST_SCALES if args.scales == "test" else DEFAULT_SCALES)
+    os.makedirs(args.out, exist_ok=True)
+    journal_path = os.path.join(args.out, "fig4_parallel.jsonl")
+    if os.path.exists(journal_path):
+        os.unlink(journal_path)
+    scratch = tempfile.mkdtemp(prefix="bench-parallel-")
+    art_dir = os.path.join(scratch, "artifacts")
+
+    try:
+        # stage 1: warm the artifact cache (traces/layouts), untimed in
+        # the comparison — both paths consume the identical artifacts.
+        print("warming artifact cache ...", flush=True)
+        warmup = build_engine(1, art_dir, os.path.join(scratch, "warm"),
+                              None, scales, quiet=True)
+        t0 = time.perf_counter()
+        for suite in scales:
+            warmup.artifacts(suite)
+        artifact_s = time.perf_counter() - t0
+        print(f"artifacts built in {artifact_s:.1f}s", flush=True)
+
+        serial = build_engine(1, art_dir, os.path.join(scratch, "serial"),
+                              journal_path, scales)
+        serial_result, serial_s = timed_fig4(serial)
+
+        parallel = build_engine(args.workers, art_dir,
+                                os.path.join(scratch, "parallel"),
+                                journal_path, scales)
+        parallel_result, parallel_s = timed_fig4(parallel)
+
+        # warm durable-cache rerun through a *fresh* engine instance
+        rerun = build_engine(args.workers, art_dir,
+                             os.path.join(scratch, "parallel"),
+                             journal_path, scales)
+        rerun_result, rerun_s = timed_fig4(rerun)
+
+        identical = (serial_result.rows == parallel_result.rows
+                     == rerun_result.rows)
+        summary = {
+            "benchmark": "fig4-all-db-workloads",
+            "scales": args.scales,
+            "cells": 6 * len(scales),
+            "cpu_count": os.cpu_count(),
+            "workers": args.workers,
+            "artifact_build_s": round(artifact_s, 2),
+            "serial_s": round(serial_s, 2),
+            "parallel_s": round(parallel_s, 2),
+            "warm_cache_rerun_s": round(rerun_s, 3),
+            "parallel_speedup": round(serial_s / parallel_s, 2),
+            "warm_cache_speedup": round(serial_s / rerun_s, 1),
+            "rows_identical": identical,
+            "failures": (serial_result.failures
+                         + parallel_result.failures),
+        }
+        timings_path = os.path.join(args.out, "fig4_timings.json")
+        with open(timings_path, "w") as fh:
+            json.dump(summary, fh, indent=2)
+            fh.write("\n")
+
+        print()
+        print(json.dumps(summary, indent=2))
+        grids = journal_grid_summary(RunJournal.read(journal_path))
+        print(f"\njournal: {journal_path}")
+        for name, bucket in grids.items():
+            print(f"  {name}: {bucket['runs']} runs, "
+                  f"{bucket['cache_hits']} cache hits, "
+                  f"{len(bucket['workers'])} worker pids, "
+                  f"sum wall {bucket['wall_s']:.1f}s")
+        if not identical:
+            print("ERROR: serial and parallel rows differ", file=sys.stderr)
+            return 1
+        if summary["failures"]:
+            print("ERROR: grid had failing cells", file=sys.stderr)
+            return 1
+        return 0
+    finally:
+        if args.keep_cache:
+            print(f"cache kept at {scratch}")
+        else:
+            shutil.rmtree(scratch, ignore_errors=True)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

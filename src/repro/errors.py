@@ -75,3 +75,15 @@ class SimulationError(ReproError):
 
 class ConfigError(ReproError):
     """Raised for invalid simulator or harness configuration values."""
+
+
+class CacheCorruptionError(ReproError):
+    """Raised when an on-disk result-cache entry exists but is unreadable."""
+
+
+class RunTimeoutError(ReproError):
+    """Raised when one simulation exceeds the engine's per-run timeout."""
+
+
+class WorkerCrashError(ReproError):
+    """Raised when a worker process dies without returning a result."""

@@ -1,5 +1,6 @@
 """Experiment harness: runners, per-figure drivers, report rendering."""
 
+from repro.harness.cache import ResultCache, config_fingerprint
 from repro.harness.experiments import (
     DB_WORKLOADS,
     ExperimentResult,
@@ -14,7 +15,9 @@ from repro.harness.experiments import (
     scale_sensitivity,
     workload_statistics,
 )
+from repro.harness.grid import CellFailure, GridResult, RunSpec
 from repro.harness.multiprog import multiprogram_mix
+from repro.harness.parallel import ParallelRunner
 from repro.harness.report import (
     render_bars,
     render_experiment,
@@ -27,14 +30,28 @@ from repro.harness.runner import (
     PipelineConfig,
     WorkloadArtifacts,
 )
+from repro.harness.telemetry import (
+    RunJournal,
+    journal_grid_summary,
+    progress_printer,
+)
 
 __all__ = [
+    "CellFailure",
     "DB_WORKLOADS",
     "DEFAULT_SCALES",
     "ExperimentResult",
     "ExperimentRunner",
+    "GridResult",
+    "ParallelRunner",
     "PipelineConfig",
+    "ResultCache",
+    "RunJournal",
+    "RunSpec",
     "WorkloadArtifacts",
+    "config_fingerprint",
+    "journal_grid_summary",
+    "progress_printer",
     "fig4",
     "fig5",
     "fig6",

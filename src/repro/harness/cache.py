@@ -1,0 +1,144 @@
+"""Durable simulation-result cache keyed by content hashes.
+
+The old ``ExperimentRunner`` kept results in a per-process dict keyed in
+part by ``id(sim_config)`` — unsound (ids are recycled after GC, so a
+*different* config could silently return a stale result) and useless
+across processes.  This module replaces it with:
+
+* :func:`config_fingerprint` — a stable SHA-256 over the *values* of the
+  full configuration (workload, pipeline geometry, layout, prefetcher
+  spec, CGHC variant, every ``SimConfig`` field).  Two configs with equal
+  values share a key no matter where they were allocated; two configs
+  differing in any field never collide.
+* :class:`ResultCache` — one JSON file per fingerprint under a cache
+  directory.  Writes are atomic (temp file + ``os.replace``) so parallel
+  workers and concurrent harness invocations can share a directory;
+  unreadable or truncated entries raise :class:`CacheCorruptionError`
+  instead of returning garbage.
+
+Cache layout on disk::
+
+    <dir>/<fingerprint>.json
+        {"version": 1,
+         "config": { ...human-readable echo of the keyed values... },
+         "stats": SimStats.to_dict()}
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import tempfile
+
+from repro.errors import CacheCorruptionError, ReproError
+from repro.uarch.stats import SimStats
+
+CACHE_FORMAT_VERSION = 1
+
+__all__ = [
+    "CACHE_FORMAT_VERSION",
+    "CacheCorruptionError",
+    "ResultCache",
+    "config_fingerprint",
+]
+
+
+def _freeze(value):
+    """Canonical JSON-able form of configuration values."""
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {
+            "__class__": type(value).__name__,
+            **{
+                f.name: _freeze(getattr(value, f.name))
+                for f in dataclasses.fields(value)
+            },
+        }
+    if isinstance(value, dict):
+        return {str(k): _freeze(v) for k, v in sorted(value.items())}
+    if isinstance(value, (list, tuple)):
+        return [_freeze(v) for v in value]
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    raise ReproError(f"unhashable config value {value!r}")
+
+
+def config_fingerprint(**fields):
+    """Stable hex digest of a configuration, keyed by field *values*."""
+    frozen = _freeze(fields)
+    blob = json.dumps(frozen, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+class ResultCache:
+    """Durable SimStats store, one atomic JSON file per fingerprint."""
+
+    def __init__(self, directory):
+        self.directory = directory
+        os.makedirs(directory, exist_ok=True)
+
+    def path(self, fingerprint):
+        return os.path.join(self.directory, f"{fingerprint}.json")
+
+    def get(self, fingerprint):
+        """Return cached SimStats, or None if absent.
+
+        Raises CacheCorruptionError if the entry exists but is
+        unreadable — callers surface that as a failed cell rather than
+        silently recomputing, so operators learn their cache is bad.
+        """
+        path = self.path(fingerprint)
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                payload = json.load(fh)
+        except FileNotFoundError:
+            return None
+        except (OSError, ValueError) as exc:
+            raise CacheCorruptionError(
+                f"unreadable cache entry {path}: {exc}"
+            ) from exc
+        try:
+            if payload["version"] != CACHE_FORMAT_VERSION:
+                raise CacheCorruptionError(
+                    f"cache entry {path} has format version "
+                    f"{payload.get('version')!r}, expected "
+                    f"{CACHE_FORMAT_VERSION}"
+                )
+            return SimStats.from_dict(payload["stats"])
+        except CacheCorruptionError:
+            raise
+        except (KeyError, TypeError) as exc:
+            raise CacheCorruptionError(
+                f"malformed cache entry {path}: {exc!r}"
+            ) from exc
+
+    def put(self, fingerprint, stats, config_echo=None):
+        """Atomically persist one result."""
+        payload = {
+            "version": CACHE_FORMAT_VERSION,
+            "config": _freeze(config_echo) if config_echo else None,
+            "stats": stats.to_dict(),
+        }
+        fd, tmp = tempfile.mkstemp(
+            dir=self.directory, prefix=".tmp-", suffix=".json"
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                json.dump(payload, fh)
+            os.replace(tmp, self.path(fingerprint))
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    def __contains__(self, fingerprint):
+        return os.path.exists(self.path(fingerprint))
+
+    def __len__(self):
+        return sum(
+            1 for name in os.listdir(self.directory)
+            if name.endswith(".json") and not name.startswith(".tmp-")
+        )

@@ -3,12 +3,23 @@
 Every driver returns an :class:`ExperimentResult` whose rows carry the
 same series the paper's figure plots, plus the paper's headline claim so
 reports can show paper-vs-measured side by side.
+
+Drivers submit their full (workload x configuration) grid through the
+experiment engine (``runner.run_grid`` / ``runner.run_tasks``) instead
+of simulating cell by cell, so the same driver code runs serially on a
+plain :class:`~repro.harness.runner.ExperimentRunner` and fanned out
+over processes on a :class:`~repro.harness.parallel.ParallelRunner`.
+Failed cells never abort a figure: their rows carry whatever values
+survived and the failures land in ``ExperimentResult.failures``.
 """
 
 from __future__ import annotations
 
+import functools
+
 from dataclasses import dataclass, field, replace
 
+from repro.harness.grid import RunSpec
 from repro.layout import om_layout, profile_of
 from repro.uarch import TABLE_1, simulate
 from repro.core import CgpPrefetcher
@@ -28,6 +39,7 @@ class ExperimentResult:
     columns: list
     rows: list = field(default_factory=list)  # (label, {column: value})
     notes: str = ""
+    failures: list = field(default_factory=list)  # failed grid cells
 
     def add_row(self, label, values):
         self.rows.append((label, values))
@@ -72,15 +84,24 @@ def fig4(runner, workloads=DB_WORKLOADS):
         [name for name, _l, _p in FIG4_CONFIGS]
         + [f"speedup:{name}" for name, _l, _p in FIG4_CONFIGS[1:]],
     )
+    grid = runner.run_grid(
+        [RunSpec(workload, layout_name, spec)
+         for workload in workloads
+         for _name, layout_name, spec in FIG4_CONFIGS],
+        grid="fig4",
+    )
     for workload in workloads:
         values = {}
         for name, layout_name, spec in FIG4_CONFIGS:
-            stats = runner.run(workload, layout_name, spec)
-            values[name] = stats.cycles
-        base = values["O5"]
+            stats = grid.get(RunSpec(workload, layout_name, spec))
+            if stats is not None:
+                values[name] = stats.cycles
+        base = values.get("O5")
         for name, _layout, _spec in FIG4_CONFIGS[1:]:
-            values[f"speedup:{name}"] = base / values[name]
+            if base and name in values:
+                values[f"speedup:{name}"] = base / values[name]
         result.add_row(workload, values)
+    result.failures = grid.failure_report()
     return result
 
 
@@ -100,15 +121,23 @@ def fig5(runner, workloads=DB_WORKLOADS):
         "than most finite ones (more useless prefetches).",
         FIG5_VARIANTS + [f"vs_inf:{v}" for v in FIG5_VARIANTS[:-1]],
     )
+    grid = runner.run_grid(
+        [RunSpec(workload, "OM", ("cgp", 4), cghc=variant)
+         for workload in workloads for variant in FIG5_VARIANTS],
+        grid="fig5",
+    )
     for workload in workloads:
         values = {}
         for variant in FIG5_VARIANTS:
-            stats = runner.run(workload, "OM", ("cgp", 4), cghc=variant)
-            values[variant] = stats.cycles
-        infinite = values["CGHC-Inf"]
+            stats = grid.get(RunSpec(workload, "OM", ("cgp", 4), cghc=variant))
+            if stats is not None:
+                values[variant] = stats.cycles
+        infinite = values.get("CGHC-Inf")
         for variant in FIG5_VARIANTS[:-1]:
-            values[f"vs_inf:{variant}"] = values[variant] / infinite
+            if infinite and variant in values:
+                values[f"vs_inf:{variant}"] = values[variant] / infinite
         result.add_row(workload, values)
+    result.failures = grid.failure_report()
     return result
 
 
@@ -136,16 +165,28 @@ def fig6(runner, workloads=DB_WORKLOADS):
         [name for name, *_rest in FIG6_CONFIGS]
         + ["speedup:CGP4_over_NL4", "gap:CGP4_to_perfect"],
     )
+    grid = runner.run_grid(
+        [RunSpec(workload, layout_name, spec, perfect=perfect)
+         for workload in workloads
+         for _name, layout_name, spec, perfect in FIG6_CONFIGS],
+        grid="fig6",
+    )
     for workload in workloads:
         values = {}
         for name, layout_name, spec, perfect in FIG6_CONFIGS:
-            stats = runner.run(workload, layout_name, spec, perfect=perfect)
-            values[name] = stats.cycles
-        values["speedup:CGP4_over_NL4"] = values["OM+NL_4"] / values["OM+CGP_4"]
-        values["gap:CGP4_to_perfect"] = (
-            values["OM+CGP_4"] / values["perf-Icache"] - 1.0
-        )
+            stats = grid.get(
+                RunSpec(workload, layout_name, spec, perfect=perfect))
+            if stats is not None:
+                values[name] = stats.cycles
+        if {"OM+NL_4", "OM+CGP_4", "perf-Icache"} <= values.keys():
+            values["speedup:CGP4_over_NL4"] = (
+                values["OM+NL_4"] / values["OM+CGP_4"]
+            )
+            values["gap:CGP4_to_perfect"] = (
+                values["OM+CGP_4"] / values["perf-Icache"] - 1.0
+            )
         result.add_row(workload, values)
+    result.failures = grid.failure_report()
     return result
 
 
@@ -170,16 +211,25 @@ def fig7(runner, workloads=DB_WORKLOADS):
         [name for name, *_rest in FIG7_CONFIGS]
         + ["reduction:OM", "reduction:NL", "reduction:CGP"],
     )
+    grid = runner.run_grid(
+        [RunSpec(workload, layout_name, spec)
+         for workload in workloads
+         for _name, layout_name, spec in FIG7_CONFIGS],
+        grid="fig7",
+    )
     for workload in workloads:
         values = {}
         for name, layout_name, spec in FIG7_CONFIGS:
-            stats = runner.run(workload, layout_name, spec)
-            values[name] = stats.demand_misses
-        base = values["O5"] or 1
-        values["reduction:OM"] = 1.0 - values["O5+OM"] / base
-        values["reduction:NL"] = 1.0 - values["OM+NL_4"] / base
-        values["reduction:CGP"] = 1.0 - values["OM+CGP_4"] / base
+            stats = grid.get(RunSpec(workload, layout_name, spec))
+            if stats is not None:
+                values[name] = stats.demand_misses
+        if len(values) == len(FIG7_CONFIGS):
+            base = values["O5"] or 1
+            values["reduction:OM"] = 1.0 - values["O5+OM"] / base
+            values["reduction:NL"] = 1.0 - values["OM+NL_4"] / base
+            values["reduction:CGP"] = 1.0 - values["OM+CGP_4"] / base
         result.add_row(workload, values)
+    result.failures = grid.failure_report()
     return result
 
 
@@ -205,10 +255,17 @@ def fig8(runner, workloads=DB_WORKLOADS):
         [f"{name}:{kind}" for name, _s in FIG8_CONFIGS
          for kind in ("pref_hits", "delayed_hits", "useless", "issued")],
     )
+    grid = runner.run_grid(
+        [RunSpec(workload, "OM", spec)
+         for workload in workloads for _name, spec in FIG8_CONFIGS],
+        grid="fig8",
+    )
     for workload in workloads:
         values = {}
         for name, spec in FIG8_CONFIGS:
-            stats = runner.run(workload, "OM", spec)
+            stats = grid.get(RunSpec(workload, "OM", spec))
+            if stats is None:
+                continue
             hits = delayed = useless = issued = 0
             for p in stats.prefetch.values():
                 hits += p.pref_hits
@@ -220,6 +277,7 @@ def fig8(runner, workloads=DB_WORKLOADS):
             values[f"{name}:useless"] = useless
             values[f"{name}:issued"] = issued
         result.add_row(workload, values)
+    result.failures = grid.failure_report()
     return result
 
 
@@ -238,8 +296,15 @@ def fig9(runner, workloads=DB_WORKLOADS):
          "nl:pref_hits", "nl:delayed_hits", "nl:useless",
          "cghc:pref_hits", "cghc:delayed_hits", "cghc:useless"],
     )
+    grid = runner.run_grid(
+        [RunSpec(workload, "OM", ("cgp", 4)) for workload in workloads],
+        grid="fig9",
+    )
     for workload in workloads:
-        stats = runner.run(workload, "OM", ("cgp", 4))
+        stats = grid.get(RunSpec(workload, "OM", ("cgp", 4)))
+        if stats is None:
+            result.add_row(workload, {})
+            continue
         values = {}
         for origin in ("nl", "cghc"):
             p = stats.prefetch_origin(origin)
@@ -249,6 +314,7 @@ def fig9(runner, workloads=DB_WORKLOADS):
             accounted = p.accounted() or 1
             values[f"{origin}:useful_fraction"] = p.useful() / accounted
         result.add_row(workload, values)
+    result.failures = grid.failure_report()
     return result
 
 
@@ -264,8 +330,40 @@ FIG10_CONFIGS = [
 ]
 
 
+def _fig10_cell(benchmark, target_instructions, sim_config):
+    """All FIG10 configs for one CPU2000 benchmark (one engine task:
+    the trace and layout are built once per benchmark)."""
+    image, trace = cpu2000.build_benchmark(
+        benchmark, target_instructions=target_instructions
+    )
+    profile = profile_of(trace)
+    layout = om_layout(image, profile, instr_scale=1.0)
+    values = {}
+    for name, spec, perfect in FIG10_CONFIGS:
+        config = (
+            replace(sim_config, perfect_icache=True) if perfect else sim_config
+        )
+        prefetcher = None
+        if spec is not None and spec[0] == "nl":
+            prefetcher = NextNLinePrefetcher(spec[1])
+        elif spec is not None and spec[0] == "cgp":
+            prefetcher = CgpPrefetcher(
+                spec[1], cghc_variant("CGHC-2K+32K"), layout
+            )
+        stats = simulate(trace, layout, config, prefetcher=prefetcher)
+        values[name] = stats.cycles
+        if name == "O5+OM":
+            values["miss_ratio"] = stats.miss_rate
+    values["gap_to_perfect"] = values["O5+OM"] / values["perf-Icache"] - 1.0
+    values["nl_vs_cgp"] = values["OM+NL_4"] / values["OM+CGP_4"]
+    return values
+
+
 def fig10(benchmarks=cpu2000.BENCHMARK_NAMES, target_instructions=2_000_000,
-          sim_config=TABLE_1):
+          sim_config=TABLE_1, engine=None):
+    """CPU2000 figure.  ``engine`` is any runner exposing ``run_tasks``
+    (the benchmarks carry their own artifacts, so they go through the
+    engine's generic task lane rather than the RunSpec grid)."""
     result = ExperimentResult(
         "fig10",
         "Effectiveness of CGP on CPU2000 applications",
@@ -275,31 +373,22 @@ def fig10(benchmarks=cpu2000.BENCHMARK_NAMES, target_instructions=2_000_000,
         [name for name, _s, _p in FIG10_CONFIGS]
         + ["miss_ratio", "gap_to_perfect", "nl_vs_cgp"],
     )
+    tasks = [
+        (benchmark,
+         functools.partial(_fig10_cell, benchmark, target_instructions,
+                           sim_config))
+        for benchmark in benchmarks
+    ]
+    if engine is None:
+        from repro.harness.runner import ExperimentRunner
+
+        engine = ExperimentRunner(sim_config=sim_config)
+    grid = engine.run_tasks(tasks, grid="fig10")
     for benchmark in benchmarks:
-        image, trace = cpu2000.build_benchmark(
-            benchmark, target_instructions=target_instructions
-        )
-        profile = profile_of(trace)
-        layout = om_layout(image, profile, instr_scale=1.0)
-        values = {}
-        for name, spec, perfect in FIG10_CONFIGS:
-            config = (
-                replace(sim_config, perfect_icache=True) if perfect else sim_config
-            )
-            prefetcher = None
-            if spec is not None and spec[0] == "nl":
-                prefetcher = NextNLinePrefetcher(spec[1])
-            elif spec is not None and spec[0] == "cgp":
-                prefetcher = CgpPrefetcher(
-                    spec[1], cghc_variant("CGHC-2K+32K"), layout
-                )
-            stats = simulate(trace, layout, config, prefetcher=prefetcher)
-            values[name] = stats.cycles
-            if name == "O5+OM":
-                values["miss_ratio"] = stats.miss_rate
-        values["gap_to_perfect"] = values["O5+OM"] / values["perf-Icache"] - 1.0
-        values["nl_vs_cgp"] = values["OM+NL_4"] / values["OM+CGP_4"]
-        result.add_row(benchmark, values)
+        values = grid.get(benchmark)
+        if values is not None:
+            result.add_row(benchmark, values)
+    result.failures = grid.failure_report()
     return result
 
 
@@ -318,19 +407,35 @@ def runahead_ablation(runner, workloads=DB_WORKLOADS, run_ahead=4):
         ["OM+NL_4", "OM+RA-NL_4", "OM+CGP_4", "ra_slowdown_vs_nl",
          "ra_useless", "nl_useless"],
     )
+    specs = {
+        "OM+NL_4": ("nl", 4),
+        "OM+RA-NL_4": ("ra-nl", 4, run_ahead),
+        "OM+CGP_4": ("cgp", 4),
+    }
+    grid = runner.run_grid(
+        [RunSpec(workload, "OM", spec)
+         for workload in workloads for spec in specs.values()],
+        grid="runahead",
+    )
     for workload in workloads:
-        nl = runner.run(workload, "OM", ("nl", 4))
-        ra = runner.run(workload, "OM", ("ra-nl", 4, run_ahead))
-        cgp = runner.run(workload, "OM", ("cgp", 4))
-        values = {
-            "OM+NL_4": nl.cycles,
-            "OM+RA-NL_4": ra.cycles,
-            "OM+CGP_4": cgp.cycles,
-            "ra_slowdown_vs_nl": ra.cycles / nl.cycles,
-            "ra_useless": sum(p.useless for p in ra.prefetch.values()),
-            "nl_useless": sum(p.useless for p in nl.prefetch.values()),
-        }
+        nl = grid.get(RunSpec(workload, "OM", specs["OM+NL_4"]))
+        ra = grid.get(RunSpec(workload, "OM", specs["OM+RA-NL_4"]))
+        cgp = grid.get(RunSpec(workload, "OM", specs["OM+CGP_4"]))
+        values = {}
+        if nl is not None:
+            values["OM+NL_4"] = nl.cycles
+            values["nl_useless"] = sum(
+                p.useless for p in nl.prefetch.values())
+        if ra is not None:
+            values["OM+RA-NL_4"] = ra.cycles
+            values["ra_useless"] = sum(
+                p.useless for p in ra.prefetch.values())
+        if cgp is not None:
+            values["OM+CGP_4"] = cgp.cycles
+        if nl is not None and ra is not None:
+            values["ra_slowdown_vs_nl"] = ra.cycles / nl.cycles
         result.add_row(workload, values)
+    result.failures = grid.failure_report()
     return result
 
 
@@ -381,13 +486,15 @@ def scale_sensitivity(runner_small, runner_large, workload="wisc-large-2"):
         ["scale", "speedup:OM+CGP_4_over_OM"],
     )
     for label, runner in (("small", runner_small), ("large", runner_large)):
-        om = runner.run(workload, "OM", None)
-        cgp = runner.run(workload, "OM", ("cgp", 4))
-        result.add_row(
-            label,
-            {
-                "scale": runner.scales[workload],
-                "speedup:OM+CGP_4_over_OM": om.cycles / cgp.cycles,
-            },
+        grid = runner.run_grid(
+            [RunSpec(workload, "OM", None), RunSpec(workload, "OM", ("cgp", 4))],
+            grid=f"scale-{label}",
         )
+        om = grid.get(RunSpec(workload, "OM", None))
+        cgp = grid.get(RunSpec(workload, "OM", ("cgp", 4)))
+        values = {"scale": runner.scales[workload]}
+        if om is not None and cgp is not None:
+            values["speedup:OM+CGP_4_over_OM"] = om.cycles / cgp.cycles
+        result.add_row(label, values)
+        result.failures.extend(grid.failure_report())
     return result

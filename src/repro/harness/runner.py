@@ -20,10 +20,14 @@ from __future__ import annotations
 
 import os
 import pickle
+import time
 from dataclasses import dataclass, field, replace
 
 from repro.core import CgpPrefetcher
-from repro.errors import ConfigError
+from repro.errors import CacheCorruptionError, ConfigError
+from repro.harness.cache import ResultCache, config_fingerprint
+from repro.harness.grid import FAIL_CACHE, FAIL_ERROR, CellFailure, GridResult, RunSpec
+from repro.harness.telemetry import RunJournal
 from repro.instrument import Tracer, build_db_image
 from repro.instrument.codeimage import freeze_image
 from repro.instrument.expand import ExpansionConfig, expand_trace
@@ -85,10 +89,20 @@ class WorkloadArtifacts:
 
 
 class ExperimentRunner:
-    """Builds and caches artifacts and simulation results."""
+    """Builds and caches artifacts and simulation results.
+
+    Results are cached at two levels: an in-memory dict for this
+    process, and (when ``cache_dir`` or ``results_dir`` is given) a
+    durable on-disk :class:`~repro.harness.cache.ResultCache` shared
+    across processes and invocations.  Both are keyed by a content hash
+    of the *full* configuration (workload, effective pipeline, layout,
+    prefetcher spec, perfect flag, CGHC variant, SimConfig) — never by
+    object identity.
+    """
 
     def __init__(self, pipeline=PipelineConfig(), sim_config=TABLE_1,
-                 cache_dir=None, scales=None):
+                 cache_dir=None, scales=None, results_dir=None,
+                 journal=None, progress=None):
         self.pipeline = pipeline
         self.sim_config = sim_config
         self.scales = dict(DEFAULT_SCALES)
@@ -99,6 +113,13 @@ class ExperimentRunner:
         self._cache_dir = cache_dir
         if cache_dir:
             os.makedirs(cache_dir, exist_ok=True)
+        if results_dir is None and cache_dir is not None:
+            results_dir = os.path.join(cache_dir, "results")
+        self.result_cache = ResultCache(results_dir) if results_dir else None
+        if isinstance(journal, str):
+            journal = RunJournal(journal)
+        self.journal = journal
+        self.progress = progress
 
     # ------------------------------------------------------------------
     # stage 1: artifacts
@@ -152,23 +173,165 @@ class ExperimentRunner:
         ``prefetcher_spec``: None, ("nl", N), ("t-nl", N),
         ("ra-nl", N, M), or ("cgp", N).
         """
-        config = sim_config if sim_config is not None else self.sim_config
-        key = (suite_name, layout_name, prefetcher_spec, perfect, cghc,
-               id(sim_config) if sim_config is not None else None)
+        return self.run_spec(
+            RunSpec(suite_name, layout_name, prefetcher_spec, perfect,
+                    cghc, sim_config)
+        )
+
+    def effective_pipeline(self, suite_name):
+        """The pipeline actually used for one suite (per-suite scale)."""
+        return replace(
+            self.pipeline,
+            scale=self.scales.get(suite_name, self.pipeline.scale),
+        )
+
+    def fingerprint(self, spec):
+        """Stable content hash of everything that determines one result."""
+        config = spec.sim_config if spec.sim_config is not None else self.sim_config
+        return config_fingerprint(
+            suite=spec.suite,
+            pipeline=self.effective_pipeline(spec.suite),
+            layout=spec.layout,
+            prefetcher=spec.prefetcher,
+            perfect=spec.perfect,
+            cghc=spec.cghc,
+            sim_config=config,
+        )
+
+    def lookup_cached(self, spec, fingerprint=None):
+        """Cached stats for a spec, or None.  May raise
+        CacheCorruptionError if the durable entry is unreadable."""
+        key = fingerprint or self.fingerprint(spec)
         cached = self._results.get(key)
         if cached is not None:
             return cached
-        artifacts = self.artifacts(suite_name)
-        layout = artifacts.layout(layout_name)
-        if perfect:
-            config = replace(config, perfect_icache=True)
-        prefetcher = _make_prefetcher(prefetcher_spec, layout, cghc)
-        stats = simulate(artifacts.trace, layout, config, prefetcher=prefetcher)
+        if self.result_cache is not None:
+            stats = self.result_cache.get(key)
+            if stats is not None:
+                self._results[key] = stats
+                return stats
+        return None
+
+    def run_spec(self, spec):
+        """Simulate one RunSpec (memory + durable cache); returns SimStats."""
+        key = self.fingerprint(spec)
+        cached = self.lookup_cached(spec, fingerprint=key)
+        if cached is not None:
+            return cached
+        stats = self.compute_spec(spec)
         self._results[key] = stats
+        if self.result_cache is not None:
+            self.result_cache.put(key, stats, config_echo={
+                "suite": spec.suite, "layout": spec.layout,
+                "prefetcher": spec.prefetcher, "perfect": spec.perfect,
+                "cghc": spec.cghc,
+                "pipeline": self.effective_pipeline(spec.suite),
+            })
         return stats
+
+    def compute_spec(self, spec):
+        """Uncached simulation of one RunSpec."""
+        config = spec.sim_config if spec.sim_config is not None else self.sim_config
+        artifacts = self.artifacts(spec.suite)
+        layout = artifacts.layout(spec.layout)
+        if spec.perfect:
+            config = replace(config, perfect_icache=True)
+        prefetcher = _make_prefetcher(spec.prefetcher, layout, spec.cghc)
+        return simulate(artifacts.trace, layout, config, prefetcher=prefetcher)
 
     def clear_results(self):
         self._results.clear()
+
+    # ------------------------------------------------------------------
+    # grid engine (serial reference implementation; ParallelRunner
+    # overrides run_grid / run_tasks with process fan-out)
+    # ------------------------------------------------------------------
+    @property
+    def max_workers(self):
+        return 1
+
+    def _emit(self, event, **fields):
+        record = {"event": event, **fields}
+        if self.journal is not None:
+            record = self.journal.write(event, **fields)
+        if self.progress is not None:
+            self.progress(record)
+
+    def run_grid(self, specs, grid="grid"):
+        """Run every RunSpec in ``specs`` serially; never aborts the
+        grid — failing cells are reported in ``GridResult.failures``."""
+        specs = list(dict.fromkeys(specs))
+        result = GridResult()
+        started = time.perf_counter()
+        cached_cells = 0
+        self._emit("grid-start", grid=grid, cells=len(specs),
+                   max_workers=self.max_workers)
+        for done, spec in enumerate(specs, 1):
+            key = self.fingerprint(spec)
+            cell_started = time.perf_counter()
+            try:
+                hit = self.lookup_cached(spec, fingerprint=key) is not None
+                stats = self.run_spec(spec)
+            except CacheCorruptionError as exc:
+                result.failures.append(
+                    CellFailure(spec, FAIL_CACHE, str(exc)))
+                self._emit("run", grid=grid, key=key, label=spec.label(),
+                           status="error", cache="corrupt",
+                           error=str(exc), done=done, cells=len(specs))
+                continue
+            except Exception as exc:  # never abort the whole figure
+                result.failures.append(
+                    CellFailure(spec, FAIL_ERROR,
+                                f"{type(exc).__name__}: {exc}"))
+                self._emit("run", grid=grid, key=key, label=spec.label(),
+                           status="error",
+                           error=f"{type(exc).__name__}: {exc}",
+                           done=done, cells=len(specs))
+                continue
+            result.set(spec, stats)
+            cached_cells += hit
+            self._emit("run", grid=grid, key=key, label=spec.label(),
+                       suite=spec.suite, layout=spec.layout,
+                       prefetcher=list(spec.prefetcher or ()) or None,
+                       perfect=spec.perfect, cghc=spec.cghc,
+                       status="ok", cache="hit" if hit else "miss",
+                       wall_s=round(time.perf_counter() - cell_started, 4),
+                       worker=os.getpid(), attempt=1,
+                       summary=stats.summary(), done=done, cells=len(specs))
+        self._emit("grid-end", grid=grid, ok=len(result.cells),
+                   failed=len(result.failures), cached=cached_cells,
+                   wall_s=round(time.perf_counter() - started, 4))
+        return result
+
+    def run_tasks(self, tasks, grid="tasks"):
+        """Run (label, callable) pairs serially with per-cell error
+        capture; the parallel engine fans these out over processes."""
+        result = GridResult()
+        started = time.perf_counter()
+        self._emit("grid-start", grid=grid, cells=len(tasks),
+                   max_workers=self.max_workers)
+        for done, (label, fn) in enumerate(tasks, 1):
+            cell_started = time.perf_counter()
+            try:
+                value = fn()
+            except Exception as exc:  # tasks are arbitrary user code
+                result.failures.append(
+                    CellFailure(label, FAIL_ERROR,
+                                f"{type(exc).__name__}: {exc}"))
+                self._emit("run", grid=grid, label=label, status="error",
+                           error=f"{type(exc).__name__}: {exc}",
+                           done=done, cells=len(tasks))
+                continue
+            result.set(label, value)
+            self._emit("run", grid=grid, label=label, status="ok",
+                       cache="miss",
+                       wall_s=round(time.perf_counter() - cell_started, 4),
+                       worker=os.getpid(), attempt=1,
+                       done=done, cells=len(tasks))
+        self._emit("grid-end", grid=grid, ok=len(result.cells),
+                   failed=len(result.failures), cached=0,
+                   wall_s=round(time.perf_counter() - started, 4))
+        return result
 
 
 def _build_trace(suite_name, pipeline):

@@ -1,0 +1,147 @@
+"""Run telemetry: a JSONL journal plus live progress reporting.
+
+Every grid submitted through the experiment engine can stream one JSON
+object per line to a **run journal**.  The journal is the ground truth
+for benchmarking and post-mortems: it records, per simulation cell, the
+wall time, which worker process ran it, whether the durable cache hit,
+and the run's ``SimStats.summary()``.
+
+Journal record kinds (the ``event`` field):
+
+* ``grid-start`` — ``{grid, cells, max_workers}``
+* ``run`` — one cell finished:
+  ``{grid, key, suite, layout, prefetcher, perfect, cghc, status,
+  cache, wall_s, worker, attempt, summary | error}``
+  where ``status`` is ``ok`` / ``error`` / ``timeout`` / ``crash`` and
+  ``cache`` is ``hit`` / ``miss``.
+* ``grid-end`` — ``{grid, ok, failed, cached, wall_s}``
+
+All events additionally carry ``ts`` (UNIX seconds) and ``pid`` (the
+writer, i.e. the coordinating process).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import time
+
+
+class RunJournal:
+    """Append-only JSONL journal; one instance per coordinating process.
+
+    Safe to point several sequential grids at the same file; the
+    ``grid`` field disambiguates.  Opened lazily and flushed per line so
+    a crash loses at most the in-flight record.
+    """
+
+    def __init__(self, path):
+        self.path = path
+        self._fh = None
+
+    def _handle(self):
+        if self._fh is None:
+            directory = os.path.dirname(os.path.abspath(self.path))
+            os.makedirs(directory, exist_ok=True)
+            self._fh = open(self.path, "a", encoding="utf-8")
+        return self._fh
+
+    def write(self, event, **fields):
+        record = {"ts": round(time.time(), 3), "pid": os.getpid(),
+                  "event": event}
+        record.update(fields)
+        fh = self._handle()
+        fh.write(json.dumps(record, sort_keys=True) + "\n")
+        fh.flush()
+        return record
+
+    def close(self):
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info):
+        self.close()
+
+    @staticmethod
+    def read(path):
+        """Parse a journal back into a list of records."""
+        records = []
+        with open(path, "r", encoding="utf-8") as fh:
+            for line in fh:
+                line = line.strip()
+                if line:
+                    records.append(json.loads(line))
+        return records
+
+
+def progress_printer(stream=None):
+    """A progress callback that renders one line per completed cell.
+
+    Wire it into an engine:  ``ParallelRunner(..., progress=progress_printer())``.
+    ``scripts/bench_parallel.py`` and ``scripts/run_benchmarks.sh`` use
+    this for live output under long grid runs.
+    """
+    out = stream if stream is not None else sys.stderr
+
+    def callback(event):
+        kind = event.get("event")
+        if kind == "grid-start":
+            out.write(
+                f"[grid {event.get('grid', '?')}] "
+                f"{event['cells']} cells, "
+                f"max_workers={event.get('max_workers', 1)}\n"
+            )
+        elif kind == "run":
+            done = event.get("done", "?")
+            total = event.get("cells", "?")
+            status = event["status"]
+            cell = event.get("label") or event.get("key", "")[:12]
+            extra = (
+                f"{event.get('wall_s', 0):.2f}s {event.get('cache', '')}"
+                if status == "ok"
+                else str(event.get("error", ""))[:80]
+            )
+            out.write(f"  [{done}/{total}] {cell}: {status} {extra}\n")
+        elif kind == "grid-end":
+            out.write(
+                f"[grid {event.get('grid', '?')}] done: "
+                f"{event['ok']} ok, {event['failed']} failed, "
+                f"{event['cached']} cached, {event['wall_s']:.2f}s\n"
+            )
+        out.flush()
+
+    return callback
+
+
+def journal_grid_summary(records, grid=None):
+    """Aggregate journal records into per-grid timing/cache statistics."""
+    summary = {}
+    for record in records:
+        if record.get("event") != "run":
+            continue
+        name = record.get("grid", "?")
+        if grid is not None and name != grid:
+            continue
+        bucket = summary.setdefault(
+            name,
+            {"runs": 0, "ok": 0, "failed": 0, "cache_hits": 0,
+             "wall_s": 0.0, "workers": set()},
+        )
+        bucket["runs"] += 1
+        bucket["wall_s"] += record.get("wall_s", 0.0)
+        if record.get("status") == "ok":
+            bucket["ok"] += 1
+        else:
+            bucket["failed"] += 1
+        if record.get("cache") == "hit":
+            bucket["cache_hits"] += 1
+        if "worker" in record:
+            bucket["workers"].add(record["worker"])
+    for bucket in summary.values():
+        bucket["workers"] = sorted(bucket["workers"])
+    return summary

@@ -42,6 +42,12 @@ class PrefetchStats:
             "squashed": self.squashed,
         }
 
+    @classmethod
+    def from_dict(cls, payload):
+        return cls(**{f: payload[f] for f in
+                      ("issued", "pref_hits", "delayed_hits", "useless",
+                       "squashed")})
+
 
 @dataclass
 class SimStats:
@@ -105,6 +111,36 @@ class SimStats:
 
     def total_useless_prefetches(self):
         return sum(p.useless for p in self.prefetch.values())
+
+    # ------------------------------------------------------------------
+    # serialization (durable result cache, worker -> parent transport)
+    # ------------------------------------------------------------------
+
+    _SCALAR_FIELDS = (
+        "instructions", "cycles", "fetch_cycles", "base_cycles",
+        "stall_cycles", "mispredict_cycles", "line_accesses", "l1_hits",
+        "demand_misses", "l2_hits", "memory_fetches", "calls", "returns",
+        "mispredicted_calls", "bus_transactions", "cghc_l1_hits",
+        "cghc_l2_hits", "cghc_misses",
+    )
+
+    def to_dict(self):
+        """Full-precision round-trippable form (unlike ``summary()``,
+        which rounds for human consumption)."""
+        payload = {f: getattr(self, f) for f in self._SCALAR_FIELDS}
+        payload["prefetch"] = {
+            origin: p.as_dict() for origin, p in sorted(self.prefetch.items())
+        }
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload):
+        scalars = {f: payload[f] for f in cls._SCALAR_FIELDS}
+        prefetch = {
+            origin: PrefetchStats.from_dict(p)
+            for origin, p in payload["prefetch"].items()
+        }
+        return cls(prefetch=prefetch, **scalars)
 
     def summary(self):
         return {

@@ -1,0 +1,159 @@
+"""Result-cache keying and the durable on-disk ResultCache.
+
+The keying tests pin the fix for the ``id(sim_config)`` bug: the old
+in-memory cache keyed explicit SimConfig overrides by object identity,
+so a recycled id could silently return stats for a *different*
+configuration.  Keys are now content hashes of the full config.
+"""
+
+import gc
+import json
+import os
+
+import pytest
+
+from repro.errors import CacheCorruptionError
+from repro.harness import RunSpec, config_fingerprint
+from repro.harness.cache import ResultCache
+from repro.harness.runner import ExperimentRunner, PipelineConfig
+from repro.uarch.config import SimConfig
+from repro.uarch.stats import PrefetchStats, SimStats
+
+
+# ----------------------------------------------------------------------
+# fingerprints
+# ----------------------------------------------------------------------
+
+
+def test_fingerprint_is_value_based_not_identity_based():
+    a = SimConfig(memory_latency=80)
+    b = SimConfig(memory_latency=80)  # equal value, different object
+    assert a is not b
+    assert config_fingerprint(config=a) == config_fingerprint(config=b)
+
+
+def test_fingerprint_distinguishes_every_field():
+    base = config_fingerprint(config=SimConfig())
+    assert config_fingerprint(config=SimConfig(memory_latency=81)) != base
+    assert config_fingerprint(config=SimConfig(base_cpi=0.56)) != base
+    assert config_fingerprint(config=SimConfig(fetch_width=8)) != base
+
+
+def test_fingerprint_distinguishes_spec_dimensions():
+    keys = {
+        config_fingerprint(suite=s, layout=l, prefetcher=p, perfect=f)
+        for s in ("wisc-prof", "wisc+tpch")
+        for l in ("O5", "OM")
+        for p in (None, ("cgp", 4), ("nl", 4))
+        for f in (False, True)
+    }
+    assert len(keys) == 2 * 2 * 3 * 2
+
+
+def test_runner_key_regression_same_id_different_config():
+    """Two distinct configs allocated at the same address must not
+    collide (the historical ``id(sim_config)`` bug)."""
+    runner = ExperimentRunner(pipeline=PipelineConfig())
+    first = SimConfig(memory_latency=80)
+    spec_of = lambda cfg: RunSpec("wisc-prof", "OM", None, sim_config=cfg)
+    key_first = runner.fingerprint(spec_of(first))
+    first_id = id(first)
+    del first
+    gc.collect()
+    # CPython routinely hands the freed address to the next allocation;
+    # assert correctness whether or not the id actually recycled.
+    second = SimConfig(memory_latency=999)
+    recycled = id(second) == first_id
+    key_second = runner.fingerprint(spec_of(second))
+    assert key_first != key_second, (
+        f"distinct configs collided (id recycled: {recycled})"
+    )
+    # and an equal-valued config maps back to the original key
+    assert runner.fingerprint(
+        spec_of(SimConfig(memory_latency=80))) == key_first
+
+
+def test_runner_run_does_not_serve_stale_config(small_runner):
+    slow = small_runner.run("wisc-prof", "OM", None,
+                            sim_config=SimConfig(memory_latency=300))
+    fast = small_runner.run("wisc-prof", "OM", None,
+                            sim_config=SimConfig(memory_latency=10))
+    assert slow.cycles > fast.cycles
+    # equal-value config hits the cache even though it is a new object
+    again = small_runner.run("wisc-prof", "OM", None,
+                             sim_config=SimConfig(memory_latency=300))
+    assert again is slow
+
+
+# ----------------------------------------------------------------------
+# durable ResultCache
+# ----------------------------------------------------------------------
+
+
+def _stats():
+    return SimStats(
+        instructions=100, cycles=123.456789, demand_misses=7,
+        line_accesses=50, stall_cycles=20.25, bus_transactions=9,
+        prefetch={"nl": PrefetchStats(issued=5, pref_hits=3, useless=2)},
+    )
+
+
+def test_result_cache_roundtrip_exact(tmp_path):
+    cache = ResultCache(str(tmp_path))
+    key = config_fingerprint(x=1)
+    assert cache.get(key) is None
+    cache.put(key, _stats())
+    loaded = cache.get(key)
+    assert loaded.cycles == 123.456789  # full precision, no rounding
+    assert loaded.to_dict() == _stats().to_dict()
+    assert key in cache
+    assert len(cache) == 1
+
+
+def test_result_cache_corruption_detected(tmp_path):
+    cache = ResultCache(str(tmp_path))
+    key = config_fingerprint(x=2)
+    cache.put(key, _stats())
+    with open(cache.path(key), "w") as fh:
+        fh.write("{ truncated garbage")
+    with pytest.raises(CacheCorruptionError):
+        cache.get(key)
+
+
+def test_result_cache_version_mismatch_detected(tmp_path):
+    cache = ResultCache(str(tmp_path))
+    key = config_fingerprint(x=3)
+    cache.put(key, _stats())
+    with open(cache.path(key)) as fh:
+        payload = json.load(fh)
+    payload["version"] = 999
+    with open(cache.path(key), "w") as fh:
+        json.dump(payload, fh)
+    with pytest.raises(CacheCorruptionError):
+        cache.get(key)
+
+
+def test_result_cache_writes_are_atomic(tmp_path):
+    cache = ResultCache(str(tmp_path))
+    cache.put(config_fingerprint(x=4), _stats())
+    leftovers = [n for n in os.listdir(tmp_path) if n.startswith(".tmp-")]
+    assert not leftovers
+
+
+def test_runner_durable_cache_shared_across_processes_shape(tmp_path):
+    """A second runner process (simulated by a fresh instance) reuses
+    the durable result without resimulating."""
+    kwargs = dict(
+        pipeline=PipelineConfig(quantum_rows=2),
+        scales={"wisc-prof": 0.06},
+        cache_dir=str(tmp_path),
+    )
+    first = ExperimentRunner(**kwargs)
+    stats = first.run("wisc-prof", "OM", None)
+    fresh = ExperimentRunner(**kwargs)
+    # no artifacts are built for a durable cache hit
+    reloaded = fresh.lookup_cached(RunSpec("wisc-prof", "OM", None))
+    assert reloaded is not None
+    assert not fresh._artifacts
+    assert reloaded.cycles == stats.cycles
+    assert reloaded.summary() == stats.summary()

@@ -1,0 +1,90 @@
+"""Golden determinism tests.
+
+One tiny fixed-seed run per suite is pinned to a checked-in
+``SimStats.summary()`` in ``tests/harness/goldens/<suite>.json``.  Any
+accidental nondeterminism — from process fan-out, cache serialization,
+dict-ordering drift, or an unseeded random — fails these loudly instead
+of silently shifting every figure.
+
+The pinned configuration is OM + CGP_4 at the conftest ``small_runner``
+scales (so the expensive artifacts are shared with the rest of the
+suite).  If you *intentionally* change simulator behaviour, regenerate
+with::
+
+    PYTHONPATH=src python -m tests.harness.test_goldens
+"""
+
+import json
+import os
+
+import pytest
+
+GOLDEN_DIR = os.path.join(os.path.dirname(__file__), "goldens")
+SUITES = ["wisc-prof", "wisc-large-1", "wisc-large-2", "wisc+tpch"]
+GOLDEN_SPEC = ("OM", ("cgp", 4))
+
+
+def golden_path(suite):
+    return os.path.join(GOLDEN_DIR, f"{suite}.json")
+
+
+def compute_summary(runner, suite):
+    layout, prefetcher = GOLDEN_SPEC
+    return runner.run(suite, layout, prefetcher).summary()
+
+
+@pytest.mark.parametrize("suite", SUITES)
+def test_summary_matches_golden(small_runner, suite):
+    with open(golden_path(suite)) as fh:
+        golden = json.load(fh)
+    measured = compute_summary(small_runner, suite)
+    assert measured == golden, (
+        f"{suite}: simulation no longer reproduces its golden summary — "
+        "either nondeterminism crept in, or an intentional simulator "
+        "change needs `python -m tests.harness.test_goldens` to "
+        "regenerate the goldens"
+    )
+
+
+def test_goldens_exist_for_every_suite():
+    for suite in SUITES:
+        assert os.path.exists(golden_path(suite)), f"missing {suite} golden"
+
+
+def test_golden_survives_process_fanout(small_runner, tmp_path):
+    """The same cell computed in a worker process reproduces the golden
+    (catches fork-dependent nondeterminism the serial test can't)."""
+    from repro.harness import ParallelRunner, RunSpec
+
+    suite = "wisc-prof"
+    engine = ParallelRunner(
+        pipeline=small_runner.pipeline, scales=small_runner.scales,
+        results_dir=str(tmp_path / "results"), max_workers=2)
+    layout, prefetcher = GOLDEN_SPEC
+    grid = engine.run_grid([RunSpec(suite, layout, prefetcher)],
+                           grid="golden-fanout")
+    assert grid.ok
+    with open(golden_path(suite)) as fh:
+        golden = json.load(fh)
+    (stats,) = grid.cells.values()
+    assert stats.summary() == golden
+
+
+def regenerate():
+    from repro.harness import ExperimentRunner, PipelineConfig
+
+    scales = {"wisc-prof": 0.15, "wisc-large-1": 0.012,
+              "wisc-large-2": 0.012, "wisc+tpch": 0.008}
+    runner = ExperimentRunner(
+        pipeline=PipelineConfig(quantum_rows=2), scales=scales)
+    os.makedirs(GOLDEN_DIR, exist_ok=True)
+    for suite in SUITES:
+        with open(golden_path(suite), "w") as fh:
+            json.dump(compute_summary(runner, suite), fh, indent=2,
+                      sort_keys=True)
+            fh.write("\n")
+        print(f"regenerated {golden_path(suite)}")
+
+
+if __name__ == "__main__":
+    regenerate()

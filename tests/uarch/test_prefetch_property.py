@@ -1,0 +1,151 @@
+"""Property-based prefetch *accounting* invariants (harness telemetry
+depends on these; the engine-level identities live in
+``test_engine_property.py``).
+
+Across randomized small traces and every prefetcher family the
+simulator ships (plain NL, tagged NL, run-ahead NL, CGP), the
+per-origin PrefetchStats must satisfy:
+
+* ``issued >= accounted()`` — nothing is classified that was never
+  issued; at end of run the engine drains, so equality holds too;
+* ``useful() + useless`` partitions ``accounted()`` exactly
+  (``useful = pref_hits + delayed_hits``);
+* squashed prefetches are never counted as issued: they cost no bus
+  transaction, so ``bus_transactions == demand_misses + issued``.
+"""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import CgpPrefetcher
+from repro.instrument.codeimage import CodeImage
+from repro.instrument.trace import Trace
+from repro.layout.layouts import AddressMap
+from repro.uarch.config import CacheConfig, CghcConfig, SimConfig
+from repro.uarch.fetch_engine import simulate
+from repro.uarch.prefetch.nl import (
+    NextNLinePrefetcher,
+    RunAheadNLPrefetcher,
+    TaggedNLPrefetcher,
+)
+
+N_FUNCTIONS = 6
+FUNC_SIZE = 120
+
+SMALL_CONFIG = SimConfig(
+    l1i=CacheConfig(512, 2),  # tiny L1 so evictions (useless) happen
+    l2=CacheConfig(4096, 4),
+    base_cpi=0.3,
+)
+
+PREFETCHERS = ["nl", "t-nl", "ra-nl", "cgp"]
+
+
+def build_layout():
+    image = CodeImage()
+    for i in range(N_FUNCTIONS):
+        image.register_synthetic(f"f{i}", FUNC_SIZE)
+    return AddressMap(image, range(N_FUNCTIONS), 1.0, 1.0, 1.0, "prop")
+
+
+def make_prefetcher(name, layout, degree):
+    if name == "nl":
+        return NextNLinePrefetcher(degree)
+    if name == "t-nl":
+        return TaggedNLPrefetcher(degree)
+    if name == "ra-nl":
+        return RunAheadNLPrefetcher(degree, 3)
+    return CgpPrefetcher(
+        degree, CghcConfig(l1_bytes=4 * 40, l2_bytes=16 * 40), layout
+    )
+
+
+@st.composite
+def traces(draw):
+    """Well-formed small traces: balanced calls, offsets in range."""
+    trace = Trace()
+    stack = []
+    for _ in range(draw(st.integers(1, 50))):
+        action = draw(st.sampled_from(["exec", "exec", "call", "ret"]))
+        if action == "exec":
+            fid = stack[-1] if stack else draw(
+                st.integers(0, N_FUNCTIONS - 1))
+            trace.add_exec(fid, draw(st.integers(0, FUNC_SIZE - 1)),
+                           draw(st.integers(0, FUNC_SIZE - 1)))
+        elif action == "call" and len(stack) < 8:
+            callee = draw(st.integers(0, N_FUNCTIONS - 1))
+            trace.add_call(callee, stack[-1] if stack else -1,
+                           draw(st.integers(0, FUNC_SIZE - 1)))
+            stack.append(callee)
+        elif action == "ret" and stack:
+            fid = stack.pop()
+            trace.add_return(fid, stack[-1] if stack else -1, 0)
+    while stack:
+        fid = stack.pop()
+        trace.add_return(fid, stack[-1] if stack else -1, 0)
+    return trace
+
+
+@settings(max_examples=60, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(trace=traces(), pf=st.sampled_from(PREFETCHERS),
+       degree=st.integers(1, 4))
+def test_issued_bounds_accounted(trace, pf, degree):
+    layout = build_layout()
+    stats = simulate(trace, layout, SMALL_CONFIG,
+                     prefetcher=make_prefetcher(pf, layout, degree))
+    for origin, p in stats.prefetch.items():
+        assert p.issued >= p.accounted(), origin
+        # the engine drains at end of run, so the bound is tight
+        assert p.issued == p.accounted(), origin
+
+
+@settings(max_examples=60, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(trace=traces(), pf=st.sampled_from(PREFETCHERS),
+       degree=st.integers(1, 4))
+def test_useful_useless_partition(trace, pf, degree):
+    layout = build_layout()
+    stats = simulate(trace, layout, SMALL_CONFIG,
+                     prefetcher=make_prefetcher(pf, layout, degree))
+    for origin, p in stats.prefetch.items():
+        assert p.useful() == p.pref_hits + p.delayed_hits, origin
+        assert p.useful() + p.useless == p.accounted(), origin
+        assert min(p.pref_hits, p.delayed_hits, p.useless,
+                   p.squashed, p.issued) >= 0, origin
+
+
+@settings(max_examples=60, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(trace=traces(), pf=st.sampled_from(PREFETCHERS),
+       degree=st.integers(1, 4))
+def test_squashed_never_counted_as_issued(trace, pf, degree):
+    """A squashed prefetch (target already resident or in flight) must
+    cost nothing: no issue, no bus transaction.  Hence total L2 port
+    traffic is exactly demand misses + issued prefetches."""
+    layout = build_layout()
+    stats = simulate(trace, layout, SMALL_CONFIG,
+                     prefetcher=make_prefetcher(pf, layout, degree))
+    issued = sum(p.issued for p in stats.prefetch.values())
+    assert stats.bus_transactions == stats.demand_misses + issued
+
+
+@settings(max_examples=30, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(trace=traces(), pf=st.sampled_from(PREFETCHERS),
+       degree=st.integers(1, 4))
+def test_accounting_survives_serialization(trace, pf, degree):
+    """The dict round-trip the parallel engine and durable cache use
+    preserves every prefetch counter exactly."""
+    from repro.uarch.stats import SimStats
+
+    layout = build_layout()
+    stats = simulate(trace, layout, SMALL_CONFIG,
+                     prefetcher=make_prefetcher(pf, layout, degree))
+    reloaded = SimStats.from_dict(stats.to_dict())
+    assert reloaded.to_dict() == stats.to_dict()
+    for origin, p in stats.prefetch.items():
+        q = reloaded.prefetch[origin]
+        assert (q.issued, q.pref_hits, q.delayed_hits, q.useless,
+                q.squashed) == (p.issued, p.pref_hits, p.delayed_hits,
+                                p.useless, p.squashed)
