@@ -1,0 +1,180 @@
+#!/usr/bin/env python
+"""Benchmark the replay core: reference engine vs the optimized engine.
+
+Replays the pinned benchmark workload (wisc-prof at scale 0.15,
+``quantum_rows=2`` — the same cells as Figure 4) through both engines
+and reports per-cell wall time and events/second, plus the per-phase
+cost breakdown (artifact build, trace compilation, simulation).  The
+result is written to ``BENCH_sim.json`` so the measured speedup ships
+with the PR that changed the engine::
+
+    PYTHONPATH=src python scripts/bench_sim.py --out BENCH_sim.json
+
+CI perf smoke: ``--check BENCH_sim.json`` re-measures and fails (exit
+1) if the fast engine's *relative* throughput (fast / reference, both
+measured in the same process, so machine speed cancels out) regressed
+by more than ``--tolerance`` (default 25%) against the committed
+baseline.
+
+Timing protocol: every cell is simulated ``--repeats`` times per engine
+(alternating engines to spread machine noise evenly) and the fastest
+run wins.  The fast engine's trace compilation is warmed up and timed
+separately, so per-cell numbers compare steady-state replay throughput
+— the compile cost is paid once per (trace, layout) and is reported in
+``phases``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+
+from repro.harness import ExperimentRunner, PipelineConfig
+from repro.harness.experiments import FIG4_CONFIGS
+from repro.harness.runner import _make_prefetcher
+from repro.uarch import simulate
+from repro.uarch.fast_engine import compile_trace
+
+BENCH_SUITE = "wisc-prof"
+BENCH_SCALE = 0.15
+BENCH_CGHC = "CGHC-2K+32K"
+
+
+def best_of(n, fn):
+    best = float("inf")
+    for _ in range(n):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def measure(repeats):
+    phases = {}
+    t0 = time.perf_counter()
+    runner = ExperimentRunner(
+        pipeline=PipelineConfig(quantum_rows=2),
+        scales={BENCH_SUITE: BENCH_SCALE},
+    )
+    art = runner.artifacts(BENCH_SUITE)
+    trace = art.trace
+    phases["artifact_build_s"] = round(time.perf_counter() - t0, 4)
+
+    t0 = time.perf_counter()
+    for layout_name in ("O5", "OM"):
+        compile_trace(trace, art.layout(layout_name))
+    phases["trace_compile_s"] = round(time.perf_counter() - t0, 4)
+
+    n_events = len(trace)
+    cells = []
+    ref_total = fast_total = 0.0
+    for name, layout_name, pspec in FIG4_CONFIGS:
+        layout = art.layout(layout_name)
+
+        def run(engine):
+            simulate(
+                trace, layout, runner.sim_config,
+                prefetcher=_make_prefetcher(pspec, layout, BENCH_CGHC),
+                engine=engine,
+            )
+
+        run("fast")  # warm the compile cache before timing anything
+        ref_s = fast_s = float("inf")
+        for _ in range(repeats):  # alternate so noise hits both engines
+            t0 = time.perf_counter()
+            run("reference")
+            ref_s = min(ref_s, time.perf_counter() - t0)
+            t0 = time.perf_counter()
+            run("fast")
+            fast_s = min(fast_s, time.perf_counter() - t0)
+        ref_total += ref_s
+        fast_total += fast_s
+        cells.append({
+            "cell": name,
+            "reference_s": round(ref_s, 4),
+            "fast_s": round(fast_s, 4),
+            "reference_events_per_s": round(n_events / ref_s),
+            "fast_events_per_s": round(n_events / fast_s),
+            "speedup": round(ref_s / fast_s, 3),
+        })
+        print(f"{name:14s} ref={ref_s:6.3f}s fast={fast_s:6.3f}s "
+              f"speedup={ref_s / fast_s:5.2f}x", file=sys.stderr)
+
+    phases["simulate_reference_s"] = round(ref_total, 4)
+    phases["simulate_fast_s"] = round(fast_total, 4)
+    grid_events = n_events * len(FIG4_CONFIGS)
+    return {
+        "benchmark": "fig4 grid replay throughput",
+        "workload": {
+            "suite": BENCH_SUITE,
+            "scale": BENCH_SCALE,
+            "quantum_rows": 2,
+            "cghc": BENCH_CGHC,
+            "events_per_cell": n_events,
+            "cells": len(FIG4_CONFIGS),
+        },
+        "protocol": {
+            "repeats": repeats,
+            "timing": "best-of-N per cell, engines alternated, "
+                      "compile cache warm",
+        },
+        "phases": phases,
+        "cells": cells,
+        "totals": {
+            "reference_s": round(ref_total, 4),
+            "fast_s": round(fast_total, 4),
+            "reference_events_per_s": round(grid_events / ref_total),
+            "fast_events_per_s": round(grid_events / fast_total),
+            "speedup_vs_reference": round(ref_total / fast_total, 3),
+        },
+    }
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", default=None,
+                        help="write the measurement to this JSON file")
+    parser.add_argument("--check", default=None, metavar="BASELINE",
+                        help="compare against a committed BENCH_sim.json; "
+                             "exit 1 on a relative-throughput regression")
+    parser.add_argument("--tolerance", type=float, default=0.25,
+                        help="allowed fractional speedup regression for "
+                             "--check (default 0.25)")
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="timed repetitions per cell per engine")
+    args = parser.parse_args(argv)
+
+    result = measure(args.repeats)
+    print(json.dumps(result["totals"], indent=2))
+
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            json.dump(result, fh, indent=2, sort_keys=False)
+            fh.write("\n")
+        print(f"wrote {args.out}", file=sys.stderr)
+
+    if args.check:
+        with open(args.check, "r", encoding="utf-8") as fh:
+            baseline = json.load(fh)
+        base_speedup = baseline["totals"]["speedup_vs_reference"]
+        measured = result["totals"]["speedup_vs_reference"]
+        floor = base_speedup * (1.0 - args.tolerance)
+        print(
+            f"perf check: measured {measured:.2f}x vs committed "
+            f"{base_speedup:.2f}x (floor {floor:.2f}x)",
+            file=sys.stderr,
+        )
+        if measured < floor:
+            print(
+                "PERF REGRESSION: the optimized engine's speedup over "
+                "the reference engine fell below the committed floor",
+                file=sys.stderr,
+            )
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -88,11 +88,16 @@ class DirectMappedCghc:
     def probe(self, tag):
         """Return the entry on a tag hit (LRU refresh), else None."""
         bucket = self._sets[tag % self.n_sets]
-        for i, entry in enumerate(bucket):
+        if not bucket:
+            return None
+        entry = bucket[-1]  # MRU first: direct-mapped levels hit here
+        if entry.tag == tag:
+            return entry
+        for i in range(len(bucket) - 2, -1, -1):
+            entry = bucket[i]
             if entry.tag == tag:
-                if i != len(bucket) - 1:
-                    del bucket[i]
-                    bucket.append(entry)
+                del bucket[i]
+                bucket.append(entry)
                 return entry
         return None
 
@@ -180,7 +185,28 @@ class CallGraphHistoryCache:
         return None, latency
 
     def ensure(self, tag):
-        """Lookup, allocating a fresh entry on a miss."""
+        """Lookup, allocating a fresh entry on a miss.
+
+        The first-level probe is inlined: ``ensure`` sits on the CGP
+        call/return hot path (two accesses per predicted call and per
+        predicted return), and the overwhelming majority of accesses hit
+        the direct-mapped first level's single resident entry.
+        """
+        if not self.infinite:
+            l1 = self.l1
+            bucket = l1._sets[tag % l1.n_sets]
+            if bucket:
+                entry = bucket[-1]
+                if entry.tag == tag:
+                    self.l1_hits += 1
+                    return entry, self.config.l1_latency
+                for i in range(len(bucket) - 2, -1, -1):
+                    entry = bucket[i]
+                    if entry.tag == tag:
+                        del bucket[i]
+                        bucket.append(entry)
+                        self.l1_hits += 1
+                        return entry, self.config.l1_latency
         entry, latency = self.lookup(tag)
         if entry is not None:
             return entry, latency

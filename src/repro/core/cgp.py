@@ -50,7 +50,11 @@ class CgpPrefetcher(Prefetcher):
         self.lines_per_prefetch = lines_per_prefetch
         self.cghc = CallGraphHistoryCache(cghc_config)
         self._layout = layout
+        self._entry = layout.base_line  # fid -> entry line (block 0 pinned)
         self._nl = NextNLinePrefetcher(lines_per_prefetch, origin=ORIGIN_NL)
+        # on_line_access is exactly the NL component's automaton, so the
+        # optimized replay core may inline its sequential fast path
+        self.nl_component = self._nl
         self.name = f"CGP_{lines_per_prefetch}"
 
     def reset(self):
@@ -69,12 +73,13 @@ class CgpPrefetcher(Prefetcher):
     def on_call(self, caller_fid, callee_fid, predicted, engine):
         if not predicted:
             return
-        entry_line = self._layout.entry_line
+        entry_lines = self._entry
+        cghc = self.cghc
         # access 1: prefetch access keyed by the predicted target G.  A
         # miss allocates a fresh (invalid-data) entry — §3.2: "if there
         # is no hit in the tag array, no prefetches are issued and a new
         # tag array entry is created".
-        entry, latency = self.cghc.ensure(entry_line(callee_fid))
+        entry, latency = cghc.ensure(entry_lines[callee_fid])
         first = entry.first_callee()
         if first is not None:
             engine.prefetch_function_head(
@@ -83,8 +88,8 @@ class CgpPrefetcher(Prefetcher):
             )
         # access 2: update access keyed by the current function F
         if caller_fid >= 0:
-            entry, _latency = self.cghc.ensure(entry_line(caller_fid))
-            entry.record_call(callee_fid, self.cghc.max_slots)
+            entry, _latency = cghc.ensure(entry_lines[caller_fid])
+            entry.record_call(callee_fid, cghc.max_slots)
 
     def on_return(self, returning_fid, ras_entry, predicted, engine):
         if not predicted:
@@ -102,7 +107,5 @@ class CgpPrefetcher(Prefetcher):
                 )
         # access 2: update access keyed by the returning function G;
         # a fresh entry's index is already 1
-        entry, _latency = self.cghc.ensure(
-            self._layout.entry_line(returning_fid)
-        )
+        entry, _latency = self.cghc.ensure(self._entry[returning_fid])
         entry.reset_index()

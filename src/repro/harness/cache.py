@@ -19,7 +19,7 @@ across processes.  This module replaces it with:
 Cache layout on disk::
 
     <dir>/<fingerprint>.json
-        {"version": 1,
+        {"version": 2,
          "config": { ...human-readable echo of the keyed values... },
          "stats": SimStats.to_dict()}
 """
@@ -35,7 +35,7 @@ import tempfile
 from repro.errors import CacheCorruptionError, ReproError
 from repro.uarch.stats import SimStats
 
-CACHE_FORMAT_VERSION = 1
+CACHE_FORMAT_VERSION = 2
 
 __all__ = [
     "CACHE_FORMAT_VERSION",

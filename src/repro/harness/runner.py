@@ -31,6 +31,7 @@ from repro.harness.telemetry import RunJournal
 from repro.instrument import Tracer, build_db_image
 from repro.instrument.codeimage import freeze_image
 from repro.instrument.expand import ExpansionConfig, expand_trace
+from repro.instrument.trace import TRACE_FORMAT_VERSION, Trace
 from repro.layout import o5_layout, om_layout, profile_of
 from repro.uarch import TABLE_1, simulate
 from repro.uarch.config import cghc_variant
@@ -139,20 +140,29 @@ class ExperimentRunner:
         return built
 
     def _load_or_build(self, suite_name, pipeline):
-        key = pipeline.key(suite_name)
-        path = (
-            os.path.join(self._cache_dir, f"{key}.pickle")
-            if self._cache_dir
-            else None
-        )
-        if path and os.path.exists(path):
-            with open(path, "rb") as fh:
-                image, trace, query_rows = pickle.load(fh)
+        # the trace rides in its own versioned binary file (integrity
+        # checked on load; see Trace.save) next to a small pickle for
+        # the image and rows; the format version is part of the key so
+        # a format bump can never misread an old artifact
+        key = f"{pipeline.key(suite_name)}-tf{TRACE_FORMAT_VERSION}"
+        meta_path = trace_path = None
+        if self._cache_dir:
+            meta_path = os.path.join(self._cache_dir, f"{key}.meta.pickle")
+            trace_path = os.path.join(self._cache_dir, f"{key}.trace")
+        if (
+            meta_path
+            and os.path.exists(meta_path)
+            and os.path.exists(trace_path)
+        ):
+            with open(meta_path, "rb") as fh:
+                image, query_rows = pickle.load(fh)
+            trace = Trace.load(trace_path)
         else:
             image, trace, query_rows = _build_trace(suite_name, pipeline)
-            if path:
-                with open(path, "wb") as fh:
-                    pickle.dump((image, trace, query_rows), fh,
+            if meta_path:
+                trace.save(trace_path)
+                with open(meta_path, "wb") as fh:
+                    pickle.dump((image, query_rows), fh,
                                 protocol=pickle.HIGHEST_PROTOCOL)
         profile = profile_of(trace)
         layouts = {

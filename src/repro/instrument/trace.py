@@ -1,7 +1,9 @@
 """Instruction trace containers.
 
-A trace is a sequence of events in parallel integer lists (fast to build
-and to replay in pure Python):
+A trace is a sequence of events in compact parallel integer arrays
+(``array('b')`` for the kind, ``array('q')`` for the three operands —
+contiguous C buffers, so the optimized replay core can take zero-copy
+``numpy`` views over them):
 
 * ``EXEC  (fid, from_offset, to_offset)`` — straight-line progress inside
   a function, in virtual instruction offsets (either direction; a
@@ -12,13 +14,34 @@ and to replay in pure Python):
 
 Traces are layout independent: they carry function ids and offsets, never
 addresses.
+
+Building stays append-friendly: the ``add_*`` methods (and direct
+``.append``/``.extend`` on the parallel arrays, which several producers
+use for speed) are plain amortized-O(1) appends.  Aggregates
+(``counts()``, ``call_count()``, ``total_instructions()``) are O(1) per
+query: running counters are maintained *lazily* — each query folds in
+only the events appended since the previous query, so no full pass over
+the arrays ever repeats.
+
+Persistence is a versioned binary format (magic, format version, event
+count, raw little-endian array payloads, CRC-32) — see :meth:`Trace.save`.
+Truncated, corrupted, or wrong-version files raise
+:class:`~repro.errors.TraceError` instead of executing arbitrary pickle.
 """
 
 from __future__ import annotations
 
-import pickle
+import struct
+import sys
+import zlib
+from array import array
 
 from repro.errors import TraceError
+
+try:  # optional vectorized counter folds; pure Python otherwise
+    import numpy as _np
+except ImportError:  # pragma: no cover - numpy is in the standard image
+    _np = None
 
 EXEC = 0
 CALL = 1
@@ -27,17 +50,36 @@ SWITCH = 3
 
 _KIND_NAMES = {EXEC: "EXEC", CALL: "CALL", RET: "RET", SWITCH: "SWITCH"}
 
+#: On-disk trace format (see Trace.save): magic, u16 version, u16 flags,
+#: u64 event count, then kinds (i8) and a/b/c (i64 LE), then u32 CRC-32
+#: of the four payloads.
+TRACE_MAGIC = b"RTRC"
+TRACE_FORMAT_VERSION = 1
+_HEADER = struct.Struct("<4sHHQ")
+_CRC = struct.Struct("<I")
+
+_KIND_TYPECODE = "b"
+_FIELD_TYPECODE = "q"
+
 
 class Trace:
-    """Append-only event trace (parallel lists)."""
+    """Append-only event trace (parallel arrays)."""
 
-    __slots__ = ("kinds", "a", "b", "c")
+    __slots__ = ("kinds", "a", "b", "c",
+                 "_counted", "_n_exec", "_n_call", "_n_ret", "_n_switch",
+                 "_exec_instrs", "__weakref__")
 
     def __init__(self):
-        self.kinds = []
-        self.a = []
-        self.b = []
-        self.c = []
+        self.kinds = array(_KIND_TYPECODE)
+        self.a = array(_FIELD_TYPECODE)
+        self.b = array(_FIELD_TYPECODE)
+        self.c = array(_FIELD_TYPECODE)
+        self._counted = 0
+        self._n_exec = 0
+        self._n_call = 0
+        self._n_ret = 0
+        self._n_switch = 0
+        self._exec_instrs = 0
 
     # ------------------------------------------------------------------
     # building
@@ -72,6 +114,15 @@ class Trace:
         self.b.extend(other.b)
         self.c.extend(other.c)
 
+    def extend_arrays(self, kinds, a, b, c):
+        """Bulk-append parallel event sequences (lists or arrays)."""
+        if not (len(kinds) == len(a) == len(b) == len(c)):
+            raise TraceError("parallel event arrays must share one length")
+        self.kinds.extend(kinds)
+        self.a.extend(a)
+        self.b.extend(b)
+        self.c.extend(c)
+
     # ------------------------------------------------------------------
     # inspection
     # ------------------------------------------------------------------
@@ -82,57 +133,157 @@ class Trace:
         """Yield (kind, a, b, c) tuples."""
         return zip(self.kinds, self.a, self.b, self.c)
 
+    def _refresh_counters(self):
+        """Fold events appended since the last aggregate query into the
+        running counters (amortized O(1) per appended event)."""
+        n = len(self.kinds)
+        start = self._counted
+        if start == n:
+            return
+        if start > n:  # arrays were replaced/truncated: recount from zero
+            start = 0
+            self._n_exec = self._n_call = self._n_ret = self._n_switch = 0
+            self._exec_instrs = 0
+        kinds = self.kinds
+        b = self.b
+        c = self.c
+        if _np is not None and n - start > 4096:
+            kn = _np.frombuffer(kinds, dtype=_np.int8, count=n)[start:]
+            if kn.min() < EXEC or kn.max() > SWITCH:
+                bad = int(kn[(kn < EXEC) | (kn > SWITCH)][0])
+                raise TraceError(f"unknown trace event kind {bad}")
+            ex = kn == EXEC
+            n_exec = int(ex.sum())
+            n_call = int((kn == CALL).sum())
+            n_ret = int((kn == RET).sum())
+            n_switch = int((kn == SWITCH).sum())
+            bn = _np.frombuffer(self.b, dtype=_np.int64, count=n)[start:][ex]
+            cn = _np.frombuffer(self.c, dtype=_np.int64, count=n)[start:][ex]
+            exec_instrs = int(_np.abs(cn - bn).sum()) + n_exec
+        else:
+            n_exec = n_call = n_ret = n_switch = 0
+            exec_instrs = 0
+            for i in range(start, n):
+                kind = kinds[i]
+                if kind == EXEC:
+                    n_exec += 1
+                    exec_instrs += abs(c[i] - b[i]) + 1
+                elif kind == CALL:
+                    n_call += 1
+                elif kind == RET:
+                    n_ret += 1
+                elif kind == SWITCH:
+                    n_switch += 1
+                else:
+                    raise TraceError(f"unknown trace event kind {kind}")
+        self._n_exec += n_exec
+        self._n_call += n_call
+        self._n_ret += n_ret
+        self._n_switch += n_switch
+        self._exec_instrs += exec_instrs
+        self._counted = n
+
     def counts(self):
-        """Event counts by kind name."""
-        out = {name: 0 for name in _KIND_NAMES.values()}
-        for kind in self.kinds:
-            out[_KIND_NAMES[kind]] += 1
-        return out
+        """Event counts by kind name (O(1) amortized)."""
+        self._refresh_counters()
+        return {
+            "EXEC": self._n_exec,
+            "CALL": self._n_call,
+            "RET": self._n_ret,
+            "SWITCH": self._n_switch,
+        }
 
     def total_instructions(self, call_overhead=2):
-        """Dynamic instruction count implied by the trace.
+        """Dynamic instruction count implied by the trace (O(1) amortized).
 
         EXEC contributes |to - from| + 1; each CALL and RET contributes
         ``call_overhead`` (the call/return instructions themselves).
         """
-        total = 0
-        for kind, _a, b, c in zip(self.kinds, self.a, self.b, self.c):
-            if kind == EXEC:
-                total += abs(c - b) + 1
-            elif kind != SWITCH:
-                total += call_overhead
-        return total
+        self._refresh_counters()
+        return self._exec_instrs + (self._n_call + self._n_ret) * call_overhead
 
     def call_count(self):
-        return sum(1 for kind in self.kinds if kind == CALL)
+        self._refresh_counters()
+        return self._n_call
 
     # ------------------------------------------------------------------
     # persistence
     # ------------------------------------------------------------------
+    def _payload_chunks(self):
+        chunks = [self.kinds, self.a, self.b, self.c]
+        if sys.byteorder != "little":
+            swapped = []
+            for chunk in chunks:
+                copy = array(chunk.typecode, chunk)
+                copy.byteswap()
+                swapped.append(copy)
+            chunks = swapped
+        return [chunk.tobytes() for chunk in chunks]
+
     def save(self, path):
+        """Write the versioned binary trace format.
+
+        Layout: ``RTRC`` magic, u16 format version, u16 reserved flags,
+        u64 event count, the four raw array payloads (kinds as int8,
+        a/b/c as int64, little endian), and a trailing CRC-32 over the
+        payloads.  :meth:`load` rejects anything that does not parse.
+        """
+        chunks = self._payload_chunks()
+        crc = 0
+        for blob in chunks:
+            crc = zlib.crc32(blob, crc)
         with open(path, "wb") as fh:
-            pickle.dump(
-                {"kinds": self.kinds, "a": self.a, "b": self.b, "c": self.c},
-                fh,
-                protocol=pickle.HIGHEST_PROTOCOL,
-            )
+            fh.write(_HEADER.pack(TRACE_MAGIC, TRACE_FORMAT_VERSION, 0,
+                                  len(self.kinds)))
+            for blob in chunks:
+                fh.write(blob)
+            fh.write(_CRC.pack(crc & 0xFFFFFFFF))
 
     @classmethod
     def load(cls, path):
+        """Read a trace written by :meth:`save`.
+
+        Raises :class:`TraceError` on bad magic, unsupported format
+        version, truncation, or checksum mismatch — never unpickles.
+        """
         with open(path, "rb") as fh:
-            payload = pickle.load(fh)
+            data = fh.read()
+        if len(data) < _HEADER.size + _CRC.size:
+            raise TraceError(f"truncated trace file {path}")
+        magic, version, _flags, count = _HEADER.unpack_from(data)
+        if magic != TRACE_MAGIC:
+            raise TraceError(f"{path} is not a trace file (bad magic)")
+        if version != TRACE_FORMAT_VERSION:
+            raise TraceError(
+                f"{path} has trace format version {version}, "
+                f"this build reads version {TRACE_FORMAT_VERSION}"
+            )
+        kind_bytes = count  # int8
+        field_bytes = count * 8  # int64
+        expected = _HEADER.size + kind_bytes + 3 * field_bytes + _CRC.size
+        if len(data) != expected:
+            raise TraceError(
+                f"truncated or oversized trace file {path}: "
+                f"{len(data)} bytes, expected {expected}"
+            )
+        payload = data[_HEADER.size:expected - _CRC.size]
+        (crc,) = _CRC.unpack_from(data, expected - _CRC.size)
+        if zlib.crc32(payload) & 0xFFFFFFFF != crc:
+            raise TraceError(f"corrupt trace file {path}: checksum mismatch")
         trace = cls()
-        try:
-            trace.kinds = payload["kinds"]
-            trace.a = payload["a"]
-            trace.b = payload["b"]
-            trace.c = payload["c"]
-        except (KeyError, TypeError) as exc:
-            raise TraceError(f"malformed trace file {path}: {exc}") from exc
-        if not (
-            len(trace.kinds) == len(trace.a) == len(trace.b) == len(trace.c)
+        offset = 0
+        for attr, typecode, nbytes in (
+            ("kinds", _KIND_TYPECODE, kind_bytes),
+            ("a", _FIELD_TYPECODE, field_bytes),
+            ("b", _FIELD_TYPECODE, field_bytes),
+            ("c", _FIELD_TYPECODE, field_bytes),
         ):
-            raise TraceError(f"inconsistent trace arrays in {path}")
+            arr = array(typecode)
+            arr.frombytes(payload[offset:offset + nbytes])
+            if sys.byteorder != "little":
+                arr.byteswap()
+            setattr(trace, attr, arr)
+            offset += nbytes
         return trace
 
 

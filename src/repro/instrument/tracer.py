@@ -15,6 +15,7 @@ not attribute to the DBMS image.
 
 from __future__ import annotations
 
+import gc
 import sys
 
 from repro.errors import TraceError
@@ -32,6 +33,7 @@ class Tracer:
         # shadow stack entries: [fid, last_offset_instr] or untracked marker
         self._stack = []
         self._active = False
+        self._gc_was_enabled = False
 
     # ------------------------------------------------------------------
     # control
@@ -40,11 +42,24 @@ class Tracer:
         if self._active:
             raise TraceError("tracer already active")
         self._active = True
+        # The cycle collector may fire finalizers and weakref callbacks —
+        # Python-level calls injected at arbitrary points of the traced
+        # code, so *when* a collection happens (a function of everything
+        # the process allocated before this trace) would leak into the
+        # event stream.  Flush pending garbage now, then keep the
+        # collector off until stop() so the trace depends only on the
+        # traced execution itself.
+        self._gc_was_enabled = gc.isenabled()
+        if self._gc_was_enabled:
+            gc.collect()
+            gc.disable()
         sys.setprofile(self._profile)
 
     def stop(self):
         sys.setprofile(None)
         self._active = False
+        if self._gc_was_enabled:
+            gc.enable()
 
     def run(self, fn, *args, **kwargs):
         """Trace one call; returns ``fn``'s result."""

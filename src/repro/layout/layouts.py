@@ -31,6 +31,7 @@ from __future__ import annotations
 
 import random
 import zlib
+from array import array
 
 from repro.errors import LayoutError
 from repro.layout.pettis_hansen import pettis_hansen_order
@@ -80,11 +81,39 @@ class AddressMap:
             self.perm[fid] = _block_permutation(span, sequentiality, rng)
             cursor += span
         self.total_lines = cursor
+        self._flat_translation = None  # built lazily by translation_table()
 
     def line_of(self, fid, offset_instr):
         """Cache line address of an instruction offset inside ``fid``."""
         block = (offset_instr * self.num) // self.den
         return self.base_line[fid] + self.perm[fid][block]
+
+    def translation_table(self):
+        """Flat precomputed block -> global line translation.
+
+        Returns ``(table, block_base)`` — two contiguous int64 arrays
+        (buffer-protocol compatible, so the optimized replay core can
+        take zero-copy numpy views) with, for every function ``fid`` and
+        block index ``k < size_lines[fid]``::
+
+            table[block_base[fid] + k] == base_line[fid] + perm[fid][k]
+
+        One lookup in ``table`` replaces the per-event
+        ``base_line[fid] + perm[fid][block]`` nested indexing.  Built
+        lazily once per layout (O(total_lines)) and cached.
+        """
+        cached = self._flat_translation
+        if cached is None:
+            block_base = array("q", bytes(8 * len(self.base_line)))
+            table = array("q")
+            cursor = 0
+            for fid, (base, perm) in enumerate(zip(self.base_line, self.perm)):
+                block_base[fid] = cursor
+                table.extend([base + block for block in perm])
+                cursor += len(perm)
+            cached = (table, block_base)
+            self._flat_translation = cached
+        return cached
 
     def entry_line(self, fid):
         """A function's entry is always its first line (block 0 pinned)."""

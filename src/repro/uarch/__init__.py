@@ -2,7 +2,8 @@
 
 from repro.uarch.cache import SetAssocCache
 from repro.uarch.config import TABLE_1, CacheConfig, CghcConfig, SimConfig, cghc_variant
-from repro.uarch.fetch_engine import FetchEngine, simulate
+from repro.uarch.fast_engine import CompiledTrace, FastFetchEngine, compile_trace
+from repro.uarch.fetch_engine import FetchEngine, engine_class, simulate
 from repro.uarch.memsys import MemorySystem
 from repro.uarch.ras import ModifiedReturnAddressStack, RasEntry
 from repro.uarch.stats import PrefetchStats, SimStats
@@ -10,7 +11,11 @@ from repro.uarch.stats import PrefetchStats, SimStats
 __all__ = [
     "CacheConfig",
     "CghcConfig",
+    "CompiledTrace",
+    "FastFetchEngine",
     "FetchEngine",
+    "compile_trace",
+    "engine_class",
     "MemorySystem",
     "ModifiedReturnAddressStack",
     "PrefetchStats",

@@ -1,0 +1,1530 @@
+"""Optimized replay core: compiled traces + a batched fast path.
+
+The reference :class:`~repro.uarch.fetch_engine.FetchEngine` re-derives
+the same facts for every event: it swaps offsets, divides them into
+block indices, chases ``base_line[fid] + perm[fid][block]`` through two
+list indirections, and funnels every line reference — even a guaranteed
+L1 hit — through the full ``_access`` machinery (arrival delivery, LRU
+lookup, untouched/in-flight bookkeeping, prefetcher hook).  This module
+removes that per-event work without changing a single observable number:
+
+* **compiled traces** — each (trace, layout) pair is translated once
+  into flat parallel arrays: per-event opcodes, pre-scaled instruction
+  counts, spans into one flat list of global line addresses (built with
+  the layout's precomputed translation table), a per-event contiguity
+  flag, and pre-resolved call-site lines.  Compilation is vectorized
+  with numpy when available and cached per trace object (weakly) —
+  traces are append-only, so a compiled image is reused as long as
+  ``len(trace)`` is unchanged.
+* **an O(1) residency index** — a bytearray mirror of the L1 content
+  replaces the associative ``contains``/``lookup`` scans on the hot
+  paths.  Squashed prefetches — the overwhelming majority under NL/CGP
+  — become two array probes and a counter bump (or one C-level range
+  scan for a whole fan-out window).
+* **timestamp LRU** — within the run, the L1's per-set recency lists
+  are replaced by unordered way slots plus a per-line last-use stamp
+  from one global counter.  A hit is a single store (no set probe, no
+  shift); the victim on a fill is the minimum-stamp way, which is
+  provably the same line the reference recency list would evict.  The
+  ``SetAssocCache`` is reconstructed (sorted by stamp) when the run
+  ends, so post-run inspection sees the exact reference state.
+* **a batched guaranteed-hit fast path** — an EXEC event whose lines
+  are consecutive (compile-time flag) is checked against the residency
+  and first-touch indexes with C-speed ``bytearray.count`` range scans;
+  when every line is a resident re-touch, no arrival is due, and the
+  inlined sequential prefetcher would squash every issue, the whole
+  event collapses to counter adds and one stamp slice-assign.
+  Single-line repeats (``OP_EXEC_REP``, also detected at compile time)
+  shrink further to two counter increments under the
+  ``repeat_transparent`` prefetcher contract.
+* **specialized kernels** — a run with no prefetcher hooks at all (the
+  paper's O5/OM baseline cells) takes a dedicated loop with the memory
+  system's port + L2 arithmetic inlined and no in-flight/untouched
+  bookkeeping (nothing can ever be in flight); prefetchers that export
+  ``nl_component`` (NL, RA-NL, and CGP's within-function component)
+  promise their ``on_line_access`` is exactly the sequential-NL
+  automaton, so the leading-edge issue, the post-jump fan-out, and the
+  repeat no-op are inlined, squash checks included; and
+  :class:`~repro.core.cgp.CgpPrefetcher`'s call/return CGHC accesses
+  are inlined with the first-level history-cache probe flattened.
+
+Equivalence is bit-exact, not approximate: every floating-point
+accumulation (cycle, stall, instructions, fetch/mispredict cycles)
+performs the same IEEE-754 operations in the same order as the
+reference engine, and anything the fast paths cannot prove (a pending
+arrival, a non-resident line, a non-contiguous run, an unknown
+prefetcher class) falls through to an inlined transcription — or the
+actual hook call — of the reference classification.  The cross-engine
+suites in ``tests/uarch/test_engine_equivalence.py`` and
+``tests/harness/test_engine_equivalence.py`` enforce
+``SimStats.to_dict()`` equality on golden workloads and randomized
+traces.
+"""
+
+from __future__ import annotations
+
+import weakref
+from heapq import heappop, heappush
+
+from repro.errors import SimulationError
+from repro.instrument.trace import CALL, EXEC, RET, SWITCH
+from repro.uarch.fetch_engine import (
+    FetchEngine,
+    _LCG_ADD,
+    _LCG_MASK,
+    _LCG_MULT,
+)
+from repro.uarch.prefetch.base import Prefetcher
+from repro.uarch.prefetch.nl import NextNLinePrefetcher, RunAheadNLPrefetcher
+from repro.uarch.ras import RasEntry
+
+try:  # numpy accelerates compilation; the engine runs without it
+    import numpy as _np
+except ImportError:  # pragma: no cover - numpy is in the base image
+    _np = None
+
+OP_EXEC = EXEC
+OP_CALL = CALL
+OP_RET = RET
+OP_SWITCH = SWITCH
+OP_EXEC_REP = 4  # single-line EXEC repeating the previous access's line
+
+
+class CompiledTrace:
+    """A trace pre-translated for one layout.
+
+    Parallel per-event lists (plain Python lists — CPython indexes them
+    faster than numpy scalars, and their elements are exact int/float,
+    which the bit-identical arithmetic contract requires):
+
+    * ``ops`` — opcode per event (``OP_*``),
+    * ``ea``/``eb`` — the raw ``a``/``b`` operands (callee/caller fids),
+    * ``n_scaled`` — EXEC instruction count pre-multiplied by the
+      layout's ``instr_scale`` (float iff ``instr_scale`` is a float,
+      matching the reference engine's arithmetic types),
+    * ``seg_start``/``seg_end`` — an EXEC event's half-open span into
+      ``lines``,
+    * ``lines`` — flat global line addresses of every EXEC reference,
+    * ``contig`` — 1 iff the event's lines are consecutive ascending
+      addresses (the batched fast path's precondition),
+    * ``callsite`` — pre-resolved call-site line for CALL events with a
+      known caller.
+    """
+
+    __slots__ = (
+        "n_events", "ops", "ea", "eb", "n_scaled",
+        "seg_start", "seg_end", "lines", "contig", "callsite",
+    )
+
+    def __init__(self, n_events, ops, ea, eb, n_scaled, seg_start,
+                 seg_end, lines, contig, callsite):
+        self.n_events = n_events
+        self.ops = ops
+        self.ea = ea
+        self.eb = eb
+        self.n_scaled = n_scaled
+        self.seg_start = seg_start
+        self.seg_end = seg_end
+        self.lines = lines
+        self.contig = contig
+        self.callsite = callsite
+
+
+def compile_trace(trace, layout):
+    """Translate ``trace`` for ``layout`` (no caching; see ``_compiled``)."""
+    n = len(trace)
+    if _np is not None and n:
+        return _compile_np(trace, layout, n)
+    return _compile_py(trace, layout, n)
+
+
+def _compile_np(trace, layout, n):
+    tbl, bb = layout.translation_table()
+    tbl_np = _np.frombuffer(tbl, dtype=_np.int64)
+    bb_np = _np.frombuffer(bb, dtype=_np.int64)
+    sizes_np = _np.asarray(layout.size_lines, dtype=_np.int64)
+    nfuncs = bb_np.shape[0]
+    num = layout.num
+    den = layout.den
+    instr_scale = layout.instr_scale
+
+    kinds = _np.frombuffer(trace.kinds, dtype=_np.int8, count=n)
+    a = _np.frombuffer(trace.a, dtype=_np.int64, count=n)
+    b = _np.frombuffer(trace.b, dtype=_np.int64, count=n)
+    c = _np.frombuffer(trace.c, dtype=_np.int64, count=n)
+    if ((kinds < EXEC) | (kinds > SWITCH)).any():
+        bad = int(kinds[((kinds < EXEC) | (kinds > SWITCH))][0])
+        raise SimulationError(f"unknown trace event kind {bad}")
+    ops_np = kinds.astype(_np.int64)
+
+    # ---- EXEC events: expand offset ranges into global line spans ----
+    ex_idx = _np.nonzero(kinds == EXEC)[0]
+    fid = a[ex_idx]
+    lo = _np.minimum(b[ex_idx], c[ex_idx])
+    hi = _np.maximum(b[ex_idx], c[ex_idx])
+    if ex_idx.size:
+        if (fid < 0).any() or (fid >= nfuncs).any():
+            raise SimulationError("EXEC event references unknown function")
+        if (lo < 0).any():
+            raise SimulationError("EXEC event has a negative offset")
+    first_blk = (lo * num) // den
+    last_blk = (hi * num) // den
+    if ex_idx.size and (last_blk >= sizes_np[fid]).any():
+        raise SimulationError("EXEC offset beyond function extent")
+    seg_lens = last_blk - first_blk + 1
+    seg_end_ex = _np.cumsum(seg_lens)
+    seg_start_ex = seg_end_ex - seg_lens
+    total = int(seg_end_ex[-1]) if ex_idx.size else 0
+    flat_idx = _np.repeat(
+        bb_np[fid] + first_blk - seg_start_ex, seg_lens
+    ) + _np.arange(total, dtype=_np.int64)
+    lines_np = tbl_np[flat_idx]
+
+    contig_full = _np.zeros(n, dtype=_np.int64)
+    if ex_idx.size:
+        # contiguity: no non-adjacent pair inside the segment
+        breaks = _np.zeros(total, dtype=_np.int64)
+        if total > 1:
+            _np.cumsum(lines_np[1:] != lines_np[:-1] + 1, out=breaks[1:])
+        contig_full[ex_idx] = breaks[seg_end_ex - 1] == breaks[seg_start_ex]
+
+        # mark single-line EXECs repeating the previous EXEC's last line
+        first_line = lines_np[seg_start_ex]
+        last_line = lines_np[seg_end_ex - 1]
+        prev_last = _np.empty_like(last_line)
+        prev_last[0] = -1
+        prev_last[1:] = last_line[:-1]
+        rep = (seg_lens == 1) & (first_line == prev_last)
+        ops_np[ex_idx[rep]] = OP_EXEC_REP
+
+    if isinstance(instr_scale, float):
+        n_scaled_ex = (hi - lo + 1).astype(_np.float64) * instr_scale
+        n_scaled_full = _np.zeros(n, dtype=_np.float64)
+    else:
+        n_scaled_ex = (hi - lo + 1) * instr_scale
+        n_scaled_full = _np.zeros(n, dtype=_np.int64)
+    n_scaled_full[ex_idx] = n_scaled_ex
+    seg_start_full = _np.zeros(n, dtype=_np.int64)
+    seg_end_full = _np.zeros(n, dtype=_np.int64)
+    seg_start_full[ex_idx] = seg_start_ex
+    seg_end_full[ex_idx] = seg_end_ex
+
+    # ---- CALL events: pre-resolve the call-site line ----
+    callsite_full = _np.zeros(n, dtype=_np.int64)
+    call_idx = _np.nonzero(kinds == CALL)[0]
+    callers = b[call_idx]
+    known = call_idx[callers >= 0]
+    kc = b[known]
+    if known.size:
+        if (kc >= nfuncs).any():
+            raise SimulationError("CALL event references unknown caller")
+        cs_off = c[known]
+        if (cs_off < 0).any():
+            raise SimulationError("CALL event has a negative call-site offset")
+        cs_blk = (cs_off * num) // den
+        if (cs_blk >= sizes_np[kc]).any():
+            raise SimulationError("call-site offset beyond function extent")
+        callsite_full[known] = tbl_np[bb_np[kc] + cs_blk]
+
+    return CompiledTrace(
+        n_events=n,
+        ops=ops_np.tolist(),
+        ea=a.tolist(),
+        eb=b.tolist(),
+        n_scaled=n_scaled_full.tolist(),
+        seg_start=seg_start_full.tolist(),
+        seg_end=seg_end_full.tolist(),
+        lines=lines_np.tolist(),
+        contig=contig_full.tolist(),
+        callsite=callsite_full.tolist(),
+    )
+
+
+def _compile_py(trace, layout, n):
+    """Pure-Python compilation (numpy-free fallback; same output)."""
+    tbl, bb = layout.translation_table()
+    sizes = layout.size_lines
+    num = layout.num
+    den = layout.den
+    instr_scale = layout.instr_scale
+    nfuncs = len(bb)
+    kinds = trace.kinds
+    a, b, c = trace.a, trace.b, trace.c
+
+    ops = [0] * n
+    n_scaled = [0] * n
+    seg_start = [0] * n
+    seg_end = [0] * n
+    contig = [0] * n
+    callsite = [0] * n
+    lines = []
+    prev_last = -1
+    for i in range(n):
+        kind = kinds[i]
+        if kind == EXEC:
+            fid = a[i]
+            o1 = b[i]
+            o2 = c[i]
+            if o2 < o1:
+                o1, o2 = o2, o1
+            if fid < 0 or fid >= nfuncs:
+                raise SimulationError("EXEC event references unknown function")
+            if o1 < 0:
+                raise SimulationError("EXEC event has a negative offset")
+            fb = (o1 * num) // den
+            lb = (o2 * num) // den
+            if lb >= sizes[fid]:
+                raise SimulationError("EXEC offset beyond function extent")
+            tb = bb[fid]
+            start = len(lines)
+            lines.extend(tbl[tb + fb:tb + lb + 1])
+            seg_start[i] = start
+            seg_end[i] = len(lines)
+            n_scaled[i] = (o2 - o1 + 1) * instr_scale
+            contig[i] = 1
+            for j in range(start, len(lines) - 1):
+                if lines[j + 1] != lines[j] + 1:
+                    contig[i] = 0
+                    break
+            if lb == fb and lines[start] == prev_last:
+                ops[i] = OP_EXEC_REP
+            else:
+                ops[i] = OP_EXEC
+            prev_last = lines[-1]
+        elif kind == CALL:
+            ops[i] = OP_CALL
+            caller = b[i]
+            if caller >= 0:
+                if caller >= nfuncs:
+                    raise SimulationError("CALL event references unknown caller")
+                off = c[i]
+                if off < 0:
+                    raise SimulationError(
+                        "CALL event has a negative call-site offset"
+                    )
+                blk = (off * num) // den
+                if blk >= sizes[caller]:
+                    raise SimulationError(
+                        "call-site offset beyond function extent"
+                    )
+                callsite[i] = tbl[bb[caller] + blk]
+        elif kind == RET:
+            ops[i] = OP_RET
+        elif kind == SWITCH:
+            ops[i] = OP_SWITCH
+        else:
+            raise SimulationError(f"unknown trace event kind {kind}")
+    return CompiledTrace(
+        n_events=n,
+        ops=ops,
+        ea=list(a),
+        eb=list(b),
+        n_scaled=n_scaled,
+        seg_start=seg_start,
+        seg_end=seg_end,
+        lines=lines,
+        contig=contig,
+        callsite=callsite,
+    )
+
+
+#: trace -> [(layout, CompiledTrace), ...]; weak on the trace so cached
+#: images die with it (and a recycled id can never alias a new trace).
+_COMPILE_CACHE = weakref.WeakKeyDictionary()
+
+
+def _compiled(trace, layout):
+    try:
+        entries = _COMPILE_CACHE.get(trace)
+    except TypeError:  # un-weakref-able trace stand-in: compile fresh
+        return compile_trace(trace, layout)
+    if entries is None:
+        entries = []
+        _COMPILE_CACHE[trace] = entries
+    for pos, (cached_layout, compiled) in enumerate(entries):
+        if cached_layout is layout:
+            if compiled.n_events == len(trace):
+                return compiled
+            compiled = compile_trace(trace, layout)
+            entries[pos] = (layout, compiled)
+            return compiled
+    compiled = compile_trace(trace, layout)
+    entries.append((layout, compiled))
+    return compiled
+
+
+class FastFetchEngine(FetchEngine):
+    """Drop-in replacement for :class:`FetchEngine` with the same stats.
+
+    The inlined paths are transcriptions of the reference ``_access``/
+    ``issue_prefetch``/hook bodies (same branches, same operation order)
+    with the associative scans replaced by the ``_presence`` residency
+    index and the recency lists by per-line timestamps.  During ``run()``
+    the ``l1i`` way slots are *unordered* (stamps carry the LRU order);
+    the reference recency layout is reconstructed before the run returns.
+    """
+
+    def __init__(self, config, layout, prefetcher=None, seed=12345):
+        super().__init__(config, layout, prefetcher=prefetcher, seed=seed)
+        total = layout.total_lines
+        #: bytearray mirror of the L1 content (1 == line resident)
+        self._presence = bytearray(total)
+        #: bytearray mirror of the ``_untouched`` key set
+        self._uflag = bytearray(total)
+        #: last-use stamp per resident line; victim = min stamp in set.
+        #: Stamps are issued by one monotone counter, so min-stamp is
+        #: exactly the head of the reference engine's recency list.
+        self._stamp = [0] * total
+        self._ctr = 0
+
+    def _install(self, line, origin=None):
+        """Reference ``_install`` on the stamp/slot representation.
+
+        Only used outside ``run()`` (the run loop inlines this); kept
+        so the inherited access machinery stays usable on this engine.
+        """
+        l1 = self.l1i
+        ways = l1.ways
+        assoc = l1.assoc
+        base = (line % l1.n_sets) * assoc
+        end = base + assoc
+        stamp = self._stamp
+        w = base
+        while w < end and ways[w] >= 0:
+            w += 1
+        if w < end:
+            ways[w] = line
+        else:
+            vs = base
+            vmin = stamp[ways[base]]
+            w = base + 1
+            while w < end:
+                sv = stamp[ways[w]]
+                if sv < vmin:
+                    vmin = sv
+                    vs = w
+                w += 1
+            victim = ways[vs]
+            ways[vs] = line
+            self._presence[victim] = 0
+            if self._uflag[victim]:
+                self._uflag[victim] = 0
+                vo = self._untouched.pop(victim)
+                self.stats.prefetch_origin(vo).useless += 1
+        self._presence[line] = 1
+        stamp[line] = self._ctr
+        self._ctr += 1
+        if origin is not None:
+            self._untouched[line] = origin
+            self._uflag[line] = 1
+
+    def issue_prefetch(self, line, origin, delay=0):
+        """Reference semantics with the O(1) residency probe."""
+        stats = self.stats.prefetch_origin(origin)
+        if line < 0 or line >= self.layout.total_lines:
+            stats.out_of_range += 1
+            return False
+        if line in self._in_flight or self._presence[line]:
+            stats.squashed += 1
+            return False
+        completion, _from_mem = self.memsys.request(
+            line, self.cycle + delay, is_prefetch=True
+        )
+        self._in_flight[line] = (completion, origin)
+        heappush(self._arrivals, (completion, line))
+        stats.issued += 1
+        return True
+
+    def prefetch_function_head(self, fid, n_lines, origin, delay=0):
+        """Batched head prefetch (CGP's CGHC-triggered requests)."""
+        stats = self.stats.prefetch_origin(origin)
+        start = self.layout.base_line[fid]
+        span = self.layout.size_lines[fid]
+        count = n_lines if n_lines < span else span
+        total_lines = self.layout.total_lines
+        in_flight = self._in_flight
+        presence = self._presence
+        arrivals = self._arrivals
+        request = self.memsys.request
+        now = self.cycle + delay
+        for line in range(start, start + count):
+            if line < 0 or line >= total_lines:
+                stats.out_of_range += 1
+            elif line in in_flight or presence[line]:
+                stats.squashed += 1
+            else:
+                completion, _from_mem = request(line, now, is_prefetch=True)
+                in_flight[line] = (completion, origin)
+                heappush(arrivals, (completion, line))
+                stats.issued += 1
+
+    def _rebuild_l1_order(self):
+        """Sort each set's way slots back into reference recency order
+        (LRU at the low index, empties below it)."""
+        l1 = self.l1i
+        ways = l1.ways
+        assoc = l1.assoc
+        key = self._stamp.__getitem__
+        for base in range(0, l1.n_sets * assoc, assoc):
+            slots = [ln for ln in ways[base:base + assoc] if ln >= 0]
+            if slots:
+                slots.sort(key=key)
+                ways[base:base + assoc] = (
+                    [-1] * (assoc - len(slots)) + slots
+                )
+
+    def run(self, trace):
+        compiled = _compiled(trace, self.layout)
+        config = self.config
+        stats = self.stats
+        prefetcher = self.prefetcher
+        layout = self.layout
+        cpi = self._cpi
+        instr_scale = layout.instr_scale
+        overhead_instrs = config.call_overhead_instrs * instr_scale
+        overhead_cycles = overhead_instrs * cpi
+        penalty = config.mispredict_penalty
+        accuracy = config.branch_predictor_accuracy
+        perfect = config.perfect_icache
+        base = layout.base_line
+        total_lines = layout.total_lines
+        memsys = self.memsys
+        memsys_request = memsys.request
+        ras_obj = self.ras
+        rbuf = ras_obj._buffer
+        rdepth = ras_obj._depth
+        rtop = ras_obj._top
+        rcount = ras_obj._count
+        r_over = 0
+        r_under = 0
+        l1 = self.l1i
+        ways = l1.ways
+        n_sets = l1.n_sets
+        assoc = l1.assoc
+        presence = self._presence
+        uflag = self._uflag
+        stamp = self._stamp
+        ctr = self._ctr
+        untouched = self._untouched
+        untouched_pop = untouched.pop
+        in_flight = self._in_flight
+        arrivals = self._arrivals
+        sprefetch = stats.prefetch
+
+        ops = compiled.ops
+        ea = compiled.ea
+        eb = compiled.eb
+        n_scaled = compiled.n_scaled
+        seg_start = compiled.seg_start
+        seg_end = compiled.seg_end
+        lines = compiled.lines
+        contig = compiled.contig
+        callsite = compiled.callsite
+
+        cls = type(prefetcher)
+        line_hook = cls.on_line_access is not Prefetcher.on_line_access
+        do_call_hook = (
+            not perfect and cls.on_call is not Prefetcher.on_call
+        )
+        do_ret_hook = (
+            not perfect and cls.on_return is not Prefetcher.on_return
+        )
+
+        # the repeat opcode is only valid when the prefetcher ignores
+        # same-line repeats and the cache model is actually exercised
+        if perfect or not getattr(prefetcher, "repeat_transparent", False):
+            ops = [OP_EXEC if op == OP_EXEC_REP else op for op in ops]
+
+        # local accumulators: floats replicate the reference engine's
+        # operation order exactly; integer deltas are flushed at the end
+        # (integer addition commutes with the reference's interleaving)
+        cycle = self.cycle
+        rng = self._rng_state
+        instructions = stats.instructions
+        fetch_cycles = stats.fetch_cycles
+        mispredict_cycles = stats.mispredict_cycles
+        stall_cycles = stats.stall_cycles
+        calls = 0
+        returns = 0
+        mispredicted = 0
+        line_accesses = 0
+        hit_count = 0
+        miss_count = 0
+        demand_misses = 0
+        l2_hits = 0
+        memory_fetches = 0
+
+        if (
+            not perfect
+            and not line_hook
+            and not do_call_hook
+            and not do_ret_hook
+            and not getattr(memsys, "_demand_priority", False)
+        ):
+            # ---- specialized kernel: no prefetcher hooks at all ----
+            # Nothing ever issues a prefetch, so the in-flight map, the
+            # arrival heap, and the untouched index stay empty for the
+            # whole run; every miss is a demand miss, and the memory
+            # system's FIFO-port + L2 arithmetic is inlined.
+            l2 = memsys.l2
+            l2ways = l2.ways
+            l2_nsets = l2.n_sets
+            l2_assoc = l2.assoc
+            l2_insert = l2.insert
+            hit_lat = memsys._hit_latency
+            mem_lat = memsys._memory_latency
+            occupancy = memsys._occupancy
+            port_free = memsys._port_free_at
+            transactions = 0
+            l2h = 0
+            l2m = 0
+            for i in range(compiled.n_events):
+                op = ops[i]
+                if op == OP_EXEC or op == OP_EXEC_REP:
+                    nf = n_scaled[i]
+                    d = nf * cpi
+                    instructions += nf
+                    cycle += d
+                    fetch_cycles += d
+                    if op == OP_EXEC_REP:
+                        # resident and MRU by construction
+                        line_accesses += 1
+                        hit_count += 1
+                        continue
+                    s = seg_start[i]
+                    e = seg_end[i]
+                    if contig[i]:
+                        a0 = lines[s]
+                        k = e - s
+                        aend = a0 + k
+                        if presence.count(0, a0, aend) == 0:
+                            # whole run resident: pure hits
+                            line_accesses += k
+                            hit_count += k
+                            stamp[a0:aend] = range(ctr, ctr + k)
+                            ctr += k
+                            continue
+                    for p in range(s, e):
+                        line = lines[p]
+                        line_accesses += 1
+                        if presence[line]:
+                            hit_count += 1
+                            stamp[line] = ctr
+                            ctr += 1
+                            continue
+                        miss_count += 1
+                        demand_misses += 1
+                        # inlined MemorySystem.request (non-priority)
+                        start_t = cycle if cycle > port_free else port_free
+                        port_free = start_t + occupancy
+                        transactions += 1
+                        i2 = (line % l2_nsets) * l2_assoc
+                        t2 = i2 + l2_assoc - 1
+                        if l2ways[t2] == line:
+                            l2h += 1
+                            l2_hits += 1
+                            completion = start_t + hit_lat
+                        else:
+                            w = t2 - 1
+                            while w >= i2:
+                                if l2ways[w] == line:
+                                    while w < t2:
+                                        l2ways[w] = l2ways[w + 1]
+                                        w += 1
+                                    l2ways[t2] = line
+                                    break
+                                w -= 1
+                            else:
+                                w = -1
+                            if w >= 0:
+                                l2h += 1
+                                l2_hits += 1
+                                completion = start_t + hit_lat
+                            else:
+                                l2m += 1
+                                memory_fetches += 1
+                                l2_insert(line)
+                                completion = start_t + hit_lat + mem_lat
+                        stall = completion - cycle
+                        cycle += stall
+                        stall_cycles += stall
+                        # inlined _install(line): known absent
+                        idx = (line % n_sets) * assoc
+                        iw = idx + assoc
+                        w = idx
+                        while w < iw and ways[w] >= 0:
+                            w += 1
+                        if w < iw:
+                            ways[w] = line
+                        else:
+                            vs = idx
+                            vmin = stamp[ways[idx]]
+                            w = idx + 1
+                            while w < iw:
+                                sv = stamp[ways[w]]
+                                if sv < vmin:
+                                    vmin = sv
+                                    vs = w
+                                w += 1
+                            presence[ways[vs]] = 0
+                            ways[vs] = line
+                        presence[line] = 1
+                        stamp[line] = ctr
+                        ctr += 1
+                elif op == OP_CALL:
+                    calls += 1
+                    instructions += overhead_instrs
+                    cycle += overhead_cycles
+                    fetch_cycles += overhead_cycles
+                    rng = (rng * _LCG_MULT + _LCG_ADD) & _LCG_MASK
+                    if ((rng >> 32) & 0xFFFFFFFF) / 4294967296.0 >= accuracy:
+                        mispredicted += 1
+                        cycle += penalty
+                        mispredict_cycles += penalty
+                    caller = eb[i]
+                    if caller >= 0:
+                        # inlined RAS push (no hook ever sees entries,
+                        # so a plain tuple stands in for RasEntry)
+                        rbuf[rtop] = (callsite[i], base[caller], caller)
+                        rtop += 1
+                        if rtop == rdepth:
+                            rtop = 0
+                        if rcount < rdepth:
+                            rcount += 1
+                        else:
+                            r_over += 1
+                elif op == OP_RET:
+                    returns += 1
+                    instructions += overhead_instrs
+                    cycle += overhead_cycles
+                    fetch_cycles += overhead_cycles
+                    # inlined RAS pop
+                    if rcount == 0:
+                        r_under += 1
+                        entry = None
+                    else:
+                        rtop -= 1
+                        if rtop < 0:
+                            rtop = rdepth - 1
+                        rcount -= 1
+                        entry = rbuf[rtop]
+                        rbuf[rtop] = None
+                    actual_caller = eb[i]
+                    if not (
+                        entry is not None
+                        and (
+                            actual_caller < 0
+                            or entry[2] == actual_caller
+                        )
+                    ):
+                        cycle += penalty
+                        mispredict_cycles += penalty
+                # OP_SWITCH: hardware state is shared across threads
+            memsys._port_free_at = port_free
+            memsys._demand_free_at = port_free
+            memsys.transactions += transactions
+            memsys.l2_hits += l2h
+            memsys.l2_misses += l2m
+            l2.hits += l2h
+            l2.misses += l2m
+        else:
+            # ---- general kernel ----
+            # sequential-prefetch inlining (see module docstring)
+            nl = None if perfect else getattr(
+                prefetcher, "nl_component", None
+            )
+            if nl is not None and type(nl) not in (
+                NextNLinePrefetcher, RunAheadNLPrefetcher
+            ):
+                nl = None
+            nl_inline = nl is not None
+            if nl_inline:
+                nl_last = nl._last_line
+                nl_lead = nl.seq_lead  # leading-edge issue distance
+                nl_fan = getattr(nl, "run_ahead", 0)  # fan-out window
+                nl_n = nl.n_lines
+                nl_origin = nl.origin
+                ps_nl = sprefetch.get(nl_origin)
+            # on pure hits a flag-gated hook (tagged NL) is a no-op
+            hook_on_hit = (
+                line_hook
+                and not nl_inline
+                and not getattr(prefetcher, "hit_transparent", False)
+            )
+            # whole-event batching is sound when pure re-touch hits
+            # cannot reach the hook at all (no hook, or a gated one)
+            batch_plain = not nl_inline and not hook_on_hit
+
+            # CGP call/return CGHC accesses, inlined (exact class only)
+            cgp_inline = False
+            if do_call_hook and do_ret_hook:
+                from repro.core.cgp import ORIGIN_CGHC, CgpPrefetcher
+
+                if (
+                    type(prefetcher) is CgpPrefetcher
+                    and not prefetcher.cghc.infinite
+                ):
+                    cgp_inline = True
+                    cgp_n = prefetcher.lines_per_prefetch
+                    cghc = prefetcher.cghc
+                    cg_sets = cghc.l1._sets
+                    cg_nsets = cghc.l1.n_sets
+                    cg_lat1 = cghc.config.l1_latency
+                    cg_maxslots = cghc.max_slots
+                    cg_limit = cg_maxslots + 1
+                    cg_ensure = cghc.ensure
+                    entry_lines = prefetcher._entry
+                    sizes = layout.size_lines
+                    cg_origin = ORIGIN_CGHC
+                    ps_cg = sprefetch.get(cg_origin)
+                    cg_l1_hits = 0
+
+            # a plain tuple can stand in for RasEntry (index access is
+            # identical) unless a real return hook receives the entries
+            ras_plain = cgp_inline or not do_ret_hook
+
+            # memory-system inlining is sound only when no real hook can
+            # run (a hook could issue through the shared path and would
+            # then see a stale port clock)
+            inline_mem = (
+                not getattr(memsys, "_demand_priority", False)
+                and (nl_inline or not line_hook)
+                and (cgp_inline or not do_call_hook)
+                and (cgp_inline or not do_ret_hook)
+            )
+            if inline_mem:
+                mem_l2 = memsys.l2
+                l2ways = mem_l2.ways
+                l2_nsets = mem_l2.n_sets
+                l2_assoc = mem_l2.assoc
+                l2_insert = mem_l2.insert
+                m_hit_lat = memsys._hit_latency
+                m_mem_lat = memsys._memory_latency
+                m_occ = memsys._occupancy
+                port_free = memsys._port_free_at
+                m_trans = 0
+                m_l2h = 0
+                m_l2m = 0
+
+            for i in range(compiled.n_events):
+                op = ops[i]
+                if op == OP_EXEC or op == OP_EXEC_REP:
+                    nf = n_scaled[i]
+                    d = nf * cpi
+                    instructions += nf
+                    cycle += d
+                    fetch_cycles += d
+                    if perfect:
+                        continue
+                    if op == OP_EXEC_REP and not (
+                        arrivals and arrivals[0][0] <= cycle
+                    ):
+                        # resident, MRU, already touched, prefetcher is
+                        # repeat-transparent: pure counters (no stamp
+                        # needed — the line holds its set's max stamp)
+                        line_accesses += 1
+                        hit_count += 1
+                        continue
+                    s = seg_start[i]
+                    e = seg_end[i]
+
+                    # ---- batched guaranteed-hit path ----
+                    if contig[i] and not (
+                        arrivals and arrivals[0][0] <= cycle
+                    ):
+                        a0 = lines[s]
+                        k = e - s
+                        aend = a0 + k
+                        if (
+                            presence.count(0, a0, aend) == 0
+                            and uflag.count(1, a0, aend) == 0
+                        ):
+                            if batch_plain:
+                                line_accesses += k
+                                hit_count += k
+                                stamp[a0:aend] = range(ctr, ctr + k)
+                                ctr += k
+                                continue
+                            if nl_inline and a0 == nl_last + 1:
+                                # every line is a leading edge; if all
+                                # issue targets are resident, every
+                                # issue squashes and nothing but
+                                # counters moves
+                                t0 = a0 + nl_lead
+                                if (
+                                    t0 >= 0
+                                    and t0 + k <= total_lines
+                                    and presence.count(0, t0, t0 + k) == 0
+                                ):
+                                    if ps_nl is None:
+                                        ps_nl = stats.prefetch_origin(
+                                            nl_origin
+                                        )
+                                    ps_nl.squashed += k
+                                    nl_last = aend - 1
+                                    line_accesses += k
+                                    hit_count += k
+                                    stamp[a0:aend] = range(ctr, ctr + k)
+                                    ctr += k
+                                    continue
+
+                    for p in range(s, e):
+                        line = lines[p]
+                        # ---- inlined reference _access ----
+                        if arrivals and arrivals[0][0] <= cycle:
+                            while arrivals and arrivals[0][0] <= cycle:
+                                _arrival, aline = heappop(arrivals)
+                                record = in_flight.pop(aline, None)
+                                if record is not None:
+                                    # inlined _install(aline, origin):
+                                    # in flight, so known absent
+                                    ai = (aline % n_sets) * assoc
+                                    aw = ai + assoc
+                                    w = ai
+                                    while w < aw and ways[w] >= 0:
+                                        w += 1
+                                    if w < aw:
+                                        ways[w] = aline
+                                    else:
+                                        vs = ai
+                                        vmin = stamp[ways[ai]]
+                                        w = ai + 1
+                                        while w < aw:
+                                            sv = stamp[ways[w]]
+                                            if sv < vmin:
+                                                vmin = sv
+                                                vs = w
+                                            w += 1
+                                        victim = ways[vs]
+                                        ways[vs] = aline
+                                        presence[victim] = 0
+                                        if uflag[victim]:
+                                            uflag[victim] = 0
+                                            vo = untouched_pop(victim)
+                                            sprefetch[vo].useless += 1
+                                    presence[aline] = 1
+                                    stamp[aline] = ctr
+                                    ctr += 1
+                                    untouched[aline] = record[1]
+                                    uflag[aline] = 1
+                        line_accesses += 1
+                        if presence[line]:
+                            # resident: refresh the stamp (= reference
+                            # promote-to-MRU), classify the touch
+                            hit_count += 1
+                            stamp[line] = ctr
+                            ctr += 1
+                            missed = False
+                            if uflag[line]:
+                                uflag[line] = 0
+                                sprefetch[
+                                    untouched_pop(line)
+                                ].pref_hits += 1
+                                first_touch = True
+                            else:
+                                first_touch = False
+                        else:
+                            miss_count += 1
+                            record = (
+                                in_flight.pop(line, None)
+                                if in_flight else None
+                            )
+                            if record is not None:
+                                # delayed hit: stall residual latency
+                                arrival, origin0 = record
+                                stall = arrival - cycle
+                                if stall > 0:
+                                    cycle += stall
+                                    stall_cycles += stall
+                                sprefetch[origin0].delayed_hits += 1
+                                first_touch = True
+                                missed = False
+                            else:
+                                # demand miss
+                                demand_misses += 1
+                                if inline_mem:
+                                    # inlined MemorySystem.request
+                                    start_t = (
+                                        cycle if cycle > port_free
+                                        else port_free
+                                    )
+                                    port_free = start_t + m_occ
+                                    m_trans += 1
+                                    i2 = (line % l2_nsets) * l2_assoc
+                                    t2 = i2 + l2_assoc - 1
+                                    if l2ways[t2] == line:
+                                        w = t2
+                                    else:
+                                        w = t2 - 1
+                                        while w >= i2:
+                                            if l2ways[w] == line:
+                                                while w < t2:
+                                                    l2ways[w] = (
+                                                        l2ways[w + 1]
+                                                    )
+                                                    w += 1
+                                                l2ways[t2] = line
+                                                break
+                                            w -= 1
+                                        else:
+                                            w = -1
+                                    if w >= 0:
+                                        m_l2h += 1
+                                        l2_hits += 1
+                                        completion = start_t + m_hit_lat
+                                    else:
+                                        m_l2m += 1
+                                        memory_fetches += 1
+                                        l2_insert(line)
+                                        completion = (
+                                            start_t + m_hit_lat + m_mem_lat
+                                        )
+                                else:
+                                    completion, from_mem = memsys_request(
+                                        line, cycle, is_prefetch=False
+                                    )
+                                    if from_mem:
+                                        memory_fetches += 1
+                                    else:
+                                        l2_hits += 1
+                                stall = completion - cycle
+                                cycle += stall
+                                stall_cycles += stall
+                                missed = True
+                                first_touch = False
+                            # inlined _install(line): known absent
+                            idx = (line % n_sets) * assoc
+                            iw = idx + assoc
+                            w = idx
+                            while w < iw and ways[w] >= 0:
+                                w += 1
+                            if w < iw:
+                                ways[w] = line
+                            else:
+                                vs = idx
+                                vmin = stamp[ways[idx]]
+                                w = idx + 1
+                                while w < iw:
+                                    sv = stamp[ways[w]]
+                                    if sv < vmin:
+                                        vmin = sv
+                                        vs = w
+                                    w += 1
+                                victim = ways[vs]
+                                ways[vs] = line
+                                presence[victim] = 0
+                                if uflag[victim]:
+                                    uflag[victim] = 0
+                                    vo = untouched_pop(victim)
+                                    sprefetch[vo].useless += 1
+                            presence[line] = 1
+                            stamp[line] = ctr
+                            ctr += 1
+                        # ---- prefetcher hook ----
+                        if nl_inline:
+                            if line == nl_last + 1:
+                                # leading edge: issue line + lead
+                                pl = line + nl_lead
+                                if ps_nl is None:
+                                    ps_nl = stats.prefetch_origin(
+                                        nl_origin
+                                    )
+                                if pl < 0 or pl >= total_lines:
+                                    ps_nl.out_of_range += 1
+                                elif pl in in_flight or presence[pl]:
+                                    ps_nl.squashed += 1
+                                else:
+                                    if inline_mem:
+                                        start_t = (
+                                            cycle if cycle > port_free
+                                            else port_free
+                                        )
+                                        port_free = start_t + m_occ
+                                        m_trans += 1
+                                        i2 = (pl % l2_nsets) * l2_assoc
+                                        t2 = i2 + l2_assoc - 1
+                                        if l2ways[t2] == pl:
+                                            w = t2
+                                        else:
+                                            w = t2 - 1
+                                            while w >= i2:
+                                                if l2ways[w] == pl:
+                                                    while w < t2:
+                                                        l2ways[w] = (
+                                                            l2ways[w + 1]
+                                                        )
+                                                        w += 1
+                                                    l2ways[t2] = pl
+                                                    break
+                                                w -= 1
+                                            else:
+                                                w = -1
+                                        if w >= 0:
+                                            m_l2h += 1
+                                            completion = (
+                                                start_t + m_hit_lat
+                                            )
+                                        else:
+                                            m_l2m += 1
+                                            l2_insert(pl)
+                                            completion = (
+                                                start_t
+                                                + m_hit_lat
+                                                + m_mem_lat
+                                            )
+                                    else:
+                                        completion, _mem = memsys_request(
+                                            pl, cycle, is_prefetch=True
+                                        )
+                                    in_flight[pl] = (completion, nl_origin)
+                                    heappush(arrivals, (completion, pl))
+                                    ps_nl.issued += 1
+                                nl_last = line
+                            elif line != nl_last:
+                                # jump: fan out over the full window
+                                if ps_nl is None:
+                                    ps_nl = stats.prefetch_origin(
+                                        nl_origin
+                                    )
+                                t0 = line + nl_fan + 1
+                                t1 = t0 + nl_n
+                                if (
+                                    t0 >= 0
+                                    and t1 <= total_lines
+                                    and presence.count(0, t0, t1) == 0
+                                ):
+                                    # whole window resident: all squash
+                                    ps_nl.squashed += nl_n
+                                else:
+                                    for pl in range(t0, t1):
+                                        if pl < 0 or pl >= total_lines:
+                                            ps_nl.out_of_range += 1
+                                        elif (
+                                            pl in in_flight
+                                            or presence[pl]
+                                        ):
+                                            ps_nl.squashed += 1
+                                        else:
+                                            if inline_mem:
+                                                start_t = (
+                                                    cycle
+                                                    if cycle > port_free
+                                                    else port_free
+                                                )
+                                                port_free = (
+                                                    start_t + m_occ
+                                                )
+                                                m_trans += 1
+                                                i2 = (
+                                                    (pl % l2_nsets)
+                                                    * l2_assoc
+                                                )
+                                                t2 = i2 + l2_assoc - 1
+                                                if l2ways[t2] == pl:
+                                                    w = t2
+                                                else:
+                                                    w = t2 - 1
+                                                    while w >= i2:
+                                                        if (
+                                                            l2ways[w]
+                                                            == pl
+                                                        ):
+                                                            while w < t2:
+                                                                l2ways[
+                                                                    w
+                                                                ] = l2ways[
+                                                                    w + 1
+                                                                ]
+                                                                w += 1
+                                                            l2ways[
+                                                                t2
+                                                            ] = pl
+                                                            break
+                                                        w -= 1
+                                                    else:
+                                                        w = -1
+                                                if w >= 0:
+                                                    m_l2h += 1
+                                                    completion = (
+                                                        start_t
+                                                        + m_hit_lat
+                                                    )
+                                                else:
+                                                    m_l2m += 1
+                                                    l2_insert(pl)
+                                                    completion = (
+                                                        start_t
+                                                        + m_hit_lat
+                                                        + m_mem_lat
+                                                    )
+                                            else:
+                                                completion, _mem = (
+                                                    memsys_request(
+                                                        pl, cycle,
+                                                        is_prefetch=True,
+                                                    )
+                                                )
+                                            in_flight[pl] = (
+                                                completion, nl_origin
+                                            )
+                                            heappush(
+                                                arrivals,
+                                                (completion, pl),
+                                            )
+                                            ps_nl.issued += 1
+                                nl_last = line
+                            # line == nl_last: automaton no-op
+                        elif line_hook and (
+                            hook_on_hit or missed or first_touch
+                        ):
+                            self.cycle = cycle
+                            self._ctr = ctr
+                            self.last_access_missed = missed
+                            self.last_access_first_touch = first_touch
+                            prefetcher.on_line_access(line, self)
+                            cycle = self.cycle
+                            ctr = self._ctr
+                elif op == OP_CALL:
+                    calls += 1
+                    instructions += overhead_instrs
+                    cycle += overhead_cycles
+                    fetch_cycles += overhead_cycles
+                    rng = (rng * _LCG_MULT + _LCG_ADD) & _LCG_MASK
+                    predicted = (
+                        ((rng >> 32) & 0xFFFFFFFF) / 4294967296.0
+                        < accuracy
+                    )
+                    if not predicted:
+                        mispredicted += 1
+                        cycle += penalty
+                        mispredict_cycles += penalty
+                    caller = eb[i]
+                    if caller >= 0:
+                        # inlined RAS push
+                        if ras_plain:
+                            rbuf[rtop] = (
+                                callsite[i], base[caller], caller
+                            )
+                        else:
+                            rbuf[rtop] = RasEntry(
+                                callsite[i], base[caller], caller
+                            )
+                        rtop += 1
+                        if rtop == rdepth:
+                            rtop = 0
+                        if rcount < rdepth:
+                            rcount += 1
+                        else:
+                            r_over += 1
+                    if cgp_inline:
+                        # ---- inlined CgpPrefetcher.on_call ----
+                        if predicted:
+                            callee = ea[i]
+                            # prefetch access keyed by the target
+                            tag = entry_lines[callee]
+                            bucket = cg_sets[tag % cg_nsets]
+                            if bucket and bucket[-1].tag == tag:
+                                cg_l1_hits += 1
+                                centry = bucket[-1]
+                                latency = cg_lat1
+                            else:
+                                centry, latency = cg_ensure(tag)
+                            seq = centry.seq
+                            if seq:
+                                # prefetch_function_head(seq[0], ...)
+                                first = seq[0]
+                                if ps_cg is None:
+                                    ps_cg = stats.prefetch_origin(
+                                        cg_origin
+                                    )
+                                start2 = base[first]
+                                span2 = sizes[first]
+                                cnt = (
+                                    cgp_n if cgp_n < span2 else span2
+                                )
+                                now2 = cycle + latency + 1
+                                for pl in range(start2, start2 + cnt):
+                                    if pl < 0 or pl >= total_lines:
+                                        ps_cg.out_of_range += 1
+                                    elif (
+                                        pl in in_flight
+                                        or presence[pl]
+                                    ):
+                                        ps_cg.squashed += 1
+                                    else:
+                                        if inline_mem:
+                                            start_t = (
+                                                now2
+                                                if now2 > port_free
+                                                else port_free
+                                            )
+                                            port_free = start_t + m_occ
+                                            m_trans += 1
+                                            i2 = (
+                                                (pl % l2_nsets)
+                                                * l2_assoc
+                                            )
+                                            t2 = i2 + l2_assoc - 1
+                                            if l2ways[t2] == pl:
+                                                w = t2
+                                            else:
+                                                w = t2 - 1
+                                                while w >= i2:
+                                                    if l2ways[w] == pl:
+                                                        while w < t2:
+                                                            l2ways[w] = (
+                                                                l2ways[
+                                                                    w + 1
+                                                                ]
+                                                            )
+                                                            w += 1
+                                                        l2ways[t2] = pl
+                                                        break
+                                                    w -= 1
+                                                else:
+                                                    w = -1
+                                            if w >= 0:
+                                                m_l2h += 1
+                                                completion = (
+                                                    start_t + m_hit_lat
+                                                )
+                                            else:
+                                                m_l2m += 1
+                                                l2_insert(pl)
+                                                completion = (
+                                                    start_t
+                                                    + m_hit_lat
+                                                    + m_mem_lat
+                                                )
+                                        else:
+                                            completion, _mem = (
+                                                memsys_request(
+                                                    pl, now2,
+                                                    is_prefetch=True,
+                                                )
+                                            )
+                                        in_flight[pl] = (
+                                            completion, cg_origin
+                                        )
+                                        heappush(
+                                            arrivals,
+                                            (completion, pl),
+                                        )
+                                        ps_cg.issued += 1
+                            # update access keyed by the caller
+                            if caller >= 0:
+                                tag = entry_lines[caller]
+                                bucket = cg_sets[tag % cg_nsets]
+                                if bucket and bucket[-1].tag == tag:
+                                    cg_l1_hits += 1
+                                    centry = bucket[-1]
+                                else:
+                                    centry, _lat = cg_ensure(tag)
+                                # inlined CghcEntry.record_call
+                                slot = centry.index - 1
+                                if slot < cg_maxslots:
+                                    seq = centry.seq
+                                    if slot < len(seq):
+                                        seq[slot] = callee
+                                    else:
+                                        seq.append(callee)
+                                    nidx = centry.index + 1
+                                    centry.index = (
+                                        nidx if nidx < cg_limit
+                                        else cg_limit
+                                    )
+                    elif do_call_hook:
+                        self.cycle = cycle
+                        self._rng_state = rng
+                        prefetcher.on_call(caller, ea[i], predicted, self)
+                        cycle = self.cycle
+                        rng = self._rng_state
+                elif op == OP_RET:
+                    returns += 1
+                    instructions += overhead_instrs
+                    cycle += overhead_cycles
+                    fetch_cycles += overhead_cycles
+                    # inlined RAS pop
+                    if rcount == 0:
+                        r_under += 1
+                        entry = None
+                    else:
+                        rtop -= 1
+                        if rtop < 0:
+                            rtop = rdepth - 1
+                        rcount -= 1
+                        entry = rbuf[rtop]
+                        rbuf[rtop] = None
+                    actual_caller = eb[i]
+                    predicted = entry is not None and (
+                        actual_caller < 0
+                        or entry[2] == actual_caller
+                    )
+                    if not predicted:
+                        cycle += penalty
+                        mispredict_cycles += penalty
+                    if cgp_inline:
+                        # ---- inlined CgpPrefetcher.on_return ----
+                        if predicted:
+                            if entry is not None:
+                                # prefetch access keyed by the caller's
+                                # start address from the modified RAS
+                                tag = entry[1]
+                                bucket = cg_sets[tag % cg_nsets]
+                                if bucket and bucket[-1].tag == tag:
+                                    cg_l1_hits += 1
+                                    centry = bucket[-1]
+                                    latency = cg_lat1
+                                else:
+                                    centry, latency = cg_ensure(tag)
+                                # inlined CghcEntry.predicted_next
+                                slot = centry.index - 1
+                                seq = centry.seq
+                                if 0 <= slot < len(seq):
+                                    first = seq[slot]
+                                    if ps_cg is None:
+                                        ps_cg = stats.prefetch_origin(
+                                            cg_origin
+                                        )
+                                    start2 = base[first]
+                                    span2 = sizes[first]
+                                    cnt = (
+                                        cgp_n if cgp_n < span2
+                                        else span2
+                                    )
+                                    now2 = cycle + latency + 1
+                                    for pl in range(
+                                        start2, start2 + cnt
+                                    ):
+                                        if (
+                                            pl < 0
+                                            or pl >= total_lines
+                                        ):
+                                            ps_cg.out_of_range += 1
+                                        elif (
+                                            pl in in_flight
+                                            or presence[pl]
+                                        ):
+                                            ps_cg.squashed += 1
+                                        else:
+                                            if inline_mem:
+                                                start_t = (
+                                                    now2
+                                                    if now2 > port_free
+                                                    else port_free
+                                                )
+                                                port_free = (
+                                                    start_t + m_occ
+                                                )
+                                                m_trans += 1
+                                                i2 = (
+                                                    (pl % l2_nsets)
+                                                    * l2_assoc
+                                                )
+                                                t2 = i2 + l2_assoc - 1
+                                                if l2ways[t2] == pl:
+                                                    w = t2
+                                                else:
+                                                    w = t2 - 1
+                                                    while w >= i2:
+                                                        if (
+                                                            l2ways[w]
+                                                            == pl
+                                                        ):
+                                                            while w < t2:
+                                                                l2ways[
+                                                                    w
+                                                                ] = l2ways[
+                                                                    w + 1
+                                                                ]
+                                                                w += 1
+                                                            l2ways[
+                                                                t2
+                                                            ] = pl
+                                                            break
+                                                        w -= 1
+                                                    else:
+                                                        w = -1
+                                                if w >= 0:
+                                                    m_l2h += 1
+                                                    completion = (
+                                                        start_t
+                                                        + m_hit_lat
+                                                    )
+                                                else:
+                                                    m_l2m += 1
+                                                    l2_insert(pl)
+                                                    completion = (
+                                                        start_t
+                                                        + m_hit_lat
+                                                        + m_mem_lat
+                                                    )
+                                            else:
+                                                completion, _mem = (
+                                                    memsys_request(
+                                                        pl, now2,
+                                                        is_prefetch=True,
+                                                    )
+                                                )
+                                            in_flight[pl] = (
+                                                completion, cg_origin
+                                            )
+                                            heappush(
+                                                arrivals,
+                                                (completion, pl),
+                                            )
+                                            ps_cg.issued += 1
+                            # update access keyed by the returner
+                            tag = entry_lines[ea[i]]
+                            bucket = cg_sets[tag % cg_nsets]
+                            if bucket and bucket[-1].tag == tag:
+                                cg_l1_hits += 1
+                                centry = bucket[-1]
+                            else:
+                                centry, _lat = cg_ensure(tag)
+                            centry.index = 1
+                    elif do_ret_hook:
+                        self.cycle = cycle
+                        self._rng_state = rng
+                        prefetcher.on_return(ea[i], entry, predicted, self)
+                        cycle = self.cycle
+                        rng = self._rng_state
+                # OP_SWITCH: hardware state is shared across threads
+
+            if nl_inline:
+                nl._last_line = nl_last
+            if cgp_inline:
+                cghc.l1_hits += cg_l1_hits
+            if inline_mem:
+                memsys._port_free_at = port_free
+                memsys._demand_free_at = port_free
+                memsys.transactions += m_trans
+                memsys.l2_hits += m_l2h
+                memsys.l2_misses += m_l2m
+                mem_l2.hits += m_l2h
+                mem_l2.misses += m_l2m
+
+        ras_obj._top = rtop
+        ras_obj._count = rcount
+        ras_obj.overflows += r_over
+        ras_obj.underflows += r_under
+        self.cycle = cycle
+        self._rng_state = rng
+        self._ctr = ctr
+        stats.instructions = instructions
+        stats.fetch_cycles = fetch_cycles
+        stats.mispredict_cycles = mispredict_cycles
+        stats.stall_cycles = stall_cycles
+        stats.calls += calls
+        stats.returns += returns
+        stats.mispredicted_calls += mispredicted
+        stats.line_accesses += line_accesses
+        stats.demand_misses += demand_misses
+        stats.l2_hits += l2_hits
+        stats.memory_fetches += memory_fetches
+        l1.hits += hit_count
+        l1.misses += miss_count
+
+        self._rebuild_l1_order()
+        self._finalize()
+        return stats

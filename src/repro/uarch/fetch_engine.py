@@ -23,6 +23,7 @@ classified per Figure 8 (pref hit / delayed hit / useless), by origin
 
 from __future__ import annotations
 
+import os
 from heapq import heappop, heappush
 
 from repro.errors import SimulationError
@@ -76,9 +77,14 @@ class FetchEngine:
     # prefetch interface (called by prefetchers)
     # ------------------------------------------------------------------
     def issue_prefetch(self, line, origin, delay=0):
-        """Issue a prefetch for ``line`` unless present/in flight."""
+        """Issue a prefetch for ``line`` unless present/in flight.
+
+        Every request is accounted: issued, squashed (already present or
+        in flight), or out_of_range (outside the layout's address space).
+        """
         stats = self.stats.prefetch_origin(origin)
         if line < 0 or line >= self.layout.total_lines:
+            stats.out_of_range += 1
             return False
         if line in self._in_flight or self.l1i.contains(line):
             stats.squashed += 1
@@ -266,7 +272,41 @@ class FetchEngine:
             stats.cghc_misses = cghc.misses
 
 
-def simulate(trace, layout, config, prefetcher=None, seed=12345):
-    """Convenience wrapper: run one simulation, return stats."""
-    engine = FetchEngine(config, layout, prefetcher=prefetcher, seed=seed)
-    return engine.run(trace)
+#: simulate() engine selection: explicit argument beats the
+#: REPRO_SIM_ENGINE environment variable beats this default.
+DEFAULT_ENGINE = "fast"
+
+_ENGINE_ALIASES = {
+    "fast": "fast", "optimized": "fast",
+    "reference": "reference", "ref": "reference",
+}
+
+
+def engine_class(engine=None):
+    """Resolve an engine name ('fast'/'reference') to its class."""
+    name = engine or os.environ.get("REPRO_SIM_ENGINE") or DEFAULT_ENGINE
+    try:
+        resolved = _ENGINE_ALIASES[name]
+    except KeyError:
+        raise SimulationError(
+            f"unknown simulation engine {name!r}; "
+            f"pick from {sorted(set(_ENGINE_ALIASES))}"
+        ) from None
+    if resolved == "reference":
+        return FetchEngine
+    from repro.uarch.fast_engine import FastFetchEngine
+
+    return FastFetchEngine
+
+
+def simulate(trace, layout, config, prefetcher=None, seed=12345, engine=None):
+    """Convenience wrapper: run one simulation, return stats.
+
+    ``engine`` selects the replay core: ``"fast"`` (the optimized default)
+    or ``"reference"`` (the original event loop the optimized core is
+    verified against).  When None, the ``REPRO_SIM_ENGINE`` environment
+    variable decides, falling back to ``"fast"``.  Both cores produce
+    byte-identical :class:`SimStats`.
+    """
+    cls = engine_class(engine)
+    return cls(config, layout, prefetcher=prefetcher, seed=seed).run(trace)

@@ -24,6 +24,12 @@ class NextNLinePrefetcher(Prefetcher):
         self.origin = origin
         self.name = f"NL_{n_lines}"
         self._last_line = -2
+        # Optimized-engine contract: on_line_access is exactly the
+        # sequential-NL automaton — on line == _last_line + 1 it issues
+        # one prefetch for line + seq_lead, on a repeat it does nothing.
+        # The fast engine inlines that common case.
+        self.nl_component = self
+        self.seq_lead = n_lines
 
     def reset(self):
         self._last_line = -2
@@ -50,6 +56,9 @@ class RunAheadNLPrefetcher(Prefetcher):
         self.origin = origin
         self.name = f"RA-NL_{n_lines}+{run_ahead}"
         self._last_line = -2
+        # fast-engine inline contract (see NextNLinePrefetcher)
+        self.nl_component = self
+        self.seq_lead = run_ahead + n_lines
 
     def reset(self):
         self._last_line = -2
@@ -76,6 +85,11 @@ class TaggedNLPrefetcher(Prefetcher):
     at some cost in coverage.  Included as a related-work baseline; the
     paper evaluates plain NL.
     """
+
+    #: Optimized-engine contract: on_line_access is a no-op whenever
+    #: last_access_missed and last_access_first_touch are both False, so
+    #: the fast engine may skip the call on guaranteed hits.
+    hit_transparent = True
 
     def __init__(self, n_lines, origin="nl"):
         if n_lines <= 0:

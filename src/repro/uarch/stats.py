@@ -10,8 +10,12 @@ Prefetch bookkeeping follows the paper's Figure 8 taxonomy:
   reference touches it.
 
 Prefetches for lines already present or in flight are *squashed* (never
-issued, no bus traffic).  CGP prefetches carry an origin tag (``nl`` or
-``cghc``) so Figure 9's split can be reported.
+issued, no bus traffic); requests for lines outside the layout's address
+space are *out of range* (also never issued).  Every prefetch request
+therefore lands in exactly one of ``issued``/``squashed``/``out_of_range``,
+and every issued prefetch in exactly one of
+``pref_hits``/``delayed_hits``/``useless``.  CGP prefetches carry an
+origin tag (``nl`` or ``cghc``) so Figure 9's split can be reported.
 """
 
 from __future__ import annotations
@@ -26,12 +30,17 @@ class PrefetchStats:
     delayed_hits: int = 0
     useless: int = 0
     squashed: int = 0
+    out_of_range: int = 0
 
     def useful(self):
         return self.pref_hits + self.delayed_hits
 
     def accounted(self):
         return self.pref_hits + self.delayed_hits + self.useless
+
+    def requests(self):
+        """Every prefetch request ever made for this origin."""
+        return self.issued + self.squashed + self.out_of_range
 
     def as_dict(self):
         return {
@@ -40,13 +49,17 @@ class PrefetchStats:
             "delayed_hits": self.delayed_hits,
             "useless": self.useless,
             "squashed": self.squashed,
+            "out_of_range": self.out_of_range,
         }
 
     @classmethod
     def from_dict(cls, payload):
-        return cls(**{f: payload[f] for f in
-                      ("issued", "pref_hits", "delayed_hits", "useless",
-                       "squashed")})
+        return cls(
+            out_of_range=payload.get("out_of_range", 0),
+            **{f: payload[f] for f in
+               ("issued", "pref_hits", "delayed_hits", "useless",
+                "squashed")},
+        )
 
 
 @dataclass

@@ -1,0 +1,75 @@
+"""Cross-engine equivalence on the real golden workloads.
+
+The unit-level randomized equivalence suite lives in
+``tests/uarch/test_engine_equivalence.py``; this one replays the actual
+traced database workloads — every suite with a checked-in golden —
+through both engines and requires identical ``SimStats.to_dict()``
+output, so any divergence the small synthetic traces cannot reach
+(deep RAS traffic, large CGHC working sets, OM layout permutations)
+fails here.
+"""
+
+import pytest
+
+from repro.harness.runner import _make_prefetcher
+from repro.uarch import simulate
+
+SUITES = ["wisc-prof", "wisc-large-1", "wisc-large-2", "wisc+tpch"]
+
+# layout x prefetcher cells: the golden cell (OM + CGP_4) for every
+# suite, plus the full fig4 bracket on the profiling workload
+GOLDEN_CELL = ("OM", ("cgp", 4))
+EXTRA_CELLS = [
+    ("O5", None),
+    ("O5", ("nl", 4)),
+    ("O5", ("t-nl", 4)),
+    ("O5", ("ra-nl", 4, 2)),
+    ("O5", ("cgp", 2)),
+    ("OM", None),
+]
+
+
+def run_both(runner, suite, layout_name, pspec):
+    art = runner.artifacts(suite)
+    layout = art.layout(layout_name)
+    ref = simulate(
+        art.trace, layout, runner.sim_config,
+        prefetcher=_make_prefetcher(pspec, layout, "CGHC-2K+32K"),
+        engine="reference",
+    )
+    fast = simulate(
+        art.trace, layout, runner.sim_config,
+        prefetcher=_make_prefetcher(pspec, layout, "CGHC-2K+32K"),
+        engine="fast",
+    )
+    return ref, fast
+
+
+@pytest.mark.parametrize("suite", SUITES)
+def test_golden_cell_identical_across_engines(small_runner, suite):
+    ref, fast = run_both(small_runner, suite, *GOLDEN_CELL)
+    assert ref.to_dict() == fast.to_dict()
+
+
+@pytest.mark.parametrize(
+    "layout_name,pspec", EXTRA_CELLS,
+    ids=[f"{l}-{p[0] if p else 'none'}" for l, p in EXTRA_CELLS])
+def test_fig4_cells_identical_across_engines(small_runner, layout_name,
+                                             pspec):
+    ref, fast = run_both(small_runner, "wisc-prof", layout_name, pspec)
+    assert ref.to_dict() == fast.to_dict()
+
+
+def test_goldens_are_engine_agnostic(small_runner):
+    """The checked-in goldens were produced by the default engine; the
+    reference engine must reproduce them byte-for-byte as well."""
+    import json
+
+    from tests.harness.test_goldens import GOLDEN_SPEC, golden_path
+
+    suite = "wisc-prof"
+    ref, fast = run_both(small_runner, suite, *GOLDEN_SPEC)
+    with open(golden_path(suite)) as fh:
+        golden = json.load(fh)
+    assert fast.summary() == golden
+    assert ref.summary() == golden

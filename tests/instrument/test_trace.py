@@ -52,7 +52,7 @@ def test_extend_concatenates():
     b.add_exec(1, 0, 1)
     a.extend(b)
     assert len(a) == 2
-    assert a.a == [0, 1]
+    assert list(a.a) == [0, 1]
 
 
 def test_save_load_roundtrip(tmp_path):
@@ -73,6 +73,69 @@ def test_load_rejects_garbage(tmp_path):
     path.write_bytes(pickle.dumps({"kinds": [0], "a": []}))
     with pytest.raises(TraceError):
         Trace.load(path)
+
+
+def test_save_load_empty_trace(tmp_path):
+    path = tmp_path / "empty.trace"
+    Trace().save(path)
+    loaded = Trace.load(path)
+    assert len(loaded) == 0
+    assert list(loaded.events()) == []
+
+
+def test_load_rejects_future_format_version(tmp_path):
+    from repro.instrument.trace import TRACE_FORMAT_VERSION
+
+    trace = Trace()
+    trace.add_exec(0, 0, 5)
+    path = tmp_path / "future.trace"
+    trace.save(path)
+    blob = bytearray(path.read_bytes())
+    # u16 version sits right after the 4-byte magic (little endian)
+    blob[4:6] = (TRACE_FORMAT_VERSION + 1).to_bytes(2, "little")
+    path.write_bytes(bytes(blob))
+    with pytest.raises(TraceError, match="format version"):
+        Trace.load(path)
+
+
+def test_load_rejects_corrupt_payload(tmp_path):
+    trace = Trace()
+    trace.add_call(1, 0, 3)
+    trace.add_exec(1, 0, 20)
+    path = tmp_path / "corrupt.trace"
+    trace.save(path)
+    blob = bytearray(path.read_bytes())
+    blob[20] ^= 0xFF  # flip one payload byte; header stays valid
+    path.write_bytes(bytes(blob))
+    with pytest.raises(TraceError, match="checksum"):
+        Trace.load(path)
+
+
+def test_load_rejects_truncated_file(tmp_path):
+    trace = Trace()
+    trace.add_exec(0, 0, 9)
+    trace.add_exec(0, 10, 19)
+    path = tmp_path / "cut.trace"
+    trace.save(path)
+    blob = path.read_bytes()
+    path.write_bytes(blob[:-7])
+    with pytest.raises(TraceError, match="truncated"):
+        Trace.load(path)
+
+
+def test_counters_stay_correct_across_appends():
+    """counts()/call_count()/total_instructions() are O(1) amortized:
+    they must refresh correctly when events are appended after a read."""
+    trace = Trace()
+    trace.add_exec(0, 0, 9)
+    assert trace.counts()["EXEC"] == 1
+    assert trace.total_instructions(call_overhead=2) == 10
+    trace.add_call(1, 0, 9)
+    trace.add_exec(1, 0, 4)
+    trace.add_return(1, 0, 4)
+    assert trace.counts() == {"EXEC": 2, "CALL": 1, "RET": 1, "SWITCH": 0}
+    assert trace.call_count() == 1
+    assert trace.total_instructions(call_overhead=2) == 10 + 2 + 5 + 2
 
 
 def test_validate_balanced_trace():

@@ -1,0 +1,191 @@
+"""Cross-engine equivalence: the optimized replay core must be
+*bit-identical* to the reference engine, not approximately equal.
+
+``FastFetchEngine`` batches guaranteed hits, inlines the sequential
+prefetcher, the CGP/CGHC accesses, the RAS, and the memory system, and
+replaces the L1 recency lists with timestamps — every one of those
+shortcuts is only sound if ``SimStats.to_dict()`` (floats included)
+comes out equal to the reference engine's on the same trace.  These
+tests drive both engines over randomized traces crossed with every
+prefetcher family, permuted and identity layouts, perfect-icache and
+demand-priority configurations, and same-line repeat patterns (the
+``OP_EXEC_REP`` fast path).
+"""
+
+from dataclasses import replace
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import CgpPrefetcher
+from repro.instrument.codeimage import CodeImage
+from repro.instrument.trace import Trace
+from repro.layout.layouts import AddressMap
+from repro.uarch.config import CacheConfig, CghcConfig, SimConfig
+from repro.uarch.fetch_engine import simulate
+from repro.uarch.prefetch.nl import (
+    NextNLinePrefetcher,
+    RunAheadNLPrefetcher,
+    TaggedNLPrefetcher,
+)
+
+N_FUNCTIONS = 6
+FUNC_SIZE = 120
+
+SMALL_CONFIG = SimConfig(
+    l1i=CacheConfig(512, 2),  # tiny L1 so evictions happen constantly
+    l2=CacheConfig(4096, 4),
+    base_cpi=0.3,
+)
+
+PREFETCHERS = [None, "nl", "t-nl", "ra-nl", "cgp"]
+LAYOUTS = ["identity", "scrambled"]
+
+
+def build_image():
+    image = CodeImage()
+    for i in range(N_FUNCTIONS):
+        image.register_synthetic(f"f{i}", FUNC_SIZE)
+    return image
+
+
+def build_layout(kind):
+    image = build_image()
+    if kind == "identity":
+        return AddressMap(image, range(N_FUNCTIONS), 1.0, 1.0, 1.0, "ident")
+    # permuted blocks (non-contiguous line runs), inflated sizes, and a
+    # float instruction scale: defeats every compile-time fast-path
+    # precondition at once
+    return AddressMap(
+        image, reversed(range(N_FUNCTIONS)), 1.5, 0.3, 1.25, "scram"
+    )
+
+
+def make_prefetcher(name, layout, degree):
+    if name is None:
+        return None
+    if name == "nl":
+        return NextNLinePrefetcher(degree)
+    if name == "t-nl":
+        return TaggedNLPrefetcher(degree)
+    if name == "ra-nl":
+        return RunAheadNLPrefetcher(degree, 3)
+    return CgpPrefetcher(
+        degree, CghcConfig(l1_bytes=4 * 40, l2_bytes=16 * 40), layout
+    )
+
+
+@st.composite
+def traces(draw):
+    """Well-formed traces biased toward the fast paths' edge cases:
+    sequential runs (batching), same-line repeats (``OP_EXEC_REP``),
+    offsets at the last function's tail (out-of-range prefetches)."""
+    trace = Trace()
+    stack = []
+    for _ in range(draw(st.integers(1, 50))):
+        action = draw(st.sampled_from(
+            ["exec", "exec", "run", "repeat", "call", "ret"]))
+        if action in ("exec", "run", "repeat"):
+            fid = stack[-1] if stack else draw(
+                st.integers(0, N_FUNCTIONS - 1))
+            if action == "run":  # long ascending run: batch candidate
+                lo = draw(st.integers(0, FUNC_SIZE - 2))
+                hi = draw(st.integers(lo, FUNC_SIZE - 1))
+                trace.add_exec(fid, lo, hi)
+            elif action == "repeat":  # same single line, twice
+                off = draw(st.integers(0, FUNC_SIZE - 1))
+                trace.add_exec(fid, off, off)
+                trace.add_exec(fid, off, off)
+            else:
+                trace.add_exec(fid, draw(st.integers(0, FUNC_SIZE - 1)),
+                               draw(st.integers(0, FUNC_SIZE - 1)))
+        elif action == "call" and len(stack) < 8:
+            callee = draw(st.integers(0, N_FUNCTIONS - 1))
+            trace.add_call(callee, stack[-1] if stack else -1,
+                           draw(st.integers(0, FUNC_SIZE - 1)))
+            stack.append(callee)
+        elif action == "ret" and stack:
+            fid = stack.pop()
+            trace.add_return(fid, stack[-1] if stack else -1, 0)
+    while stack:
+        fid = stack.pop()
+        trace.add_return(fid, stack[-1] if stack else -1, 0)
+    return trace
+
+
+def both_engines(trace, layout, config, pf_name, degree):
+    """Run both engines with fresh prefetchers; return the two dicts."""
+    ref = simulate(trace, layout, config,
+                   prefetcher=make_prefetcher(pf_name, layout, degree),
+                   engine="reference")
+    fast = simulate(trace, layout, config,
+                    prefetcher=make_prefetcher(pf_name, layout, degree),
+                    engine="fast")
+    return ref.to_dict(), fast.to_dict()
+
+
+@settings(max_examples=80, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(trace=traces(), pf=st.sampled_from(PREFETCHERS),
+       degree=st.integers(1, 4), layout_kind=st.sampled_from(LAYOUTS))
+def test_engines_identical_on_random_traces(trace, pf, degree, layout_kind):
+    layout = build_layout(layout_kind)
+    ref, fast = both_engines(trace, layout, SMALL_CONFIG, pf, degree)
+    assert ref == fast
+
+
+@settings(max_examples=25, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(trace=traces(), pf=st.sampled_from(PREFETCHERS))
+def test_engines_identical_under_perfect_icache(trace, pf):
+    layout = build_layout("identity")
+    config = replace(SMALL_CONFIG, perfect_icache=True)
+    ref, fast = both_engines(trace, layout, config, pf, 2)
+    assert ref == fast
+
+
+@settings(max_examples=25, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(trace=traces(), pf=st.sampled_from(PREFETCHERS))
+def test_engines_identical_under_demand_priority(trace, pf):
+    """The ablation flag disables the fast engine's inlined memory
+    system; the fallback must stay equivalent too."""
+    layout = build_layout("scrambled")
+    config = replace(SMALL_CONFIG, l2_demand_priority=True)
+    ref, fast = both_engines(trace, layout, config, pf, 3)
+    assert ref == fast
+
+
+@settings(max_examples=25, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(trace=traces(), degree=st.integers(1, 4))
+def test_fast_engine_rerun_is_deterministic(trace, degree):
+    """The compile cache must not leak state between runs: a hot rerun
+    (compiled trace reused) equals a cold run exactly."""
+    layout = build_layout("identity")
+    first = simulate(trace, layout, SMALL_CONFIG,
+                     prefetcher=make_prefetcher("cgp", layout, degree),
+                     engine="fast")
+    second = simulate(trace, layout, SMALL_CONFIG,
+                      prefetcher=make_prefetcher("cgp", layout, degree),
+                      engine="fast")
+    assert first.to_dict() == second.to_dict()
+
+
+def test_out_of_range_accounted_identically():
+    """NL running off the end of the address space must count
+    ``out_of_range`` (not issue, not squash) — same in both engines."""
+    trace = Trace()
+    # execute the tail of the last-placed function so NL targets past
+    # the end of the address space
+    trace.add_exec(N_FUNCTIONS - 1, FUNC_SIZE - 8, FUNC_SIZE - 1)
+    layout = build_layout("identity")
+    ref = simulate(trace, layout, SMALL_CONFIG,
+                   prefetcher=NextNLinePrefetcher(4), engine="reference")
+    fast = simulate(trace, layout, SMALL_CONFIG,
+                    prefetcher=NextNLinePrefetcher(4), engine="fast")
+    assert ref.to_dict() == fast.to_dict()
+    p = fast.prefetch["nl"]
+    assert p.out_of_range > 0
+    assert p.issued == p.accounted()
+    assert fast.bus_transactions == fast.demand_misses + p.issued

@@ -149,3 +149,42 @@ def test_accounting_survives_serialization(trace, pf, degree):
         assert (q.issued, q.pref_hits, q.delayed_hits, q.useless,
                 q.squashed) == (p.issued, p.pref_hits, p.delayed_hits,
                                 p.useless, p.squashed)
+
+
+@settings(max_examples=60, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(trace=traces(), pf=st.sampled_from(PREFETCHERS),
+       degree=st.integers(1, 4))
+def test_out_of_range_is_free_and_unaccounted(trace, pf, degree):
+    """A prefetch aimed past either end of the address space is dropped
+    at issue: it must be counted in ``out_of_range`` only — never
+    issued, never squashed, never classified, and it must not occupy
+    the L2 port (no bus transaction)."""
+    layout = build_layout()
+    stats = simulate(trace, layout, SMALL_CONFIG,
+                     prefetcher=make_prefetcher(pf, layout, degree))
+    issued = 0
+    for origin, p in stats.prefetch.items():
+        assert p.out_of_range >= 0, origin
+        # dropped targets are not part of the issue/squash accounting
+        assert p.issued == p.accounted(), origin
+        issued += p.issued
+    assert stats.bus_transactions == stats.demand_misses + issued
+
+
+def test_out_of_range_counts_exact_tail_overrun():
+    """Deterministic check: executing the last K lines of the address
+    space with NL degree d drops exactly the targets past the end."""
+    layout = build_layout()
+    trace = Trace()
+    last_fid = N_FUNCTIONS - 1
+    # touch the final 3 lines of the last-placed function one by one
+    trace.add_exec(last_fid, FUNC_SIZE - 3, FUNC_SIZE - 1)
+    stats = simulate(trace, layout, SMALL_CONFIG,
+                     prefetcher=NextNLinePrefetcher(4))
+    p = stats.prefetch["nl"]
+    # every touched line is a leading edge; each aims ``degree`` lines
+    # ahead and the last 3 targets all fall past the end
+    assert p.out_of_range == 3
+    assert p.out_of_range + p.issued + p.squashed > 0
+    assert "out_of_range" in stats.summary()["prefetch"]["nl"]
