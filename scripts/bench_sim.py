@@ -34,6 +34,7 @@ import time
 from repro.harness import ExperimentRunner, PipelineConfig
 from repro.harness.experiments import FIG4_CONFIGS
 from repro.harness.runner import _make_prefetcher
+from repro.harness.telemetry import RunJournal
 from repro.uarch import simulate
 from repro.uarch.fast_engine import compile_trace
 
@@ -144,10 +145,25 @@ def main(argv=None):
                              "--check (default 0.25)")
     parser.add_argument("--repeats", type=int, default=3,
                         help="timed repetitions per cell per engine")
+    parser.add_argument("--journal", default=None,
+                        help="append the measurement to this run journal "
+                             "(JSONL) as bench events, one per cell plus "
+                             "a totals record")
     args = parser.parse_args(argv)
 
     result = measure(args.repeats)
     print(json.dumps(result["totals"], indent=2))
+
+    if args.journal:
+        with RunJournal(args.journal) as journal:
+            for cell in result["cells"]:
+                journal.write("bench", benchmark=result["benchmark"],
+                              **cell)
+            journal.write("bench", benchmark=result["benchmark"],
+                          workload=result["workload"],
+                          phases=result["phases"],
+                          totals=result["totals"])
+        print(f"journaled to {args.journal}", file=sys.stderr)
 
     if args.out:
         with open(args.out, "w", encoding="utf-8") as fh:

@@ -70,16 +70,39 @@ class CgpPrefetcher(Prefetcher):
     # ------------------------------------------------------------------
     # across functions: CGHC
     # ------------------------------------------------------------------
+    def _ensure(self, tag, engine):
+        """``cghc.ensure`` plus attribution: when the engine carries a
+        collector, classify the access by which CGHC counter it moved
+        (level 0 = first-level hit, 1 = second-level hit, 2 = miss).
+        The tag is a function entry line, so the collector can charge
+        the access to that function."""
+        cghc = self.cghc
+        # getattr: the engine protocol is duck-typed (tests and custom
+        # harnesses pass minimal engine objects without a collector)
+        collector = getattr(engine, "collector", None)
+        if collector is None:
+            return cghc.ensure(tag)
+        l1_before = cghc.l1_hits
+        l2_before = cghc.l2_hits
+        result = cghc.ensure(tag)
+        if cghc.l1_hits != l1_before:
+            level = 0
+        elif cghc.l2_hits != l2_before:
+            level = 1
+        else:
+            level = 2
+        collector.cghc_access(tag, level)
+        return result
+
     def on_call(self, caller_fid, callee_fid, predicted, engine):
         if not predicted:
             return
         entry_lines = self._entry
-        cghc = self.cghc
         # access 1: prefetch access keyed by the predicted target G.  A
         # miss allocates a fresh (invalid-data) entry — §3.2: "if there
         # is no hit in the tag array, no prefetches are issued and a new
         # tag array entry is created".
-        entry, latency = cghc.ensure(entry_lines[callee_fid])
+        entry, latency = self._ensure(entry_lines[callee_fid], engine)
         first = entry.first_callee()
         if first is not None:
             engine.prefetch_function_head(
@@ -88,8 +111,8 @@ class CgpPrefetcher(Prefetcher):
             )
         # access 2: update access keyed by the current function F
         if caller_fid >= 0:
-            entry, _latency = cghc.ensure(entry_lines[caller_fid])
-            entry.record_call(callee_fid, cghc.max_slots)
+            entry, _latency = self._ensure(entry_lines[caller_fid], engine)
+            entry.record_call(callee_fid, self.cghc.max_slots)
 
     def on_return(self, returning_fid, ras_entry, predicted, engine):
         if not predicted:
@@ -98,7 +121,7 @@ class CgpPrefetcher(Prefetcher):
         # supplied by the modified return address stack (allocates on
         # miss, like every CGHC access)
         if ras_entry is not None:
-            entry, latency = self.cghc.ensure(ras_entry.caller_start_line)
+            entry, latency = self._ensure(ras_entry.caller_start_line, engine)
             nxt = entry.predicted_next()
             if nxt is not None:
                 engine.prefetch_function_head(
@@ -107,5 +130,5 @@ class CgpPrefetcher(Prefetcher):
                 )
         # access 2: update access keyed by the returning function G;
         # a fresh entry's index is already 1
-        entry, _latency = self.cghc.ensure(self._entry[returning_fid])
+        entry, _latency = self._ensure(self._entry[returning_fid], engine)
         entry.reset_index()

@@ -36,6 +36,9 @@ class BufferPool:
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        #: pinned frames the victim scan had to skip — a contention
+        #: proxy: nonzero means eviction competed with in-use pages
+        self.pin_waits = 0
 
     # ------------------------------------------------------------------
     # the paper's entry points
@@ -113,12 +116,16 @@ class BufferPool:
     def _make_room(self):
         if len(self._frames) < self._capacity:
             return
+        skipped = 0
         for page_id, page in self._frames.items():
             if page.pin_count == 0:
                 victim_id, victim = page_id, page
                 break
+            skipped += 1
         else:
+            self.pin_waits += skipped
             raise BufferPoolFullError("all buffer frames are pinned")
+        self.pin_waits += skipped
         if victim.dirty:
             self._write_back(victim)
         del self._frames[victim_id]
@@ -148,3 +155,17 @@ class BufferPool:
     def pin_count(self, page_id):
         page = self._frames.get(page_id)
         return 0 if page is None else page.pin_count
+
+    def stats(self):
+        """Access counters as a JSON-ready dict (for workload-build
+        telemetry; see :mod:`repro.harness.telemetry`)."""
+        accesses = self.hits + self.misses
+        return {
+            "capacity": self._capacity,
+            "resident": len(self._frames),
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "pin_waits": self.pin_waits,
+            "hit_rate": (self.hits / accesses) if accesses else 0.0,
+        }

@@ -98,6 +98,93 @@ def render_bars(result, column, width=50, label_header="workload",
     return out.getvalue()
 
 
+def attribution_totals(payload):
+    """Sum an attribution payload's per-function counters into one dict."""
+    totals = {}
+    for entry in payload["functions"].values():
+        for counter, value in entry.items():
+            if isinstance(value, int):
+                totals[counter] = totals.get(counter, 0) + value
+    return totals
+
+
+def render_usefulness_stack(rows, width=50):
+    """Figure-7-style stacked usefulness bars, one per configuration.
+
+    ``rows`` is ``[(label, totals)]`` where ``totals`` carries
+    ``pref_hits`` / ``delayed_hits`` / ``useless`` (e.g. from
+    :func:`attribution_totals`).  Each bar is one run's issued
+    prefetches, split into ``#`` pref hits, ``+`` delayed hits and
+    ``.`` useless, scaled to the largest run.
+    """
+    if not rows:
+        return "(no data)\n"
+    issued = {
+        label: t.get("pref_hits", 0) + t.get("delayed_hits", 0)
+        + t.get("useless", 0)
+        for label, t in rows
+    }
+    peak = max(issued.values()) or 1
+    label_width = max(len(label) for label, _t in rows)
+    out = io.StringIO()
+    out.write("prefetch usefulness (# pref hit, + delayed hit, . useless):\n")
+    for label, totals in rows:
+        total = issued[label]
+        scale = width * total / peak
+        segments = ""
+        remaining = round(scale)
+        for counter, char in (("pref_hits", "#"), ("delayed_hits", "+"),
+                              ("useless", ".")):
+            value = totals.get(counter, 0)
+            length = round(scale * value / total) if total else 0
+            length = min(length, remaining)
+            segments += char * length
+            remaining -= length
+        useful = totals.get("pref_hits", 0) + totals.get("delayed_hits", 0)
+        ratio = useful / total if total else 0.0
+        out.write(
+            f"  {label.ljust(label_width)}  {segments.ljust(width)}  "
+            f"{total:,} issued, {ratio:.1%} useful\n"
+        )
+    return out.getvalue()
+
+
+_LAYER_COLUMNS = (
+    "demand_misses", "memory_fetches", "pref_hits", "delayed_hits",
+    "useless", "cghc_l1_hits", "cghc_l2_hits", "cghc_misses",
+)
+
+
+def render_layer_markdown(payload, columns=_LAYER_COLUMNS):
+    """Markdown table of per-DBMS-layer attribution counters."""
+    lines = ["| layer | " + " | ".join(columns) + " |"]
+    lines.append("|" + "---|" * (len(columns) + 1))
+    for layer, entry in payload["layers"].items():
+        cells = [layer] + [_format_value(entry.get(c, 0)) for c in columns]
+        lines.append("| " + " | ".join(cells) + " |")
+    return "\n".join(lines) + "\n"
+
+
+def render_top_functions_markdown(payload, k=10, by="demand_misses"):
+    """Markdown table of the k hottest functions by one counter."""
+    ranked = sorted(
+        payload["functions"].items(),
+        key=lambda kv: (-kv[1].get(by, 0), int(kv[0])),
+    )
+    columns = ("layer", by, "pref_hits", "delayed_hits", "useless")
+    lines = ["| function | " + " | ".join(columns) + " |"]
+    lines.append("|" + "---|" * (len(columns) + 1))
+    for fid, entry in ranked[:k]:
+        if entry.get(by, 0) == 0:
+            break
+        name = entry.get("name") or f"fid {fid}"
+        cells = [f"`{name}`", str(entry.get("layer", "?"))] + [
+            _format_value(entry.get(c, 0)) for c in columns[1:]
+        ]
+        lines.append("| " + " | ".join(cells) + " |")
+    return "\n".join(lines) + "\n"
+
+
 def render_grouped_bars(result, columns, width=40, label_header="workload",
                         fmt="{:,.0f}"):
     """Grouped ASCII bars: several columns per row label (e.g. the O5 /

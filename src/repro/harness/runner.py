@@ -158,7 +158,12 @@ class ExperimentRunner:
                 image, query_rows = pickle.load(fh)
             trace = Trace.load(trace_path)
         else:
-            image, trace, query_rows = _build_trace(suite_name, pipeline)
+            image, trace, query_rows, pool_stats = _build_trace(
+                suite_name, pipeline
+            )
+            self._emit("workload-build", suite=suite_name,
+                       scale=pipeline.scale, query_rows=query_rows,
+                       buffer_pool=pool_stats)
             if meta_path:
                 trace.save(trace_path)
                 with open(meta_path, "wb") as fh:
@@ -356,7 +361,8 @@ def _build_trace(suite_name, pipeline):
     results = tracer.run(suite.run)
     trace = expand_trace(tracer.trace, image, pipeline.expansion)
     query_rows = {name: len(rows) for name, rows in results.items()}
-    return freeze_image(image), trace, query_rows
+    pool_stats = suite.database.storage.pool.stats()
+    return freeze_image(image), trace, query_rows, pool_stats
 
 
 def _make_prefetcher(spec, layout, cghc_name):

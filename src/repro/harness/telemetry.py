@@ -15,9 +15,15 @@ Journal record kinds (the ``event`` field):
   where ``status`` is ``ok`` / ``error`` / ``timeout`` / ``crash`` and
   ``cache`` is ``hit`` / ``miss``.
 * ``grid-end`` — ``{grid, ok, failed, cached, wall_s}``
+* ``interval`` — one windowed time-series sample from the simulator
+  observability layer (see :mod:`repro.obsv.interval`)
+* ``workload-build`` — a suite was traced from scratch (cache miss),
+  with the buffer pool's access statistics for the build
+* ``bench`` — one ``scripts/bench_sim.py`` phase timing
 
-All events additionally carry ``ts`` (UNIX seconds) and ``pid`` (the
-writer, i.e. the coordinating process).
+All events additionally carry ``ts`` (UNIX seconds), ``pid`` (the
+writer, i.e. the coordinating process), and ``schema_version`` so
+readers of mixed-generation journals can dispatch on record layout.
 """
 
 from __future__ import annotations
@@ -26,6 +32,9 @@ import json
 import os
 import sys
 import time
+
+#: Version stamped into every journal record by :meth:`RunJournal.write`.
+JOURNAL_SCHEMA_VERSION = 1
 
 
 class RunJournal:
@@ -48,8 +57,19 @@ class RunJournal:
         return self._fh
 
     def write(self, event, **fields):
+        """Append one record and flush it.
+
+        **Single-writer contract:** a journal file has exactly one
+        writing ``RunJournal`` (one coordinating process) at a time.
+        Worker processes never write — they return results to the
+        coordinator, which journals them.  Appends from two handles
+        would interleave partial lines on some platforms; nothing here
+        locks the file.  Concurrent *readers* are fine (and should use
+        :func:`read_journal`, which tolerates a trailing partial line
+        from a live writer or a crash).
+        """
         record = {"ts": round(time.time(), 3), "pid": os.getpid(),
-                  "event": event}
+                  "schema_version": JOURNAL_SCHEMA_VERSION, "event": event}
         record.update(fields)
         fh = self._handle()
         fh.write(json.dumps(record, sort_keys=True) + "\n")
@@ -69,7 +89,12 @@ class RunJournal:
 
     @staticmethod
     def read(path):
-        """Parse a journal back into a list of records."""
+        """Parse a journal back into a list of records.
+
+        Strict: raises on any malformed line.  Use :func:`read_journal`
+        for journals that may carry truncated lines (live writer,
+        crashed run, filesystem hiccup).
+        """
         records = []
         with open(path, "r", encoding="utf-8") as fh:
             for line in fh:
@@ -77,6 +102,34 @@ class RunJournal:
                 if line:
                     records.append(json.loads(line))
         return records
+
+
+def read_journal(path):
+    """Parse a journal, skipping corrupt lines instead of raising.
+
+    Returns ``(records, corrupt)`` where ``corrupt`` counts lines that
+    were not valid JSON objects — typically a record truncated by a
+    crash mid-``write``, which the append-only format confines to the
+    end of the file (but any interior damage is skipped and counted the
+    same way).
+    """
+    records = []
+    corrupt = 0
+    with open(path, "r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except ValueError:
+                corrupt += 1
+                continue
+            if isinstance(record, dict):
+                records.append(record)
+            else:
+                corrupt += 1
+    return records, corrupt
 
 
 def progress_printer(stream=None):
@@ -107,6 +160,16 @@ def progress_printer(stream=None):
                 else str(event.get("error", ""))[:80]
             )
             out.write(f"  [{done}/{total}] {cell}: {status} {extra}\n")
+        elif kind == "workload-build":
+            pool = event.get("buffer_pool") or {}
+            out.write(
+                f"[build {event.get('suite', '?')}] "
+                f"scale={event.get('scale', '?')} "
+                f"pool: {pool.get('hits', 0)} hits / "
+                f"{pool.get('misses', 0)} misses / "
+                f"{pool.get('evictions', 0)} evictions "
+                f"(hit rate {pool.get('hit_rate', 0.0):.3f})\n"
+            )
         elif kind == "grid-end":
             out.write(
                 f"[grid {event.get('grid', '?')}] done: "

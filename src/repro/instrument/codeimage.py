@@ -28,15 +28,21 @@ BYTES_PER_INSTR = 4
 
 
 class FunctionInfo:
-    """One traced function in the code image."""
+    """One traced function in the code image.
 
-    __slots__ = ("fid", "name", "code", "size_instrs")
+    ``module`` is the dotted path of the defining module (None for
+    synthetic runtime helpers) — observability metadata only: layouts
+    key on ``name``, so adding or changing modules can never move code.
+    """
 
-    def __init__(self, fid, name, code, size_instrs):
+    __slots__ = ("fid", "name", "code", "size_instrs", "module")
+
+    def __init__(self, fid, name, code, size_instrs, module=None):
         self.fid = fid
         self.name = name
         self.code = code
         self.size_instrs = size_instrs
+        self.module = module
 
     def __repr__(self):
         return f"FunctionInfo({self.fid}, {self.name!r}, {self.size_instrs})"
@@ -57,7 +63,7 @@ class CodeImage:
     # ------------------------------------------------------------------
     # registration
     # ------------------------------------------------------------------
-    def register_code(self, code, name=None):
+    def register_code(self, code, name=None, module=None):
         """Register one code object (and nested code objects within it)."""
         info = self._by_code.get(code)
         if info is not None:
@@ -65,13 +71,14 @@ class CodeImage:
         pyops = max(1, len(code.co_code) // 2)
         size = max(MIN_FUNC_INSTRS, pyops * self._instrs_per_pyop)
         info = FunctionInfo(
-            len(self._functions), name or code.co_qualname, code, size
+            len(self._functions), name or code.co_qualname, code, size,
+            module=module,
         )
         self._by_code[code] = info
         self._functions.append(info)
         for const in code.co_consts:
             if isinstance(const, types.CodeType):
-                self.register_code(const)
+                self.register_code(const, module=module)
         return info
 
     def register_synthetic(self, name, size_instrs):
@@ -97,7 +104,7 @@ class CodeImage:
     def _register_value(self, value, module_name):
         if isinstance(value, types.FunctionType):
             if value.__module__ == module_name:
-                self.register_code(value.__code__)
+                self.register_code(value.__code__, module=module_name)
                 return 1
             return 0
         if isinstance(value, (staticmethod, classmethod)):
@@ -176,16 +183,20 @@ class CodeImage:
 
 
 class FrozenImage:
-    """A picklable snapshot of a CodeImage (names and sizes only).
+    """A picklable snapshot of a CodeImage (names, sizes, modules).
 
     Simulation, layout, and profiling never need live code objects, so
     traces are cached on disk together with a FrozenImage.
     """
 
-    def __init__(self, names, sizes):
+    def __init__(self, names, sizes, modules=None):
+        if modules is None:
+            modules = [None] * len(names)
         self._functions = [
-            FunctionInfo(fid, name, None, size)
-            for fid, (name, size) in enumerate(zip(names, sizes))
+            FunctionInfo(fid, name, None, size, module=module)
+            for fid, (name, size, module) in enumerate(
+                zip(names, sizes, modules)
+            )
         ]
 
     def info(self, fid):
@@ -221,17 +232,23 @@ class FrozenImage:
         return {
             "names": [f.name for f in self._functions],
             "sizes": [f.size_instrs for f in self._functions],
+            "modules": [f.module for f in self._functions],
         }
 
     def __setstate__(self, state):
-        self.__init__(state["names"], state["sizes"])
+        # images pickled before module metadata existed have no
+        # "modules" entry; they load with every module set to None
+        self.__init__(state["names"], state["sizes"],
+                      state.get("modules"))
 
 
 def freeze_image(image):
     """Snapshot any image into a :class:`FrozenImage`."""
     functions = image.functions()
     return FrozenImage(
-        [f.name for f in functions], [f.size_instrs for f in functions]
+        [f.name for f in functions],
+        [f.size_instrs for f in functions],
+        [getattr(f, "module", None) for f in functions],
     )
 
 

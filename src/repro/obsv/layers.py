@@ -1,0 +1,35 @@
+"""DBMS layer classification from CodeImage module paths.
+
+The paper discusses instruction misses by database layer (parser ->
+optimizer -> execution operators -> storage).  Our traced functions
+carry the defining module's dotted path
+(:class:`~repro.instrument.codeimage.FunctionInfo` ``.module``), so the
+layer falls out of a prefix match.  Synthetic runtime helpers
+(``rt::helper_NNN``, materialized by :mod:`repro.instrument.expand`)
+have no module and land in ``runtime``.
+"""
+
+from __future__ import annotations
+
+#: Dotted-module-prefix -> layer, longest prefix wins.
+_LAYER_PREFIXES = (
+    ("repro.db.parser", "parser"),
+    ("repro.db.optimizer", "optimizer"),
+    ("repro.db.exec", "exec"),
+    ("repro.db.storage", "storage"),
+    ("repro.db", "db-core"),
+)
+
+#: Every layer a function can be attributed to.
+LAYER_NAMES = ("parser", "optimizer", "exec", "storage", "db-core",
+               "runtime", "other")
+
+
+def layer_of_module(module):
+    """Map a dotted module path (or None) to a DBMS layer name."""
+    if module is None:
+        return "runtime"
+    for prefix, layer in _LAYER_PREFIXES:
+        if module == prefix or module.startswith(prefix + "."):
+            return layer
+    return "other"

@@ -364,8 +364,10 @@ class FastFetchEngine(FetchEngine):
     the reference recency layout is reconstructed before the run returns.
     """
 
-    def __init__(self, config, layout, prefetcher=None, seed=12345):
-        super().__init__(config, layout, prefetcher=prefetcher, seed=seed)
+    def __init__(self, config, layout, prefetcher=None, seed=12345,
+                 collector=None):
+        super().__init__(config, layout, prefetcher=prefetcher, seed=seed,
+                         collector=collector)
         total = layout.total_lines
         #: bytearray mirror of the L1 content (1 == line resident)
         self._presence = bytearray(total)
@@ -411,6 +413,8 @@ class FastFetchEngine(FetchEngine):
                 self._uflag[victim] = 0
                 vo = self._untouched.pop(victim)
                 self.stats.prefetch_origin(vo).useless += 1
+                if self.collector is not None:
+                    self.collector.useless(victim, vo, self.cycle)
         self._presence[line] = 1
         stamp[line] = self._ctr
         self._ctr += 1
@@ -421,11 +425,16 @@ class FastFetchEngine(FetchEngine):
     def issue_prefetch(self, line, origin, delay=0):
         """Reference semantics with the O(1) residency probe."""
         stats = self.stats.prefetch_origin(origin)
+        collector = self.collector
         if line < 0 or line >= self.layout.total_lines:
             stats.out_of_range += 1
+            if collector is not None:
+                collector.out_of_range(origin)
             return False
         if line in self._in_flight or self._presence[line]:
             stats.squashed += 1
+            if collector is not None:
+                collector.squashed(line, origin)
             return False
         completion, _from_mem = self.memsys.request(
             line, self.cycle + delay, is_prefetch=True
@@ -433,6 +442,8 @@ class FastFetchEngine(FetchEngine):
         self._in_flight[line] = (completion, origin)
         heappush(self._arrivals, (completion, line))
         stats.issued += 1
+        if collector is not None:
+            collector.issued(line, origin, self.cycle + delay, completion)
         return True
 
     def prefetch_function_head(self, fid, n_lines, origin, delay=0):
@@ -447,16 +458,23 @@ class FastFetchEngine(FetchEngine):
         arrivals = self._arrivals
         request = self.memsys.request
         now = self.cycle + delay
+        collector = self.collector
         for line in range(start, start + count):
             if line < 0 or line >= total_lines:
                 stats.out_of_range += 1
+                if collector is not None:
+                    collector.out_of_range(origin)
             elif line in in_flight or presence[line]:
                 stats.squashed += 1
+                if collector is not None:
+                    collector.squashed(line, origin)
             else:
                 completion, _from_mem = request(line, now, is_prefetch=True)
                 in_flight[line] = (completion, origin)
                 heappush(arrivals, (completion, line))
                 stats.issued += 1
+                if collector is not None:
+                    collector.issued(line, origin, now, completion)
 
     def _rebuild_l1_order(self):
         """Sort each set's way slots back into reference recency order
@@ -473,8 +491,161 @@ class FastFetchEngine(FetchEngine):
                     [-1] * (assoc - len(slots)) + slots
                 )
 
+    def _access_observed(self, line):
+        """Reference ``_access`` on the presence/stamp representation,
+        with the collector call sites of the reference engine.
+
+        The resident-hit path mirrors ``SetAssocCache.lookup`` (count a
+        hit, refresh recency — here: the stamp); the miss paths mirror
+        the reference delayed-hit / demand-miss classification exactly,
+        calling the same collector methods with the same arguments in
+        the same order, so attribution payloads match bit for bit.
+        """
+        stats = self.stats
+        stats.line_accesses += 1
+        missed = False
+        first_touch = False
+        if self._arrivals:
+            self._deliver_arrivals()  # installs via the stamp _install
+        l1 = self.l1i
+        if self._presence[line]:
+            l1.hits += 1
+            self._stamp[line] = self._ctr
+            self._ctr += 1
+            if self._uflag[line]:
+                self._uflag[line] = 0
+                origin = self._untouched.pop(line)
+                stats.prefetch_origin(origin).pref_hits += 1
+                first_touch = True
+                if self.collector is not None:
+                    self.collector.pref_hit(line, origin, self.cycle)
+        else:
+            l1.misses += 1
+            record = self._in_flight.pop(line, None)
+            if record is not None:
+                arrival, origin = record
+                stall = arrival - self.cycle
+                if stall > 0:
+                    self.cycle += stall
+                    stats.stall_cycles += stall
+                stats.prefetch_origin(origin).delayed_hits += 1
+                first_touch = True
+                if self.collector is not None:
+                    self.collector.delayed_hit(line, origin, stall, self.cycle)
+                self._install(line)  # referenced: not "untouched"
+            else:
+                missed = True
+                completion, from_mem = self.memsys.request(
+                    line, self.cycle, is_prefetch=False
+                )
+                stats.demand_misses += 1
+                if from_mem:
+                    stats.memory_fetches += 1
+                else:
+                    stats.l2_hits += 1
+                stall = completion - self.cycle
+                self.cycle += stall
+                stats.stall_cycles += stall
+                if self.collector is not None:
+                    self.collector.demand_miss(line, from_mem)
+                self._install(line)
+        self.last_access_missed = missed
+        self.last_access_first_touch = first_touch
+        self.prefetcher.on_line_access(line, self)
+
+    def _run_observed(self, compiled):
+        """Instrumented kernel: the reference event loop replayed over
+        the compiled arrays.
+
+        With a collector attached, batching would reorder or merge the
+        very events being observed, so this kernel trades the fast
+        paths for fidelity: engine state (``cycle``, ``stats``, RAS,
+        in-flight/untouched maps) stays live at every event, real
+        prefetcher hooks run (they flow through the instrumented
+        ``issue_prefetch``/``prefetch_function_head``), and every
+        floating-point operation matches the reference engine's order —
+        the equivalence suites require identical ``SimStats`` *and*
+        identical attribution payloads across engines.
+        """
+        config = self.config
+        stats = self.stats
+        prefetcher = self.prefetcher
+        collector = self.collector
+        sampler = collector.interval
+        cpi = self._cpi
+        instr_scale = self.layout.instr_scale
+        overhead_instrs = config.call_overhead_instrs * instr_scale
+        overhead_cycles = overhead_instrs * cpi
+        penalty = config.mispredict_penalty
+        perfect = config.perfect_icache
+        base = self.layout.base_line
+        ras = self.ras
+        access = self._access_observed
+
+        ops = compiled.ops
+        ea = compiled.ea
+        eb = compiled.eb
+        n_scaled = compiled.n_scaled
+        seg_start = compiled.seg_start
+        seg_end = compiled.seg_end
+        lines = compiled.lines
+        callsite = compiled.callsite
+
+        for i in range(compiled.n_events):
+            op = ops[i]
+            if op == OP_EXEC or op == OP_EXEC_REP:
+                nf = n_scaled[i]
+                stats.instructions += nf
+                d = nf * cpi
+                self.cycle += d
+                stats.fetch_cycles += d
+                if not perfect:
+                    for p in range(seg_start[i], seg_end[i]):
+                        access(lines[p])
+            elif op == OP_CALL:
+                stats.calls += 1
+                stats.instructions += overhead_instrs
+                self.cycle += overhead_cycles
+                stats.fetch_cycles += overhead_cycles
+                caller = eb[i]
+                predicted = self._predict_ok()
+                if not predicted:
+                    stats.mispredicted_calls += 1
+                    self.cycle += penalty
+                    stats.mispredict_cycles += penalty
+                if caller >= 0:
+                    ras.push(callsite[i], base[caller], caller)
+                if not perfect:
+                    prefetcher.on_call(caller, ea[i], predicted, self)
+            elif op == OP_RET:
+                stats.returns += 1
+                stats.instructions += overhead_instrs
+                self.cycle += overhead_cycles
+                stats.fetch_cycles += overhead_cycles
+                entry = ras.pop()
+                actual_caller = eb[i]
+                predicted = entry is not None and (
+                    actual_caller < 0 or entry.caller_fid == actual_caller
+                )
+                if not predicted:
+                    self.cycle += penalty
+                    stats.mispredict_cycles += penalty
+                if not perfect:
+                    prefetcher.on_return(ea[i], entry, predicted, self)
+            # OP_SWITCH: hardware state is shared across threads
+            if sampler is not None and stats.instructions >= sampler.next_at:
+                sampler.take(self)
+
+        self._rebuild_l1_order()
+        self._finalize()
+        return stats
+
     def run(self, trace):
         compiled = _compiled(trace, self.layout)
+        if self.collector is not None:
+            # observation disables the batched fast paths; the
+            # collection-off kernels below stay byte-for-byte untouched
+            return self._run_observed(compiled)
         config = self.config
         stats = self.stats
         prefetcher = self.prefetcher

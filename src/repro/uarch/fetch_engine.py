@@ -42,11 +42,15 @@ _LCG_MASK = (1 << 64) - 1
 class FetchEngine:
     """One simulation run = one FetchEngine instance."""
 
-    def __init__(self, config, layout, prefetcher=None, seed=12345):
+    def __init__(self, config, layout, prefetcher=None, seed=12345,
+                 collector=None):
         config.validate()
         self.config = config
         self.layout = layout
         self.prefetcher = prefetcher if prefetcher is not None else NO_PREFETCH
+        #: optional repro.obsv.AttributionCollector; None (the default)
+        #: keeps every instrumentation site behind one dead branch
+        self.collector = collector
         self.stats = SimStats()
         self.l1i = SetAssocCache.from_config(config.l1i)
         self.memsys = MemorySystem(config)
@@ -83,11 +87,16 @@ class FetchEngine:
         in flight), or out_of_range (outside the layout's address space).
         """
         stats = self.stats.prefetch_origin(origin)
+        collector = self.collector
         if line < 0 or line >= self.layout.total_lines:
             stats.out_of_range += 1
+            if collector is not None:
+                collector.out_of_range(origin)
             return False
         if line in self._in_flight or self.l1i.contains(line):
             stats.squashed += 1
+            if collector is not None:
+                collector.squashed(line, origin)
             return False
         completion, _from_mem = self.memsys.request(
             line, self.cycle + delay, is_prefetch=True
@@ -95,6 +104,8 @@ class FetchEngine:
         self._in_flight[line] = (completion, origin)
         heappush(self._arrivals, (completion, line))
         stats.issued += 1
+        if collector is not None:
+            collector.issued(line, origin, self.cycle + delay, completion)
         return True
 
     def prefetch_function_head(self, fid, n_lines, origin, delay=0):
@@ -127,6 +138,8 @@ class FetchEngine:
             victim_origin = self._untouched.pop(evicted, None)
             if victim_origin is not None:
                 self.stats.prefetch_origin(victim_origin).useless += 1
+                if self.collector is not None:
+                    self.collector.useless(evicted, victim_origin, self.cycle)
 
     def _access(self, line):
         """One demand reference to an I-cache line."""
@@ -141,6 +154,8 @@ class FetchEngine:
             if origin is not None:
                 stats.prefetch_origin(origin).pref_hits += 1
                 first_touch = True
+                if self.collector is not None:
+                    self.collector.pref_hit(line, origin, self.cycle)
         else:
             record = self._in_flight.pop(line, None)
             if record is not None:
@@ -151,6 +166,8 @@ class FetchEngine:
                     stats.stall_cycles += stall
                 stats.prefetch_origin(origin).delayed_hits += 1
                 first_touch = True
+                if self.collector is not None:
+                    self.collector.delayed_hit(line, origin, stall, self.cycle)
                 self._install(line)  # referenced: not "untouched"
             else:
                 missed = True
@@ -165,6 +182,8 @@ class FetchEngine:
                 stall = completion - self.cycle
                 self.cycle += stall
                 stats.stall_cycles += stall
+                if self.collector is not None:
+                    self.collector.demand_miss(line, from_mem)
                 self._install(line)
         self.last_access_missed = missed
         self.last_access_first_touch = first_touch
@@ -190,6 +209,10 @@ class FetchEngine:
         penalty = config.mispredict_penalty
         perfect = config.perfect_icache
         access = self._access
+        collector = self.collector
+        # the "single branch": sampling adds one comparison per event
+        # when a collector is attached and nothing at all otherwise
+        sampler = collector.interval if collector is not None else None
 
         kinds = trace.kinds
         ea, eb, ec = trace.a, trace.b, trace.c
@@ -249,18 +272,25 @@ class FetchEngine:
                 pass  # hardware state (caches, RAS, CGHC) is shared
             else:
                 raise SimulationError(f"unknown trace event kind {kind}")
+            if sampler is not None and stats.instructions >= sampler.next_at:
+                sampler.take(self)
 
         self._finalize()
         return stats
 
     def _finalize(self):
         stats = self.stats
+        collector = self.collector
         # lines never referenced after prefetch are useless
-        for origin in self._untouched.values():
+        for line, origin in self._untouched.items():
             stats.prefetch_origin(origin).useless += 1
+            if collector is not None:
+                collector.useless(line, origin, self.cycle)
         self._untouched.clear()
-        for _arrival, origin in self._in_flight.values():
+        for line, (_arrival, origin) in self._in_flight.items():
             stats.prefetch_origin(origin).useless += 1
+            if collector is not None:
+                collector.useless(line, origin, self.cycle)
         self._in_flight.clear()
         stats.cycles = self.cycle
         stats.base_cycles = stats.fetch_cycles
@@ -270,6 +300,8 @@ class FetchEngine:
             stats.cghc_l1_hits = cghc.l1_hits
             stats.cghc_l2_hits = cghc.l2_hits
             stats.cghc_misses = cghc.misses
+        if collector is not None and collector.interval is not None:
+            collector.interval.finalize(self)
 
 
 #: simulate() engine selection: explicit argument beats the
@@ -299,7 +331,8 @@ def engine_class(engine=None):
     return FastFetchEngine
 
 
-def simulate(trace, layout, config, prefetcher=None, seed=12345, engine=None):
+def simulate(trace, layout, config, prefetcher=None, seed=12345, engine=None,
+             collector=None):
     """Convenience wrapper: run one simulation, return stats.
 
     ``engine`` selects the replay core: ``"fast"`` (the optimized default)
@@ -307,6 +340,12 @@ def simulate(trace, layout, config, prefetcher=None, seed=12345, engine=None):
     verified against).  When None, the ``REPRO_SIM_ENGINE`` environment
     variable decides, falling back to ``"fast"``.  Both cores produce
     byte-identical :class:`SimStats`.
+
+    ``collector`` (a :class:`repro.obsv.AttributionCollector`) opts into
+    per-function/per-layer attribution, interval sampling, and prefetch
+    lifecycle tracing — identical payloads from either engine, and the
+    returned :class:`SimStats` are unchanged by collection.
     """
     cls = engine_class(engine)
-    return cls(config, layout, prefetcher=prefetcher, seed=seed).run(trace)
+    return cls(config, layout, prefetcher=prefetcher, seed=seed,
+               collector=collector).run(trace)

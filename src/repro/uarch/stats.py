@@ -22,6 +22,11 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+#: Version stamped into ``SimStats.summary()`` and journal records.
+#: Bump when the summary layout changes shape (readers of mixed
+#: journals dispatch on it; see docs/OBSERVABILITY.md).
+SUMMARY_SCHEMA_VERSION = 1
+
 
 @dataclass
 class PrefetchStats:
@@ -54,11 +59,16 @@ class PrefetchStats:
 
     @classmethod
     def from_dict(cls, payload):
+        """Build from a serialized payload.
+
+        Unknown keys are ignored and missing ones default to 0, so
+        results written by a newer (or older) schema still load — the
+        durable result cache outlives any one code revision.
+        """
         return cls(
-            out_of_range=payload.get("out_of_range", 0),
-            **{f: payload[f] for f in
+            **{f: payload.get(f, 0) for f in
                ("issued", "pref_hits", "delayed_hits", "useless",
-                "squashed")},
+                "squashed", "out_of_range")},
         )
 
 
@@ -157,6 +167,7 @@ class SimStats:
 
     def summary(self):
         return {
+            "schema_version": SUMMARY_SCHEMA_VERSION,
             "instructions": self.instructions,
             "cycles": round(self.cycles, 1),
             "ipc": round(self.ipc, 4),

@@ -12,6 +12,7 @@ fails here.
 import pytest
 
 from repro.harness.runner import _make_prefetcher
+from repro.obsv import AttributionCollector, validate_payload
 from repro.uarch import simulate
 
 SUITES = ["wisc-prof", "wisc-large-1", "wisc-large-2", "wisc+tpch"]
@@ -58,6 +59,40 @@ def test_fig4_cells_identical_across_engines(small_runner, layout_name,
                                              pspec):
     ref, fast = run_both(small_runner, "wisc-prof", layout_name, pspec)
     assert ref.to_dict() == fast.to_dict()
+
+
+@pytest.mark.parametrize("suite", SUITES)
+def test_golden_cell_attribution_identical_across_engines(small_runner,
+                                                          suite):
+    """Collection enabled on the real workloads: identical ``SimStats``
+    to the uninstrumented run, identical attribution payloads (layer
+    tables, lateness histograms, interval samples, lifecycle traces)
+    across both engines, and a payload that passes schema validation."""
+    art = small_runner.artifacts(suite)
+    layout = art.layout(GOLDEN_CELL[0])
+    plain = simulate(
+        art.trace, layout, small_runner.sim_config,
+        prefetcher=_make_prefetcher(GOLDEN_CELL[1], layout, "CGHC-2K+32K"),
+        engine="fast",
+    )
+    payloads = {}
+    for engine in ("reference", "fast"):
+        collector = AttributionCollector(
+            layout, image=art.image, interval=200_000, lifecycle=512
+        )
+        stats = simulate(
+            art.trace, layout, small_runner.sim_config,
+            prefetcher=_make_prefetcher(GOLDEN_CELL[1], layout,
+                                        "CGHC-2K+32K"),
+            engine=engine, collector=collector,
+        )
+        assert stats.to_dict() == plain.to_dict()
+        payloads[engine] = validate_payload(collector.to_dict())
+    assert payloads["reference"] == payloads["fast"]
+    # the layer split actually resolved DBMS layers (module metadata
+    # survived the freeze/expand pipeline)
+    layers = set(payloads["fast"]["layers"])
+    assert {"parser", "optimizer", "exec", "storage"} <= layers
 
 
 def test_goldens_are_engine_agnostic(small_runner):

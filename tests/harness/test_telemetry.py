@@ -1,0 +1,85 @@
+"""RunJournal durability and the tolerant journal reader."""
+
+import json
+
+from repro.harness import ExperimentRunner, PipelineConfig, RunSpec
+from repro.harness.telemetry import (
+    JOURNAL_SCHEMA_VERSION,
+    RunJournal,
+    journal_grid_summary,
+    read_journal,
+)
+
+
+def test_every_record_is_versioned_and_flushed(tmp_path):
+    path = str(tmp_path / "j.jsonl")
+    journal = RunJournal(path)
+    journal.write("grid-start", grid="g", cells=2)
+    # flush-per-line: the record is durable before close()
+    records = RunJournal.read(path)
+    assert len(records) == 1
+    assert records[0]["schema_version"] == JOURNAL_SCHEMA_VERSION
+    assert records[0]["event"] == "grid-start"
+    journal.close()
+
+
+def test_close_is_idempotent_and_reopens_on_next_write(tmp_path):
+    path = str(tmp_path / "j.jsonl")
+    journal = RunJournal(path)
+    journal.write("grid-start", grid="a")
+    journal.close()
+    journal.close()  # second close must be a no-op
+    journal.write("grid-end", grid="a")  # lazily reopens in append mode
+    journal.close()
+    events = [r["event"] for r in RunJournal.read(path)]
+    assert events == ["grid-start", "grid-end"]
+
+
+def test_journal_appends_across_sequential_grids(tmp_path, small_runner):
+    path = str(tmp_path / "grids.jsonl")
+    spec = RunSpec("wisc-prof", "O5", None, False, "CGHC-2K+32K", None)
+    with RunJournal(path) as journal:
+        runner = ExperimentRunner(
+            pipeline=PipelineConfig(quantum_rows=2),
+            scales={"wisc-prof": 0.15},
+            journal=journal,
+        )
+        runner._artifacts = small_runner._artifacts  # reuse traced suite
+        runner.run_grid([spec], grid="first")
+        runner.run_grid([spec], grid="second")
+    records, corrupt = read_journal(path)
+    assert corrupt == 0
+    grids = journal_grid_summary(records)
+    assert set(grids) == {"first", "second"}
+    assert grids["first"]["ok"] == 1 and grids["second"]["ok"] == 1
+    starts = [r for r in records if r["event"] == "grid-start"]
+    assert [r["grid"] for r in starts] == ["first", "second"]
+
+
+def test_read_journal_skips_and_counts_corrupt_lines(tmp_path):
+    path = str(tmp_path / "damaged.jsonl")
+    with RunJournal(path) as journal:
+        journal.write("grid-start", grid="g")
+        journal.write("grid-end", grid="g")
+    with open(path, "a", encoding="utf-8") as fh:
+        fh.write('{"event": "run", "grid": "g", "trunca')  # crash artifact
+    with open(path, "r+", encoding="utf-8") as fh:
+        text = fh.read().splitlines()
+        text.insert(1, "not json at all")
+        text.insert(2, json.dumps(["a", "list", "not", "an", "object"]))
+        fh.seek(0)
+        fh.write("\n".join(text))
+        fh.truncate()
+    records, corrupt = read_journal(path)
+    assert [r["event"] for r in records] == ["grid-start", "grid-end"]
+    assert corrupt == 3
+
+
+def test_strict_reader_raises_on_corruption(tmp_path):
+    import pytest
+
+    path = str(tmp_path / "damaged.jsonl")
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write("garbage\n")
+    with pytest.raises(ValueError):
+        RunJournal.read(path)

@@ -1,0 +1,93 @@
+"""Interval sampler: window edges, deltas, journal output."""
+
+import pytest
+
+from repro.harness.telemetry import RunJournal, read_journal
+from repro.obsv import IntervalSampler
+from repro.uarch.stats import SimStats
+
+
+class _FakeEngine:
+    """Just enough engine surface for the sampler."""
+
+    def __init__(self):
+        self.stats = SimStats()
+        self.cycle = 0.0
+        self.prefetcher = None
+
+    def advance(self, instrs, cycles, accesses=0, misses=0,
+                issued=0, useful=0):
+        self.stats.instructions += instrs
+        self.cycle += cycles
+        self.stats.line_accesses += accesses
+        self.stats.demand_misses += misses
+        p = self.stats.prefetch_origin("nl")
+        p.issued += issued
+        p.pref_hits += useful
+
+
+def test_rejects_nonpositive_interval():
+    with pytest.raises(ValueError):
+        IntervalSampler(0)
+
+
+def test_window_deltas_and_rates():
+    engine = _FakeEngine()
+    sampler = IntervalSampler(100)
+    engine.advance(100, 50.0, accesses=40, misses=4, issued=10, useful=5)
+    sampler.take(engine)
+    engine.advance(100, 25.0, accesses=10, misses=1)
+    sampler.take(engine)
+    first, second = sampler.samples
+    assert first["ipc"] == 2.0
+    assert first["miss_rate"] == 0.1
+    assert first["prefetch_usefulness"] == 0.5
+    assert second["window_instructions"] == 100
+    assert second["window_cycles"] == 25.0
+    assert second["window_demand_misses"] == 1
+    assert second["instructions"] == 200  # cumulative
+    assert second["cghc_entries"] is None  # no CGHC attached
+
+
+def test_large_event_skips_covered_edges():
+    # one event covering several window edges yields ONE sample and
+    # advances next_at past every covered edge
+    engine = _FakeEngine()
+    sampler = IntervalSampler(100)
+    engine.advance(350, 10.0)
+    assert engine.stats.instructions >= sampler.next_at
+    sampler.take(engine)
+    assert len(sampler.samples) == 1
+    assert sampler.next_at == 400
+
+
+def test_finalize_emits_partial_sample_only_when_needed():
+    engine = _FakeEngine()
+    sampler = IntervalSampler(100)
+    engine.advance(100, 10.0)
+    sampler.take(engine)
+    sampler.finalize(engine)  # nothing since the last sample
+    assert len(sampler.samples) == 1
+    engine.advance(30, 5.0)
+    sampler.finalize(engine)
+    assert len(sampler.samples) == 2
+    assert sampler.samples[-1]["partial"] is True
+    assert sampler.samples[0]["partial"] is False
+
+
+def test_write_journal_emits_interval_events(tmp_path):
+    engine = _FakeEngine()
+    sampler = IntervalSampler(50)
+    engine.advance(50, 5.0)
+    sampler.take(engine)
+    engine.advance(50, 5.0)
+    sampler.take(engine)
+    path = str(tmp_path / "j.jsonl")
+    with RunJournal(path) as journal:
+        sampler.write_journal(journal, suite="wisc-prof", config="OM+CGP_4")
+    records, corrupt = read_journal(path)
+    assert corrupt == 0
+    assert [r["event"] for r in records] == ["interval", "interval"]
+    assert [r["index"] for r in records] == [0, 1]
+    assert all(r["suite"] == "wisc-prof" for r in records)
+    assert records[0]["ipc"] == 10.0

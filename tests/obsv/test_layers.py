@@ -1,0 +1,36 @@
+"""Module path -> DBMS layer resolution."""
+
+import pytest
+
+from repro.obsv import LAYER_NAMES, layer_of_module
+
+
+@pytest.mark.parametrize("module,layer", [
+    ("repro.db.parser.tokenizer", "parser"),
+    ("repro.db.parser", "parser"),
+    ("repro.db.optimizer.planner", "optimizer"),
+    ("repro.db.exec.operators", "exec"),
+    ("repro.db.storage.buffer_pool", "storage"),
+    ("repro.db.storage", "storage"),
+    ("repro.db.database", "db-core"),
+    ("repro.db.scheduler", "db-core"),
+    ("repro.db", "db-core"),
+    (None, "runtime"),
+    ("repro.workloads.suites", "other"),
+    ("json", "other"),
+])
+def test_layer_of_module(module, layer):
+    assert layer_of_module(module) == layer
+
+
+def test_prefix_match_requires_dot_boundary():
+    # "repro.db.parserx" is not inside the parser package
+    assert layer_of_module("repro.db.parserx") == "db-core"
+    assert layer_of_module("repro.dbx") == "other"
+
+
+def test_every_result_is_a_known_layer():
+    modules = ["repro.db.parser.p", "repro.db.optimizer.o", "repro.db.exec.e",
+               "repro.db.storage.s", "repro.db.x", None, "elsewhere"]
+    for module in modules:
+        assert layer_of_module(module) in LAYER_NAMES

@@ -1,0 +1,52 @@
+"""Prefetch lifecycle ring-buffer tracer."""
+
+from repro.obsv import PrefetchLifecycle, PrefetchRecord
+
+
+def test_issue_close_produces_full_record():
+    lc = PrefetchLifecycle(capacity=8)
+    lc.issue(5, "nl", issue_cycle=10.0, arrival_cycle=30.0)
+    lc.close(5, "pref_hit", end_cycle=42.0)
+    (record,) = lc.records()
+    assert record == PrefetchRecord(5, "nl", 10.0, 30.0, "pref_hit", 42.0)
+    assert lc.recorded == 1
+    assert lc.open_count() == 0
+
+
+def test_close_of_unknown_line_is_a_noop():
+    lc = PrefetchLifecycle(capacity=4)
+    lc.close(99, "useless", end_cycle=1.0)
+    assert lc.records() == []
+    assert lc.recorded == 0
+
+
+def test_ring_overwrites_oldest_and_counts_drops():
+    lc = PrefetchLifecycle(capacity=3)
+    for line in range(5):
+        lc.issue(line, "cghc", float(line), float(line) + 10.0)
+        lc.close(line, "useless", float(line) + 20.0)
+    records = lc.records()
+    assert [r.line for r in records] == [2, 3, 4]  # oldest-first
+    assert lc.recorded == 5
+    assert lc.dropped == 2
+
+
+def test_open_prefetches_counted_until_closed():
+    lc = PrefetchLifecycle(capacity=4)
+    lc.issue(1, "nl", 0.0, 5.0)
+    lc.issue(2, "nl", 1.0, 6.0)
+    assert lc.open_count() == 2
+    lc.close(1, "delayed_hit", 4.0)
+    assert lc.open_count() == 1
+    summary = lc.summary()
+    assert summary == {"capacity": 4, "recorded": 1, "dropped": 0, "open": 1}
+
+
+def test_reissue_of_same_line_replaces_open_entry():
+    lc = PrefetchLifecycle(capacity=4)
+    lc.issue(7, "nl", 0.0, 5.0)
+    lc.issue(7, "cghc", 2.0, 9.0)
+    lc.close(7, "pref_hit", 12.0)
+    (record,) = lc.records()
+    assert record.origin == "cghc"
+    assert record.issue_cycle == 2.0

@@ -167,3 +167,50 @@ def test_wal_hook_skipped_for_clean_pages():
     pool.wal_hook = lambda p: calls.append(p)
     pool.flush_page(page.page_id)  # already clean
     assert calls == []
+
+
+def test_stats_counts_hits_misses_evictions():
+    _disk, pool = fresh(capacity=2)
+    for page_no in range(2):
+        page = new_page(pool, page_no)
+        pool.unpin_page(page.page_id, dirty=True)
+        pool.flush_page(page.page_id)
+    pool.fetch_page(PageId(1, 0))            # hit
+    pool.unpin_page(PageId(1, 0))
+    pool.discard_page(PageId(1, 0))
+    pool.discard_page(PageId(1, 1))
+    pool.fetch_page(PageId(1, 0))            # miss -> disk
+    stats = pool.stats()
+    assert stats["hits"] == 1
+    assert stats["misses"] == 1
+    assert stats["hit_rate"] == 0.5
+    assert stats["capacity"] == 2
+    assert stats["resident"] == pool.resident_pages
+
+
+def test_stats_counts_pin_waits_on_contended_eviction():
+    _disk, pool = fresh(capacity=2)
+    pinned = new_page(pool, 0)               # stays pinned: scan skips it
+    unpinned = new_page(pool, 1)
+    pool.unpin_page(unpinned.page_id, dirty=True)
+    new_page(pool, 2)                        # evicts page 1, skipping page 0
+    stats = pool.stats()
+    assert stats["evictions"] == 1
+    assert stats["pin_waits"] == 1
+    assert pool.is_resident(pinned.page_id)
+
+
+def test_stats_counts_pin_waits_when_pool_is_full():
+    _disk, pool = fresh(capacity=2)
+    new_page(pool, 0)
+    new_page(pool, 1)                        # both pinned
+    with pytest.raises(BufferPoolFullError):
+        new_page(pool, 2)
+    assert pool.stats()["pin_waits"] == 2
+
+
+def test_stats_on_fresh_pool_are_zero():
+    _disk, pool = fresh()
+    stats = pool.stats()
+    assert stats == {"capacity": 4, "resident": 0, "hits": 0, "misses": 0,
+                     "evictions": 0, "pin_waits": 0, "hit_rate": 0.0}

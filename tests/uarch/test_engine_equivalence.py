@@ -21,6 +21,7 @@ from repro.core import CgpPrefetcher
 from repro.instrument.codeimage import CodeImage
 from repro.instrument.trace import Trace
 from repro.layout.layouts import AddressMap
+from repro.obsv import AttributionCollector, validate_payload
 from repro.uarch.config import CacheConfig, CghcConfig, SimConfig
 from repro.uarch.fetch_engine import simulate
 from repro.uarch.prefetch.nl import (
@@ -170,6 +171,71 @@ def test_fast_engine_rerun_is_deterministic(trace, degree):
                       prefetcher=make_prefetcher("cgp", layout, degree),
                       engine="fast")
     assert first.to_dict() == second.to_dict()
+
+
+@settings(max_examples=40, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(trace=traces(), pf=st.sampled_from(PREFETCHERS),
+       degree=st.integers(1, 4), layout_kind=st.sampled_from(LAYOUTS))
+def test_attribution_identical_across_engines(trace, pf, degree,
+                                              layout_kind):
+    """With collection enabled, both engines must produce the same
+    ``SimStats`` as the uninstrumented run AND bit-identical attribution
+    payloads (including lifecycle records and interval samples)."""
+    layout = build_layout(layout_kind)
+    plain = simulate(trace, layout, SMALL_CONFIG,
+                     prefetcher=make_prefetcher(pf, layout, degree),
+                     engine="fast")
+    stats = {}
+    collectors = {}
+    for engine in ("reference", "fast"):
+        collector = AttributionCollector(layout, interval=400, lifecycle=64)
+        stats[engine] = simulate(
+            trace, layout, SMALL_CONFIG,
+            prefetcher=make_prefetcher(pf, layout, degree),
+            engine=engine, collector=collector,
+        )
+        collectors[engine] = collector
+    # collection must not perturb the simulation
+    assert stats["reference"].to_dict() == plain.to_dict()
+    assert stats["fast"].to_dict() == plain.to_dict()
+    ref, fast = collectors["reference"], collectors["fast"]
+    assert ref.to_dict() == fast.to_dict()
+    assert ref.lifecycle.records() == fast.lifecycle.records()
+    validate_payload(ref.to_dict())
+
+
+def test_attribution_totals_reconcile_with_simstats():
+    """Per-function attribution sums must equal the engine's own
+    aggregate counters — nothing double-counted, nothing missed."""
+    trace = Trace()
+    for fid in range(N_FUNCTIONS):
+        trace.add_call(fid, fid - 1 if fid else -1, 0)
+        trace.add_exec(fid, 0, FUNC_SIZE - 1)
+    for fid in reversed(range(N_FUNCTIONS)):
+        trace.add_return(fid, fid - 1 if fid else -1, 0)
+    layout = build_layout("identity")
+    collector = AttributionCollector(layout)
+    result = simulate(trace, layout, SMALL_CONFIG,
+                      prefetcher=make_prefetcher("cgp", layout, 4),
+                      engine="fast", collector=collector)
+    totals = {}
+    for row in collector.function_table().values():
+        for key, value in row.items():
+            if isinstance(value, int):
+                totals[key] = totals.get(key, 0) + value
+    assert totals["demand_misses"] == result.demand_misses
+    assert totals["memory_fetches"] == result.memory_fetches
+    by_origin = {"pref_hits": 0, "delayed_hits": 0, "useless": 0,
+                 "squashed": 0, "issued": 0}
+    for p in result.prefetch.values():
+        for key in by_origin:
+            by_origin[key] += getattr(p, key)
+    for key, want in by_origin.items():
+        assert totals[key] == want
+    assert (totals["cghc_l1_hits"] == result.cghc_l1_hits
+            and totals["cghc_l2_hits"] == result.cghc_l2_hits
+            and totals["cghc_misses"] == result.cghc_misses)
 
 
 def test_out_of_range_accounted_identically():

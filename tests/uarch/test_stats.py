@@ -53,3 +53,30 @@ def test_summary_shape():
     assert summary["instructions"] == 100
     assert "nl" in summary["prefetch"]
     assert summary["ipc"] == round(100 / 150.0, 4)
+
+
+def test_summary_carries_schema_version():
+    from repro.uarch.stats import SUMMARY_SCHEMA_VERSION
+
+    stats = SimStats(instructions=10, cycles=20.0)
+    assert stats.summary()["schema_version"] == SUMMARY_SCHEMA_VERSION
+
+
+def test_prefetch_from_dict_tolerates_unknown_and_missing_keys():
+    # a payload written by a future schema: extra keys, one field absent
+    payload = {"issued": 4, "pref_hits": 2, "delayed_hits": 1,
+               "useless": 1, "squashed": 0,
+               "some_future_counter": 99}
+    p = PrefetchStats.from_dict(payload)
+    assert p.issued == 4
+    assert p.out_of_range == 0  # missing -> default
+    assert not hasattr(p, "some_future_counter")
+
+
+def test_simstats_roundtrip_unchanged_by_versioning():
+    stats = SimStats(instructions=5, cycles=7.0)
+    stats.prefetch_origin("nl").issued = 3
+    payload = stats.to_dict()
+    assert "schema_version" not in payload  # to_dict layout is frozen
+    clone = SimStats.from_dict(payload)
+    assert clone.to_dict() == payload
