@@ -1,0 +1,124 @@
+#!/usr/bin/env python
+"""Run the crash-consistency torture harness over a scenario batch.
+
+One scenario = one ``(seed, schedule)`` pair (see
+``repro.db.storage.torture``).  Each scenario builds a fresh storage
+manager, drives a randomized workload into a planned fault, recovers,
+and checks the full invariant suite.  The default batch sweeps every
+crash schedule over ``--seeds`` seeds::
+
+    PYTHONPATH=src python scripts/torture.py --seeds 20
+
+A JSONL journal (one line per scenario: plan, what fired, recovery
+stats, volume fingerprint) is written to ``--journal``; on an invariant
+violation the failing plan is additionally dumped to ``--failing-plan``
+so the scenario can be replayed exactly::
+
+    PYTHONPATH=src python scripts/torture.py --replay failing_plan.json
+
+Exit status: 0 if every scenario passed, 1 otherwise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+
+from repro.db.storage.faults import SCHEDULES
+from repro.db.storage.torture import InvariantViolation, run_torture
+
+
+def run_batch(seeds, schedules, journal_path, failing_plan_path, echo=print):
+    """Run the sweep; returns (passed, failed) counts."""
+    passed = failed = 0
+    started = time.perf_counter()
+    totals = {
+        "crashed": 0, "deadlock_restarts": 0, "disk_retries": 0,
+        "torn_records": 0, "torn_pages": 0, "resurrected": 0,
+    }
+    with open(journal_path, "w") as journal:
+        for schedule in schedules:
+            for seed in seeds:
+                try:
+                    report = run_torture(seed, schedule)
+                except InvariantViolation as violation:
+                    failed += 1
+                    record = {
+                        "seed": seed, "schedule": schedule,
+                        "status": "FAIL", "error": str(violation),
+                    }
+                    journal.write(json.dumps(record) + "\n")
+                    echo(f"FAIL {schedule} seed={seed}: {violation}")
+                    if failing_plan_path:
+                        from repro.db.storage.faults import derive_plan
+
+                        with open(failing_plan_path, "w") as fh:
+                            fh.write(derive_plan(seed, schedule).to_json())
+                            fh.write("\n")
+                        echo(f"  failing plan written to {failing_plan_path}")
+                    continue
+                passed += 1
+                totals["crashed"] += report.crashed
+                totals["deadlock_restarts"] += report.deadlock_restarts
+                totals["disk_retries"] += report.disk_retries
+                totals["torn_records"] += report.stats.torn_records
+                totals["torn_pages"] += report.stats.torn_pages
+                totals["resurrected"] += report.resurrected
+                journal.write(json.dumps(
+                    {"status": "PASS", **report.to_dict()}) + "\n")
+    wall = time.perf_counter() - started
+    echo(
+        f"{passed + failed} scenarios in {wall:.1f}s: "
+        f"{passed} passed, {failed} failed"
+    )
+    echo("exercised: " + ", ".join(f"{k}={v}" for k, v in totals.items()))
+    return passed, failed
+
+
+def replay(plan_path, echo=print):
+    """Re-run one scenario from a failing-plan JSON file."""
+    from repro.db.storage.faults import FaultPlan
+
+    with open(plan_path) as fh:
+        plan = FaultPlan.from_json(fh.read())
+    echo(f"replaying seed={plan.seed} schedule={plan.schedule}")
+    report = run_torture(plan.seed, plan.schedule)
+    echo(json.dumps(report.to_dict(), indent=2))
+    return 0
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        description="crash-consistency torture harness")
+    parser.add_argument("--seeds", type=int, default=20,
+                        help="seeds per schedule (default 20)")
+    parser.add_argument("--seed-base", type=int, default=0,
+                        help="first seed (default 0)")
+    parser.add_argument("--schedules", nargs="*", default=None,
+                        help=f"schedules to run (default: all of "
+                             f"{', '.join(SCHEDULES)})")
+    parser.add_argument("--journal", default="torture_journal.jsonl",
+                        help="JSONL journal path")
+    parser.add_argument("--failing-plan", default="failing_plan.json",
+                        help="where to dump the first failing plan")
+    parser.add_argument("--replay", metavar="PLAN_JSON",
+                        help="replay one scenario from a plan file")
+    args = parser.parse_args(argv)
+
+    if args.replay:
+        return replay(args.replay)
+
+    schedules = args.schedules or list(SCHEDULES)
+    unknown = [s for s in schedules if s not in SCHEDULES]
+    if unknown:
+        parser.error(f"unknown schedules: {unknown}")
+    seeds = range(args.seed_base, args.seed_base + args.seeds)
+    _passed, failed = run_batch(
+        seeds, schedules, args.journal, args.failing_plan)
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -110,8 +110,10 @@ class Table:
         else:
             own_txn = False
         try:
+            # logged backfill: the entries must be in the WAL so a crash
+            # after the build can rebuild the index from the log
             for rid, values in self.scan(txn):
-                tree.insert(values[pos], rid)
+                self._storage.index_insert(txn, index.name, values[pos], rid)
         finally:
             if own_txn:
                 txn.commit()

@@ -20,14 +20,22 @@ from repro.errors import ExecutionError
 class ScheduledQuery:
     """Bookkeeping for one query being driven by the scheduler."""
 
-    __slots__ = ("name", "plan", "rows", "finished", "error")
+    __slots__ = ("name", "plan", "rows", "finished", "error", "_closed")
 
     def __init__(self, name, plan):
         self.name = name
         self.plan = plan
         self.rows = []
         self.finished = False
+        #: the exception that stopped this query, if any
         self.error = None
+        self._closed = False
+
+    def close(self):
+        """Close the plan exactly once; later calls are no-ops."""
+        if not self._closed:
+            self._closed = True
+            self.plan.root.close()
 
 
 class RoundRobinScheduler:
@@ -38,13 +46,20 @@ class RoundRobinScheduler:
             raise ExecutionError("quantum must be positive")
         self._quantum = quantum_rows
 
-    def run(self, plans):
+    def run(self, plans, raise_on_error=True):
         """Execute ``plans`` (list of (name, PhysicalPlan)) concurrently.
 
-        Returns a dict name -> list of result rows.  A failure in one
-        query aborts the whole batch (closing every open plan).
+        Returns a dict name -> list of result rows.  By default a failure
+        in one query aborts the whole batch (closing every open plan and
+        re-raising).  With ``raise_on_error=False`` the failure is
+        isolated: it is recorded on the :class:`ScheduledQuery`'s
+        ``error``, that plan alone is closed, and the remaining queries
+        keep running to completion; the failed query contributes the rows
+        it produced before dying.  Inspect per-query outcomes via the
+        returned scheduler state in tests or re-raise from ``error``.
         """
         queries = [ScheduledQuery(name, plan) for name, plan in plans]
+        self.last_queries = queries
         for query in queries:
             query.plan.root.open()
         try:
@@ -52,13 +67,20 @@ class RoundRobinScheduler:
             while active:
                 still_active = []
                 for query in active:
-                    if self._run_quantum(query):
+                    try:
+                        advancing = self._run_quantum(query)
+                    except Exception as exc:
+                        query.error = exc
+                        query.close()
+                        if raise_on_error:
+                            raise
+                        continue
+                    if advancing:
                         still_active.append(query)
                 active = still_active
         finally:
             for query in queries:
-                if not query.finished:
-                    query.plan.root.close()
+                query.close()
         return {query.name: query.rows for query in queries}
 
     def _run_quantum(self, query):
@@ -67,8 +89,8 @@ class RoundRobinScheduler:
         for _ in range(self._quantum):
             row = root.next()
             if row is None:
-                root.close()
                 query.finished = True
+                query.close()
                 return False
             query.rows.append(row)
         return True

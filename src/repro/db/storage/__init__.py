@@ -7,7 +7,12 @@ Public surface:
 * :class:`BufferPool`, :class:`DiskManager`, :class:`Page`, :class:`PageId`
 * :class:`BTree`
 * :class:`LockManager`, :class:`WriteAheadLog`, :class:`TransactionManager`
-* :func:`recover` — ARIES-lite crash recovery
+* :func:`recover` — ARIES-lite crash recovery (torn-tail/torn-page
+  tolerant; see also :func:`durable_prefix`)
+* :class:`FaultInjector` / :func:`derive_plan` — deterministic fault
+  injection (:mod:`repro.db.storage.faults`)
+* :func:`run_torture` — crash-consistency torture harness
+  (:mod:`repro.db.storage.torture`)
 * :class:`RecordCodec` — fixed-width tuple serialization
 """
 
@@ -15,9 +20,14 @@ from repro.db.storage.btree import BTree, BTreeNode
 from repro.db.storage.buffer_pool import BufferPool
 from repro.db.storage.codec import RecordCodec
 from repro.db.storage.disk import DiskManager
+from repro.db.storage.faults import (
+    SCHEDULES, CrashPoint, FaultInjector, FaultPlan, derive_plan,
+)
 from repro.db.storage.lock_manager import EXCLUSIVE, SHARED, LockManager
 from repro.db.storage.page import PAGE_SIZE, Page, PageId
-from repro.db.storage.recovery import RecoveryStats, recover
+from repro.db.storage.recovery import (
+    RecoveryStats, durable_prefix, recover, replay_index_entries,
+)
 from repro.db.storage.storage_manager import StorageManager
 from repro.db.storage.transaction import Transaction, TransactionManager
 from repro.db.storage.wal import LogRecord, WriteAheadLog
@@ -26,8 +36,11 @@ __all__ = [
     "BTree",
     "BTreeNode",
     "BufferPool",
+    "CrashPoint",
     "DiskManager",
     "EXCLUSIVE",
+    "FaultInjector",
+    "FaultPlan",
     "LockManager",
     "LogRecord",
     "PAGE_SIZE",
@@ -35,10 +48,14 @@ __all__ = [
     "PageId",
     "RecordCodec",
     "RecoveryStats",
+    "SCHEDULES",
     "SHARED",
     "StorageManager",
     "Transaction",
     "TransactionManager",
     "WriteAheadLog",
+    "derive_plan",
+    "durable_prefix",
     "recover",
+    "replay_index_entries",
 ]

@@ -142,6 +142,16 @@ class BTree:
         self._file_id = file_id
         self._allocate = allocate_page_no
         self._max_keys = max_keys
+        self.reset()
+
+    def reset(self):
+        """(Re)initialize to an empty tree with a fresh root leaf.
+
+        Crash recovery rebuilds indexes logically — node pages are not
+        WAL-logged, so after deallocating the stale on-disk nodes the
+        tree is reset and repopulated from the durable log's winner
+        index entries (see ``recovery.replay_index_entries``).
+        """
         root = self._new_node(is_leaf=True)
         self._root_no = root.page_id.page_no
         self._pool.unpin_page(root.page_id, dirty=True)
@@ -166,6 +176,15 @@ class BTree:
     @property
     def root_page_no(self):
         return self._root_no
+
+    @property
+    def file_id(self):
+        return self._file_id
+
+    def attach_pool(self, pool):
+        """Point the tree at a replacement buffer pool (process restart
+        discards the old pool; node pages refault from disk)."""
+        self._pool = pool
 
     # ------------------------------------------------------------------
     # descent

@@ -10,9 +10,12 @@ from __future__ import annotations
 
 from collections import OrderedDict
 
-from repro.errors import BufferPoolFullError, StorageError
+from repro.errors import BufferPoolFullError, StorageError, TransientError
 
 DEFAULT_POOL_PAGES = 512
+
+#: attempts per disk read before a transient fault is surfaced as fatal
+DEFAULT_DISK_RETRY_LIMIT = 3
 
 
 class BufferPool:
@@ -23,9 +26,12 @@ class BufferPool:
     eviction and on :meth:`flush_all`.
     """
 
-    def __init__(self, disk, capacity=DEFAULT_POOL_PAGES, wal_hook=None):
+    def __init__(self, disk, capacity=DEFAULT_POOL_PAGES, wal_hook=None,
+                 disk_retry_limit=DEFAULT_DISK_RETRY_LIMIT):
         if capacity <= 0:
             raise StorageError("buffer pool capacity must be positive")
+        if disk_retry_limit < 1:
+            raise StorageError("disk retry limit must be at least 1")
         self._disk = disk
         self._capacity = capacity
         self._frames = OrderedDict()  # page_id -> Page, in LRU order
@@ -33,12 +39,20 @@ class BufferPool:
         #: manager points this at the log so the write-ahead rule holds
         #: (log records up to page_lsn must be durable before the page is)
         self.wal_hook = wal_hook
+        #: fault injector, or None; see :mod:`repro.db.storage.faults`
+        self.faults = None
+        self.disk_retry_limit = disk_retry_limit
         self.hits = 0
         self.misses = 0
         self.evictions = 0
         #: pinned frames the victim scan had to skip — a contention
         #: proxy: nonzero means eviction competed with in-use pages
         self.pin_waits = 0
+        #: transient disk faults absorbed by retry
+        self.disk_retries = 0
+        #: deterministic backoff accounting: 2**(attempt-1) ticks per retry
+        #: (a simulated clock — no wall-time sleeping in the harness)
+        self.backoff_ticks = 0
 
     # ------------------------------------------------------------------
     # the paper's entry points
@@ -56,9 +70,29 @@ class BufferPool:
         """Bring ``page_id`` in from disk, evicting if necessary."""
         self.misses += 1
         self._make_room()
-        page = self._disk.read_page(page_id)
+        page = self._read_with_retry(page_id)
         self._frames[page_id] = page
         return page
+
+    def _read_with_retry(self, page_id):
+        """Bounded retry-with-backoff around transient disk faults.
+
+        Anything carrying the :class:`~repro.errors.TransientError` mixin
+        is retried up to ``disk_retry_limit`` attempts with exponential
+        backoff (accounted in ``backoff_ticks``, not slept); the last
+        failure — and any non-transient error — propagates unchanged.
+        """
+        attempt = 1
+        while True:
+            try:
+                return self._disk.read_page(page_id)
+            except Exception as exc:
+                if not isinstance(exc, TransientError) or \
+                        attempt >= self.disk_retry_limit:
+                    raise
+                self.disk_retries += 1
+                self.backoff_ticks += 1 << (attempt - 1)
+                attempt += 1
 
     # ------------------------------------------------------------------
     # public pin/unpin API
@@ -135,6 +169,8 @@ class BufferPool:
         """Write a dirty page to disk, honoring the write-ahead rule."""
         if self.wal_hook is not None:
             self.wal_hook(page)
+        if self.faults is not None:
+            self.faults.fire("pool.writeback")
         self._disk.write_page(page)
         page.dirty = False
 
@@ -167,5 +203,7 @@ class BufferPool:
             "misses": self.misses,
             "evictions": self.evictions,
             "pin_waits": self.pin_waits,
+            "disk_retries": self.disk_retries,
+            "backoff_ticks": self.backoff_ticks,
             "hit_rate": (self.hits / accesses) if accesses else 0.0,
         }

@@ -9,11 +9,21 @@ executes realistic code.
 
 Different page kinds (slotted data pages, B+-tree nodes) register a
 deserializer under a one-character kind tag via :func:`register_page_kind`.
+
+Every image carries a CRC32 checksum (kept in a side table, the way a real
+volume would keep per-sector CRCs).  A torn write — injected via
+:mod:`repro.db.storage.faults` — stores the first K bytes of the new image
+over the old one while recording the checksum of the *intended* image, so
+the next read of that page fails verification with
+:class:`~repro.errors.TornPageError`, exactly like a partially persisted
+sector after power loss.
 """
 
 from __future__ import annotations
 
-from repro.errors import StorageError
+import zlib
+
+from repro.errors import StorageError, TornPageError
 
 _PAGE_KINDS = {}
 
@@ -30,20 +40,48 @@ class DiskManager:
 
     def __init__(self):
         self._images = {}
+        self._checksums = {}  # page_id -> crc32 of the intended image
         self.reads = 0
         self.writes = 0
+        #: fault injector, or None; see :mod:`repro.db.storage.faults`
+        self.faults = None
 
     def write_page(self, page):
         """Serialize ``page`` and store its image under its kind tag."""
-        self._images[page.page_id] = (page.KIND, page.to_bytes())
+        image = page.to_bytes()
+        if self.faults is not None:
+            trigger = self.faults.fire("disk.write")
+            if trigger is not None:  # torn write: first K bytes land
+                self._tear(page.page_id, page.KIND, image, trigger.param)
+        self._images[page.page_id] = (page.KIND, image)
+        self._checksums[page.page_id] = zlib.crc32(image)
         self.writes += 1
 
+    def _tear(self, page_id, kind, image, first_k):
+        """Persist only the first ``first_k`` bytes of ``image`` (the rest
+        keeps its previous contents, or zeros for a fresh page), record the
+        checksum of the image that *should* have landed, and die."""
+        k = max(1, min(first_k, len(image) - 1))
+        old = self._images.get(page_id)
+        stale = old[1] if old is not None else b"\x00" * len(image)
+        if len(stale) < len(image):
+            stale = stale + b"\x00" * (len(image) - len(stale))
+        self._images[page_id] = (kind, image[:k] + stale[k:len(image)])
+        self._checksums[page_id] = zlib.crc32(image)
+        self.writes += 1
+        self.faults.crash(f"torn write of page {page_id} after {k} bytes")
+
     def read_page(self, page_id):
-        """Fetch and deserialize the image for ``page_id``."""
+        """Fetch, verify, and deserialize the image for ``page_id``."""
+        if self.faults is not None:
+            self.faults.fire("disk.read")
         try:
             kind, image = self._images[page_id]
         except KeyError:
             raise StorageError(f"page {page_id} does not exist on disk") from None
+        expected = self._checksums.get(page_id)
+        if expected is not None and zlib.crc32(image) != expected:
+            raise TornPageError(f"page {page_id} fails checksum (torn write)")
         loader = _PAGE_KINDS.get(kind)
         if loader is None:
             raise StorageError(f"no loader registered for page kind {kind!r}")
@@ -56,6 +94,16 @@ class DiskManager:
     def deallocate(self, page_id):
         """Drop the image for ``page_id`` if present."""
         self._images.pop(page_id, None)
+        self._checksums.pop(page_id, None)
+
+    def deallocate_file(self, file_id):
+        """Drop every page image belonging to ``file_id`` (used when an
+        index is rebuilt from the log after a crash)."""
+        stale = [pid for pid in self._images if pid.file_id == file_id]
+        for pid in stale:
+            del self._images[pid]
+            self._checksums.pop(pid, None)
+        return len(stale)
 
     @property
     def page_count(self):

@@ -1,0 +1,273 @@
+"""Deterministic fault injection for the storage manager.
+
+Failure is a first-class, seeded input to the storage layer.  A
+:class:`FaultPlan` — derived purely from ``(seed, schedule)`` by
+:func:`derive_plan` — names which occurrence of which *fault point*
+misbehaves and how.  A :class:`FaultInjector` carries the plan through a
+run: storage components call :meth:`FaultInjector.fire` at their named
+fault points, and the injector either does nothing, raises a
+:class:`~repro.errors.TransientDiskError`, simulates a process death by
+raising :class:`CrashPoint`, or instructs the caller to complete a
+*partial* effect (torn page write, half-forced log) before dying.
+
+Determinism contract: the same ``(seed, schedule)`` always yields a
+byte-identical plan (see :meth:`FaultPlan.to_json`), and because every
+hook decision is a pure function of the plan and the hit counter, the
+same plan against the same workload always crashes at the same point
+with the same partial effects on disk.
+
+Hooks are zero-cost when no injector is installed: every instrumented
+component guards its fault point behind a single ``self.faults is not
+None`` attribute check (see ``StorageManager.install_faults``).
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from typing import NamedTuple
+
+from repro.errors import StorageError, TransientDiskError
+
+# ---------------------------------------------------------------------------
+# fault points
+# ---------------------------------------------------------------------------
+
+DISK_READ = "disk.read"                      # DiskManager.read_page
+DISK_WRITE = "disk.write"                    # DiskManager.write_page
+WAL_APPEND_BEFORE = "wal.append.before"      # before a record reaches the log
+WAL_APPEND_AFTER = "wal.append.after"        # record in the log, not durable
+WAL_FLUSH = "wal.flush"                      # while forcing the log
+POOL_WRITEBACK = "pool.writeback"            # dirty-page write-back (eviction)
+TXN_COMMIT_UNFORCED = "txn.commit.unforced"  # COMMIT appended, log not forced
+TXN_COMMIT_DONE = "txn.commit.done"          # commit complete and durable
+
+# ---------------------------------------------------------------------------
+# actions
+# ---------------------------------------------------------------------------
+
+CRASH = "crash"          # simulated process death at the point
+TORN = "torn"            # disk.write only: first K bytes reach disk, then die
+PARTIAL = "partial"      # wal.flush only: horizon advances param/8, then die
+TRANSIENT = "transient"  # disk.read only: fail param consecutive reads
+
+#: Catalog: which actions may be planned at which point.
+FAULT_POINTS = {
+    DISK_READ: (CRASH, TRANSIENT),
+    DISK_WRITE: (CRASH, TORN),
+    WAL_APPEND_BEFORE: (CRASH,),
+    WAL_APPEND_AFTER: (CRASH,),
+    WAL_FLUSH: (CRASH, PARTIAL),
+    POOL_WRITEBACK: (CRASH,),
+    TXN_COMMIT_UNFORCED: (CRASH,),
+    TXN_COMMIT_DONE: (CRASH,),
+}
+
+
+class CrashPoint(Exception):
+    """A simulated process death.
+
+    Deliberately *not* a :class:`~repro.errors.ReproError`: library code
+    that catches storage errors to clean up or retry must not be able to
+    swallow a crash — nothing survives a real process kill.  Only the
+    torture harness (and tests) catch it, at the point that plays the
+    role of the operating system.
+    """
+
+
+class Trigger(NamedTuple):
+    """One planned fault: the ``hit``-th firing of ``point`` performs
+    ``action`` (``param`` is the action's knob: torn-write byte count,
+    flush-fraction numerator, or consecutive transient failures)."""
+
+    point: str
+    hit: int
+    action: str
+    param: int
+
+
+class FaultPlan:
+    """An immutable, serializable description of one failure scenario."""
+
+    __slots__ = ("triggers", "torn_tail", "seed", "schedule")
+
+    def __init__(self, triggers=(), torn_tail=0, seed=None, schedule=None):
+        triggers = tuple(Trigger(*t) for t in triggers)
+        for trig in triggers:
+            allowed = FAULT_POINTS.get(trig.point)
+            if allowed is None:
+                raise StorageError(f"unknown fault point {trig.point!r}")
+            if trig.action not in allowed:
+                raise StorageError(
+                    f"action {trig.action!r} not allowed at {trig.point!r}"
+                )
+            if trig.hit < 1:
+                raise StorageError("fault trigger hit index is 1-based")
+        self.triggers = triggers
+        #: crash-time knob: how many log records past the forced horizon
+        #: survive the crash, the last of them corrupted (torn log tail)
+        self.torn_tail = int(torn_tail)
+        self.seed = seed
+        self.schedule = schedule
+
+    def to_dict(self):
+        return {
+            "seed": self.seed,
+            "schedule": self.schedule,
+            "torn_tail": self.torn_tail,
+            "triggers": [list(t) for t in self.triggers],
+        }
+
+    def to_json(self):
+        """Canonical serialization — byte-identical for equal plans."""
+        return json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))
+
+    @classmethod
+    def from_dict(cls, data):
+        return cls(
+            triggers=[tuple(t) for t in data.get("triggers", ())],
+            torn_tail=data.get("torn_tail", 0),
+            seed=data.get("seed"),
+            schedule=data.get("schedule"),
+        )
+
+    @classmethod
+    def from_json(cls, text):
+        return cls.from_dict(json.loads(text))
+
+    def __eq__(self, other):
+        return isinstance(other, FaultPlan) and self.to_json() == other.to_json()
+
+    def __hash__(self):
+        return hash(self.to_json())
+
+    def __repr__(self):
+        return f"FaultPlan(schedule={self.schedule!r}, seed={self.seed!r})"
+
+
+#: Named crash schedules the torture harness sweeps.  Each describes a
+#: *shape* of failure; :func:`derive_plan` picks the exact occurrence
+#: indices and parameters from the seed.
+SCHEDULES = (
+    "quiesce",          # no mid-run fault: crash after the workload completes
+    "commit-unforced",  # die after a COMMIT append, before the log force
+    "commit-done",      # die right after a commit completes
+    "append-crash",     # die before/after some WAL append
+    "flush-partial",    # die mid log force, horizon advanced partway
+    "writeback-crash",  # die during a dirty-page write-back
+    "torn-write",       # torn page write: first K bytes only, then die
+    "read-transient",   # transient disk read failures, then a quiesce crash
+    "torn-tail",        # crash with a torn log tail past the forced horizon
+    "mixed",            # transient reads plus one randomized crash trigger
+)
+
+
+def derive_plan(seed, schedule):
+    """Derive the :class:`FaultPlan` for ``(seed, schedule)``.
+
+    Pure: the same inputs always return an equal plan (the RNG is seeded
+    from a string, which :mod:`random` hashes reproducibly across
+    processes).  Hit indices are drawn from ranges tuned to the torture
+    workload's operation counts; a trigger whose occurrence is never
+    reached simply does not fire, which degenerates to a quiesce crash.
+    """
+    if schedule not in SCHEDULES:
+        raise StorageError(
+            f"unknown crash schedule {schedule!r}; pick from {SCHEDULES}"
+        )
+    rng = random.Random(f"faults:{seed}:{schedule}")
+    triggers = []
+    torn_tail = 0
+    if schedule == "commit-unforced":
+        triggers = [(TXN_COMMIT_UNFORCED, rng.randint(1, 10), CRASH, 0)]
+    elif schedule == "commit-done":
+        triggers = [(TXN_COMMIT_DONE, rng.randint(1, 10), CRASH, 0)]
+    elif schedule == "append-crash":
+        point = rng.choice((WAL_APPEND_BEFORE, WAL_APPEND_AFTER))
+        triggers = [(point, rng.randint(2, 90), CRASH, 0)]
+    elif schedule == "flush-partial":
+        triggers = [(WAL_FLUSH, rng.randint(1, 12), PARTIAL, rng.randint(1, 7))]
+    elif schedule == "writeback-crash":
+        triggers = [(POOL_WRITEBACK, rng.randint(1, 6), CRASH, 0)]
+    elif schedule == "torn-write":
+        # small K: most of the page keeps its stale contents, so the tear
+        # is near-certain to flunk the checksum instead of landing on a
+        # tail that happens to match the intended image
+        triggers = [(DISK_WRITE, rng.randint(1, 24), TORN, rng.randint(1, 1024))]
+    elif schedule == "read-transient":
+        triggers = [(DISK_READ, rng.randint(1, 12), TRANSIENT, rng.randint(1, 2))]
+    elif schedule == "torn-tail":
+        # die mid-run so an unflushed tail exists to tear
+        triggers = [(WAL_APPEND_AFTER, rng.randint(5, 70), CRASH, 0)]
+        torn_tail = rng.randint(1, 6)
+    elif schedule == "mixed":
+        point = rng.choice((WAL_APPEND_AFTER, POOL_WRITEBACK, TXN_COMMIT_UNFORCED))
+        triggers = [
+            (DISK_READ, rng.randint(1, 8), TRANSIENT, 1),
+            (point, rng.randint(3, 40), CRASH, 0),
+        ]
+        torn_tail = rng.choice((0, 0, 2, 4))
+    return FaultPlan(triggers, torn_tail=torn_tail, seed=seed, schedule=schedule)
+
+
+class FaultInjector:
+    """Carries a :class:`FaultPlan` through one run of the storage layer.
+
+    ``fire(point)`` is called by instrumented components; its contract:
+
+    * returns ``None`` — no fault at this occurrence;
+    * raises :class:`~repro.errors.TransientDiskError` — transient fault;
+    * raises :class:`CrashPoint` — simulated process death;
+    * returns the :class:`Trigger` — a *partial* action (``TORN`` /
+      ``PARTIAL``): the caller applies the partial effect described by
+      ``trigger.param``, then MUST call :meth:`crash`.
+
+    After the first crash the injector is *latched*: every further
+    ``fire`` raises :class:`CrashPoint`, so no code path can keep
+    mutating durable state past its own death.
+    """
+
+    def __init__(self, plan):
+        self.plan = plan
+        self.crashed = False
+        self.hits = {}      # point -> occurrences so far
+        self.fired = []     # journal: (point, hit, action, param) that tripped
+        self._armed = {}    # (point, hit) -> Trigger
+        for trig in plan.triggers:
+            if trig.action == TRANSIENT:
+                # a transient of param N fails occurrences hit..hit+N-1
+                for offset in range(max(1, trig.param)):
+                    self._armed[(trig.point, trig.hit + offset)] = trig
+            else:
+                self._armed[(trig.point, trig.hit)] = trig
+
+    def fire(self, point):
+        if self.crashed:
+            raise CrashPoint(f"storage used after crash (at {point})")
+        hit = self.hits.get(point, 0) + 1
+        self.hits[point] = hit
+        trig = self._armed.get((point, hit))
+        if trig is None:
+            return None
+        self.fired.append((point, hit, trig.action, trig.param))
+        if trig.action == TRANSIENT:
+            raise TransientDiskError(
+                f"injected transient fault at {point} (hit {hit})"
+            )
+        if trig.action == CRASH:
+            self.crashed = True
+            raise CrashPoint(f"injected crash at {point} (hit {hit})")
+        return trig  # TORN / PARTIAL: caller completes the partial effect
+
+    def crash(self, reason):
+        """Latch the crash and die (called after a partial effect)."""
+        self.crashed = True
+        raise CrashPoint(reason)
+
+    def journal(self):
+        """JSON-ready record of what actually fired (artifact replay)."""
+        return {
+            "plan": self.plan.to_dict(),
+            "fired": [list(f) for f in self.fired],
+            "crashed": self.crashed,
+        }

@@ -81,8 +81,10 @@ class LockManager:
             )
 
     def _record_wait(self, txn_id, blockers):
-        waits = self._waits_for.setdefault(txn_id, set())
-        waits.update(blockers)
+        # replace, don't union: a txn waits only on its *current* request,
+        # and stale edges from earlier (since-resolved) conflicts would
+        # let the cycle check see phantom deadlocks
+        self._waits_for[txn_id] = set(blockers)
         if self._reaches(txn_id, txn_id):
             self._waits_for.pop(txn_id, None)
             raise DeadlockError(f"txn {txn_id} would deadlock")

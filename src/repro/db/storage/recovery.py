@@ -12,6 +12,21 @@ reflecting exactly the committed transactions:
 
 Pages are manipulated through their disk images so recovery does not
 depend on any surviving in-memory state.
+
+Two classes of physical damage are tolerated rather than fatal:
+
+* **Torn log tail** — :func:`durable_prefix` validates the record stream
+  and truncates at the first corrupt record; everything past a tear is
+  treated as never written (counted in ``RecoveryStats.torn_records``).
+* **Torn data page** — a page whose image fails its checksum is treated
+  as absent and rebuilt entirely from the log (counted in
+  ``RecoveryStats.torn_pages``).  This is sound because the write-ahead
+  rule guarantees every effect on a disk-written page is in the durable
+  log, so redo from a blank page reconstructs it exactly.
+
+Index pages are not WAL-logged; :func:`replay_index_entries` extracts the
+logical winner index operations so the storage manager can rebuild each
+B+-tree from scratch at restart.
 """
 
 from __future__ import annotations
@@ -19,8 +34,8 @@ from __future__ import annotations
 from typing import NamedTuple
 
 from repro.db.storage import wal
-from repro.db.storage.page import Page
-from repro.errors import RecoveryError
+from repro.db.storage.page import Page, PageId
+from repro.errors import RecoveryError, TornPageError
 
 
 class RecoveryStats(NamedTuple):
@@ -28,22 +43,57 @@ class RecoveryStats(NamedTuple):
     losers: frozenset
     redone: int
     undone: int
+    torn_records: int = 0  # log-tail records dropped as corrupt/unreachable
+    torn_pages: int = 0  # data pages rebuilt after failing their checksum
 
 
 _PAGE_OPS = frozenset({wal.INSERT, wal.UPDATE, wal.DELETE, wal.CLR})
+_IDX_OPS = frozenset({wal.IDX_INSERT, wal.IDX_DELETE})
+
+
+def durable_prefix(records):
+    """Validate a possibly-torn log tail; return ``(clean, dropped)``.
+
+    A crash can leave garbage past the last forced record (a torn log
+    tail).  A record is trusted only if it is well-formed — known kind,
+    LSN equal to its position — and every record before it is too;
+    validation stops at the first bad record, mirroring how a real log
+    scan stops at the first checksum failure.  ``clean`` is the trusted
+    prefix, ``dropped`` how many trailing records were discarded.
+    """
+    clean = []
+    for position, record in enumerate(records):
+        if record.kind not in wal._TYPES or record.lsn != position:
+            break
+        clean.append(record)
+    return clean, len(records) - len(clean)
 
 
 def recover(disk, records):
-    """Replay ``records`` (durable log) against ``disk``; returns stats."""
+    """Replay ``records`` against ``disk``; returns :class:`RecoveryStats`.
+
+    ``records`` may include a torn tail — it is truncated here via
+    :func:`durable_prefix` before analysis, so callers can hand over the
+    raw post-crash log without pre-validating it.
+    """
+    records, torn_records = durable_prefix(records)
     winners, losers = _analyze(records)
     pages = {}
+    torn_pages = 0
 
     def load(page_id, record):
+        nonlocal torn_pages
         page = pages.get(page_id)
         if page is None:
+            page = None
             if disk.contains(page_id):
-                page = disk.read_page(page_id)
-            else:
+                try:
+                    page = disk.read_page(page_id)
+                except TornPageError:
+                    # write-ahead rule: all of this page's durable effects
+                    # are in the log, so rebuilding from blank is exact
+                    torn_pages += 1
+            if page is None:
                 size = len(record.after) or len(record.before)
                 if size == 0:
                     raise RecoveryError(f"cannot size page {page_id} from log")
@@ -56,6 +106,8 @@ def recover(disk, records):
     for record in records:
         if record.kind not in _PAGE_OPS:
             continue
+        if not isinstance(record.page_id, PageId):
+            continue  # logical index op (page_id is the index name)
         page = load(record.page_id, record)
         if page.page_lsn >= record.lsn:
             continue  # effect already on disk
@@ -63,12 +115,17 @@ def recover(disk, records):
         page.page_lsn = record.lsn
         redone += 1
 
+    compensated = _compensated(records, losers)
     undone = 0
     for record in reversed(records):
         if record.kind not in _PAGE_OPS or record.txn_id not in losers:
             continue
         if record.kind == wal.CLR:
             continue  # compensation is never undone
+        if record.lsn in compensated:
+            continue  # already rolled back online; redo replayed its CLR
+        if not isinstance(record.page_id, PageId):
+            continue
         page = pages.get(record.page_id)
         if page is None:
             page = load(record.page_id, record)
@@ -77,14 +134,75 @@ def recover(disk, records):
 
     for page in pages.values():
         disk.write_page(page)
-    return RecoveryStats(frozenset(winners), frozenset(losers), redone, undone)
+    return RecoveryStats(
+        frozenset(winners), frozenset(losers), redone, undone,
+        torn_records, torn_pages,
+    )
+
+
+def replay_index_entries(records, winners):
+    """Net logical index contents from the durable log.
+
+    B+-tree node pages are never WAL-logged, so after a crash each index
+    is rebuilt from scratch: replay the IDX_INSERT/IDX_DELETE stream of
+    *winner* transactions in log order (loser index ops — and the CLRs
+    that would compensate them — are simply skipped, which is their
+    undo).  Returns ``{index_name: [(key, rid), ...]}`` of surviving
+    entries, in insertion order.
+    """
+    live = {}  # index_name -> {(key, rid) -> None} (ordered set)
+    for record in records:
+        if record.kind not in _IDX_OPS or record.txn_id not in winners:
+            continue
+        entries = live.setdefault(record.page_id, {})
+        if record.kind == wal.IDX_INSERT:
+            entries[wal.decode_index_entry(record.after)] = None
+        else:
+            entries.pop(wal.decode_index_entry(record.before), None)
+    return {name: list(entries) for name, entries in live.items()}
+
+
+_UNDOABLE = frozenset({
+    wal.UPDATE, wal.INSERT, wal.DELETE, wal.IDX_INSERT, wal.IDX_DELETE,
+})
+
+
+def _compensated(records, losers):
+    """LSNs of loser operations already compensated before the crash.
+
+    A loser that aborted online wrote CLRs; re-undoing its operations at
+    recovery would clobber later winners that reused the same slots (the
+    abort released its locks, so later transactions legitimately wrote
+    there).  Walking each loser's backchain newest-to-oldest, every CLR
+    pays for the next undoable operation encountered — rollback emits
+    CLRs in exact reverse operation order, so counting pairs them up.
+    Operations left unpaid carry no CLR, which under strict 2PL means
+    the abort never finished and the txn's locks were still held at the
+    crash: those are safe (and necessary) to undo.
+    """
+    last = {}
+    for record in records:
+        last[record.txn_id] = record.lsn
+    skip = set()
+    for txn_id in losers:
+        lsn = last.get(txn_id, -1)
+        unpaid_clrs = 0
+        while lsn >= 0:
+            record = records[lsn]
+            if record.kind == wal.CLR:
+                unpaid_clrs += 1
+            elif record.kind in _UNDOABLE and unpaid_clrs:
+                unpaid_clrs -= 1
+                skip.add(record.lsn)
+            lsn = record.prev_lsn
+    return skip
 
 
 def _analyze(records):
     writers = set()
     winners = set()
     for record in records:
-        if record.kind in _PAGE_OPS:
+        if record.kind in _PAGE_OPS or record.kind in _IDX_OPS:
             writers.add(record.txn_id)
         elif record.kind == wal.COMMIT:
             winners.add(record.txn_id)

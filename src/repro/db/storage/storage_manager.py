@@ -17,15 +17,17 @@ The storage manager owns:
 
 from __future__ import annotations
 
-from repro.db.storage import wal
+from repro.db.storage import recovery, wal
 from repro.db.storage.btree import BTree, DEFAULT_MAX_KEYS
-from repro.db.storage.buffer_pool import DEFAULT_POOL_PAGES, BufferPool
+from repro.db.storage.buffer_pool import (
+    DEFAULT_DISK_RETRY_LIMIT, DEFAULT_POOL_PAGES, BufferPool,
+)
 from repro.db.storage.disk import DiskManager
 from repro.db.storage.lock_manager import EXCLUSIVE, SHARED, LockManager
 from repro.db.storage.page import Page, PageId
 from repro.db.storage.transaction import TransactionManager
 from repro.db.storage.wal import WriteAheadLog
-from repro.errors import StorageError
+from repro.errors import StorageError, TransientError
 
 
 class _FileInfo:
@@ -43,14 +45,18 @@ class _FileInfo:
 class StorageManager:
     """Facade over the complete storage layer."""
 
-    def __init__(self, pool_pages=DEFAULT_POOL_PAGES, btree_max_keys=DEFAULT_MAX_KEYS):
+    def __init__(self, pool_pages=DEFAULT_POOL_PAGES, btree_max_keys=DEFAULT_MAX_KEYS,
+                 disk_retry_limit=DEFAULT_DISK_RETRY_LIMIT):
         self.disk = DiskManager()
-        self.pool = BufferPool(self.disk, capacity=pool_pages)
+        self.pool = BufferPool(
+            self.disk, capacity=pool_pages,
+            disk_retry_limit=disk_retry_limit,
+        )
         self.locks = LockManager()
         self.log = WriteAheadLog()
         # the write-ahead rule: a dirty page may reach disk only after
         # the log records that produced it are durable
-        self.pool.wal_hook = lambda page: self.log.flush(page.page_lsn)
+        self.pool.wal_hook = self._force_log_for
         self.transactions = TransactionManager(self.log, self.locks)
         self.transactions.attach_storage(self)
         self._files = {}
@@ -58,12 +64,74 @@ class StorageManager:
         self._next_file_id = 1
         self._next_page_no = 0
         self._btree_max_keys = btree_max_keys
+        #: fault injector, or None; see :meth:`install_faults`
+        self.faults = None
+        #: transactions re-run by :meth:`run_transaction` after a
+        #: transient failure (deadlock, transient disk fault)
+        self.txn_restarts = 0
+
+    def _force_log_for(self, page):
+        """Write-ahead hook: force the log through ``page.page_lsn``
+        before the page image may reach disk.  Pages recreated by
+        recovery carry ``page_lsn == -1`` (no owning log record) and
+        need no force."""
+        if page.page_lsn >= 0:
+            self.log.flush(page.page_lsn)
+
+    # ------------------------------------------------------------------
+    # fault injection (no-ops unless an injector is installed)
+    # ------------------------------------------------------------------
+    def install_faults(self, injector):
+        """Thread ``injector`` through every instrumented component.
+
+        Pass ``None`` to uninstall.  Each component guards its fault
+        points behind a single ``faults is not None`` check, so the
+        disabled path costs one attribute load."""
+        self.faults = injector
+        self.disk.faults = injector
+        self.pool.faults = injector
+        self.log.faults = injector
+        self.transactions.faults = injector
+
+    def clear_faults(self):
+        self.install_faults(None)
 
     # ------------------------------------------------------------------
     # transactions
     # ------------------------------------------------------------------
     def begin(self):
         return self.transactions.begin()
+
+    def run_transaction(self, fn, max_attempts=3):
+        """Run ``fn(txn)`` in a fresh transaction, committing on return.
+
+        Failures carrying the :class:`~repro.errors.TransientError` mixin
+        (deadlock victim, transient disk fault) abort the transaction and
+        re-run ``fn`` — deterministically, up to ``max_attempts`` total
+        attempts — before the failure is surfaced.  Anything else aborts
+        and propagates immediately.  If ``fn`` commits or aborts the
+        transaction itself, that outcome is respected.
+        """
+        if max_attempts < 1:
+            raise StorageError("max_attempts must be at least 1")
+        attempt = 1
+        while True:
+            txn = self.begin()
+            try:
+                result = fn(txn)
+            except Exception as exc:
+                crashed = self.faults is not None and self.faults.crashed
+                if txn.is_active and not crashed:
+                    txn.abort()
+                if crashed or not isinstance(exc, TransientError) \
+                        or attempt >= max_attempts:
+                    raise
+                self.txn_restarts += 1
+                attempt += 1
+            else:
+                if txn.is_active:
+                    txn.commit()
+                return result
 
     # ------------------------------------------------------------------
     # file management
@@ -143,7 +211,13 @@ class StorageManager:
             raise StorageError("record size does not match file")
         page = self._find_space(info)
         page_id = page.page_id
-        self.lock_page(txn, page_id, exclusive=True)
+        try:
+            self.lock_page(txn, page_id, exclusive=True)
+        except Exception:
+            # _find_space pinned the page; a lock conflict/deadlock here
+            # must not leak the pin or the frame can never be evicted
+            self.pool.unpin_page(page_id, dirty=False)
+            raise
         slot = page.insert(raw)
         lsn = self.log.append(
             txn.txn_id, wal.INSERT, page_id=page_id, slot=slot, after=bytes(raw)
@@ -303,14 +377,55 @@ class StorageManager:
         self.log.append(0, wal.CHECKPOINT)
         self.log.flush()
 
+    # ------------------------------------------------------------------
+    # restart recovery
+    # ------------------------------------------------------------------
+    def restart(self, records=None):
+        """Simulated process restart: recover the volume, rebuild
+        volatile state, and resume service.  Returns the
+        :class:`~repro.db.storage.recovery.RecoveryStats`.
 
-_INDEX_ENTRY = __import__("struct").Struct("<qii")
+        ``records`` is the log as found after the crash — possibly with a
+        torn tail, which is detected and truncated.  It defaults to the
+        durable prefix of the current log (what survives losing the
+        unflushed tail).  Everything volatile (buffer pool, lock table,
+        active transactions, fault injector) is discarded, exactly as a
+        process death would; heap catalogs are pruned to the surviving
+        pages and every B+-tree is rebuilt logically from the durable
+        log's winner index entries.
+        """
+        self.clear_faults()  # nothing injected survives the dead process
+        if records is None:
+            records = self.log.records(durable_only=True)
+        clean, _dropped = recovery.durable_prefix(records)
+        stats = recovery.recover(self.disk, records)
+        self.pool = BufferPool(
+            self.disk, capacity=self.pool.capacity,
+            wal_hook=self._force_log_for,
+            disk_retry_limit=self.pool.disk_retry_limit,
+        )
+        self.locks = LockManager()
+        self.log.reset_to(clean)
+        next_id = max((r.txn_id for r in clean), default=0) + 1
+        self.transactions = TransactionManager(
+            self.log, self.locks, next_txn_id=next_id
+        )
+        self.transactions.attach_storage(self)
+        for info in self._files.values():
+            info.page_nos = [
+                no for no in info.page_nos
+                if self.disk.contains(PageId(info.file_id, no))
+            ]
+            info.free_hint = 0
+        replay = recovery.replay_index_entries(clean, stats.winners)
+        for name, tree in self._indexes.items():
+            self.disk.deallocate_file(tree.file_id)
+            tree.attach_pool(self.pool)
+            tree.reset()
+            for key, rid in replay.get(name, ()):
+                tree.insert(key, rid)
+        return stats
 
 
-def _encode_index_entry(key, rid):
-    return _INDEX_ENTRY.pack(key, rid[0], rid[1])
-
-
-def _decode_index_entry(raw):
-    key, page_no, slot = _INDEX_ENTRY.unpack(raw)
-    return key, (page_no, slot)
+_encode_index_entry = wal.encode_index_entry
+_decode_index_entry = wal.decode_index_entry

@@ -1,0 +1,462 @@
+"""Crash-consistency torture harness.
+
+One scenario = one ``(seed, schedule)`` pair.  The harness builds a fresh
+:class:`StorageManager`, drives a randomized multi-transaction workload
+with a :class:`~repro.db.storage.faults.FaultInjector` installed, lets
+the planned fault kill the "process" mid-flight, simulates what a real
+crash leaves behind (volatile state gone, log truncated at the forced
+horizon, plus an optional torn tail), runs restart recovery, and then
+checks the full invariant suite:
+
+* **durability** — every transaction whose commit was acknowledged is a
+  recovery winner and its effects are on disk;
+* **atomicity** — no effect of a loser (including deadlock-aborted
+  transactions) is visible;
+* **heap exactness** — the surviving rows are exactly the fold of the
+  winner transactions' effects, no more, no less;
+* **index integrity** — the B+-tree passes its structural invariants and
+  agrees entry-for-entry with the heap (no orphan or missing entries);
+* **idempotence** — running recovery a second time over the recovered
+  volume changes nothing.
+
+Everything is deterministic: the workload script comes from
+``random.Random(f"torture:{seed}:{schedule}")``, transactions are
+interleaved round-robin, and the fault plan is pure in ``(seed,
+schedule)`` — so a failing scenario replays exactly from its plan, and
+the same scenario always leaves a byte-identical volume (see
+:func:`disk_fingerprint`).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+import struct
+from typing import NamedTuple
+
+from repro.db.storage.faults import CrashPoint, FaultInjector, derive_plan
+from repro.db.storage.recovery import recover
+from repro.db.storage.storage_manager import StorageManager
+from repro.errors import DeadlockError, LockConflictError, StorageError
+
+_REC = struct.Struct("<qq")  # key, value (record padded to RECORD_SIZE)
+#: padded so a handful of rows fills a page — the workload then spreads
+#: over enough heap pages to see evictions, write-backs, and lock cycles
+RECORD_SIZE = 256
+INDEX_NAME = "torture.key"
+
+
+def _pack_row(key, value):
+    return _REC.pack(key, value).ljust(RECORD_SIZE, b"\x00")
+
+
+def _unpack_row(raw):
+    return _REC.unpack_from(raw)
+
+#: hard ceilings that turn a scheduling bug into a failure, not a hang
+_MAX_STEPS = 20_000
+_MAX_TXN_RESTARTS = 6
+
+
+class InvariantViolation(StorageError):
+    """A recovery invariant failed; the message embeds the fault plan so
+    the scenario can be replayed from the error text alone."""
+
+
+class TortureReport(NamedTuple):
+    """Outcome of one torture scenario."""
+
+    seed: object
+    schedule: str
+    plan: dict  # the fault plan, JSON-ready
+    crashed: bool  # did the injected fault actually fire mid-run
+    crash_reason: str
+    fired: list  # injector journal of triggers that tripped
+    stats: object  # RecoveryStats from restart
+    acked: int  # commits acknowledged before the crash
+    resurrected: int  # unacked commits that turned out durable
+    deadlock_restarts: int
+    disk_retries: int
+    steps: int
+    rows: int  # live heap rows after recovery
+    fingerprint: str  # digest of the post-recovery volume
+
+    def to_dict(self):
+        return {
+            "seed": self.seed,
+            "schedule": self.schedule,
+            "plan": self.plan,
+            "crashed": self.crashed,
+            "crash_reason": self.crash_reason,
+            "fired": [list(f) for f in self.fired],
+            "stats": {
+                "winners": sorted(self.stats.winners),
+                "losers": sorted(self.stats.losers),
+                "redone": self.stats.redone,
+                "undone": self.stats.undone,
+                "torn_records": self.stats.torn_records,
+                "torn_pages": self.stats.torn_pages,
+            },
+            "acked": self.acked,
+            "resurrected": self.resurrected,
+            "deadlock_restarts": self.deadlock_restarts,
+            "disk_retries": self.disk_retries,
+            "steps": self.steps,
+            "rows": self.rows,
+            "fingerprint": self.fingerprint,
+        }
+
+
+def disk_fingerprint(disk):
+    """Deterministic digest of every page image on the volume."""
+    digest = hashlib.sha256()
+    for page_id in sorted(disk._images):
+        kind, image = disk._images[page_id]
+        digest.update(repr((tuple(page_id), kind, len(image))).encode())
+        digest.update(image)
+    return digest.hexdigest()
+
+
+class _Slot:
+    """One logical client: a sequence of transactions over its own keys.
+
+    Slots partition the key space (so the oracle stays simple) but share
+    heap pages, which is where genuine lock conflicts and deadlocks come
+    from.
+    """
+
+    __slots__ = (
+        "base", "committed", "working", "script", "pos", "txn",
+        "txns_left", "restarts", "pending", "cooldown",
+    )
+
+    def __init__(self, base, txns_left):
+        self.base = base
+        self.committed = {}  # key -> (rid, value), as of last acked commit
+        self.working = None  # key -> (rid, value), current txn's view
+        self.script = None  # list of (op, key, value)
+        self.pos = 0
+        self.txn = None
+        self.txns_left = txns_left
+        self.restarts = 0
+        #: rounds to sit out after a deadlock restart (deterministic
+        #: backoff: lets the conflicting transactions drain first)
+        self.cooldown = 0
+        #: (txn_id, rows) snapshotted just before commit() — if the crash
+        #: lands inside commit, recovery decides whether this txn won
+        self.pending = None
+
+    @property
+    def done(self):
+        return self.txn is None and self.txns_left == 0
+
+
+class _Driver:
+    """Round-robin interleaving of slot transactions until the planned
+    fault kills the run (or the workload completes for quiesce plans)."""
+
+    def __init__(self, sm, file_id, rng, slots, txns_per_slot, keys_per_slot,
+                 ops_per_txn):
+        self.sm = sm
+        self.file_id = file_id
+        self.rng = rng
+        self.keys_per_slot = keys_per_slot
+        self.ops_per_txn = ops_per_txn
+        self.slots = [
+            _Slot(base=1000 * s, txns_left=txns_per_slot) for s in range(slots)
+        ]
+        self.next_value = 1
+        self.acked = []  # txn ids whose commit returned
+        self.aborted = []  # txn ids aborted (deadlock victims)
+        self.deadlock_restarts = 0
+        self.steps = 0
+
+    # ------------------------------------------------------------------
+    # script generation (pure bookkeeping, no storage calls)
+    # ------------------------------------------------------------------
+    def _make_script(self, slot):
+        ops = []
+        live = sorted(slot.committed)
+        count = self.rng.randint(self.ops_per_txn[0], self.ops_per_txn[1])
+        for _ in range(count):
+            # insert-biased mix so the table outgrows the buffer pool and
+            # the run sees real evictions, write-backs, and refaults
+            roll = self.rng.random()
+            if not live:
+                op = "ins"
+            elif len(live) >= self.keys_per_slot:
+                op = "del" if roll < 0.4 else "upd"
+            elif roll < 0.55:
+                op = "ins"
+            elif roll < 0.85:
+                op = "upd"
+            else:
+                op = "del"
+            value = self.next_value
+            self.next_value += 1
+            if op == "ins":
+                free = [
+                    k for k in range(slot.base, slot.base + self.keys_per_slot)
+                    if k not in live
+                ]
+                key = self.rng.choice(free)
+                live.append(key)
+                live.sort()
+            else:
+                key = self.rng.choice(live)
+                if op == "del":
+                    live.remove(key)
+            ops.append((op, key, value))
+        return ops
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def drive(self):
+        while True:
+            progressed = False
+            for slot in self.slots:
+                if slot.done:
+                    continue
+                progressed = True
+                self._step(slot)
+                self.steps += 1
+                if self.steps > _MAX_STEPS:
+                    raise InvariantViolation(
+                        "torture driver exceeded step ceiling (livelock?)"
+                    )
+            if not progressed:
+                return
+
+    def _step(self, slot):
+        if slot.cooldown > 0:
+            slot.cooldown -= 1
+            return
+        if slot.txn is None:
+            if slot.script is None:
+                slot.script = self._make_script(slot)
+            slot.txn = self.sm.begin()
+            slot.working = dict(slot.committed)
+            slot.pos = 0
+            return
+        if slot.pos >= len(slot.script):
+            self._commit(slot)
+            return
+        try:
+            self._exec_op(slot, slot.script[slot.pos])
+        except LockConflictError:
+            return  # blocked; retry this op on the slot's next turn
+        except DeadlockError:
+            self._deadlock_restart(slot)
+            return
+        slot.pos += 1
+
+    def _exec_op(self, slot, op):
+        kind, key, value = op
+        txn, sm = slot.txn, self.sm
+        if kind == "ins":
+            rid = sm.create_rec(txn, self.file_id, _pack_row(key, value))
+            sm.index_insert(txn, INDEX_NAME, key, rid)
+            slot.working[key] = (rid, value)
+        elif kind == "upd":
+            rid, _old = slot.working[key]
+            sm.update_rec(txn, self.file_id, rid, _pack_row(key, value))
+            slot.working[key] = (rid, value)
+        else:
+            rid, _old = slot.working[key]
+            sm.delete_rec(txn, self.file_id, rid)
+            sm.index_delete(txn, INDEX_NAME, key, rid)
+            del slot.working[key]
+
+    def _commit(self, slot):
+        txn = slot.txn
+        slot.pending = (txn.txn_id, dict(slot.working))
+        txn.commit()  # a planned fault may kill the process in here
+        self.acked.append(txn.txn_id)
+        slot.committed = slot.pending[1]
+        slot.pending = None
+        slot.txn = None
+        slot.script = None
+        slot.working = None
+        slot.txns_left -= 1
+        slot.restarts = 0
+
+    def _deadlock_restart(self, slot):
+        """Abort the deadlock victim and re-run the same script under a
+        fresh transaction — bounded, and deterministic because the script
+        is fixed before first execution."""
+        self.aborted.append(slot.txn.txn_id)
+        slot.txn.abort()
+        slot.txn = None
+        slot.working = None
+        slot.restarts += 1
+        slot.cooldown = 3 * slot.restarts
+        self.deadlock_restarts += 1
+        if slot.restarts > _MAX_TXN_RESTARTS:
+            raise InvariantViolation(
+                f"slot at base {slot.base} exceeded deadlock restart bound"
+            )
+
+
+class CrashedState(NamedTuple):
+    """A storage manager as an injected crash left it, ready to recover."""
+
+    sm: object
+    file_id: int
+    driver: object
+    plan: object
+    survived: list  # log records the crash left behind (torn tail included)
+    crashed: bool
+    crash_reason: str
+    fired: list
+    pre_crash_pool: dict
+
+
+def build_crashed_state(seed, schedule, *, slots=4, txns_per_slot=6,
+                        keys_per_slot=48, ops_per_txn=(3, 8), pool_pages=8,
+                        btree_max_keys=8):
+    """Drive the torture workload into its planned crash and stop there.
+
+    Returns a :class:`CrashedState` whose ``sm`` holds the post-crash
+    volume and whose ``survived`` is the log as the crash left it —
+    exactly the inputs ``StorageManager.restart`` needs.  Used by
+    :func:`run_torture` and by the traced ``recovery`` workload (which
+    times the restart itself)."""
+    plan = derive_plan(seed, schedule)
+    rng = random.Random(f"torture:{seed}:{schedule}")
+    sm = StorageManager(pool_pages=pool_pages, btree_max_keys=btree_max_keys)
+    file_id = sm.create_file(RECORD_SIZE)
+    sm.create_index(INDEX_NAME)
+    driver = _Driver(sm, file_id, rng, slots, txns_per_slot, keys_per_slot,
+                     ops_per_txn)
+
+    injector = FaultInjector(plan)
+    sm.install_faults(injector)
+    crashed = False
+    crash_reason = ""
+    try:
+        driver.drive()
+    except CrashPoint as death:
+        crashed = True
+        crash_reason = str(death)
+    return CrashedState(
+        sm=sm, file_id=file_id, driver=driver, plan=plan,
+        survived=_surviving_log(sm, plan), crashed=crashed,
+        crash_reason=crash_reason, fired=list(injector.fired),
+        pre_crash_pool=sm.pool.stats(),
+    )
+
+
+def run_torture(seed, schedule, *, slots=4, txns_per_slot=6,
+                keys_per_slot=48, ops_per_txn=(3, 8), pool_pages=8,
+                btree_max_keys=8):
+    """Run one torture scenario; returns a :class:`TortureReport` or
+    raises :class:`InvariantViolation` with a replayable plan."""
+    state = build_crashed_state(
+        seed, schedule, slots=slots, txns_per_slot=txns_per_slot,
+        keys_per_slot=keys_per_slot, ops_per_txn=ops_per_txn,
+        pool_pages=pool_pages, btree_max_keys=btree_max_keys,
+    )
+    sm, file_id, driver, plan = state.sm, state.file_id, state.driver, state.plan
+    crashed, crash_reason = state.crashed, state.crash_reason
+    pre_crash_pool, fired = state.pre_crash_pool, state.fired
+
+    stats = sm.restart(state.survived)
+    sm.pool.flush_all()
+    fingerprint = disk_fingerprint(sm.disk)
+
+    rows = _check_invariants(sm, file_id, driver, stats, plan)
+    resurrected = sum(
+        1 for slot in driver.slots
+        if slot.pending is not None and slot.pending[0] in stats.winners
+    )
+    return TortureReport(
+        seed=seed, schedule=schedule, plan=plan.to_dict(),
+        crashed=crashed, crash_reason=crash_reason, fired=fired,
+        stats=stats, acked=len(driver.acked), resurrected=resurrected,
+        deadlock_restarts=driver.deadlock_restarts,
+        disk_retries=pre_crash_pool["disk_retries"],
+        steps=driver.steps, rows=rows, fingerprint=fingerprint,
+    )
+
+
+def _surviving_log(sm, plan):
+    """What the log looks like after the crash: everything through the
+    forced horizon survives; ``plan.torn_tail`` further records linger
+    past it, the last of them corrupted mid-record."""
+    records = sm.log.records()
+    horizon = sm.log.flushed_lsn + 1
+    survived = records[:horizon]
+    tail = records[horizon:horizon + plan.torn_tail]
+    if tail:
+        tail[-1] = tail[-1]._replace(kind="#TORN#")
+    return survived + tail
+
+
+def _check_invariants(sm, file_id, driver, stats, plan):
+    """Run the full invariant suite; returns the live row count."""
+
+    def fail(message):
+        raise InvariantViolation(f"{message} [plan {plan.to_json()}]")
+
+    # durability: acked commits must be winners; atomicity: deadlock
+    # victims must not be
+    for txn_id in driver.acked:
+        if txn_id not in stats.winners:
+            fail(f"acked txn {txn_id} lost by recovery")
+    for txn_id in driver.aborted:
+        if txn_id in stats.winners:
+            fail(f"aborted txn {txn_id} won recovery")
+
+    # expected state: per slot, the last acked commit's rows — unless the
+    # in-flight commit's record proved durable (resurrection)
+    expected = {}
+    for slot in driver.slots:
+        state = slot.committed
+        if slot.pending is not None and slot.pending[0] in stats.winners:
+            state = slot.pending[1]
+        for key, (_rid, value) in state.items():
+            expected[key] = value
+
+    txn = sm.begin()
+    actual = {}
+    for rid, raw in sm.scan_file(txn, file_id):
+        key, value = _unpack_row(raw)
+        if key in actual:
+            fail(f"duplicate key {key} in recovered heap")
+        actual[key] = (rid, value)
+    txn.commit()
+
+    actual_values = {key: value for key, (_rid, value) in actual.items()}
+    if actual_values != expected:
+        missing = sorted(set(expected) - set(actual_values))
+        extra = sorted(set(actual_values) - set(expected))
+        wrong = sorted(
+            k for k in set(expected) & set(actual_values)
+            if expected[k] != actual_values[k]
+        )
+        fail(
+            f"heap mismatch: missing keys {missing}, extra keys {extra}, "
+            f"wrong values at {wrong}"
+        )
+
+    # index integrity and index<->heap agreement
+    tree = sm.index(INDEX_NAME)
+    tree.check_invariants()
+    entries = list(tree.range_scan())
+    if len(entries) != len(actual):
+        fail(f"index has {len(entries)} entries for {len(actual)} rows")
+    for key, rid in entries:
+        if key not in actual:
+            fail(f"index entry for key {key} has no heap row (orphan)")
+        if actual[key][0] != rid:
+            fail(f"index rid {rid} disagrees with heap rid {actual[key][0]}")
+
+    # idempotence: a second recovery pass over the recovered volume is a
+    # no-op on every page image
+    images_before = dict(sm.disk._images)
+    recover(sm.disk, sm.log.records(durable_only=True))
+    if dict(sm.disk._images) != images_before:
+        fail("second recovery pass changed the volume")
+
+    return len(actual)

@@ -51,12 +51,14 @@ class Transaction:
 class TransactionManager:
     """Creates transactions and drives commit/abort protocols."""
 
-    def __init__(self, log, lock_manager, storage=None):
+    def __init__(self, log, lock_manager, storage=None, next_txn_id=1):
         self._log = log
         self._locks = lock_manager
         self._storage = storage  # set late by StorageManager to break cycle
-        self._next_txn_id = 1
+        self._next_txn_id = next_txn_id
         self._active = {}
+        #: fault injector, or None; see :mod:`repro.db.storage.faults`
+        self.faults = None
 
     def attach_storage(self, storage):
         self._storage = storage
@@ -72,7 +74,13 @@ class TransactionManager:
     def commit(self, txn):
         self._require_active(txn)
         lsn = self._log.append(txn.txn_id, wal.COMMIT)
+        if self.faults is not None:
+            # COMMIT is in the log but not yet forced: a crash here makes
+            # the outcome depend on whether the tail happens to survive
+            self.faults.fire("txn.commit.unforced")
         self._log.flush(lsn)  # commit is durable once the log is forced
+        if self.faults is not None:
+            self.faults.fire("txn.commit.done")
         self._locks.release_all(txn.txn_id)
         txn.state = COMMITTED
         del self._active[txn.txn_id]

@@ -9,6 +9,7 @@ crash.
 
 from __future__ import annotations
 
+import struct
 from typing import NamedTuple
 
 from repro.errors import RecoveryError
@@ -31,6 +32,20 @@ _TYPES = frozenset({
 })
 
 
+_INDEX_ENTRY = struct.Struct("<qii")  # key, rid page_no, rid slot
+
+
+def encode_index_entry(key, rid):
+    """Pack a logical index entry for an IDX_INSERT/IDX_DELETE payload."""
+    return _INDEX_ENTRY.pack(key, rid[0], rid[1])
+
+
+def decode_index_entry(raw):
+    """Unpack an IDX_INSERT/IDX_DELETE payload to ``(key, rid)``."""
+    key, page_no, slot = _INDEX_ENTRY.unpack(raw)
+    return key, (page_no, slot)
+
+
 class LogRecord(NamedTuple):
     """One entry in the write-ahead log."""
 
@@ -51,23 +66,59 @@ class WriteAheadLog:
         self._records = []
         self._last_lsn_of = {}  # txn_id -> lsn
         self.flushed_lsn = -1
+        #: fault injector, or None; see :mod:`repro.db.storage.faults`
+        self.faults = None
 
     def append(self, txn_id, kind, page_id=None, slot=-1, before=b"", after=b""):
         """Append a record and return its LSN."""
         if kind not in _TYPES:
             raise RecoveryError(f"unknown log record kind {kind!r}")
+        if self.faults is not None:
+            self.faults.fire("wal.append.before")
         lsn = len(self._records)
         prev = self._last_lsn_of.get(txn_id, -1)
         record = LogRecord(lsn, txn_id, kind, page_id, slot, before, after, prev)
         self._records.append(record)
         self._last_lsn_of[txn_id] = lsn
+        if self.faults is not None:
+            self.faults.fire("wal.append.after")
         return lsn
 
     def flush(self, up_to_lsn=None):
-        """Force the log to stable storage up to ``up_to_lsn`` (inclusive)."""
+        """Force the log to stable storage up to ``up_to_lsn`` (inclusive).
+
+        ``up_to_lsn`` is clamped to the last record actually in the log —
+        the durable horizon can never run ahead of what was appended.
+        Negative LSNs are a caller bug and raise :class:`RecoveryError`.
+        """
         if up_to_lsn is None:
             up_to_lsn = len(self._records) - 1
+        elif up_to_lsn < 0:
+            raise RecoveryError(f"cannot flush to negative lsn {up_to_lsn}")
+        up_to_lsn = min(up_to_lsn, len(self._records) - 1)
+        if self.faults is not None:
+            trigger = self.faults.fire("wal.flush")
+            if trigger is not None:  # partial force: horizon advances param/8
+                span = up_to_lsn - self.flushed_lsn
+                if span > 0:
+                    self.flushed_lsn += span * trigger.param // 8
+                self.faults.crash(
+                    f"crash mid log force (horizon at {self.flushed_lsn})"
+                )
         self.flushed_lsn = max(self.flushed_lsn, up_to_lsn)
+
+    def reset_to(self, records):
+        """Replace the log contents with ``records`` (all durable).
+
+        Used at restart: the recovered log is the validated durable prefix
+        of the crashed log (see ``recovery.durable_prefix``), and new
+        activity appends after it.
+        """
+        self._records = list(records)
+        self._last_lsn_of = {}
+        for record in self._records:
+            self._last_lsn_of[record.txn_id] = record.lsn
+        self.flushed_lsn = len(self._records) - 1
 
     # ------------------------------------------------------------------
     # read side (used by recovery)

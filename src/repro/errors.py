@@ -9,6 +9,19 @@ class ReproError(Exception):
     """Base class for all errors raised by the repro package."""
 
 
+class TransientError:
+    """Marker mixin for failures that are safe to retry.
+
+    Retry logic (bounded retry-with-backoff in the buffer pool,
+    transaction restart in :meth:`StorageManager.run_transaction`)
+    catches ``TransientError`` instead of listing concrete classes, so
+    adding a new retryable failure mode is a one-line change here and
+    can never silently fall outside the retry net.  Everything not
+    carrying this mixin is fatal: surfacing it to the caller is the
+    only correct handling.
+    """
+
+
 class StorageError(ReproError):
     """Base class for storage-manager failures."""
 
@@ -29,8 +42,26 @@ class LockConflictError(StorageError):
     """Raised when a lock request conflicts and waiting is not allowed."""
 
 
-class DeadlockError(StorageError):
-    """Raised when granting a lock would create a wait-for cycle."""
+class DeadlockError(StorageError, TransientError):
+    """Raised when granting a lock would create a wait-for cycle.
+
+    Transient: aborting one participant and re-running its transaction
+    resolves the cycle, so deadlocks are retried (bounded) rather than
+    surfaced."""
+
+
+class TransientDiskError(StorageError, TransientError):
+    """Raised when a simulated disk read fails transiently.
+
+    Injected by :mod:`repro.db.storage.faults`; clears on retry, so the
+    buffer pool's bounded retry-with-backoff absorbs it."""
+
+
+class TornPageError(StorageError):
+    """Raised when a page image fails its checksum (torn write).
+
+    Fatal for ordinary reads; crash recovery treats the page as absent
+    and rebuilds it from the durable log instead."""
 
 
 class TransactionError(StorageError):

@@ -498,3 +498,51 @@ def scale_sensitivity(runner_small, runner_large, workload="wisc-large-2"):
         result.add_row(label, values)
         result.failures.extend(grid.failure_report())
     return result
+
+
+# ----------------------------------------------------------------------
+# Extension: the traced crash-recovery workload
+# ----------------------------------------------------------------------
+
+
+def recovery_experiment(runner, workload="recovery"):
+    """CGP vs next-N-line on restart recovery (extension, not a figure).
+
+    The ``recovery`` workload traces the storage manager's restart path
+    over a deterministically crashed volume (see
+    :mod:`repro.workloads.recovery`): ARIES-lite redo/undo, torn-tail
+    truncation, B+-tree rebuild, verification scan.  That call graph is
+    deep, data-dependent, and cold — the shape §3 argues favors
+    call-graph prediction over straight-line prefetching.
+    """
+    result = ExperimentResult(
+        "recovery",
+        "CGP on the crash-recovery path (extension)",
+        "Recovery's deep cold call graph should favor CGP over "
+        "next-N-line even more than steady-state query execution does.",
+        ["O5", "OM+NL_4", "OM+CGP_4", "speedup:CGP4_over_NL4",
+         "mpki:NL_4", "mpki:CGP_4"],
+    )
+    specs = [
+        RunSpec(workload, "O5", None),
+        RunSpec(workload, "OM", ("nl", 4)),
+        RunSpec(workload, "OM", ("cgp", 4)),
+    ]
+    grid = runner.run_grid(specs, grid="recovery")
+    base = grid.get(specs[0])
+    nl = grid.get(specs[1])
+    cgp = grid.get(specs[2])
+    values = {}
+    if base is not None:
+        values["O5"] = base.cycles
+    if nl is not None:
+        values["OM+NL_4"] = nl.cycles
+        values["mpki:NL_4"] = nl.mpki
+    if cgp is not None:
+        values["OM+CGP_4"] = cgp.cycles
+        values["mpki:CGP_4"] = cgp.mpki
+    if nl is not None and cgp is not None:
+        values["speedup:CGP4_over_NL4"] = nl.cycles / cgp.cycles
+    result.add_row(workload, values)
+    result.failures = grid.failure_report()
+    return result

@@ -40,7 +40,7 @@ from repro.uarch.prefetch import (
     RunAheadNLPrefetcher,
     TaggedNLPrefetcher,
 )
-from repro.workloads.suites import SUITE_NAMES, build_suite
+from repro.workloads.suites import ALL_SUITE_NAMES, build_suite
 
 #: Default workload scales for experiments: chosen so a full figure
 #: regenerates in minutes of pure-Python simulation (see DESIGN.md §7).
@@ -49,6 +49,7 @@ DEFAULT_SCALES = {
     "wisc-large-1": 0.05,
     "wisc-large-2": 0.05,
     "wisc+tpch": 0.025,
+    "recovery": 1.0,
 }
 
 
@@ -127,7 +128,7 @@ class ExperimentRunner:
     # ------------------------------------------------------------------
     def artifacts(self, suite_name):
         """Artifacts for one of the paper's workloads (cached)."""
-        if suite_name not in SUITE_NAMES:
+        if suite_name not in ALL_SUITE_NAMES:
             raise ConfigError(f"unknown workload {suite_name!r}")
         cached = self._artifacts.get(suite_name)
         if cached is not None:

@@ -1,9 +1,16 @@
-"""Workloads: Wisconsin, TPC-H, synthetic CPU2000, and the paper's suites."""
+"""Workloads: Wisconsin, TPC-H, CPU2000, the paper's suites, and crash
+recovery."""
 
 from repro.workloads import cpu2000, tpch, wisconsin
-from repro.workloads.suites import SUITE_NAMES, WorkloadSuite, build_suite
+from repro.workloads.suites import (
+    ALL_SUITE_NAMES,
+    SUITE_NAMES,
+    WorkloadSuite,
+    build_suite,
+)
 
 __all__ = [
+    "ALL_SUITE_NAMES",
     "SUITE_NAMES",
     "WorkloadSuite",
     "build_suite",

@@ -1,0 +1,82 @@
+"""The ``recovery`` workload: traced restart recovery over a crashed volume.
+
+The paper's four workloads measure steady-state query execution.  This one
+instead traces the *restart path* of the storage manager — ARIES-lite
+analysis/redo/undo, torn-tail truncation, B+-tree rebuild from the log,
+and a verification scan — over a volume left behind by a deterministic
+injected crash (see :mod:`repro.db.storage.faults`).
+
+The workload is split the same way the steady-state suites split database
+construction from query execution:
+
+* **build** (untraced, in the constructor): drive the torture workload
+  into its planned crash via
+  :func:`repro.db.storage.torture.build_crashed_state`;
+* **run** (traced): ``StorageManager.restart`` over the surviving log,
+  then a full scan validating what recovery produced.
+
+Recovery code paths have a very different call-graph shape from query
+execution — deep, data-dependent, and cold — which is exactly where the
+paper argues call-graph prefetching should beat next-N-line.  The
+``recovery`` suite lets the experiment harness measure that claim.
+
+Everything is pure in ``(seed, schedule)``: the same pair always yields
+the same crashed volume, the same surviving log, and therefore the same
+traced recovery run.
+"""
+
+from __future__ import annotations
+
+import types
+
+from repro.db.storage import torture
+
+#: Crash shape used for the traced run: ``mixed`` exercises transient
+#: read faults, a randomized crash trigger, and a torn log tail in one
+#: scenario, so the traced recovery visits every tolerance path.
+DEFAULT_SCHEDULE = "mixed"
+
+
+class RecoveryWorkload:
+    """Build/crash/recover workload with the ``WorkloadSuite`` interface.
+
+    ``scale`` multiplies the number of transactions each slot runs before
+    the crash (more transactions -> a longer log -> a longer recovery).
+    ``quantum_rows`` is accepted for interface compatibility; recovery is
+    a single sequential pass, not a scheduled query mix.
+    """
+
+    def __init__(self, scale=1.0, seed=1234, schedule=DEFAULT_SCHEDULE,
+                 quantum_rows=16):
+        self.name = "recovery"
+        self.schedule = schedule
+        self.seed = seed
+        self.quantum_rows = quantum_rows
+        txns = max(2, int(round(6 * scale)))
+        self._state = torture.build_crashed_state(
+            seed, schedule, txns_per_slot=txns,
+        )
+        #: what the run recovered, filled in by :meth:`run`
+        self.recovery_stats = None
+        # the experiment runner reads buffer-pool statistics through
+        # ``suite.database.storage``
+        self.database = types.SimpleNamespace(storage=self._state.sm)
+
+    def run(self):
+        """Traced part: restart recovery plus a verification scan.
+
+        Returns ``{"recovery": rows}`` where ``rows`` are the
+        ``(key, value)`` pairs surviving on the recovered heap, matching
+        the ``name -> rows`` shape of ``WorkloadSuite.run``.
+        """
+        sm = self._state.sm
+        self.recovery_stats = sm.restart(self._state.survived)
+        rows = []
+        txn = sm.begin()
+        for _rid, raw in sm.scan_file(txn, self._state.file_id):
+            rows.append(torture._unpack_row(raw))
+        txn.commit()
+        return {"recovery": rows}
+
+    def query_names(self):
+        return ["recovery"]

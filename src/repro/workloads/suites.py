@@ -28,6 +28,11 @@ PAPER_WISC_LARGE_TUPLES = 10000  # tenk1/tenk2 at full size
 
 SUITE_NAMES = ("wisc-prof", "wisc-large-1", "wisc-large-2", "wisc+tpch")
 
+#: Every traceable workload: the paper's four suites plus the crash
+#: ``recovery`` workload (kept out of SUITE_NAMES so the paper's figures
+#: stay exactly the paper's workload set).
+ALL_SUITE_NAMES = SUITE_NAMES + ("recovery",)
+
 
 class WorkloadSuite:
     """A configured workload: a database plus concurrent queries."""
@@ -79,4 +84,13 @@ def build_suite(name, scale=0.1, pool_pages=4096, seed=1234, quantum_rows=16):
         tpch.setup(db, scale_factor=max(scale * 3.0, 0.05), seed=seed + 99)
         queries = wisconsin.queries(n) + tpch.queries()
         return WorkloadSuite(name, db, queries, quantum_rows)
-    raise ConfigError(f"unknown workload suite {name!r}; pick from {SUITE_NAMES}")
+    if name == "recovery":
+        # imported lazily: the crash workload drags in the fault/torture
+        # machinery, which steady-state suites never need
+        from repro.workloads.recovery import RecoveryWorkload
+
+        return RecoveryWorkload(scale=scale, seed=seed,
+                                quantum_rows=quantum_rows)
+    raise ConfigError(
+        f"unknown workload suite {name!r}; pick from {ALL_SUITE_NAMES}"
+    )

@@ -40,6 +40,7 @@ def small_runner():
             "wisc-large-1": 0.012,
             "wisc-large-2": 0.012,
             "wisc+tpch": 0.008,
+            "recovery": 0.5,
         },
     )
 

@@ -98,3 +98,84 @@ def test_per_query_hints_respected(db):
         hints={"q": {("access", "t"): "scan"}},
     )
     assert sorted(results["q"]) == [(i,) for i in range(5)]
+
+
+# ----------------------------------------------------------------------
+# fault isolation: one failing query must not take down the batch
+# ----------------------------------------------------------------------
+
+
+class _FakeRoot:
+    """Operator stand-in that counts lifecycle calls and can blow up."""
+
+    def __init__(self, rows, fail_after=None):
+        self._rows = list(rows)
+        self._fail_after = fail_after
+        self._emitted = 0
+        self.open_calls = 0
+        self.close_calls = 0
+
+    def open(self):
+        self.open_calls += 1
+
+    def next(self):
+        if self._fail_after is not None and self._emitted >= self._fail_after:
+            raise ExecutionError("operator exploded")
+        if not self._rows:
+            return None
+        self._emitted += 1
+        return self._rows.pop(0)
+
+    def close(self):
+        self.close_calls += 1
+
+
+class _FakePlan:
+    def __init__(self, root):
+        self.root = root
+
+
+def _plans(*roots):
+    return [(f"q{i}", _FakePlan(root)) for i, root in enumerate(roots)]
+
+
+def test_error_isolated_when_raise_on_error_off():
+    bad = _FakeRoot([(1,), (2,)], fail_after=1)
+    good = _FakeRoot([(i,) for i in range(10)])
+    scheduler = RoundRobinScheduler(quantum_rows=2)
+    results = scheduler.run(_plans(bad, good), raise_on_error=False)
+    # the survivor ran to completion; the failure kept its partial rows
+    assert results["q1"] == [(i,) for i in range(10)]
+    assert results["q0"] == [(1,)]
+    q_bad, q_good = scheduler.last_queries
+    assert isinstance(q_bad.error, ExecutionError)
+    assert q_good.error is None and q_good.finished
+
+
+def test_error_aborts_batch_by_default():
+    bad = _FakeRoot([(1,)], fail_after=0)
+    good = _FakeRoot([(i,) for i in range(10)])
+    scheduler = RoundRobinScheduler(quantum_rows=2)
+    with pytest.raises(ExecutionError):
+        scheduler.run(_plans(bad, good))
+    # every plan is closed on the way out, the failed one exactly once
+    assert bad.close_calls == 1
+    assert good.close_calls == 1
+
+
+def test_failed_plan_closed_exactly_once():
+    bad = _FakeRoot([(1,), (2,), (3,)], fail_after=2)
+    good = _FakeRoot([(i,) for i in range(6)])
+    scheduler = RoundRobinScheduler(quantum_rows=2)
+    scheduler.run(_plans(bad, good), raise_on_error=False)
+    # closed at failure time, and the finally-close must be a no-op
+    assert bad.close_calls == 1
+    assert good.close_calls == 1
+
+
+def test_finished_plan_closed_exactly_once():
+    root = _FakeRoot([(1,)])
+    scheduler = RoundRobinScheduler(quantum_rows=4)
+    results = scheduler.run(_plans(root))
+    assert results["q0"] == [(1,)]
+    assert root.close_calls == 1

@@ -20,7 +20,8 @@ import os
 import pytest
 
 GOLDEN_DIR = os.path.join(os.path.dirname(__file__), "goldens")
-SUITES = ["wisc-prof", "wisc-large-1", "wisc-large-2", "wisc+tpch"]
+SUITES = ["wisc-prof", "wisc-large-1", "wisc-large-2", "wisc+tpch",
+          "recovery"]
 GOLDEN_SPEC = ("OM", ("cgp", 4))
 
 
@@ -74,7 +75,8 @@ def regenerate():
     from repro.harness import ExperimentRunner, PipelineConfig
 
     scales = {"wisc-prof": 0.15, "wisc-large-1": 0.012,
-              "wisc-large-2": 0.012, "wisc+tpch": 0.008}
+              "wisc-large-2": 0.012, "wisc+tpch": 0.008,
+              "recovery": 0.5}
     runner = ExperimentRunner(
         pipeline=PipelineConfig(quantum_rows=2), scales=scales)
     os.makedirs(GOLDEN_DIR, exist_ok=True)

@@ -213,4 +213,5 @@ def test_stats_on_fresh_pool_are_zero():
     _disk, pool = fresh()
     stats = pool.stats()
     assert stats == {"capacity": 4, "resident": 0, "hits": 0, "misses": 0,
-                     "evictions": 0, "pin_waits": 0, "hit_rate": 0.0}
+                     "evictions": 0, "pin_waits": 0, "hit_rate": 0.0,
+                     "disk_retries": 0, "backoff_ticks": 0}

@@ -1,0 +1,254 @@
+"""Deterministic fault injection: plans, the injector, and the hooks."""
+
+import pytest
+
+from repro.db.storage import RecordCodec, StorageManager
+from repro.db.storage import faults
+from repro.db.storage.faults import (
+    CRASH,
+    PARTIAL,
+    SCHEDULES,
+    TORN,
+    TRANSIENT,
+    CrashPoint,
+    FaultInjector,
+    FaultPlan,
+    derive_plan,
+)
+from repro.errors import (
+    StorageError,
+    TornPageError,
+    TransientDiskError,
+)
+
+CODEC = RecordCodec(["int", "int"])
+
+
+# ----------------------------------------------------------------------
+# plans
+# ----------------------------------------------------------------------
+
+
+def test_derive_plan_is_pure():
+    for schedule in SCHEDULES:
+        a = derive_plan(17, schedule)
+        b = derive_plan(17, schedule)
+        assert a == b
+        assert a.to_json() == b.to_json()
+
+
+def test_derive_plan_json_round_trips():
+    plan = derive_plan(5, "mixed")
+    assert FaultPlan.from_json(plan.to_json()) == plan
+
+
+def test_different_seeds_differ_somewhere():
+    jsons = {derive_plan(seed, "append-crash").to_json() for seed in range(20)}
+    assert len(jsons) > 1
+
+
+def test_unknown_schedule_rejected():
+    with pytest.raises(StorageError):
+        derive_plan(1, "power-surge")
+
+
+def test_plan_validates_points_and_actions():
+    with pytest.raises(StorageError):
+        FaultPlan([("no.such.point", 1, CRASH, 0)])
+    with pytest.raises(StorageError):
+        FaultPlan([(faults.WAL_APPEND_BEFORE, 1, TORN, 8)])
+    with pytest.raises(StorageError):
+        FaultPlan([(faults.DISK_WRITE, 0, CRASH, 0)])  # hits are 1-based
+
+
+# ----------------------------------------------------------------------
+# the injector's fire contract
+# ----------------------------------------------------------------------
+
+
+def test_fire_counts_hits_and_trips_on_the_planned_one():
+    injector = FaultInjector(FaultPlan([(faults.DISK_READ, 3, CRASH, 0)]))
+    assert injector.fire(faults.DISK_READ) is None
+    assert injector.fire(faults.DISK_READ) is None
+    with pytest.raises(CrashPoint):
+        injector.fire(faults.DISK_READ)
+    assert injector.fired == [(faults.DISK_READ, 3, CRASH, 0)]
+
+
+def test_transient_arms_consecutive_hits():
+    injector = FaultInjector(
+        FaultPlan([(faults.DISK_READ, 2, TRANSIENT, 3)])
+    )
+    assert injector.fire(faults.DISK_READ) is None
+    for _ in range(3):
+        with pytest.raises(TransientDiskError):
+            injector.fire(faults.DISK_READ)
+    assert injector.fire(faults.DISK_READ) is None
+    assert not injector.crashed
+
+
+def test_partial_actions_are_returned_to_the_caller():
+    injector = FaultInjector(FaultPlan([(faults.WAL_FLUSH, 1, PARTIAL, 4)]))
+    trigger = injector.fire(faults.WAL_FLUSH)
+    assert trigger.action == PARTIAL and trigger.param == 4
+
+
+def test_injector_latches_after_crash():
+    injector = FaultInjector(FaultPlan([(faults.DISK_WRITE, 1, CRASH, 0)]))
+    with pytest.raises(CrashPoint):
+        injector.fire(faults.DISK_WRITE)
+    # every later fire at ANY point dies too: nothing runs past death
+    with pytest.raises(CrashPoint):
+        injector.fire(faults.DISK_READ)
+
+
+def test_crash_point_is_not_a_repro_error():
+    from repro.errors import ReproError
+
+    assert not issubclass(CrashPoint, ReproError)
+
+
+# ----------------------------------------------------------------------
+# hooks threaded through the storage stack
+# ----------------------------------------------------------------------
+
+
+def _sm_with(plan, pool_pages=64):
+    sm = StorageManager(pool_pages=pool_pages)
+    sm.install_faults(FaultInjector(plan))
+    return sm
+
+
+def test_no_injector_means_no_faults():
+    sm = StorageManager()
+    fid = sm.create_file(CODEC.record_size)
+    with sm.begin() as txn:
+        sm.create_rec(txn, fid, CODEC.encode((1, 10)))
+    assert sm.faults is None and sm.disk.faults is None
+
+
+def test_commit_unforced_crash_loses_the_commit():
+    sm = _sm_with(FaultPlan([(faults.TXN_COMMIT_UNFORCED, 1, CRASH, 0)]))
+    fid = sm.create_file(CODEC.record_size)
+    txn = sm.begin()
+    sm.create_rec(txn, fid, CODEC.encode((1, 10)))
+    with pytest.raises(CrashPoint):
+        txn.commit()
+    stats = sm.restart()
+    # the COMMIT record never reached stable storage: the transaction
+    # must not be a winner and its row must not survive
+    assert txn.txn_id not in stats.winners
+    with sm.begin() as check:
+        assert list(sm.scan_file(check, fid)) == []
+
+
+def test_commit_done_crash_keeps_the_commit():
+    sm = _sm_with(FaultPlan([(faults.TXN_COMMIT_DONE, 1, CRASH, 0)]))
+    fid = sm.create_file(CODEC.record_size)
+    txn = sm.begin()
+    sm.create_rec(txn, fid, CODEC.encode((1, 10)))
+    with pytest.raises(CrashPoint):
+        txn.commit()
+    stats = sm.restart()
+    assert txn.txn_id in stats.winners
+
+
+def test_torn_page_write_fails_checksum_on_read():
+    sm = _sm_with(FaultPlan([(faults.DISK_WRITE, 1, TORN, 7)]))
+    fid = sm.create_file(CODEC.record_size)
+    with sm.begin() as txn:
+        sm.create_rec(txn, fid, CODEC.encode((1, 10)))
+    page = next(iter(sm.pool._frames.values()))
+    with pytest.raises(CrashPoint):
+        sm.disk.write_page(page)
+    sm.clear_faults()  # the "process" is dead; inspect the volume raw
+    with pytest.raises(TornPageError):
+        sm.disk.read_page(page.page_id)
+
+
+def test_transient_read_is_retried_by_the_pool():
+    sm = StorageManager(pool_pages=4)
+    fid = sm.create_file(CODEC.record_size)
+    with sm.begin() as txn:
+        rid = sm.create_rec(txn, fid, CODEC.encode((1, 10)))
+    sm.pool.flush_all()
+    sm.restart()  # cold pool: the next read must go to disk
+    sm.install_faults(
+        FaultInjector(FaultPlan([(faults.DISK_READ, 1, TRANSIENT, 2)]))
+    )
+    with sm.begin() as txn:
+        assert CODEC.decode(sm.read_rec(txn, fid, rid)) == (1, 10)
+    stats = sm.pool.stats()
+    assert stats["disk_retries"] == 2
+    assert stats["backoff_ticks"] == 1 + 2  # exponential: 1, then 2
+
+
+def test_transient_beyond_retry_limit_surfaces():
+    sm = StorageManager(pool_pages=4, disk_retry_limit=2)
+    fid = sm.create_file(CODEC.record_size)
+    with sm.begin() as txn:
+        rid = sm.create_rec(txn, fid, CODEC.encode((1, 10)))
+    sm.pool.flush_all()
+    sm.restart()  # cold pool: the next read must go to disk
+    sm.install_faults(
+        FaultInjector(FaultPlan([(faults.DISK_READ, 1, TRANSIENT, 5)]))
+    )
+    txn = sm.begin()
+    with pytest.raises(TransientDiskError):
+        sm.read_rec(txn, fid, rid)
+
+
+def test_clear_faults_detaches_every_component():
+    sm = _sm_with(FaultPlan([(faults.DISK_READ, 1, CRASH, 0)]))
+    sm.clear_faults()
+    for component in (sm, sm.disk, sm.pool, sm.log, sm.transactions):
+        assert component.faults is None
+
+
+def test_run_transaction_retries_deadlock_victims():
+    sm = StorageManager()
+    fid = sm.create_file(CODEC.record_size)
+    with sm.begin() as txn:
+        rid = sm.create_rec(txn, fid, CODEC.encode((1, 10)))
+
+    attempts = []
+
+    def body(txn):
+        attempts.append(txn.txn_id)
+        if len(attempts) == 1:
+            from repro.errors import DeadlockError
+
+            raise DeadlockError("synthetic victim")
+        return CODEC.decode(sm.read_rec(txn, fid, rid))
+
+    assert sm.run_transaction(body) == (1, 10)
+    assert len(attempts) == 2
+    assert sm.txn_restarts == 1
+
+
+def test_run_transaction_bounds_retries():
+    sm = StorageManager()
+
+    def always_deadlock(_txn):
+        from repro.errors import DeadlockError
+
+        raise DeadlockError("forever")
+
+    from repro.errors import DeadlockError
+
+    with pytest.raises(DeadlockError):
+        sm.run_transaction(always_deadlock, max_attempts=3)
+    assert sm.txn_restarts == 2  # two restarts, third failure surfaces
+
+
+def test_run_transaction_does_not_retry_fatal_errors():
+    sm = StorageManager()
+    calls = []
+
+    def fatal(_txn):
+        calls.append(1)
+        raise StorageError("not transient")
+
+    with pytest.raises(StorageError):
+        sm.run_transaction(fatal)
+    assert len(calls) == 1

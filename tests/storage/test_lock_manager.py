@@ -120,3 +120,46 @@ def test_statistics_count_grants_and_conflicts():
     lm.try_lock(2, "r", EXCLUSIVE)
     assert lm.grants == 1
     assert lm.conflicts == 1
+
+
+def test_shared_to_exclusive_upgrade_closes_a_cycle():
+    # both txns hold S on the same resource; each then wants X on it.
+    # txn 1's upgrade blocks on txn 2; txn 2's upgrade would close the
+    # cycle and must raise instead of livelocking.
+    lm = LockManager()
+    assert lm.try_lock(1, "r", SHARED)
+    assert lm.try_lock(2, "r", SHARED)
+    assert not lm.try_lock(1, "r", EXCLUSIVE)
+    with pytest.raises(DeadlockError):
+        lm.try_lock(2, "r", EXCLUSIVE)
+
+
+def test_release_all_of_aborted_txn_clears_its_wait_edges():
+    # txn 2 blocks on txn 1, then aborts: after release_all(2), txn 2
+    # must not linger in the wait-for graph as a phantom blocker edge
+    lm = LockManager()
+    assert lm.try_lock(1, "r", EXCLUSIVE)
+    assert not lm.try_lock(2, "r", EXCLUSIVE)
+    lm.release_all(2)
+    assert lm._waits_for.get(2) is None
+    # with 2 gone, 1 waiting on a resource 3 holds must NOT see a cycle
+    # through 2's stale edge
+    assert lm.try_lock(3, "s", EXCLUSIVE)
+    assert not lm.try_lock(1, "s", EXCLUSIVE)  # no DeadlockError
+
+
+def test_wait_set_tracks_only_the_current_request():
+    # a txn's recorded waits are replaced per request: after blocking on
+    # r1 (held by 1) then blocking on r2 (held by 3), only the r2 edge
+    # remains — the resolved r1 conflict must not produce phantom cycles
+    lm = LockManager()
+    assert lm.try_lock(1, "r1", EXCLUSIVE)
+    assert lm.try_lock(3, "r2", EXCLUSIVE)
+    assert not lm.try_lock(2, "r1", EXCLUSIVE)
+    assert lm._waits_for[2] == {1}
+    lm.release_all(1)
+    assert not lm.try_lock(2, "r2", EXCLUSIVE)
+    assert lm._waits_for[2] == {3}
+    # 1 is gone; a fresh txn 1 blocking on 2's holdings is not a cycle
+    assert lm.try_lock(2, "r1", EXCLUSIVE)
+    assert not lm.try_lock(1, "r1", EXCLUSIVE)  # no DeadlockError

@@ -121,3 +121,146 @@ def test_aborted_transaction_stays_undone_after_recovery():
     sm.pool.flush_all()
     crash_and_recover(sm)
     assert read_all(sm, fid) == []
+
+
+# ----------------------------------------------------------------------
+# torn log tails (durable_prefix) and torn data pages
+# ----------------------------------------------------------------------
+
+
+def test_durable_prefix_truncates_at_corrupt_record():
+    from repro.db.storage.recovery import durable_prefix
+
+    sm = StorageManager()
+    fid = sm.create_file(CODEC.record_size)
+    with sm.begin() as txn:
+        sm.create_rec(txn, fid, CODEC.encode((1, 10)))
+    records = sm.log.records()
+    records[2] = records[2]._replace(kind="#TORN#")
+    clean, dropped = durable_prefix(records)
+    assert len(clean) == 2
+    assert dropped == len(records) - 2
+
+
+def test_durable_prefix_rejects_lsn_gaps():
+    from repro.db.storage.recovery import durable_prefix
+
+    sm = StorageManager()
+    fid = sm.create_file(CODEC.record_size)
+    with sm.begin() as txn:
+        sm.create_rec(txn, fid, CODEC.encode((1, 10)))
+    records = sm.log.records()
+    # a record whose lsn does not match its position is as bad as a
+    # corrupt kind: everything from it on is untrusted
+    records[1] = records[1]._replace(lsn=99)
+    clean, dropped = durable_prefix(records)
+    assert len(clean) == 1 and dropped == len(records) - 1
+
+
+def test_recover_tolerates_torn_tail_and_counts_it():
+    sm = StorageManager()
+    fid = sm.create_file(CODEC.record_size)
+    with sm.begin() as txn:
+        sm.create_rec(txn, fid, CODEC.encode((1, 10)))
+    records = sm.log.records()
+    torn = records + [records[-1]._replace(lsn=len(records), kind="#TORN#")]
+    stats = recover(sm.disk, torn)
+    assert stats.torn_records == 1
+    assert read_all(sm, fid) == [(1, 10)]
+
+
+def test_recover_rebuilds_torn_page_from_log():
+    sm = StorageManager()
+    fid = sm.create_file(CODEC.record_size)
+    with sm.begin() as txn:
+        sm.create_rec(txn, fid, CODEC.encode((1, 10)))
+        sm.create_rec(txn, fid, CODEC.encode((2, 20)))
+    sm.pool.flush_all()
+    # corrupt the heap page image behind the checksum's back
+    page_id = next(
+        pid for pid, (kind, _img) in sm.disk._images.items() if kind == "D"
+    )
+    kind, image = sm.disk._images[page_id]
+    sm.disk._images[page_id] = (kind, b"\xff" * 64 + image[64:])
+    stats = recover(sm.disk, sm.log.records(durable_only=True))
+    assert stats.torn_pages == 1
+    assert read_all(sm, fid) == [(1, 10), (2, 20)]
+
+
+def test_online_aborted_loser_not_undone_twice():
+    """CLR pairing: an aborted txn whose slots were reused by later
+    winners must not be re-undone at recovery (that would clobber the
+    winners' rows)."""
+    sm = StorageManager()
+    fid = sm.create_file(CODEC.record_size)
+    victim = sm.begin()
+    sm.create_rec(victim, fid, CODEC.encode((1, 111)))
+    victim.abort()  # slot freed, CLR logged, locks released
+    with sm.begin() as winner:
+        sm.create_rec(winner, fid, CODEC.encode((2, 222)))  # reuses slot 0
+    sm.pool.flush_all()
+    stats = crash_and_recover(sm)
+    assert victim.txn_id in stats.losers
+    assert read_all(sm, fid) == [(2, 222)]
+
+
+def test_half_aborted_loser_is_finished_by_recovery():
+    """A crash mid-abort leaves some operations compensated and some
+    not; recovery must undo exactly the unpaid ones."""
+    from repro.db.storage import wal as wal_mod
+
+    sm = StorageManager()
+    fid = sm.create_file(CODEC.record_size)
+    txn = sm.begin()
+    sm.create_rec(txn, fid, CODEC.encode((1, 1)))
+    rid = sm.create_rec(txn, fid, CODEC.encode((2, 2)))
+    # roll back only the second insert by hand (as if abort died midway)
+    sm.delete_rec(txn, fid, rid)
+    last = sm.log.records()[-1]
+    assert last.kind == wal_mod.DELETE
+    # rewrite the tail record as the CLR a real rollback would have
+    # logged for the second insert
+    records = sm.log.records()
+    records[-1] = last._replace(kind=wal_mod.CLR)
+    sm.pool.flush_all()
+    stats = recover(sm.disk, records)
+    assert txn.txn_id in stats.losers
+    # both inserts gone: one via its CLR, one undone at recovery
+    assert read_all(sm, fid) == []
+
+
+def test_replay_index_entries_keeps_winner_net_effect():
+    from repro.db.storage.recovery import replay_index_entries
+
+    sm = StorageManager()
+    fid = sm.create_file(CODEC.record_size)
+    sm.create_index("t.k")
+    with sm.begin() as txn:
+        rid1 = sm.create_rec(txn, fid, CODEC.encode((1, 10)))
+        sm.index_insert(txn, "t.k", 1, rid1)
+        rid2 = sm.create_rec(txn, fid, CODEC.encode((2, 20)))
+        sm.index_insert(txn, "t.k", 2, rid2)
+        sm.index_delete(txn, "t.k", 1, rid1)
+    loser = sm.begin()
+    rid3 = sm.create_rec(loser, fid, CODEC.encode((3, 30)))
+    sm.index_insert(loser, "t.k", 3, rid3)
+    sm.log.flush()
+    records = sm.log.records(durable_only=True)
+    stats = recover(sm.disk, records)
+    replay = replay_index_entries(records, stats.winners)
+    assert replay == {"t.k": [(2, tuple(rid2))]}
+
+
+def test_restart_rebuilds_index_from_log():
+    sm = StorageManager()
+    fid = sm.create_file(CODEC.record_size)
+    sm.create_index("t.k")
+    with sm.begin() as txn:
+        rid = sm.create_rec(txn, fid, CODEC.encode((7, 70)))
+        sm.index_insert(txn, "t.k", 7, rid)
+    # crash: volatile state gone; tree pages never reached disk
+    stats = sm.restart()
+    assert stats.winners
+    tree = sm.index("t.k")
+    tree.check_invariants()
+    assert list(tree.range_scan()) == [(7, tuple(rid))]

@@ -67,3 +67,47 @@ def test_images_are_stored():
     assert record.after == b"new"
     assert record.page_id == PageId(1, 2)
     assert record.slot == 3
+
+
+def test_flush_clamps_to_last_record():
+    log = wal.WriteAheadLog()
+    log.append(1, wal.BEGIN)
+    log.append(1, wal.COMMIT)
+    log.flush(10_000)  # beyond the end: clamp, don't explode
+    assert log.flushed_lsn == 1
+    assert len(log.records(durable_only=True)) == 2
+
+
+def test_flush_on_empty_log_is_a_noop():
+    log = wal.WriteAheadLog()
+    log.flush(5)
+    assert log.flushed_lsn == -1
+
+
+def test_flush_negative_lsn_raises():
+    log = wal.WriteAheadLog()
+    log.append(1, wal.BEGIN)
+    with pytest.raises(RecoveryError):
+        log.flush(-1)
+
+
+def test_reset_to_rebuilds_backchain_and_horizon():
+    log = wal.WriteAheadLog()
+    log.append(7, wal.BEGIN)
+    log.append(7, wal.INSERT, page_id=PageId(1, 0), slot=0, after=b"x")
+    log.append(7, wal.COMMIT)
+    log.flush()
+    kept = log.records()[:2]
+
+    fresh = wal.WriteAheadLog()
+    fresh.reset_to(kept)
+    assert fresh.flushed_lsn == 1  # everything reset in is durable
+    assert fresh.last_lsn(7) == 1
+    # new activity backchains onto the reset-in records
+    lsn = fresh.append(7, wal.COMMIT)
+    assert fresh.record(lsn).prev_lsn == 1
+
+
+def test_index_entry_codec_round_trips():
+    raw = wal.encode_index_entry(42, (3, 9))
+    assert wal.decode_index_entry(raw) == (42, (3, 9))

@@ -12,6 +12,8 @@ ALL_ERRORS = [
     errors.BufferPoolFullError,
     errors.LockConflictError,
     errors.DeadlockError,
+    errors.TransientDiskError,
+    errors.TornPageError,
     errors.TransactionError,
     errors.RecoveryError,
     errors.CatalogError,
@@ -48,3 +50,37 @@ def test_sql_sub_hierarchy():
 def test_one_catch_all():
     with pytest.raises(errors.ReproError):
         raise errors.DeadlockError("cycle")
+
+
+# ----------------------------------------------------------------------
+# transient/fatal partition (drives retry logic in the storage layer)
+# ----------------------------------------------------------------------
+
+TRANSIENT = [errors.DeadlockError, errors.TransientDiskError]
+
+
+@pytest.mark.parametrize("error_class", TRANSIENT)
+def test_transient_errors_carry_the_marker(error_class):
+    assert issubclass(error_class, errors.TransientError)
+
+
+@pytest.mark.parametrize(
+    "error_class", [cls for cls in ALL_ERRORS if cls not in TRANSIENT]
+)
+def test_everything_else_is_fatal(error_class):
+    assert not issubclass(error_class, errors.TransientError)
+
+
+def test_transient_marker_is_checked_by_isinstance():
+    # retry sites catch Exception and test the marker with isinstance
+    # (a bare mixin cannot appear in an except clause)
+    try:
+        raise errors.TransientDiskError("flaky read")
+    except Exception as exc:
+        assert isinstance(exc, errors.TransientError)
+        assert isinstance(exc, errors.ReproError)
+
+
+def test_transient_marker_is_not_an_exception_by_itself():
+    # the mixin must never be raised bare; it carries no Exception base
+    assert not issubclass(errors.TransientError, BaseException)

@@ -1,0 +1,40 @@
+"""The traced crash-recovery workload."""
+
+from repro.workloads.recovery import RecoveryWorkload
+from repro.workloads.suites import ALL_SUITE_NAMES, SUITE_NAMES, build_suite
+
+
+def test_registered_but_not_a_paper_suite():
+    assert "recovery" in ALL_SUITE_NAMES
+    assert "recovery" not in SUITE_NAMES  # figures keep the paper's set
+
+
+def test_build_suite_constructs_it():
+    suite = build_suite("recovery", scale=0.5, seed=7)
+    assert isinstance(suite, RecoveryWorkload)
+    assert suite.query_names() == ["recovery"]
+
+
+def test_run_recovers_and_scans():
+    suite = RecoveryWorkload(scale=0.5, seed=3)
+    results = suite.run()
+    assert set(results) == {"recovery"}
+    assert suite.recovery_stats is not None
+    assert suite.recovery_stats.winners  # something committed pre-crash
+    # rows are (key, value) pairs off the recovered heap
+    for key, value in results["recovery"]:
+        assert isinstance(key, int) and isinstance(value, int)
+
+
+def test_same_seed_same_recovery():
+    a = RecoveryWorkload(scale=0.5, seed=3).run()
+    b = RecoveryWorkload(scale=0.5, seed=3).run()
+    assert a == b
+
+
+def test_database_attribute_exposes_storage():
+    # the experiment runner reads suite.database.storage.pool.stats()
+    suite = RecoveryWorkload(scale=0.5, seed=3)
+    suite.run()
+    stats = suite.database.storage.pool.stats()
+    assert stats["capacity"] > 0
