@@ -82,6 +82,7 @@ class AddressMap:
             cursor += span
         self.total_lines = cursor
         self._flat_translation = None  # built lazily by translation_table()
+        self._head_extents = {}  # n_lines -> array, built by head_extents()
 
     def line_of(self, fid, offset_instr):
         """Cache line address of an instruction offset inside ``fid``."""
@@ -114,6 +115,34 @@ class AddressMap:
             cached = (table, block_base)
             self._flat_translation = cached
         return cached
+
+    def head_extents(self, n_lines):
+        """Per-function end line of an ``n_lines`` head-prefetch window.
+
+        Returns a contiguous int64 array ``end`` with, for every
+        ``fid``::
+
+            end[fid] == base_line[fid] + min(n_lines, size_lines[fid])
+
+        so a CGP/CGHC head prefetch for ``fid`` targets exactly the
+        span ``[base_line[fid], end[fid])`` — the ``min`` clamp is
+        folded in here, at table-build time, and the replay core's
+        head-prefetch resolution becomes two table lookups plus one
+        range scan.  Built lazily once per (layout, ``n_lines``) and
+        cached (``getattr``: layouts unpickled from older artifact
+        caches may lack the cache attribute).
+        """
+        cache = getattr(self, "_head_extents", None)
+        if cache is None:
+            cache = self._head_extents = {}
+        ends = cache.get(n_lines)
+        if ends is None:
+            ends = array("q", [
+                base + (n_lines if n_lines < span else span)
+                for base, span in zip(self.base_line, self.size_lines)
+            ])
+            cache[n_lines] = ends
+        return ends
 
     def entry_line(self, fid):
         """A function's entry is always its first line (block 0 pinned)."""

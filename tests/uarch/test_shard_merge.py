@@ -1,0 +1,212 @@
+"""Properties of the deterministic shard-stats merge.
+
+:func:`repro.uarch.shard.merge_pieces` must be a *total* accounting:
+associative, order-independent, exactly equal to single-process totals
+for every counter and prefetch histogram, and loudly broken (never
+silently wrong) when handed a piece set that does not tile the trace or
+whose counters do not chain.
+"""
+
+import copy
+import itertools
+
+import pytest
+
+from repro.core import CgpPrefetcher
+from repro.errors import SimulationError
+from repro.instrument.codeimage import CodeImage
+from repro.instrument.trace import SWITCH, Trace
+from repro.layout.layouts import AddressMap
+from repro.uarch.config import CacheConfig, CghcConfig, SimConfig
+from repro.uarch.fetch_engine import simulate
+from repro.uarch.shard import (
+    combine_pieces,
+    merge_pieces,
+    replay_sharded,
+    shard_boundaries,
+)
+from repro.uarch.stats import SimStats
+
+N_FUNCTIONS = 6
+FUNC_SIZE = 120
+
+CONFIG = SimConfig(
+    l1i=CacheConfig(512, 2),
+    l2=CacheConfig(4096, 4),
+    base_cpi=0.3,
+)
+
+
+def build_layout():
+    image = CodeImage()
+    for i in range(N_FUNCTIONS):
+        image.register_synthetic(f"f{i}", FUNC_SIZE)
+    # permuted blocks, inflation, float instruction scale: the layout
+    # that defeats every compile-time shortcut at once
+    return AddressMap(
+        image, reversed(range(N_FUNCTIONS)), 1.5, 0.3, 1.25, "scram"
+    )
+
+
+def make_prefetcher(layout):
+    return CgpPrefetcher(
+        3, CghcConfig(l1_bytes=4 * 40, l2_bytes=16 * 40), layout
+    )
+
+
+def build_trace(n=240, switches=False):
+    """Deterministic call/exec/return mix exercising misses, the RAS,
+    CGP head prefetches, and NL fan-outs."""
+    trace = Trace()
+    state = 12345
+    stack = []
+    for step in range(n):
+        state = (state * 1103515245 + 12345) & 0x7FFFFFFF
+        roll = state % 10
+        if switches and step and step % 40 == 0:
+            trace.add_switch(state % 4)
+        elif roll < 5 or not stack and roll < 8:
+            fid = stack[-1] if stack else state % N_FUNCTIONS
+            lo = state % (FUNC_SIZE - 1)
+            trace.add_exec(fid, lo, min(FUNC_SIZE - 1, lo + roll * 9))
+        elif roll < 8 and len(stack) < 8:
+            callee = state % N_FUNCTIONS
+            trace.add_call(callee, stack[-1] if stack else -1,
+                           state % FUNC_SIZE)
+            stack.append(callee)
+        elif stack:
+            fid = stack.pop()
+            trace.add_return(fid, stack[-1] if stack else -1, 0)
+    while stack:
+        fid = stack.pop()
+        trace.add_return(fid, stack[-1] if stack else -1, 0)
+    return trace
+
+
+@pytest.fixture(scope="module")
+def pieces():
+    """Four shard pieces of the deterministic trace, plus the
+    single-process stats they must reassemble into."""
+    layout = build_layout()
+    trace = build_trace()
+    single = simulate(trace, layout, CONFIG,
+                      prefetcher=make_prefetcher(layout), engine="fast")
+    merged, parts = replay_sharded(
+        trace, layout, CONFIG, prefetcher=make_prefetcher(layout),
+        n_shards=4, return_pieces=True)
+    assert len(parts) == 4
+    return single, merged, parts
+
+
+def test_merge_equals_single_process_exactly(pieces):
+    single, merged, _ = pieces
+    sd, md = single.to_dict(), merged.to_dict()
+    for field in SimStats._SCALAR_FIELDS:
+        assert md[field] == sd[field], field
+    assert md["prefetch"] == sd["prefetch"]
+    assert md == sd
+
+
+def test_merge_is_order_independent(pieces):
+    single, _, parts = pieces
+    want = single.to_dict()
+    for perm in itertools.permutations(parts):
+        assert merge_pieces(list(perm)).to_dict() == want
+
+
+def test_merge_is_associative(pieces):
+    """Any grouping of adjacent combines collapses to the same piece,
+    and merging the collapsed piece equals merging the originals."""
+    single, _, parts = pieces
+    want = single.to_dict()
+    p0, p1, p2, p3 = parts
+    left = combine_pieces(combine_pieces(combine_pieces(p0, p1), p2), p3)
+    right = combine_pieces(p0, combine_pieces(p1, combine_pieces(p2, p3)))
+    inner = combine_pieces(combine_pieces(p0, p1), combine_pieces(p2, p3))
+    for whole in (left, right, inner):
+        assert whole.start == 0 and whole.finalized
+        assert merge_pieces([whole]).to_dict() == want
+    # partial grouping mixed with un-combined pieces merges too
+    assert merge_pieces([combine_pieces(p1, p2), p3, p0]).to_dict() == want
+
+
+def test_combine_rejects_non_adjacent(pieces):
+    _, _, parts = pieces
+    with pytest.raises(SimulationError):
+        combine_pieces(parts[0], parts[2])
+
+
+def test_merge_rejects_gaps(pieces):
+    _, _, parts = pieces
+    with pytest.raises(SimulationError):
+        merge_pieces([parts[0], parts[1], parts[3]])
+
+
+def test_merge_rejects_unfinalized_tail(pieces):
+    _, _, parts = pieces
+    broken = copy.deepcopy(parts)
+    object.__setattr__(broken[-1], "finalized", False)
+    with pytest.raises(SimulationError):
+        merge_pieces(broken)
+
+
+def test_merge_cross_checks_chained_totals(pieces):
+    """A tampered delta cannot merge silently: the delta sum no longer
+    reproduces the final piece's chained total."""
+    _, _, parts = pieces
+    broken = copy.deepcopy(parts)
+    broken[1].stats_after["demand_misses"] += 1
+    with pytest.raises(SimulationError):
+        merge_pieces(broken)
+    broken = copy.deepcopy(parts)
+    for piece in broken[:1]:
+        for row in piece.stats_after["prefetch"].values():
+            row["issued"] += 1
+    with pytest.raises(SimulationError):
+        merge_pieces(broken)
+
+
+def test_merge_requires_pieces():
+    with pytest.raises(SimulationError):
+        merge_pieces([])
+
+
+def test_boundaries_snap_to_switches():
+    layout = build_layout()
+    trace = build_trace(switches=True)
+    switch_positions = {
+        i for i, kind in enumerate(trace.kinds) if kind == SWITCH
+    }
+    assert switch_positions  # the trace really is multiprogrammed
+    boundaries = shard_boundaries(trace, layout, 4)
+    assert boundaries[0] == 0 and boundaries[-1] == len(trace)
+    for cut in boundaries[1:-1]:
+        assert cut in switch_positions
+
+
+def test_boundaries_even_split_without_switches():
+    layout = build_layout()
+    trace = build_trace(switches=False)
+    n = len(trace)
+    assert shard_boundaries(trace, layout, 4) == [
+        0, n // 4, n * 2 // 4, n * 3 // 4, n]
+
+
+def test_single_shard_degenerates_to_plain_run():
+    layout = build_layout()
+    trace = build_trace(n=120)
+    single = simulate(trace, layout, CONFIG,
+                      prefetcher=make_prefetcher(layout), engine="fast")
+    sharded = replay_sharded(trace, layout, CONFIG,
+                             prefetcher=make_prefetcher(layout), n_shards=1)
+    assert sharded.to_dict() == single.to_dict()
+
+
+def test_sharded_with_switches_equals_single_process():
+    layout = build_layout()
+    trace = build_trace(switches=True)
+    single = simulate(trace, layout, CONFIG,
+                      prefetcher=make_prefetcher(layout), engine="fast")
+    sharded = replay_sharded(trace, layout, CONFIG,
+                             prefetcher=make_prefetcher(layout), n_shards=3)
+    assert sharded.to_dict() == single.to_dict()
