@@ -1,0 +1,332 @@
+#!/usr/bin/env python
+"""Benchmark the storage engine's scale-out paths.
+
+Builds the Wisconsin ``tenk1`` relation (16 columns, three indexes:
+clustered B+-tree on unique2, non-clustered B+-tree on unique1, hash on
+unique3) at 100x the paper's profile-relation size and times every way
+the engine can get rows in:
+
+* ``bulk-build``         — ``db.load_rows`` through the streaming bulk
+  loader: rows packed straight into fresh pages (one BULK_PAGE log
+  record per page), indexes fed by sorted bottom-up bulk builds,
+  statistics via the batched sketch path.
+* ``row-sql-autocommit`` — one ``INSERT`` statement per row, one
+  transaction per row, sync commit.  This is the application-facing
+  per-row insert path and the headline comparison.
+* ``row-api-autocommit`` — one ``table.insert`` per row, one sync-commit
+  transaction per row (no parser/planner in the loop).
+* ``row-api-single-txn`` — one ``table.insert`` per row inside a single
+  transaction: the generous floor for the per-row path.
+* ``group-commit``       — per-row transactions again, but commits are
+  deferred into WAL groups (``group_size=32``, ``group_window=256``).
+  Wall time barely moves in this in-memory simulator, so the recorded
+  win is ``log.forces``: durable log forces drop by ~group_size at the
+  same acknowledged-durability points.
+* ``raw-heap-bulk``      — ``StorageManager.bulk_load`` of bare 32-byte
+  records, no table layer: the loader's ceiling in rows/second.
+
+The result is written to ``BENCH_storage.json``; a one-line history
+record goes to ``BENCH_storage_trend.jsonl``::
+
+    PYTHONPATH=src python scripts/bench_storage.py --out BENCH_storage.json
+
+CI storage smoke: ``--check BENCH_storage.json --n 20000 --repeats 1``
+re-measures (at a smaller n, where the bulk/per-row ratio runs *higher*
+than at the committed n, so the gate is conservative) and fails (exit 1)
+if ``speedup_vs_row_sql`` fell more than ``--tolerance`` (default 25%)
+below the committed baseline — or below the best trend-history ratio
+measured at the same n, whichever is higher.
+"""
+
+from __future__ import annotations
+
+import argparse
+import datetime
+import json
+import subprocess
+import sys
+import time
+
+from repro.db import Database
+from repro.db.storage.storage_manager import StorageManager
+from repro.workloads import wisconsin
+
+#: 100x the paper's profile-workload relation (~1,000 tuples): the
+#: scale the bulk loader exists for (``wisc-scale`` at scale 1.0).
+BENCH_TUPLES = 100_000
+GROUP_SIZE = 32
+GROUP_WINDOW = 256
+TREND_DEFAULT = "BENCH_storage_trend.jsonl"
+
+
+def best_of(n, fn):
+    """Best wall time over ``n`` runs; returns (seconds, last result)."""
+    best = float("inf")
+    result = None
+    for _ in range(n):
+        t0 = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - t0)
+    return best, result
+
+
+def _make_db(n, group=False):
+    db = Database(
+        pool_pages=4096,
+        wal_group_size=GROUP_SIZE if group else 1,
+        wal_group_window=GROUP_WINDOW if group else 0,
+        hash_buckets=max(16, n // 128),
+    )
+    db.create_table("tenk1", wisconsin.WISCONSIN_COLUMNS)
+    db.create_index("tenk1", "unique2", clustered=True)
+    db.create_index("tenk1", "unique1", clustered=False)
+    db.create_index("tenk1", "unique3", kind="hash")
+    return db
+
+
+def _build_bulk(rows, n):
+    db = _make_db(n)
+    db.load_rows("tenk1", rows)
+    return db.storage.log.forces
+
+
+def _build_row_sql(rows, n):
+    db = _make_db(n)
+    for row in rows:
+        vals = ", ".join(
+            repr(v) if isinstance(v, str) else str(v) for v in row
+        )
+        db.execute(f"INSERT INTO tenk1 VALUES ({vals})")
+    return db.storage.log.forces
+
+
+def _build_row_api_autocommit(rows, n):
+    db = _make_db(n)
+    table = db.catalog.table("tenk1")
+    for row in rows:
+        with db.storage.begin() as txn:
+            table.insert(txn, row)
+    return db.storage.log.forces
+
+
+def _build_row_api_single_txn(rows, n):
+    db = _make_db(n)
+    table = db.catalog.table("tenk1")
+    with db.storage.begin() as txn:
+        for row in rows:
+            table.insert(txn, row)
+    return db.storage.log.forces
+
+
+def _build_group_commit(rows, n):
+    db = _make_db(n, group=True)
+    table = db.catalog.table("tenk1")
+    sm = db.storage
+    for row in rows:
+        txn = sm.begin()
+        table.insert(txn, row)
+        txn.commit(sync=False)
+    sm.log.flush()  # final force: everything acknowledged is durable
+    return sm.log.forces
+
+
+def _build_raw_heap(n_raw):
+    sm = StorageManager(pool_pages=2048)
+    file_id = sm.create_file(32)
+    raw = b"\x5a" * 32
+    with sm.begin() as txn:
+        rids = sm.bulk_load(txn, file_id, (raw for _ in range(n_raw)))
+    return len(rids)
+
+
+def measure(n, repeats):
+    rows = list(wisconsin.generate_rows(n, 1))
+    n_raw = min(10 * n, 1_000_000)
+    cells = []
+
+    def cell(name, seconds, rows_done, forces=None, extra=None):
+        entry = {
+            "cell": name,
+            "seconds": round(seconds, 4),
+            "rows": rows_done,
+            "rows_per_s": round(rows_done / seconds),
+        }
+        if forces is not None:
+            entry["log_forces"] = forces
+        if extra:
+            entry.update(extra)
+        cells.append(entry)
+        print(f"{name:20s} {seconds:8.3f}s  "
+              f"{rows_done / seconds:10.0f} rows/s", file=sys.stderr)
+        return entry
+
+    bulk_s, bulk_forces = best_of(repeats, lambda: _build_bulk(rows, n))
+    bulk = cell("bulk-build", bulk_s, n, forces=bulk_forces)
+
+    sql_s, sql_forces = best_of(repeats, lambda: _build_row_sql(rows, n))
+    cell("row-sql-autocommit", sql_s, n, forces=sql_forces,
+         extra={"speedup_of_bulk": round(sql_s / bulk_s, 2)})
+
+    api_s, api_forces = best_of(
+        repeats, lambda: _build_row_api_autocommit(rows, n))
+    cell("row-api-autocommit", api_s, n, forces=api_forces,
+         extra={"speedup_of_bulk": round(api_s / bulk_s, 2)})
+
+    one_s, one_forces = best_of(
+        repeats, lambda: _build_row_api_single_txn(rows, n))
+    cell("row-api-single-txn", one_s, n, forces=one_forces,
+         extra={"speedup_of_bulk": round(one_s / bulk_s, 2)})
+
+    grp_s, grp_forces = best_of(
+        repeats, lambda: _build_group_commit(rows, n))
+    cell("group-commit", grp_s, n, forces=grp_forces,
+         extra={"force_reduction_vs_autocommit":
+                round(api_forces / max(1, grp_forces), 1)})
+
+    raw_s, raw_rows = best_of(repeats, lambda: _build_raw_heap(n_raw))
+    cell("raw-heap-bulk", raw_s, raw_rows)
+
+    return {
+        "benchmark": "storage build throughput (tenk1 + 3 indexes)",
+        "workload": {
+            "n_tuples": n,
+            "columns": len(wisconsin.WISCONSIN_COLUMNS),
+            "indexes": ["unique2 btree clustered", "unique1 btree",
+                        "unique3 hash"],
+            "raw_heap_rows": n_raw,
+            "group_size": GROUP_SIZE,
+            "group_window": GROUP_WINDOW,
+        },
+        "protocol": {
+            "repeats": repeats,
+            "timing": "best-of-N per cell, fresh database per run",
+        },
+        "cells": cells,
+        "totals": {
+            "bulk_rows_per_s": round(n / bulk_s),
+            "speedup_vs_row_sql": round(sql_s / bulk_s, 2),
+            "speedup_vs_row_api_autocommit": round(api_s / bulk_s, 2),
+            "speedup_vs_row_api_single_txn": round(one_s / bulk_s, 2),
+            "group_commit_force_reduction":
+                round(api_forces / max(1, grp_forces), 1),
+            "raw_heap_rows_per_s": round(raw_rows / raw_s),
+        },
+    }
+
+
+def _git_rev():
+    try:
+        return subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True, text=True, timeout=10, check=True,
+        ).stdout.strip() or None
+    except Exception:
+        return None
+
+
+def trend_record(result):
+    """One JSONL history line: enough to gate on and to plot."""
+    return {
+        "ts": datetime.datetime.now(datetime.timezone.utc).isoformat(
+            timespec="seconds"),
+        "rev": _git_rev(),
+        "n": result["workload"]["n_tuples"],
+        "speedup_vs_row_sql": result["totals"]["speedup_vs_row_sql"],
+        "speedup_vs_row_api_autocommit":
+            result["totals"]["speedup_vs_row_api_autocommit"],
+        "bulk_rows_per_s": result["totals"]["bulk_rows_per_s"],
+        "raw_heap_rows_per_s": result["totals"]["raw_heap_rows_per_s"],
+        "group_commit_force_reduction":
+            result["totals"]["group_commit_force_reduction"],
+        "repeats": result["protocol"]["repeats"],
+    }
+
+
+def read_trend(path):
+    """Parse the trend history, skipping malformed lines (a crashed
+    append must not brick the perf gate)."""
+    entries = []
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    entries.append(json.loads(line))
+                except ValueError:
+                    continue
+    except OSError:
+        return []
+    return entries
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", default=None,
+                        help="write the measurement to this JSON file")
+    parser.add_argument("--check", default=None, metavar="BASELINE",
+                        help="compare against a committed BENCH_storage.json"
+                             " (and same-n trend history); exit 1 if the "
+                             "bulk-vs-SQL speedup regressed")
+    parser.add_argument("--tolerance", type=float, default=0.25,
+                        help="allowed fractional speedup regression for "
+                             "--check (default 0.25)")
+    parser.add_argument("--repeats", type=int, default=2,
+                        help="timed repetitions per cell (default 2)")
+    parser.add_argument("--n", type=int, default=BENCH_TUPLES,
+                        help="tenk1 tuple count (default "
+                             f"{BENCH_TUPLES}; CI smoke uses 20000)")
+    parser.add_argument("--trend", default=TREND_DEFAULT,
+                        help="append a history record to this JSONL file "
+                             "and gate --check against its best same-n "
+                             "ratio (empty string disables; default "
+                             f"{TREND_DEFAULT})")
+    args = parser.parse_args(argv)
+
+    result = measure(args.n, args.repeats)
+    print(json.dumps(result["totals"], indent=2))
+
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            json.dump(result, fh, indent=2, sort_keys=False)
+            fh.write("\n")
+        print(f"wrote {args.out}", file=sys.stderr)
+
+    history = read_trend(args.trend) if args.trend else []
+    if args.trend:
+        with open(args.trend, "a", encoding="utf-8") as fh:
+            fh.write(json.dumps(trend_record(result)) + "\n")
+        print(f"appended trend record to {args.trend} "
+              f"({len(history) + 1} total)", file=sys.stderr)
+
+    if args.check:
+        with open(args.check, "r", encoding="utf-8") as fh:
+            baseline = json.load(fh)
+        base = baseline["totals"]["speedup_vs_row_sql"]
+        recorded = [
+            e["speedup_vs_row_sql"] for e in history
+            if e.get("n") == args.n
+            and isinstance(e.get("speedup_vs_row_sql"), (int, float))
+        ]
+        best = max([base] + recorded)
+        measured = result["totals"]["speedup_vs_row_sql"]
+        floor = best * (1.0 - args.tolerance)
+        source = "trend best" if best > base else "committed"
+        print(
+            f"perf check: measured {measured:.2f}x vs {source} "
+            f"{best:.2f}x (floor {floor:.2f}x)",
+            file=sys.stderr,
+        )
+        if measured < floor:
+            print(
+                "PERF REGRESSION: the bulk loader's speedup over the "
+                "per-row insert path fell below the recorded floor",
+                file=sys.stderr,
+            )
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

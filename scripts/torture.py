@@ -30,7 +30,8 @@ from repro.db.storage.faults import SCHEDULES
 from repro.db.storage.torture import InvariantViolation, run_torture
 
 
-def run_batch(seeds, schedules, journal_path, failing_plan_path, echo=print):
+def run_batch(seeds, schedules, journal_path, failing_plan_path, echo=print,
+              index_kind="btree"):
     """Run the sweep; returns (passed, failed) counts."""
     passed = failed = 0
     started = time.perf_counter()
@@ -42,7 +43,8 @@ def run_batch(seeds, schedules, journal_path, failing_plan_path, echo=print):
         for schedule in schedules:
             for seed in seeds:
                 try:
-                    report = run_torture(seed, schedule)
+                    report = run_torture(seed, schedule,
+                                         index_kind=index_kind)
                 except InvariantViolation as violation:
                     failed += 1
                     record = {
@@ -103,6 +105,9 @@ def main(argv=None):
                         help="JSONL journal path")
     parser.add_argument("--failing-plan", default="failing_plan.json",
                         help="where to dump the first failing plan")
+    parser.add_argument("--index-kind", default="btree",
+                        choices=("btree", "hash"),
+                        help="secondary index structure under test")
     parser.add_argument("--replay", metavar="PLAN_JSON",
                         help="replay one scenario from a plan file")
     args = parser.parse_args(argv)
@@ -116,7 +121,8 @@ def main(argv=None):
         parser.error(f"unknown schedules: {unknown}")
     seeds = range(args.seed_base, args.seed_base + args.seeds)
     _passed, failed = run_batch(
-        seeds, schedules, args.journal, args.failing_plan)
+        seeds, schedules, args.journal, args.failing_plan,
+        index_kind=args.index_kind)
     return 1 if failed else 0
 
 

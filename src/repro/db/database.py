@@ -40,10 +40,17 @@ class QueryResult:
 class Database:
     """A complete in-process database instance."""
 
-    def __init__(self, pool_pages=512, btree_max_keys=None):
-        kwargs = {"pool_pages": pool_pages}
+    def __init__(self, pool_pages=512, btree_max_keys=None,
+                 wal_group_size=1, wal_group_window=0, hash_buckets=None):
+        kwargs = {
+            "pool_pages": pool_pages,
+            "wal_group_size": wal_group_size,
+            "wal_group_window": wal_group_window,
+        }
         if btree_max_keys is not None:
             kwargs["btree_max_keys"] = btree_max_keys
+        if hash_buckets is not None:
+            kwargs["hash_buckets"] = hash_buckets
         self.storage = StorageManager(**kwargs)
         self.catalog = Catalog()
 
@@ -62,9 +69,11 @@ class Database:
         with self.storage.begin() as txn:
             return table.bulk_load(txn, rows)
 
-    def create_index(self, table_name, column, clustered=False):
-        """Create a B+-tree index and backfill it."""
-        return self.catalog.table(table_name).create_index(column, clustered=clustered)
+    def create_index(self, table_name, column, clustered=False, kind="btree"):
+        """Create an index (``"btree"`` or ``"hash"``) and backfill it."""
+        return self.catalog.table(table_name).create_index(
+            column, clustered=clustered, kind=kind
+        )
 
     def analyze_table(self, table_name):
         """Collect optimizer statistics for one table."""

@@ -1,20 +1,26 @@
-"""Tables: heap file + schema + secondary B+-tree indexes."""
+"""Tables: heap file + schema + secondary indexes (B+-tree or hash)."""
 
 from __future__ import annotations
 
+from repro.db.optimizer.stats import TableStatsBuilder
 from repro.errors import CatalogError, ExecutionError
 
 
 class Index:
-    """A B+-tree index over one integer column of a table."""
+    """An index over one integer column of a table.
 
-    __slots__ = ("name", "column", "tree", "clustered")
+    ``kind`` is ``"btree"`` (ordered; serves range scans) or ``"hash"``
+    (equality and full scans only).
+    """
 
-    def __init__(self, name, column, tree, clustered=False):
+    __slots__ = ("name", "column", "tree", "clustered", "kind")
+
+    def __init__(self, name, column, tree, clustered=False, kind="btree"):
         self.name = name
         self.column = column
         self.tree = tree
         self.clustered = clustered
+        self.kind = kind
 
 
 class Table:
@@ -31,6 +37,8 @@ class Table:
         self.file_id = storage.create_file(self.codec.record_size)
         self.indexes = {}  # column name -> Index
         self.row_count = 0
+        self.stats = None  # exact stats from the last ANALYZE, if any
+        self._stats_builder = TableStatsBuilder(schema)
 
     # ------------------------------------------------------------------
     # data manipulation
@@ -43,15 +51,44 @@ class Table:
             key = values[self.schema.index_of(index.column)]
             self._storage.index_insert(txn, index.name, key, rid)
         self.row_count += 1
+        self._stats_builder.add_row(values)
         return rid
 
     def bulk_load(self, txn, rows):
-        """Insert many tuples; returns the number inserted."""
-        count = 0
-        for values in rows:
-            self.insert(txn, values)
-            count += 1
-        return count
+        """Insert many tuples through the streaming fast path.
+
+        Rows are packed directly into fresh pages (one BULK_PAGE log
+        record per page instead of one INSERT per row) and each index is
+        loaded through the batched IDX_BULK path.  Returns the number of
+        rows inserted.
+        """
+        positions = [
+            (column, self.schema.index_of(column)) for column in self.indexes
+        ]
+        keys = {column: [] for column, _ in positions}
+        builder = self._stats_builder
+        encode = self.codec.encode
+        chunk = []  # bounded buffer feeding the batched stats path
+
+        def raw_stream():
+            for values in rows:
+                chunk.append(values)
+                if len(chunk) >= 4096:
+                    builder.add_rows(chunk)
+                    chunk.clear()
+                for column, pos in positions:
+                    keys[column].append(values[pos])
+                yield encode(values)
+
+        rids = self._storage.bulk_load(txn, self.file_id, raw_stream())
+        builder.add_rows(chunk)
+        for column, _pos in positions:
+            index = self.indexes[column]
+            self._storage.index_bulk_load(
+                txn, index.name, zip(keys[column], rids)
+            )
+        self.row_count += len(rids)
+        return len(rids)
 
     def delete(self, txn, rid):
         """Delete the tuple at ``rid``, maintaining indexes."""
@@ -90,10 +127,12 @@ class Table:
     # ------------------------------------------------------------------
     # index management
     # ------------------------------------------------------------------
-    def create_index(self, column, clustered=False, txn=None):
-        """Build a B+-tree index on an integer ``column``.
+    def create_index(self, column, clustered=False, txn=None, kind="btree"):
+        """Build an index on an integer ``column``.
 
-        Existing rows are loaded into the new index immediately.
+        Existing rows are backfilled through the sorted bulk path: one
+        IDX_BULK log record per batch and a bottom-up build, instead of
+        one logged insert (and one descent) per row.
         """
         column = column.lower()
         if column in self.indexes:
@@ -101,8 +140,11 @@ class Table:
         spec = self.schema.type_of(column)
         if spec != "int":
             raise ExecutionError(f"only int columns can be indexed, not {spec}")
-        tree = self._storage.create_index(f"{self.name}.{column}")
-        index = Index(f"{self.name}.{column}", column, tree, clustered=clustered)
+        tree = self._storage.create_index(f"{self.name}.{column}", kind=kind)
+        index = Index(
+            f"{self.name}.{column}", column, tree, clustered=clustered,
+            kind=kind,
+        )
         pos = self.schema.index_of(column)
         if txn is None:
             txn = self._storage.begin()
@@ -110,10 +152,10 @@ class Table:
         else:
             own_txn = False
         try:
-            # logged backfill: the entries must be in the WAL so a crash
-            # after the build can rebuild the index from the log
-            for rid, values in self.scan(txn):
-                self._storage.index_insert(txn, index.name, values[pos], rid)
+            # logged backfill: the IDX_BULK batches must be in the WAL so
+            # a crash after the build can rebuild the index from the log
+            entries = [(values[pos], rid) for rid, values in self.scan(txn)]
+            self._storage.index_bulk_load(txn, index.name, entries)
         finally:
             if own_txn:
                 txn.commit()
@@ -122,6 +164,13 @@ class Table:
 
     def index_on(self, column):
         return self.indexes.get(column.lower())
+
+    def statistics(self):
+        """Best available :class:`TableStats`: the exact numbers from the
+        last ANALYZE when present, else the live incremental snapshot."""
+        if self.stats is not None:
+            return self.stats
+        return self._stats_builder.snapshot(self.page_count)
 
     @property
     def page_count(self):

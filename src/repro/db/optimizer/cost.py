@@ -1,16 +1,30 @@
-"""Selectivity and cardinality estimation.
+"""Selectivity, cardinality, and access-path cost estimation.
 
 Classic System-R style magic numbers, refined with column min/max and
-n_distinct when :func:`repro.db.optimizer.stats.analyze` has run.
+n_distinct when statistics are available (from ANALYZE or the table's
+incremental :class:`~repro.db.optimizer.stats.TableStatsBuilder`).  The
+scan-vs-index decision is a page-I/O cost comparison when row and page
+counts are known, falling back to fixed selectivity thresholds when the
+planner is flying blind.
 """
 
 from __future__ import annotations
 
 DEFAULT_EQ_SELECTIVITY = 0.01
 DEFAULT_RANGE_SELECTIVITY = 0.10
-# Index is worth using when the fraction of rows fetched is below these.
+# Threshold fallback (no statistics): index is worth using when the
+# fraction of rows fetched is below these.
 CLUSTERED_INDEX_THRESHOLD = 0.30
 NONCLUSTERED_INDEX_THRESHOLD = 0.15
+
+# Page-cost model knobs.  The simulated volume has no seek penalty (the
+# buffer pool absorbs repeated touches), so page costs are uniform; the
+# per-tuple CPU cost of an index fetch is higher than a scan's because
+# each match pays a descent/probe plus a rid fetch.
+SEQ_PAGE_COST = 1.0
+INDEX_PAGE_COST = 1.0
+CPU_TUPLE_COST = 0.01
+CPU_INDEX_TUPLE_COST = 0.02
 
 
 def eq_selectivity(column_stats):
@@ -48,8 +62,42 @@ def join_cardinality(left_rows, right_rows, left_stats, right_stats):
     return max(left_rows, right_rows)
 
 
-def index_scan_is_better(selectivity, clustered):
-    """Decide index scan vs sequential scan for a selection."""
+def seq_scan_cost(row_count, page_count):
+    """Full-scan cost: every page once, every tuple through the CPU."""
+    return max(1, page_count) * SEQ_PAGE_COST + row_count * CPU_TUPLE_COST
+
+
+def index_scan_cost(selectivity, row_count, page_count, clustered, height=2):
+    """Index-scan cost for a selection fetching ``selectivity`` of rows.
+
+    A clustered index touches the matching fraction of heap pages; a
+    non-clustered one pays one heap fetch per matching row, capped at
+    the page count (the buffer pool makes re-touches of a resident page
+    cheap, so the cap models a warm pool rather than worst-case I/O).
+    """
+    matching = selectivity * row_count
+    if clustered:
+        heap_pages = selectivity * max(1, page_count)
+    else:
+        heap_pages = min(matching, max(1, page_count))
+    return (
+        height * INDEX_PAGE_COST
+        + heap_pages * INDEX_PAGE_COST
+        + matching * CPU_INDEX_TUPLE_COST
+    )
+
+
+def index_scan_is_better(selectivity, clustered, row_count=None,
+                         page_count=None, height=2):
+    """Decide index scan vs sequential scan for a selection.
+
+    With real row/page counts this is a cost comparison; without them it
+    falls back to the classic fixed thresholds.
+    """
+    if row_count and page_count:
+        return index_scan_cost(
+            selectivity, row_count, page_count, clustered, height=height
+        ) <= seq_scan_cost(row_count, page_count)
     threshold = (
         CLUSTERED_INDEX_THRESHOLD if clustered else NONCLUSTERED_INDEX_THRESHOLD
     )

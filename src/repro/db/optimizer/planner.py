@@ -277,7 +277,7 @@ class Planner:
     def _base_access(self, alias, table, conjuncts, scope, hints):
         """Choose SeqScan or IndexScan for one table; returns
         (operator, est_rows, description)."""
-        stats = getattr(table, "stats", None)
+        stats = _table_stats(table)
         row_count = max(1, table.row_count)
         bounds = _index_bounds(conjuncts, table)
         force = hints.get(("access", alias))
@@ -285,15 +285,23 @@ class Planner:
         selectivity = 1.0
         for column, lo, hi, used in bounds:
             index = table.index_on(column)
+            is_equality = lo is not None and hi is not None and lo == hi
+            if getattr(index, "kind", "btree") == "hash" and not is_equality:
+                continue  # a hash index cannot serve a range predicate
             column_stats = stats.columns.get(column) if stats else None
-            if lo is not None and hi is not None and lo == hi:
+            if is_equality:
                 fraction = cost.eq_selectivity(column_stats)
             else:
                 fraction = cost.range_selectivity(column_stats, lo, hi)
             use = (
                 force == "index"
                 if force
-                else cost.index_scan_is_better(fraction, index.clustered)
+                else cost.index_scan_is_better(
+                    fraction, index.clustered,
+                    row_count=stats.row_count if stats else None,
+                    page_count=stats.page_count if stats else None,
+                    height=getattr(index.tree, "height", 2),
+                )
             )
             if use and (chosen is None or fraction < chosen[3]):
                 chosen = (column, lo, hi, fraction, used)
@@ -429,7 +437,7 @@ class Planner:
         outer_key = ex.Column(outer_pos, f"{outer_alias}.{outer_col}")
         index = table.index_on(inner_col)
         method = hints.get(("join", alias))
-        stats = getattr(table, "stats", None)
+        stats = _table_stats(table)
         inner_stats = stats.columns.get(inner_col) if stats else None
         use_index_nl = index is not None and method != "grace" and (
             method == "index_nl" or outer_est <= max(1, table.row_count)
@@ -857,6 +865,19 @@ def _bounds_of(conjunct):
     if op_name == ">=":
         return left.name, value, None
     return None
+
+
+def _table_stats(table):
+    """Best available statistics for ``table``.
+
+    Prefers the table's ``statistics()`` method (the analyzed stats if
+    ANALYZE ran, else the live incremental builder snapshot); falls back
+    to a bare ``stats`` attribute for simple stand-in objects in tests.
+    """
+    method = getattr(table, "statistics", None)
+    if callable(method):
+        return method()
+    return getattr(table, "stats", None)
 
 
 def _extra_selectivity(conjuncts):

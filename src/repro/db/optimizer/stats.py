@@ -1,13 +1,29 @@
 """Table and column statistics for the cost model.
 
-``analyze`` scans a table once and records per-column min/max/ndistinct
-(ints and floats only).  Statistics are optional: the planner falls back
-to magic-number selectivities when they are missing, like any engine
-running without ANALYZE.
+Two sources feed the planner:
+
+* :func:`analyze` — exact statistics from one full scan (the classic
+  ANALYZE), stored on ``table.stats``.
+* :class:`TableStatsBuilder` — *incremental* statistics the table
+  maintains on every insert and bulk load, so the planner has real
+  numbers even before ANALYZE runs (at million-row scale a full scan per
+  ANALYZE is exactly the cost this exists to avoid).  Row count and
+  min/max are exact for an insert-only history; distinct counts come
+  from a KMV (k-minimum-values) sketch that is exact below ``k`` values
+  and an unbiased estimate beyond.  Deletes are not un-counted: the
+  builder's numbers are monotone upper bounds until the next ANALYZE,
+  the standard staleness contract.
+
+All hashing uses crc32 over the value's encoding — never Python's
+``hash`` — so statistics (and therefore plans and traces) are identical
+across processes and interpreter runs.
 """
 
 from __future__ import annotations
 
+import heapq
+import struct
+import zlib
 from typing import NamedTuple
 
 
@@ -23,8 +39,155 @@ class TableStats(NamedTuple):
     columns: dict  # column name -> ColumnStats
 
 
+#: KMV sketch size: exact distinct counts up to this many values
+DEFAULT_SKETCH_K = 256
+
+_HASH_SPACE = float(2**32)
+
+
+def _hash_value(value):
+    if isinstance(value, bool):
+        value = int(value)
+    if isinstance(value, int):
+        raw = value.to_bytes(16, "little", signed=True)
+    elif isinstance(value, float):
+        raw = struct.pack("<d", value)
+    else:
+        raw = str(value).encode("utf-8")
+    return zlib.crc32(raw)
+
+
+class DistinctSketch:
+    """KMV distinct-count sketch: keep the ``k`` smallest value hashes.
+
+    With fewer than ``k`` distinct hashes the count is exact; beyond
+    that, the k-th smallest hash ``h_k`` estimates the density of the
+    hash space, giving ``(k - 1) * 2^32 / h_k`` distinct values.
+    """
+
+    __slots__ = ("k", "_heap", "_members")
+
+    def __init__(self, k=DEFAULT_SKETCH_K):
+        self.k = k
+        self._heap = []  # max-heap (negated) of the k smallest hashes
+        self._members = set()
+
+    def add(self, value):
+        self._offer(_hash_value(value))
+
+    def add_many(self, values):
+        """Batch insert (the bulk-load path): hash each value once and
+        skip, before any heap work, every hash that cannot displace the
+        current k-th minimum.  Callers pass *deduplicated* values (a
+        ``set``), so low-cardinality columns cost one hash per distinct
+        value per batch instead of one Python call per row."""
+        heap = self._heap
+        if len(heap) == self.k:
+            bound = -heap[0]
+            for h in map(_hash_value, values):
+                if h < bound:
+                    self._offer(h)
+                    bound = -heap[0]
+        else:
+            for h in map(_hash_value, values):
+                self._offer(h)
+
+    def _offer(self, h):
+        if h in self._members:
+            return
+        if len(self._heap) < self.k:
+            self._members.add(h)
+            heapq.heappush(self._heap, -h)
+        elif h < -self._heap[0]:
+            self._members.add(h)
+            evicted = -heapq.heappushpop(self._heap, -h)
+            self._members.discard(evicted)
+
+    def estimate(self):
+        n = len(self._heap)
+        if n < self.k:
+            return n
+        kth = -self._heap[0]
+        if kth <= 0:
+            return n
+        return max(n, int((self.k - 1) * _HASH_SPACE / kth))
+
+
+class ColumnSketch:
+    """Incremental min/max plus a distinct sketch for one column."""
+
+    __slots__ = ("min_value", "max_value", "_distinct")
+
+    def __init__(self, k=DEFAULT_SKETCH_K):
+        self.min_value = None
+        self.max_value = None
+        self._distinct = DistinctSketch(k)
+
+    def add(self, value):
+        if self.min_value is None or value < self.min_value:
+            self.min_value = value
+        if self.max_value is None or value > self.max_value:
+            self.max_value = value
+        self._distinct.add(value)
+
+    def add_many(self, values):
+        """Batch insert: C-level min/max/set over the column slice, then
+        one sketch offer per *distinct* value."""
+        if not values:
+            return
+        distinct = set(values)
+        lo = min(distinct)
+        hi = max(distinct)
+        if self.min_value is None or lo < self.min_value:
+            self.min_value = lo
+        if self.max_value is None or hi > self.max_value:
+            self.max_value = hi
+        self._distinct.add_many(distinct)
+
+    def stats(self):
+        return ColumnStats(
+            self.min_value, self.max_value, self._distinct.estimate()
+        )
+
+
+class TableStatsBuilder:
+    """Streaming per-table statistics, fed by the table's write paths."""
+
+    __slots__ = ("row_count", "_positions", "_sketches")
+
+    def __init__(self, schema, k=DEFAULT_SKETCH_K):
+        self.row_count = 0
+        self._positions = [
+            (name, schema.index_of(name))
+            for name, spec in schema.columns
+            if spec in ("int", "float")
+        ]
+        self._sketches = {name: ColumnSketch(k) for name, _ in self._positions}
+
+    def add_row(self, values):
+        self.row_count += 1
+        for name, pos in self._positions:
+            self._sketches[name].add(values[pos])
+
+    def add_rows(self, rows):
+        """Batch path for the bulk loader: one column-wise pass per
+        sketch instead of one Python call per value.  ``rows`` must be a
+        sequence (the loader feeds bounded chunks, not the raw stream)."""
+        self.row_count += len(rows)
+        for name, pos in self._positions:
+            self._sketches[name].add_many([row[pos] for row in rows])
+
+    def snapshot(self, page_count):
+        """Current statistics as a :class:`TableStats`."""
+        return TableStats(
+            self.row_count,
+            page_count,
+            {name: sketch.stats() for name, sketch in self._sketches.items()},
+        )
+
+
 def analyze(table, txn):
-    """Compute :class:`TableStats` for ``table`` with one scan."""
+    """Compute exact :class:`TableStats` for ``table`` with one scan."""
     seen = {
         name: set()
         for name, spec in table.schema.columns

@@ -303,6 +303,68 @@ class BTree:
         return sibling, sep
 
     # ------------------------------------------------------------------
+    # bulk build
+    # ------------------------------------------------------------------
+    def bulk_build(self, entries):
+        """Bottom-up build from ``(key, rid)`` entries into an empty tree.
+
+        Sorts the composites, packs leaves left-to-right to ``max_keys``
+        (splitting the final two leaves evenly so every non-root node
+        meets ``min_keys``), then builds each internal level the same
+        way, with each separator the max composite of its left subtree.
+        Logically identical to inserting every entry, but with no
+        per-entry descent or splits.  Used by the streaming bulk loader
+        and by restart's logical index replay.  Returns the entry count.
+        """
+        if self.entry_count:
+            raise StorageError("bulk_build requires an empty tree")
+        composites = sorted((key, rid[0], rid[1]) for key, rid in entries)
+        if not composites:
+            return 0
+        if len(set(composites)) != len(composites):
+            raise StorageError("duplicate composite keys in bulk build")
+        max_k = self._max_keys
+        min_k = max_k // 2
+        chunks = [composites[i:i + max_k]
+                  for i in range(0, len(composites), max_k)]
+        if len(chunks) > 1 and len(chunks[-1]) < min_k:
+            merged = chunks[-2] + chunks[-1]
+            half = len(merged) // 2
+            chunks[-2:] = [merged[:half], merged[half:]]
+        # the empty root leaf from reset() becomes the leftmost leaf
+        leaf = self._fetch(self._root_no)
+        level = []  # (page_no, max composite of subtree)
+        for i, chunk in enumerate(chunks):
+            if i:
+                nxt = self._new_node(is_leaf=True)
+                leaf.next_leaf = nxt.page_id.page_no
+                self._release(leaf, dirty=True)
+                leaf = nxt
+            leaf.keys = list(chunk)
+            level.append((leaf.page_id.page_no, chunk[-1]))
+        self._release(leaf, dirty=True)
+        self.height = 1
+        while len(level) > 1:
+            fan = max_k + 1  # children per internal node
+            groups = [level[i:i + fan] for i in range(0, len(level), fan)]
+            if len(groups) > 1 and len(groups[-1]) < min_k + 1:
+                merged = groups[-2] + groups[-1]
+                half = len(merged) // 2
+                groups[-2:] = [merged[:half], merged[half:]]
+            parents = []
+            for group in groups:
+                node = self._new_node(is_leaf=False)
+                node.children = [page_no for page_no, _max in group]
+                node.keys = [sep for _page_no, sep in group[:-1]]
+                parents.append((node.page_id.page_no, group[-1][1]))
+                self._release(node, dirty=True)
+            level = parents
+            self.height += 1
+        self._root_no = level[0][0]
+        self.entry_count = len(composites)
+        return self.entry_count
+
+    # ------------------------------------------------------------------
     # deletion
     # ------------------------------------------------------------------
     def delete(self, key, rid=None):

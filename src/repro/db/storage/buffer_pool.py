@@ -182,6 +182,12 @@ class BufferPool:
         return self._capacity
 
     @property
+    def accesses(self):
+        """Total lookups (hits + misses) — the unit the flat-insert-cost
+        regression gate counts, since wall time is too noisy to ratchet."""
+        return self.hits + self.misses
+
+    @property
     def resident_pages(self):
         return len(self._frames)
 

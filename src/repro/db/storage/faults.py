@@ -41,6 +41,9 @@ WAL_FLUSH = "wal.flush"                      # while forcing the log
 POOL_WRITEBACK = "pool.writeback"            # dirty-page write-back (eviction)
 TXN_COMMIT_UNFORCED = "txn.commit.unforced"  # COMMIT appended, log not forced
 TXN_COMMIT_DONE = "txn.commit.done"          # commit complete and durable
+WAL_GROUP_FORCE = "wal.group.force"          # group-commit force about to run
+BULK_PAGE_WRITE = "bulk.page"                # bulk loader packing one page
+BULK_INDEX_BATCH = "bulk.index"              # bulk index-entry batch logged
 
 # ---------------------------------------------------------------------------
 # actions
@@ -61,6 +64,9 @@ FAULT_POINTS = {
     POOL_WRITEBACK: (CRASH,),
     TXN_COMMIT_UNFORCED: (CRASH,),
     TXN_COMMIT_DONE: (CRASH,),
+    WAL_GROUP_FORCE: (CRASH,),
+    BULK_PAGE_WRITE: (CRASH,),
+    BULK_INDEX_BATCH: (CRASH,),
 }
 
 
@@ -159,7 +165,14 @@ SCHEDULES = (
     "read-transient",   # transient disk read failures, then a quiesce crash
     "torn-tail",        # crash with a torn log tail past the forced horizon
     "mixed",            # transient reads plus one randomized crash trigger
+    "bulk-crash",       # die while the bulk loader is packing pages/batches
+    "group-deferred",   # group commit: die at a group force or between them
+    "group-torn",       # group commit plus a torn log tail at the crash
 )
+
+#: Schedules under which the torture harness runs the WAL in
+#: group-commit mode (deferred commit durability).
+GROUP_COMMIT_SCHEDULES = frozenset({"group-deferred", "group-torn"})
 
 
 def derive_plan(seed, schedule):
@@ -207,6 +220,17 @@ def derive_plan(seed, schedule):
             (point, rng.randint(3, 40), CRASH, 0),
         ]
         torn_tail = rng.choice((0, 0, 2, 4))
+    elif schedule == "bulk-crash":
+        point = rng.choice((BULK_PAGE_WRITE, BULK_INDEX_BATCH))
+        triggers = [(point, rng.randint(1, 4), CRASH, 0)]
+    elif schedule == "group-deferred":
+        point = rng.choice((WAL_GROUP_FORCE, TXN_COMMIT_UNFORCED))
+        triggers = [(point, rng.randint(1, 6), CRASH, 0)]
+    elif schedule == "group-torn":
+        # die mid-run with deferred commits sitting in the unforced tail;
+        # truncation must drop them cleanly
+        triggers = [(WAL_APPEND_AFTER, rng.randint(5, 70), CRASH, 0)]
+        torn_tail = rng.randint(1, 6)
     return FaultPlan(triggers, torn_tail=torn_tail, seed=seed, schedule=schedule)
 
 

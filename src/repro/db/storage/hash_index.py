@@ -1,0 +1,323 @@
+"""Page-based static hash index — a peer of :mod:`repro.db.storage.btree`.
+
+Keys are signed 64-bit integers; values are record ids ``(page_no, slot)``.
+A fixed directory of ``n_buckets`` bucket pages is hashed with Knuth's
+multiplicative scheme (never Python's ``hash`` — plans and traces must be
+identical across processes); each bucket grows an overflow chain when it
+fills.  Duplicate keys are supported the same way the B+-tree does it: the
+*composite* ``(key, page_no, slot)`` is unique.
+
+The recovery contract matches the B+-tree exactly: bucket pages are never
+WAL-logged.  Index maintenance is logged logically (IDX_INSERT /
+IDX_DELETE / IDX_BULK), and at restart the storage manager deallocates
+the stale node file, resets the index, and replays the durable log's
+winner entries (``recovery.replay_index_entries``).
+
+Supported scans: equality (``search``, or ``range_scan(k, k)``) and full
+scans (``range_scan(None, None)``, used by the torture harness's
+index-heap agreement invariant); both yield entries in sorted composite
+order so results are interchangeable with the B+-tree's.  True range
+predicates raise — the planner only picks a hash index for equality.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.db.storage.disk import register_page_kind
+from repro.db.storage.page import PAGE_SIZE, PageId
+from repro.errors import StorageError
+
+_NODE_HEADER = struct.Struct("<iii")  # count, next_overflow, max_entries
+_ENTRY = struct.Struct("<qii")  # key, rid page_no, rid slot
+_NO_PAGE = -1
+
+#: bucket-directory width; tests shrink it to force overflow chains
+DEFAULT_BUCKETS = 16
+
+DEFAULT_MAX_ENTRIES = (PAGE_SIZE - _NODE_HEADER.size) // _ENTRY.size
+
+#: Knuth multiplicative constant (2^32 / phi), reproducible everywhere
+_KNUTH = 2654435761
+
+
+def _bucket_of(key, n_buckets):
+    return ((key & 0xFFFFFFFFFFFFFFFF) * _KNUTH) % n_buckets
+
+
+class HashBucketNode:
+    """One bucket (or overflow) page of composite entries."""
+
+    KIND = "H"
+
+    __slots__ = (
+        "page_id",
+        "entries",
+        "next_overflow",
+        "max_entries",
+        "pin_count",
+        "dirty",
+        "page_lsn",
+    )
+
+    def __init__(self, page_id, max_entries):
+        self.page_id = page_id
+        self.entries = []  # composite (key, page_no, slot), unordered
+        self.next_overflow = _NO_PAGE
+        self.max_entries = max_entries
+        self.pin_count = 0
+        self.dirty = False
+        self.page_lsn = 0
+
+    @property
+    def is_full(self):
+        return len(self.entries) >= self.max_entries
+
+    def to_bytes(self):
+        parts = [_NODE_HEADER.pack(
+            len(self.entries), self.next_overflow, self.max_entries
+        )]
+        for key, page_no, slot in self.entries:
+            parts.append(_ENTRY.pack(key, page_no, slot))
+        return b"".join(parts)
+
+    @classmethod
+    def from_bytes(cls, page_id, image):
+        count, next_overflow, max_entries = _NODE_HEADER.unpack_from(image, 0)
+        node = cls(page_id, max_entries)
+        node.next_overflow = next_overflow
+        offset = _NODE_HEADER.size
+        for _ in range(count):
+            node.entries.append(_ENTRY.unpack_from(image, offset))
+            offset += _ENTRY.size
+        return node
+
+
+register_page_kind(HashBucketNode.KIND, HashBucketNode.from_bytes)
+
+
+class HashIndex:
+    """Static hash index over a buffer pool.
+
+    Same ownership model as :class:`~repro.db.storage.btree.BTree`: the
+    index owns a file id in the storage manager's page namespace and
+    draws node page numbers from the shared allocator, so bucket-page
+    traffic exercises the same buffer-pool call paths as everything else.
+    """
+
+    def __init__(self, pool, file_id, allocate_page_no,
+                 n_buckets=DEFAULT_BUCKETS, max_entries=DEFAULT_MAX_ENTRIES):
+        if n_buckets < 1:
+            raise StorageError("hash index needs at least one bucket")
+        if max_entries < 1:
+            raise StorageError("hash index needs max_entries >= 1")
+        self._pool = pool
+        self._file_id = file_id
+        self._allocate = allocate_page_no
+        self._n_buckets = n_buckets
+        self._max_entries = max_entries
+        self.reset()
+
+    def reset(self):
+        """(Re)initialize to an empty directory of fresh bucket pages.
+
+        Like the B+-tree's ``reset``: crash recovery deallocates the
+        stale node file and repopulates from the durable log's winner
+        index entries."""
+        self._bucket_nos = []
+        for _ in range(self._n_buckets):
+            node = self._new_node()
+            self._bucket_nos.append(node.page_id.page_no)
+            self._pool.unpin_page(node.page_id, dirty=True)
+        self.entry_count = 0
+
+    # ------------------------------------------------------------------
+    # node helpers (buffer-pool mediated)
+    # ------------------------------------------------------------------
+    def _new_node(self):
+        page_no = self._allocate()
+        node = HashBucketNode(PageId(self._file_id, page_no),
+                              self._max_entries)
+        self._pool.add_page(node)
+        return node
+
+    def _fetch(self, page_no):
+        return self._pool.fetch_page(PageId(self._file_id, page_no))
+
+    def _release(self, node, dirty=False):
+        self._pool.unpin_page(node.page_id, dirty=dirty)
+
+    @property
+    def file_id(self):
+        return self._file_id
+
+    @property
+    def n_buckets(self):
+        return self._n_buckets
+
+    def attach_pool(self, pool):
+        """Point the index at a replacement buffer pool (process restart
+        discards the old pool; bucket pages refault from disk)."""
+        self._pool = pool
+
+    # ------------------------------------------------------------------
+    # maintenance
+    # ------------------------------------------------------------------
+    def insert(self, key, rid):
+        """Insert ``key -> rid``."""
+        composite = (key, rid[0], rid[1])
+        page_no = self._bucket_nos[_bucket_of(key, self._n_buckets)]
+        while True:
+            node = self._fetch(page_no)
+            if not node.is_full:
+                node.entries.append(composite)
+                self._release(node, dirty=True)
+                break
+            if node.next_overflow == _NO_PAGE:
+                overflow = self._new_node()
+                node.next_overflow = overflow.page_id.page_no
+                overflow.entries.append(composite)
+                self._release(overflow, dirty=True)
+                self._release(node, dirty=True)
+                break
+            page_no = node.next_overflow
+            self._release(node)
+        self.entry_count += 1
+
+    def delete(self, key, rid=None):
+        """Delete one entry with ``key`` (matching ``rid`` if given).
+
+        Returns True if an entry was removed.  Emptied overflow pages
+        stay in the chain (a static hash index does not shrink); they
+        are reclaimed wholesale by the logical rebuild at restart.
+        """
+        page_no = self._bucket_nos[_bucket_of(key, self._n_buckets)]
+        while page_no != _NO_PAGE:
+            node = self._fetch(page_no)
+            for pos, (entry_key, rid_page, rid_slot) in enumerate(node.entries):
+                if entry_key != key:
+                    continue
+                if rid is not None and (rid_page, rid_slot) != tuple(rid):
+                    continue
+                del node.entries[pos]
+                self.entry_count -= 1
+                self._release(node, dirty=True)
+                return True
+            page_no = node.next_overflow
+            self._release(node)
+        return False
+
+    def bulk_build(self, entries):
+        """Load ``(key, rid)`` entries into an empty index.
+
+        The peer of ``BTree.bulk_build``: groups entries per bucket and
+        packs each chain in one pass instead of re-walking it per entry.
+        Returns the entry count.
+        """
+        if self.entry_count:
+            raise StorageError("bulk_build requires an empty index")
+        per_bucket = [[] for _ in range(self._n_buckets)]
+        for key, rid in sorted(
+            (key, (rid[0], rid[1])) for key, rid in entries
+        ):
+            per_bucket[_bucket_of(key, self._n_buckets)].append(
+                (key, rid[0], rid[1])
+            )
+        total = 0
+        for bucket, composites in enumerate(per_bucket):
+            if not composites:
+                continue
+            node = self._fetch(self._bucket_nos[bucket])
+            for start in range(0, len(composites), self._max_entries):
+                chunk = composites[start:start + self._max_entries]
+                node.entries.extend(chunk)
+                if start + self._max_entries < len(composites):
+                    overflow = self._new_node()
+                    node.next_overflow = overflow.page_id.page_no
+                    self._release(node, dirty=True)
+                    node = overflow
+            self._release(node, dirty=True)
+            total += len(composites)
+        self.entry_count = total
+        return total
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def search(self, key):
+        """Return the list of rids stored under ``key``, in sorted
+        composite order (interchangeable with ``BTree.search``)."""
+        rids = []
+        page_no = self._bucket_nos[_bucket_of(key, self._n_buckets)]
+        while page_no != _NO_PAGE:
+            node = self._fetch(page_no)
+            for entry_key, rid_page, rid_slot in node.entries:
+                if entry_key == key:
+                    rids.append((rid_page, rid_slot))
+            page_no = node.next_overflow
+            self._release(node)
+        rids.sort()
+        return rids
+
+    def range_scan(self, lo=None, hi=None, include_hi=True):
+        """Equality (``lo == hi``) or full (``lo is hi is None``) scans.
+
+        Yields ``(key, rid)`` sorted by composite, matching the B+-tree's
+        scan order for the same contents.  Anything else is a true range
+        predicate, which a hash index cannot serve: raises StorageError.
+        """
+        if lo is None and hi is None:
+            entries = []
+            for bucket in range(self._n_buckets):
+                page_no = self._bucket_nos[bucket]
+                while page_no != _NO_PAGE:
+                    node = self._fetch(page_no)
+                    entries.extend(node.entries)
+                    page_no = node.next_overflow
+                    self._release(node)
+            entries.sort()
+            for key, rid_page, rid_slot in entries:
+                yield key, (rid_page, rid_slot)
+            return
+        if lo is None or lo != hi or not include_hi:
+            raise StorageError(
+                "hash index supports only equality and full scans"
+            )
+        for rid in self.search(lo):
+            yield lo, rid
+
+    # ------------------------------------------------------------------
+    # validation (used by tests)
+    # ------------------------------------------------------------------
+    def check_invariants(self):
+        """Verify bucket placement, chain capacity, and uniqueness; raise
+        on violation.  Returns the number of entries seen."""
+        seen = set()
+        count = 0
+        for bucket in range(self._n_buckets):
+            page_no = self._bucket_nos[bucket]
+            while page_no != _NO_PAGE:
+                node = self._fetch(page_no)
+                try:
+                    if len(node.entries) > node.max_entries:
+                        raise StorageError("bucket page over capacity")
+                    for composite in node.entries:
+                        key = composite[0]
+                        if _bucket_of(key, self._n_buckets) != bucket:
+                            raise StorageError(
+                                f"key {key} in wrong bucket {bucket}"
+                            )
+                        if composite in seen:
+                            raise StorageError(
+                                f"duplicate composite {composite}"
+                            )
+                        seen.add(composite)
+                        count += 1
+                    page_no = node.next_overflow
+                finally:
+                    self._release(node)
+        if count != self.entry_count:
+            raise StorageError(
+                f"entry_count {self.entry_count} != actual {count}"
+            )
+        return count

@@ -47,8 +47,15 @@ class RecoveryStats(NamedTuple):
     torn_pages: int = 0  # data pages rebuilt after failing their checksum
 
 
-_PAGE_OPS = frozenset({wal.INSERT, wal.UPDATE, wal.DELETE, wal.CLR})
-_IDX_OPS = frozenset({wal.IDX_INSERT, wal.IDX_DELETE})
+_PAGE_OPS = frozenset({
+    wal.INSERT, wal.UPDATE, wal.DELETE, wal.CLR, wal.BULK_PAGE, wal.CLR_BULK,
+})
+_IDX_OPS = frozenset({wal.IDX_INSERT, wal.IDX_DELETE, wal.IDX_BULK})
+_CLR_OPS = frozenset({wal.CLR, wal.CLR_BULK})
+# BULK_PAGE/CLR_BULK carry a whole page of fixed-width records in one
+# image; ``slot`` holds the record count, so the per-record size divides
+# out of the image length.
+_BULK_PAGE_OPS = frozenset({wal.BULK_PAGE, wal.CLR_BULK})
 
 
 def durable_prefix(records):
@@ -94,7 +101,7 @@ def recover(disk, records):
                     # are in the log, so rebuilding from blank is exact
                     torn_pages += 1
             if page is None:
-                size = len(record.after) or len(record.before)
+                size = _record_size_of(record)
                 if size == 0:
                     raise RecoveryError(f"cannot size page {page_id} from log")
                 page = Page(page_id, size)
@@ -120,7 +127,7 @@ def recover(disk, records):
     for record in reversed(records):
         if record.kind not in _PAGE_OPS or record.txn_id not in losers:
             continue
-        if record.kind == wal.CLR:
+        if record.kind in _CLR_OPS:
             continue  # compensation is never undone
         if record.lsn in compensated:
             continue  # already rolled back online; redo replayed its CLR
@@ -157,6 +164,9 @@ def replay_index_entries(records, winners):
         entries = live.setdefault(record.page_id, {})
         if record.kind == wal.IDX_INSERT:
             entries[wal.decode_index_entry(record.after)] = None
+        elif record.kind == wal.IDX_BULK:
+            for key, rid in wal.decode_index_entries(record.after):
+                entries[(key, rid)] = None
         else:
             entries.pop(wal.decode_index_entry(record.before), None)
     return {name: list(entries) for name, entries in live.items()}
@@ -164,6 +174,7 @@ def replay_index_entries(records, winners):
 
 _UNDOABLE = frozenset({
     wal.UPDATE, wal.INSERT, wal.DELETE, wal.IDX_INSERT, wal.IDX_DELETE,
+    wal.BULK_PAGE, wal.IDX_BULK,
 })
 
 
@@ -189,7 +200,7 @@ def _compensated(records, losers):
         unpaid_clrs = 0
         while lsn >= 0:
             record = records[lsn]
-            if record.kind == wal.CLR:
+            if record.kind in _CLR_OPS:
                 unpaid_clrs += 1
             elif record.kind in _UNDOABLE and unpaid_clrs:
                 unpaid_clrs -= 1
@@ -209,6 +220,19 @@ def _analyze(records):
     return winners, writers - winners
 
 
+def _record_size_of(record):
+    """Per-record byte size implied by a page-op log record."""
+    if record.kind in _BULK_PAGE_OPS:
+        image = record.after or record.before
+        count = record.slot
+        if count <= 0 or len(image) % count:
+            raise RecoveryError(
+                f"malformed bulk record at lsn {record.lsn}"
+            )
+        return len(image) // count
+    return len(record.after) or len(record.before)
+
+
 def _apply_redo(page, record):
     if record.kind == wal.INSERT:
         _force_slot(page, record.slot, record.after)
@@ -216,6 +240,14 @@ def _apply_redo(page, record):
         _force_slot(page, record.slot, record.after)
     elif record.kind == wal.DELETE:
         _clear_slot(page, record.slot)
+    elif record.kind == wal.BULK_PAGE:
+        size = _record_size_of(record)
+        for index in range(record.slot):
+            _force_slot(page, index,
+                        record.after[index * size:(index + 1) * size])
+    elif record.kind == wal.CLR_BULK:
+        for index in range(record.slot):
+            _clear_slot(page, index)
     elif record.kind == wal.CLR:
         if record.after:
             _force_slot(page, record.slot, record.after)
@@ -232,6 +264,9 @@ def _apply_undo(page, record):
         _force_slot(page, record.slot, record.before)
     elif record.kind == wal.DELETE:
         _force_slot(page, record.slot, record.before)
+    elif record.kind == wal.BULK_PAGE:
+        for index in range(record.slot):
+            _clear_slot(page, index)
     else:
         raise RecoveryError(f"cannot undo {record.kind}")
 

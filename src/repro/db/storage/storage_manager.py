@@ -17,8 +17,11 @@ The storage manager owns:
 
 from __future__ import annotations
 
+import heapq
+
 from repro.db.storage import recovery, wal
 from repro.db.storage.btree import BTree, DEFAULT_MAX_KEYS
+from repro.db.storage.hash_index import DEFAULT_BUCKETS, HashIndex
 from repro.db.storage.buffer_pool import (
     DEFAULT_DISK_RETRY_LIMIT, DEFAULT_POOL_PAGES, BufferPool,
 )
@@ -31,29 +34,71 @@ from repro.errors import StorageError, TransientError
 
 
 class _FileInfo:
-    """Catalog entry for one heap file."""
+    """Catalog entry for one heap file, with its free-space map.
 
-    __slots__ = ("file_id", "record_size", "page_nos", "free_hint")
+    The free-space map is a min-heap of *candidate* page numbers — pages
+    believed to have a free slot — validated lazily: ``_find_space`` pops
+    a candidate only once it observes the page full, so a stale candidate
+    costs one probe instead of a scan.  Candidates are added when a page
+    is created non-full, when a delete (or an insert undo) frees a slot,
+    and for every surviving page at restart (the map is not WAL-logged;
+    it self-heals from over-approximation, like a real FSM after crash).
+    Page numbers are allocated monotonically, so lowest-candidate-first
+    preserves the old linear probe's first-fit placement exactly.
+    """
+
+    __slots__ = ("file_id", "record_size", "page_nos", "_free_heap",
+                 "_free_set")
 
     def __init__(self, file_id, record_size):
         self.file_id = file_id
         self.record_size = record_size
         self.page_nos = []  # page numbers in allocation order
-        self.free_hint = 0  # index into page_nos where space was last found
+        self._free_heap = []  # candidate page numbers (min-heap)
+        self._free_set = set()  # heap membership guard (no duplicates)
+
+    def note_free(self, page_no):
+        """Mark ``page_no`` as a candidate with free space."""
+        if page_no not in self._free_set:
+            self._free_set.add(page_no)
+            heapq.heappush(self._free_heap, page_no)
+
+    def peek_free(self):
+        """Lowest candidate page number, or None."""
+        return self._free_heap[0] if self._free_heap else None
+
+    def drop_free(self, page_no):
+        """Invalidate the top candidate (observed full)."""
+        if self._free_heap and self._free_heap[0] == page_no:
+            heapq.heappop(self._free_heap)
+        self._free_set.discard(page_no)
+
+    def reset_free(self, page_nos):
+        """Rebuild the map with every page in ``page_nos`` a candidate."""
+        self._free_set = set(page_nos)
+        self._free_heap = sorted(self._free_set)
+
+    @property
+    def free_candidates(self):
+        return len(self._free_set)
 
 
 class StorageManager:
     """Facade over the complete storage layer."""
 
     def __init__(self, pool_pages=DEFAULT_POOL_PAGES, btree_max_keys=DEFAULT_MAX_KEYS,
-                 disk_retry_limit=DEFAULT_DISK_RETRY_LIMIT):
+                 disk_retry_limit=DEFAULT_DISK_RETRY_LIMIT,
+                 wal_group_size=1, wal_group_window=0,
+                 hash_buckets=DEFAULT_BUCKETS):
         self.disk = DiskManager()
         self.pool = BufferPool(
             self.disk, capacity=pool_pages,
             disk_retry_limit=disk_retry_limit,
         )
         self.locks = LockManager()
-        self.log = WriteAheadLog()
+        self.log = WriteAheadLog(
+            group_size=wal_group_size, group_window=wal_group_window,
+        )
         # the write-ahead rule: a dirty page may reach disk only after
         # the log records that produced it are durable
         self.pool.wal_hook = self._force_log_for
@@ -64,6 +109,7 @@ class StorageManager:
         self._next_file_id = 1
         self._next_page_no = 0
         self._btree_max_keys = btree_max_keys
+        self._hash_buckets = hash_buckets
         #: fault injector, or None; see :meth:`install_faults`
         self.faults = None
         #: transactions re-run by :meth:`run_transaction` after a
@@ -143,17 +189,32 @@ class StorageManager:
         self._files[file_id] = _FileInfo(file_id, record_size)
         return file_id
 
-    def create_index(self, name):
-        """Create an empty B+-tree index registered under ``name``."""
+    def create_index(self, name, kind="btree"):
+        """Create an empty index registered under ``name``.
+
+        ``kind`` selects the structure: ``"btree"`` (ordered, supports
+        range scans) or ``"hash"`` (equality/full scans only).  Both obey
+        the same logical-replay recovery contract — node pages are never
+        WAL-logged; the index is rebuilt from winner entries at restart.
+        """
         if name in self._indexes:
             raise StorageError(f"index {name!r} already exists")
         file_id = self._next_file_id
         self._next_file_id += 1
-        tree = BTree(
-            self.pool, file_id, self._allocate_page_no, max_keys=self._btree_max_keys
-        )
-        self._indexes[name] = tree
-        return tree
+        if kind == "btree":
+            index = BTree(
+                self.pool, file_id, self._allocate_page_no,
+                max_keys=self._btree_max_keys,
+            )
+        elif kind == "hash":
+            index = HashIndex(
+                self.pool, file_id, self._allocate_page_no,
+                n_buckets=self._hash_buckets,
+            )
+        else:
+            raise StorageError(f"unknown index kind {kind!r}")
+        self._indexes[name] = index
+        return index
 
     def index(self, name):
         try:
@@ -227,23 +288,115 @@ class StorageManager:
         return (page_id.page_no, slot)
 
     def _find_space(self, info):
-        """Return a pinned page with room, extending the file if needed."""
-        for idx in range(info.free_hint, len(info.page_nos)):
-            page_id = PageId(info.file_id, info.page_nos[idx])
+        """Return a pinned page with room, extending the file if needed.
+
+        Consults the file's free-space map: pop candidates (lowest page
+        number first) until one actually has room, amortized O(1) probes
+        per insert regardless of file size — stale candidates are paid
+        for once, by the insert that observes them full.
+        """
+        while True:
+            page_no = info.peek_free()
+            if page_no is None:
+                break
+            page_id = PageId(info.file_id, page_no)
             page = self.pool.find_page_in_buffer_pool(page_id)
             if page is None:
                 page = self.pool.getpage_from_disk(page_id)
             page.pin_count += 1
             if not page.is_full:
-                info.free_hint = idx
                 return page
+            info.drop_free(page_no)
             self.pool.unpin_page(page_id, dirty=False)
         page_no = self._allocate_page_no()
         info.page_nos.append(page_no)
-        info.free_hint = len(info.page_nos) - 1
+        info.note_free(page_no)
         page = Page(PageId(info.file_id, page_no), info.record_size)
         self.pool.add_page(page)
         return page
+
+    # ------------------------------------------------------------------
+    # streaming bulk load
+    # ------------------------------------------------------------------
+    def bulk_load(self, txn, file_id, raws):
+        """Streaming fast path: pack ``raws`` directly into fresh pages.
+
+        One X page lock and ONE logical ``BULK_PAGE`` log record per
+        packed page (``slot`` carries the record count, ``after`` the
+        concatenated images) instead of one INSERT record per row.
+        Atomic like any other logged operation: abort compensates each
+        page with a single ``CLR_BULK``; recovery redoes/undoes whole
+        pages.  Returns the rids in input order.
+        """
+        info = self._file(file_id)
+        capacity = Page(PageId(info.file_id, 0), info.record_size).capacity
+        rids = []
+        batch = []
+        for raw in raws:
+            raw = bytes(raw)
+            if len(raw) != info.record_size:
+                raise StorageError("record size does not match file")
+            batch.append(raw)
+            if len(batch) == capacity:
+                self._bulk_page(txn, info, batch, rids)
+                batch = []
+        if batch:
+            self._bulk_page(txn, info, batch, rids)
+        return rids
+
+    def _bulk_page(self, txn, info, batch, rids):
+        """Pack one page of records and log it as a single BULK_PAGE."""
+        if self.faults is not None:
+            self.faults.fire("bulk.page")
+        page_no = self._allocate_page_no()
+        page_id = PageId(info.file_id, page_no)
+        self.lock_page(txn, page_id, exclusive=True)
+        page = Page(page_id, info.record_size)
+        for raw in batch:
+            page.insert(raw)
+        lsn = self.log.append(
+            txn.txn_id, wal.BULK_PAGE, page_id=page_id, slot=len(batch),
+            after=b"".join(batch),
+        )
+        page.page_lsn = lsn
+        self.pool.add_page(page)
+        info.page_nos.append(page_no)
+        if not page.is_full:
+            info.note_free(page_no)
+        self.pool.unpin_page(page_id, dirty=True)
+        rids.extend((page_no, slot) for slot in range(len(batch)))
+
+    def index_bulk_load(self, txn, index_name, entries, batch_size=512):
+        """Bulk-insert ``entries`` (``(key, rid)`` pairs) into an index.
+
+        Entries are sorted and logged as batched ``IDX_BULK`` records
+        (one per ``batch_size`` entries, vs one IDX_INSERT per entry on
+        the per-row path), then installed bottom-up via the index's
+        ``bulk_build`` when it is empty, falling back to per-entry
+        inserts otherwise.  Undo is logical: abort deletes the batch's
+        entries; recovery replays winner batches like single inserts.
+        Returns the number of entries loaded.
+        """
+        index = self.index(index_name)
+        entries = sorted(
+            ((key, (rid[0], rid[1])) for key, rid in entries),
+            key=lambda entry: (entry[0], entry[1]),
+        )
+        for start in range(0, len(entries), batch_size):
+            chunk = entries[start:start + batch_size]
+            if self.faults is not None:
+                self.faults.fire("bulk.index")
+            self.log.append(
+                txn.txn_id, wal.IDX_BULK, page_id=index_name,
+                after=wal.encode_index_entries(chunk),
+            )
+        if entries:
+            if index.entry_count == 0:
+                index.bulk_build(entries)
+            else:
+                for key, rid in entries:
+                    index.insert(key, rid)
+        return len(entries)
 
     # ------------------------------------------------------------------
     # record access
@@ -283,9 +436,7 @@ class StorageManager:
                 txn.txn_id, wal.DELETE, page_id=page_id, slot=rid[1], before=old
             )
             page.page_lsn = lsn
-            idx = info.page_nos.index(rid[0]) if rid[0] in info.page_nos else None
-            if idx is not None and idx < info.free_hint:
-                info.free_hint = idx
+            info.note_free(rid[0])  # O(log n): the slot is reusable now
             return old
         finally:
             self.pool.unpin_page(page_id, dirty=True)
@@ -352,16 +503,29 @@ class StorageManager:
             key, rid = _decode_index_entry(record.before)
             self.index(record.page_id).insert(key, rid)
             return
+        if record.kind == wal.IDX_BULK:
+            index = self.index(record.page_id)
+            for key, rid in wal.decode_index_entries(record.after):
+                index.delete(key, rid)
+            return
+        info = self._files.get(record.page_id.file_id)
         page = self.pool.fetch_page(record.page_id)
         try:
             if record.kind == wal.INSERT:
                 page.delete(record.slot)
+                if info is not None:
+                    info.note_free(record.page_id.page_no)
             elif record.kind == wal.DELETE:
                 # restore into the same slot
                 page._slots[record.slot] = record.before
                 page._live += 1
             elif record.kind == wal.UPDATE:
                 page.update(record.slot, record.before)
+            elif record.kind == wal.BULK_PAGE:
+                for slot in range(record.slot):
+                    page.delete(slot)
+                if info is not None:
+                    info.note_free(record.page_id.page_no)
             else:
                 raise StorageError(f"cannot undo {record.kind}")
         finally:
@@ -416,14 +580,15 @@ class StorageManager:
                 no for no in info.page_nos
                 if self.disk.contains(PageId(info.file_id, no))
             ]
-            info.free_hint = 0
+            # the FSM is not logged: every surviving page is a candidate
+            # again and full ones are shed lazily on first probe
+            info.reset_free(info.page_nos)
         replay = recovery.replay_index_entries(clean, stats.winners)
-        for name, tree in self._indexes.items():
-            self.disk.deallocate_file(tree.file_id)
-            tree.attach_pool(self.pool)
-            tree.reset()
-            for key, rid in replay.get(name, ()):
-                tree.insert(key, rid)
+        for name, index in self._indexes.items():
+            self.disk.deallocate_file(index.file_id)
+            index.attach_pool(self.pool)
+            index.reset()
+            index.bulk_build(replay.get(name, ()))
         return stats
 
 

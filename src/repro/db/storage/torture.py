@@ -34,7 +34,12 @@ import random
 import struct
 from typing import NamedTuple
 
-from repro.db.storage.faults import CrashPoint, FaultInjector, derive_plan
+from repro.db.storage.faults import (
+    GROUP_COMMIT_SCHEDULES,
+    CrashPoint,
+    FaultInjector,
+    derive_plan,
+)
 from repro.db.storage.recovery import recover
 from repro.db.storage.storage_manager import StorageManager
 from repro.errors import DeadlockError, LockConflictError, StorageError
@@ -44,6 +49,13 @@ _REC = struct.Struct("<qq")  # key, value (record padded to RECORD_SIZE)
 #: over enough heap pages to see evictions, write-backs, and lock cycles
 RECORD_SIZE = 256
 INDEX_NAME = "torture.key"
+
+#: every scenario starts with a bulk-loaded batch in this key range, so
+#: the BULK_PAGE/IDX_BULK paths are under the same invariants as per-row
+#: DML (and the ``bulk-crash`` schedule has something to crash into)
+PRELOAD_BASE = 10_000_000
+PRELOAD_ROWS = 64
+PRELOAD_INDEX_BATCH = 16
 
 
 def _pack_row(key, value):
@@ -127,18 +139,23 @@ class _Slot:
 
     __slots__ = (
         "base", "committed", "working", "script", "pos", "txn",
-        "txns_left", "restarts", "pending", "cooldown",
+        "txns_left", "restarts", "pending", "cooldown", "epochs",
     )
 
     def __init__(self, base, txns_left):
         self.base = base
-        self.committed = {}  # key -> (rid, value), as of last acked commit
+        self.committed = {}  # key -> (rid, value), as of last commit
         self.working = None  # key -> (rid, value), current txn's view
         self.script = None  # list of (op, key, value)
         self.pos = 0
         self.txn = None
         self.txns_left = txns_left
         self.restarts = 0
+        #: commit history: (txn_id, rows, durable_acked) per commit, in
+        #: order.  Under group commit a returned-but-unforced commit is
+        #: durable only if a later force covered it — the oracle walks
+        #: this list against the recovered winner set.
+        self.epochs = []
         #: rounds to sit out after a deadlock restart (deterministic
         #: backoff: lets the conflicting transactions drain first)
         self.cooldown = 0
@@ -156,17 +173,19 @@ class _Driver:
     fault kills the run (or the workload completes for quiesce plans)."""
 
     def __init__(self, sm, file_id, rng, slots, txns_per_slot, keys_per_slot,
-                 ops_per_txn):
+                 ops_per_txn, sync_commits=True):
         self.sm = sm
         self.file_id = file_id
         self.rng = rng
         self.keys_per_slot = keys_per_slot
         self.ops_per_txn = ops_per_txn
+        self.sync_commits = sync_commits
         self.slots = [
             _Slot(base=1000 * s, txns_left=txns_per_slot) for s in range(slots)
         ]
         self.next_value = 1
-        self.acked = []  # txn ids whose commit returned
+        self.acked = []  # txn ids whose commit returned *durable*
+        self.unforced = []  # group-commit returns before the force
         self.aborted = []  # txn ids aborted (deadlock victims)
         self.deadlock_restarts = 0
         self.steps = 0
@@ -271,8 +290,13 @@ class _Driver:
     def _commit(self, slot):
         txn = slot.txn
         slot.pending = (txn.txn_id, dict(slot.working))
-        txn.commit()  # a planned fault may kill the process in here
-        self.acked.append(txn.txn_id)
+        # a planned fault may kill the process in here
+        durable = txn.commit(sync=self.sync_commits)
+        if durable:
+            self.acked.append(txn.txn_id)
+        else:
+            self.unforced.append(txn.txn_id)
+        slot.epochs.append((txn.txn_id, slot.pending[1], durable))
         slot.committed = slot.pending[1]
         slot.pending = None
         slot.txn = None
@@ -314,27 +338,39 @@ class CrashedState(NamedTuple):
 
 def build_crashed_state(seed, schedule, *, slots=4, txns_per_slot=6,
                         keys_per_slot=48, ops_per_txn=(3, 8), pool_pages=8,
-                        btree_max_keys=8):
+                        btree_max_keys=8, index_kind="btree"):
     """Drive the torture workload into its planned crash and stop there.
 
     Returns a :class:`CrashedState` whose ``sm`` holds the post-crash
     volume and whose ``survived`` is the log as the crash left it —
     exactly the inputs ``StorageManager.restart`` needs.  Used by
     :func:`run_torture` and by the traced ``recovery`` workload (which
-    times the restart itself)."""
+    times the restart itself).
+
+    ``index_kind`` swaps the secondary index structure ("btree" or
+    "hash"); both must satisfy the identical invariant suite.  Schedules
+    in ``GROUP_COMMIT_SCHEDULES`` run every commit asynchronously under a
+    group-commit log, so a returned commit may legitimately be lost."""
     plan = derive_plan(seed, schedule)
     rng = random.Random(f"torture:{seed}:{schedule}")
-    sm = StorageManager(pool_pages=pool_pages, btree_max_keys=btree_max_keys)
+    grouped = schedule in GROUP_COMMIT_SCHEDULES
+    sm = StorageManager(
+        pool_pages=pool_pages, btree_max_keys=btree_max_keys,
+        hash_buckets=4,  # tiny directory: force overflow chains
+        wal_group_size=3 if grouped else 1,
+        wal_group_window=24 if grouped else 0,
+    )
     file_id = sm.create_file(RECORD_SIZE)
-    sm.create_index(INDEX_NAME)
+    sm.create_index(INDEX_NAME, kind=index_kind)
     driver = _Driver(sm, file_id, rng, slots, txns_per_slot, keys_per_slot,
-                     ops_per_txn)
+                     ops_per_txn, sync_commits=not grouped)
 
     injector = FaultInjector(plan)
     sm.install_faults(injector)
     crashed = False
     crash_reason = ""
     try:
+        _bulk_preload(sm, file_id, driver)
         driver.drive()
     except CrashPoint as death:
         crashed = True
@@ -347,15 +383,49 @@ def build_crashed_state(seed, schedule, *, slots=4, txns_per_slot=6,
     )
 
 
+def _bulk_preload(sm, file_id, driver):
+    """Seed the volume through the bulk paths, under oracle bookkeeping.
+
+    The preload rides in a pseudo-slot so the invariant checker treats
+    it like any other transaction: if the planned crash lands inside the
+    bulk load, atomicity says none of it survives; after the commit is
+    acknowledged, durability says all of it does."""
+    slot = _Slot(base=PRELOAD_BASE, txns_left=0)
+    driver.slots.append(slot)
+    keys = list(range(PRELOAD_BASE, PRELOAD_BASE + PRELOAD_ROWS))
+    values = {}
+    for key in keys:
+        values[key] = driver.next_value
+        driver.next_value += 1
+    txn = sm.begin()
+    rids = sm.bulk_load(
+        txn, file_id, (_pack_row(key, values[key]) for key in keys)
+    )
+    sm.index_bulk_load(
+        txn, INDEX_NAME, zip(keys, rids), batch_size=PRELOAD_INDEX_BATCH
+    )
+    rows = {key: (rid, values[key]) for key, rid in zip(keys, rids)}
+    slot.pending = (txn.txn_id, rows)
+    durable = txn.commit(sync=driver.sync_commits)
+    if durable:
+        driver.acked.append(txn.txn_id)
+    else:
+        driver.unforced.append(txn.txn_id)
+    slot.epochs.append((txn.txn_id, rows, durable))
+    slot.committed = rows
+    slot.pending = None
+
+
 def run_torture(seed, schedule, *, slots=4, txns_per_slot=6,
                 keys_per_slot=48, ops_per_txn=(3, 8), pool_pages=8,
-                btree_max_keys=8):
+                btree_max_keys=8, index_kind="btree"):
     """Run one torture scenario; returns a :class:`TortureReport` or
     raises :class:`InvariantViolation` with a replayable plan."""
     state = build_crashed_state(
         seed, schedule, slots=slots, txns_per_slot=txns_per_slot,
         keys_per_slot=keys_per_slot, ops_per_txn=ops_per_txn,
         pool_pages=pool_pages, btree_max_keys=btree_max_keys,
+        index_kind=index_kind,
     )
     sm, file_id, driver, plan = state.sm, state.file_id, state.driver, state.plan
     crashed, crash_reason = state.crashed, state.crash_reason
@@ -399,8 +469,8 @@ def _check_invariants(sm, file_id, driver, stats, plan):
     def fail(message):
         raise InvariantViolation(f"{message} [plan {plan.to_json()}]")
 
-    # durability: acked commits must be winners; atomicity: deadlock
-    # victims must not be
+    # durability: commits acknowledged as durable must be winners;
+    # atomicity: deadlock victims must not be
     for txn_id in driver.acked:
         if txn_id not in stats.winners:
             fail(f"acked txn {txn_id} lost by recovery")
@@ -408,11 +478,25 @@ def _check_invariants(sm, file_id, driver, stats, plan):
         if txn_id in stats.winners:
             fail(f"aborted txn {txn_id} won recovery")
 
-    # expected state: per slot, the last acked commit's rows — unless the
-    # in-flight commit's record proved durable (resurrection)
+    # group commit may lose a returned-but-unforced commit, but only
+    # from the tail: a slot's commits hit the log in order, and the
+    # durable prefix is monotone, so the winners within one slot must be
+    # a prefix of its commit sequence
     expected = {}
     for slot in driver.slots:
-        state = slot.committed
+        won = [txn_id in stats.winners for txn_id, _rows, _d in slot.epochs]
+        if any(won[i] and not won[i - 1] for i in range(1, len(won))):
+            fail(
+                f"slot at base {slot.base} has non-prefix winners "
+                f"{[e[0] for e in slot.epochs]} -> {won}"
+            )
+        # expected state: the newest surviving commit's rows — including
+        # an in-flight commit whose record proved durable (resurrection)
+        state = {}
+        for pos in range(len(slot.epochs) - 1, -1, -1):
+            if won[pos]:
+                state = slot.epochs[pos][1]
+                break
         if slot.pending is not None and slot.pending[0] in stats.winners:
             state = slot.pending[1]
         for key, (_rid, value) in state.items():

@@ -26,8 +26,8 @@ class Transaction:
         self.state = ACTIVE
         self._manager = manager
 
-    def commit(self):
-        self._manager.commit(self)
+    def commit(self, sync=True):
+        return self._manager.commit(self, sync=sync)
 
     def abort(self):
         self._manager.abort(self)
@@ -71,19 +71,35 @@ class TransactionManager:
         self._log.append(txn.txn_id, wal.BEGIN)
         return txn
 
-    def commit(self, txn):
+    def commit(self, txn, sync=True):
+        """Commit ``txn``; returns True when the commit is durable.
+
+        With ``sync=False`` the COMMIT record joins the log's pending
+        group-commit batch instead of forcing the log itself.  The commit
+        is acknowledged (locks released, state COMMITTED) but durability
+        is deferred to the group force; a crash before that force loses
+        the transaction.  Safe under early lock release because the log
+        is a single total order with a monotone durable prefix: any
+        transaction that observed this one's effects appended its own
+        COMMIT later, so it can only be durable if this one is too.
+        """
         self._require_active(txn)
         lsn = self._log.append(txn.txn_id, wal.COMMIT)
         if self.faults is not None:
             # COMMIT is in the log but not yet forced: a crash here makes
             # the outcome depend on whether the tail happens to survive
             self.faults.fire("txn.commit.unforced")
-        self._log.flush(lsn)  # commit is durable once the log is forced
-        if self.faults is not None:
+        if sync:
+            self._log.flush(lsn)  # commit is durable once the log is forced
+            durable = True
+        else:
+            durable = self._log.commit_deferred(lsn)
+        if durable and self.faults is not None:
             self.faults.fire("txn.commit.done")
         self._locks.release_all(txn.txn_id)
         txn.state = COMMITTED
         del self._active[txn.txn_id]
+        return durable
 
     def abort(self, txn):
         self._require_active(txn)
@@ -100,7 +116,7 @@ class TransactionManager:
             record = self._log.record(lsn)
             if record.kind in (
                 wal.UPDATE, wal.INSERT, wal.DELETE,
-                wal.IDX_INSERT, wal.IDX_DELETE,
+                wal.IDX_INSERT, wal.IDX_DELETE, wal.IDX_BULK,
             ):
                 self._storage.apply_undo(record)
                 self._log.append(
@@ -110,6 +126,19 @@ class TransactionManager:
                     slot=record.slot,
                     before=record.after,
                     after=record.before,
+                )
+            elif record.kind == wal.BULK_PAGE:
+                # a whole bulk-loaded page is compensated by one CLR_BULK
+                # clearing its ``slot`` leading slots (the page was fresh,
+                # so the before-image is empty)
+                self._storage.apply_undo(record)
+                self._log.append(
+                    txn_id,
+                    wal.CLR_BULK,
+                    page_id=record.page_id,
+                    slot=record.slot,
+                    before=record.after,
+                    after=b"",
                 )
             lsn = record.prev_lsn
 

@@ -25,10 +25,13 @@ CLR = "CLR"  # compensation record written during undo
 CHECKPOINT = "CHECKPOINT"
 IDX_INSERT = "IDX_INSERT"  # logical index entry insert (undone on abort)
 IDX_DELETE = "IDX_DELETE"  # logical index entry delete (undone on abort)
+BULK_PAGE = "BULK_PAGE"  # bulk load: one full page of records (after image)
+IDX_BULK = "IDX_BULK"  # logical index entry batch insert (undone on abort)
+CLR_BULK = "CLR_BULK"  # compensation record for one BULK_PAGE
 
 _TYPES = frozenset({
     BEGIN, COMMIT, ABORT, UPDATE, INSERT, DELETE, CLR, CHECKPOINT,
-    IDX_INSERT, IDX_DELETE,
+    IDX_INSERT, IDX_DELETE, BULK_PAGE, IDX_BULK, CLR_BULK,
 })
 
 
@@ -46,6 +49,22 @@ def decode_index_entry(raw):
     return key, (page_no, slot)
 
 
+def encode_index_entries(entries):
+    """Pack a batch of ``(key, rid)`` entries for an IDX_BULK payload."""
+    return b"".join(_INDEX_ENTRY.pack(key, rid[0], rid[1])
+                    for key, rid in entries)
+
+
+def decode_index_entries(raw):
+    """Unpack an IDX_BULK payload to a list of ``(key, rid)``."""
+    size = _INDEX_ENTRY.size
+    out = []
+    for off in range(0, len(raw), size):
+        key, page_no, slot = _INDEX_ENTRY.unpack_from(raw, off)
+        out.append((key, (page_no, slot)))
+    return out
+
+
 class LogRecord(NamedTuple):
     """One entry in the write-ahead log."""
 
@@ -60,12 +79,32 @@ class LogRecord(NamedTuple):
 
 
 class WriteAheadLog:
-    """Append-only log with per-transaction backchains."""
+    """Append-only log with per-transaction backchains and group commit.
 
-    def __init__(self):
+    Group commit batches concurrent committers behind a single force:
+    a deferred commit (``commit_deferred``) registers its COMMIT LSN in
+    the pending group instead of forcing immediately.  The group is
+    forced — one ``flush`` covering every pending committer — when
+    either ``group_size`` commits have accumulated or the log has grown
+    ``group_window`` records past the oldest pending commit (logical
+    time; the simulator has no wall clock).  ``group_size=1`` (the
+    default) degenerates to force-per-commit.
+    """
+
+    def __init__(self, group_size=1, group_window=0):
         self._records = []
         self._last_lsn_of = {}  # txn_id -> lsn
         self.flushed_lsn = -1
+        #: commits per group before a force (1 = force every commit)
+        self.group_size = group_size
+        #: max log records appended past the oldest pending commit
+        #: before an auto-force (0 = no window trigger)
+        self.group_window = group_window
+        self._pending_commits = []  # deferred COMMIT lsns, ascending
+        #: flushes that actually advanced the durable horizon
+        self.forces = 0
+        #: forces triggered by the group-commit policy
+        self.group_forces = 0
         #: fault injector, or None; see :mod:`repro.db.storage.faults`
         self.faults = None
 
@@ -82,7 +121,47 @@ class WriteAheadLog:
         self._last_lsn_of[txn_id] = lsn
         if self.faults is not None:
             self.faults.fire("wal.append.after")
+        if (
+            self._pending_commits
+            and self.group_window
+            and lsn - self._pending_commits[0] >= self.group_window
+        ):
+            self._force_group()
         return lsn
+
+    # ------------------------------------------------------------------
+    # group commit
+    # ------------------------------------------------------------------
+    def commit_deferred(self, lsn):
+        """Register a COMMIT record for group durability.
+
+        Returns True if this registration triggered the group force (the
+        commit is durable on return), False if durability is deferred to
+        a later force.  The caller must treat a False return as "commit
+        acknowledged but not yet durable": a crash before the next force
+        loses it.
+        """
+        self._pending_commits.append(lsn)
+        if len(self._pending_commits) >= max(1, self.group_size):
+            self._force_group()
+            return True
+        if self.group_window and lsn - self._pending_commits[0] >= self.group_window:
+            self._force_group()
+            return True
+        return False
+
+    def _force_group(self):
+        """Force the log through every pending deferred commit."""
+        if not self._pending_commits:
+            return
+        if self.faults is not None:
+            self.faults.fire("wal.group.force")
+        self.group_forces += 1
+        self.flush(self._pending_commits[-1])
+
+    @property
+    def pending_commit_count(self):
+        return len(self._pending_commits)
 
     def flush(self, up_to_lsn=None):
         """Force the log to stable storage up to ``up_to_lsn`` (inclusive).
@@ -105,7 +184,12 @@ class WriteAheadLog:
                 self.faults.crash(
                     f"crash mid log force (horizon at {self.flushed_lsn})"
                 )
-        self.flushed_lsn = max(self.flushed_lsn, up_to_lsn)
+        if up_to_lsn > self.flushed_lsn:
+            self.flushed_lsn = up_to_lsn
+            self.forces += 1
+        self._pending_commits = [
+            lsn for lsn in self._pending_commits if lsn > self.flushed_lsn
+        ]
 
     def reset_to(self, records):
         """Replace the log contents with ``records`` (all durable).
@@ -119,6 +203,7 @@ class WriteAheadLog:
         for record in self._records:
             self._last_lsn_of[record.txn_id] = record.lsn
         self.flushed_lsn = len(self._records) - 1
+        self._pending_commits = []
 
     # ------------------------------------------------------------------
     # read side (used by recovery)

@@ -546,3 +546,55 @@ def recovery_experiment(runner, workload="recovery"):
     result.add_row(workload, values)
     result.failures = grid.failure_report()
     return result
+
+
+# ----------------------------------------------------------------------
+# Extension: CGP vs NL on the storage scale-out workload
+# ----------------------------------------------------------------------
+
+
+def storage_scale_experiment(runner, workload="wisc-scale"):
+    """CGP vs next-N-line when the database outgrows the buffer pool.
+
+    The ``wisc-scale`` workload builds Wisconsin relations 10-100x
+    larger than wisc-large through the streaming bulk loader (group
+    commit, hash index on unique3), then traces only selective probes: a
+    1% clustered range, a clustered point select, and a hash-index
+    equality probe the planner picks from incremental statistics.  The
+    traced call graph is index-descent-heavy — deep, data-dependent
+    chains through btree/hash search, buffer pool, and disk — the shape
+    §3 argues favors call-graph prediction, measured here at a scale
+    where the heap no longer fits the pool.
+    """
+    result = ExperimentResult(
+        "storage-scale",
+        "CGP on the scaled-out storage engine (extension)",
+        "Selective index probes on a 100x database keep CGP's advantage "
+        "over next-N-line: the descent call chain is predictable from "
+        "the call graph but not from straight-line order.",
+        ["O5", "OM+NL_4", "OM+CGP_4", "speedup:CGP4_over_NL4",
+         "mpki:NL_4", "mpki:CGP_4"],
+    )
+    specs = [
+        RunSpec(workload, "O5", None),
+        RunSpec(workload, "OM", ("nl", 4)),
+        RunSpec(workload, "OM", ("cgp", 4)),
+    ]
+    grid = runner.run_grid(specs, grid="storage-scale")
+    base = grid.get(specs[0])
+    nl = grid.get(specs[1])
+    cgp = grid.get(specs[2])
+    values = {}
+    if base is not None:
+        values["O5"] = base.cycles
+    if nl is not None:
+        values["OM+NL_4"] = nl.cycles
+        values["mpki:NL_4"] = nl.mpki
+    if cgp is not None:
+        values["OM+CGP_4"] = cgp.cycles
+        values["mpki:CGP_4"] = cgp.mpki
+    if nl is not None and cgp is not None:
+        values["speedup:CGP4_over_NL4"] = nl.cycles / cgp.cycles
+    result.add_row(workload, values)
+    result.failures = grid.failure_report()
+    return result

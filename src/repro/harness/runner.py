@@ -50,6 +50,10 @@ DEFAULT_SCALES = {
     "wisc-large-2": 0.05,
     "wisc+tpch": 0.025,
     "recovery": 1.0,
+    # scale 1.0 here = 100,000-tuple relations (10x wisc-large's full
+    # size): the bulk loader makes the build cheap, and the traced
+    # queries are selective probes, so the default stays minutes-scale
+    "wisc-scale": 1.0,
 }
 
 

@@ -271,6 +271,7 @@ def db_modules():
         buffer_pool,
         codec,
         disk,
+        hash_index,
         lock_manager,
         page,
         recovery,
@@ -284,7 +285,7 @@ def db_modules():
         expressions, operators, schema, table,
         cost, planner, stats,
         ast_nodes, parser, tokenizer,
-        btree, buffer_pool, codec, disk, lock_manager, page,
+        btree, buffer_pool, codec, disk, hash_index, lock_manager, page,
         recovery, storage_manager, transaction, wal,
     ]
 

@@ -91,6 +91,12 @@ OP_RET = RET
 OP_SWITCH = SWITCH
 OP_EXEC_REP = 4  # single-line EXEC repeating the previous access's line
 
+# ``_state`` bits: a line is 0 when absent, RESIDENT while cached, and
+# RESIDENT|UNTOUCHED while cached but never referenced since its
+# prefetch arrived.
+_RESIDENT = 1
+_UNTOUCHED = 2
+
 
 class CompiledTrace:
     """A trace pre-translated for one layout.
@@ -481,7 +487,7 @@ class FastFetchEngine(FetchEngine):
 
     The inlined paths are transcriptions of the reference ``_access``/
     ``issue_prefetch``/hook bodies (same branches, same operation order)
-    with the associative scans replaced by the ``_presence`` residency
+    with the associative scans replaced by the ``_state`` residency
     index and the recency lists by per-line timestamps.  During ``run()``
     the ``l1i`` way slots are *unordered* (stamps carry the LRU order);
     the reference recency layout is reconstructed before the run returns.
@@ -492,10 +498,14 @@ class FastFetchEngine(FetchEngine):
         super().__init__(config, layout, prefetcher=prefetcher, seed=seed,
                          collector=collector)
         total = layout.total_lines
-        #: bytearray mirror of the L1 content (1 == line resident)
-        self._presence = bytearray(total)
-        #: bytearray mirror of the ``_untouched`` key set
-        self._uflag = bytearray(total)
+        #: per-line residency state, one byte per line: bit 0 set while
+        #: the line is resident in L1, bit 1 set while it is resident AND
+        #: still untouched since its prefetch arrived (the key set of
+        #: ``_untouched``).  Non-resident lines are exactly the zero
+        #: bytes, so the batched kernels' C-level range scans
+        #: (``count(0, ...)``/``find(0, ...)``) keep working on the
+        #: merged byte, and truthiness still means "resident".
+        self._state = bytearray(total)
         #: bytearray mirror of the ``_in_flight`` key set — lets the
         #: batched paths prove "this prefetch target squashes" (resident
         #: OR in flight) with C-level range scans instead of dict probes
@@ -535,19 +545,19 @@ class FastFetchEngine(FetchEngine):
                 w += 1
             victim = ways[vs]
             ways[vs] = line
-            self._presence[victim] = 0
-            if self._uflag[victim]:
-                self._uflag[victim] = 0
+            if self._state[victim] & _UNTOUCHED:
                 vo = self._untouched.pop(victim)
                 self.stats.prefetch_origin(vo).useless += 1
                 if self.collector is not None:
                     self.collector.useless(victim, vo, self.cycle)
-        self._presence[line] = 1
+            self._state[victim] = 0
         stamp[line] = self._ctr
         self._ctr += 1
         if origin is not None:
             self._untouched[line] = origin
-            self._uflag[line] = 1
+            self._state[line] = _RESIDENT | _UNTOUCHED
+        else:
+            self._state[line] = _RESIDENT
 
     def issue_prefetch(self, line, origin, delay=0):
         """Reference semantics with the O(1) residency probe."""
@@ -558,7 +568,7 @@ class FastFetchEngine(FetchEngine):
             if collector is not None:
                 collector.out_of_range(origin)
             return False
-        if line in self._in_flight or self._presence[line]:
+        if line in self._in_flight or self._state[line]:
             stats.squashed += 1
             if collector is not None:
                 collector.squashed(line, origin)
@@ -582,7 +592,7 @@ class FastFetchEngine(FetchEngine):
         count = n_lines if n_lines < span else span
         total_lines = self.layout.total_lines
         in_flight = self._in_flight
-        presence = self._presence
+        state = self._state
         iflag = self._iflag
         arrivals = self._arrivals
         request = self.memsys.request
@@ -593,7 +603,7 @@ class FastFetchEngine(FetchEngine):
                 stats.out_of_range += 1
                 if collector is not None:
                     collector.out_of_range(origin)
-            elif line in in_flight or presence[line]:
+            elif line in in_flight or state[line]:
                 stats.squashed += 1
                 if collector is not None:
                     collector.squashed(line, origin)
@@ -636,7 +646,7 @@ class FastFetchEngine(FetchEngine):
                 )
 
     def _access_observed(self, line):
-        """Reference ``_access`` on the presence/stamp representation,
+        """Reference ``_access`` on the state-byte/stamp representation,
         with the collector call sites of the reference engine.
 
         The resident-hit path mirrors ``SetAssocCache.lookup`` (count a
@@ -652,12 +662,12 @@ class FastFetchEngine(FetchEngine):
         if self._arrivals:
             self._deliver_arrivals()  # installs via the stamp _install
         l1 = self.l1i
-        if self._presence[line]:
+        if self._state[line]:
             l1.hits += 1
             self._stamp[line] = self._ctr
             self._ctr += 1
-            if self._uflag[line]:
-                self._uflag[line] = 0
+            if self._state[line] & _UNTOUCHED:
+                self._state[line] = _RESIDENT
                 origin = self._untouched.pop(line)
                 stats.prefetch_origin(origin).pref_hits += 1
                 first_touch = True
@@ -838,8 +848,7 @@ class FastFetchEngine(FetchEngine):
         ways = l1.ways
         n_sets = l1.n_sets
         assoc = l1.assoc
-        presence = self._presence
-        uflag = self._uflag
+        state = self._state
         iflag = self._iflag
         stamp = self._stamp
         ctr = self._ctr
@@ -939,7 +948,7 @@ class FastFetchEngine(FetchEngine):
                         a0 = lines[s]
                         k = e - s
                         aend = a0 + k
-                        if presence.count(0, a0, aend) == 0:
+                        if state.count(0, a0, aend) == 0:
                             # whole run resident: pure hits
                             line_accesses += k
                             hit_count += k
@@ -948,7 +957,7 @@ class FastFetchEngine(FetchEngine):
                             continue
                     for line in lines[s:e]:
                         line_accesses += 1
-                        if presence[line]:
+                        if state[line]:
                             hit_count += 1
                             stamp[line] = ctr
                             ctr += 1
@@ -1009,9 +1018,9 @@ class FastFetchEngine(FetchEngine):
                                     vmin = sv
                                     vs = w
                                 w += 1
-                            presence[ways[vs]] = 0
+                            state[ways[vs]] = 0
                             ways[vs] = line
-                        presence[line] = 1
+                        state[line] = 1
                         stamp[line] = ctr
                         ctr += 1
                 elif op == OP_CALL:
@@ -1201,29 +1210,27 @@ class FastFetchEngine(FetchEngine):
                                             w += 1
                                         victim = ways[vs]
                                         ways[vs] = aline
-                                        presence[victim] = 0
-                                        if uflag[victim]:
-                                            uflag[victim] = 0
+                                        if state[victim] & 2:
                                             vo = untouched_pop(victim)
                                             sprefetch[vo].useless += 1
-                                    presence[aline] = 1
+                                        state[victim] = 0
+                                    state[aline] = 3  # resident+untouched
                                     stamp[aline] = ctr
                                     ctr += 1
                                     untouched[aline] = record[1]
-                                    uflag[aline] = 1
                             next_due = (
                                 arrivals[0][0] if arrivals else _inf
                             )
                         line_accesses += 1
-                        if presence[line]:
+                        if state[line]:
                             # resident: refresh the stamp (= reference
                             # promote-to-MRU), classify the touch
                             hit_count += 1
                             stamp[line] = ctr
                             ctr += 1
                             missed = False
-                            if uflag[line]:
-                                uflag[line] = 0
+                            if state[line] & 2:
+                                state[line] = 1
                                 sprefetch[
                                     untouched_pop(line)
                                 ].pref_hits += 1
@@ -1320,12 +1327,11 @@ class FastFetchEngine(FetchEngine):
                                     w += 1
                                 victim = ways[vs]
                                 ways[vs] = line
-                                presence[victim] = 0
-                                if uflag[victim]:
-                                    uflag[victim] = 0
+                                if state[victim] & 2:
                                     vo = untouched_pop(victim)
                                     sprefetch[vo].useless += 1
-                            presence[line] = 1
+                                state[victim] = 0
+                            state[line] = 1
                             stamp[line] = ctr
                             ctr += 1
                         # ---- prefetcher hook ----
@@ -1339,7 +1345,7 @@ class FastFetchEngine(FetchEngine):
                                     )
                                 if pl < 0 or pl >= total_lines:
                                     ps_nl.out_of_range += 1
-                                elif presence[pl] or iflag[pl]:
+                                elif state[pl] or iflag[pl]:
                                     ps_nl.squashed += 1
                                 else:
                                     if inline_mem:
@@ -1419,9 +1425,9 @@ class FastFetchEngine(FetchEngine):
                                     if t1 > t1c:
                                         ps_nl.out_of_range += t1 - t1c
                                     squash = t1c - t0
-                                    tz = presence.find(0, t0, t1c)
+                                    tz = state.find(0, t0, t1c)
                                     while tz >= 0 and iflag[tz]:
-                                        tz = presence.find(
+                                        tz = state.find(
                                             0, tz + 1, t1c
                                         )
                                     while tz >= 0:
@@ -1496,11 +1502,11 @@ class FastFetchEngine(FetchEngine):
                                         if completion < next_due:
                                             next_due = completion
                                         ps_nl.issued += 1
-                                        tz = presence.find(
+                                        tz = state.find(
                                             0, tz + 1, t1c
                                         )
                                         while tz >= 0 and iflag[tz]:
-                                            tz = presence.find(
+                                            tz = state.find(
                                                 0, tz + 1, t1c
                                             )
                                     ps_nl.squashed += squash
@@ -1575,7 +1581,7 @@ class FastFetchEngine(FetchEngine):
                                 start2 = base[first]
                                 end2 = cg_head_end[first]
                                 now2 = cycle + latency + 1
-                                if presence.count(0, start2, end2) == 0:
+                                if state.count(0, start2, end2) == 0:
                                     # whole head resident: every
                                     # attempt squashes (head lines are
                                     # always in range)
@@ -1584,7 +1590,7 @@ class FastFetchEngine(FetchEngine):
                                 for pl in range(start2, end2):
                                     if pl < 0 or pl >= total_lines:
                                         ps_cg.out_of_range += 1
-                                    elif presence[pl] or iflag[pl]:
+                                    elif state[pl] or iflag[pl]:
                                         ps_cg.squashed += 1
                                     else:
                                         if inline_mem:
@@ -1728,7 +1734,7 @@ class FastFetchEngine(FetchEngine):
                                     start2 = base[first]
                                     end2 = cg_head_end[first]
                                     now2 = cycle + latency + 1
-                                    if presence.count(
+                                    if state.count(
                                         0, start2, end2
                                     ) == 0:
                                         # whole head resident: every
@@ -1743,7 +1749,7 @@ class FastFetchEngine(FetchEngine):
                                             or pl >= total_lines
                                         ):
                                             ps_cg.out_of_range += 1
-                                        elif presence[pl] or iflag[pl]:
+                                        elif state[pl] or iflag[pl]:
                                             ps_cg.squashed += 1
                                         else:
                                             if inline_mem:

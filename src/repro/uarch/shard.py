@@ -97,7 +97,7 @@ _STATE_ATTRS = (
     "last_access_missed", "last_access_first_touch",
     "stats", "prefetcher", "l1i", "memsys", "ras",
     "_in_flight", "_arrivals", "_untouched",
-    "_presence", "_uflag", "_iflag", "_stamp",
+    "_state", "_iflag", "_stamp",
 )
 
 

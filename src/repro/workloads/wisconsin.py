@@ -78,18 +78,32 @@ def generate_rows(n_tuples, seed):
         )
 
 
-def setup(db, n_tuples=10000, onek_tuples=None, seed=1234):
+def setup(db, n_tuples=10000, onek_tuples=None, seed=1234,
+          hash_unique3=False, analyze=True):
     """Create and load tenk1, tenk2, onek with clustered (unique2) and
-    non-clustered (unique1) indexes, then analyze."""
+    non-clustered (unique1) indexes, then analyze.
+
+    ``hash_unique3`` additionally builds a hash index on ``unique3``
+    (the scale-out suite's equality-probe column).  ``analyze=False``
+    skips the full-scan ANALYZE and leaves the planner on the tables'
+    incremental statistics — at 100x scale the scan costs more than the
+    load.
+    """
     if onek_tuples is None:
         onek_tuples = max(10, n_tuples // 10)
     sizes = {"tenk1": n_tuples, "tenk2": n_tuples, "onek": onek_tuples}
     for i, (name, size) in enumerate(sizes.items()):
         db.create_table(name, WISCONSIN_COLUMNS)
-        db.load_rows(name, generate_rows(size, seed + i))
+        # indexes first: the bulk loader then collects keys inline and
+        # feeds each index's sorted bulk build, instead of a second
+        # decode-everything backfill scan after the load
         db.create_index(name, "unique2", clustered=True)
         db.create_index(name, "unique1", clustered=False)
-        db.analyze_table(name)
+        if hash_unique3:
+            db.create_index(name, "unique3", kind="hash")
+        db.load_rows(name, generate_rows(size, seed + i))
+        if analyze:
+            db.analyze_table(name)
     return sizes
 
 
@@ -144,6 +158,33 @@ def queries(n_tuples=10000):
             "SELECT t1.unique1, t2.unique1 FROM tenk1 t1, tenk2 t2 "
             f"WHERE t1.unique2 = t2.unique2 AND t1.unique2 < {ten_pct}",
             None,
+        ),
+    ]
+
+
+def scale_queries(n_tuples):
+    """The storage scale-out trio (suite ``wisc-scale``): selective
+    index work that stays traceable while the database itself grows
+    100-1000x — a 1% clustered range, a clustered point select, and an
+    equality probe the planner serves from the ``unique3`` hash index.
+    """
+    one_pct = max(1, n_tuples // 100)
+    use_index = {("access", "tenk1"): "index"}
+    return [
+        (
+            "wisc_sq3",
+            f"SELECT * FROM tenk1 WHERE unique2 BETWEEN {one_pct} AND {2 * one_pct - 1}",
+            use_index,
+        ),
+        (
+            "wisc_sq7",
+            f"SELECT * FROM tenk1 WHERE unique2 = {n_tuples // 2}",
+            use_index,
+        ),
+        (
+            "wisc_sqh",
+            f"SELECT * FROM tenk1 WHERE unique3 = {n_tuples // 3}",
+            None,  # no hint: cost model must pick the hash index itself
         ),
     ]
 

@@ -41,6 +41,7 @@ def small_runner():
             "wisc-large-2": 0.012,
             "wisc+tpch": 0.008,
             "recovery": 0.5,
+            "wisc-scale": 0.02,  # 2,000-tuple relations at test scale
         },
     )
 

@@ -16,7 +16,7 @@ from repro.obsv import AttributionCollector, validate_payload
 from repro.uarch import simulate
 
 SUITES = ["wisc-prof", "wisc-large-1", "wisc-large-2", "wisc+tpch",
-          "recovery"]
+          "recovery", "wisc-scale"]
 
 # layout x prefetcher cells: the golden cell (OM + CGP_4) for every
 # suite, plus the full fig4 bracket on the profiling workload

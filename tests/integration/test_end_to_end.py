@@ -55,9 +55,14 @@ def test_figure2_call_path_present():
     db.create_table("t", [("a", "int"), ("pad", ("str", 64))])
 
     def insert_rows():
-        db.load_rows("t", [(i, "x" * 60) for i in range(600)])
+        # per-row inserts: the Figure 2 path is Create_rec -> find space
+        # -> getpage (bulk load deliberately bypasses it)
+        table = db.catalog.table("t")
         with db.storage.begin() as txn:
-            return sum(1 for _ in db.catalog.table("t").scan(txn))
+            for i in range(600):
+                table.insert(txn, (i, "x" * 60))
+        with db.storage.begin() as txn:
+            return sum(1 for _ in table.scan(txn))
 
     tracer = Tracer(image)
     count = tracer.run(insert_rows)
