@@ -1,0 +1,142 @@
+#!/usr/bin/env python
+"""Run the chaos-under-load harness over a scenario batch.
+
+One scenario = one ``(seed, schedule)`` pair (see ``repro.db.chaos``).
+Each scenario serves a seeded multi-tenant client mix (OLTP
+transactions, scans with deadlines, bulk loads) from a deterministic SQL
+server while the planned fault fires, crashes the server mid-traffic,
+restarts it through recovery, checks the invariant suite (no
+acknowledged commit lost, no partial transaction visible, clients only
+ever observe retryable errors), and runs a faultless resume round.  The
+default batch sweeps every crash schedule over ``--seeds`` seeds::
+
+    PYTHONPATH=src python scripts/chaos.py --seeds 8
+
+A JSONL journal (one line per scenario: plan, what fired, client error
+census, volume fingerprint) is written to ``--journal``; on an invariant
+violation the failing plan is additionally dumped to ``--failing-plan``
+so the scenario can be replayed exactly::
+
+    PYTHONPATH=src python scripts/chaos.py --replay failing_plan.json
+
+Exit status: 0 if every scenario passed, 1 otherwise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+
+from repro.db.chaos import run_chaos
+from repro.db.storage.faults import SCHEDULES
+from repro.db.storage.torture import InvariantViolation
+
+
+def run_batch(seeds, schedules, journal_path, failing_plan_path,
+              echo=print, intensity=3.0):
+    """Run the sweep; returns (passed, failed) counts."""
+    passed = failed = 0
+    started = time.perf_counter()
+    totals = {
+        "crashed": 0, "acked": 0, "resurrected": 0, "shed": 0,
+        "server_retries": 0, "client_restarts": 0, "resumed_commits": 0,
+    }
+    error_census = {}
+    with open(journal_path, "w") as journal:
+        for schedule in schedules:
+            for seed in seeds:
+                try:
+                    report = run_chaos(seed, schedule, intensity=intensity)
+                except InvariantViolation as violation:
+                    failed += 1
+                    record = {
+                        "seed": seed, "schedule": schedule,
+                        "status": "FAIL", "error": str(violation),
+                    }
+                    journal.write(json.dumps(record) + "\n")
+                    echo(f"FAIL {schedule} seed={seed}: {violation}")
+                    if failing_plan_path:
+                        from repro.db.storage.faults import derive_plan
+
+                        with open(failing_plan_path, "w") as fh:
+                            fh.write(derive_plan(
+                                seed, schedule,
+                                intensity=intensity).to_json())
+                            fh.write("\n")
+                        echo(f"  failing plan written to "
+                             f"{failing_plan_path}")
+                    continue
+                passed += 1
+                totals["crashed"] += report.crashed
+                totals["acked"] += report.acked
+                totals["resurrected"] += report.resurrected
+                totals["shed"] += report.shed
+                totals["server_retries"] += report.server_retries
+                totals["client_restarts"] += report.client_restarts
+                totals["resumed_commits"] += report.resumed_commits
+                for name, count in report.client_errors.items():
+                    error_census[name] = error_census.get(name, 0) + count
+                journal.write(json.dumps(
+                    {"status": "PASS", **report.to_dict()}) + "\n")
+    wall = time.perf_counter() - started
+    echo(
+        f"{passed + failed} scenarios in {wall:.1f}s: "
+        f"{passed} passed, {failed} failed"
+    )
+    echo("exercised: " + ", ".join(f"{k}={v}" for k, v in totals.items()))
+    echo("client errors (all retryable): " + ", ".join(
+        f"{k}={v}" for k, v in sorted(error_census.items())))
+    return passed, failed
+
+
+def replay(plan_path, echo=print):
+    """Re-run one scenario from a failing-plan JSON file."""
+    from repro.db.storage.faults import FaultPlan
+
+    with open(plan_path) as fh:
+        plan = FaultPlan.from_json(fh.read())
+    echo(f"replaying seed={plan.seed} schedule={plan.schedule}")
+    report = run_chaos(plan.seed, plan.schedule)
+    echo(json.dumps(report.to_dict(), indent=2))
+    return 0
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        description="chaos-under-load harness")
+    parser.add_argument("--seeds", type=int, default=8,
+                        help="seeds per schedule (default 8)")
+    parser.add_argument("--seed-base", type=int, default=0,
+                        help="first seed (default 0)")
+    parser.add_argument("--schedules", nargs="*", default=None,
+                        help=f"schedules to run (default: all of "
+                             f"{', '.join(SCHEDULES)})")
+    parser.add_argument("--journal", default="chaos_journal.jsonl",
+                        help="JSONL journal path")
+    parser.add_argument("--failing-plan", default="failing_plan.json",
+                        help="where to dump the first failing plan")
+    parser.add_argument("--intensity", type=float, default=3.0,
+                        help="fault hit-index scale for the longer "
+                             "serving workload (default 3.0)")
+    parser.add_argument("--replay", metavar="PLAN_JSON",
+                        help="replay one scenario from a plan file")
+    args = parser.parse_args(argv)
+
+    if args.replay:
+        return replay(args.replay)
+
+    schedules = args.schedules or list(SCHEDULES)
+    unknown = [s for s in schedules if s not in SCHEDULES]
+    if unknown:
+        parser.error(f"unknown schedules: {unknown}")
+    seeds = range(args.seed_base, args.seed_base + args.seeds)
+    _passed, failed = run_batch(
+        seeds, schedules, args.journal, args.failing_plan,
+        intensity=args.intensity)
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -96,6 +96,17 @@ class Database:
             raise PlanError("plan() takes a SELECT; use execute() for DML")
         if txn is None:
             txn = self.storage.begin()
+        return self.plan_statement(stmt, txn, hints=hints)
+
+    def plan_statement(self, stmt, txn, hints=None):
+        """Optimize an already-parsed SELECT inside ``txn``.
+
+        The server's prepared-statement path: the parse is cached per
+        session, but plans bind to a transaction and are rebuilt per
+        execution.
+        """
+        if not isinstance(stmt, ast.SelectStmt):
+            raise PlanError("plan_statement() takes a parsed SELECT")
         planner = Planner(self.catalog, self.storage, txn)
         return planner.plan(stmt, hints=hints)
 
@@ -105,46 +116,59 @@ class Database:
         SELECT returns its rows; INSERT/UPDATE/DELETE return a single
         ``(rows_affected,)`` row.
         """
-        stmt = parse(sql)
-        txn = self.storage.begin()
+        return self.execute_statement(parse(sql), hints=hints)
+
+    def execute_statement(self, stmt, hints=None, txn=None):
+        """Execute one parsed statement; returns a :class:`QueryResult`.
+
+        With ``txn=None`` (the default) the statement autocommits in a
+        fresh transaction.  With a caller-provided ``txn`` the statement
+        runs inside it and the caller owns commit/abort — the server's
+        session-transaction path.  On an exception the statement's own
+        transaction is aborted; a caller-provided one is left to the
+        caller (the server aborts it and surfaces a retryable error).
+        """
+        owns_txn = txn is None
+        if owns_txn:
+            txn = self.storage.begin()
         try:
-            if isinstance(stmt, ast.SelectStmt):
-                planner = Planner(self.catalog, self.storage, txn)
-                plan = planner.plan(stmt, hints=hints)
-                rows = list(plan.rows())
+            result = self._apply_statement(stmt, txn, hints)
+            if owns_txn:
                 txn.commit()
-                return QueryResult(plan.columns, rows)
-            if isinstance(stmt, ast.InsertStmt):
-                affected = self._execute_insert(txn, stmt)
-            elif isinstance(stmt, ast.UpdateStmt):
-                affected = self._execute_update(txn, stmt)
-            elif isinstance(stmt, ast.DeleteStmt):
-                affected = self._execute_delete(txn, stmt)
-            elif isinstance(stmt, ast.CreateTableStmt):
-                self.create_table(stmt.table, stmt.columns)
-                txn.commit()
-                return QueryResult(("status",), [(f"created table {stmt.table}",)])
-            elif isinstance(stmt, ast.CreateIndexStmt):
-                self.create_index(stmt.table, stmt.column,
-                                  clustered=stmt.clustered)
-                txn.commit()
-                return QueryResult(
-                    ("status",),
-                    [(f"created index on {stmt.table}.{stmt.column}",)],
-                )
-            elif isinstance(stmt, ast.DropTableStmt):
-                self.catalog.table(stmt.table)  # raises if unknown
-                self.catalog.drop(stmt.table)
-                txn.commit()
-                return QueryResult(("status",), [(f"dropped table {stmt.table}",)])
-            else:
-                raise PlanError(f"unsupported statement {type(stmt).__name__}")
-            txn.commit()
-            return QueryResult(("rows_affected",), [(affected,)])
+            return result
         except BaseException:
-            if txn.is_active:
+            if owns_txn and txn.is_active:
                 txn.abort()
             raise
+
+    def _apply_statement(self, stmt, txn, hints=None):
+        """Dispatch one parsed statement inside ``txn`` (no commit)."""
+        if isinstance(stmt, ast.SelectStmt):
+            plan = self.plan_statement(stmt, txn, hints=hints)
+            return QueryResult(plan.columns, list(plan.rows()))
+        if isinstance(stmt, ast.InsertStmt):
+            affected = self._execute_insert(txn, stmt)
+        elif isinstance(stmt, ast.UpdateStmt):
+            affected = self._execute_update(txn, stmt)
+        elif isinstance(stmt, ast.DeleteStmt):
+            affected = self._execute_delete(txn, stmt)
+        elif isinstance(stmt, ast.CreateTableStmt):
+            self.create_table(stmt.table, stmt.columns)
+            return QueryResult(("status",), [(f"created table {stmt.table}",)])
+        elif isinstance(stmt, ast.CreateIndexStmt):
+            self.create_index(stmt.table, stmt.column,
+                              clustered=stmt.clustered)
+            return QueryResult(
+                ("status",),
+                [(f"created index on {stmt.table}.{stmt.column}",)],
+            )
+        elif isinstance(stmt, ast.DropTableStmt):
+            self.catalog.table(stmt.table)  # raises if unknown
+            self.catalog.drop(stmt.table)
+            return QueryResult(("status",), [(f"dropped table {stmt.table}",)])
+        else:
+            raise PlanError(f"unsupported statement {type(stmt).__name__}")
+        return QueryResult(("rows_affected",), [(affected,)])
 
     # ------------------------------------------------------------------
     # DML execution

@@ -14,13 +14,15 @@ calls directly.
 
 from __future__ import annotations
 
+from repro.db.storage.faults import CrashPoint
 from repro.errors import ExecutionError
 
 
 class ScheduledQuery:
     """Bookkeeping for one query being driven by the scheduler."""
 
-    __slots__ = ("name", "plan", "rows", "finished", "error", "_closed")
+    __slots__ = ("name", "plan", "rows", "finished", "error",
+                 "close_error", "_closed")
 
     def __init__(self, name, plan):
         self.name = name
@@ -29,13 +31,29 @@ class ScheduledQuery:
         self.finished = False
         #: the exception that stopped this query, if any
         self.error = None
+        #: the exception raised while closing the plan, if any
+        self.close_error = None
         self._closed = False
 
     def close(self):
-        """Close the plan exactly once; later calls are no-ops."""
-        if not self._closed:
-            self._closed = True
+        """Close the plan exactly once; later calls are no-ops.
+
+        A raising ``close()`` is recorded on ``close_error`` instead of
+        propagating: the scheduler's cleanup loop must reach every
+        sibling plan, and a close-time failure in one query must not
+        leak the pins and locks of the rest.  A simulated process death
+        (:class:`CrashPoint`) still propagates — nothing survives a
+        crash, so there is nothing left to clean up.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        try:
             self.plan.root.close()
+        except CrashPoint:
+            raise
+        except Exception as exc:
+            self.close_error = exc
 
 
 class RoundRobinScheduler:

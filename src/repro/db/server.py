@@ -1,0 +1,995 @@
+"""A multi-tenant SQL server over the embedded database.
+
+The paper's premise is a *threaded DBMS server*: many concurrent query
+streams interleaving in one address space, wrecking the I-cache (§2).
+:mod:`repro.db.scheduler` reproduces the interleaving for a single
+batch of plans; this module adds the serving layer around it — the
+piece that actually faces concurrent clients:
+
+* **Sessions** — one :class:`Session` per connection: explicit
+  transaction state, a bounded LRU prepared-statement cache keyed by
+  content hash (the same keyed-by-value discipline as the harness
+  result cache — never object identity), and a seeded per-session RNG
+  that drives every backoff decision, so whole serving runs replay
+  deterministically.
+* **Admission control** — a bounded run queue with per-tenant quotas;
+  requests beyond the bound are *shed* with a retryable
+  :class:`~repro.errors.ServerBusy` instead of queuing without limit.
+* **Weighted fairness** — tenants share the quantum stream by deficit
+  round-robin: each replenishment grants a tenant ``weight`` quanta, so
+  under saturation per-tenant throughput converges to the configured
+  weights on top of the scheduler's round-robin interleaving.
+* **Deadlines** — per-query deadlines with cooperative cancellation at
+  quantum boundaries: the plan is closed, the transaction aborted (every
+  lock and wait-for edge released), and the client sees a retryable
+  :class:`~repro.errors.DeadlineExceeded`.
+* **Fault isolation** — one session's transient failure (deadlock
+  victim, transient disk fault, lock conflict) triggers a budgeted
+  jittered-backoff statement restart while every other session keeps
+  running; fatal errors kill only the offending connection
+  (:class:`~repro.errors.ConnectionLost` for its queued work).  A
+  :class:`~repro.db.storage.faults.CrashPoint` is never absorbed —
+  nothing survives a process death.
+
+Two drive modes share every code path above:
+
+* ``workers=N`` — a thread pool serving blocking clients.  The storage
+  engine is single-threaded by design (the paper's server is one
+  address space), so workers interleave at *quantum* granularity under
+  one engine lock: real threads, cooperative engine.
+* ``workers=0`` — deterministic mode: no threads, a virtual clock, and
+  an explicit :meth:`SqlServer.pump` / :meth:`SqlServer.step` loop.
+  The chaos harness (:mod:`repro.db.chaos`) and the traced ``serving``
+  workload run this mode, which is why crash scenarios and goldens are
+  replayable from a seed.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import random
+import threading
+import time
+from collections import OrderedDict, deque
+
+from repro.db.parser import ast_nodes as ast
+from repro.db.parser.parser import parse
+from repro.db.storage.faults import CrashPoint
+from repro.errors import (
+    ConnectionLost,
+    DeadlineExceeded,
+    LockConflictError,
+    ReproError,
+    ServerBusy,
+    ServerError,
+    TransactionAborted,
+    TransientError,
+)
+
+OPEN = "OPEN"
+KILLED = "KILLED"
+CLOSED = "CLOSED"
+
+
+def statement_key(sql, hints=None):
+    """Content-hash cache key for a statement (value-keyed, like the
+    harness result cache — two textually equal statements share one
+    entry regardless of where the strings came from)."""
+    blob = json.dumps([sql, hints], sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+class VirtualClock:
+    """Deterministic time: integer ticks advanced by the dispatch loop."""
+
+    def __init__(self):
+        self.ticks = 0
+
+    def now(self):
+        return self.ticks
+
+    def advance(self, amount=1):
+        self.ticks += amount
+
+
+class WallClock:
+    """Real time for the threaded server (monotonic seconds)."""
+
+    def now(self):
+        return time.monotonic()
+
+    def advance(self, amount=1):
+        pass  # wall time advances itself
+
+
+class ServerConfig:
+    """Tuning knobs for one :class:`SqlServer`.
+
+    ``tenants`` maps tenant name -> fairness weight; ``quotas`` maps
+    tenant name -> max queued requests (defaulting to ``max_queue``).
+    ``workers=0`` selects deterministic pump mode with a virtual clock;
+    any positive count starts that many pool threads on a wall clock.
+    ``backoff_base`` is in clock units (ticks when virtual, seconds when
+    wall) and defaults per mode.
+    """
+
+    __slots__ = ("workers", "quantum_rows", "max_queue", "tenants",
+                 "quotas", "stmt_cache_size", "retry_budget",
+                 "backoff_base", "backoff_cap", "default_deadline", "seed",
+                 "sync_commits")
+
+    def __init__(self, workers=0, quantum_rows=8, max_queue=32,
+                 tenants=None, quotas=None, stmt_cache_size=32,
+                 retry_budget=4, backoff_base=None, backoff_cap=None,
+                 default_deadline=None, seed=1234, sync_commits=True):
+        if quantum_rows <= 0:
+            raise ServerError("quantum_rows must be positive")
+        if max_queue < 1:
+            raise ServerError("max_queue must be at least 1")
+        if retry_budget < 0:
+            raise ServerError("retry_budget must be non-negative")
+        self.workers = workers
+        self.quantum_rows = quantum_rows
+        self.max_queue = max_queue
+        self.tenants = dict(tenants) if tenants else {"default": 1}
+        for name, weight in self.tenants.items():
+            if weight <= 0:
+                raise ServerError(f"tenant {name!r} weight must be positive")
+        self.quotas = dict(quotas) if quotas else {}
+        self.stmt_cache_size = stmt_cache_size
+        self.retry_budget = retry_budget
+        if backoff_base is None:
+            backoff_base = 2 if workers == 0 else 0.002
+        if backoff_cap is None:
+            backoff_cap = backoff_base * 16
+        self.backoff_base = backoff_base
+        self.backoff_cap = backoff_cap
+        self.default_deadline = default_deadline
+        self.seed = seed
+        #: False defers commit durability to the group-commit WAL: the
+        #: client's commit() returns the (possibly False) durable flag
+        self.sync_commits = sync_commits
+
+
+class PreparedStatement:
+    """A parsed statement held by a session's statement cache."""
+
+    __slots__ = ("key", "sql", "stmt", "uses")
+
+    def __init__(self, key, sql, stmt):
+        self.key = key
+        self.sql = sql
+        self.stmt = stmt
+        self.uses = 0
+
+    @property
+    def is_select(self):
+        return isinstance(self.stmt, ast.SelectStmt)
+
+
+class StatementCache:
+    """Bounded LRU of :class:`PreparedStatement`, content-hash keyed."""
+
+    __slots__ = ("capacity", "hits", "misses", "evictions", "_entries")
+
+    def __init__(self, capacity):
+        if capacity < 1:
+            raise ServerError("statement cache capacity must be >= 1")
+        self.capacity = capacity
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self._entries = OrderedDict()
+
+    def prepare(self, sql, hints=None):
+        key = statement_key(sql, hints)
+        entry = self._entries.get(key)
+        if entry is not None:
+            self.hits += 1
+            self._entries.move_to_end(key)
+        else:
+            self.misses += 1
+            entry = PreparedStatement(key, sql, parse(sql))
+            self._entries[key] = entry
+            if len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+        entry.uses += 1
+        return entry
+
+    def __len__(self):
+        return len(self._entries)
+
+    def __contains__(self, sql):
+        return statement_key(sql) in self._entries
+
+    def stats(self):
+        return {"size": len(self._entries), "capacity": self.capacity,
+                "hits": self.hits, "misses": self.misses,
+                "evictions": self.evictions}
+
+
+class Session:
+    """Server-side state for one connection."""
+
+    __slots__ = ("session_id", "tenant", "rng", "cache", "txn", "poisoned",
+                 "state", "statements", "retries", "deadline_cancels",
+                 "txn_aborts")
+
+    def __init__(self, session_id, tenant, seed, stmt_cache_size):
+        self.session_id = session_id
+        self.tenant = tenant
+        self.rng = random.Random(f"server:{seed}:{tenant}:{session_id}")
+        self.cache = StatementCache(stmt_cache_size)
+        self.txn = None          # explicit transaction, if open
+        self.poisoned = False    # txn was server-aborted; commit must fail
+        self.state = OPEN
+        self.statements = 0
+        self.retries = 0
+        self.deadline_cancels = 0
+        self.txn_aborts = 0
+
+
+class Ticket:
+    """Client-side handle for one submitted request."""
+
+    __slots__ = ("_event", "_result", "_error", "done")
+
+    def __init__(self):
+        self._event = threading.Event()
+        self._result = None
+        self._error = None
+        self.done = False
+
+    def _resolve(self, result):
+        self._result = result
+        self.done = True
+        self._event.set()
+
+    def _fail(self, error):
+        self._error = error
+        self.done = True
+        self._event.set()
+
+    def outcome(self):
+        """Result or raise; only valid once ``done``."""
+        if not self.done:
+            raise ServerError("request still in flight")
+        if self._error is not None:
+            raise self._error
+        return self._result
+
+    def wait(self, timeout=None):
+        """Block until resolved (threaded mode); result or raise."""
+        if not self._event.wait(timeout):
+            raise ServerError("timed out waiting for request")
+        return self.outcome()
+
+
+_STATEMENT = "statement"
+_BULK = "bulk"
+
+
+class _Request:
+    """One admitted unit of work moving through the dispatch loop."""
+
+    __slots__ = ("session", "kind", "prepared", "hints", "payload",
+                 "deadline", "ticket", "txn", "owns_txn", "plan",
+                 "columns", "rows", "attempts", "cooldown_until")
+
+    def __init__(self, session, kind, prepared=None, hints=None,
+                 payload=None, deadline=None):
+        self.session = session
+        self.kind = kind
+        self.prepared = prepared
+        self.hints = hints
+        self.payload = payload
+        self.deadline = deadline
+        self.ticket = Ticket()
+        self.txn = None
+        self.owns_txn = False
+        self.plan = None
+        self.columns = None
+        self.rows = None
+        self.attempts = 0
+        self.cooldown_until = 0
+
+
+class _Tenant:
+    """Dispatch-side state for one tenant: queue, deficit, counters."""
+
+    __slots__ = ("name", "weight", "quota", "deficit", "queue",
+                 "admitted", "shed", "completed", "failed", "quanta",
+                 "rows")
+
+    def __init__(self, name, weight, quota):
+        self.name = name
+        self.weight = weight
+        self.quota = quota
+        self.deficit = 0
+        self.queue = deque()
+        self.admitted = 0
+        self.shed = 0
+        self.completed = 0
+        self.failed = 0
+        self.quanta = 0
+        self.rows = 0
+
+
+class Connection:
+    """Client handle bound to one server session."""
+
+    __slots__ = ("_server", "session")
+
+    def __init__(self, server, session):
+        self._server = server
+        self.session = session
+
+    # ------------------------------------------------------------------
+    # statements
+    # ------------------------------------------------------------------
+    def submit(self, sql, hints=None, deadline=None):
+        """Admit one statement; returns a :class:`Ticket` immediately.
+
+        Raises :class:`~repro.errors.ServerBusy` when admission sheds
+        the request.  ``deadline`` is relative, in clock units (ticks in
+        deterministic mode, seconds threaded).
+        """
+        return self._server._submit_statement(
+            self.session, sql, hints=hints, deadline=deadline
+        )
+
+    def execute(self, sql, hints=None, deadline=None):
+        """Run one statement to completion; returns a QueryResult.
+
+        Threaded mode blocks on the ticket; deterministic mode pumps the
+        server until this request resolves.
+        """
+        ticket = self.submit(sql, hints=hints, deadline=deadline)
+        return self._server._complete(ticket)
+
+    def submit_bulk(self, table_name, rows, deadline=None):
+        """Admit a streaming bulk load (the BULK_PAGE fast path);
+        returns its :class:`Ticket` immediately."""
+        return self._server._submit_bulk(
+            self.session, table_name, list(rows), deadline=deadline
+        )
+
+    def bulk_load(self, table_name, rows, deadline=None):
+        """Run a bulk load to completion."""
+        ticket = self.submit_bulk(table_name, rows, deadline=deadline)
+        return self._server._complete(ticket)
+
+    # ------------------------------------------------------------------
+    # explicit transactions
+    # ------------------------------------------------------------------
+    def begin(self):
+        self._server._begin(self.session)
+
+    def commit(self):
+        """Commit the open transaction; returns the durability flag
+        (False only under a group-commit WAL before its force)."""
+        return self._server._commit(self.session)
+
+    def rollback(self):
+        self._server._rollback(self.session)
+
+    @property
+    def in_transaction(self):
+        return self.session.txn is not None
+
+    def close(self):
+        self._server._close_session(self.session)
+
+
+class SqlServer:
+    """Thread-pool (or deterministic) SQL server over a Database."""
+
+    def __init__(self, db, config=None, **overrides):
+        if config is None:
+            config = ServerConfig(**overrides)
+        elif overrides:
+            raise ServerError("pass either a ServerConfig or overrides")
+        self.db = db
+        self.config = config
+        self.clock = WallClock() if config.workers else VirtualClock()
+        self._tenants = {
+            name: _Tenant(name, weight,
+                          config.quotas.get(name, config.max_queue))
+            for name, weight in config.tenants.items()
+        }
+        self._sessions = []
+        self._next_session_id = 1
+        # _mutex guards queues/sessions/counters; _engine serializes all
+        # database work.  Workers never hold _mutex while taking _engine,
+        # so taking _mutex *inside* _engine (connection kill) is safe.
+        self._mutex = threading.RLock()
+        self._work = threading.Condition(self._mutex)
+        self._engine = threading.RLock()
+        self._threads = []
+        self.running = False
+        self.crashed = False
+        self.admitted = 0
+        self.shed = 0
+        self.completed = 0
+        self.failed = 0
+        self.retries = 0
+        self.quanta = 0
+        self.idle_ticks = 0
+        self.deadline_cancels = 0
+        self.fatal_errors = 0
+
+    # ------------------------------------------------------------------
+    # connections
+    # ------------------------------------------------------------------
+    def connect(self, tenant="default"):
+        """Open a connection for ``tenant``; returns a Connection."""
+        if tenant not in self._tenants:
+            raise ServerError(
+                f"unknown tenant {tenant!r}; configured: "
+                f"{sorted(self._tenants)}"
+            )
+        with self._mutex:
+            self._check_alive()
+            session = Session(self._next_session_id, tenant,
+                              self.config.seed, self.config.stmt_cache_size)
+            self._next_session_id += 1
+            self._sessions.append(session)
+        return Connection(self, session)
+
+    def _check_alive(self):
+        if self.crashed:
+            raise ConnectionLost("server crashed; reconnect after restart")
+
+    def _close_session(self, session):
+        if session.state == OPEN:
+            if session.txn is not None and not self.crashed:
+                with self._engine:
+                    if session.txn is not None and session.txn.is_active:
+                        session.txn.abort()
+                    session.txn = None
+            session.state = CLOSED
+
+    # ------------------------------------------------------------------
+    # admission
+    # ------------------------------------------------------------------
+    def _submit_statement(self, session, sql, hints=None, deadline=None):
+        prepared = session.cache.prepare(sql, hints)
+        request = _Request(session, _STATEMENT, prepared=prepared,
+                           hints=hints,
+                           deadline=self._absolute_deadline(deadline))
+        return self._admit(request)
+
+    def _submit_bulk(self, session, table_name, rows, deadline=None):
+        request = _Request(session, _BULK, payload=(table_name, rows),
+                           deadline=self._absolute_deadline(deadline))
+        return self._admit(request)
+
+    def _absolute_deadline(self, deadline):
+        if deadline is None:
+            deadline = self.config.default_deadline
+        if deadline is None:
+            return None
+        return self.clock.now() + deadline
+
+    def _admit(self, request):
+        session = request.session
+        with self._mutex:
+            self._check_alive()
+            if session.state != OPEN:
+                raise ConnectionLost(
+                    f"session {session.session_id} is {session.state}"
+                )
+            tenant = self._tenants[session.tenant]
+            queued = sum(len(t.queue) for t in self._tenants.values())
+            if queued >= self.config.max_queue:
+                tenant.shed += 1
+                self.shed += 1
+                raise ServerBusy(
+                    f"run queue full ({queued}/{self.config.max_queue}); "
+                    "retry after backoff"
+                )
+            if len(tenant.queue) >= tenant.quota:
+                tenant.shed += 1
+                self.shed += 1
+                raise ServerBusy(
+                    f"tenant {tenant.name!r} quota exhausted "
+                    f"({len(tenant.queue)}/{tenant.quota}); retry after "
+                    "backoff"
+                )
+            tenant.queue.append(request)
+            tenant.admitted += 1
+            self.admitted += 1
+            session.statements += 1
+            self._work.notify()
+        return request.ticket
+
+    # ------------------------------------------------------------------
+    # explicit transactions (control path: engine lock, no queueing)
+    # ------------------------------------------------------------------
+    def _begin(self, session):
+        self._check_alive()
+        if session.state != OPEN:
+            raise ConnectionLost(f"session is {session.state}")
+        with self._engine:
+            if session.txn is not None:
+                raise ServerError("transaction already open")
+            session.txn = self.db.storage.begin()
+            session.poisoned = False
+
+    def _commit(self, session):
+        self._check_alive()
+        with self._engine:
+            if session.poisoned:
+                session.poisoned = False
+                raise TransactionAborted(
+                    "transaction was aborted by the server; retry it"
+                )
+            if session.txn is None:
+                raise ServerError("no open transaction")
+            txn = session.txn
+            session.txn = None
+            return txn.commit(sync=self.config.sync_commits)
+
+    def _rollback(self, session):
+        self._check_alive()
+        with self._engine:
+            session.poisoned = False
+            txn = session.txn
+            session.txn = None
+            if txn is not None and txn.is_active:
+                txn.abort()
+
+    # ------------------------------------------------------------------
+    # dispatch: weighted deficit round-robin over tenants
+    # ------------------------------------------------------------------
+    def _next_request(self):
+        """Pop the next runnable request (mutex held), or None."""
+        now = self.clock.now()
+        ready = [
+            tenant for tenant in self._tenants.values()
+            if any(r.cooldown_until <= now for r in tenant.queue)
+        ]
+        if not ready:
+            return None
+        if all(tenant.deficit <= 0 for tenant in ready):
+            for tenant in ready:
+                tenant.deficit += tenant.weight
+        tenant = max(ready, key=lambda t: (t.deficit, t.name))
+        for _ in range(len(tenant.queue)):
+            request = tenant.queue.popleft()
+            if request.cooldown_until <= now:
+                tenant.deficit -= 1
+                return request
+            tenant.queue.append(request)
+        return None
+
+    def _requeue(self, request):
+        self._tenants[request.session.tenant].queue.append(request)
+
+    def _execute(self, request):
+        """Run one quantum of ``request`` under the engine lock."""
+        with self._engine:
+            done = self._run_quantum(request)
+        self.clock.advance(1)
+        with self._mutex:
+            self.quanta += 1
+            self._tenants[request.session.tenant].quanta += 1
+        return done
+
+    # ------------------------------------------------------------------
+    # deterministic drive (workers == 0)
+    # ------------------------------------------------------------------
+    def step(self):
+        """Run one quantum (or one idle tick); True while work remains.
+
+        Only valid in deterministic mode; the chaos harness interleaves
+        client turns with single steps to control the schedule exactly.
+        """
+        if self.config.workers:
+            raise ServerError("step() requires a workers=0 server")
+        self._check_alive()
+        with self._mutex:
+            request = self._next_request()
+            pending = request is not None or any(
+                t.queue for t in self._tenants.values()
+            )
+        if request is None:
+            if pending:
+                # every queued request is cooling down: idle tick
+                self.clock.advance(1)
+                self.idle_ticks += 1
+            return pending
+        done = self._execute(request)
+        if not done:
+            with self._mutex:
+                self._requeue(request)
+        return True
+
+    def pump(self, max_quanta=1_000_000):
+        """Drive the queue to empty; returns quanta+idle steps taken.
+
+        A hard step ceiling turns a scheduling bug into an error
+        instead of a hang (the torture-harness discipline)."""
+        steps = 0
+        while self.step():
+            steps += 1
+            if steps > max_quanta:
+                raise ServerError(
+                    f"pump exceeded {max_quanta} steps (livelock?)"
+                )
+        return steps
+
+    def _complete(self, ticket):
+        """Finish one ticket: block (threaded) or pump (deterministic)."""
+        if self.config.workers:
+            return ticket.wait()
+        while not ticket.done:
+            if not self.step():
+                break
+        return ticket.outcome()
+
+    # ------------------------------------------------------------------
+    # threaded drive (workers > 0)
+    # ------------------------------------------------------------------
+    def start(self):
+        """Start the worker pool (threaded mode only)."""
+        if not self.config.workers:
+            raise ServerError("start() requires workers > 0")
+        if self.running:
+            return
+        self.running = True
+        self._threads = [
+            threading.Thread(target=self._worker_loop,
+                             name=f"sqlserver-worker-{i}", daemon=True)
+            for i in range(self.config.workers)
+        ]
+        for thread in self._threads:
+            thread.start()
+
+    def stop(self):
+        """Stop the worker pool, letting in-flight quanta finish."""
+        with self._mutex:
+            self.running = False
+            self._work.notify_all()
+        for thread in self._threads:
+            thread.join(timeout=10)
+        self._threads = []
+
+    def __enter__(self):
+        if self.config.workers:
+            self.start()
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        if self.config.workers:
+            self.stop()
+        return False
+
+    def _worker_loop(self):
+        while True:
+            with self._work:
+                request = None
+                while self.running and not self.crashed:
+                    request = self._next_request()
+                    if request is not None:
+                        break
+                    # short timed wait: cooldowns expire on the wall
+                    # clock without an explicit wake-up
+                    self._work.wait(0.002)
+                if request is None:
+                    return
+            try:
+                done = self._execute(request)
+            except CrashPoint:
+                self.abandon("server crashed mid-request")
+                return
+            with self._work:
+                if not done:
+                    self._requeue(request)
+                self._work.notify_all()
+
+    # ------------------------------------------------------------------
+    # the quantum: one slice of one request
+    # ------------------------------------------------------------------
+    def _run_quantum(self, request):
+        """Advance ``request`` one quantum; True when it resolved."""
+        session = request.session
+        if session.state != OPEN:
+            request.ticket._fail(
+                ConnectionLost(f"session is {session.state}"))
+            return True
+        if (request.deadline is not None
+                and self.clock.now() >= request.deadline):
+            self._cancel_deadline(request)
+            return True
+        if session.poisoned:
+            # the session's transaction was server-aborted; every
+            # statement fails fast (retryably) until rollback/commit
+            # acknowledges the abort — no point burning retry budget
+            self._fail(request, TransactionAborted(
+                "transaction was aborted by the server; "
+                "rollback to continue"))
+            return True
+        try:
+            if request.kind == _BULK:
+                self._run_bulk(request)
+                return True
+            if request.plan is None:
+                started = self._start_statement(request)
+                if not started:
+                    return True  # non-SELECT ran to completion
+            root = request.plan.root
+            for _ in range(self.config.quantum_rows):
+                row = root.next()
+                if row is None:
+                    self._finish_select(request)
+                    return True
+                request.rows.append(row)
+            return False
+        except CrashPoint:
+            # a simulated process death must never be absorbed as a
+            # per-request failure: latch and let the caller (worker
+            # loop / chaos harness) observe the dead server
+            self.crashed = True
+            raise
+        except Exception as exc:
+            # TransientError is a mixin, not an Exception subclass, so
+            # the dispatch is by isinstance.  LockConflictError carries
+            # no TransientError mixin (the scheduler retries the quantum
+            # in place), but under no-wait 2PL the server's correct
+            # response is the same as for a deadlock victim: abort the
+            # transaction and restart the statement — never re-pull a
+            # generator that an exception already terminated (that
+            # silently truncates results)
+            if isinstance(exc, (TransientError, LockConflictError)):
+                return self._handle_transient(request, exc)
+            if isinstance(exc, ReproError):
+                self._fail_statement(request, exc)
+                return True
+            # fatal: kill only this connection
+            self._kill_connection(request, exc)
+            return True
+
+    def _start_statement(self, request):
+        """Bind a txn and begin execution; True if a plan is now open
+        (SELECT), False if the statement already ran to completion."""
+        session = request.session
+        if session.txn is not None:
+            request.txn = session.txn
+            request.owns_txn = False
+        else:
+            request.txn = self.db.storage.begin()
+            request.owns_txn = True
+        prepared = request.prepared
+        if prepared.is_select:
+            request.plan = self.db.plan_statement(
+                prepared.stmt, request.txn, hints=request.hints
+            )
+            request.columns = request.plan.columns
+            request.rows = []
+            request.plan.root.open()
+            return True
+        result = self.db._apply_statement(
+            prepared.stmt, request.txn, request.hints
+        )
+        self._commit_request(request)
+        self._resolve(request, result)
+        return False
+
+    def _run_bulk(self, request):
+        session = request.session
+        table_name, rows = request.payload
+        if session.txn is not None:
+            request.txn, request.owns_txn = session.txn, False
+        else:
+            request.txn = self.db.storage.begin()
+            request.owns_txn = True
+        table = self.db.catalog.table(table_name)
+        loaded = table.bulk_load(request.txn, rows)
+        self._commit_request(request)
+        from repro.db.database import QueryResult
+
+        self._resolve(request, QueryResult(("rows_loaded",), [(loaded,)]))
+
+    def _commit_request(self, request):
+        if request.owns_txn and request.txn.is_active:
+            request.txn.commit(sync=self.config.sync_commits)
+        request.txn = None
+
+    def _finish_select(self, request):
+        from repro.db.database import QueryResult
+
+        self._close_plan(request)
+        rows = request.rows
+        request.rows = None
+        self._commit_request(request)
+        self._resolve(request, QueryResult(request.columns, rows))
+
+    def _resolve(self, request, result):
+        with self._mutex:
+            self.completed += 1
+            tenant = self._tenants[request.session.tenant]
+            tenant.completed += 1
+            tenant.rows += len(result.rows)
+        request.ticket._resolve(result)
+
+    def _fail(self, request, error):
+        with self._mutex:
+            self.failed += 1
+            self._tenants[request.session.tenant].failed += 1
+        request.ticket._fail(error)
+
+    def _close_plan(self, request):
+        """Close the plan, swallowing close-time errors (the scheduler's
+        exception-safe close discipline); a CrashPoint still flies."""
+        plan, request.plan = request.plan, None
+        if plan is None:
+            return
+        try:
+            plan.root.close()
+        except CrashPoint:
+            raise
+        except Exception:
+            pass
+
+    def _abort_request_txn(self, request):
+        """Release everything ``request`` holds: plan first (drops pins),
+        then the transaction (drops locks and wait-for edges)."""
+        self._close_plan(request)
+        request.rows = None
+        txn = request.txn
+        request.txn = None
+        if txn is None:
+            return
+        session = request.session
+        if request.owns_txn:
+            if txn.is_active:
+                txn.abort()
+        else:
+            # statement failure aborts the client's whole transaction
+            # (no-wait 2PL has no partial rollback); the session is
+            # poisoned so a later commit() fails loudly and retryably
+            if txn.is_active:
+                txn.abort()
+            session.txn = None
+            session.poisoned = True
+            session.txn_aborts += 1
+
+    def _handle_transient(self, request, exc):
+        """Deadlock / lock conflict / transient fault during a quantum."""
+        session = request.session
+        in_explicit_txn = not request.owns_txn and request.txn is not None
+        self._abort_request_txn(request)
+        if in_explicit_txn:
+            # the client owns the transaction boundary: surface a
+            # retryable abort instead of silently re-running half of it
+            failure = TransactionAborted(
+                f"statement aborted mid-transaction: {exc}"
+            )
+            failure.__cause__ = exc
+            self._fail(request, failure)
+            return True
+        request.attempts += 1
+        session.retries += 1
+        with self._mutex:
+            self.retries += 1
+        if request.attempts > self.config.retry_budget:
+            if not isinstance(exc, TransientError):
+                # budget-exhausted lock conflict: keep the client-visible
+                # contract that every serving failure is retryable
+                wrapped = TransactionAborted(
+                    f"statement retry budget exhausted: {exc}"
+                )
+                wrapped.__cause__ = exc
+                exc = wrapped
+            self._fail(request, exc)  # still transient: client may retry
+            return True
+        request.cooldown_until = self.clock.now() + self._backoff(
+            session, request.attempts
+        )
+        return False  # requeue: restart the statement after cooldown
+
+    def _backoff(self, session, attempts):
+        """Jittered exponential backoff in clock units, seeded per
+        session so chaos scenarios replay deterministically."""
+        base = self.config.backoff_base * (2 ** (attempts - 1))
+        jitter = 0.5 + session.rng.random()
+        return min(base * jitter, self.config.backoff_cap)
+
+    def _cancel_deadline(self, request):
+        session = request.session
+        self._abort_request_txn(request)
+        session.deadline_cancels += 1
+        with self._mutex:
+            self.deadline_cancels += 1
+        self._fail(request, DeadlineExceeded(
+            f"query exceeded its deadline (now={self.clock.now()})"
+        ))
+
+    def _fail_statement(self, request, exc):
+        """Statement-level failure (bad SQL, unknown table, exhausted
+        budget surfaced by the planner): the session survives."""
+        self._abort_request_txn(request)
+        self._fail(request, exc)
+
+    def _kill_connection(self, request, exc):
+        """Fatal failure: isolate it to this connection."""
+        session = request.session
+        self._abort_request_txn(request)
+        if session.txn is not None:
+            if session.txn.is_active:
+                session.txn.abort()
+            session.txn = None
+        session.state = KILLED
+        with self._mutex:
+            self.fatal_errors += 1
+            # everything else this session had queued dies with it
+            for tenant in self._tenants.values():
+                doomed = [r for r in tenant.queue if r.session is session]
+                for r in doomed:
+                    tenant.queue.remove(r)
+                    r.ticket._fail(ConnectionLost(
+                        "connection killed by a fatal error"))
+                    tenant.failed += 1
+                    self.failed += 1
+        self._fail(request, exc)
+
+    def abandon(self, reason="server stopped"):
+        """Fail every queued request with a retryable ConnectionLost.
+
+        Called after a crash (nothing in flight survives a process
+        death) — the chaos invariant that clients only ever observe
+        clean retryable errors hinges on this path."""
+        with self._mutex:
+            self.crashed = True
+            self.running = False
+            for tenant in self._tenants.values():
+                while tenant.queue:
+                    request = tenant.queue.popleft()
+                    request.ticket._fail(ConnectionLost(reason))
+                    tenant.failed += 1
+                    self.failed += 1
+            self._work.notify_all()
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    def stats(self):
+        """JSON-ready serving counters (the shell's ``.stats`` source)."""
+        with self._mutex:
+            cache = {"hits": 0, "misses": 0, "evictions": 0}
+            for session in self._sessions:
+                for key in cache:
+                    cache[key] += getattr(session.cache, key)
+            return {
+                "admitted": self.admitted,
+                "shed": self.shed,
+                "completed": self.completed,
+                "failed": self.failed,
+                "retries": self.retries,
+                "quanta": self.quanta,
+                "idle_ticks": self.idle_ticks,
+                "deadline_cancels": self.deadline_cancels,
+                "fatal_errors": self.fatal_errors,
+                "sessions": len(self._sessions),
+                "active_sessions": sum(
+                    1 for s in self._sessions if s.state == OPEN
+                ),
+                "statement_cache": cache,
+                "tenants": {
+                    t.name: {
+                        "weight": t.weight,
+                        "quota": t.quota,
+                        "queued": len(t.queue),
+                        "admitted": t.admitted,
+                        "shed": t.shed,
+                        "completed": t.completed,
+                        "failed": t.failed,
+                        "quanta": t.quanta,
+                        "rows": t.rows,
+                    }
+                    for t in self._tenants.values()
+                },
+            }

@@ -12,6 +12,7 @@ Meta-commands (anything not starting with ``.`` is SQL):
 * ``.analyze``                      — collect optimizer statistics
 * ``.explain <sql>``                — show the physical plan
 * ``.demo``                         — load a small demo dataset
+* ``.stats``                        — buffer-pool / WAL / lock / server counters
 * ``.quit``                         — exit
 
 The module separates command processing (:class:`ShellSession`, fully
@@ -72,8 +73,11 @@ def parse_column_spec(spec):
 class ShellSession:
     """Processes one line at a time; returns output text."""
 
-    def __init__(self, db=None):
+    def __init__(self, db=None, server=None):
         self.db = db if db is not None else Database(pool_pages=2048)
+        #: optional repro.db.server.SqlServer whose admission/shed
+        #: counters .stats should surface alongside the storage ones
+        self.server = server
         self.done = False
 
     def process(self, line):
@@ -133,7 +137,48 @@ class ShellSession:
             return self.db.explain(rest)
         if command == ".demo":
             return self._load_demo()
+        if command == ".stats":
+            return self._stats()
         return f"unknown command {command}; try .help"
+
+    def _stats(self):
+        """Render storage + (when connected) server counters."""
+        storage = self.db.storage
+        pool = storage.pool.stats()
+        log = storage.log
+        lines = ["buffer pool:"]
+        lines.extend(
+            f"  {key}: {pool[key]:.3f}" if key == "hit_rate"
+            else f"  {key}: {pool[key]}"
+            for key in ("capacity", "resident", "hits", "misses",
+                        "evictions", "pin_waits", "disk_retries",
+                        "backoff_ticks", "hit_rate")
+        )
+        lines.append("wal:")
+        lines.append(f"  forces: {log.forces}")
+        lines.append(f"  group_forces: {log.group_forces}")
+        lines.append(f"  flushed_lsn: {log.flushed_lsn}")
+        locks = storage.locks
+        lines.append("locks:")
+        lines.append(f"  grants: {locks.grants}")
+        lines.append(f"  conflicts: {locks.conflicts}")
+        lines.append(f"  locked_resources: {locks.locked_resource_count}")
+        lines.append(f"  txn_restarts: {storage.txn_restarts}")
+        if self.server is not None:
+            stats = self.server.stats()
+            lines.append("server:")
+            for key in ("admitted", "shed", "completed", "failed",
+                        "retries", "quanta", "deadline_cancels",
+                        "active_sessions"):
+                lines.append(f"  {key}: {stats[key]}")
+            for name, tenant in stats["tenants"].items():
+                lines.append(
+                    f"  tenant {name}: weight={tenant['weight']} "
+                    f"admitted={tenant['admitted']} shed={tenant['shed']} "
+                    f"completed={tenant['completed']} "
+                    f"quanta={tenant['quanta']}"
+                )
+        return "\n".join(lines)
 
     def _load_demo(self):
         if self.db.catalog.has_table("emp"):

@@ -175,7 +175,7 @@ SCHEDULES = (
 GROUP_COMMIT_SCHEDULES = frozenset({"group-deferred", "group-torn"})
 
 
-def derive_plan(seed, schedule):
+def derive_plan(seed, schedule, intensity=1.0):
     """Derive the :class:`FaultPlan` for ``(seed, schedule)``.
 
     Pure: the same inputs always return an equal plan (the RNG is seeded
@@ -183,53 +183,67 @@ def derive_plan(seed, schedule):
     processes).  Hit indices are drawn from ranges tuned to the torture
     workload's operation counts; a trigger whose occurrence is never
     reached simply does not fire, which degenerates to a quiesce crash.
+
+    ``intensity`` scales the *hit-index* upper bounds (never the action
+    parameters) for workloads that fire fault points far more often than
+    the torture workload — the chaos harness runs multi-session traffic
+    and passes ``intensity > 1`` so crashes land throughout the run
+    instead of clustering at its start.  The default ``1.0`` reproduces
+    the historical draws bit-for-bit.
     """
     if schedule not in SCHEDULES:
         raise StorageError(
             f"unknown crash schedule {schedule!r}; pick from {SCHEDULES}"
         )
+    if intensity <= 0:
+        raise StorageError("intensity must be positive")
     rng = random.Random(f"faults:{seed}:{schedule}")
+
+    def span(lo, hi):
+        # scaled occurrence draw; identity when intensity == 1.0
+        return rng.randint(lo, max(lo, int(round(hi * intensity))))
+
     triggers = []
     torn_tail = 0
     if schedule == "commit-unforced":
-        triggers = [(TXN_COMMIT_UNFORCED, rng.randint(1, 10), CRASH, 0)]
+        triggers = [(TXN_COMMIT_UNFORCED, span(1, 10), CRASH, 0)]
     elif schedule == "commit-done":
-        triggers = [(TXN_COMMIT_DONE, rng.randint(1, 10), CRASH, 0)]
+        triggers = [(TXN_COMMIT_DONE, span(1, 10), CRASH, 0)]
     elif schedule == "append-crash":
         point = rng.choice((WAL_APPEND_BEFORE, WAL_APPEND_AFTER))
-        triggers = [(point, rng.randint(2, 90), CRASH, 0)]
+        triggers = [(point, span(2, 90), CRASH, 0)]
     elif schedule == "flush-partial":
-        triggers = [(WAL_FLUSH, rng.randint(1, 12), PARTIAL, rng.randint(1, 7))]
+        triggers = [(WAL_FLUSH, span(1, 12), PARTIAL, rng.randint(1, 7))]
     elif schedule == "writeback-crash":
-        triggers = [(POOL_WRITEBACK, rng.randint(1, 6), CRASH, 0)]
+        triggers = [(POOL_WRITEBACK, span(1, 6), CRASH, 0)]
     elif schedule == "torn-write":
         # small K: most of the page keeps its stale contents, so the tear
         # is near-certain to flunk the checksum instead of landing on a
         # tail that happens to match the intended image
-        triggers = [(DISK_WRITE, rng.randint(1, 24), TORN, rng.randint(1, 1024))]
+        triggers = [(DISK_WRITE, span(1, 24), TORN, rng.randint(1, 1024))]
     elif schedule == "read-transient":
-        triggers = [(DISK_READ, rng.randint(1, 12), TRANSIENT, rng.randint(1, 2))]
+        triggers = [(DISK_READ, span(1, 12), TRANSIENT, rng.randint(1, 2))]
     elif schedule == "torn-tail":
         # die mid-run so an unflushed tail exists to tear
-        triggers = [(WAL_APPEND_AFTER, rng.randint(5, 70), CRASH, 0)]
+        triggers = [(WAL_APPEND_AFTER, span(5, 70), CRASH, 0)]
         torn_tail = rng.randint(1, 6)
     elif schedule == "mixed":
         point = rng.choice((WAL_APPEND_AFTER, POOL_WRITEBACK, TXN_COMMIT_UNFORCED))
         triggers = [
-            (DISK_READ, rng.randint(1, 8), TRANSIENT, 1),
-            (point, rng.randint(3, 40), CRASH, 0),
+            (DISK_READ, span(1, 8), TRANSIENT, 1),
+            (point, span(3, 40), CRASH, 0),
         ]
         torn_tail = rng.choice((0, 0, 2, 4))
     elif schedule == "bulk-crash":
         point = rng.choice((BULK_PAGE_WRITE, BULK_INDEX_BATCH))
-        triggers = [(point, rng.randint(1, 4), CRASH, 0)]
+        triggers = [(point, span(1, 4), CRASH, 0)]
     elif schedule == "group-deferred":
         point = rng.choice((WAL_GROUP_FORCE, TXN_COMMIT_UNFORCED))
-        triggers = [(point, rng.randint(1, 6), CRASH, 0)]
+        triggers = [(point, span(1, 6), CRASH, 0)]
     elif schedule == "group-torn":
         # die mid-run with deferred commits sitting in the unforced tail;
         # truncation must drop them cleanly
-        triggers = [(WAL_APPEND_AFTER, rng.randint(5, 70), CRASH, 0)]
+        triggers = [(WAL_APPEND_AFTER, span(5, 70), CRASH, 0)]
         torn_tail = rng.randint(1, 6)
     return FaultPlan(triggers, torn_tail=torn_tail, seed=seed, schedule=schedule)
 

@@ -18,6 +18,7 @@ The storage manager owns:
 from __future__ import annotations
 
 import heapq
+import time
 
 from repro.db.storage import recovery, wal
 from repro.db.storage.btree import BTree, DEFAULT_MAX_KEYS
@@ -148,7 +149,8 @@ class StorageManager:
     def begin(self):
         return self.transactions.begin()
 
-    def run_transaction(self, fn, max_attempts=3):
+    def run_transaction(self, fn, max_attempts=3, rng=None,
+                        backoff_base=0.0, sleep=None):
         """Run ``fn(txn)`` in a fresh transaction, committing on return.
 
         Failures carrying the :class:`~repro.errors.TransientError` mixin
@@ -157,6 +159,16 @@ class StorageManager:
         attempts — before the failure is surfaced.  Anything else aborts
         and propagates immediately.  If ``fn`` commits or aborts the
         transaction itself, that outcome is respected.
+
+        With ``rng`` and a positive ``backoff_base``, each restart backs
+        off by ``backoff_base * 2**(n-1) * (0.5 + rng.random())`` for
+        restart *n* — jitter drawn from the *caller's* RNG (a server
+        session RNG in practice), never from the global :mod:`random`
+        module state, so chaos scenarios replay bit-identically from a
+        seed.  ``sleep`` receives the delay (default :func:`time.sleep`);
+        pass a recording stub in tests or a virtual-clock advance in
+        deterministic servers.  The defaults restart immediately, as
+        before.
         """
         if max_attempts < 1:
             raise StorageError("max_attempts must be at least 1")
@@ -173,6 +185,13 @@ class StorageManager:
                         or attempt >= max_attempts:
                     raise
                 self.txn_restarts += 1
+                if rng is not None and backoff_base > 0:
+                    delay = (backoff_base * (2 ** (attempt - 1))
+                             * (0.5 + rng.random()))
+                    if sleep is None:
+                        time.sleep(delay)
+                    else:
+                        sleep(delay)
                 attempt += 1
             else:
                 if txn.is_active:

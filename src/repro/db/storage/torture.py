@@ -450,10 +450,14 @@ def run_torture(seed, schedule, *, slots=4, txns_per_slot=6,
     )
 
 
-def _surviving_log(sm, plan):
+def surviving_log(sm, plan):
     """What the log looks like after the crash: everything through the
     forced horizon survives; ``plan.torn_tail`` further records linger
-    past it, the last of them corrupted mid-record."""
+    past it, the last of them corrupted mid-record.
+
+    Public: the chaos harness (:mod:`repro.db.chaos`) plays the role of
+    the operating system for server crashes and reuses this to decide
+    what a restarted server gets to recover from."""
     records = sm.log.records()
     horizon = sm.log.flushed_lsn + 1
     survived = records[:horizon]
@@ -461,6 +465,10 @@ def _surviving_log(sm, plan):
     if tail:
         tail[-1] = tail[-1]._replace(kind="#TORN#")
     return survived + tail
+
+
+#: backwards-compatible internal alias
+_surviving_log = surviving_log
 
 
 def _check_invariants(sm, file_id, driver, stats, plan):

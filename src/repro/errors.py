@@ -72,6 +72,47 @@ class RecoveryError(StorageError):
     """Raised when log replay encounters an inconsistent log."""
 
 
+class ServerError(ReproError):
+    """Base class for SQL-server front-end failures."""
+
+
+class ServerBusy(ServerError, TransientError):
+    """Raised when admission control sheds a request (queue full or
+    tenant quota exhausted).
+
+    Transient: nothing about the request is wrong — re-submitting after
+    a backoff is the correct client response, so load shedding can never
+    be mistaken for a query failure."""
+
+
+class DeadlineExceeded(ServerError, TransientError):
+    """Raised when a query's deadline expires before it completes.
+
+    The server cancels the query cooperatively at a quantum boundary:
+    its plan is closed, its transaction aborted, and every lock and
+    wait-for edge it held is released before this error is surfaced.
+    Transient: the same query may well finish under a fresh deadline on
+    a less loaded server."""
+
+
+class ConnectionLost(ServerError, TransientError):
+    """Raised to clients whose request was in flight when the server
+    died (or whose connection was killed by a fatal error).
+
+    Transient by design: the chaos invariant suite requires that a
+    crash surfaces to clients only as clean retryable errors — the
+    client re-connects and re-runs its transaction."""
+
+
+class TransactionAborted(ServerError, TransientError):
+    """Raised when a statement inside an explicit transaction hit a
+    lock conflict or deadlock and the server aborted the transaction
+    (no-wait two-phase locking cannot suspend mid-statement).
+
+    Transient: the client owns the transaction boundary, so the retry
+    unit is the whole transaction, not the statement."""
+
+
 class CatalogError(ReproError):
     """Raised for unknown tables, columns, or indexes."""
 

@@ -598,3 +598,56 @@ def storage_scale_experiment(runner, workload="wisc-scale"):
     result.add_row(workload, values)
     result.failures = grid.failure_report()
     return result
+
+
+# ----------------------------------------------------------------------
+# Extension: CGP vs NL on the multi-tenant serving front end
+# ----------------------------------------------------------------------
+
+
+def serving_experiment(runner, workload="serving"):
+    """CGP vs next-N-line on the multi-tenant SQL server (extension).
+
+    The ``serving`` workload (see :mod:`repro.workloads.serving`) runs
+    the real server front end in deterministic mode: four client
+    streams across three tenants -- OLTP transactions, cached point
+    lookups, deadline-armed scans, a streaming bulk load --
+    interleaved one scheduling quantum at a time by deficit-weighted
+    dispatch.  That is the paper's own scenario (§1-2): a threaded
+    server whose interleaved query streams destroy instruction
+    locality, with admission control, the prepared-statement cache,
+    and conflict-retry paths layered on top of query execution.
+    """
+    result = ExperimentResult(
+        "serving",
+        "CGP on the multi-tenant serving path (extension)",
+        "Quantum-interleaved client streams through the server front "
+        "end are the paper's motivating workload shape; CGP should "
+        "keep its advantage over next-N-line with the dispatch and "
+        "session layers in the loop.",
+        ["O5", "OM+NL_4", "OM+CGP_4", "speedup:CGP4_over_NL4",
+         "mpki:NL_4", "mpki:CGP_4"],
+    )
+    specs = [
+        RunSpec(workload, "O5", None),
+        RunSpec(workload, "OM", ("nl", 4)),
+        RunSpec(workload, "OM", ("cgp", 4)),
+    ]
+    grid = runner.run_grid(specs, grid="serving")
+    base = grid.get(specs[0])
+    nl = grid.get(specs[1])
+    cgp = grid.get(specs[2])
+    values = {}
+    if base is not None:
+        values["O5"] = base.cycles
+    if nl is not None:
+        values["OM+NL_4"] = nl.cycles
+        values["mpki:NL_4"] = nl.mpki
+    if cgp is not None:
+        values["OM+CGP_4"] = cgp.cycles
+        values["mpki:CGP_4"] = cgp.mpki
+    if nl is not None and cgp is not None:
+        values["speedup:CGP4_over_NL4"] = nl.cycles / cgp.cycles
+    result.add_row(workload, values)
+    result.failures = grid.failure_report()
+    return result

@@ -14,6 +14,7 @@ The two programs' code images are concatenated into one address space
 
 from __future__ import annotations
 
+from repro.errors import TraceError
 from repro.harness.experiments import ExperimentResult
 from repro.instrument.codeimage import FrozenImage
 from repro.instrument.interleave import interleave
@@ -87,5 +88,97 @@ def multiprogram_mix(name_a, name_b, quantum=20000,
 
     run(image_a, trace_a, f"{name_a} solo")
     run(image_b, trace_b, f"{name_b} solo")
+    run(combined_image, mixed, "time-shared")
+    return result
+
+
+def merge_with_background(db_trace, bg_trace, bg_tid, quantum=20000,
+                          call_overhead=2):
+    """Time-share a DBMS trace with a background program's trace.
+
+    DB traces already contain SWITCH events (the cooperative scheduler
+    interleaves queries inside one trace), so :func:`interleave` refuses
+    them.  This merge round-robins quantum-sized bursts instead: DB
+    bursts are copied verbatim — internal switches included — and each
+    one is preceded by a SWITCH back to whichever DB thread was running
+    when the previous burst was cut; background bursts run as thread
+    ``bg_tid``, which must not collide with any DB thread id.
+    """
+    merged = Trace()
+    cursors = [0, 0]
+    db_tid = 0  # the DB thread to resume; traces open with SWITCH 0
+    sources = [db_trace, bg_trace]
+    while any(cursors[i] < len(sources[i]) for i in (0, 1)):
+        for which in (0, 1):
+            trace = sources[which]
+            index = cursors[which]
+            if index >= len(trace):
+                continue
+            merged.add_switch(db_tid if which == 0 else bg_tid)
+            budget = quantum
+            kinds, a, b, c = trace.kinds, trace.a, trace.b, trace.c
+            while index < len(kinds) and budget > 0:
+                kind = kinds[index]
+                if kind == SWITCH:
+                    if which == 1:
+                        raise TraceError(
+                            "background trace must not contain SWITCH"
+                        )
+                    db_tid = a[index]
+                merged.kinds.append(kind)
+                merged.a.append(a[index])
+                merged.b.append(b[index])
+                merged.c.append(c[index])
+                if kind == EXEC:
+                    budget -= abs(c[index] - b[index]) + 1
+                elif kind != SWITCH:
+                    budget -= call_overhead
+                index += 1
+            cursors[which] = index
+    return merged
+
+
+def database_mix(runner, suite="serving", benchmark="gcc", quantum=20000,
+                 target_instructions=1_000_000, sim_config=TABLE_1):
+    """Time-share a traced database workload with a CPU2000 program.
+
+    The paper's §2 interference argument, with the DBMS itself in the
+    mix: the multi-tenant ``serving`` trace (or any suite) shares one
+    I-cache with a compute benchmark, and the combined miss rate
+    exceeds both solo runs.
+    """
+    art = runner.artifacts(suite)
+    db_image, db_trace = art.image, art.trace
+    bench_image, bench_trace = cpu2000.build_benchmark(
+        benchmark, target_instructions=target_instructions
+    )
+    combined_image, offset = combine_images(db_image, bench_image)
+    db_tids = {a for kind, a, _b, _c in db_trace.events() if kind == SWITCH}
+    bg_tid = max(db_tids, default=0) + 1
+    mixed = merge_with_background(
+        db_trace, shift_fids(bench_trace, offset), bg_tid, quantum=quantum
+    )
+
+    result = ExperimentResult(
+        "database-mix",
+        f"Database mix: {suite} + {benchmark} (quantum {quantum})",
+        "A database serving workload time-shared with a compute "
+        "program loses instruction locality at every context switch "
+        "(§2) — on top of the query interleaving it already suffers.",
+        ["misses", "miss_rate", "mpki"],
+    )
+
+    def run(image, trace, label):
+        layout = om_layout(image, profile_of(trace), instr_scale=1.0)
+        stats = simulate(trace, layout, sim_config)
+        result.add_row(label, {
+            "misses": stats.demand_misses,
+            "miss_rate": stats.miss_rate,
+            "mpki": stats.mpki,
+        })
+        return stats
+
+    run(db_image, db_trace, f"{suite} solo")
+    run(bench_image, bench_trace, f"{benchmark} solo")
     run(combined_image, mixed, "time-shared")
     return result

@@ -54,6 +54,7 @@ DEFAULT_SCALES = {
     # size): the bulk loader makes the build cheap, and the traced
     # queries are selective probes, so the default stays minutes-scale
     "wisc-scale": 1.0,
+    "serving": 1.0,
 }
 
 

@@ -262,7 +262,7 @@ def build_image(modules, instrs_per_pyop=INSTRS_PER_PYOP):
 
 def db_modules():
     """The DBMS modules traced in the paper's experiments (all layers)."""
-    from repro.db import database, scheduler
+    from repro.db import database, scheduler, server
     from repro.db.exec import expressions, operators, schema, table
     from repro.db.optimizer import cost, planner, stats
     from repro.db.parser import ast_nodes, parser, tokenizer
@@ -287,6 +287,9 @@ def db_modules():
         ast_nodes, parser, tokenizer,
         btree, buffer_pool, codec, disk, hash_index, lock_manager, page,
         recovery, storage_manager, transaction, wal,
+        # appended last so layouts derived from earlier images keep the
+        # same leading function order
+        server,
     ]
 
 

@@ -17,12 +17,13 @@ _LAYER_PREFIXES = (
     ("repro.db.optimizer", "optimizer"),
     ("repro.db.exec", "exec"),
     ("repro.db.storage", "storage"),
+    ("repro.db.server", "server"),
     ("repro.db", "db-core"),
 )
 
 #: Every layer a function can be attributed to.
-LAYER_NAMES = ("parser", "optimizer", "exec", "storage", "db-core",
-               "runtime", "other")
+LAYER_NAMES = ("parser", "optimizer", "exec", "storage", "server",
+               "db-core", "runtime", "other")
 
 
 def layer_of_module(module):

@@ -347,7 +347,9 @@ def replay_sharded(trace, layout, config, prefetcher=None, seed=12345,
     else:
         boundaries = list(boundaries)
         n = _compiled(trace, layout).n_events
-        if (boundaries[0] != 0 or boundaries[-1] != n
+        if n == 0 and boundaries in ([0], [0, 0]):
+            boundaries = [0, 0]  # one empty segment, as shard_boundaries cuts
+        elif (boundaries[0] != 0 or boundaries[-1] != n
                 or any(a >= b for a, b in zip(boundaries, boundaries[1:]))):
             raise SimulationError(
                 "boundaries must rise strictly from 0 to the event count")

@@ -1,0 +1,250 @@
+"""The ``serving`` workload: traced multi-tenant SQL serving.
+
+The paper's premise (§1-2) is a *threaded database server*: many client
+query streams interleaved by the scheduler, wrecking the instruction
+cache far worse than any single query would.  The steady-state suites
+approximate that with ``run_concurrent``; this workload runs the real
+thing — :class:`repro.db.server.SqlServer` in deterministic mode,
+serving four client streams across three tenants (OLTP transactions,
+repeated point lookups through the prepared-statement cache, analytic
+scans under a deadline, and a streaming bulk load), one quantum per
+server step so the streams interleave exactly as the paper describes.
+
+Split like every other suite:
+
+* **build** (untraced, in the constructor): create and populate the
+  ``acct`` table, start the server, connect the streams, and precompute
+  each stream's statement script from the seed;
+* **run** (traced): drive the streams to completion — admission,
+  statement-cache hits and parse-on-miss, deficit-weighted tenant
+  dispatch, quantum execution through parser/optimizer/exec/storage,
+  conflict aborts and budgeted retries — then a verification scan.
+
+Under no-wait two-phase locking the OLTP transaction's UPDATE conflicts
+with concurrent scans, so some statements abort and replay.  All of it
+is deterministic: ``workers=0`` uses the virtual clock, every RNG is
+seeded from ``(seed, stream)``, so the same ``(scale, seed)`` always
+yields the same trace and the same rows.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.db import Database
+from repro.db.server import ServerConfig, SqlServer
+from repro.errors import ServerError, TransientError
+
+#: Tenant weights for the serving mix: OLTP gets the lion's share, the
+#: analytic scans half of that, the bulk loader runs in the background.
+TENANT_WEIGHTS = {"oltp": 4, "analytics": 2, "batch": 1}
+
+#: Per-stream floor on the transparent-replay cap; the actual cap grows
+#: with the stream's script length (larger scales conflict more per
+#: attempt).  The mix is deterministic, so hitting the cap means the
+#: workload itself livelocked.
+_MIN_STREAM_RETRIES = 48
+_RETRIES_PER_OP = 16
+
+#: Scans get a generous deadline (virtual ticks): the deadline arm/cancel
+#: machinery runs on every quantum without ever actually firing.
+_SCAN_DEADLINE = 250_000
+
+
+class _Stream:
+    """One client connection driving a precomputed statement script.
+
+    ``ops`` entries are tuples: ``("begin",)``, ``("commit",)``,
+    ``("stmt", sql, deadline)``, ``("bulk", table, rows)``.  At most one
+    request is in flight at a time; transient failures (conflict aborts,
+    admission sheds) replay the failed statement — or the whole
+    transaction when one is open — exactly like a real client would.
+    """
+
+    __slots__ = ("name", "conn", "ops", "pos", "ticket", "txn_start",
+                 "retries", "max_retries", "done")
+
+    def __init__(self, name, conn, ops):
+        self.name = name
+        self.conn = conn
+        self.ops = ops
+        self.pos = 0
+        self.ticket = None
+        self.txn_start = None  # op index of the open BEGIN, if any
+        self.retries = 0
+        self.max_retries = max(_MIN_STREAM_RETRIES,
+                               _RETRIES_PER_OP * len(ops))
+        self.done = False
+
+    def turn(self):
+        """Advance by at most one op; no-op while a request is in flight."""
+        if self.done:
+            return
+        if self.ticket is not None:
+            if not self.ticket.done:
+                return
+            ticket, self.ticket = self.ticket, None
+            try:
+                ticket.outcome()
+            except Exception as exc:
+                self._recover(exc)
+                return
+        if self.pos >= len(self.ops):
+            self.done = True
+            return
+        op = self.ops[self.pos]
+        self.pos += 1
+        try:
+            if op[0] == "begin":
+                self.txn_start = self.pos - 1
+                self.conn.begin()
+            elif op[0] == "commit":
+                self.conn.commit()
+                self.txn_start = None
+            elif op[0] == "stmt":
+                self.ticket = self.conn.submit(op[1], deadline=op[2])
+            else:  # bulk
+                self.ticket = self.conn.submit_bulk(op[1], op[2])
+        except Exception as exc:
+            self._recover(exc)
+
+    def _recover(self, exc):
+        """Replay after a retryable failure; anything else is a bug."""
+        if not isinstance(exc, TransientError):
+            raise exc
+        self.retries += 1
+        if self.retries > self.max_retries:
+            raise ServerError(
+                f"serving stream {self.name!r} exceeded "
+                f"{self.max_retries} replays"
+            ) from exc
+        restart = self.pos - 1 if self.txn_start is None else self.txn_start
+        if self.conn.in_transaction or self.conn.session.poisoned:
+            self.conn.rollback()
+        self.txn_start = None
+        self.pos = restart
+
+
+class ServingWorkload:
+    """Multi-tenant serving workload with the ``WorkloadSuite`` interface.
+
+    ``scale`` multiplies the table size and the number of statements each
+    stream issues.  ``quantum_rows`` is the server's scheduling quantum,
+    the knob that controls how finely the streams interleave.
+    """
+
+    def __init__(self, scale=1.0, seed=1234, quantum_rows=16):
+        self.name = "serving"
+        self.seed = seed
+        self.quantum_rows = quantum_rows
+        rng = random.Random(f"serving:{seed}")
+        n = max(48, int(round(300 * scale)))
+        txns = max(2, int(round(6 * scale)))
+        scans = max(2, int(round(4 * scale)))
+        bulk_rows = max(16, int(round(120 * scale)))
+
+        self.database = Database(pool_pages=512)
+        db = self.database
+        db.execute("CREATE TABLE acct (id INT, bal INT)")
+        db.create_index("acct", "id")
+        for i in range(n):
+            db.execute(
+                f"INSERT INTO acct (id, bal) "
+                f"VALUES ({i}, {rng.randrange(1000)})"
+            )
+        db.analyze_table("acct")
+
+        self._server = SqlServer(db, ServerConfig(
+            workers=0,
+            quantum_rows=quantum_rows,
+            max_queue=8,
+            tenants=TENANT_WEIGHTS,
+            stmt_cache_size=8,
+            retry_budget=8,
+            seed=f"serving:{seed}",
+        ))
+        self._streams = [
+            _Stream("oltp-txn", self._server.connect("oltp"),
+                    self._oltp_txn_ops(rng, n, txns)),
+            _Stream("oltp-point", self._server.connect("oltp"),
+                    self._point_ops(rng, n, txns * 3)),
+            _Stream("analytics", self._server.connect("analytics"),
+                    self._scan_ops(rng, scans)),
+            _Stream("batch", self._server.connect("batch"),
+                    self._bulk_ops(rng, n, bulk_rows)),
+        ]
+        self._admin = self._server.connect("batch")
+
+    # ------------------------------------------------------------------
+    # script builders (untraced; pure in the constructor's rng)
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _oltp_txn_ops(rng, n, txns):
+        ops = []
+        for _ in range(txns):
+            k = rng.randrange(n)
+            ops.append(("begin",))
+            ops.append(("stmt",
+                        f"UPDATE acct SET bal = {rng.randrange(1000)} "
+                        f"WHERE id = {k}", None))
+            ops.append(("stmt",
+                        f"SELECT bal FROM acct WHERE id = {k}", None))
+            ops.append(("commit",))
+        return ops
+
+    @staticmethod
+    def _point_ops(rng, n, count):
+        # a small cycle of identical statements: after the first lap the
+        # prepared-statement cache serves every parse
+        cycle = [
+            ("stmt", f"SELECT bal FROM acct WHERE id = {rng.randrange(n)}",
+             None)
+            for _ in range(4)
+        ]
+        return [cycle[i % len(cycle)] for i in range(count)]
+
+    @staticmethod
+    def _scan_ops(rng, scans):
+        return [
+            ("stmt",
+             f"SELECT id FROM acct WHERE bal >= {rng.randrange(200, 900)}",
+             _SCAN_DEADLINE)
+            for _ in range(scans)
+        ]
+
+    @staticmethod
+    def _bulk_ops(rng, n, bulk_rows):
+        rows = [(n + i, rng.randrange(1000)) for i in range(bulk_rows)]
+        probe = n + rng.randrange(bulk_rows)
+        return [
+            ("bulk", "acct", rows),
+            ("stmt", f"SELECT bal FROM acct WHERE id = {probe}", None),
+        ]
+
+    # ------------------------------------------------------------------
+    def run(self):
+        """Traced part: serve every stream to completion, then verify.
+
+        Returns ``{"serving": rows}`` where ``rows`` is the final content
+        of ``acct`` in scan order, matching ``WorkloadSuite.run``'s
+        ``name -> rows`` shape.
+        """
+        streams = self._streams
+        rounds = 0
+        while not all(s.done for s in streams):
+            for stream in streams:
+                stream.turn()
+            self._server.step()
+            rounds += 1
+            if rounds > 500_000:
+                raise ServerError("serving workload exceeded round ceiling")
+        self._server.pump()
+        result = self._admin.execute("SELECT id, bal FROM acct")
+        return {"serving": [tuple(row) for row in result.rows]}
+
+    def query_names(self):
+        return ["serving"]
+
+    def stats(self):
+        """Server-side counters after :meth:`run` (for tests/diagnostics)."""
+        return self._server.stats()

@@ -29,10 +29,10 @@ PAPER_WISC_LARGE_TUPLES = 10000  # tenk1/tenk2 at full size
 SUITE_NAMES = ("wisc-prof", "wisc-large-1", "wisc-large-2", "wisc+tpch")
 
 #: Every traceable workload: the paper's four suites plus the crash
-#: ``recovery`` workload and the storage scale-out suite ``wisc-scale``
-#: (kept out of SUITE_NAMES so the paper's figures stay exactly the
-#: paper's workload set).
-ALL_SUITE_NAMES = SUITE_NAMES + ("recovery", "wisc-scale")
+#: ``recovery`` workload, the storage scale-out suite ``wisc-scale``,
+#: and the multi-tenant ``serving`` workload (kept out of SUITE_NAMES so
+#: the paper's figures stay exactly the paper's workload set).
+ALL_SUITE_NAMES = SUITE_NAMES + ("recovery", "wisc-scale", "serving")
 
 
 class WorkloadSuite:
@@ -109,6 +109,13 @@ def build_suite(name, scale=0.1, pool_pages=4096, seed=1234, quantum_rows=16):
 
         return RecoveryWorkload(scale=scale, seed=seed,
                                 quantum_rows=quantum_rows)
+    if name == "serving":
+        # imported lazily: the serving workload drags in the SQL server
+        # front end, which steady-state suites never need
+        from repro.workloads.serving import ServingWorkload
+
+        return ServingWorkload(scale=scale, seed=seed,
+                               quantum_rows=quantum_rows)
     raise ConfigError(
         f"unknown workload suite {name!r}; pick from {ALL_SUITE_NAMES}"
     )

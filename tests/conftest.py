@@ -42,6 +42,7 @@ def small_runner():
             "wisc+tpch": 0.008,
             "recovery": 0.5,
             "wisc-scale": 0.02,  # 2,000-tuple relations at test scale
+            "serving": 0.25,
         },
     )
 

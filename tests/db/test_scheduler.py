@@ -179,3 +179,79 @@ def test_finished_plan_closed_exactly_once():
     results = scheduler.run(_plans(root))
     assert results["q0"] == [(1,)]
     assert root.close_calls == 1
+
+
+def test_close_is_exception_safe_and_idempotent():
+    """A raising close() is recorded on close_error, not propagated, and
+    later close() calls are no-ops (the pins/locks of sibling queries
+    must still be released)."""
+    from repro.db.scheduler import ScheduledQuery
+
+    closes = []
+
+    class BadClose:
+        columns = ("x",)
+
+        def open(self):
+            pass
+
+        def next(self):
+            return None
+
+        def close(self):
+            closes.append(1)
+            raise RuntimeError("close failed")
+
+    class FakePlan:
+        def __init__(self, root):
+            self.root = root
+
+    query = ScheduledQuery("q", FakePlan(BadClose()))
+    query.close()  # must not raise
+    assert isinstance(query.close_error, RuntimeError)
+    query.close()  # idempotent: the failing close ran exactly once
+    assert closes == [1]
+
+
+def test_failing_close_does_not_abort_sibling_queries(db):
+    """One query whose plan close() raises must not stop the scheduler
+    from completing (and closing) the others."""
+    from repro.db.scheduler import RoundRobinScheduler
+
+    class Probe:
+        columns = ("x",)
+
+        def __init__(self, n, bad_close=False):
+            self.remaining = n
+            self.bad_close = bad_close
+            self.closed = False
+
+        def open(self):
+            pass
+
+        def next(self):
+            if self.remaining == 0:
+                return None
+            self.remaining -= 1
+            return (self.remaining,)
+
+        def close(self):
+            self.closed = True
+            if self.bad_close:
+                raise RuntimeError("close failed")
+
+    class FakePlan:
+        def __init__(self, root):
+            self.root = root
+
+    good = Probe(4)
+    bad = Probe(2, bad_close=True)
+    scheduler = RoundRobinScheduler(quantum_rows=1)
+    results = scheduler.run([("good", FakePlan(good)),
+                             ("bad", FakePlan(bad))])
+    assert len(results["good"]) == 4
+    assert len(results["bad"]) == 2
+    assert good.closed and bad.closed
+    by_name = {q.name: q for q in scheduler.last_queries}
+    assert isinstance(by_name["bad"].close_error, RuntimeError)
+    assert by_name["good"].close_error is None

@@ -1,0 +1,561 @@
+"""The multi-tenant SQL server: admission, fairness, deadlines,
+retries, fault isolation, and the threaded soak."""
+
+import threading
+import time
+
+import pytest
+
+from repro.db import Database
+from repro.db.parser import ast_nodes as ast
+from repro.db.server import (
+    CLOSED,
+    KILLED,
+    OPEN,
+    ServerConfig,
+    SqlServer,
+    StatementCache,
+    statement_key,
+)
+from repro.errors import (
+    CatalogError,
+    ConnectionLost,
+    DeadlineExceeded,
+    ReproError,
+    ServerBusy,
+    ServerError,
+    TransactionAborted,
+    TransientError,
+)
+
+
+def make_db(rows=40):
+    db = Database(pool_pages=256)
+    db.execute("CREATE TABLE t (a INT, b INT)")
+    for i in range(rows):
+        db.execute(f"INSERT INTO t (a, b) VALUES ({i}, {i * 2})")
+    return db
+
+
+def make_server(db=None, **overrides):
+    return SqlServer(db if db is not None else make_db(),
+                     ServerConfig(**overrides))
+
+
+# ----------------------------------------------------------------------
+# basic serving
+# ----------------------------------------------------------------------
+
+
+def test_execute_roundtrip():
+    server = make_server()
+    conn = server.connect()
+    result = conn.execute("SELECT b FROM t WHERE a = 3")
+    assert list(result.rows) == [(6,)]
+    conn.execute("INSERT INTO t (a, b) VALUES (100, 200)")
+    result = conn.execute("SELECT b FROM t WHERE a = 100")
+    assert list(result.rows) == [(200,)]
+
+
+def test_explicit_transaction_commit_and_rollback():
+    server = make_server()
+    conn = server.connect()
+    conn.begin()
+    conn.execute("INSERT INTO t (a, b) VALUES (100, 1)")
+    assert conn.in_transaction
+    assert conn.commit() is True  # sync commits are durable immediately
+    assert len(conn.execute("SELECT b FROM t WHERE a = 100").rows) == 1
+
+    conn.begin()
+    conn.execute("INSERT INTO t (a, b) VALUES (101, 1)")
+    conn.rollback()
+    assert conn.execute("SELECT b FROM t WHERE a = 101").rows == []
+
+
+def test_bulk_load_through_server():
+    server = make_server()
+    conn = server.connect()
+    loaded = conn.bulk_load("t", [(200 + i, i) for i in range(25)])
+    assert loaded.rows == [(25,)]
+    result = conn.execute("SELECT a FROM t WHERE a >= 200")
+    assert len(result.rows) == 25
+
+
+def test_deterministic_server_rejects_start():
+    server = make_server()
+    with pytest.raises(ServerError):
+        server.start()
+    with pytest.raises(ServerError):
+        SqlServer(make_db(), ServerConfig(workers=2)).step()
+
+
+# ----------------------------------------------------------------------
+# prepared-statement cache
+# ----------------------------------------------------------------------
+
+
+def test_statement_key_is_value_keyed():
+    assert statement_key("SELECT 1") == statement_key("SELECT 1")
+    assert statement_key("SELECT 1") != statement_key("SELECT 2")
+    assert (statement_key("SELECT 1", {"join": "hash"})
+            != statement_key("SELECT 1"))
+    assert (statement_key("SELECT 1", {"join": "hash"})
+            == statement_key("SELECT 1", {"join": "hash"}))
+
+
+def test_statement_cache_hits_and_lru_eviction():
+    cache = StatementCache(2)
+    cache.prepare("SELECT a FROM t")
+    cache.prepare("SELECT a FROM t")
+    assert cache.stats()["hits"] == 1
+    cache.prepare("SELECT b FROM t")
+    cache.prepare("SELECT a FROM t")      # refresh a: b is now LRU
+    cache.prepare("SELECT a, b FROM t")   # evicts b
+    assert cache.stats()["evictions"] == 1
+    assert "SELECT a FROM t" in cache
+    assert "SELECT b FROM t" not in cache
+
+
+def test_sessions_reuse_cached_statements():
+    server = make_server(stmt_cache_size=4)
+    conn = server.connect()
+    for _ in range(3):
+        conn.execute("SELECT b FROM t WHERE a = 1")
+    stats = conn.session.cache.stats()
+    assert stats["misses"] == 1
+    assert stats["hits"] == 2
+
+
+# ----------------------------------------------------------------------
+# admission control
+# ----------------------------------------------------------------------
+
+
+def test_admission_sheds_when_queue_full():
+    server = make_server(max_queue=2)
+    conn = server.connect()
+    t1 = conn.submit("SELECT a FROM t")
+    t2 = conn.submit("SELECT a FROM t")
+    with pytest.raises(ServerBusy) as excinfo:
+        conn.submit("SELECT a FROM t")
+    assert isinstance(excinfo.value, TransientError)  # client may retry
+    assert server.stats()["shed"] == 1
+    assert server.stats()["tenants"]["default"]["shed"] == 1
+    server.pump()
+    assert t1.outcome().rows and t2.outcome().rows
+
+
+def test_per_tenant_quota_sheds_before_global_queue():
+    server = make_server(max_queue=10, tenants={"a": 1, "b": 1},
+                         quotas={"a": 1})
+    conn_a = server.connect("a")
+    conn_b = server.connect("b")
+    conn_a.submit("SELECT a FROM t")
+    with pytest.raises(ServerBusy):
+        conn_a.submit("SELECT a FROM t")
+    # tenant b is unaffected by a's quota
+    conn_b.submit("SELECT a FROM t")
+    assert server.stats()["tenants"]["a"]["shed"] == 1
+    assert server.stats()["tenants"]["b"]["shed"] == 0
+    server.pump()
+
+
+def test_unknown_tenant_rejected():
+    server = make_server(tenants={"a": 1})
+    with pytest.raises(ServerError):
+        server.connect("nope")
+
+
+# ----------------------------------------------------------------------
+# weighted fairness
+# ----------------------------------------------------------------------
+
+
+def test_deficit_weighted_dispatch_follows_weights():
+    """With both queues saturated, quanta split 3:1 by tenant weight."""
+    db = make_db(rows=8)
+    server = make_server(db, tenants={"heavy": 3, "light": 1},
+                         max_queue=64, quantum_rows=16)
+    heavy = server.connect("heavy")
+    light = server.connect("light")
+    for _ in range(12):
+        heavy.submit("SELECT a FROM t WHERE a = 1")
+        light.submit("SELECT a FROM t WHERE a = 1")
+    for _ in range(8):  # both queues stay non-empty throughout
+        server.step()
+    stats = server.stats()["tenants"]
+    assert stats["heavy"]["quanta"] == 6
+    assert stats["light"]["quanta"] == 2
+    server.pump()
+    assert server.stats()["failed"] == 0
+
+
+# ----------------------------------------------------------------------
+# deadlines and cooperative cancellation
+# ----------------------------------------------------------------------
+
+
+def test_deadline_cancels_long_query():
+    server = make_server(quantum_rows=1)
+    conn = server.connect()
+    ticket = conn.submit("SELECT a FROM t", deadline=3)
+    server.pump()
+    with pytest.raises(DeadlineExceeded) as excinfo:
+        ticket.outcome()
+    assert isinstance(excinfo.value, TransientError)
+    assert server.stats()["deadline_cancels"] == 1
+    assert conn.session.state == OPEN  # cancellation is not fatal
+    # and the connection still serves afterwards
+    assert conn.execute("SELECT b FROM t WHERE a = 1").rows == [(2,)]
+
+
+def test_deadline_cancelled_query_releases_locks_and_wait_edges():
+    """Satellite: cooperative cancellation must leave the lock manager
+    clean — no locks held by the cancelled query's transaction and no
+    dangling wait-for edges from its recorded conflicts."""
+    db = make_db()
+    server = make_server(db, quantum_rows=1, retry_budget=100,
+                         backoff_base=4)
+    locks = db.storage.locks
+    writer = server.connect()
+    writer.begin()
+    writer.execute("UPDATE t SET b = 0 WHERE a = 1")
+    held_by_writer = locks.locked_resource_count
+
+    reader = server.connect()
+    # the scan conflicts with the writer's exclusive page lock; it backs
+    # off and retries until the deadline cancels it mid-flight
+    ticket = reader.submit("SELECT a FROM t", deadline=10)
+    server.pump()
+    with pytest.raises(DeadlineExceeded):
+        ticket.outcome()
+    assert locks.locked_resource_count == held_by_writer
+    assert locks._waits_for == {}
+    writer.commit()
+    assert locks.locked_resource_count == 0
+
+
+def test_default_deadline_applies_to_every_statement():
+    server = make_server(quantum_rows=1, default_deadline=2)
+    conn = server.connect()
+    ticket = conn.submit("SELECT a FROM t")
+    server.pump()
+    with pytest.raises(DeadlineExceeded):
+        ticket.outcome()
+
+
+# ----------------------------------------------------------------------
+# transient faults: budgeted retry with backoff
+# ----------------------------------------------------------------------
+
+
+def test_autocommit_conflict_retries_internally():
+    db = make_db()
+    server = make_server(db, retry_budget=20, backoff_base=2)
+    writer = server.connect()
+    writer.begin()
+    writer.execute("UPDATE t SET b = 0 WHERE a = 1")
+
+    reader = server.connect()
+    ticket = reader.submit("SELECT b FROM t WHERE a = 1")
+    for _ in range(6):
+        server.step()
+    assert not ticket.done  # cooling down behind the writer's lock
+    writer.commit()
+    server.pump()
+    assert ticket.outcome().rows == [(0,)]
+    assert server.stats()["retries"] >= 1
+    assert server.stats()["failed"] == 0
+
+
+def test_retry_budget_exhaustion_surfaces_retryable_error():
+    db = make_db()
+    server = make_server(db, retry_budget=1, backoff_base=1)
+    writer = server.connect()
+    writer.begin()
+    writer.execute("UPDATE t SET b = 0 WHERE a = 1")
+
+    reader = server.connect()
+    ticket = reader.submit("SELECT b FROM t WHERE a = 1")
+    server.pump()
+    with pytest.raises(TransactionAborted) as excinfo:
+        ticket.outcome()
+    assert isinstance(excinfo.value, TransientError)
+    writer.rollback()
+
+
+def test_conflict_in_explicit_txn_aborts_and_poisons_session():
+    db = make_db()
+    server = make_server(db)
+    locks = db.storage.locks
+    a = server.connect()
+    a.begin()
+    a.execute("UPDATE t SET b = 0 WHERE a = 1")
+
+    b = server.connect()
+    b.begin()
+    ticket = b.submit("UPDATE t SET b = 9 WHERE a = 2")
+    server.pump()
+    with pytest.raises(TransactionAborted):
+        ticket.outcome()
+    # the aborted transaction's locks are gone; only a's remain
+    held = locks.locked_resource_count
+    # poisoned: statements fail fast retryably until rollback
+    t2 = b.submit("SELECT a FROM t WHERE a = 1")
+    server.pump()
+    with pytest.raises(TransactionAborted):
+        t2.outcome()
+    assert locks.locked_resource_count == held
+    with pytest.raises(TransactionAborted):
+        b.commit()
+    a.commit()
+    # after acknowledging the abort, the session serves again
+    b.begin()
+    b.execute("UPDATE t SET b = 9 WHERE a = 2")
+    b.commit()
+    assert locks.locked_resource_count == 0
+    assert b.execute("SELECT b FROM t WHERE a = 2").rows == [(9,)]
+
+
+# ----------------------------------------------------------------------
+# fault isolation
+# ----------------------------------------------------------------------
+
+
+def test_statement_error_does_not_kill_session():
+    server = make_server()
+    conn = server.connect()
+    with pytest.raises(ReproError):
+        conn.execute("SELECT a FROM missing")
+    assert conn.session.state == OPEN
+    assert conn.execute("SELECT b FROM t WHERE a = 1").rows == [(2,)]
+
+
+def test_fatal_error_kills_only_its_connection(monkeypatch):
+    db = make_db()
+    server = make_server(db)
+    real = db._apply_statement
+
+    def boom(stmt, txn, hints=None):
+        if isinstance(stmt, ast.DeleteStmt):
+            raise RuntimeError("heap corruption (simulated)")
+        return real(stmt, txn, hints=hints)
+
+    monkeypatch.setattr(db, "_apply_statement", boom)
+    victim = server.connect()
+    bystander = server.connect()
+    with pytest.raises(RuntimeError):
+        victim.execute("DELETE FROM t WHERE a = 1")
+    assert victim.session.state == KILLED
+    assert server.stats()["fatal_errors"] == 1
+    with pytest.raises(ConnectionLost):
+        victim.execute("SELECT a FROM t")
+    # the blast radius is one connection: the bystander still serves
+    assert bystander.execute("SELECT b FROM t WHERE a = 1").rows == [(2,)]
+    assert db.storage.locks.locked_resource_count == 0
+
+
+def test_fatal_error_rolls_back_its_open_transaction(monkeypatch):
+    db = make_db()
+    server = make_server(db)
+    real = db._apply_statement
+
+    def boom(stmt, txn, hints=None):
+        if isinstance(stmt, ast.DeleteStmt):
+            raise RuntimeError("boom")
+        return real(stmt, txn, hints=hints)
+
+    monkeypatch.setattr(db, "_apply_statement", boom)
+    victim = server.connect()
+    victim.begin()
+    victim.execute("INSERT INTO t (a, b) VALUES (300, 1)")
+    with pytest.raises(RuntimeError):
+        victim.execute("DELETE FROM t WHERE a = 300")
+    other = server.connect()
+    assert other.execute("SELECT a FROM t WHERE a = 300").rows == []
+    assert db.storage.locks.locked_resource_count == 0
+
+
+def test_abandon_fails_queued_requests_retryably():
+    server = make_server(max_queue=8)
+    conn = server.connect()
+    tickets = [conn.submit("SELECT a FROM t") for _ in range(3)]
+    server.abandon("power cut")
+    for ticket in tickets:
+        with pytest.raises(ConnectionLost) as excinfo:
+            ticket.outcome()
+        assert isinstance(excinfo.value, TransientError)
+    with pytest.raises(ConnectionLost):
+        conn.submit("SELECT a FROM t")
+    with pytest.raises(ConnectionLost):
+        server.connect()
+
+
+def test_close_session_aborts_open_transaction():
+    db = make_db()
+    server = make_server(db)
+    conn = server.connect()
+    conn.begin()
+    conn.execute("INSERT INTO t (a, b) VALUES (400, 1)")
+    conn.close()
+    assert conn.session.state == CLOSED
+    other = server.connect()
+    assert other.execute("SELECT a FROM t WHERE a = 400").rows == []
+    assert db.storage.locks.locked_resource_count == 0
+
+
+# ----------------------------------------------------------------------
+# threaded soak: 64 sessions, 4 tenants, admission control on
+# ----------------------------------------------------------------------
+
+
+def test_threaded_soak_64_sessions_4_tenants():
+    db = make_db(rows=24)
+    weights = {"gold": 8, "silver": 4, "bronze": 2, "iron": 1}
+    server = SqlServer(db, ServerConfig(
+        workers=2, quantum_rows=2, max_queue=8, tenants=weights,
+        retry_budget=10,
+    ))
+    sessions_per_tenant = 16
+    queries_per_session = 4
+    barrier = threading.Barrier(
+        sessions_per_tenant * len(weights))
+    failures = []
+    busy_retries = [0]
+    busy_lock = threading.Lock()
+
+    def client(tenant, idx):
+        try:
+            conn = server.connect(tenant)
+            barrier.wait(timeout=30)
+            key = idx % 24
+            for _ in range(queries_per_session):
+                while True:
+                    try:
+                        result = conn.execute(
+                            f"SELECT b FROM t WHERE a = {key}")
+                        break
+                    except Exception as exc:
+                        if isinstance(exc, ServerBusy):
+                            with busy_lock:
+                                busy_retries[0] += 1
+                            time.sleep(0.001)
+                            continue
+                        if isinstance(exc, TransientError):
+                            time.sleep(0.001)
+                            continue
+                        raise
+                assert result.rows == [(key * 2,)]
+        except Exception as exc:  # pragma: no cover - failure report
+            failures.append((tenant, idx, repr(exc)))
+
+    threads = [
+        threading.Thread(target=client, args=(tenant, i), daemon=True)
+        for tenant in weights for i in range(sessions_per_tenant)
+    ]
+    with server:
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60)
+    assert not failures, failures[:5]
+    stats = server.stats()
+    assert stats["fatal_errors"] == 0
+    assert stats["sessions"] == 64
+    # admission control actually engaged under the burst, and every shed
+    # surfaced as a retryable ServerBusy the clients recovered from
+    assert stats["shed"] > 0
+    assert stats["shed"] == busy_retries[0]
+    total = sessions_per_tenant * queries_per_session
+    for tenant in weights:
+        assert stats["tenants"][tenant]["completed"] == total
+    assert db.storage.locks.locked_resource_count == 0
+
+
+def test_threaded_explicit_transactions_commit_atomically():
+    db = make_db(rows=8)
+    server = SqlServer(db, ServerConfig(
+        workers=2, max_queue=64, retry_budget=10))
+    failures = []
+
+    def client(idx):
+        try:
+            conn = server.connect()
+            base = 1000 + idx * 10
+            for attempt in range(50):
+                try:
+                    conn.begin()
+                    conn.execute(
+                        f"INSERT INTO t (a, b) VALUES ({base}, {idx})")
+                    conn.execute(
+                        f"INSERT INTO t (a, b) VALUES ({base + 1}, {idx})")
+                    conn.commit()
+                    return
+                except Exception as exc:
+                    if not isinstance(exc, TransientError):
+                        raise
+                    if conn.in_transaction or conn.session.poisoned:
+                        conn.rollback()
+                    time.sleep(0.001 * (attempt + 1))
+            raise AssertionError("transaction never committed")
+        except Exception as exc:  # pragma: no cover - failure report
+            failures.append((idx, repr(exc)))
+
+    threads = [threading.Thread(target=client, args=(i,), daemon=True)
+               for i in range(8)]
+    with server:
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60)
+        assert not failures, failures
+        check = server.connect()
+        rows = check.execute("SELECT a FROM t WHERE a >= 1000").rows
+    assert len(rows) == 16  # every committed pair is fully visible
+    assert db.storage.locks.locked_resource_count == 0
+
+
+def test_concurrent_deadline_cancellations_leave_lock_manager_clean():
+    """Threaded variant of the cancellation satellite: many readers with
+    tight wall-clock deadlines pile up behind one writer's exclusive
+    lock; every cancellation must release its locks and wait-for edges
+    while the writer keeps serving."""
+    db = make_db()
+    locks = db.storage.locks
+    server = SqlServer(db, ServerConfig(
+        workers=2, max_queue=64, retry_budget=1000, backoff_base=0.001))
+    outcomes = []
+    out_lock = threading.Lock()
+
+    def reader(idx):
+        conn = server.connect()
+        try:
+            conn.execute("SELECT a FROM t", deadline=0.05)
+            verdict = "done"
+        except DeadlineExceeded:
+            verdict = "cancelled"
+        except TransientError:
+            verdict = "aborted"
+        with out_lock:
+            outcomes.append(verdict)
+
+    with server:
+        writer = server.connect()
+        writer.begin()
+        writer.execute("UPDATE t SET b = 0 WHERE a = 1")
+        held_by_writer = locks.locked_resource_count
+        threads = [threading.Thread(target=reader, args=(i,), daemon=True)
+                   for i in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=30)
+        assert len(outcomes) == 8
+        # the writer still holds exactly its own locks; every cancelled
+        # or aborted reader released everything, including wait edges
+        assert "cancelled" in outcomes or "aborted" in outcomes
+        assert locks.locked_resource_count == held_by_writer
+        assert locks._waits_for == {}
+        writer.commit()
+    assert locks.locked_resource_count == 0
+    assert server.stats()["fatal_errors"] == 0

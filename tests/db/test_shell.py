@@ -109,3 +109,34 @@ def test_format_result_single_row():
 def test_format_float_trimming():
     result = QueryResult(("x",), [(2.5000,)])
     assert "2.5" in format_result(result)
+
+
+def test_stats_renders_storage_counters(session):
+    session.process(".demo")
+    session.process("SELECT * FROM emp WHERE eno = 5")
+    output = session.process(".stats")
+    assert "buffer pool:" in output
+    assert "hit_rate:" in output
+    assert "wal:" in output
+    assert "locks:" in output
+    assert "grants:" in output
+    # no server connected: the serving section is absent
+    assert "server:" not in output
+
+
+def test_stats_includes_server_section_when_connected():
+    from repro.db import Database
+    from repro.db.server import ServerConfig, SqlServer
+
+    db = Database(pool_pages=64)
+    db.execute("CREATE TABLE t (a INT)")
+    db.execute("INSERT INTO t (a) VALUES (1)")
+    server = SqlServer(db, ServerConfig(tenants={"oltp": 2, "batch": 1}))
+    conn = server.connect("oltp")
+    conn.execute("SELECT a FROM t")
+    shell = ShellSession(db=db, server=server)
+    output = shell.process(".stats")
+    assert "server:" in output
+    assert "admitted: 1" in output
+    assert "tenant oltp:" in output
+    assert "tenant batch:" in output

@@ -16,7 +16,7 @@ from repro.obsv import AttributionCollector, validate_payload
 from repro.uarch import simulate
 
 SUITES = ["wisc-prof", "wisc-large-1", "wisc-large-2", "wisc+tpch",
-          "recovery", "wisc-scale"]
+          "recovery", "wisc-scale", "serving"]
 
 # layout x prefetcher cells: the golden cell (OM + CGP_4) for every
 # suite, plus the full fig4 bracket on the profiling workload
@@ -99,6 +99,10 @@ def test_golden_cell_attribution_identical_across_engines(small_runner,
         assert "parser" not in layers
     else:
         assert {"parser", "optimizer", "exec", "storage"} <= layers
+    # the serving workload runs through the SQL server front end, so its
+    # dispatch/admission code shows up as a layer of its own
+    if suite == "serving":
+        assert "server" in layers
 
 
 def test_goldens_are_engine_agnostic(small_runner):

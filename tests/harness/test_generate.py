@@ -74,6 +74,10 @@ def stubbed(monkeypatch):
                         simple("recovery"))
     monkeypatch.setattr(generate_module, "storage_scale_experiment",
                         simple("storage-scale"))
+    monkeypatch.setattr(generate_module, "serving_experiment",
+                        simple("serving"))
+    monkeypatch.setattr(generate_module, "database_mix",
+                        simple("database-mix"))
     monkeypatch.setattr(generate_module, "workload_statistics", stats)
     monkeypatch.setattr(generate_module, "scale_sensitivity",
                         simple("scale"))
@@ -90,8 +94,8 @@ def test_generate_writes_all_sections(stubbed, tmp_path):
     generate_module.generate(out_path=str(out), echo=messages.append)
     text = out.read_text()
     for exp_id in ("fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10",
-                   "runahead", "recovery", "storage-scale", "stats", "scale",
-                   "multiprog"):
+                   "runahead", "recovery", "storage-scale", "serving",
+                   "stats", "scale", "multiprog", "database-mix"):
         assert f"### {exp_id}:" in text, exp_id
     assert "## Headline comparison" in text
     assert "| OM speedup over O5 | ~1.11 | 1.10 |" in text

@@ -21,7 +21,7 @@ import pytest
 
 GOLDEN_DIR = os.path.join(os.path.dirname(__file__), "goldens")
 SUITES = ["wisc-prof", "wisc-large-1", "wisc-large-2", "wisc+tpch",
-          "recovery", "wisc-scale"]
+          "recovery", "wisc-scale", "serving"]
 GOLDEN_SPEC = ("OM", ("cgp", 4))
 
 
@@ -76,7 +76,7 @@ def regenerate():
 
     scales = {"wisc-prof": 0.15, "wisc-large-1": 0.012,
               "wisc-large-2": 0.012, "wisc+tpch": 0.008,
-              "recovery": 0.5, "wisc-scale": 0.02}
+              "recovery": 0.5, "wisc-scale": 0.02, "serving": 0.25}
     runner = ExperimentRunner(
         pipeline=PipelineConfig(quantum_rows=2), scales=scales)
     os.makedirs(GOLDEN_DIR, exist_ok=True)

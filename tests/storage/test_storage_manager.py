@@ -146,3 +146,61 @@ def test_checkpoint_flushes_everything():
     assert sm.log.flushed_lsn == len(sm.log) - 1
     assert sm.disk.page_count >= 1
     assert sm.log.records()[-1].kind == "CHECKPOINT"
+
+
+def test_run_transaction_backoff_uses_caller_rng_not_global_state():
+    """Deadlock-restart backoff draws jitter from the caller's RNG (so a
+    seeded chaos scenario replays bit-identically) and reports delays
+    through the injected sleep hook."""
+    import random
+
+    from repro.errors import TransientError
+
+    class _Hiccup(StorageError, TransientError):
+        pass
+
+    sm = StorageManager(pool_pages=8)
+    attempts = []
+
+    def flaky(txn):
+        attempts.append(1)
+        if len(attempts) < 3:
+            raise _Hiccup("transient")
+        return "ok"
+
+    delays = []
+    rng = random.Random(42)
+    state_before = random.getstate()
+    result = sm.run_transaction(flaky, max_attempts=3, rng=rng,
+                                backoff_base=0.5, sleep=delays.append)
+    assert result == "ok"
+    assert len(attempts) == 3
+    # exactly the documented schedule, from the caller's RNG
+    expect_rng = random.Random(42)
+    expected = [0.5 * (0.5 + expect_rng.random()),
+                1.0 * (0.5 + expect_rng.random())]
+    assert delays == expected
+    # the global random module state was never touched
+    assert random.getstate() == state_before
+
+
+def test_run_transaction_default_restarts_immediately():
+    from repro.errors import TransientError
+
+    class _Hiccup(StorageError, TransientError):
+        pass
+
+    sm = StorageManager(pool_pages=8)
+    calls = []
+
+    def flaky(txn):
+        calls.append(1)
+        if len(calls) == 1:
+            raise _Hiccup("transient")
+        return "done"
+
+    recorded = []
+    # no rng / zero base: no sleep call at all, restart is immediate
+    assert sm.run_transaction(flaky, sleep=recorded.append) == "done"
+    assert recorded == []
+    assert len(calls) == 2

@@ -1,0 +1,45 @@
+"""The serving workload: deterministic multi-tenant traffic for tracing."""
+
+from repro.workloads.serving import ServingWorkload
+from repro.workloads.suites import ALL_SUITE_NAMES, build_suite
+
+
+def test_serving_registered_as_a_suite():
+    assert "serving" in ALL_SUITE_NAMES
+    suite = build_suite("serving", scale=0.25)
+    assert suite.name == "serving"
+    assert suite.query_names() == ["serving"]
+
+
+def test_run_is_deterministic_in_scale_and_seed():
+    first = ServingWorkload(scale=0.25, seed=9).run()
+    second = ServingWorkload(scale=0.25, seed=9).run()
+    assert first == second
+    other_seed = ServingWorkload(scale=0.25, seed=10).run()
+    assert other_seed["serving"] != first["serving"]
+
+
+def test_streams_exercise_the_serving_machinery():
+    workload = ServingWorkload(scale=0.25, seed=1234)
+    rows = workload.run()["serving"]
+    assert rows  # the verification scan saw the final table
+    stats = workload.stats()
+    assert stats["failed"] + stats["completed"] == stats["admitted"]
+    assert stats["fatal_errors"] == 0
+    cache = stats["statement_cache"]
+    assert cache["hits"] > 0  # the point-lookup stream reuses statements
+    tenants = stats["tenants"]
+    assert set(tenants) == {"oltp", "analytics", "batch"}
+    assert all(t["quanta"] > 0 for t in tenants.values())
+
+
+def test_scale_grows_the_workload():
+    small = ServingWorkload(scale=0.25, seed=1)
+    large = ServingWorkload(scale=1.0, seed=1)
+    assert len(large.run()["serving"]) > len(small.run()["serving"])
+
+
+def test_database_attribute_exposes_storage():
+    workload = ServingWorkload(scale=0.25)
+    # the experiment runner reads pool stats through suite.database
+    assert workload.database.storage.pool.stats()["capacity"] > 0
