@@ -19,6 +19,11 @@ by more than ``--tolerance`` (default 25%) against the committed
 baseline — or, when the trend file has history, against the **best
 ratio ever recorded**, whichever is higher.
 
+``--profile DIR`` additionally captures one cProfile of the fast engine
+per grid cell (binary ``.pstats`` plus a text cumulative-time summary)
+so hot-path work starts from data; CI uploads the directory as a
+perf-smoke artifact.
+
 Timing protocol: engines are timed in isolated cache regimes.  For each
 cell the compile caches are cleared and the reference engine runs
 ``--repeats`` times cold-cache (it never reads the compile cache, so
@@ -33,9 +38,11 @@ part of its real cost.
 from __future__ import annotations
 
 import argparse
+import cProfile
 import datetime
 import json
 import os
+import pstats
 import subprocess
 import sys
 import time
@@ -63,8 +70,10 @@ def best_of(n, fn):
     return best
 
 
-def measure(repeats, shards=0):
+def measure(repeats, shards=0, profile_dir=None):
     phases = {}
+    if profile_dir:
+        os.makedirs(profile_dir, exist_ok=True)
     t0 = time.perf_counter()
     runner = ExperimentRunner(
         pipeline=PipelineConfig(quantum_rows=2),
@@ -116,6 +125,18 @@ def measure(repeats, shards=0):
         fast_s = best_of(repeats, lambda: run("fast"))
         # regime 3: sharded end-to-end (record + replay + merge)
         shard_s = best_of(max(1, repeats - 1), run_sharded)
+        if profile_dir:
+            # one profiled steady-state fast run per cell, outside the
+            # timing loops (instrumentation skews wall time); the
+            # binary pstats dump feeds snakeviz/pstats offline, the
+            # text twin is greppable straight from the CI artifact
+            prof = cProfile.Profile()
+            prof.runcall(run, "fast")
+            stem = os.path.join(profile_dir, name.replace("+", "_"))
+            prof.dump_stats(stem + ".pstats")
+            with open(stem + ".txt", "w", encoding="utf-8") as fh:
+                pstats.Stats(prof, stream=fh).sort_stats(
+                    "cumulative").print_stats(40)
         ref_total += ref_s
         fast_total += fast_s
         shard_total += shard_s
@@ -243,9 +264,17 @@ def main(argv=None):
                         help="append the measurement to this run journal "
                              "(JSONL) as bench events, one per cell plus "
                              "a totals record")
+    parser.add_argument("--profile", default=None, metavar="DIR",
+                        help="write a per-cell cProfile of the fast "
+                             "engine (binary .pstats + text summary) "
+                             "into DIR; profiled runs are separate from "
+                             "the timed ones")
     args = parser.parse_args(argv)
 
-    result = measure(args.repeats, shards=args.shards)
+    result = measure(args.repeats, shards=args.shards,
+                     profile_dir=args.profile)
+    if args.profile:
+        print(f"profiles written to {args.profile}/", file=sys.stderr)
     print(json.dumps(result["totals"], indent=2))
 
     if args.journal:

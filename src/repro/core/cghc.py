@@ -35,6 +35,13 @@ class CghcEntry:
         self.index = 1
         self.seq = []
 
+    def clone(self):
+        dup = CghcEntry.__new__(CghcEntry)
+        dup.tag = self.tag
+        dup.index = self.index
+        dup.seq = self.seq[:]
+        return dup
+
     def record_call(self, callee_fid, max_slots):
         """Call-update access: store the callee at the slot the index
         points to, then advance the index (§3.2)."""
@@ -127,6 +134,244 @@ class DirectMappedCghc:
     def entry_count(self):
         return sum(len(bucket) for bucket in self._sets)
 
+    def clone(self):
+        """Independent copy (compact-snapshot path; no deepcopy)."""
+        dup = DirectMappedCghc.__new__(DirectMappedCghc)
+        dup.n_entries = self.n_entries
+        dup.max_slots = self.max_slots
+        dup.ways = self.ways
+        dup.n_sets = self.n_sets
+        dup._sets = [
+            [entry.clone() for entry in bucket] for bucket in self._sets
+        ]
+        return dup
+
+
+class FlatCghc:
+    """Flat-array image of a finite direct-mapped two-level CGHC.
+
+    The optimized replay core cannot afford the dict-and-object
+    representation on its per-event path: every CGHC access chases
+    ``_sets`` list -> bucket list -> entry attributes, and every
+    miss/exchange allocates and shuffles Python objects.  This class
+    holds the *same* state as :class:`CallGraphHistoryCache` (ways == 1
+    only — the paper's configuration) in parallel arrays:
+
+    * ``l1_tag[s]`` / ``l2_tag[s]`` — resident tag per set, ``-1`` empty,
+    * ``l1_idx[s]`` / ``l2_idx[s]`` — the entry's 1-based slot index,
+    * ``l1_len[s]`` / ``l2_len[s]`` — valid prefix length of the callee
+      sequence,
+    * ``l1_seq`` / ``l2_seq`` — callee slots, ``slots`` per set at stride
+      ``s * slots`` (a fixed stride keeps every exchange a plain slice
+      copy).
+
+    The replay kernels flatten the dict cache at kernel entry
+    (:meth:`from_cache`), probe/update the arrays inline, and write the
+    state back (:meth:`write_back`) before the kernel returns — so the
+    dict cache stays the canonical representation wherever engine state
+    is observed (``EngineState`` snapshots, ``_finalize``, tests), and
+    the reference :class:`CallGraphHistoryCache` remains the semantic
+    oracle.  Hit/miss counters accumulate here as *deltas* and are added
+    to the dict cache's totals by ``write_back``.
+
+    :meth:`ensure` is the reference implementation of the flattened
+    probe/allocate/exchange sequence the kernels inline — the
+    equivalence and flat-vs-dict oracle suites pin both to
+    ``CallGraphHistoryCache.ensure``.
+    """
+
+    __slots__ = (
+        "n1", "n2", "slots", "lat1", "lat2",
+        "l1_tag", "l1_idx", "l1_len", "l1_seq",
+        "l2_tag", "l2_idx", "l2_len", "l2_seq",
+        "l1_hits", "l2_hits", "misses",
+    )
+
+    @classmethod
+    def from_cache(cls, cghc):
+        """Flatten a dict-represented cache (finite, direct mapped)."""
+        if cghc.infinite:
+            raise ConfigError("infinite CGHC has no flat representation")
+        if cghc.l1.ways != 1 or (cghc.l2 is not None and cghc.l2.ways != 1):
+            raise ConfigError("flat CGHC supports direct-mapped levels only")
+        flat = cls.__new__(cls)
+        flat.slots = cghc.max_slots
+        flat.lat1 = cghc.config.l1_latency
+        flat.lat2 = cghc.config.l2_latency
+        flat.l1_hits = 0
+        flat.l2_hits = 0
+        flat.misses = 0
+        flat.n1 = cghc.l1.n_sets
+        flat._load_level(cghc.l1, 1)
+        if cghc.l2 is not None:
+            flat.n2 = cghc.l2.n_sets
+            flat._load_level(cghc.l2, 2)
+        else:
+            flat.n2 = 0
+            flat.l2_tag = flat.l2_idx = flat.l2_len = flat.l2_seq = None
+        return flat
+
+    def _load_level(self, level, which):
+        n = level.n_sets
+        stride = self.slots
+        tags = [-1] * n
+        idxs = [1] * n
+        lens = [0] * n
+        seqs = [0] * (n * stride)
+        for s, bucket in enumerate(level._sets):
+            if bucket:
+                entry = bucket[-1]
+                tags[s] = entry.tag
+                idxs[s] = entry.index
+                k = len(entry.seq)
+                lens[s] = k
+                seqs[s * stride:s * stride + k] = entry.seq
+        if which == 1:
+            self.l1_tag, self.l1_idx, self.l1_len, self.l1_seq = (
+                tags, idxs, lens, seqs)
+        else:
+            self.l2_tag, self.l2_idx, self.l2_len, self.l2_seq = (
+                tags, idxs, lens, seqs)
+
+    def write_back(self, cghc):
+        """Rebuild the dict cache's buckets from the arrays and add the
+        accumulated counter deltas to its totals."""
+        self._store_level(cghc.l1, self.l1_tag, self.l1_idx, self.l1_len,
+                          self.l1_seq)
+        if self.n2:
+            self._store_level(cghc.l2, self.l2_tag, self.l2_idx,
+                              self.l2_len, self.l2_seq)
+        cghc.l1_hits += self.l1_hits
+        cghc.l2_hits += self.l2_hits
+        cghc.misses += self.misses
+        self.l1_hits = 0
+        self.l2_hits = 0
+        self.misses = 0
+
+    def _store_level(self, level, tags, idxs, lens, seqs):
+        stride = self.slots
+        sets = level._sets
+        b = 0
+        for s, tag in enumerate(tags):
+            if tag >= 0:
+                entry = CghcEntry.__new__(CghcEntry)
+                entry.tag = tag
+                entry.index = idxs[s]
+                entry.seq = seqs[b:b + lens[s]]
+                sets[s] = [entry]
+            else:
+                sets[s] = []
+            b += stride
+
+    # ------------------------------------------------------------------
+    # access (the sequence the replay kernels inline)
+    # ------------------------------------------------------------------
+    def ensure(self, tag):
+        """Flat transcription of ``CallGraphHistoryCache.ensure``.
+
+        Returns ``(latency, level)`` with level 0 (first-level hit),
+        1 (second-level hit, entry exchanged up), or 2 (miss, fresh
+        entry allocated in L1 with the victim written back to L2).
+        After any call the entry for ``tag`` is resident at L1 set
+        ``tag % n1``.
+        """
+        s1 = tag % self.n1
+        l1_tag = self.l1_tag
+        if l1_tag[s1] == tag:
+            self.l1_hits += 1
+            return self.lat1, 0
+        stride = self.slots
+        l1_idx = self.l1_idx
+        l1_len = self.l1_len
+        l1_seq = self.l1_seq
+        b1 = s1 * stride
+        victim = l1_tag[s1]
+        if self.n2:
+            l2_tag = self.l2_tag
+            l2_idx = self.l2_idx
+            l2_len = self.l2_len
+            l2_seq = self.l2_seq
+            s2 = tag % self.n2
+            if l2_tag[s2] == tag:
+                # second-level hit: the §5.3 exchange.  Save the hit
+                # entry, vacate its L2 slot *first* (the displaced L1
+                # entry may map to the same slot), demote the L1
+                # resident, install the hit entry in L1.
+                self.l2_hits += 1
+                b2 = s2 * stride
+                hit_idx = l2_idx[s2]
+                hit_len = l2_len[s2]
+                hit_seq = l2_seq[b2:b2 + stride]
+                l2_tag[s2] = -1
+                if victim >= 0:
+                    vs = victim % self.n2
+                    vb = vs * stride
+                    l2_tag[vs] = victim
+                    l2_idx[vs] = l1_idx[s1]
+                    l2_len[vs] = l1_len[s1]
+                    l2_seq[vb:vb + stride] = l1_seq[b1:b1 + stride]
+                l1_tag[s1] = tag
+                l1_idx[s1] = hit_idx
+                l1_len[s1] = hit_len
+                l1_seq[b1:b1 + stride] = hit_seq
+                return self.lat2, 1
+            # miss in both levels: allocate fresh in L1, write the
+            # displaced entry back to L2 (overwriting that set's
+            # resident, exactly as ``l2.install`` would evict it)
+            self.misses += 1
+            if victim >= 0:
+                vs = victim % self.n2
+                vb = vs * stride
+                l2_tag[vs] = victim
+                l2_idx[vs] = l1_idx[s1]
+                l2_len[vs] = l1_len[s1]
+                l2_seq[vb:vb + stride] = l1_seq[b1:b1 + stride]
+            l1_tag[s1] = tag
+            l1_idx[s1] = 1
+            l1_len[s1] = 0
+            return self.lat2, 2
+        # one-level cache: the direct-mapped victim is simply dropped
+        self.misses += 1
+        l1_tag[s1] = tag
+        l1_idx[s1] = 1
+        l1_len[s1] = 0
+        return self.lat1, 2
+
+    # ------------------------------------------------------------------
+    # entry operations (the resident entry at L1 set ``s1``)
+    # ------------------------------------------------------------------
+    def record_call(self, s1, callee):
+        """``CghcEntry.record_call`` on the L1-resident entry."""
+        slot = self.l1_idx[s1] - 1
+        if slot < self.slots:
+            self.l1_seq[s1 * self.slots + slot] = callee
+            if slot == self.l1_len[s1]:
+                self.l1_len[s1] = slot + 1
+            self.l1_idx[s1] = slot + 2
+
+    def predicted_next(self, s1):
+        slot = self.l1_idx[s1] - 1
+        if slot < self.l1_len[s1]:
+            return self.l1_seq[s1 * self.slots + slot]
+        return None
+
+    def first_callee(self, s1):
+        if self.l1_len[s1]:
+            return self.l1_seq[s1 * self.slots]
+        return None
+
+    def reset_index(self, s1):
+        self.l1_idx[s1] = 1
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    def entry_count(self):
+        total = self.n1 - self.l1_tag.count(-1)
+        if self.n2:
+            total += self.n2 - self.l2_tag.count(-1)
+        return total
+
 
 class CallGraphHistoryCache:
     """The full CGHC: one or two levels, or infinite.
@@ -134,6 +379,13 @@ class CallGraphHistoryCache:
     ``lookup`` returns ``(entry_or_None, access_latency)``;
     ``ensure`` additionally allocates on a miss.
     """
+
+    #: While a replay kernel holds this cache's state in a
+    #: :class:`FlatCghc` image, the dict representation is stale; the
+    #: kernel parks the live image here so mid-run observers (the
+    #: interval sampler's occupancy series) read current state.  Always
+    #: ``None`` outside a kernel.
+    _live_flat = None
 
     def __init__(self, config):
         self.config = config
@@ -232,9 +484,36 @@ class CallGraphHistoryCache:
     # introspection
     # ------------------------------------------------------------------
     def entry_count(self):
+        flat = self._live_flat
+        if flat is not None:
+            return flat.entry_count()
         if self.infinite:
             return len(self._store)
         total = self.l1.entry_count()
         if self.l2 is not None:
             total += self.l2.entry_count()
         return total
+
+    def clone(self):
+        """Independent copy for compact warm-start snapshots.  Must not
+        be called while a kernel holds the state flat (``_live_flat``);
+        snapshots are only taken at kernel boundaries, where the dict
+        representation is canonical."""
+        dup = CallGraphHistoryCache.__new__(CallGraphHistoryCache)
+        dup.config = self.config
+        dup.infinite = self.infinite
+        dup.max_slots = self.max_slots
+        if self.infinite:
+            dup._store = {
+                tag: entry.clone() for tag, entry in self._store.items()
+            }
+            dup.l1 = None
+            dup.l2 = None
+        else:
+            dup._store = None
+            dup.l1 = self.l1.clone()
+            dup.l2 = self.l2.clone() if self.l2 is not None else None
+        dup.l1_hits = self.l1_hits
+        dup.l2_hits = self.l2_hits
+        dup.misses = self.misses
+        return dup

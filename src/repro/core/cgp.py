@@ -61,6 +61,22 @@ class CgpPrefetcher(Prefetcher):
         self.cghc = CallGraphHistoryCache(self.cghc.config)
         self._nl.reset()
 
+    def clone_state(self):
+        if type(self) is not CgpPrefetcher:
+            return super().clone_state()
+        dup = CgpPrefetcher.__new__(CgpPrefetcher)
+        dup.lines_per_prefetch = self.lines_per_prefetch
+        dup.cghc = self.cghc.clone()
+        # the layout and its entry table are immutable during a run:
+        # shared by identity, so a pickled snapshot keeps the
+        # single-copy sharing a deepcopy memo used to provide
+        dup._layout = self._layout
+        dup._entry = self._entry
+        dup._nl = self._nl.clone_state()
+        dup.nl_component = dup._nl
+        dup.name = self.name
+        return dup
+
     # ------------------------------------------------------------------
     # within a function: plain NL
     # ------------------------------------------------------------------

@@ -453,13 +453,53 @@ def _content_compiled(trace, layout):
     return compiled
 
 
+#: layout -> {(n1_sets, n2_sets): (set1_of, set2_of)}; weak on the
+#: layout, like the compile cache.  ``set1_of[fid]``/``set2_of[fid]``
+#: are the CGHC set indices of the function's entry-line tag — compiled
+#: once per (layout, CGHC geometry) so the flat-CGHC kernels never
+#: compute a modulo on their per-event path.  Keying on the geometry
+#: pair means two configs with different CGHC shapes on one layout can
+#: never read each other's tables.
+_CGHC_SET_CACHE = weakref.WeakKeyDictionary()
+
+
+def _cghc_set_tables(layout, n1_sets, n2_sets):
+    """fid -> L1/L2 set index tables for the flat-CGHC kernels.
+
+    ``set2_of`` is ``None`` for one-level caches.  Cached per (layout,
+    geometry); dropped by :func:`clear_compile_cache` with the compiled
+    traces, so a swapped-out layout can never serve stale tables.
+    """
+    key = (n1_sets, n2_sets)
+    try:
+        per_layout = _CGHC_SET_CACHE.get(layout)
+    except TypeError:  # un-weakref-able layout stand-in: build fresh
+        per_layout = None
+    if per_layout is None:
+        per_layout = {}
+        try:
+            _CGHC_SET_CACHE[layout] = per_layout
+        except TypeError:
+            pass
+    tables = per_layout.get(key)
+    if tables is None:
+        base = layout.base_line
+        set1 = [line % n1_sets for line in base]
+        set2 = [line % n2_sets for line in base] if n2_sets else None
+        tables = per_layout[key] = (set1, set2)
+    return tables
+
+
 def clear_compile_cache():
     """Drop every cached compiled trace — the identity-keyed layer and
-    the content-keyed LRU.  Benchmarks call this between engine timing
-    regimes so neither engine's numbers ride on state the other built;
-    tests use it to force cold compiles."""
+    the content-keyed LRU — and the compiled CGHC set-index tables.
+    Benchmarks call this between engine timing regimes so neither
+    engine's numbers ride on state the other built; tests use it to
+    force cold compiles (and to prove layout swaps cannot read stale
+    CGHC tables)."""
     _CONTENT_CACHE.clear()
     _COMPILE_CACHE.clear()
+    _CGHC_SET_CACHE.clear()
 
 
 def _compiled(trace, layout):
@@ -737,6 +777,38 @@ class FastFetchEngine(FetchEngine):
         ras = self.ras
         access = self._access_observed
 
+        # CGP hooks on the flat CGHC arrays (exact class, finite
+        # direct-mapped only): attribution still flows through the real
+        # instrumented issue path — only the dict probe is flattened.
+        from repro.core.cgp import ORIGIN_CGHC, CgpPrefetcher
+
+        cgp_flat = (
+            not perfect
+            and type(prefetcher) is CgpPrefetcher
+            and not prefetcher.cghc.infinite
+            and prefetcher.cghc.l1.ways == 1
+        )
+        if cgp_flat:
+            from repro.core.cghc import FlatCghc
+
+            cghc = prefetcher.cghc
+            cg_flat = FlatCghc.from_cache(cghc)
+            cghc._live_flat = cg_flat
+            cg_ensure = cg_flat.ensure
+            f1_tag = cg_flat.l1_tag
+            f1_idx = cg_flat.l1_idx
+            f1_len = cg_flat.l1_len
+            f1_seq = cg_flat.l1_seq
+            cg_K = cg_flat.slots
+            cg_lat1 = cg_flat.lat1
+            cg_set1 = _cghc_set_tables(
+                self.layout, cg_flat.n1, cg_flat.n2
+            )[0]
+            entry_lines = prefetcher._entry
+            cgp_n = prefetcher.lines_per_prefetch
+            cg_access = collector.cghc_access
+            head_prefetch = self.prefetch_function_head
+
         ops = compiled.ops
         ea = compiled.ea
         eb = compiled.eb
@@ -771,7 +843,44 @@ class FastFetchEngine(FetchEngine):
                 if caller >= 0:
                     ras.push(callsite[i], base[caller], caller)
                 if not perfect:
-                    prefetcher.on_call(caller, ea[i], predicted, self)
+                    if cgp_flat:
+                        # ---- inlined CgpPrefetcher.on_call ----
+                        if predicted:
+                            callee = ea[i]
+                            # prefetch access keyed by the target
+                            tag = entry_lines[callee]
+                            cs1 = cg_set1[callee]
+                            if f1_tag[cs1] == tag:
+                                cg_flat.l1_hits += 1
+                                latency = cg_lat1
+                                cg_access(tag, 0)
+                            else:
+                                latency, level = cg_ensure(tag)
+                                cg_access(tag, level)
+                            if f1_len[cs1]:
+                                head_prefetch(
+                                    f1_seq[cs1 * cg_K], cgp_n,
+                                    ORIGIN_CGHC, delay=latency + 1,
+                                )
+                            # update access keyed by the caller
+                            if caller >= 0:
+                                tag = entry_lines[caller]
+                                cs1 = cg_set1[caller]
+                                if f1_tag[cs1] == tag:
+                                    cg_flat.l1_hits += 1
+                                    cg_access(tag, 0)
+                                else:
+                                    level = cg_ensure(tag)[1]
+                                    cg_access(tag, level)
+                                # inlined CghcEntry.record_call
+                                slot = f1_idx[cs1] - 1
+                                if slot < cg_K:
+                                    f1_seq[cs1 * cg_K + slot] = callee
+                                    if slot == f1_len[cs1]:
+                                        f1_len[cs1] = slot + 1
+                                    f1_idx[cs1] = slot + 2
+                    else:
+                        prefetcher.on_call(caller, ea[i], predicted, self)
             elif op == OP_RET:
                 stats.returns += 1
                 stats.instructions += overhead_instrs
@@ -786,11 +895,53 @@ class FastFetchEngine(FetchEngine):
                     self.cycle += penalty
                     stats.mispredict_cycles += penalty
                 if not perfect:
-                    prefetcher.on_return(ea[i], entry, predicted, self)
+                    if cgp_flat:
+                        # ---- inlined CgpPrefetcher.on_return ----
+                        if predicted:
+                            if entry is not None:
+                                # prefetch access keyed by the caller's
+                                # start address from the modified RAS
+                                tag = entry.caller_start_line
+                                cs1 = cg_set1[entry.caller_fid]
+                                if f1_tag[cs1] == tag:
+                                    cg_flat.l1_hits += 1
+                                    latency = cg_lat1
+                                    cg_access(tag, 0)
+                                else:
+                                    latency, level = cg_ensure(tag)
+                                    cg_access(tag, level)
+                                # inlined CghcEntry.predicted_next
+                                slot = f1_idx[cs1] - 1
+                                if slot < f1_len[cs1]:
+                                    head_prefetch(
+                                        f1_seq[cs1 * cg_K + slot],
+                                        cgp_n, ORIGIN_CGHC,
+                                        delay=latency + 1,
+                                    )
+                            # update access keyed by the returner
+                            ret_fid = ea[i]
+                            tag = entry_lines[ret_fid]
+                            cs1 = cg_set1[ret_fid]
+                            if f1_tag[cs1] == tag:
+                                cg_flat.l1_hits += 1
+                                cg_access(tag, 0)
+                            else:
+                                level = cg_ensure(tag)[1]
+                                cg_access(tag, level)
+                            # inlined CghcEntry.reset_index
+                            f1_idx[cs1] = 1
+                    else:
+                        prefetcher.on_return(ea[i], entry, predicted, self)
             # OP_SWITCH: hardware state is shared across threads
             if sampler is not None and stats.instructions >= sampler.next_at:
                 sampler.take(self)
 
+        if cgp_flat:
+            # canonical dict representation (plus counter deltas) must
+            # be restored before ``_finalize`` reads the CGHC totals —
+            # and before any snapshot can observe the cache
+            cg_flat.write_back(cghc)
+            cghc._live_flat = None
         self._rebuild_l1_order()
         if finalize:
             self._finalize()
@@ -867,10 +1018,6 @@ class FastFetchEngine(FetchEngine):
         lines = compiled.lines
         contig = compiled.contig
         callsite = compiled.callsite
-        run_s = compiled.run_s
-        run_e = compiled.run_e
-        run_lo = compiled.run_lo
-        run_hi = compiled.run_hi
 
         cls = type(prefetcher)
         line_hook = cls.on_line_access is not Prefetcher.on_line_access
@@ -944,12 +1091,15 @@ class FastFetchEngine(FetchEngine):
                         continue
                     s = seg_start[i]
                     e = seg_end[i]
+                    # whole-event batch: with no prefetcher there are
+                    # no arrivals and hits never read the clock, so a
+                    # contiguous fully-resident event is pure hits —
+                    # one C-level residency count decides it
                     if contig[i]:
                         a0 = lines[s]
                         k = e - s
                         aend = a0 + k
                         if state.count(0, a0, aend) == 0:
-                            # whole run resident: pure hits
                             line_accesses += k
                             hit_count += k
                             stamp[a0:aend] = range(ctr, ctr + k)
@@ -1103,25 +1253,57 @@ class FastFetchEngine(FetchEngine):
                 and not nl_inline
                 and not getattr(prefetcher, "hit_transparent", False)
             )
+            # a sub-run that is entirely resident-and-touched can batch
+            # when the only per-line work a pure hit performs is the
+            # inlined NL automaton (or nothing at all: a hook that
+            # skips pure hits never fires inside such a run)
+            batch_ok = nl_inline or not hook_on_hit
+            # first-touch-transparent batching: the plain-NL automaton
+            # (and an absent line hook) is insensitive to whether a hit
+            # first-touches a prefetched line, so runs may also batch
+            # across resident-*untouched* lines (state 3) with the
+            # touch accounting folded in by a find(3) walk; a
+            # hit-transparent hook (tagged NL) fires on first touches
+            # and must see them per-line
+            batch_touch = nl_inline or not line_hook
 
-            # CGP call/return CGHC accesses, inlined (exact class only)
+            # CGP call/return CGHC accesses, inlined (exact class,
+            # finite direct-mapped history cache only): the dict cache
+            # is flattened into parallel arrays at kernel entry, the
+            # dominant first-level probe becomes one tag compare
+            # against a precompiled set-index table, and the rare
+            # exchange/miss path runs ``FlatCghc.ensure`` on the same
+            # arrays.  The dict representation is stale until
+            # ``write_back`` at kernel exit; the live image is parked
+            # on the cache so mid-run observers (``entry_count``) read
+            # current state.
             cgp_inline = False
             if do_call_hook and do_ret_hook:
                 from repro.core.cgp import ORIGIN_CGHC, CgpPrefetcher
+                from repro.core.cghc import FlatCghc
 
                 if (
                     type(prefetcher) is CgpPrefetcher
                     and not prefetcher.cghc.infinite
+                    and prefetcher.cghc.l1.ways == 1
                 ):
                     cgp_inline = True
                     cgp_n = prefetcher.lines_per_prefetch
                     cghc = prefetcher.cghc
-                    cg_sets = cghc.l1._sets
-                    cg_nsets = cghc.l1.n_sets
-                    cg_lat1 = cghc.config.l1_latency
-                    cg_maxslots = cghc.max_slots
-                    cg_limit = cg_maxslots + 1
-                    cg_ensure = cghc.ensure
+                    cg_flat = FlatCghc.from_cache(cghc)
+                    cghc._live_flat = cg_flat
+                    cg_ensure = cg_flat.ensure
+                    f1_tag = cg_flat.l1_tag
+                    f1_idx = cg_flat.l1_idx
+                    f1_len = cg_flat.l1_len
+                    f1_seq = cg_flat.l1_seq
+                    cg_K = cg_flat.slots
+                    cg_lat1 = cg_flat.lat1
+                    # fid -> L1 set index of the function's entry-line
+                    # tag, compiled once per (layout, CGHC geometry)
+                    cg_set1 = _cghc_set_tables(
+                        layout, cg_flat.n1, cg_flat.n2
+                    )[0]
                     entry_lines = prefetcher._entry
                     # per-layout head table: fid -> one-past-last line
                     # of the CGHC-triggered head-prefetch window, the
@@ -1129,7 +1311,7 @@ class FastFetchEngine(FetchEngine):
                     cg_head_end = layout.head_extents(cgp_n)
                     cg_origin = ORIGIN_CGHC
                     ps_cg = sprefetch.get(cg_origin)
-                    cg_l1_hits = 0
+                    cg_h1 = 0
 
             # a plain tuple can stand in for RasEntry (index access is
             # identical) unless a real return hook receives the entries
@@ -1164,6 +1346,35 @@ class FastFetchEngine(FetchEngine):
             _inf = float("inf")
             next_due = arrivals[0][0] if arrivals else _inf
 
+            # ---- flat prefetch lifecycle ----
+            # When every hook is inlined (no callback can reach the
+            # engine's reference-path methods mid-kernel), the
+            # in-flight and untouched maps are held as line-indexed
+            # arrays for the whole kernel: membership stays the
+            # existing ``iflag`` byte / state bit 2, a record is the
+            # completion time plus the issuing origin's stats row in
+            # two parallel slots, and the canonical dicts are rebuilt
+            # at kernel exit — the FlatCghc write-back pattern — so
+            # EngineState snapshots and ``_finalize`` never see the
+            # flat form.  A record consumed by a delayed hit leaves its
+            # heap entry behind, so a drain install additionally
+            # requires the popped completion to match the live record
+            # (the dict path gets this for free from ``pop``).
+            fast_life = (
+                (nl_inline or not line_hook)
+                and (cgp_inline or not do_call_hook)
+                and (cgp_inline or not do_ret_hook)
+            )
+            if fast_life:
+                if_comp = [0.0] * total_lines
+                if_ps = [None] * total_lines
+                for fl, fr in in_flight.items():
+                    if_comp[fl] = fr[0]
+                    if_ps[fl] = sprefetch[fr[1]]
+                u_ps = [None] * total_lines
+                for fl, fo in untouched.items():
+                    u_ps[fl] = sprefetch[fo]
+
             for i in range(ev0, ev1):
                 op = ops[i]
                 if op == OP_EXEC or op == OP_EXEC_REP:
@@ -1181,42 +1392,451 @@ class FastFetchEngine(FetchEngine):
                         line_accesses += 1
                         hit_count += 1
                         continue
-                    for line in lines[seg_start[i]:seg_end[i]]:
+                    s = seg_start[i]
+                    e = seg_end[i]
+                    if batch_ok and contig[i] and e - s > 1:
+                        # ---- whole-event batch attempt ----
+                        # One cheap residency count decides it: a
+                        # contiguous multi-line event whose lines are
+                        # all resident is pure hits — the cycle clock
+                        # is frozen across it, residency cannot change
+                        # mid-event, and the inlined NL automaton's
+                        # issue attempts over the event collapse into
+                        # one ascending contiguous target span
+                        # (docs/BENCHMARKS.md) walked in the
+                        # reference's per-target FIFO-port order.  Due
+                        # arrivals are drained up front (exactly what
+                        # the per-line loop would do on its first
+                        # iteration).  A blocked event — any line
+                        # absent, in flight, or (under a first-touch
+                        # sensitive hook) untouched — costs only the
+                        # count and falls through to the per-line
+                        # loop, which re-drains as it goes.
+                        if cycle >= next_due:
+                            # drain due arrivals (same install as
+                            # the per-line loop) so a pending
+                            # delivery never blocks batching
+                            while arrivals and arrivals[0][0] <= cycle:
+                                _arrival, aline = heappop(arrivals)
+                                if fast_life:
+                                    if (
+                                        not iflag[aline]
+                                        or if_comp[aline] != _arrival
+                                    ):
+                                        continue
+                                else:
+                                    record = in_flight.pop(aline, None)
+                                    if record is None:
+                                        continue
+                                iflag[aline] = 0
+                                ai = (aline % n_sets) * assoc
+                                aw = ai + assoc
+                                w = ai
+                                while w < aw and ways[w] >= 0:
+                                    w += 1
+                                if w < aw:
+                                    ways[w] = aline
+                                else:
+                                    vs = ai
+                                    vmin = stamp[ways[ai]]
+                                    w = ai + 1
+                                    while w < aw:
+                                        sv = stamp[ways[w]]
+                                        if sv < vmin:
+                                            vmin = sv
+                                            vs = w
+                                        w += 1
+                                    victim = ways[vs]
+                                    ways[vs] = aline
+                                    if state[victim] & 2:
+                                        if fast_life:
+                                            u_ps[victim].useless += 1
+                                        else:
+                                            vo = untouched_pop(victim)
+                                            sprefetch[vo].useless += 1
+                                    state[victim] = 0
+                                state[aline] = 3
+                                stamp[aline] = ctr
+                                ctr += 1
+                                if fast_life:
+                                    u_ps[aline] = if_ps[aline]
+                                else:
+                                    untouched[aline] = record[1]
+                            next_due = (
+                                arrivals[0][0] if arrivals else _inf
+                            )
+                        a0 = lines[s]
+                        k = e - s
+                        aend = a0 + k
+                        if not state.count(0, a0, aend) and (
+                            batch_touch
+                            or state.count(1, a0, aend) == k
+                        ):
+                            line_accesses += k
+                            hit_count += k
+                            stamp[a0:aend] = range(ctr, ctr + k)
+                            ctr += k
+                            if batch_touch:
+                                # fold in the first touches the
+                                # per-line loop would have classified
+                                z = state.find(3, a0, aend)
+                                while z >= 0:
+                                    state[z] = 1
+                                    if fast_life:
+                                        u_ps[z].pref_hits += 1
+                                    else:
+                                        sprefetch[
+                                            untouched_pop(z)
+                                        ].pref_hits += 1
+                                    z = state.find(3, z + 1, aend)
+                            if not nl_inline:
+                                continue
+                            # one span for the whole event: continuing
+                            # (every line a leading edge), resuming
+                            # after a repeat, or a jump whose fan-out
+                            # window abuts the following leading-edge
+                            # targets (seq_lead == run_ahead + n_lines);
+                            # k > 1 makes the span non-empty in every
+                            # case
+                            if a0 == nl_last + 1:
+                                t0 = a0 + nl_lead
+                            elif a0 == nl_last:
+                                t0 = a0 + 1 + nl_lead
+                            else:
+                                t0 = a0 + nl_fan + 1
+                            t1 = aend + nl_lead
+                            nl_last = aend - 1
+                            if ps_nl is None:
+                                ps_nl = stats.prefetch_origin(nl_origin)
+                            t1c = (
+                                t1 if t1 <= total_lines else total_lines
+                            )
+                            if t1c <= t0:
+                                ps_nl.out_of_range += t1 - t0
+                                continue
+                            if t1 > t1c:
+                                ps_nl.out_of_range += t1 - t1c
+                            squash = t1c - t0
+                            tz = state.find(0, t0, t1c)
+                            while tz >= 0 and iflag[tz]:
+                                tz = state.find(0, tz + 1, t1c)
+                            while tz >= 0:
+                                squash -= 1
+                                if inline_mem:
+                                    start_t = (
+                                        cycle if cycle > port_free
+                                        else port_free
+                                    )
+                                    port_free = start_t + m_occ
+                                    m_trans += 1
+                                    i2 = (tz % l2_nsets) * l2_assoc
+                                    t2 = i2 + l2_assoc - 1
+                                    if l2ways[t2] == tz:
+                                        w = t2
+                                    else:
+                                        w = t2 - 1
+                                        while w >= i2:
+                                            if l2ways[w] == tz:
+                                                while w < t2:
+                                                    l2ways[w] = (
+                                                        l2ways[w + 1]
+                                                    )
+                                                    w += 1
+                                                l2ways[t2] = tz
+                                                break
+                                            w -= 1
+                                        else:
+                                            w = -1
+                                    if w >= 0:
+                                        m_l2h += 1
+                                        completion = start_t + m_hit_lat
+                                    else:
+                                        m_l2m += 1
+                                        l2_insert(tz)
+                                        completion = (
+                                            start_t
+                                            + m_hit_lat
+                                            + m_mem_lat
+                                        )
+                                else:
+                                    completion, _mem = memsys_request(
+                                        tz, cycle, is_prefetch=True
+                                    )
+                                if fast_life:
+                                    if_comp[tz] = completion
+                                    if_ps[tz] = ps_nl
+                                else:
+                                    in_flight[tz] = (completion, nl_origin)
+                                iflag[tz] = 1
+                                heappush(arrivals, (completion, tz))
+                                if completion < next_due:
+                                    next_due = completion
+                                ps_nl.issued += 1
+                                tz = state.find(0, tz + 1, t1c)
+                                while tz >= 0 and iflag[tz]:
+                                    tz = state.find(0, tz + 1, t1c)
+                            ps_nl.squashed += squash
+                            continue
+                        elif not nl_inline and batch_touch:
+                            # ---- chunked scan fallback ----
+                            # The event is blocked somewhere, but with
+                            # no per-line automaton every *resident*
+                            # stretch is still pure hits: the clock
+                            # only moves at a blocking line (absent or
+                            # in flight), so alternate C-scanned
+                            # resident chunks with per-line handling
+                            # of each blocking line.  A stall there
+                            # can mature arrivals, so due deliveries
+                            # are drained before rescanning — exactly
+                            # the per-line loop's iteration order.
+                            pos = a0
+                            while True:
+                                z = state.find(0, pos, aend)
+                                if z < 0:
+                                    z = aend
+                                if z > pos:
+                                    kc = z - pos
+                                    line_accesses += kc
+                                    hit_count += kc
+                                    stamp[pos:z] = range(ctr, ctr + kc)
+                                    ctr += kc
+                                    y = state.find(3, pos, z)
+                                    while y >= 0:
+                                        state[y] = 1
+                                        if fast_life:
+                                            u_ps[y].pref_hits += 1
+                                        else:
+                                            sprefetch[
+                                                untouched_pop(y)
+                                            ].pref_hits += 1
+                                        y = state.find(3, y + 1, z)
+                                if z >= aend:
+                                    break
+                                # blocking line: the per-line miss
+                                # path, verbatim
+                                line_accesses += 1
+                                miss_count += 1
+                                if iflag[z]:
+                                    iflag[z] = 0
+                                    if fast_life:
+                                        arrival = if_comp[z]
+                                        if_ps[z].delayed_hits += 1
+                                    else:
+                                        arrival, origin0 = (
+                                            in_flight.pop(z)
+                                        )
+                                        sprefetch[
+                                            origin0
+                                        ].delayed_hits += 1
+                                    stall = arrival - cycle
+                                    if stall > 0:
+                                        cycle += stall
+                                        stall_cycles += stall
+                                else:
+                                    demand_misses += 1
+                                    if inline_mem:
+                                        start_t = (
+                                            cycle if cycle > port_free
+                                            else port_free
+                                        )
+                                        port_free = start_t + m_occ
+                                        m_trans += 1
+                                        i2 = (z % l2_nsets) * l2_assoc
+                                        t2 = i2 + l2_assoc - 1
+                                        if l2ways[t2] == z:
+                                            w = t2
+                                        else:
+                                            w = t2 - 1
+                                            while w >= i2:
+                                                if l2ways[w] == z:
+                                                    while w < t2:
+                                                        l2ways[w] = (
+                                                            l2ways[w + 1]
+                                                        )
+                                                        w += 1
+                                                    l2ways[t2] = z
+                                                    break
+                                                w -= 1
+                                            else:
+                                                w = -1
+                                        if w >= 0:
+                                            m_l2h += 1
+                                            l2_hits += 1
+                                            completion = (
+                                                start_t + m_hit_lat
+                                            )
+                                        else:
+                                            m_l2m += 1
+                                            memory_fetches += 1
+                                            l2_insert(z)
+                                            completion = (
+                                                start_t
+                                                + m_hit_lat
+                                                + m_mem_lat
+                                            )
+                                    else:
+                                        completion, from_mem = (
+                                            memsys_request(
+                                                z, cycle,
+                                                is_prefetch=False,
+                                            )
+                                        )
+                                        if from_mem:
+                                            memory_fetches += 1
+                                        else:
+                                            l2_hits += 1
+                                    stall = completion - cycle
+                                    cycle += stall
+                                    stall_cycles += stall
+                                # inlined _install(z): known absent
+                                idx = (z % n_sets) * assoc
+                                iw = idx + assoc
+                                w = idx
+                                while w < iw and ways[w] >= 0:
+                                    w += 1
+                                if w < iw:
+                                    ways[w] = z
+                                else:
+                                    vs = idx
+                                    vmin = stamp[ways[idx]]
+                                    w = idx + 1
+                                    while w < iw:
+                                        sv = stamp[ways[w]]
+                                        if sv < vmin:
+                                            vmin = sv
+                                            vs = w
+                                        w += 1
+                                    victim = ways[vs]
+                                    ways[vs] = z
+                                    if state[victim] & 2:
+                                        if fast_life:
+                                            u_ps[victim].useless += 1
+                                        else:
+                                            vo = untouched_pop(victim)
+                                            sprefetch[vo].useless += 1
+                                    state[victim] = 0
+                                state[z] = 1
+                                stamp[z] = ctr
+                                ctr += 1
+                                pos = z + 1
+                                if pos >= aend:
+                                    break
+                                if cycle >= next_due:
+                                    while (
+                                        arrivals
+                                        and arrivals[0][0] <= cycle
+                                    ):
+                                        _arrival, aline = heappop(
+                                            arrivals
+                                        )
+                                        if fast_life:
+                                            if (
+                                                not iflag[aline]
+                                                or if_comp[aline]
+                                                != _arrival
+                                            ):
+                                                continue
+                                        else:
+                                            record = in_flight.pop(
+                                                aline, None
+                                            )
+                                            if record is None:
+                                                continue
+                                        iflag[aline] = 0
+                                        ai = (aline % n_sets) * assoc
+                                        aw = ai + assoc
+                                        w = ai
+                                        while w < aw and ways[w] >= 0:
+                                            w += 1
+                                        if w < aw:
+                                            ways[w] = aline
+                                        else:
+                                            vs = ai
+                                            vmin = stamp[ways[ai]]
+                                            w = ai + 1
+                                            while w < aw:
+                                                sv = stamp[ways[w]]
+                                                if sv < vmin:
+                                                    vmin = sv
+                                                    vs = w
+                                                w += 1
+                                            victim = ways[vs]
+                                            ways[vs] = aline
+                                            if state[victim] & 2:
+                                                if fast_life:
+                                                    u_ps[
+                                                        victim
+                                                    ].useless += 1
+                                                else:
+                                                    vo = untouched_pop(
+                                                        victim
+                                                    )
+                                                    sprefetch[
+                                                        vo
+                                                    ].useless += 1
+                                            state[victim] = 0
+                                        state[aline] = 3
+                                        stamp[aline] = ctr
+                                        ctr += 1
+                                        if fast_life:
+                                            u_ps[aline] = if_ps[aline]
+                                        else:
+                                            untouched[aline] = record[1]
+                                    next_due = (
+                                        arrivals[0][0]
+                                        if arrivals else _inf
+                                    )
+                            continue
+                    for line in lines[s:e]:
                         # ---- inlined reference _access ----
                         if cycle >= next_due:
                             while arrivals and arrivals[0][0] <= cycle:
                                 _arrival, aline = heappop(arrivals)
-                                record = in_flight.pop(aline, None)
-                                if record is not None:
-                                    iflag[aline] = 0
-                                    # inlined _install(aline, origin):
-                                    # in flight, so known absent
-                                    ai = (aline % n_sets) * assoc
-                                    aw = ai + assoc
-                                    w = ai
-                                    while w < aw and ways[w] >= 0:
+                                if fast_life:
+                                    if (
+                                        not iflag[aline]
+                                        or if_comp[aline] != _arrival
+                                    ):
+                                        continue
+                                else:
+                                    record = in_flight.pop(aline, None)
+                                    if record is None:
+                                        continue
+                                iflag[aline] = 0
+                                # inlined _install(aline, origin):
+                                # in flight, so known absent
+                                ai = (aline % n_sets) * assoc
+                                aw = ai + assoc
+                                w = ai
+                                while w < aw and ways[w] >= 0:
+                                    w += 1
+                                if w < aw:
+                                    ways[w] = aline
+                                else:
+                                    vs = ai
+                                    vmin = stamp[ways[ai]]
+                                    w = ai + 1
+                                    while w < aw:
+                                        sv = stamp[ways[w]]
+                                        if sv < vmin:
+                                            vmin = sv
+                                            vs = w
                                         w += 1
-                                    if w < aw:
-                                        ways[w] = aline
-                                    else:
-                                        vs = ai
-                                        vmin = stamp[ways[ai]]
-                                        w = ai + 1
-                                        while w < aw:
-                                            sv = stamp[ways[w]]
-                                            if sv < vmin:
-                                                vmin = sv
-                                                vs = w
-                                            w += 1
-                                        victim = ways[vs]
-                                        ways[vs] = aline
-                                        if state[victim] & 2:
+                                    victim = ways[vs]
+                                    ways[vs] = aline
+                                    if state[victim] & 2:
+                                        if fast_life:
+                                            u_ps[victim].useless += 1
+                                        else:
                                             vo = untouched_pop(victim)
                                             sprefetch[vo].useless += 1
-                                        state[victim] = 0
-                                    state[aline] = 3  # resident+untouched
-                                    stamp[aline] = ctr
-                                    ctr += 1
+                                    state[victim] = 0
+                                state[aline] = 3  # resident+untouched
+                                stamp[aline] = ctr
+                                ctr += 1
+                                if fast_life:
+                                    u_ps[aline] = if_ps[aline]
+                                else:
                                     untouched[aline] = record[1]
                             next_due = (
                                 arrivals[0][0] if arrivals else _inf
@@ -1231,27 +1851,30 @@ class FastFetchEngine(FetchEngine):
                             missed = False
                             if state[line] & 2:
                                 state[line] = 1
-                                sprefetch[
-                                    untouched_pop(line)
-                                ].pref_hits += 1
+                                if fast_life:
+                                    u_ps[line].pref_hits += 1
+                                else:
+                                    sprefetch[
+                                        untouched_pop(line)
+                                    ].pref_hits += 1
                                 first_touch = True
                             else:
                                 first_touch = False
                         else:
                             miss_count += 1
-                            record = (
-                                in_flight.pop(line)
-                                if iflag[line] else None
-                            )
-                            if record is not None:
+                            if iflag[line]:
                                 # delayed hit: stall residual latency
                                 iflag[line] = 0
-                                arrival, origin0 = record
+                                if fast_life:
+                                    arrival = if_comp[line]
+                                    if_ps[line].delayed_hits += 1
+                                else:
+                                    arrival, origin0 = in_flight.pop(line)
+                                    sprefetch[origin0].delayed_hits += 1
                                 stall = arrival - cycle
                                 if stall > 0:
                                     cycle += stall
                                     stall_cycles += stall
-                                sprefetch[origin0].delayed_hits += 1
                                 first_touch = True
                                 missed = False
                             else:
@@ -1328,8 +1951,11 @@ class FastFetchEngine(FetchEngine):
                                 victim = ways[vs]
                                 ways[vs] = line
                                 if state[victim] & 2:
-                                    vo = untouched_pop(victim)
-                                    sprefetch[vo].useless += 1
+                                    if fast_life:
+                                        u_ps[victim].useless += 1
+                                    else:
+                                        vo = untouched_pop(victim)
+                                        sprefetch[vo].useless += 1
                                 state[victim] = 0
                             state[line] = 1
                             stamp[line] = ctr
@@ -1390,7 +2016,13 @@ class FastFetchEngine(FetchEngine):
                                         completion, _mem = memsys_request(
                                             pl, cycle, is_prefetch=True
                                         )
-                                    in_flight[pl] = (completion, nl_origin)
+                                    if fast_life:
+                                        if_comp[pl] = completion
+                                        if_ps[pl] = ps_nl
+                                    else:
+                                        in_flight[pl] = (
+                                            completion, nl_origin
+                                        )
                                     iflag[pl] = 1
                                     heappush(arrivals, (completion, pl))
                                     if completion < next_due:
@@ -1491,9 +2123,13 @@ class FastFetchEngine(FetchEngine):
                                                     is_prefetch=True,
                                                 )
                                             )
-                                        in_flight[tz] = (
-                                            completion, nl_origin
-                                        )
+                                        if fast_life:
+                                            if_comp[tz] = completion
+                                            if_ps[tz] = ps_nl
+                                        else:
+                                            in_flight[tz] = (
+                                                completion, nl_origin
+                                            )
                                         iflag[tz] = 1
                                         heappush(
                                             arrivals,
@@ -1563,17 +2199,15 @@ class FastFetchEngine(FetchEngine):
                             callee = ea[i]
                             # prefetch access keyed by the target
                             tag = entry_lines[callee]
-                            bucket = cg_sets[tag % cg_nsets]
-                            if bucket and bucket[-1].tag == tag:
-                                cg_l1_hits += 1
-                                centry = bucket[-1]
+                            cs1 = cg_set1[callee]
+                            if f1_tag[cs1] == tag:
+                                cg_h1 += 1
                                 latency = cg_lat1
                             else:
-                                centry, latency = cg_ensure(tag)
-                            seq = centry.seq
-                            if seq:
-                                # prefetch_function_head(seq[0], ...)
-                                first = seq[0]
+                                latency = cg_ensure(tag)[0]
+                            if f1_len[cs1]:
+                                # prefetch_function_head(first_callee)
+                                first = f1_seq[cs1 * cg_K]
                                 if ps_cg is None:
                                     ps_cg = stats.prefetch_origin(
                                         cg_origin
@@ -1581,102 +2215,107 @@ class FastFetchEngine(FetchEngine):
                                 start2 = base[first]
                                 end2 = cg_head_end[first]
                                 now2 = cycle + latency + 1
-                                if state.count(0, start2, end2) == 0:
-                                    # whole head resident: every
-                                    # attempt squashes (head lines are
-                                    # always in range)
-                                    ps_cg.squashed += end2 - start2
-                                    end2 = start2
-                                for pl in range(start2, end2):
-                                    if pl < 0 or pl >= total_lines:
-                                        ps_cg.out_of_range += 1
-                                    elif state[pl] or iflag[pl]:
-                                        ps_cg.squashed += 1
-                                    else:
-                                        if inline_mem:
-                                            start_t = (
-                                                now2
-                                                if now2 > port_free
-                                                else port_free
-                                            )
-                                            port_free = start_t + m_occ
-                                            m_trans += 1
-                                            i2 = (
-                                                (pl % l2_nsets)
-                                                * l2_assoc
-                                            )
-                                            t2 = i2 + l2_assoc - 1
-                                            if l2ways[t2] == pl:
-                                                w = t2
-                                            else:
-                                                w = t2 - 1
-                                                while w >= i2:
-                                                    if l2ways[w] == pl:
-                                                        while w < t2:
-                                                            l2ways[w] = (
-                                                                l2ways[
-                                                                    w + 1
-                                                                ]
-                                                            )
-                                                            w += 1
-                                                        l2ways[t2] = pl
-                                                        break
-                                                    w -= 1
-                                                else:
-                                                    w = -1
-                                            if w >= 0:
-                                                m_l2h += 1
-                                                completion = (
-                                                    start_t + m_hit_lat
-                                                )
-                                            else:
-                                                m_l2m += 1
-                                                l2_insert(pl)
-                                                completion = (
-                                                    start_t
-                                                    + m_hit_lat
-                                                    + m_mem_lat
-                                                )
+                                # batched head walk (same argument as
+                                # the NL fan): no line access happens
+                                # inside the window, so residency is
+                                # frozen while it runs — ``find`` jumps
+                                # straight to the targets that issue,
+                                # every skipped line squashes (head
+                                # lines are always in range, the
+                                # ``head_extents`` clamp), and
+                                # ascending order IS the reference's
+                                # per-target FIFO-port issue order
+                                squash = end2 - start2
+                                pl = state.find(0, start2, end2)
+                                while pl >= 0 and iflag[pl]:
+                                    pl = state.find(0, pl + 1, end2)
+                                while pl >= 0:
+                                    squash -= 1
+                                    if inline_mem:
+                                        start_t = (
+                                            now2
+                                            if now2 > port_free
+                                            else port_free
+                                        )
+                                        port_free = start_t + m_occ
+                                        m_trans += 1
+                                        i2 = (
+                                            (pl % l2_nsets)
+                                            * l2_assoc
+                                        )
+                                        t2 = i2 + l2_assoc - 1
+                                        if l2ways[t2] == pl:
+                                            w = t2
                                         else:
-                                            completion, _mem = (
-                                                memsys_request(
-                                                    pl, now2,
-                                                    is_prefetch=True,
-                                                )
+                                            w = t2 - 1
+                                            while w >= i2:
+                                                if l2ways[w] == pl:
+                                                    while w < t2:
+                                                        l2ways[w] = (
+                                                            l2ways[
+                                                                w + 1
+                                                            ]
+                                                        )
+                                                        w += 1
+                                                    l2ways[t2] = pl
+                                                    break
+                                                w -= 1
+                                            else:
+                                                w = -1
+                                        if w >= 0:
+                                            m_l2h += 1
+                                            completion = (
+                                                start_t + m_hit_lat
                                             )
+                                        else:
+                                            m_l2m += 1
+                                            l2_insert(pl)
+                                            completion = (
+                                                start_t
+                                                + m_hit_lat
+                                                + m_mem_lat
+                                            )
+                                    else:
+                                        completion, _mem = (
+                                            memsys_request(
+                                                pl, now2,
+                                                is_prefetch=True,
+                                            )
+                                        )
+                                    if fast_life:
+                                        if_comp[pl] = completion
+                                        if_ps[pl] = ps_cg
+                                    else:
                                         in_flight[pl] = (
                                             completion, cg_origin
                                         )
-                                        iflag[pl] = 1
-                                        heappush(
-                                            arrivals,
-                                            (completion, pl),
-                                        )
-                                        if completion < next_due:
-                                            next_due = completion
-                                        ps_cg.issued += 1
+                                    iflag[pl] = 1
+                                    heappush(
+                                        arrivals,
+                                        (completion, pl),
+                                    )
+                                    if completion < next_due:
+                                        next_due = completion
+                                    ps_cg.issued += 1
+                                    pl = state.find(0, pl + 1, end2)
+                                    while pl >= 0 and iflag[pl]:
+                                        pl = state.find(0, pl + 1, end2)
+                                ps_cg.squashed += squash
                             # update access keyed by the caller
                             if caller >= 0:
                                 tag = entry_lines[caller]
-                                bucket = cg_sets[tag % cg_nsets]
-                                if bucket and bucket[-1].tag == tag:
-                                    cg_l1_hits += 1
-                                    centry = bucket[-1]
+                                cs1 = cg_set1[caller]
+                                if f1_tag[cs1] == tag:
+                                    cg_h1 += 1
                                 else:
-                                    centry, _lat = cg_ensure(tag)
+                                    cg_ensure(tag)
                                 # inlined CghcEntry.record_call
-                                slot = centry.index - 1
-                                if slot < cg_maxslots:
-                                    seq = centry.seq
-                                    if slot < len(seq):
-                                        seq[slot] = callee
-                                    else:
-                                        seq.append(callee)
-                                    nidx = centry.index + 1
-                                    centry.index = (
-                                        nidx if nidx < cg_limit
-                                        else cg_limit
-                                    )
+                                slot = f1_idx[cs1] - 1
+                                if slot < cg_K:
+                                    f1_seq[cs1 * cg_K + slot] = callee
+                                    if slot == f1_len[cs1]:
+                                        f1_len[cs1] = slot + 1
+                                    f1_idx[cs1] = slot + 2
                     elif do_call_hook:
                         self.cycle = cycle
                         self._rng_state = rng
@@ -1714,19 +2353,19 @@ class FastFetchEngine(FetchEngine):
                             if entry is not None:
                                 # prefetch access keyed by the caller's
                                 # start address from the modified RAS
+                                # (entry[1] == base[entry[2]], so the
+                                # set table applies)
                                 tag = entry[1]
-                                bucket = cg_sets[tag % cg_nsets]
-                                if bucket and bucket[-1].tag == tag:
-                                    cg_l1_hits += 1
-                                    centry = bucket[-1]
+                                cs1 = cg_set1[entry[2]]
+                                if f1_tag[cs1] == tag:
+                                    cg_h1 += 1
                                     latency = cg_lat1
                                 else:
-                                    centry, latency = cg_ensure(tag)
+                                    latency = cg_ensure(tag)[0]
                                 # inlined CghcEntry.predicted_next
-                                slot = centry.index - 1
-                                seq = centry.seq
-                                if 0 <= slot < len(seq):
-                                    first = seq[slot]
+                                slot = f1_idx[cs1] - 1
+                                if slot < f1_len[cs1]:
+                                    first = f1_seq[cs1 * cg_K + slot]
                                     if ps_cg is None:
                                         ps_cg = stats.prefetch_origin(
                                             cg_origin
@@ -1734,103 +2373,106 @@ class FastFetchEngine(FetchEngine):
                                     start2 = base[first]
                                     end2 = cg_head_end[first]
                                     now2 = cycle + latency + 1
-                                    if state.count(
-                                        0, start2, end2
-                                    ) == 0:
-                                        # whole head resident: every
-                                        # attempt squashes
-                                        ps_cg.squashed += end2 - start2
-                                        end2 = start2
-                                    for pl in range(
-                                        start2, end2
-                                    ):
-                                        if (
-                                            pl < 0
-                                            or pl >= total_lines
-                                        ):
-                                            ps_cg.out_of_range += 1
-                                        elif state[pl] or iflag[pl]:
-                                            ps_cg.squashed += 1
-                                        else:
-                                            if inline_mem:
-                                                start_t = (
-                                                    now2
-                                                    if now2 > port_free
-                                                    else port_free
-                                                )
-                                                port_free = (
-                                                    start_t + m_occ
-                                                )
-                                                m_trans += 1
-                                                i2 = (
-                                                    (pl % l2_nsets)
-                                                    * l2_assoc
-                                                )
-                                                t2 = i2 + l2_assoc - 1
-                                                if l2ways[t2] == pl:
-                                                    w = t2
-                                                else:
-                                                    w = t2 - 1
-                                                    while w >= i2:
-                                                        if (
-                                                            l2ways[w]
-                                                            == pl
-                                                        ):
-                                                            while w < t2:
-                                                                l2ways[
-                                                                    w
-                                                                ] = l2ways[
-                                                                    w + 1
-                                                                ]
-                                                                w += 1
-                                                            l2ways[
-                                                                t2
-                                                            ] = pl
-                                                            break
-                                                        w -= 1
-                                                    else:
-                                                        w = -1
-                                                if w >= 0:
-                                                    m_l2h += 1
-                                                    completion = (
-                                                        start_t
-                                                        + m_hit_lat
-                                                    )
-                                                else:
-                                                    m_l2m += 1
-                                                    l2_insert(pl)
-                                                    completion = (
-                                                        start_t
-                                                        + m_hit_lat
-                                                        + m_mem_lat
-                                                    )
+                                    # batched head walk — see the
+                                    # on_call twin above
+                                    squash = end2 - start2
+                                    pl = state.find(0, start2, end2)
+                                    while pl >= 0 and iflag[pl]:
+                                        pl = state.find(
+                                            0, pl + 1, end2
+                                        )
+                                    while pl >= 0:
+                                        squash -= 1
+                                        if inline_mem:
+                                            start_t = (
+                                                now2
+                                                if now2 > port_free
+                                                else port_free
+                                            )
+                                            port_free = (
+                                                start_t + m_occ
+                                            )
+                                            m_trans += 1
+                                            i2 = (
+                                                (pl % l2_nsets)
+                                                * l2_assoc
+                                            )
+                                            t2 = i2 + l2_assoc - 1
+                                            if l2ways[t2] == pl:
+                                                w = t2
                                             else:
-                                                completion, _mem = (
-                                                    memsys_request(
-                                                        pl, now2,
-                                                        is_prefetch=True,
-                                                    )
+                                                w = t2 - 1
+                                                while w >= i2:
+                                                    if (
+                                                        l2ways[w]
+                                                        == pl
+                                                    ):
+                                                        while w < t2:
+                                                            l2ways[
+                                                                w
+                                                            ] = l2ways[
+                                                                w + 1
+                                                            ]
+                                                            w += 1
+                                                        l2ways[
+                                                            t2
+                                                        ] = pl
+                                                        break
+                                                    w -= 1
+                                                else:
+                                                    w = -1
+                                            if w >= 0:
+                                                m_l2h += 1
+                                                completion = (
+                                                    start_t
+                                                    + m_hit_lat
                                                 )
+                                            else:
+                                                m_l2m += 1
+                                                l2_insert(pl)
+                                                completion = (
+                                                    start_t
+                                                    + m_hit_lat
+                                                    + m_mem_lat
+                                                )
+                                        else:
+                                            completion, _mem = (
+                                                memsys_request(
+                                                    pl, now2,
+                                                    is_prefetch=True,
+                                                )
+                                            )
+                                        if fast_life:
+                                            if_comp[pl] = completion
+                                            if_ps[pl] = ps_cg
+                                        else:
                                             in_flight[pl] = (
                                                 completion, cg_origin
                                             )
-                                            iflag[pl] = 1
-                                            heappush(
-                                                arrivals,
-                                                (completion, pl),
+                                        iflag[pl] = 1
+                                        heappush(
+                                            arrivals,
+                                            (completion, pl),
+                                        )
+                                        if completion < next_due:
+                                            next_due = completion
+                                        ps_cg.issued += 1
+                                        pl = state.find(0, pl + 1, end2)
+                                        while pl >= 0 and iflag[pl]:
+                                            pl = state.find(
+                                                0, pl + 1, end2
                                             )
-                                            if completion < next_due:
-                                                next_due = completion
-                                            ps_cg.issued += 1
+                                    ps_cg.squashed += squash
                             # update access keyed by the returner
-                            tag = entry_lines[ea[i]]
-                            bucket = cg_sets[tag % cg_nsets]
-                            if bucket and bucket[-1].tag == tag:
-                                cg_l1_hits += 1
-                                centry = bucket[-1]
+                            ret_fid = ea[i]
+                            tag = entry_lines[ret_fid]
+                            cs1 = cg_set1[ret_fid]
+                            if f1_tag[cs1] == tag:
+                                cg_h1 += 1
                             else:
-                                centry, _lat = cg_ensure(tag)
-                            centry.index = 1
+                                cg_ensure(tag)
+                            # inlined CghcEntry.reset_index
+                            f1_idx[cs1] = 1
                     elif do_ret_hook:
                         self.cycle = cycle
                         self._rng_state = rng
@@ -1840,10 +2482,33 @@ class FastFetchEngine(FetchEngine):
                         next_due = arrivals[0][0] if arrivals else _inf
                 # OP_SWITCH: hardware state is shared across threads
 
+            if fast_life:
+                # restore the canonical dict maps from the flat arrays
+                # (membership is the iflag byte / state bit 2; the
+                # stats rows map back to their origin keys) before
+                # anything outside the kernel — EngineState capture,
+                # ``_finalize``, the reference-path methods — can
+                # observe them
+                rev = {id(row): org for org, row in sprefetch.items()}
+                in_flight.clear()
+                fl = iflag.find(1)
+                while fl >= 0:
+                    in_flight[fl] = (if_comp[fl], rev[id(if_ps[fl])])
+                    fl = iflag.find(1, fl + 1)
+                untouched.clear()
+                fl = state.find(3)
+                while fl >= 0:
+                    untouched[fl] = rev[id(u_ps[fl])]
+                    fl = state.find(3, fl + 1)
             if nl_inline:
                 nl._last_line = nl_last
             if cgp_inline:
-                cghc.l1_hits += cg_l1_hits
+                # restore the canonical dict representation (folding in
+                # the counter deltas) before anything outside the
+                # kernel can observe the cache
+                cg_flat.l1_hits += cg_h1
+                cg_flat.write_back(cghc)
+                cghc._live_flat = None
             if inline_mem:
                 memsys._port_free_at = port_free
                 memsys._demand_free_at = port_free

@@ -48,7 +48,6 @@ same warm-start arithmetic, one process.
 
 from __future__ import annotations
 
-import copy
 from dataclasses import dataclass
 from functools import partial
 
@@ -101,15 +100,53 @@ _STATE_ATTRS = (
 )
 
 
+def _clone_parts(get):
+    """Copy every mutable engine component named in ``_STATE_ATTRS``.
+
+    ``get`` maps an attribute name to its source value — the live
+    engine on capture (``partial(getattr, engine)``) or the snapshot
+    dict on restore — so one function defines the copy discipline for
+    both directions.  Each component is copied by the cheapest means
+    that is still a *full* copy: stats round-trip through their exact
+    ``to_dict``/``from_dict``, caches/memsys/RAS/prefetcher expose
+    type-exact ``clone``/``clone_state`` methods, the mirrors are flat
+    ``bytearray``/``list``/``dict`` copies (their elements — ints,
+    floats, tuples — are immutable).  No ``deepcopy`` anywhere on this
+    path: the recorder snapshots at every shard boundary, and generic
+    memo-driven traversal was most of the record pass's cost.
+    """
+    prefetcher = get("prefetcher")
+    return {
+        "cycle": get("cycle"),
+        "_rng_state": get("_rng_state"),
+        "_ctr": get("_ctr"),
+        "last_access_missed": get("last_access_missed"),
+        "last_access_first_touch": get("last_access_first_touch"),
+        "stats": SimStats.from_dict(get("stats").to_dict()),
+        "prefetcher": (
+            None if prefetcher is None else prefetcher.clone_state()
+        ),
+        "l1i": get("l1i").clone(),
+        "memsys": get("memsys").clone(),
+        "ras": get("ras").clone(),
+        "_in_flight": dict(get("_in_flight")),
+        "_arrivals": list(get("_arrivals")),
+        "_untouched": dict(get("_untouched")),
+        "_state": bytearray(get("_state")),
+        "_iflag": bytearray(get("_iflag")),
+        "_stamp": list(get("_stamp")),
+    }
+
+
 class EngineState:
-    """Deep-copied warm-start snapshot of a ``FastFetchEngine``.
+    """Warm-start snapshot of a ``FastFetchEngine``.
 
     Capturing copies every mutable component (stats, caches, memory
-    system, RAS, prefetcher, residency/recency mirrors) with the layout
-    and config pinned by identity, so the snapshot is self-contained,
-    picklable, and independent of the engine it came from.  Restoring
-    deep-copies *again*, so one snapshot can seed any number of
-    replays.
+    system, RAS, prefetcher, residency/recency mirrors) via the compact
+    :func:`_clone_parts` discipline, with the layout and config shared
+    by identity — the snapshot is self-contained, picklable, and
+    independent of the engine it came from.  Restoring clones *again*,
+    so one snapshot can seed any number of replays.
     """
 
     __slots__ = ("_snapshot",)
@@ -119,19 +156,12 @@ class EngineState:
 
     @classmethod
     def capture(cls, engine):
-        memo = {
-            id(engine.layout): engine.layout,
-            id(engine.config): engine.config,
-        }
-        return cls(copy.deepcopy(
-            {attr: getattr(engine, attr) for attr in _STATE_ATTRS}, memo))
+        return cls(_clone_parts(partial(getattr, engine)))
 
     def restore(self, config, layout):
         """Build a fresh engine positioned exactly at this snapshot."""
         engine = FastFetchEngine(config, layout, prefetcher=None, seed=0)
-        memo = {id(layout): layout, id(config): config}
-        live = copy.deepcopy(self._snapshot, memo)
-        for attr, value in live.items():
+        for attr, value in _clone_parts(self._snapshot.__getitem__).items():
             setattr(engine, attr, value)
         return engine
 

@@ -39,7 +39,7 @@ SMALL_CONFIG = SimConfig(
     base_cpi=0.3,
 )
 
-PREFETCHERS = [None, "nl", "t-nl", "ra-nl", "cgp"]
+PREFETCHERS = [None, "nl", "t-nl", "ra-nl", "cgp", "cgp-xchg"]
 LAYOUTS = ["identity", "scrambled"]
 
 
@@ -71,6 +71,13 @@ def make_prefetcher(name, layout, degree):
         return TaggedNLPrefetcher(degree)
     if name == "ra-nl":
         return RunAheadNLPrefetcher(degree, 3)
+    if name == "cgp-xchg":
+        # collision-heavy geometry: a one-entry L1 over a four-entry L2
+        # makes nearly every CGHC access an L2 exchange or a miss with
+        # victim writeback, hammering the flat kernel's rare path
+        return CgpPrefetcher(
+            degree, CghcConfig(l1_bytes=1 * 40, l2_bytes=4 * 40), layout
+        )
     return CgpPrefetcher(
         degree, CghcConfig(l1_bytes=4 * 40, l2_bytes=16 * 40), layout
     )
